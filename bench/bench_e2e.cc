@@ -1,0 +1,176 @@
+// End-to-end resource allocation through the Figure 1 pipeline: RQL
+// parse → qualification fan-out → requirement enhancement → execution
+// against the resource directory → (on contention) substitution — the
+// full cost a workflow engine pays per activity assignment.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/resource_manager.h"
+#include "policy/synthetic.h"
+#include "policy/analyzer.h"
+#include "testutil/paper_org.h"
+#include "wf/engine.h"
+#include "wf/graph.h"
+
+namespace {
+
+using namespace wfrm;  // NOLINT
+
+constexpr char kFigure4[] =
+    "Select ContactInfo From Engineer Where Location = 'PA' "
+    "For Programming With NumberOfLines = 35000 And Location = 'Mexico'";
+
+void BM_E2E_SubmitPaperQuery(benchmark::State& state) {
+  auto world = testutil::BuildPaperWorld();
+  if (!world.ok()) std::abort();
+  core::ResourceManager rm(world->org.get(), world->store.get());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rm.Submit(kFigure4));
+  }
+}
+BENCHMARK(BM_E2E_SubmitPaperQuery);
+
+void BM_E2E_SubmitWithSubstitutionFallback(benchmark::State& state) {
+  // The only primary candidate is held, so every submission walks the
+  // whole pipeline including §4.3.
+  auto world = testutil::BuildPaperWorld();
+  if (!world.ok()) std::abort();
+  core::ResourceManager rm(world->org.get(), world->store.get());
+  if (!rm.Allocate(org::ResourceRef{"Programmer", "bob"}).ok()) std::abort();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rm.Submit(kFigure4));
+  }
+}
+BENCHMARK(BM_E2E_SubmitWithSubstitutionFallback);
+
+void BM_E2E_AcquireReleaseCycle(benchmark::State& state) {
+  auto world = testutil::BuildPaperWorld();
+  if (!world.ok()) std::abort();
+  core::ResourceManager rm(world->org.get(), world->store.get());
+  for (auto _ : state) {
+    auto ref = rm.Acquire(kFigure4);
+    if (ref.ok()) {
+      benchmark::DoNotOptimize(*ref);
+      (void)rm.Release(*ref);
+    }
+  }
+}
+BENCHMARK(BM_E2E_AcquireReleaseCycle);
+
+void BM_E2E_SyntheticAllocation(benchmark::State& state) {
+  // Random queries against a populated synthetic org: directory size and
+  // policy base both grow with the argument.
+  policy::SyntheticConfig config;
+  config.num_activities = 64;
+  config.num_resources = 64;
+  config.q = static_cast<size_t>(state.range(0));
+  config.c = 4;
+  config.instances_per_resource = 16;
+  auto w = policy::SyntheticWorkload::Build(config);
+  if (!w.ok()) std::abort();
+  core::ResourceManager rm(&(*w)->org(), &(*w)->store());
+  std::mt19937 rng(23);
+  std::vector<rql::RqlQuery> queries;
+  for (int i = 0; i < 32; ++i) {
+    auto q = (*w)->RandomQuery(rng);
+    if (q.ok()) queries.push_back(std::move(q).ValueOrDie());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rm.Submit(queries[i++ % queries.size()]));
+  }
+  state.counters["policies"] =
+      static_cast<double>((*w)->store().num_requirement_rows());
+}
+BENCHMARK(BM_E2E_SyntheticAllocation)->Arg(2)->Arg(8);
+
+void BM_E2E_WorkflowCaseThroughput(benchmark::State& state) {
+  // Complete expense cases (implement + approve) per second.
+  auto world = testutil::BuildPaperWorld();
+  if (!world.ok()) std::abort();
+  core::ResourceManager rm(world->org.get(), world->store.get());
+  wf::WorkflowEngine engine(&rm);
+  wf::ProcessDefinition process{
+      "expense",
+      {{"implement",
+        "Select ContactInfo From Engineer Where Location = 'PA' "
+        "For Programming With NumberOfLines = 20000 And Location = 'PA'"},
+       {"approve",
+        "Select ContactInfo From Manager For Approval With Amount = 500 "
+        "And Requester = 'alice' And Location = 'PA'"}}};
+  for (auto _ : state) {
+    size_t id = engine.StartCase(process, {});
+    for (int step = 0; step < 2; ++step) {
+      auto item = engine.Advance(id);
+      if (!item.ok()) std::abort();
+      if (!engine.Complete(id).ok()) std::abort();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_E2E_WorkflowCaseThroughput);
+
+void BM_E2E_ProcessGraphCase(benchmark::State& state) {
+  // A full graph case: AND-split (implement ∥ analyze) → join → approve.
+  auto world = testutil::BuildPaperWorld();
+  if (!world.ok()) std::abort();
+  core::ResourceManager rm(world->org.get(), world->store.get());
+  wf::GraphEngine engine(&rm);
+  wf::ProcessGraph graph("bench");
+  (void)graph.AddAndSplit("fork", {"implement", "analyze"});
+  (void)graph.AddActivity(
+      "implement",
+      "Select ContactInfo From Engineer Where Location = 'PA' "
+      "For Programming With NumberOfLines = 5000 And Location = 'PA'",
+      "join");
+  (void)graph.AddActivity(
+      "analyze",
+      "Select ContactInfo From Analyst Where Location = 'PA' "
+      "For Analysis With NumberOfLines = 5000 And Location = 'PA'",
+      "join");
+  (void)graph.AddAndJoin("join", "approve");
+  (void)graph.AddActivity(
+      "approve",
+      "Select ContactInfo From Manager For Approval With Amount = 500 And "
+      "Requester = 'alice' And Location = 'PA'",
+      "");
+  (void)graph.SetStart("fork");
+  for (auto _ : state) {
+    auto id = engine.StartCase(graph, {});
+    if (!id.ok()) std::abort();
+    while (true) {
+      auto pending = engine.PendingActivities(*id);
+      if (!pending.ok() || pending->empty()) break;
+      for (const std::string& node : *pending) {
+        if (!engine.StartActivity(*id, node).ok()) std::abort();
+        if (!engine.CompleteActivity(*id, node).ok()) std::abort();
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_E2E_ProcessGraphCase);
+
+void BM_E2E_PolicyAnalysis(benchmark::State& state) {
+  // Policy-base consistency analysis cost over a growing base.
+  policy::SyntheticConfig config;
+  config.num_activities = 64;
+  config.num_resources = 64;
+  config.q = static_cast<size_t>(state.range(0));
+  config.c = 4;
+  auto w = policy::SyntheticWorkload::Build(config);
+  if (!w.ok()) std::abort();
+  policy::PolicyAnalyzer analyzer(&(*w)->store());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.Report());
+  }
+  state.counters["policies"] =
+      static_cast<double>((*w)->store().num_requirement_rows());
+}
+BENCHMARK(BM_E2E_PolicyAnalysis)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,173 @@
+// Micro-benchmarks of the embedded relational substrate (src/rel): the
+// pieces the policy machinery is built on — inserts with index
+// maintenance, index probes vs full scans, joins, aggregation and
+// hierarchical (CONNECT BY) queries.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "rel/database.h"
+#include "rel/executor.h"
+#include "rel/parser.h"
+
+namespace {
+
+using namespace wfrm::rel;  // NOLINT
+
+std::unique_ptr<Database> BuildDb(size_t rows, bool with_index) {
+  auto db = std::make_unique<Database>();
+  Table* t = *db->CreateTable("Emp", Schema({{"Id", DataType::kInt},
+                                             {"Dept", DataType::kString},
+                                             {"Salary", DataType::kInt}}));
+  if (with_index) {
+    (void)t->CreateOrderedIndex("by_dept_salary", {"Dept", "Salary"});
+  }
+  std::mt19937 rng(1);
+  std::uniform_int_distribution<int64_t> salary(1000, 9999);
+  const char* depts[] = {"eng", "ops", "hr", "sales"};
+  for (size_t i = 0; i < rows; ++i) {
+    (void)t->Insert({Value::Int(static_cast<int64_t>(i)),
+                     Value::String(depts[i % 4]), Value::Int(salary(rng))});
+  }
+  return db;
+}
+
+void BM_Engine_InsertNoIndex(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto db = std::make_unique<Database>();
+    Table* t = *db->CreateTable("T", Schema({{"A", DataType::kInt},
+                                             {"B", DataType::kString}}));
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      benchmark::DoNotOptimize(t->Insert({Value::Int(i), Value::String("x")}));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Engine_InsertNoIndex)->Arg(1000);
+
+void BM_Engine_InsertWithOrderedIndex(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto db = std::make_unique<Database>();
+    Table* t = *db->CreateTable("T", Schema({{"A", DataType::kInt},
+                                             {"B", DataType::kString}}));
+    (void)t->CreateOrderedIndex("i", {"A"});
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      benchmark::DoNotOptimize(t->Insert({Value::Int(i), Value::String("x")}));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Engine_InsertWithOrderedIndex)->Arg(1000);
+
+void RunQuery(benchmark::State& state, size_t rows, bool with_index,
+              const char* sql) {
+  auto db = BuildDb(rows, with_index);
+  ExecOptions opts;
+  opts.use_indexes = with_index;
+  Executor exec(db.get(), opts);
+  auto stmt = SqlParser::ParseSelect(sql);
+  if (!stmt.ok()) std::abort();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Execute(**stmt));
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_Engine_PointQueryIndexed(benchmark::State& state) {
+  RunQuery(state, static_cast<size_t>(state.range(0)), true,
+           "Select Id From Emp Where Dept = 'eng' And Salary = 5000");
+}
+BENCHMARK(BM_Engine_PointQueryIndexed)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Engine_PointQueryScan(benchmark::State& state) {
+  RunQuery(state, static_cast<size_t>(state.range(0)), false,
+           "Select Id From Emp Where Dept = 'eng' And Salary = 5000");
+}
+BENCHMARK(BM_Engine_PointQueryScan)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Engine_RangeQueryIndexed(benchmark::State& state) {
+  RunQuery(state, static_cast<size_t>(state.range(0)), true,
+           "Select Id From Emp Where Dept = 'eng' And Salary >= 5000 And "
+           "Salary < 5100");
+}
+BENCHMARK(BM_Engine_RangeQueryIndexed)->Arg(10000)->Arg(100000);
+
+void BM_Engine_RangeQueryScan(benchmark::State& state) {
+  RunQuery(state, static_cast<size_t>(state.range(0)), false,
+           "Select Id From Emp Where Dept = 'eng' And Salary >= 5000 And "
+           "Salary < 5100");
+}
+BENCHMARK(BM_Engine_RangeQueryScan)->Arg(10000)->Arg(100000);
+
+void BM_Engine_GroupByCount(benchmark::State& state) {
+  RunQuery(state, static_cast<size_t>(state.range(0)), false,
+           "Select Dept, Count(*) From Emp Group by Dept");
+}
+BENCHMARK(BM_Engine_GroupByCount)->Arg(10000);
+
+void BM_Engine_Join(benchmark::State& state) {
+  auto db = std::make_unique<Database>();
+  Table* e = *db->CreateTable("E", Schema({{"Id", DataType::kInt},
+                                           {"Unit", DataType::kInt}}));
+  Table* m = *db->CreateTable("M", Schema({{"Mgr", DataType::kInt},
+                                           {"Unit", DataType::kInt}}));
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    (void)e->Insert({Value::Int(i), Value::Int(i % 50)});
+  }
+  for (int64_t i = 0; i < 50; ++i) {
+    (void)m->Insert({Value::Int(1000 + i), Value::Int(i)});
+  }
+  Executor exec(db.get());
+  auto stmt = SqlParser::ParseSelect(
+      "Select E.Id, M.Mgr From E, M Where E.Unit = M.Unit");
+  if (!stmt.ok()) std::abort();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Execute(**stmt));
+  }
+}
+BENCHMARK(BM_Engine_Join)->Arg(200)->Arg(1000);
+
+void BM_Engine_ConnectBy(benchmark::State& state) {
+  // A management chain of the given depth.
+  auto db = std::make_unique<Database>();
+  Table* r = *db->CreateTable("ReportsTo", Schema({{"Emp", DataType::kInt},
+                                                   {"Mgr", DataType::kInt}}));
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    (void)r->Insert({Value::Int(i), Value::Int(i + 1)});
+  }
+  ExecOptions opts;
+  opts.max_connect_by_depth = 100000;
+  Executor exec(db.get(), opts);
+  auto stmt = SqlParser::ParseSelect(
+      "Select Mgr From ReportsTo Start with Emp = 0 "
+      "Connect by Prior Mgr = Emp");
+  if (!stmt.ok()) std::abort();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Execute(**stmt));
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Engine_ConnectBy)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Engine_ParseSql(benchmark::State& state) {
+  const char* sql =
+      "Select WhereClause From Relevant_Policies, Relevant_Filter "
+      "Where Relevant_Policies.PID = Relevant_Filter.PID And "
+      "Relevant_Policies.NumberOfIntervals = "
+      "Relevant_Filter.NumberOfIntervals "
+      "Union Select WhereClause From Relevant_Policies "
+      "Where Relevant_Policies.NumberOfIntervals = 0";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SqlParser::ParseSelect(sql));
+  }
+}
+BENCHMARK(BM_Engine_ParseSql);
+
+}  // namespace
+
+BENCHMARK_MAIN();

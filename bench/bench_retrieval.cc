@@ -1,0 +1,127 @@
+// Relevant-policy retrieval strategies compared (paper §5, §6):
+//
+//   * Direct       — concatenated-index probes (§5.2 indexes driven by an
+//                    in-memory processor, the §6 closing guidance);
+//   * DirectScan   — same logic, indexes disabled (ablation: what the
+//                    §5.2 concatenated indexes buy);
+//   * Sql          — the literal Figure 13/14/15 views + union executed
+//                    on the embedded relational engine;
+//   * Naive        — the §5.1 strawman: 4-column string table, re-parse
+//                    and re-evaluate every With clause per retrieval.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "policy/synthetic.h"
+
+namespace {
+
+using namespace wfrm::policy;  // NOLINT
+
+std::unique_ptr<SyntheticWorkload> BuildWorkload(size_t scale_q,
+                                                 size_t scale_c) {
+  SyntheticConfig config;
+  config.num_activities = 64;
+  config.num_resources = 64;
+  config.q = scale_q;
+  config.c = scale_c;
+  config.intervals = 1;
+  config.build_naive_baseline = true;
+  auto w = SyntheticWorkload::Build(config);
+  if (!w.ok()) std::abort();
+  return std::move(w).ValueOrDie();
+}
+
+/// Pre-generates queries so query synthesis is outside the timed loop.
+std::vector<wfrm::rql::RqlQuery> MakeQueries(const SyntheticWorkload& w,
+                                             size_t n) {
+  std::mt19937 rng(99);
+  std::vector<wfrm::rql::RqlQuery> queries;
+  for (size_t i = 0; i < n; ++i) {
+    auto q = w.RandomQuery(rng);
+    if (q.ok()) queries.push_back(std::move(q).ValueOrDie());
+  }
+  return queries;
+}
+
+void RunRetrieval(benchmark::State& state, RetrievalMode mode,
+                  bool use_indexes, bool naive) {
+  size_t q = static_cast<size_t>(state.range(0));
+  size_t c = static_cast<size_t>(state.range(1));
+  auto w = BuildWorkload(q, c);
+  auto queries = MakeQueries(*w, 64);
+  w->store().set_retrieval_mode(mode);
+  w->store().set_use_indexes(use_indexes);
+
+  size_t i = 0;
+  size_t relevant = 0;
+  for (auto _ : state) {
+    const auto& query = queries[i++ % queries.size()];
+    if (naive) {
+      auto r = w->naive()->RelevantRequirements(
+          query.resource(), query.activity(), query.spec.AsParams());
+      if (r.ok()) relevant += r->size();
+    } else {
+      auto r = w->store().RelevantRequirements(
+          query.resource(), query.activity(), query.spec.AsParams());
+      if (r.ok()) relevant += r->size();
+    }
+  }
+  state.counters["policies"] =
+      static_cast<double>(w->store().num_requirement_rows());
+  state.counters["relevant/query"] =
+      benchmark::Counter(static_cast<double>(relevant),
+                         benchmark::Counter::kAvgIterations);
+}
+
+void BM_Retrieval_Direct(benchmark::State& state) {
+  RunRetrieval(state, RetrievalMode::kDirect, /*use_indexes=*/true,
+               /*naive=*/false);
+}
+void BM_Retrieval_DirectScan(benchmark::State& state) {
+  RunRetrieval(state, RetrievalMode::kDirect, /*use_indexes=*/false,
+               /*naive=*/false);
+}
+void BM_Retrieval_Sql(benchmark::State& state) {
+  RunRetrieval(state, RetrievalMode::kSql, /*use_indexes=*/true,
+               /*naive=*/false);
+}
+void BM_Retrieval_Naive(benchmark::State& state) {
+  RunRetrieval(state, RetrievalMode::kDirect, /*use_indexes=*/true,
+               /*naive=*/true);
+}
+
+// (q, c) pairs: N = 64·q·c policies — 1k, 4k, 16k.
+#define RETRIEVAL_ARGS \
+  Args({4, 4})->Args({8, 8})->Args({16, 16})
+
+BENCHMARK(BM_Retrieval_Direct)->RETRIEVAL_ARGS;
+BENCHMARK(BM_Retrieval_DirectScan)->RETRIEVAL_ARGS;
+BENCHMARK(BM_Retrieval_Sql)->RETRIEVAL_ARGS;
+BENCHMARK(BM_Retrieval_Naive)->RETRIEVAL_ARGS;
+
+// Substitution retrieval (shares the machinery; §4.3 conditions).
+void BM_Retrieval_Substitutions(benchmark::State& state) {
+  SyntheticConfig config;
+  config.num_activities = 64;
+  config.num_resources = 64;
+  config.q = 4;
+  config.c = 4;
+  config.num_substitutions = static_cast<size_t>(state.range(0));
+  auto w = SyntheticWorkload::Build(config);
+  if (!w.ok()) std::abort();
+  auto queries = MakeQueries(**w, 64);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& query = queries[i++ % queries.size()];
+    benchmark::DoNotOptimize((*w)->store().RelevantSubstitutions(
+        query.resource(), query.select->where.get(), query.activity(),
+        query.spec.AsParams()));
+  }
+}
+BENCHMARK(BM_Retrieval_Substitutions)->Arg(64)->Arg(512)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// Scaling behaviour of the policy base (paper §5/§6 parameters):
+// retrieval latency as each model parameter grows — N (total policies),
+// i (intervals per range), hierarchy sizes |A| = |R|, and the number of
+// attributes bound by the query's activity specification.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "policy/synthetic.h"
+
+namespace {
+
+using namespace wfrm::policy;  // NOLINT
+
+void Run(benchmark::State& state, const SyntheticConfig& config) {
+  auto w = SyntheticWorkload::Build(config);
+  if (!w.ok()) std::abort();
+  std::mt19937 rng(17);
+  std::vector<wfrm::rql::RqlQuery> queries;
+  for (int i = 0; i < 32; ++i) {
+    auto q = (*w)->RandomQuery(rng);
+    if (q.ok()) queries.push_back(std::move(q).ValueOrDie());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& query = queries[i++ % queries.size()];
+    benchmark::DoNotOptimize((*w)->store().RelevantRequirements(
+        query.resource(), query.activity(), query.spec.AsParams()));
+  }
+  state.counters["policy_rows"] =
+      static_cast<double>((*w)->store().num_requirement_rows());
+  state.counters["interval_rows"] =
+      static_cast<double>((*w)->store().num_requirement_interval_rows());
+}
+
+// N sweep at fixed |A| = |R| = 64, q = c = sqrt(N/64).
+void BM_Scaling_PolicyCount(benchmark::State& state) {
+  SyntheticConfig config;
+  config.num_activities = 64;
+  config.num_resources = 64;
+  config.q = static_cast<size_t>(state.range(0));
+  config.c = static_cast<size_t>(state.range(0));
+  Run(state, config);
+}
+BENCHMARK(BM_Scaling_PolicyCount)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// i sweep: more intervals per activity range (wider Filter table).
+void BM_Scaling_IntervalsPerRange(benchmark::State& state) {
+  SyntheticConfig config;
+  config.num_activities = 64;
+  config.num_resources = 64;
+  config.q = 8;
+  config.c = 8;
+  config.intervals = static_cast<size_t>(state.range(0));
+  Run(state, config);
+}
+BENCHMARK(BM_Scaling_IntervalsPerRange)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Hierarchy sweep: deeper trees mean longer Ancestor() in-lists
+// (log|A| · log|R| index probes).
+void BM_Scaling_HierarchySize(benchmark::State& state) {
+  SyntheticConfig config;
+  config.num_activities = static_cast<size_t>(state.range(0));
+  config.num_resources = static_cast<size_t>(state.range(0));
+  config.q = 8;
+  config.c = 8;
+  Run(state, config);
+}
+BENCHMARK(BM_Scaling_HierarchySize)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+// Insertion cost: policy decomposition (DNF + interval rows + index
+// maintenance) per requirement policy.
+void BM_Scaling_PolicyInsertion(benchmark::State& state) {
+  SyntheticConfig base;
+  base.num_activities = 64;
+  base.num_resources = 64;
+  base.q = 1;
+  base.c = 1;
+  auto w = SyntheticWorkload::Build(base);
+  if (!w.ok()) std::abort();
+
+  auto parsed = ParsePolicy(
+      "Require Role1 Where Experience > 5 For Act1 "
+      "With Act1_p0 > 100 And Act1_p0 < 200");
+  if (!parsed.ok()) std::abort();
+  const auto& policy = std::get<RequirementPolicy>(*parsed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*w)->store().AddRequirement(policy));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Scaling_PolicyInsertion);
+
+// Disjunctive With clauses: DNF splitting cost by disjunct count.
+void BM_Scaling_DnfSplitting(benchmark::State& state) {
+  SyntheticConfig base;
+  base.num_activities = 64;
+  base.num_resources = 64;
+  base.q = 1;
+  base.c = 1;
+  auto w = SyntheticWorkload::Build(base);
+  if (!w.ok()) std::abort();
+
+  int64_t disjuncts = state.range(0);
+  std::string with;
+  for (int64_t k = 0; k < disjuncts; ++k) {
+    if (k > 0) with += " Or ";
+    with += "(Act1_p0 >= " + std::to_string(k * 100) + " And Act1_p0 < " +
+            std::to_string(k * 100 + 50) + ")";
+  }
+  auto parsed =
+      ParsePolicy("Require Role1 Where Experience > 0 For Act1 With " + with);
+  if (!parsed.ok()) std::abort();
+  const auto& policy = std::get<RequirementPolicy>(*parsed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*w)->store().AddRequirement(policy));
+  }
+  state.counters["rows/policy"] = static_cast<double>(disjuncts);
+}
+BENCHMARK(BM_Scaling_DnfSplitting)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// The paper's running example, end to end: the Figure 4 query is pushed
+// through the three rewritings (Figures 10, 11 and 12) and executed
+// against the Figure 2/3 organization. Allocating the only compliant PA
+// programmer then demonstrates the substitution fallback.
+//
+//   ./build/examples/engineering_staffing
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/resource_manager.h"
+#include "policy/rewriter.h"
+#include "testutil/paper_org.h"
+
+namespace {
+
+using wfrm::Status;
+
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Check(wfrm::Result<T> result) {
+  Check(result.status());
+  return std::move(result).ValueOrDie();
+}
+
+constexpr char kFigure4[] =
+    "Select ContactInfo From Engineer Where Location = 'PA' "
+    "For Programming With NumberOfLines = 35000 And Location = 'Mexico'";
+
+}  // namespace
+
+int main() {
+  auto world = Check(wfrm::testutil::BuildPaperWorld());
+  wfrm::org::OrgModel& org = *world.org;
+  wfrm::policy::PolicyStore& store = *world.store;
+
+  std::cout << "Policy base (paper Figures 5, 6, 8, 9):\n"
+            << wfrm::testutil::kPaperPolicies << "\n\n";
+
+  auto query = Check(wfrm::rql::ParseAndBindRql(kFigure4, org));
+  std::cout << "Figure 4  (initial query):\n  " << query.ToString() << "\n\n";
+
+  wfrm::policy::Rewriter rewriter(&org, &store);
+
+  // -- Figure 10: qualification-based rewriting --------------------------
+  auto fanned = Check(rewriter.RewriteQualification(query));
+  std::cout << "Figure 10 (qualification rewriting, " << fanned.size()
+            << " query/queries):\n";
+  for (const auto& q : fanned) std::cout << "  " << q.ToString() << "\n";
+  std::cout << "\n";
+
+  // -- Figure 11: requirement-based rewriting ----------------------------
+  std::cout << "Figure 11 (requirement rewriting):\n";
+  for (const auto& q : fanned) {
+    auto enhanced = Check(rewriter.RewriteRequirement(q));
+    std::cout << "  " << enhanced.ToString() << "\n";
+  }
+  std::cout << "\n";
+
+  // -- Figure 12: substitution-based rewriting of the initial query ------
+  auto alternatives = Check(rewriter.RewriteSubstitution(query));
+  std::cout << "Figure 12 (substitution rewriting of the initial query):\n";
+  for (const auto& q : alternatives) std::cout << "  " << q.ToString() << "\n";
+  std::cout << "\n";
+
+  // -- Execute through the resource manager ------------------------------
+  wfrm::core::ResourceManager rm(&org, &store);
+  auto outcome = Check(rm.Submit(kFigure4));
+  std::cout << "Execution: " << outcome.candidates.size()
+            << " available, policy-compliant resource(s):\n"
+            << outcome.resources.ToString() << "\n";
+
+  // Allocate bob; the next identical request must fall back to the
+  // Figure 9 substitution policy and staff the Cupertino programmer.
+  auto bob = Check(rm.Acquire(kFigure4));
+  std::cout << "Allocated " << bob.ToString()
+            << "; resubmitting the same request...\n\n";
+  auto fallback = Check(rm.Submit(kFigure4));
+  std::cout << "Substitution used: "
+            << (fallback.used_substitution ? "yes" : "no") << "\n";
+  for (const auto& q : fallback.alternative_queries) {
+    std::cout << "  alternative: " << q << "\n";
+  }
+  std::cout << fallback.resources.ToString();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// The Figure 8 scenario: approval authority depends on the requested
+// amount. Small amounts route to the requester's manager (a nested SQL
+// sub-query against the ReportsTo view); mid-range amounts to the
+// manager's manager (an Oracle-style START WITH / CONNECT BY PRIOR
+// hierarchical sub-query); larger amounts are not covered by any
+// requirement policy, so any manager may approve.
+//
+//   ./build/examples/expense_approval
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/resource_manager.h"
+#include "testutil/paper_org.h"
+
+namespace {
+
+using wfrm::Status;
+
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Check(wfrm::Result<T> result) {
+  Check(result.status());
+  return std::move(result).ValueOrDie();
+}
+
+std::string ApprovalQuery(int64_t amount, const std::string& requester) {
+  return "Select ContactInfo From Manager For Approval With Amount = " +
+         std::to_string(amount) + " And Requester = '" + requester +
+         "' And Location = 'PA'";
+}
+
+}  // namespace
+
+int main() {
+  auto world = Check(wfrm::testutil::BuildPaperWorld());
+  wfrm::core::ResourceManager rm(world.org.get(), world.store.get());
+
+  std::cout << "Management chain: alice -> carol -> dave -> erin\n"
+            << "Figure 8 policies:\n"
+            << "  Amount < 1000          -> the requester's manager\n"
+            << "  1000 < Amount < 5000   -> the manager's manager\n"
+            << "  otherwise              -> no extra requirement\n\n";
+
+  for (int64_t amount : {250, 999, 1001, 2500, 4999, 5000, 9000}) {
+    auto outcome = Check(rm.Submit(ApprovalQuery(amount, "alice")));
+    std::cout << "Expense of $" << amount << " requested by alice:\n";
+    std::cout << "  enforced: " << outcome.primary_queries[0] << "\n";
+    if (outcome.ok()) {
+      std::cout << "  approver candidate(s):";
+      for (const auto& ref : outcome.candidates) {
+        std::cout << " " << ref.id;
+      }
+      std::cout << "\n\n";
+    } else {
+      std::cout << "  " << outcome.status.ToString() << "\n\n";
+    }
+  }
+
+  // The same policies route differently for a different requester:
+  // carol's expenses go to dave (manager) or erin (manager's manager).
+  for (int64_t amount : {500, 2500}) {
+    auto outcome = Check(rm.Submit(ApprovalQuery(amount, "carol")));
+    std::cout << "Expense of $" << amount << " requested by carol -> ";
+    for (const auto& ref : outcome.candidates) std::cout << ref.id << " ";
+    std::cout << "\n";
+  }
+  return 0;
+}

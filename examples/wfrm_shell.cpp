@@ -1,0 +1,324 @@
+// An interactive shell over the three Figure 1 interfaces:
+//
+//   * RDL  — Define ... / Insert ...           (resource definition)
+//   * PL   — Qualify / Require / Substitute    (policy definition)
+//   * RQL  — Select ... For ... With ...       (resource queries)
+//
+// plus management verbs:
+//
+//   policies            list the policy base
+//   allocate <type> <id>  / release <type> <id>
+//   explain <rql>       show the rewritten queries without executing
+//   demo                load the paper's running example
+//   help, quit
+//
+// Run interactively, or pipe a script:
+//   echo "demo
+//   Select ContactInfo From Engineer Where Location = 'PA' For Programming
+//   With NumberOfLines = 35000 And Location = 'Mexico'" | ./build/examples/wfrm_shell
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include <fstream>
+
+#include "core/resource_manager.h"
+#include "org/rdl_dump.h"
+#include "org/rdl_parser.h"
+#include "policy/analyzer.h"
+#include "policy/pl_dump.h"
+#include "policy/policy_manager.h"
+#include "testutil/paper_org.h"
+
+namespace {
+
+using namespace wfrm;  // NOLINT
+
+struct Shell {
+  std::unique_ptr<org::OrgModel> org = std::make_unique<org::OrgModel>();
+  std::unique_ptr<policy::PolicyStore> store =
+      std::make_unique<policy::PolicyStore>(org.get());
+  std::unique_ptr<core::ResourceManager> rm =
+      std::make_unique<core::ResourceManager>(org.get(), store.get());
+
+  void LoadDemo() {
+    auto world = testutil::BuildPaperWorld();
+    if (!world.ok()) {
+      std::cout << "demo failed: " << world.status().ToString() << "\n";
+      return;
+    }
+    org = std::move(world->org);
+    store = std::move(world->store);
+    rm = std::make_unique<core::ResourceManager>(org.get(), store.get());
+    std::cout << "loaded the paper's organization and policy base "
+              << "(Figures 2, 3, 5, 6, 8, 9)\n";
+  }
+
+  void ListPolicies() {
+    for (const auto& q : store->ListQualifications()) {
+      std::cout << "  #" << q.pid << "  " << q.policy.ToString() << "\n";
+    }
+    auto reqs = store->ListRequirements();
+    if (reqs.ok()) {
+      for (const auto& g : *reqs) {
+        std::cout << "  group " << g.group << "  Require " << g.resource;
+        if (!g.where_clause.empty()) {
+          std::cout << " Where " << g.where_clause;
+        }
+        std::cout << " For " << g.activity << "\n";
+        for (const std::string& r : g.ranges) {
+          std::cout << "      With " << r << "\n";
+        }
+      }
+    }
+    auto subs = store->ListSubstitutions();
+    if (subs.ok()) {
+      for (const auto& g : *subs) {
+        std::cout << "  group " << g.group << "  Substitute " << g.resource;
+        if (!g.where_clause.empty()) std::cout << " Where " << g.where_clause;
+        std::cout << " By " << g.substituting_resource;
+        if (!g.substituting_where.empty()) {
+          std::cout << " Where " << g.substituting_where;
+        }
+        std::cout << " For " << g.activity << "\n";
+      }
+    }
+  }
+
+  void Explain(const std::string& rql) {
+    auto query = rql::ParseAndBindRql(rql, *org);
+    if (!query.ok()) {
+      std::cout << "error: " << query.status().ToString() << "\n";
+      return;
+    }
+    policy::PolicyManager pm(org.get(), store.get());
+    auto primary = pm.EnforcePrimary(*query);
+    if (!primary.ok()) {
+      std::cout << "error: " << primary.status().ToString() << "\n";
+      return;
+    }
+    std::cout << "primary (qualification + requirement):\n";
+    if (primary->queries.empty()) {
+      std::cout << "  <closed world: no qualified resource type>\n";
+    }
+    for (const auto& q : primary->queries) {
+      std::cout << "  " << q.ToString() << "\n";
+    }
+    auto alternatives = pm.EnforceAlternatives(*query);
+    if (alternatives.ok() && !alternatives->queries.empty()) {
+      std::cout << "alternatives (if nothing available):\n";
+      for (const auto& q : alternatives->queries) {
+        std::cout << "  " << q.ToString() << "\n";
+      }
+    }
+  }
+
+  void Submit(const std::string& rql) {
+    auto outcome = rm->Submit(rql);
+    if (!outcome.ok()) {
+      std::cout << "error: " << outcome.status().ToString() << "\n";
+      return;
+    }
+    for (const auto& q : outcome->primary_queries) {
+      std::cout << "  enforced: " << q << "\n";
+    }
+    for (const auto& q : outcome->alternative_queries) {
+      std::cout << "  alternative: " << q << "\n";
+    }
+    if (!outcome->ok()) {
+      std::cout << "  " << outcome->status.ToString() << "\n";
+      return;
+    }
+    std::cout << outcome->resources.ToString();
+  }
+
+  // Returns false on quit.
+  bool Dispatch(const std::string& line) {
+    std::istringstream words(line);
+    std::string verb;
+    words >> verb;
+    std::string lower = AsciiToLower(verb);
+
+    if (lower.empty()) return true;
+    if (lower == "quit" || lower == "exit") return false;
+    if (lower == "help") {
+      std::cout
+          << "  Define/Insert ...   RDL (types, relationships, resources)\n"
+          << "  Qualify/Require/Substitute ...   PL (policies)\n"
+          << "  Select ... For ... With ...      RQL (resource query)\n"
+          << "  explain <rql>       show rewritings only\n"
+          << "  why <rql>           per-policy applicability verdicts\n"
+          << "  policies            list the policy base\n"
+          << "  allocate <type> <id> | release <type> <id>\n"
+          << "  analyze             policy-base consistency report\n"
+          << "  save <file> | load <file>\n"
+          << "  demo                load the paper's example org\n"
+          << "  quit\n";
+      return true;
+    }
+    if (lower == "demo") {
+      LoadDemo();
+      return true;
+    }
+    if (lower == "save" || lower == "load") {
+      std::string path;
+      words >> path;
+      if (path.empty()) {
+        std::cout << "usage: " << lower << " <file>\n";
+        return true;
+      }
+      if (lower == "save") {
+        auto rdl = wfrm::org::DumpRdl(*org);
+        auto pl = wfrm::policy::DumpPl(*store);
+        if (!rdl.ok() || !pl.ok()) {
+          std::cout << (rdl.ok() ? pl.status() : rdl.status()).ToString()
+                    << "\n";
+          return true;
+        }
+        std::ofstream out(path);
+        out << *rdl << "-- POLICIES --\n" << *pl;
+        std::cout << (out.good() ? "saved " + path : "write failed") << "\n";
+        return true;
+      }
+      std::ifstream in(path);
+      if (!in) {
+        std::cout << "cannot open " << path << "\n";
+        return true;
+      }
+      std::string content((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+      size_t split = content.find("-- POLICIES --");
+      std::string rdl_part = content.substr(0, split);
+      std::string pl_part =
+          split == std::string::npos ? "" : content.substr(split + 14);
+      auto fresh_org = std::make_unique<wfrm::org::OrgModel>();
+      Status st = wfrm::org::ExecuteRdl(rdl_part, fresh_org.get());
+      if (!st.ok()) {
+        std::cout << "load failed: " << st.ToString() << "\n";
+        return true;
+      }
+      auto fresh_store =
+          std::make_unique<wfrm::policy::PolicyStore>(fresh_org.get());
+      if (!pl_part.empty()) {
+        st = fresh_store->AddPolicyText(pl_part);
+        if (!st.ok()) {
+          std::cout << "load failed: " << st.ToString() << "\n";
+          return true;
+        }
+      }
+      org = std::move(fresh_org);
+      store = std::move(fresh_store);
+      rm = std::make_unique<wfrm::core::ResourceManager>(org.get(),
+                                                         store.get());
+      std::cout << "loaded " << path << "\n";
+      return true;
+    }
+    if (lower == "why") {
+      std::string rql = line.substr(line.find(verb) + verb.size());
+      auto query = rql::ParseAndBindRql(rql, *org);
+      if (!query.ok()) {
+        std::cout << "error: " << query.status().ToString() << "\n";
+        return true;
+      }
+      auto quals =
+          store->QualifiedSubtypes(query->resource(), query->activity());
+      if (quals.ok()) {
+        std::cout << "qualification (CWA): ";
+        if (quals->empty()) {
+          std::cout << "NO sub-type of " << query->resource()
+                    << " is qualified for " << query->activity() << "\n";
+        } else {
+          for (const auto& t : *quals) std::cout << t << " ";
+          std::cout << "\n";
+        }
+      }
+      auto diags = store->DiagnoseRequirements(
+          query->resource(), query->activity(), query->spec.AsParams());
+      if (!diags.ok()) {
+        std::cout << "error: " << diags.status().ToString() << "\n";
+        return true;
+      }
+      using V = wfrm::policy::PolicyStore::RequirementDiagnosis::Verdict;
+      for (const auto& d : *diags) {
+        const char* verdict = d.verdict == V::kApplied ? "APPLIED "
+                              : d.verdict == V::kResourceMismatch
+                                  ? "resource"
+                              : d.verdict == V::kActivityMismatch
+                                  ? "activity"
+                                  : "range   ";
+        std::cout << "  [" << verdict << "] group " << d.group << " ("
+                  << d.resource << " / " << d.activity << "): " << d.detail
+                  << "\n";
+      }
+      return true;
+    }
+    if (lower == "analyze") {
+      wfrm::policy::PolicyAnalyzer analyzer(store.get());
+      auto report = analyzer.Report();
+      std::cout << (report.ok() ? *report : report.status().ToString())
+                << "\n";
+      return true;
+    }
+    if (lower == "policies") {
+      ListPolicies();
+      return true;
+    }
+    if (lower == "allocate" || lower == "release") {
+      std::string type, id;
+      words >> type >> id;
+      if (type.empty() || id.empty()) {
+        std::cout << "usage: " << lower << " <type> <id>\n";
+        return true;
+      }
+      org::ResourceRef ref{type, id};
+      Status st = lower == "allocate" ? rm->Allocate(ref) : rm->Release(ref);
+      std::cout << (st.ok() ? "ok" : st.ToString()) << "\n";
+      return true;
+    }
+    if (lower == "explain") {
+      Explain(line.substr(line.find(verb) + verb.size()));
+      return true;
+    }
+    if (lower == "define" || lower == "insert") {
+      Status st = org::ExecuteRdl(line, org.get());
+      std::cout << (st.ok() ? "ok" : st.ToString()) << "\n";
+      return true;
+    }
+    if (lower == "qualify" || lower == "require" || lower == "substitute") {
+      Status st = store->AddPolicyText(line);
+      std::cout << (st.ok() ? "ok" : st.ToString()) << "\n";
+      return true;
+    }
+    if (lower == "select") {
+      Submit(line);
+      return true;
+    }
+    std::cout << "unknown command '" << verb << "' (try: help)\n";
+    return true;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  std::cout << "wfrm shell — type 'help' for commands, 'demo' to load the "
+               "paper's example.\n";
+  std::string line;
+  // Statements may span lines; a line ending in '\' continues.
+  while (true) {
+    std::cout << "wfrm> " << std::flush;
+    std::string statement;
+    while (true) {
+      if (!std::getline(std::cin, line)) return 0;
+      if (!line.empty() && line.back() == '\\') {
+        statement += line.substr(0, line.size() - 1) + " ";
+        continue;
+      }
+      statement += line;
+      break;
+    }
+    if (!shell.Dispatch(statement)) return 0;
+  }
+}

@@ -1,0 +1,90 @@
+#ifndef WFRM_COMMON_RESULT_H_
+#define WFRM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace wfrm {
+
+/// Value-or-Status, in the style of arrow::Result.
+///
+/// A Result<T> holds either a T or a non-OK Status. Construction from a
+/// Status with code kOk is a programming error (asserted).
+template <typename T>
+class Result {
+ public:
+  using ValueType = T;
+
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : rep_(std::move(status)) {
+    assert(!std::get<Status>(rep_).ok());
+  }
+
+  /// Constructs a successful result.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : rep_(std::move(value)) {}
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// Returns the status: OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// Accesses the held value. Requires ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `fallback` on failure.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+/// Evaluates an expression producing a Result; on failure returns the
+/// status from the enclosing function, otherwise assigns the value to
+/// `lhs` (which must be a declaration or assignable lvalue).
+#define WFRM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define WFRM_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define WFRM_ASSIGN_OR_RETURN_NAME(a, b) WFRM_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define WFRM_ASSIGN_OR_RETURN(lhs, expr) \
+  WFRM_ASSIGN_OR_RETURN_IMPL(            \
+      WFRM_ASSIGN_OR_RETURN_NAME(_wfrm_result_, __LINE__), lhs, expr)
+
+}  // namespace wfrm
+
+#endif  // WFRM_COMMON_RESULT_H_

@@ -1,0 +1,49 @@
+#include "common/status.h"
+
+namespace wfrm {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kParseError:
+      return "parse error";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kTypeError:
+      return "type error";
+    case StatusCode::kExecutionError:
+      return "execution error";
+    case StatusCode::kPolicyViolation:
+      return "policy violation";
+    case StatusCode::kNoQualifiedResource:
+      return "no qualified resource";
+    case StatusCode::kResourceUnavailable:
+      return "resource unavailable";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal error";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  if (!message().empty()) {
+    out += ": ";
+    out += message();
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace wfrm

@@ -1,0 +1,135 @@
+#ifndef WFRM_COMMON_STATUS_H_
+#define WFRM_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace wfrm {
+
+/// Machine-readable classification of an error.
+///
+/// The codes mirror the failure surfaces of the system: parsing of the
+/// resource query / policy languages, catalog and schema resolution,
+/// execution of relational plans, policy-base consistency, and resource
+/// allocation outcomes.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kNotFound,
+  kAlreadyExists,
+  kTypeError,
+  kExecutionError,
+  kPolicyViolation,
+  kNoQualifiedResource,
+  kResourceUnavailable,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns the canonical lower-case name of a status code ("parse error").
+const char* StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object: cheap to pass by value when OK
+/// (single pointer), carries a code and message otherwise.
+///
+/// Public APIs in this library report failure through Status/Result rather
+/// than exceptions.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status PolicyViolation(std::string msg) {
+    return Status(StatusCode::kPolicyViolation, std::move(msg));
+  }
+  static Status NoQualifiedResource(std::string msg) {
+    return Status(StatusCode::kNoQualifiedResource, std::move(msg));
+  }
+  static Status ResourceUnavailable(std::string msg) {
+    return Status(StatusCode::kResourceUnavailable, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsPolicyViolation() const {
+    return code() == StatusCode::kPolicyViolation;
+  }
+  bool IsNoQualifiedResource() const {
+    return code() == StatusCode::kNoQualifiedResource;
+  }
+  bool IsResourceUnavailable() const {
+    return code() == StatusCode::kResourceUnavailable;
+  }
+
+  /// Renders "<code>: <message>" (or "OK").
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // Null means OK; shared so Status copies are cheap and value-like.
+  std::shared_ptr<const Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Evaluates an expression producing a Status and returns it from the
+/// enclosing function if it is not OK.
+#define WFRM_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::wfrm::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+}  // namespace wfrm
+
+#endif  // WFRM_COMMON_STATUS_H_

@@ -1,0 +1,186 @@
+#include "core/resource_manager.h"
+
+#include "rel/executor.h"
+
+namespace wfrm::core {
+
+Result<size_t> ResourceManager::RunQueries(
+    const std::vector<rql::RqlQuery>& queries, QueryOutcome* outcome) const {
+  rel::ExecOptions opts;
+  opts.use_indexes = options_.use_indexes;
+  rel::Executor exec(&org_->db(), opts);
+
+  size_t found = 0;
+  for (const rql::RqlQuery& query : queries) {
+    // Execute with Id prepended so availability and allocation can be
+    // tracked; the user's projection follows.
+    rel::SelectPtr select = query.select->Clone();
+    {
+      rel::SelectItem id_item;
+      id_item.expr = rel::MakeColumnRef("Id");
+      id_item.alias = "Id";
+      select->items.insert(select->items.begin(), std::move(id_item));
+    }
+    WFRM_ASSIGN_OR_RETURN(rel::ResultSet rs,
+                          exec.Execute(*select, query.spec.AsParams()));
+
+    // Result schema: ResourceType, Id, then the user's columns.
+    if (outcome->resources.schema.num_columns() == 0) {
+      rel::Schema schema;
+      schema.AddColumn({"ResourceType", rel::DataType::kString});
+      for (const rel::Column& c : rs.schema.columns()) schema.AddColumn(c);
+      outcome->resources.schema = std::move(schema);
+    }
+    const std::string& type = query.resource();
+    for (rel::Row& row : rs.rows) {
+      org::ResourceRef ref{type, row[0].string_value()};
+      if (IsAllocated(ref)) continue;  // Busy resources are unavailable.
+      rel::Row out;
+      out.reserve(row.size() + 1);
+      out.push_back(rel::Value::String(type));
+      for (rel::Value& v : row) out.push_back(std::move(v));
+      outcome->resources.rows.push_back(std::move(out));
+      outcome->candidates.push_back(std::move(ref));
+      ++found;
+    }
+  }
+  return found;
+}
+
+Result<QueryOutcome> ResourceManager::Submit(
+    const rql::RqlQuery& query) const {
+  QueryOutcome outcome;
+  outcome.status = Status::OK();
+
+  // Stage 1+2 (§4.1, §4.2): qualification fan-out, requirement
+  // enhancement.
+  WFRM_ASSIGN_OR_RETURN(policy::EnforcedQueries primary,
+                        policy_manager_.EnforcePrimary(query));
+  for (const rql::RqlQuery& q : primary.queries) {
+    outcome.primary_queries.push_back(q.ToString());
+  }
+  if (primary.queries.empty()) {
+    // CWA: no resource type is qualified for this activity.
+    outcome.status = Status::NoQualifiedResource(
+        "no qualification policy permits any sub-type of '" +
+        query.resource() + "' to carry out activity '" + query.activity() +
+        "'");
+    return outcome;
+  }
+
+  WFRM_ASSIGN_OR_RETURN(size_t found, RunQueries(primary.queries, &outcome));
+  if (found > 0) return outcome;
+
+  // Stage 3 (§4.3): the *initial* query is re-sent for substitution;
+  // alternatives re-enter qualification + requirement. By default a
+  // single round (never transitive, §1.2); additional rounds are the
+  // opt-in recursive extension.
+  if (options_.enable_substitution && options_.max_substitution_rounds > 0) {
+    WFRM_ASSIGN_OR_RETURN(
+        std::vector<policy::EnforcedQueries> rounds,
+        policy_manager_.EnforceAlternativesRounds(
+            query, options_.max_substitution_rounds));
+    for (const policy::EnforcedQueries& alternatives : rounds) {
+      if (alternatives.queries.empty()) continue;
+      outcome.used_substitution = true;
+      for (const rql::RqlQuery& q : alternatives.queries) {
+        outcome.alternative_queries.push_back(q.ToString());
+      }
+      WFRM_ASSIGN_OR_RETURN(found, RunQueries(alternatives.queries, &outcome));
+      if (found > 0) return outcome;
+    }
+  }
+
+  outcome.status = Status::ResourceUnavailable(
+      "no available resource satisfies the enforced queries" +
+      std::string(outcome.used_substitution ? " (substitution attempted)"
+                                            : ""));
+  return outcome;
+}
+
+Result<QueryOutcome> ResourceManager::Submit(std::string_view rql_text) const {
+  WFRM_ASSIGN_OR_RETURN(rql::RqlQuery query,
+                        rql::ParseAndBindRql(rql_text, *org_));
+  return Submit(query);
+}
+
+size_t ResourceManager::PickCandidate(
+    const std::vector<org::ResourceRef>& candidates) {
+  switch (options_.allocation_strategy) {
+    case AllocationStrategy::kFirst:
+      return 0;
+    case AllocationStrategy::kRoundRobin:
+      return static_cast<size_t>(acquire_count_ % candidates.size());
+    case AllocationStrategy::kLeastRecentlyUsed: {
+      size_t best = 0;
+      uint64_t best_time = ~0ull;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        auto it = last_allocated_.find(candidates[i]);
+        uint64_t t = it == last_allocated_.end() ? 0 : it->second;
+        if (t < best_time) {
+          best_time = t;
+          best = i;
+        }
+      }
+      return best;
+    }
+    case AllocationStrategy::kRandom: {
+      if (!rng_seeded_) {
+        rng_.seed(options_.random_seed);
+        rng_seeded_ = true;
+      }
+      std::uniform_int_distribution<size_t> dist(0, candidates.size() - 1);
+      return dist(rng_);
+    }
+  }
+  return 0;
+}
+
+Result<org::ResourceRef> ResourceManager::Acquire(std::string_view rql_text) {
+  // Concurrent acquirers race between Submit's availability snapshot and
+  // the allocation; losing a race is handled by trying the remaining
+  // candidates and, if all were snapped up, re-submitting (the fresh
+  // snapshot excludes them). Bounded to rule out livelock.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    WFRM_ASSIGN_OR_RETURN(QueryOutcome outcome, Submit(rql_text));
+    if (!outcome.ok()) return outcome.status;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++acquire_count_;
+    size_t start = PickCandidate(outcome.candidates);
+    for (size_t i = 0; i < outcome.candidates.size(); ++i) {
+      const org::ResourceRef& ref =
+          outcome.candidates[(start + i) % outcome.candidates.size()];
+      if (allocated_.insert(ref).second) {
+        last_allocated_[ref] = ++logical_clock_;
+        return ref;
+      }
+    }
+    // Every candidate was claimed by a concurrent acquirer; retry with a
+    // fresh snapshot.
+  }
+  return Status::ResourceUnavailable(
+      "could not claim any candidate under concurrent contention");
+}
+
+Status ResourceManager::Allocate(const org::ResourceRef& ref) {
+  // The resource must exist.
+  WFRM_RETURN_NOT_OK(org_->GetResource(ref).status());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!allocated_.insert(ref).second) {
+    return Status::ResourceUnavailable("resource " + ref.ToString() +
+                                       " is already allocated");
+  }
+  return Status::OK();
+}
+
+Status ResourceManager::Release(const org::ResourceRef& ref) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (allocated_.erase(ref) == 0) {
+    return Status::NotFound("resource " + ref.ToString() +
+                            " is not allocated");
+  }
+  return Status::OK();
+}
+
+}  // namespace wfrm::core

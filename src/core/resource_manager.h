@@ -1,0 +1,154 @@
+#ifndef WFRM_CORE_RESOURCE_MANAGER_H_
+#define WFRM_CORE_RESOURCE_MANAGER_H_
+
+#include <map>
+#include <mutex>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "org/org_model.h"
+#include "policy/policy_manager.h"
+#include "policy/policy_store.h"
+#include "rql/rql.h"
+
+namespace wfrm::core {
+
+/// How Acquire() picks among multiple available candidates.
+enum class AllocationStrategy {
+  /// The first candidate in enforced-query order (deterministic; primary
+  /// queries before alternatives).
+  kFirst,
+  /// Rotate through candidates across calls (fair under contention).
+  kRoundRobin,
+  /// The candidate least recently allocated by this manager (workload
+  /// spreading with memory across releases).
+  kLeastRecentlyUsed,
+  /// Uniformly random among candidates (seeded, reproducible).
+  kRandom,
+};
+
+struct ResourceManagerOptions {
+  /// Disable to stop after the primary rewriting (no §4.3 fallback).
+  bool enable_substitution = true;
+  /// How many substitution rounds to attempt when nothing is available.
+  /// The paper fixes this at 1 ("we choose not to substitute the
+  /// requested resources more than once", §1.2); larger values enable
+  /// the recursive variant the paper discusses and rejects — rounds stop
+  /// at the first one that yields available resources, and cycles are
+  /// never re-explored.
+  size_t max_substitution_rounds = 1;
+  /// Index usage for resource retrieval (the org database).
+  bool use_indexes = true;
+  /// Candidate choice in Acquire().
+  AllocationStrategy allocation_strategy = AllocationStrategy::kFirst;
+  /// Seed for AllocationStrategy::kRandom.
+  uint64_t random_seed = 42;
+};
+
+/// Trace + result of one resource request through the Figure 1 pipeline.
+struct QueryOutcome {
+  /// kOk — resources found (possibly via substitution);
+  /// kNoQualifiedResource — the CWA ruled out every resource type (§3.1);
+  /// kResourceUnavailable — rewritten queries (and alternatives, §2.1)
+  /// matched nothing available.
+  Status status;
+
+  /// The §4.1+§4.2 enforced queries, rendered.
+  std::vector<std::string> primary_queries;
+  /// The §4.3 alternatives (each re-enforced), rendered; empty when the
+  /// primary round succeeded or substitution is disabled.
+  std::vector<std::string> alternative_queries;
+  bool used_substitution = false;
+
+  /// Matching *available* resources: ResourceType, Id, then the query's
+  /// select list.
+  rel::ResultSet resources;
+  /// The same resources as references, aligned with `resources.rows`.
+  std::vector<org::ResourceRef> candidates;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// The resource manager per se plus the query processor of Figure 1:
+/// accepts RQL, runs policy enforcement, executes the enforced queries
+/// against the organization's resource tables, applies availability, and
+/// falls back to substitution alternatives exactly once.
+///
+/// Availability is allocation-based: Allocate() marks a resource busy;
+/// busy resources never appear in query outcomes until Release()d.
+///
+/// Thread safety: allocation bookkeeping (Allocate / Release /
+/// IsAllocated / Acquire) is internally synchronized, and Acquire claims
+/// a candidate atomically (two threads acquiring concurrently never
+/// receive the same resource; the loser falls through to the next
+/// candidate or to substitution). The org model and policy store must
+/// not be mutated concurrently with queries.
+class ResourceManager {
+ public:
+  ResourceManager(org::OrgModel* org, policy::PolicyStore* store,
+                  ResourceManagerOptions options = {})
+      : org_(org),
+        store_(store),
+        options_(options),
+        policy_manager_(org, store) {}
+
+  /// Parses, binds, enforces and executes an RQL request.
+  Result<QueryOutcome> Submit(std::string_view rql_text) const;
+
+  /// Same for an already parsed-and-bound query.
+  Result<QueryOutcome> Submit(const rql::RqlQuery& query) const;
+
+  /// Submits and allocates a candidate chosen by the configured
+  /// allocation strategy, atomically with respect to concurrent
+  /// Acquire() calls.
+  Result<org::ResourceRef> Acquire(std::string_view rql_text);
+
+  // ---- Allocation bookkeeping ------------------------------------------
+
+  Status Allocate(const org::ResourceRef& ref);
+  Status Release(const org::ResourceRef& ref);
+  bool IsAllocated(const org::ResourceRef& ref) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return allocated_.count(ref) > 0;
+  }
+  size_t num_allocated() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return allocated_.size();
+  }
+
+  const policy::PolicyManager& policy_manager() const {
+    return policy_manager_;
+  }
+  org::OrgModel& org() { return *org_; }
+
+ private:
+  /// Executes enforced queries; appends hits to `outcome`. Returns the
+  /// number of available resources found.
+  Result<size_t> RunQueries(const std::vector<rql::RqlQuery>& queries,
+                            QueryOutcome* outcome) const;
+
+  /// Applies the configured allocation strategy to a non-empty
+  /// candidate list; returns the chosen index.
+  size_t PickCandidate(const std::vector<org::ResourceRef>& candidates);
+
+  org::OrgModel* org_;
+  policy::PolicyStore* store_;
+  ResourceManagerOptions options_;
+  policy::PolicyManager policy_manager_;
+  /// Guards allocated_ and the strategy state.
+  mutable std::mutex mutex_;
+  std::set<org::ResourceRef> allocated_;
+  // Strategy state (guarded by mutex_).
+  uint64_t acquire_count_ = 0;
+  uint64_t logical_clock_ = 0;
+  std::map<org::ResourceRef, uint64_t> last_allocated_;
+  std::mt19937_64 rng_{42};
+  bool rng_seeded_ = false;
+};
+
+}  // namespace wfrm::core
+
+#endif  // WFRM_CORE_RESOURCE_MANAGER_H_

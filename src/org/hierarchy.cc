@@ -1,0 +1,166 @@
+#include "org/hierarchy.h"
+
+namespace wfrm::org {
+
+Result<size_t> TypeHierarchy::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("unknown " + kind_ + " type '" + name + "'");
+  }
+  return it->second;
+}
+
+Status TypeHierarchy::AddType(const std::string& name,
+                              const std::string& parent,
+                              std::vector<AttributeDef> attributes) {
+  if (name.empty()) {
+    return Status::InvalidArgument("type name must not be empty");
+  }
+  if (Contains(name)) {
+    return Status::AlreadyExists(kind_ + " type '" + name +
+                                 "' already declared");
+  }
+  std::optional<size_t> parent_idx;
+  if (!parent.empty()) {
+    WFRM_ASSIGN_OR_RETURN(size_t p, IndexOf(parent));
+    parent_idx = p;
+  }
+  // Check collisions between own attributes and the inherited set, and
+  // among own attributes themselves.
+  std::vector<AttributeDef> inherited;
+  if (parent_idx) {
+    WFRM_ASSIGN_OR_RETURN(inherited, AttributesOf(nodes_[*parent_idx].name));
+  }
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    for (const AttributeDef& a : inherited) {
+      if (EqualsIgnoreCase(a.name, attributes[i].name)) {
+        return Status::InvalidArgument(
+            "attribute '" + attributes[i].name + "' of " + kind_ + " type '" +
+            name + "' collides with an inherited attribute");
+      }
+    }
+    for (size_t j = i + 1; j < attributes.size(); ++j) {
+      if (EqualsIgnoreCase(attributes[i].name, attributes[j].name)) {
+        return Status::InvalidArgument("duplicate attribute '" +
+                                       attributes[i].name + "' on type '" +
+                                       name + "'");
+      }
+    }
+  }
+
+  Node node;
+  node.name = name;
+  node.parent = parent_idx;
+  node.own_attributes = std::move(attributes);
+  nodes_.push_back(std::move(node));
+  size_t idx = nodes_.size() - 1;
+  index_[name] = idx;
+  if (parent_idx) nodes_[*parent_idx].children.push_back(idx);
+  return Status::OK();
+}
+
+Result<std::string> TypeHierarchy::Canonical(const std::string& name) const {
+  WFRM_ASSIGN_OR_RETURN(size_t idx, IndexOf(name));
+  return nodes_[idx].name;
+}
+
+Result<std::optional<std::string>> TypeHierarchy::ParentOf(
+    const std::string& name) const {
+  WFRM_ASSIGN_OR_RETURN(size_t idx, IndexOf(name));
+  if (!nodes_[idx].parent) return std::optional<std::string>{};
+  return std::optional<std::string>{nodes_[*nodes_[idx].parent].name};
+}
+
+Result<std::vector<std::string>> TypeHierarchy::Ancestors(
+    const std::string& name) const {
+  WFRM_ASSIGN_OR_RETURN(size_t idx, IndexOf(name));
+  std::vector<std::string> out;
+  std::optional<size_t> cur = idx;
+  while (cur) {
+    out.push_back(nodes_[*cur].name);
+    cur = nodes_[*cur].parent;
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> TypeHierarchy::Descendants(
+    const std::string& name) const {
+  WFRM_ASSIGN_OR_RETURN(size_t root, IndexOf(name));
+  std::vector<std::string> out;
+  std::vector<size_t> stack = {root};
+  while (!stack.empty()) {
+    size_t cur = stack.back();
+    stack.pop_back();
+    out.push_back(nodes_[cur].name);
+    // Push children in reverse so preorder lists them left-to-right.
+    const auto& ch = nodes_[cur].children;
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> TypeHierarchy::Children(
+    const std::string& name) const {
+  WFRM_ASSIGN_OR_RETURN(size_t idx, IndexOf(name));
+  std::vector<std::string> out;
+  for (size_t c : nodes_[idx].children) out.push_back(nodes_[c].name);
+  return out;
+}
+
+Result<bool> TypeHierarchy::IsSubtypeOf(const std::string& sub,
+                                        const std::string& super) const {
+  WFRM_ASSIGN_OR_RETURN(size_t sub_idx, IndexOf(sub));
+  WFRM_ASSIGN_OR_RETURN(size_t super_idx, IndexOf(super));
+  std::optional<size_t> cur = sub_idx;
+  while (cur) {
+    if (*cur == super_idx) return true;
+    cur = nodes_[*cur].parent;
+  }
+  return false;
+}
+
+Result<std::vector<AttributeDef>> TypeHierarchy::AttributesOf(
+    const std::string& name) const {
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> chain, Ancestors(name));
+  std::vector<AttributeDef> out;
+  // Root-most first.
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    size_t idx = index_.at(*it);
+    for (const AttributeDef& a : nodes_[idx].own_attributes) {
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+Result<AttributeDef> TypeHierarchy::FindAttribute(
+    const std::string& type, const std::string& attribute) const {
+  WFRM_ASSIGN_OR_RETURN(std::vector<AttributeDef> attrs, AttributesOf(type));
+  for (const AttributeDef& a : attrs) {
+    if (EqualsIgnoreCase(a.name, attribute)) return a;
+  }
+  return Status::NotFound("attribute '" + attribute + "' not defined on " +
+                          kind_ + " type '" + type + "' or its ancestors");
+}
+
+Result<size_t> TypeHierarchy::DepthOf(const std::string& name) const {
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> chain, Ancestors(name));
+  return chain.size() - 1;
+}
+
+std::vector<std::string> TypeHierarchy::Roots() const {
+  std::vector<std::string> out;
+  for (const Node& n : nodes_) {
+    if (!n.parent) out.push_back(n.name);
+  }
+  return out;
+}
+
+std::vector<std::string> TypeHierarchy::AllTypes() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const Node& n : nodes_) out.push_back(n.name);
+  return out;
+}
+
+}  // namespace wfrm::org

@@ -1,0 +1,97 @@
+#ifndef WFRM_ORG_HIERARCHY_H_
+#define WFRM_ORG_HIERARCHY_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/strings.h"
+#include "rel/schema.h"
+
+namespace wfrm::org {
+
+/// Declared attribute of a resource or activity type.
+struct AttributeDef {
+  std::string name;
+  rel::DataType type;
+};
+
+/// A classification hierarchy of types (paper §2.2, Figure 2): a forest
+/// of named types where every type inherits all attributes of its
+/// ancestors. Used twice — once for resource roles, once for activity
+/// types. Names are case-insensitive.
+class TypeHierarchy {
+ public:
+  explicit TypeHierarchy(std::string kind) : kind_(std::move(kind)) {}
+
+  /// Declares a type. `parent` empty declares a root. Fails if the name
+  /// exists, the parent is unknown, or an own attribute collides with an
+  /// inherited one.
+  Status AddType(const std::string& name, const std::string& parent,
+                 std::vector<AttributeDef> attributes = {});
+
+  bool Contains(const std::string& name) const {
+    return index_.find(name) != index_.end();
+  }
+
+  /// Canonical spelling of a type name as declared.
+  Result<std::string> Canonical(const std::string& name) const;
+
+  /// Parent type, or nullopt for roots. Fails on unknown type.
+  Result<std::optional<std::string>> ParentOf(const std::string& name) const;
+
+  /// [name, parent, grandparent, ..., root]. Includes the type itself,
+  /// matching the paper's Ancestor() in Figure 13.
+  Result<std::vector<std::string>> Ancestors(const std::string& name) const;
+
+  /// All sub-types including the type itself, preorder.
+  Result<std::vector<std::string>> Descendants(const std::string& name) const;
+
+  /// Direct children.
+  Result<std::vector<std::string>> Children(const std::string& name) const;
+
+  /// True iff `sub` is `super` or a descendant of it.
+  Result<bool> IsSubtypeOf(const std::string& sub,
+                           const std::string& super) const;
+
+  /// All attributes visible on `name`: inherited first (root-most first),
+  /// then own.
+  Result<std::vector<AttributeDef>> AttributesOf(const std::string& name) const;
+
+  /// Attribute lookup by (type, attribute name); searches the inheritance
+  /// chain. NotFound if absent.
+  Result<AttributeDef> FindAttribute(const std::string& type,
+                                     const std::string& attribute) const;
+
+  /// Depth of the type: roots have depth 0.
+  Result<size_t> DepthOf(const std::string& name) const;
+
+  std::vector<std::string> Roots() const;
+  std::vector<std::string> AllTypes() const;
+  size_t size() const { return nodes_.size(); }
+
+  /// Which hierarchy this is ("resource" / "activity"), for messages.
+  const std::string& kind() const { return kind_; }
+
+ private:
+  struct Node {
+    std::string name;
+    std::optional<size_t> parent;
+    std::vector<size_t> children;
+    std::vector<AttributeDef> own_attributes;
+  };
+
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  std::string kind_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::string, size_t, CaseInsensitiveHash,
+                     CaseInsensitiveEq>
+      index_;
+};
+
+}  // namespace wfrm::org
+
+#endif  // WFRM_ORG_HIERARCHY_H_

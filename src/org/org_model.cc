@@ -1,0 +1,125 @@
+#include "org/org_model.h"
+
+#include "rel/parser.h"
+
+namespace wfrm::org {
+
+OrgModel::OrgModel() : resources_("resource"), activities_("activity") {}
+
+Status OrgModel::DefineResourceType(const std::string& name,
+                                    const std::string& parent,
+                                    std::vector<AttributeDef> attributes) {
+  for (const AttributeDef& a : attributes) {
+    if (EqualsIgnoreCase(a.name, "Id")) {
+      return Status::InvalidArgument(
+          "'Id' is implicit on every resource type and cannot be redeclared");
+    }
+  }
+  WFRM_RETURN_NOT_OK(resources_.AddType(name, parent, std::move(attributes)));
+  WFRM_ASSIGN_OR_RETURN(rel::Schema schema, ResourceSchema(name));
+  WFRM_ASSIGN_OR_RETURN(rel::Table * table, db_.CreateTable(name, schema));
+  // Id is the access path for allocation bookkeeping and joins.
+  WFRM_RETURN_NOT_OK(table->CreateHashIndex(name + "_by_id", {"Id"}));
+  return Status::OK();
+}
+
+Status OrgModel::DefineActivityType(const std::string& name,
+                                    const std::string& parent,
+                                    std::vector<AttributeDef> attributes) {
+  return activities_.AddType(name, parent, std::move(attributes));
+}
+
+Result<rel::Schema> OrgModel::ResourceSchema(const std::string& type) const {
+  WFRM_ASSIGN_OR_RETURN(std::vector<AttributeDef> attrs,
+                        resources_.AttributesOf(type));
+  rel::Schema schema;
+  schema.AddColumn({"Id", rel::DataType::kString});
+  for (const AttributeDef& a : attrs) schema.AddColumn({a.name, a.type});
+  return schema;
+}
+
+Result<ResourceRef> OrgModel::AddResource(
+    const std::string& type, const std::string& id,
+    const std::map<std::string, rel::Value>& values) {
+  WFRM_ASSIGN_OR_RETURN(std::string canonical, resources_.Canonical(type));
+  rel::Table* table = db_.GetTable(canonical);
+  if (table == nullptr) {
+    return Status::Internal("resource type '" + canonical +
+                            "' has no backing table");
+  }
+  if (id.empty()) {
+    return Status::InvalidArgument("resource id must not be empty");
+  }
+  // Uniqueness of Id within the type.
+  const rel::HashIndex* by_id = table->hash_indexes()[0].get();
+  if (!by_id->Lookup({rel::Value::String(id)}).empty()) {
+    return Status::AlreadyExists("resource '" + canonical + ":" + id +
+                                 "' already exists");
+  }
+
+  const rel::Schema& schema = table->schema();
+  rel::Row row(schema.num_columns(), rel::Value::Null());
+  row[0] = rel::Value::String(id);
+  for (const auto& [attr, value] : values) {
+    auto col = schema.FindColumn(attr);
+    if (!col) {
+      return Status::NotFound("attribute '" + attr + "' not defined on '" +
+                              canonical + "'");
+    }
+    if (*col == 0) {
+      return Status::InvalidArgument("'Id' is passed separately");
+    }
+    row[*col] = value;
+  }
+  WFRM_ASSIGN_OR_RETURN(rel::RowId rid, table->Insert(std::move(row)));
+  (void)rid;
+  return ResourceRef{canonical, id};
+}
+
+Result<rel::Row> OrgModel::GetResource(const ResourceRef& ref) const {
+  const rel::Table* table = db_.GetTable(ref.type);
+  if (table == nullptr) {
+    return Status::NotFound("unknown resource type '" + ref.type + "'");
+  }
+  const rel::HashIndex* by_id = table->hash_indexes()[0].get();
+  std::vector<rel::RowId> rids = by_id->Lookup({rel::Value::String(ref.id)});
+  for (rel::RowId rid : rids) {
+    if (table->IsLive(rid)) return table->row(rid);
+  }
+  return Status::NotFound("resource '" + ref.ToString() + "' not found");
+}
+
+Status OrgModel::DefineRelationship(const std::string& name,
+                                    std::vector<rel::Column> columns) {
+  WFRM_ASSIGN_OR_RETURN(rel::Table * table,
+                        db_.CreateTable(name, rel::Schema(std::move(columns))));
+  (void)table;
+  return Status::OK();
+}
+
+Status OrgModel::AddRelationshipTuple(const std::string& name, rel::Row row) {
+  rel::Table* table = db_.GetTable(name);
+  if (table == nullptr) {
+    return Status::NotFound("unknown relationship '" + name + "'");
+  }
+  return table->Insert(std::move(row)).status();
+}
+
+Status OrgModel::DefineView(const std::string& name,
+                            std::vector<std::string> column_names,
+                            std::string_view select_sql) {
+  WFRM_ASSIGN_OR_RETURN(rel::SelectPtr query,
+                        rel::SqlParser::ParseSelect(select_sql));
+  return db_.CreateView(name, std::move(column_names), std::move(query));
+}
+
+Result<size_t> OrgModel::CountResources(const std::string& type) const {
+  WFRM_ASSIGN_OR_RETURN(std::string canonical, resources_.Canonical(type));
+  const rel::Table* table = db_.GetTable(canonical);
+  if (table == nullptr) {
+    return Status::Internal("resource type without table: " + canonical);
+  }
+  return table->num_rows();
+}
+
+}  // namespace wfrm::org

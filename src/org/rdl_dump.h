@@ -1,0 +1,20 @@
+#ifndef WFRM_ORG_RDL_DUMP_H_
+#define WFRM_ORG_RDL_DUMP_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "org/org_model.h"
+
+namespace wfrm::org {
+
+/// Serializes an organization model back to an RDL script: type
+/// definitions (parents before children), relationships, views, resource
+/// instances and relationship tuples. Feeding the result to ExecuteRdl
+/// on a fresh OrgModel reproduces the organization — the start-up
+/// loading path the paper's §7 sketches for the in-memory variant.
+Result<std::string> DumpRdl(const OrgModel& org);
+
+}  // namespace wfrm::org
+
+#endif  // WFRM_ORG_RDL_DUMP_H_

@@ -1,0 +1,181 @@
+#include "org/rdl_parser.h"
+
+#include "rel/parser.h"
+#include "rel/token.h"
+
+namespace wfrm::org {
+
+namespace {
+
+Result<rel::DataType> ParseDataType(rel::TokenStream& ts) {
+  if (ts.TryKeyword("string")) return rel::DataType::kString;
+  if (ts.TryKeyword("int")) return rel::DataType::kInt;
+  if (ts.TryKeyword("double")) return rel::DataType::kDouble;
+  if (ts.TryKeyword("bool")) return rel::DataType::kBool;
+  return ts.Error("expected a type (String, Int, Double or Bool)");
+}
+
+Result<std::vector<AttributeDef>> ParseAttributeList(rel::TokenStream& ts) {
+  std::vector<AttributeDef> attrs;
+  if (!ts.TrySymbol("(")) return attrs;
+  do {
+    AttributeDef attr;
+    WFRM_ASSIGN_OR_RETURN(attr.name, ts.ExpectIdentifier("attribute name"));
+    WFRM_ASSIGN_OR_RETURN(attr.type, ParseDataType(ts));
+    attrs.push_back(std::move(attr));
+  } while (ts.TrySymbol(","));
+  WFRM_RETURN_NOT_OK(ts.ExpectSymbol(")"));
+  return attrs;
+}
+
+Result<rel::Value> ParseConstant(rel::TokenStream& ts) {
+  const rel::Token& t = ts.Peek();
+  switch (t.kind) {
+    case rel::Token::Kind::kNumber:
+    case rel::Token::Kind::kString: {
+      rel::Value v = t.value;
+      ts.Next();
+      return v;
+    }
+    case rel::Token::Kind::kIdentifier:
+      if (t.IsKeyword("true")) {
+        ts.Next();
+        return rel::Value::Bool(true);
+      }
+      if (t.IsKeyword("false")) {
+        ts.Next();
+        return rel::Value::Bool(false);
+      }
+      if (t.IsKeyword("null")) {
+        ts.Next();
+        return rel::Value::Null();
+      }
+      [[fallthrough]];
+    default:
+      if (t.IsSymbol("-")) {
+        ts.Next();
+        const rel::Token& n = ts.Peek();
+        if (n.kind != rel::Token::Kind::kNumber) {
+          return ts.Error("expected a number after '-'");
+        }
+        rel::Value v = n.value;
+        ts.Next();
+        return v.is_int() ? rel::Value::Int(-v.int_value())
+                          : rel::Value::Double(-v.double_value());
+      }
+      return ts.Error("expected a constant");
+  }
+}
+
+Status ExecuteDefine(rel::TokenStream& ts, OrgModel* org) {
+  if (ts.TryKeyword("resource") || ts.Peek().IsKeyword("activity")) {
+    bool is_resource = !ts.Peek().IsKeyword("activity");
+    if (!is_resource) ts.Next();  // Consume 'activity'.
+    WFRM_RETURN_NOT_OK(ts.ExpectKeyword("type"));
+    WFRM_ASSIGN_OR_RETURN(std::string name, ts.ExpectIdentifier("type name"));
+    std::string parent;
+    if (ts.TryKeyword("under")) {
+      WFRM_ASSIGN_OR_RETURN(parent, ts.ExpectIdentifier("parent type"));
+    }
+    WFRM_ASSIGN_OR_RETURN(std::vector<AttributeDef> attrs,
+                          ParseAttributeList(ts));
+    if (is_resource) {
+      return org->DefineResourceType(name, parent, std::move(attrs));
+    }
+    return org->DefineActivityType(name, parent, std::move(attrs));
+  }
+  if (ts.TryKeyword("relationship")) {
+    WFRM_ASSIGN_OR_RETURN(std::string name,
+                          ts.ExpectIdentifier("relationship name"));
+    WFRM_ASSIGN_OR_RETURN(std::vector<AttributeDef> attrs,
+                          ParseAttributeList(ts));
+    if (attrs.empty()) {
+      return ts.Error("a relationship needs at least one column");
+    }
+    std::vector<rel::Column> columns;
+    columns.reserve(attrs.size());
+    for (AttributeDef& a : attrs) {
+      columns.push_back({std::move(a.name), a.type});
+    }
+    return org->DefineRelationship(name, std::move(columns));
+  }
+  if (ts.TryKeyword("view")) {
+    WFRM_ASSIGN_OR_RETURN(std::string name, ts.ExpectIdentifier("view name"));
+    std::vector<std::string> columns;
+    if (ts.TrySymbol("(")) {
+      do {
+        WFRM_ASSIGN_OR_RETURN(std::string col,
+                              ts.ExpectIdentifier("column name"));
+        columns.push_back(std::move(col));
+      } while (ts.TrySymbol(","));
+      WFRM_RETURN_NOT_OK(ts.ExpectSymbol(")"));
+    }
+    WFRM_RETURN_NOT_OK(ts.ExpectKeyword("as"));
+    WFRM_ASSIGN_OR_RETURN(rel::SelectPtr query,
+                          rel::SqlParser::ParseSelectFrom(ts));
+    return org->db().CreateView(name, std::move(columns), std::move(query));
+  }
+  return ts.Error(
+      "expected 'Resource Type', 'Activity Type', 'Relationship' or "
+      "'View' after Define");
+}
+
+Status ExecuteInsert(rel::TokenStream& ts, OrgModel* org) {
+  if (ts.TryKeyword("resource")) {
+    WFRM_ASSIGN_OR_RETURN(std::string type,
+                          ts.ExpectIdentifier("resource type"));
+    const rel::Token& t = ts.Peek();
+    if (t.kind != rel::Token::Kind::kString) {
+      return ts.Error("expected a quoted resource id");
+    }
+    std::string id = t.value.string_value();
+    ts.Next();
+    std::map<std::string, rel::Value> values;
+    if (ts.TrySymbol("(")) {
+      do {
+        WFRM_ASSIGN_OR_RETURN(std::string attr,
+                              ts.ExpectIdentifier("attribute name"));
+        WFRM_RETURN_NOT_OK(ts.ExpectSymbol("="));
+        WFRM_ASSIGN_OR_RETURN(rel::Value value, ParseConstant(ts));
+        values[attr] = std::move(value);
+      } while (ts.TrySymbol(","));
+      WFRM_RETURN_NOT_OK(ts.ExpectSymbol(")"));
+    }
+    return org->AddResource(type, id, values).status();
+  }
+  if (ts.TryKeyword("into")) {
+    WFRM_ASSIGN_OR_RETURN(std::string name,
+                          ts.ExpectIdentifier("relationship name"));
+    WFRM_RETURN_NOT_OK(ts.ExpectSymbol("("));
+    rel::Row row;
+    do {
+      WFRM_ASSIGN_OR_RETURN(rel::Value value, ParseConstant(ts));
+      row.push_back(std::move(value));
+    } while (ts.TrySymbol(","));
+    WFRM_RETURN_NOT_OK(ts.ExpectSymbol(")"));
+    return org->AddRelationshipTuple(name, std::move(row));
+  }
+  return ts.Error("expected 'Resource' or 'Into' after Insert");
+}
+
+}  // namespace
+
+Status ExecuteRdl(std::string_view rdl_text, OrgModel* org) {
+  WFRM_ASSIGN_OR_RETURN(rel::TokenStream ts, rel::TokenStream::Open(rdl_text));
+  while (!ts.AtEnd()) {
+    if (ts.TryKeyword("define")) {
+      WFRM_RETURN_NOT_OK(ExecuteDefine(ts, org));
+    } else if (ts.TryKeyword("insert")) {
+      WFRM_RETURN_NOT_OK(ExecuteInsert(ts, org));
+    } else {
+      return ts.Error("expected an RDL statement (Define or Insert)");
+    }
+    if (!ts.TrySymbol(";")) break;
+  }
+  if (!ts.AtEnd()) {
+    return ts.Error("unexpected trailing input after RDL statement");
+  }
+  return Status::OK();
+}
+
+}  // namespace wfrm::org

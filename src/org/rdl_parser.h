@@ -1,0 +1,32 @@
+#ifndef WFRM_ORG_RDL_PARSER_H_
+#define WFRM_ORG_RDL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "org/org_model.h"
+
+namespace wfrm::org {
+
+/// The Resource Definition Language — the second of the three interfaces
+/// of Figure 1 ("users can manipulate both meta and instance resource
+/// data"). Statements are ';'-separated:
+///
+///   Define Resource Type <name> [Under <parent>]
+///       [(attr Type {, attr Type})]
+///   Define Activity Type <name> [Under <parent>]
+///       [(attr Type {, attr Type})]
+///   Define Relationship <name> (col Type {, col Type})
+///   Define View <name> (col {, col}) As <select>
+///   Insert Resource <type> <'id'> [(attr = const {, attr = const})]
+///   Insert Into <relationship> (const {, const})
+///
+/// Attribute types: String | Int | Double | Bool (case-insensitive).
+///
+/// Statements execute against `org` in order; the first failure aborts
+/// with its position context.
+Status ExecuteRdl(std::string_view rdl_text, OrgModel* org);
+
+}  // namespace wfrm::org
+
+#endif  // WFRM_ORG_RDL_PARSER_H_

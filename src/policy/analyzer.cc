@@ -1,0 +1,201 @@
+#include "policy/analyzer.h"
+
+#include <unordered_set>
+
+#include "rel/parser.h"
+
+namespace wfrm::policy {
+
+namespace {
+
+/// Where-clause knowledge for conflict detection: its DNF interval form
+/// when expressible, or "opaque" (sub-queries, parameters, ...).
+struct WhereInfo {
+  bool opaque = true;
+  std::vector<ConjunctiveRange> disjuncts;
+};
+
+WhereInfo AnalyzeWhere(const std::string& where_clause) {
+  WhereInfo info;
+  if (where_clause.empty()) {
+    info.opaque = false;
+    info.disjuncts = {{}};  // Always true.
+    return info;
+  }
+  auto expr = rel::SqlParser::ParseExpr(where_clause);
+  if (!expr.ok()) return info;
+  auto normalized = NormalizeRangeClause(expr->get());
+  if (!normalized.ok()) return info;
+  info.opaque = false;
+  info.disjuncts = std::move(normalized).ValueOrDie();
+  return info;
+}
+
+/// True when some pair of disjuncts from the two sides can hold
+/// simultaneously (over the interval-representable attributes).
+Result<bool> Satisfiable(const std::vector<ConjunctiveRange>& a,
+                         const std::vector<ConjunctiveRange>& b) {
+  for (const ConjunctiveRange& da : a) {
+    for (const ConjunctiveRange& db : b) {
+      WFRM_ASSIGN_OR_RETURN(bool x, RangesIntersect(da, db));
+      if (x) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> PolicyAnalyzer::DeadActivities() const {
+  const org::TypeHierarchy& activities = store_->org().activities();
+  std::vector<std::string> out;
+  for (const std::string& activity : activities.AllTypes()) {
+    // Alive iff some qualification policy covers the activity through
+    // inheritance; under the CWA everything else is unservable.
+    bool alive = false;
+    WFRM_ASSIGN_OR_RETURN(std::vector<std::string> ancestors,
+                          activities.Ancestors(activity));
+    std::unordered_set<std::string, CaseInsensitiveHash, CaseInsensitiveEq>
+        ancestor_set(ancestors.begin(), ancestors.end());
+    for (const auto& q : store_->ListQualifications()) {
+      if (ancestor_set.count(q.policy.activity) > 0) {
+        alive = true;
+        break;
+      }
+    }
+    if (!alive) out.push_back(activity);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> PolicyAnalyzer::IdleResourceTypes() const {
+  const org::TypeHierarchy& resources = store_->org().resources();
+  std::vector<std::string> out;
+  for (const std::string& resource : resources.AllTypes()) {
+    bool qualified = false;
+    WFRM_ASSIGN_OR_RETURN(std::vector<std::string> ancestors,
+                          resources.Ancestors(resource));
+    std::unordered_set<std::string, CaseInsensitiveHash, CaseInsensitiveEq>
+        ancestor_set(ancestors.begin(), ancestors.end());
+    for (const auto& q : store_->ListQualifications()) {
+      if (ancestor_set.count(q.policy.resource) > 0) {
+        qualified = true;
+        break;
+      }
+    }
+    if (!qualified) out.push_back(resource);
+  }
+  return out;
+}
+
+Result<std::vector<PolicyAnalyzer::RequirementConflict>>
+PolicyAnalyzer::RequirementConflicts() const {
+  WFRM_ASSIGN_OR_RETURN(auto groups, store_->ListRequirements());
+  const org::TypeHierarchy& resources = store_->org().resources();
+  const org::TypeHierarchy& activities = store_->org().activities();
+
+  // Pre-analyze every group's Where clause once.
+  std::vector<WhereInfo> wheres;
+  wheres.reserve(groups.size());
+  for (const auto& g : groups) wheres.push_back(AnalyzeWhere(g.where_clause));
+
+  std::vector<RequirementConflict> out;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (wheres[i].opaque) continue;
+    for (size_t j = i + 1; j < groups.size(); ++j) {
+      if (wheres[j].opaque) continue;
+      const auto& a = groups[i];
+      const auto& b = groups[j];
+
+      // Both policies apply to a common query only when one resource
+      // type is a sub-type of the other (tree hierarchy), and likewise
+      // for activities.
+      WFRM_ASSIGN_OR_RETURN(bool res_ab,
+                            resources.IsSubtypeOf(a.resource, b.resource));
+      WFRM_ASSIGN_OR_RETURN(bool res_ba,
+                            resources.IsSubtypeOf(b.resource, a.resource));
+      if (!res_ab && !res_ba) continue;
+      WFRM_ASSIGN_OR_RETURN(bool act_ab,
+                            activities.IsSubtypeOf(a.activity, b.activity));
+      WFRM_ASSIGN_OR_RETURN(bool act_ba,
+                            activities.IsSubtypeOf(b.activity, a.activity));
+      if (!act_ab && !act_ba) continue;
+
+      // Their activity ranges must overlap for a common query to match
+      // both.
+      WFRM_ASSIGN_OR_RETURN(bool ranges_overlap,
+                            Satisfiable(a.range_data, b.range_data));
+      if (!ranges_overlap) continue;
+
+      // And-related conditions: a conflict when no joint assignment of
+      // the interval-representable attributes satisfies both.
+      WFRM_ASSIGN_OR_RETURN(bool compatible,
+                            Satisfiable(wheres[i].disjuncts,
+                                        wheres[j].disjuncts));
+      if (compatible) continue;
+
+      RequirementConflict conflict;
+      conflict.group_a = a.group;
+      conflict.group_b = b.group;
+      conflict.resource = res_ab ? a.resource : b.resource;
+      conflict.activity = act_ab ? a.activity : b.activity;
+      conflict.detail =
+          "requirements '" + a.where_clause + "' (group " +
+          std::to_string(a.group) + ") and '" + b.where_clause +
+          "' (group " + std::to_string(b.group) +
+          ") are jointly unsatisfiable for " + conflict.resource + " doing " +
+          conflict.activity + " on their overlapping activity range";
+      out.push_back(std::move(conflict));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> PolicyAnalyzer::UselessSubstitutions() const {
+  WFRM_ASSIGN_OR_RETURN(auto groups, store_->ListSubstitutions());
+  const org::TypeHierarchy& activities = store_->org().activities();
+  std::vector<int64_t> out;
+  for (const auto& g : groups) {
+    // Useful iff for some activity sub-type the substituting resource
+    // fans out to at least one qualified type.
+    WFRM_ASSIGN_OR_RETURN(std::vector<std::string> acts,
+                          activities.Descendants(g.activity));
+    bool useful = false;
+    for (const std::string& a : acts) {
+      WFRM_ASSIGN_OR_RETURN(
+          std::vector<std::string> qualified,
+          store_->QualifiedSubtypes(g.substituting_resource, a));
+      if (!qualified.empty()) {
+        useful = true;
+        break;
+      }
+    }
+    if (!useful) out.push_back(g.group);
+  }
+  return out;
+}
+
+Result<std::string> PolicyAnalyzer::Report() const {
+  std::string out = "Policy base analysis\n====================\n";
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> dead, DeadActivities());
+  out += "Dead activities (no qualified resource type, CWA): " +
+         std::to_string(dead.size()) + "\n";
+  for (const std::string& a : dead) out += "  " + a + "\n";
+
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> idle, IdleResourceTypes());
+  out += "Idle resource types (qualified for nothing): " +
+         std::to_string(idle.size()) + "\n";
+  for (const std::string& r : idle) out += "  " + r + "\n";
+
+  WFRM_ASSIGN_OR_RETURN(auto conflicts, RequirementConflicts());
+  out += "Requirement conflicts: " + std::to_string(conflicts.size()) + "\n";
+  for (const auto& c : conflicts) out += "  " + c.detail + "\n";
+
+  WFRM_ASSIGN_OR_RETURN(auto useless, UselessSubstitutions());
+  out += "Useless substitutions (substitute never qualified): " +
+         std::to_string(useless.size()) + "\n";
+  for (int64_t g : useless) out += "  group " + std::to_string(g) + "\n";
+  return out;
+}
+
+}  // namespace wfrm::policy

@@ -1,0 +1,70 @@
+#ifndef WFRM_POLICY_ANALYZER_H_
+#define WFRM_POLICY_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "policy/policy_store.h"
+
+namespace wfrm::policy {
+
+/// Static analysis of a policy base — the management side of §1.2's
+/// observation that "all policies in a system constitute a set of
+/// constraints upon which 'legal' actions or 'consistent' states are
+/// defined". The analyzer surfaces three classes of problems before they
+/// bite at allocation time:
+///
+/// * dead activities: activity types no resource type is qualified for
+///   (the CWA makes every request for them fail);
+/// * idle resource types: resource types qualified for no activity;
+/// * conflicting requirements: And-related requirement policies that can
+///   apply to the same query and whose Where conditions are mutually
+///   unsatisfiable over their overlapping activity range — every
+///   matching request is guaranteed to return nothing.
+class PolicyAnalyzer {
+ public:
+  explicit PolicyAnalyzer(const PolicyStore* store) : store_(store) {}
+
+  /// Leaf-to-root reachable activity types with no qualified resource
+  /// type at all.
+  Result<std::vector<std::string>> DeadActivities() const;
+
+  /// Resource types (including via inheritance) qualified for nothing.
+  Result<std::vector<std::string>> IdleResourceTypes() const;
+
+  /// A pair of requirement groups that can both apply to some query and
+  /// whose resource conditions contradict each other (or a single group
+  /// whose condition is self-contradictory with another's on the same
+  /// attribute).
+  struct RequirementConflict {
+    int64_t group_a = 0;
+    int64_t group_b = 0;
+    std::string resource;   // The more specific of the two types.
+    std::string activity;   // The more specific of the two types.
+    std::string detail;     // Human-readable explanation.
+  };
+
+  /// Detects conflicts among requirement policies. The check is sound
+  /// but incomplete: it reasons over the interval-decomposable parts of
+  /// the Where clauses (the same representation §5.1 uses for ranges),
+  /// so conditions like nested sub-queries are treated as opaque and
+  /// never reported. A reported conflict is a real one.
+  Result<std::vector<RequirementConflict>> RequirementConflicts() const;
+
+  /// Substitution groups whose substituting description can never match
+  /// a *qualified* resource: the substituting resource type (with every
+  /// sub-type) is not qualified for the policy's activity, so the §2.1
+  /// alternative pipeline will always fan out to nothing.
+  Result<std::vector<int64_t>> UselessSubstitutions() const;
+
+  /// Runs everything and renders a report.
+  Result<std::string> Report() const;
+
+ private:
+  const PolicyStore* store_;
+};
+
+}  // namespace wfrm::policy
+
+#endif  // WFRM_POLICY_ANALYZER_H_

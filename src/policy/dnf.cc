@@ -1,0 +1,247 @@
+#include "policy/dnf.h"
+
+namespace wfrm::policy {
+
+namespace {
+
+/// An atomic range predicate.
+struct Atom {
+  std::string attribute;
+  rel::BinaryOp op;  // Comparison; kNe never survives normalization.
+  rel::Value value;
+};
+
+/// Extracts `attribute op constant` (or mirrored) from a comparison.
+Result<Atom> ExtractAtom(const rel::BinaryExpr& cmp) {
+  const rel::Expr* col = &cmp.left();
+  const rel::Expr* val = &cmp.right();
+  rel::BinaryOp op = cmp.op();
+  if (col->kind() != rel::Expr::Kind::kColumnRef) {
+    std::swap(col, val);
+    op = rel::SwapComparison(op);
+  }
+  if (col->kind() != rel::Expr::Kind::kColumnRef ||
+      val->kind() != rel::Expr::Kind::kLiteral) {
+    return Status::InvalidArgument(
+        "range clause atoms must have the form 'attribute op constant': " +
+        cmp.ToString());
+  }
+  const auto& ref = static_cast<const rel::ColumnRefExpr&>(*col);
+  if (!ref.qualifier().empty()) {
+    return Status::InvalidArgument(
+        "qualified attribute references are not allowed in range clauses: " +
+        ref.ToString());
+  }
+  const rel::Value& v = static_cast<const rel::LiteralExpr&>(*val).value();
+  if (v.is_null()) {
+    return Status::InvalidArgument(
+        "NULL is not a valid range bound in: " + cmp.ToString());
+  }
+  return Atom{ref.name(), op, v};
+}
+
+/// DNF as a list of conjuncts, each a list of atoms.
+using Dnf = std::vector<std::vector<Atom>>;
+
+Dnf CrossProduct(const Dnf& a, const Dnf& b) {
+  Dnf out;
+  out.reserve(a.size() * b.size());
+  for (const auto& ca : a) {
+    for (const auto& cb : b) {
+      std::vector<Atom> merged = ca;
+      merged.insert(merged.end(), cb.begin(), cb.end());
+      out.push_back(std::move(merged));
+    }
+  }
+  return out;
+}
+
+/// Recursive normalization with a negation flag (negation pushdown and
+/// DNF expansion in one pass).
+Result<Dnf> ToDnf(const rel::Expr& e, bool negated) {
+  switch (e.kind()) {
+    case rel::Expr::Kind::kUnary: {
+      const auto& u = static_cast<const rel::UnaryExpr&>(e);
+      if (u.op() != rel::UnaryOp::kNot) {
+        return Status::InvalidArgument(
+            "only Not is allowed as a unary operator in range clauses");
+      }
+      return ToDnf(u.operand(), !negated);
+    }
+    case rel::Expr::Kind::kBinary: {
+      const auto& b = static_cast<const rel::BinaryExpr&>(e);
+      if (b.op() == rel::BinaryOp::kAnd || b.op() == rel::BinaryOp::kOr) {
+        // De Morgan under negation.
+        bool is_and = (b.op() == rel::BinaryOp::kAnd) != negated;
+        WFRM_ASSIGN_OR_RETURN(Dnf l, ToDnf(b.left(), negated));
+        WFRM_ASSIGN_OR_RETURN(Dnf r, ToDnf(b.right(), negated));
+        if (is_and) return CrossProduct(l, r);
+        l.insert(l.end(), std::make_move_iterator(r.begin()),
+                 std::make_move_iterator(r.end()));
+        return l;
+      }
+      if (!rel::IsComparison(b.op())) {
+        return Status::InvalidArgument(
+            "range clauses allow only comparisons, And, Or, Not: " +
+            b.ToString());
+      }
+      WFRM_ASSIGN_OR_RETURN(Atom atom, ExtractAtom(b));
+      if (negated) atom.op = rel::NegateComparison(atom.op);
+      if (atom.op == rel::BinaryOp::kNe) {
+        // != v  ≡  (< v) Or (> v)   (paper §5.1).
+        Atom lt = atom, gt = atom;
+        lt.op = rel::BinaryOp::kLt;
+        gt.op = rel::BinaryOp::kGt;
+        return Dnf{{lt}, {gt}};
+      }
+      return Dnf{{std::move(atom)}};
+    }
+    case rel::Expr::Kind::kInList: {
+      // attr In (v1, v2)  ≡  attr = v1 Or attr = v2 (negated: all !=,
+      // conjoined — handled by recursion on an equivalent tree would be
+      // complex; handle directly).
+      const auto& in = static_cast<const rel::InListExpr&>(e);
+      if (in.needle().kind() != rel::Expr::Kind::kColumnRef) {
+        return Status::InvalidArgument(
+            "In-lists in range clauses need an attribute on the left");
+      }
+      const auto& ref = static_cast<const rel::ColumnRefExpr&>(in.needle());
+      Dnf out;
+      if (!negated) {
+        for (const auto& item : in.haystack()) {
+          if (item->kind() != rel::Expr::Kind::kLiteral) {
+            return Status::InvalidArgument(
+                "In-list members must be constants in range clauses");
+          }
+          const auto& v = static_cast<const rel::LiteralExpr&>(*item).value();
+          out.push_back({Atom{ref.name(), rel::BinaryOp::kEq, v}});
+        }
+        return out;
+      }
+      // Not In: conjunction of !=, each of which splits — build by
+      // repeated cross product.
+      Dnf acc = {{}};
+      for (const auto& item : in.haystack()) {
+        if (item->kind() != rel::Expr::Kind::kLiteral) {
+          return Status::InvalidArgument(
+              "In-list members must be constants in range clauses");
+        }
+        const auto& v = static_cast<const rel::LiteralExpr&>(*item).value();
+        Dnf split = {{Atom{ref.name(), rel::BinaryOp::kLt, v}},
+                     {Atom{ref.name(), rel::BinaryOp::kGt, v}}};
+        acc = CrossProduct(acc, split);
+      }
+      return acc;
+    }
+    default:
+      return Status::InvalidArgument(
+          "range clauses allow only comparisons over constants, And, Or, "
+          "Not and In-lists: " + e.ToString());
+  }
+}
+
+/// Intersects a conjunct's atoms into a per-attribute interval map;
+/// nullopt when contradictory.
+Result<std::optional<ConjunctiveRange>> ConjunctToRange(
+    const std::vector<Atom>& atoms) {
+  ConjunctiveRange range;
+  for (const Atom& atom : atoms) {
+    WFRM_ASSIGN_OR_RETURN(Interval iv,
+                          Interval::FromComparison(atom.op, atom.value));
+    auto it = range.find(atom.attribute);
+    if (it == range.end()) {
+      range.emplace(atom.attribute, std::move(iv));
+      continue;
+    }
+    WFRM_ASSIGN_OR_RETURN(std::optional<Interval> merged,
+                          it->second.Intersect(iv));
+    if (!merged) return std::optional<ConjunctiveRange>{};
+    it->second = std::move(*merged);
+  }
+  return std::optional<ConjunctiveRange>{std::move(range)};
+}
+
+}  // namespace
+
+Result<std::vector<ConjunctiveRange>> NormalizeRangeClause(
+    const rel::Expr* clause) {
+  if (clause == nullptr) return std::vector<ConjunctiveRange>{{}};
+  WFRM_ASSIGN_OR_RETURN(Dnf dnf, ToDnf(*clause, /*negated=*/false));
+  std::vector<ConjunctiveRange> out;
+  for (const auto& conjunct : dnf) {
+    WFRM_ASSIGN_OR_RETURN(std::optional<ConjunctiveRange> range,
+                          ConjunctToRange(conjunct));
+    if (range) out.push_back(std::move(*range));
+  }
+  return out;
+}
+
+ConjunctiveRange ExtractConjunctiveRange(const rel::Expr* clause) {
+  ConjunctiveRange range;
+  if (clause == nullptr) return range;
+
+  // Collect top-level And-connected atoms.
+  std::vector<const rel::Expr*> stack = {clause};
+  while (!stack.empty()) {
+    const rel::Expr* e = stack.back();
+    stack.pop_back();
+    if (e->kind() != rel::Expr::Kind::kBinary) continue;
+    const auto& b = static_cast<const rel::BinaryExpr&>(*e);
+    if (b.op() == rel::BinaryOp::kAnd) {
+      stack.push_back(&b.left());
+      stack.push_back(&b.right());
+      continue;
+    }
+    if (!rel::IsComparison(b.op()) || b.op() == rel::BinaryOp::kNe) continue;
+    auto atom = ExtractAtom(b);
+    if (!atom.ok()) continue;
+    auto iv = Interval::FromComparison(atom->op, atom->value);
+    if (!iv.ok()) continue;
+    auto it = range.find(atom->attribute);
+    if (it == range.end()) {
+      range.emplace(atom->attribute, std::move(*iv));
+    } else {
+      auto merged = it->second.Intersect(*iv);
+      if (merged.ok() && merged.ValueOrDie()) {
+        it->second = std::move(*merged.ValueOrDie());
+      }
+      // Contradictions and type clashes are left as-is: extraction is
+      // conservative and only used for relevance pre-filtering.
+    }
+  }
+  return range;
+}
+
+Result<bool> RangeContainsBindings(const ConjunctiveRange& range,
+                                   const rel::ParamMap& bindings) {
+  for (const auto& [attr, interval] : range) {
+    auto it = bindings.find(attr);
+    if (it == bindings.end()) return false;
+    WFRM_ASSIGN_OR_RETURN(bool inside, interval.Contains(it->second));
+    if (!inside) return false;
+  }
+  return true;
+}
+
+Result<bool> RangesIntersect(const ConjunctiveRange& a,
+                             const ConjunctiveRange& b) {
+  for (const auto& [attr, interval] : a) {
+    auto it = b.find(attr);
+    if (it == b.end()) continue;
+    WFRM_ASSIGN_OR_RETURN(bool x, interval.Intersects(it->second));
+    if (!x) return false;
+  }
+  return true;
+}
+
+std::string RangeToString(const ConjunctiveRange& range) {
+  if (range.empty()) return "<unconstrained>";
+  std::string out;
+  for (const auto& [attr, interval] : range) {
+    if (!out.empty()) out += " And ";
+    out += attr + " in " + interval.ToString();
+  }
+  return out;
+}
+
+}  // namespace wfrm::policy

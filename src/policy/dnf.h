@@ -1,0 +1,67 @@
+#ifndef WFRM_POLICY_DNF_H_
+#define WFRM_POLICY_DNF_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/strings.h"
+#include "policy/interval.h"
+#include "rel/executor.h"
+#include "rel/expr.h"
+
+namespace wfrm::policy {
+
+struct CaseInsensitiveLess {
+  bool operator()(const std::string& a, const std::string& b) const {
+    return AsciiToLower(a) < AsciiToLower(b);
+  }
+};
+
+/// One conjunct of a DNF-normalized range clause: attribute → interval
+/// (intersected when the conjunct constrains an attribute repeatedly).
+/// An empty map is the unconstrained range (matches everything).
+using ConjunctiveRange = std::map<std::string, Interval, CaseInsensitiveLess>;
+
+/// Normalizes a With/Where range clause into disjunctive normal form
+/// (paper §5.1):
+///
+/// * negations are pushed down; `!=` splits into `<` Or `>`;
+/// * each disjunct's predicates group by attribute into one interval;
+/// * contradictory disjuncts (empty intervals) are dropped.
+///
+/// Returns one ConjunctiveRange per surviving disjunct. A null `clause`
+/// yields a single unconstrained range. Atoms must be of the form
+/// `attribute op constant` (or mirrored); anything else — subqueries,
+/// parameters, arithmetic — is rejected, matching the PL grammar's
+/// restriction on With clauses ("no nested SQL statements", §3.2).
+Result<std::vector<ConjunctiveRange>> NormalizeRangeClause(
+    const rel::Expr* clause);
+
+/// Conservative interval extraction from an arbitrary Where clause: only
+/// top-level And-connected `attribute op constant` atoms contribute;
+/// everything else is ignored (i.e. treated as unconstraining). Used for
+/// the §4.3 substitution-relevance test on the *query* side, where the
+/// Where clause may contain predicates beyond simple ranges.
+ConjunctiveRange ExtractConjunctiveRange(const rel::Expr* clause);
+
+/// True when `bindings` (attribute → constant) falls inside `range`:
+/// every constrained attribute is bound and its value lies in the
+/// interval. Unbound constrained attributes fail the test, mirroring the
+/// Figure 14 counting semantics.
+Result<bool> RangeContainsBindings(const ConjunctiveRange& range,
+                                   const rel::ParamMap& bindings);
+
+/// True when two conjunctive ranges intersect: for every attribute
+/// constrained by both, the intervals share a point. Attributes
+/// constrained by only one side do not exclude intersection.
+Result<bool> RangesIntersect(const ConjunctiveRange& a,
+                             const ConjunctiveRange& b);
+
+/// Renders "attr in [lo, hi] And ..." for diagnostics.
+std::string RangeToString(const ConjunctiveRange& range);
+
+}  // namespace wfrm::policy
+
+#endif  // WFRM_POLICY_DNF_H_

@@ -1,0 +1,145 @@
+#include "policy/interval.h"
+
+namespace wfrm::policy {
+
+Interval Interval::Point(rel::Value v) {
+  Interval out;
+  out.lower = v;
+  out.upper = std::move(v);
+  return out;
+}
+
+Result<Interval> Interval::FromComparison(rel::BinaryOp op, rel::Value value) {
+  Interval out;
+  switch (op) {
+    case rel::BinaryOp::kEq:
+      return Point(std::move(value));
+    case rel::BinaryOp::kLt:
+      out.upper = std::move(value);
+      out.upper_inclusive = false;
+      return out;
+    case rel::BinaryOp::kLe:
+      out.upper = std::move(value);
+      return out;
+    case rel::BinaryOp::kGt:
+      out.lower = std::move(value);
+      out.lower_inclusive = false;
+      return out;
+    case rel::BinaryOp::kGe:
+      out.lower = std::move(value);
+      return out;
+    case rel::BinaryOp::kNe:
+      return Status::InvalidArgument(
+          "'!=' does not describe a convex interval; split it into two "
+          "disjuncts first");
+    default:
+      return Status::InvalidArgument("operator is not a comparison");
+  }
+}
+
+Result<bool> Interval::Contains(const rel::Value& v) const {
+  if (v.is_null()) return false;
+  if (lower) {
+    WFRM_ASSIGN_OR_RETURN(int c, v.Compare(*lower));
+    if (c < 0 || (c == 0 && !lower_inclusive)) return false;
+  }
+  if (upper) {
+    WFRM_ASSIGN_OR_RETURN(int c, v.Compare(*upper));
+    if (c > 0 || (c == 0 && !upper_inclusive)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Compares bound positions; returns the tighter lower bound of the two.
+struct BoundPick {
+  const std::optional<rel::Value>* value;
+  bool inclusive;
+};
+
+}  // namespace
+
+Result<std::optional<Interval>> Interval::Intersect(
+    const Interval& other) const {
+  Interval out;
+
+  // Tighter (larger) lower bound.
+  if (!lower) {
+    out.lower = other.lower;
+    out.lower_inclusive = other.lower_inclusive;
+  } else if (!other.lower) {
+    out.lower = lower;
+    out.lower_inclusive = lower_inclusive;
+  } else {
+    WFRM_ASSIGN_OR_RETURN(int c, lower->Compare(*other.lower));
+    if (c > 0) {
+      out.lower = lower;
+      out.lower_inclusive = lower_inclusive;
+    } else if (c < 0) {
+      out.lower = other.lower;
+      out.lower_inclusive = other.lower_inclusive;
+    } else {
+      out.lower = lower;
+      out.lower_inclusive = lower_inclusive && other.lower_inclusive;
+    }
+  }
+
+  // Tighter (smaller) upper bound.
+  if (!upper) {
+    out.upper = other.upper;
+    out.upper_inclusive = other.upper_inclusive;
+  } else if (!other.upper) {
+    out.upper = upper;
+    out.upper_inclusive = upper_inclusive;
+  } else {
+    WFRM_ASSIGN_OR_RETURN(int c, upper->Compare(*other.upper));
+    if (c < 0) {
+      out.upper = upper;
+      out.upper_inclusive = upper_inclusive;
+    } else if (c > 0) {
+      out.upper = other.upper;
+      out.upper_inclusive = other.upper_inclusive;
+    } else {
+      out.upper = upper;
+      out.upper_inclusive = upper_inclusive && other.upper_inclusive;
+    }
+  }
+
+  // Emptiness check.
+  if (out.lower && out.upper) {
+    WFRM_ASSIGN_OR_RETURN(int c, out.lower->Compare(*out.upper));
+    if (c > 0) return std::optional<Interval>{};
+    if (c == 0 && !(out.lower_inclusive && out.upper_inclusive)) {
+      return std::optional<Interval>{};
+    }
+  }
+  return std::optional<Interval>{std::move(out)};
+}
+
+Result<bool> Interval::Intersects(const Interval& other) const {
+  WFRM_ASSIGN_OR_RETURN(std::optional<Interval> x, Intersect(other));
+  return x.has_value();
+}
+
+std::string Interval::ToString() const {
+  std::string out = lower_inclusive && lower ? "[" : "(";
+  out += lower ? lower->ToString() : "-inf";
+  out += ", ";
+  out += upper ? upper->ToString() : "+inf";
+  out += upper_inclusive && upper ? "]" : ")";
+  return out;
+}
+
+bool Interval::operator==(const Interval& other) const {
+  auto bound_eq = [](const std::optional<rel::Value>& a,
+                     const std::optional<rel::Value>& b) {
+    if (a.has_value() != b.has_value()) return false;
+    return !a.has_value() || *a == *b;
+  };
+  return bound_eq(lower, other.lower) && bound_eq(upper, other.upper) &&
+         (!lower || lower_inclusive == other.lower_inclusive) &&
+         (!upper || upper_inclusive == other.upper_inclusive);
+}
+
+}  // namespace wfrm::policy

@@ -1,0 +1,57 @@
+#ifndef WFRM_POLICY_INTERVAL_H_
+#define WFRM_POLICY_INTERVAL_H_
+
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "rel/expr.h"
+#include "rel/value.h"
+
+namespace wfrm::policy {
+
+/// A one-dimensional interval over an attribute domain (paper §5.1).
+///
+/// The paper closes all intervals by exploiting finite domains
+/// (footnote 4's Min/Max sentinels); we additionally keep open/closed
+/// flags so continuous domains are represented exactly. An absent bound
+/// means the domain Min (lower) / Max (upper).
+struct Interval {
+  std::optional<rel::Value> lower;  // nullopt = -infinity (domain Min).
+  bool lower_inclusive = true;
+  std::optional<rel::Value> upper;  // nullopt = +infinity (domain Max).
+  bool upper_inclusive = true;
+
+  /// The unbounded interval (matches everything).
+  static Interval All() { return Interval{}; }
+
+  /// The degenerate interval [v, v].
+  static Interval Point(rel::Value v);
+
+  /// Interval for a single predicate `attr op value`. op must be a
+  /// comparison other than !=: inequality is not convex and is split
+  /// into two intervals by the DNF normalizer.
+  static Result<Interval> FromComparison(rel::BinaryOp op, rel::Value value);
+
+  bool IsUnbounded() const { return !lower && !upper; }
+
+  /// Membership test; fails with TypeError on incomparable kinds.
+  Result<bool> Contains(const rel::Value& v) const;
+
+  /// Intersection; an empty (contradictory) result reports nullopt.
+  Result<std::optional<Interval>> Intersect(const Interval& other) const;
+
+  /// True when the two intervals share at least one point. Used for the
+  /// substitution-policy relevance test ("the resource range in the
+  /// query intersects with the resource range in the policy", §4.3).
+  Result<bool> Intersects(const Interval& other) const;
+
+  /// "[10000, +inf)" style rendering.
+  std::string ToString() const;
+
+  bool operator==(const Interval& other) const;
+};
+
+}  // namespace wfrm::policy
+
+#endif  // WFRM_POLICY_INTERVAL_H_

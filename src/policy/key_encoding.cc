@@ -1,0 +1,105 @@
+#include "policy/key_encoding.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace wfrm::policy {
+
+namespace {
+
+/// Maps a double onto a uint64 whose unsigned order equals the double's
+/// numeric order: flip all bits for negatives, flip the sign bit for
+/// positives.
+uint64_t DoubleToOrderedBits(double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  if (bits & (1ull << 63)) {
+    return ~bits;
+  }
+  return bits | (1ull << 63);
+}
+
+double OrderedBitsToDouble(uint64_t bits) {
+  if (bits & (1ull << 63)) {
+    bits &= ~(1ull << 63);
+  } else {
+    bits = ~bits;
+  }
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+std::string ToHex16(uint64_t bits) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = kDigits[bits & 0xf];
+    bits >>= 4;
+  }
+  return out;
+}
+
+Result<uint64_t> FromHex16(const std::string& hex) {
+  if (hex.size() != 16) {
+    return Status::InvalidArgument("numeric key payload must be 16 hex chars");
+  }
+  uint64_t bits = 0;
+  for (char c : hex) {
+    bits <<= 4;
+    if (c >= '0' && c <= '9') {
+      bits |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      bits |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return Status::InvalidArgument("invalid hex digit in numeric key");
+    }
+  }
+  return bits;
+}
+
+}  // namespace
+
+std::string EncodedDomainMin() { return ""; }
+
+std::string EncodedDomainMax() { return "\x7f"; }
+
+Result<std::string> EncodeKey(const rel::Value& value) {
+  if (value.is_null()) {
+    return Status::InvalidArgument("cannot encode NULL as an interval bound");
+  }
+  if (value.is_bool()) {
+    return std::string(value.bool_value() ? "b1" : "b0");
+  }
+  if (value.is_numeric()) {
+    return "n" + ToHex16(DoubleToOrderedBits(value.AsDouble()));
+  }
+  return "s" + value.string_value();
+}
+
+Result<rel::Value> DecodeKey(const std::string& encoded) {
+  if (encoded == EncodedDomainMin() || encoded == EncodedDomainMax()) {
+    return rel::Value::Null();
+  }
+  switch (encoded[0]) {
+    case 'b':
+      if (encoded == "b0") return rel::Value::Bool(false);
+      if (encoded == "b1") return rel::Value::Bool(true);
+      return Status::InvalidArgument("malformed boolean key");
+    case 'n': {
+      WFRM_ASSIGN_OR_RETURN(uint64_t bits, FromHex16(encoded.substr(1)));
+      double d = OrderedBitsToDouble(bits);
+      // Present integral doubles as ints for readability.
+      int64_t i = static_cast<int64_t>(d);
+      if (static_cast<double>(i) == d) return rel::Value::Int(i);
+      return rel::Value::Double(d);
+    }
+    case 's':
+      return rel::Value::String(encoded.substr(1));
+    default:
+      return Status::InvalidArgument("unknown key encoding tag");
+  }
+}
+
+}  // namespace wfrm::policy

@@ -1,0 +1,46 @@
+#ifndef WFRM_POLICY_KEY_ENCODING_H_
+#define WFRM_POLICY_KEY_ENCODING_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "rel/value.h"
+
+namespace wfrm::policy {
+
+/// Order-preserving key normalization for interval bounds.
+///
+/// The paper stores interval bounds in the Filter table as strings
+/// (footnote 3 proposes one table per data type "in the implementation";
+/// footnote 4 introduces Min/Max sentinels). We realize both footnotes
+/// with a single Filter relation by normalizing every bound into a string
+/// whose lexicographic order matches the value order within each typed
+/// attribute domain — the standard key-normalization trick of B-tree
+/// engines. Encodings of different kinds never compare equal (distinct
+/// leading tag bytes), and within one attribute all bounds share a kind.
+///
+/// Layout:
+///   ""            — the domain Min sentinel (sorts before everything)
+///   "b0"/"b1"     — booleans
+///   "n" + hex16   — numerics, IEEE-754 double with sign-flip transform
+///   "s" + bytes   — strings, raw
+///   "\x7f"        — the domain Max sentinel (sorts after everything)
+///
+/// Numerics are widened to double: exact for |int| <= 2^53, ample for
+/// the attribute domains of workflow activity specifications.
+
+/// The Min/Max sentinels (paper footnote 4).
+std::string EncodedDomainMin();
+std::string EncodedDomainMax();
+
+/// Encodes a non-null value. Fails on NULL.
+Result<std::string> EncodeKey(const rel::Value& value);
+
+/// Inverse of EncodeKey for tagged encodings; the Min/Max sentinels
+/// decode to NULL (they stand for "unbounded"). Note that ints round-trip
+/// as doubles.
+Result<rel::Value> DecodeKey(const std::string& encoded);
+
+}  // namespace wfrm::policy
+
+#endif  // WFRM_POLICY_KEY_ENCODING_H_

@@ -1,0 +1,67 @@
+#include "policy/naive_store.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "policy/dnf.h"
+#include "rel/parser.h"
+
+namespace wfrm::policy {
+
+Result<int64_t> NaivePolicyStore::AddRequirement(const RequirementPolicy& p) {
+  WFRM_ASSIGN_OR_RETURN(std::string resource,
+                        org_->resources().Canonical(p.resource));
+  WFRM_ASSIGN_OR_RETURN(std::string activity,
+                        org_->activities().Canonical(p.activity));
+  int64_t pid = next_pid_++;
+  rows_.push_back(NaiveRow{pid, activity, resource,
+                           p.with ? p.with->ToString() : "",
+                           p.where ? p.where->ToString() : ""});
+  return pid;
+}
+
+Result<std::vector<RelevantRequirement>>
+NaivePolicyStore::RelevantRequirements(const std::string& resource,
+                                       const std::string& activity,
+                                       const rel::ParamMap& spec) const {
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> act_anc,
+                        org_->activities().Ancestors(activity));
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> res_anc,
+                        org_->resources().Ancestors(resource));
+  std::unordered_set<std::string, CaseInsensitiveHash, CaseInsensitiveEq>
+      act_set(act_anc.begin(), act_anc.end()),
+      res_set(res_anc.begin(), res_anc.end());
+
+  std::vector<RelevantRequirement> out;
+  for (const NaiveRow& row : rows_) {
+    if (act_set.count(row.activity) == 0 || res_set.count(row.resource) == 0) {
+      continue;
+    }
+    bool applicable = true;
+    if (!row.with_clause.empty()) {
+      // The naive representation pays a parse + normalize + evaluate on
+      // every candidate, every retrieval.
+      WFRM_ASSIGN_OR_RETURN(rel::ExprPtr with,
+                            rel::SqlParser::ParseExpr(row.with_clause));
+      WFRM_ASSIGN_OR_RETURN(std::vector<ConjunctiveRange> ranges,
+                            NormalizeRangeClause(with.get()));
+      applicable = false;
+      for (const ConjunctiveRange& range : ranges) {
+        WFRM_ASSIGN_OR_RETURN(bool inside,
+                              RangeContainsBindings(range, spec));
+        if (inside) {
+          applicable = true;
+          break;
+        }
+      }
+    }
+    if (applicable) {
+      out.push_back(RelevantRequirement{row.pid, row.pid, row.where_clause});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.pid < b.pid; });
+  return out;
+}
+
+}  // namespace wfrm::policy

@@ -1,0 +1,56 @@
+#ifndef WFRM_POLICY_NAIVE_STORE_H_
+#define WFRM_POLICY_NAIVE_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "org/org_model.h"
+#include "policy/policy_ast.h"
+#include "policy/policy_store.h"
+
+namespace wfrm::policy {
+
+/// The §5.1 strawman the paper argues against: requirement policies kept
+/// in a single 4-column relation
+///
+///   NaivePolicies(PID, Activity, Resource, WithClause, WhereClause)
+///
+/// where the activity range is an uninterpreted *string*. Type matching
+/// still works by string comparison against the ancestor sets, but range
+/// applicability cannot use any index: every retrieval scans all
+/// policies, re-parses each stored With clause and evaluates the
+/// specification against it. This is the baseline the interval-based
+/// representation is measured against (bench/bench_retrieval.cc).
+class NaivePolicyStore {
+ public:
+  explicit NaivePolicyStore(const org::OrgModel* org) : org_(org) {}
+
+  /// Adds a requirement policy; returns its PID.
+  Result<int64_t> AddRequirement(const RequirementPolicy& p);
+
+  /// Same relevance semantics as PolicyStore::RelevantRequirements
+  /// (group == pid here: no DNF splitting happens).
+  Result<std::vector<RelevantRequirement>> RelevantRequirements(
+      const std::string& resource, const std::string& activity,
+      const rel::ParamMap& spec) const;
+
+  size_t size() const { return rows_.size(); }
+
+ private:
+  struct NaiveRow {
+    int64_t pid;
+    std::string activity;
+    std::string resource;
+    std::string with_clause;   // Raw text; empty = unconstrained.
+    std::string where_clause;  // Raw text; empty = none.
+  };
+
+  const org::OrgModel* org_;
+  std::vector<NaiveRow> rows_;
+  int64_t next_pid_ = 100;
+};
+
+}  // namespace wfrm::policy
+
+#endif  // WFRM_POLICY_NAIVE_STORE_H_

@@ -1,0 +1,24 @@
+#ifndef WFRM_POLICY_PL_DUMP_H_
+#define WFRM_POLICY_PL_DUMP_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "policy/policy_store.h"
+
+namespace wfrm::policy {
+
+/// Serializes the policy base back to Policy Language text: one
+/// statement per qualification policy, per requirement group and per
+/// substitution group (DNF disjuncts are recombined with Or). Feeding
+/// the result to PolicyStore::AddPolicyText on a fresh store rebuilds an
+/// equivalent policy base — the "load policies into the main memory
+/// (periodically or at start-up time)" path of the paper's §7.
+///
+/// Note: With clauses are reconstructed from the stored *intervals*, so
+/// a clause like `Not (a < 3)` round-trips as the equivalent `a >= 3`.
+Result<std::string> DumpPl(const PolicyStore& store);
+
+}  // namespace wfrm::policy
+
+#endif  // WFRM_POLICY_PL_DUMP_H_

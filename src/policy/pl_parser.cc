@@ -1,0 +1,108 @@
+#include "policy/policy_ast.h"
+
+#include "rel/parser.h"
+#include "rel/token.h"
+
+namespace wfrm::policy {
+
+std::string QualificationPolicy::ToString() const {
+  return "Qualify " + resource + " For " + activity;
+}
+
+std::string RequirementPolicy::ToString() const {
+  std::string out = "Require " + resource;
+  if (where) out += " Where " + where->ToString();
+  out += " For " + activity;
+  if (with) out += " With " + with->ToString();
+  return out;
+}
+
+std::string SubstitutionPolicy::ToString() const {
+  std::string out = "Substitute " + substituted_resource;
+  if (substituted_where) out += " Where " + substituted_where->ToString();
+  out += " By " + substituting_resource;
+  if (substituting_where) out += " Where " + substituting_where->ToString();
+  out += " For " + activity;
+  if (with) out += " With " + with->ToString();
+  return out;
+}
+
+std::string PolicyToString(const ParsedPolicy& policy) {
+  return std::visit([](const auto& p) { return p.ToString(); }, policy);
+}
+
+namespace {
+
+/// Parses `[Where <expr>]`, stopping at the next clause keyword.
+Result<rel::ExprPtr> ParseOptionalWhere(rel::TokenStream& ts) {
+  if (!ts.TryKeyword("where")) return rel::ExprPtr{};
+  return rel::SqlParser::ParseExprFrom(ts);
+}
+
+Result<ParsedPolicy> ParseOne(rel::TokenStream& ts) {
+  if (ts.TryKeyword("qualify")) {
+    QualificationPolicy p;
+    WFRM_ASSIGN_OR_RETURN(p.resource, ts.ExpectIdentifier("resource type"));
+    WFRM_RETURN_NOT_OK(ts.ExpectKeyword("for"));
+    WFRM_ASSIGN_OR_RETURN(p.activity, ts.ExpectIdentifier("activity type"));
+    return ParsedPolicy{std::move(p)};
+  }
+  if (ts.TryKeyword("require")) {
+    RequirementPolicy p;
+    WFRM_ASSIGN_OR_RETURN(p.resource, ts.ExpectIdentifier("resource type"));
+    WFRM_ASSIGN_OR_RETURN(p.where, ParseOptionalWhere(ts));
+    WFRM_RETURN_NOT_OK(ts.ExpectKeyword("for"));
+    WFRM_ASSIGN_OR_RETURN(p.activity, ts.ExpectIdentifier("activity type"));
+    if (ts.TryKeyword("with")) {
+      WFRM_ASSIGN_OR_RETURN(p.with, rel::SqlParser::ParseExprFrom(ts));
+    }
+    return ParsedPolicy{std::move(p)};
+  }
+  if (ts.TryKeyword("substitute")) {
+    SubstitutionPolicy p;
+    WFRM_ASSIGN_OR_RETURN(p.substituted_resource,
+                          ts.ExpectIdentifier("substituted resource type"));
+    WFRM_ASSIGN_OR_RETURN(p.substituted_where, ParseOptionalWhere(ts));
+    WFRM_RETURN_NOT_OK(ts.ExpectKeyword("by"));
+    WFRM_ASSIGN_OR_RETURN(p.substituting_resource,
+                          ts.ExpectIdentifier("substituting resource type"));
+    WFRM_ASSIGN_OR_RETURN(p.substituting_where, ParseOptionalWhere(ts));
+    WFRM_RETURN_NOT_OK(ts.ExpectKeyword("for"));
+    WFRM_ASSIGN_OR_RETURN(p.activity, ts.ExpectIdentifier("activity type"));
+    if (ts.TryKeyword("with")) {
+      WFRM_ASSIGN_OR_RETURN(p.with, rel::SqlParser::ParseExprFrom(ts));
+    }
+    return ParsedPolicy{std::move(p)};
+  }
+  return ts.Error("expected Qualify, Require or Substitute");
+}
+
+}  // namespace
+
+Result<ParsedPolicy> ParsePolicy(std::string_view text) {
+  WFRM_ASSIGN_OR_RETURN(rel::TokenStream ts, rel::TokenStream::Open(text));
+  WFRM_ASSIGN_OR_RETURN(ParsedPolicy p, ParseOne(ts));
+  if (ts.TrySymbol(";")) {
+    // Allow a single trailing terminator.
+  }
+  if (!ts.AtEnd()) {
+    return ts.Error("unexpected trailing input after policy");
+  }
+  return p;
+}
+
+Result<std::vector<ParsedPolicy>> ParsePolicies(std::string_view text) {
+  WFRM_ASSIGN_OR_RETURN(rel::TokenStream ts, rel::TokenStream::Open(text));
+  std::vector<ParsedPolicy> out;
+  while (!ts.AtEnd()) {
+    WFRM_ASSIGN_OR_RETURN(ParsedPolicy p, ParseOne(ts));
+    out.push_back(std::move(p));
+    if (!ts.TrySymbol(";")) break;
+  }
+  if (!ts.AtEnd()) {
+    return ts.Error("unexpected trailing input after policies");
+  }
+  return out;
+}
+
+}  // namespace wfrm::policy

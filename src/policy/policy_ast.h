@@ -1,0 +1,85 @@
+#ifndef WFRM_POLICY_POLICY_AST_H_
+#define WFRM_POLICY_POLICY_AST_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/expr.h"
+
+namespace wfrm::policy {
+
+/// `Qualify R For A` (paper §3.1, Figure 5): resource type R — and every
+/// sub-type — may carry out activity type A and every sub-type.
+/// Qualification policies are Or-related and obey the Closed World
+/// Assumption.
+struct QualificationPolicy {
+  std::string resource;
+  std::string activity;
+
+  QualificationPolicy Clone() const { return {resource, activity}; }
+  std::string ToString() const;
+};
+
+/// `Require R Where w For A With v` (paper §3.2, Figures 6–8): when a
+/// resource of (a sub-type of) R is chosen for an activity of (a
+/// sub-type of) A whose specification falls in the range v, the resource
+/// must satisfy w. Requirement policies are And-related.
+///
+/// `where` is a full SQL condition (nested selects, hierarchical
+/// sub-queries and `[ActivityAttr]` parameters allowed); `with` is a
+/// restricted range clause over activity attributes.
+struct RequirementPolicy {
+  std::string resource;
+  rel::ExprPtr where;  // May be null (no condition — degenerate).
+  std::string activity;
+  rel::ExprPtr with;  // May be null (applies to the whole activity range).
+
+  RequirementPolicy Clone() const {
+    return {resource, where ? where->Clone() : nullptr, activity,
+            with ? with->Clone() : nullptr};
+  }
+  std::string ToString() const;
+};
+
+/// `Substitute R1 Where w1 By R2 Where w2 For A With v` (paper §3.3,
+/// Figure 9): resources matching (R1, w1), when unavailable, may be
+/// replaced by resources matching (R2, w2) for activities in (A, v).
+/// Substitution policies are Or-related and never applied transitively
+/// (§1.2, §2.1). Both where clauses are restricted range clauses per the
+/// Appendix grammar.
+struct SubstitutionPolicy {
+  std::string substituted_resource;
+  rel::ExprPtr substituted_where;  // May be null.
+  std::string substituting_resource;
+  rel::ExprPtr substituting_where;  // May be null.
+  std::string activity;
+  rel::ExprPtr with;  // May be null.
+
+  SubstitutionPolicy Clone() const {
+    return {substituted_resource,
+            substituted_where ? substituted_where->Clone() : nullptr,
+            substituting_resource,
+            substituting_where ? substituting_where->Clone() : nullptr,
+            activity,
+            with ? with->Clone() : nullptr};
+  }
+  std::string ToString() const;
+};
+
+/// Any parsed Policy Language statement.
+using ParsedPolicy =
+    std::variant<QualificationPolicy, RequirementPolicy, SubstitutionPolicy>;
+
+std::string PolicyToString(const ParsedPolicy& policy);
+
+/// Parses one PL statement (Appendix grammar).
+Result<ParsedPolicy> ParsePolicy(std::string_view text);
+
+/// Parses a ';'-separated sequence of PL statements.
+Result<std::vector<ParsedPolicy>> ParsePolicies(std::string_view text);
+
+}  // namespace wfrm::policy
+
+#endif  // WFRM_POLICY_POLICY_AST_H_

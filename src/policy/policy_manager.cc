@@ -1,0 +1,73 @@
+#include "policy/policy_manager.h"
+
+#include <set>
+
+namespace wfrm::policy {
+
+Result<EnforcedQueries> PolicyManager::EnforcePrimary(
+    const rql::RqlQuery& query) const {
+  EnforcedQueries out;
+  WFRM_ASSIGN_OR_RETURN(std::vector<rql::RqlQuery> fanned,
+                        rewriter_.RewriteQualification(query));
+  for (rql::RqlQuery& q : fanned) {
+    std::string type = q.resource();
+    WFRM_ASSIGN_OR_RETURN(rql::RqlQuery enhanced,
+                          rewriter_.RewriteRequirement(q));
+    out.qualified_types.push_back(std::move(type));
+    out.queries.push_back(std::move(enhanced));
+  }
+  return out;
+}
+
+Result<EnforcedQueries> PolicyManager::EnforceAlternatives(
+    const rql::RqlQuery& query) const {
+  WFRM_ASSIGN_OR_RETURN(std::vector<EnforcedQueries> rounds,
+                        EnforceAlternativesRounds(query, 1));
+  return std::move(rounds[0]);
+}
+
+Result<std::vector<EnforcedQueries>> PolicyManager::EnforceAlternativesRounds(
+    const rql::RqlQuery& query, size_t rounds) const {
+  std::vector<EnforcedQueries> out;
+  // Alternatives already explored, keyed by their pre-enforcement text —
+  // this is the cycle protection that makes the recursive variant
+  // terminate (A substitutable by B and B by A would otherwise ping-pong
+  // forever, the paper's "indefinite compromise").
+  std::set<std::string> seen_alternatives;
+  seen_alternatives.insert(query.ToString());
+  // Final enforced queries already emitted in some round.
+  std::set<std::string> seen_enforced;
+
+  std::vector<rql::RqlQuery> frontier;
+  frontier.push_back(query.Clone());
+
+  for (size_t round = 0; round < rounds && !frontier.empty(); ++round) {
+    EnforcedQueries this_round;
+    std::vector<rql::RqlQuery> next_frontier;
+    for (const rql::RqlQuery& source : frontier) {
+      WFRM_ASSIGN_OR_RETURN(std::vector<rql::RqlQuery> alternatives,
+                            rewriter_.RewriteSubstitution(source));
+      for (rql::RqlQuery& alt : alternatives) {
+        if (!seen_alternatives.insert(alt.ToString()).second) continue;
+        // Each alternative re-enters the primary pipeline (§2.1).
+        WFRM_ASSIGN_OR_RETURN(EnforcedQueries enforced, EnforcePrimary(alt));
+        for (size_t i = 0; i < enforced.queries.size(); ++i) {
+          if (!seen_enforced.insert(enforced.queries[i].ToString()).second) {
+            continue;
+          }
+          this_round.queries.push_back(std::move(enforced.queries[i]));
+          this_round.qualified_types.push_back(
+              std::move(enforced.qualified_types[i]));
+        }
+        next_frontier.push_back(std::move(alt));
+      }
+    }
+    out.push_back(std::move(this_round));
+    frontier = std::move(next_frontier);
+  }
+  // Pad so callers can index by round even when the frontier dried up.
+  while (out.size() < rounds) out.emplace_back();
+  return out;
+}
+
+}  // namespace wfrm::policy

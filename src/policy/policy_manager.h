@@ -1,0 +1,68 @@
+#ifndef WFRM_POLICY_POLICY_MANAGER_H_
+#define WFRM_POLICY_POLICY_MANAGER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "policy/rewriter.h"
+
+namespace wfrm::policy {
+
+/// What the policy manager hands back for one incoming RQL query: the
+/// fully enforced queries to run, plus trace information for
+/// explainability.
+struct EnforcedQueries {
+  /// The enhanced queries (qualification fan-out, then requirement
+  /// enhancement of each). Empty means the CWA ruled every resource
+  /// type out (§3.1).
+  std::vector<rql::RqlQuery> queries;
+
+  /// The qualified sub-types the fan-out produced, aligned with
+  /// `queries`.
+  std::vector<std::string> qualified_types;
+};
+
+/// The policy manager of Figure 1: receives a resource query from the
+/// query processor, rewrites it against the policy base, and (on
+/// resource unavailability) generates substitution alternatives — each
+/// of which re-enters qualification + requirement rewriting. Substitution
+/// is never applied transitively (§1.2/§2.1): alternatives get no second
+/// round of substitution.
+class PolicyManager {
+ public:
+  PolicyManager(const org::OrgModel* org, const PolicyStore* store)
+      : org_(org), store_(store), rewriter_(org, store) {}
+
+  /// Primary enforcement: §4.1 fan-out then §4.2 enhancement.
+  Result<EnforcedQueries> EnforcePrimary(const rql::RqlQuery& query) const;
+
+  /// Fallback enforcement: §4.3 alternatives from substitution policies,
+  /// each then treated as a new query (qualification + requirement).
+  /// The input must be the *initial* query, not an enforced one.
+  Result<EnforcedQueries> EnforceAlternatives(
+      const rql::RqlQuery& query) const;
+
+  /// Extension of the §1.2 discussion: the paper rejects transitive
+  /// substitution ("one does not want any compromise to continue
+  /// indefinitely") and fixes one round; this implements the recursive
+  /// variant with an explicit round bound and cycle protection, so the
+  /// trade-off is measurable. Element r of the result holds the enforced
+  /// queries reachable after r+1 substitution steps; alternatives seen
+  /// in earlier rounds are not revisited. EnforceAlternatives(q) equals
+  /// EnforceAlternativesRounds(q, 1)[0].
+  Result<std::vector<EnforcedQueries>> EnforceAlternativesRounds(
+      const rql::RqlQuery& query, size_t rounds) const;
+
+  const Rewriter& rewriter() const { return rewriter_; }
+  const PolicyStore& store() const { return *store_; }
+
+ private:
+  const org::OrgModel* org_;
+  const PolicyStore* store_;
+  Rewriter rewriter_;
+};
+
+}  // namespace wfrm::policy
+
+#endif  // WFRM_POLICY_POLICY_MANAGER_H_

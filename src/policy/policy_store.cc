@@ -1,0 +1,1256 @@
+#include "policy/policy_store.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "policy/key_encoding.h"
+#include "rel/parser.h"
+
+namespace wfrm::policy {
+
+namespace {
+
+constexpr char kQualifications[] = "Qualifications";
+constexpr char kPolicies[] = "Policies";
+constexpr char kFilter[] = "Filter";
+constexpr char kSubstPolicies[] = "SubstPolicies";
+constexpr char kSubstFilter[] = "SubstFilter";
+
+/// SQL string literal with '' escaping.
+std::string Quote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "''";
+    else out.push_back(c);
+  }
+  out += "'";
+  return out;
+}
+
+rel::Schema FilterSchema() {
+  return rel::Schema({{"PID", rel::DataType::kInt},
+                      {"Attribute", rel::DataType::kString},
+                      {"LowerBound", rel::DataType::kString},
+                      {"UpperBound", rel::DataType::kString},
+                      {"LowerInclusive", rel::DataType::kBool},
+                      {"UpperInclusive", rel::DataType::kBool}});
+}
+
+/// Case-insensitive name set for hierarchy membership tests.
+using NameSet = std::unordered_set<std::string, CaseInsensitiveHash,
+                                   CaseInsensitiveEq>;
+
+NameSet ToSet(const std::vector<std::string>& names) {
+  return NameSet(names.begin(), names.end());
+}
+
+}  // namespace
+
+PolicyStore::PolicyStore(const org::OrgModel* org) : org_(org) {
+  // Table creation on a fresh database cannot fail.
+  rel::Table* quals =
+      *db_.CreateTable(kQualifications,
+                       rel::Schema({{"PID", rel::DataType::kInt},
+                                    {"Resource", rel::DataType::kString},
+                                    {"Activity", rel::DataType::kString}}));
+  (void)quals->CreateOrderedIndex("quals_by_activity", {"Activity"});
+
+  rel::Table* policies = *db_.CreateTable(
+      kPolicies, rel::Schema({{"PID", rel::DataType::kInt},
+                              {"GroupID", rel::DataType::kInt},
+                              {"Activity", rel::DataType::kString},
+                              {"Resource", rel::DataType::kString},
+                              {"NumberOfIntervals", rel::DataType::kInt},
+                              {"WhereClause", rel::DataType::kString}}));
+  // §5.2: "we may create a concatenated index on attributes Activity and
+  // Resource".
+  (void)policies->CreateOrderedIndex("policies_act_res",
+                                     {"Activity", "Resource"});
+
+  rel::Table* filter = *db_.CreateTable(kFilter, FilterSchema());
+  // §5.2: "a concatenated index on attributes Attribute, LowerBound and
+  // UpperBound".
+  (void)filter->CreateOrderedIndex("filter_attr_bounds",
+                                   {"Attribute", "LowerBound", "UpperBound"});
+  // Supports the Policies-first join order (per-candidate interval
+  // verification by PID).
+  (void)filter->CreateHashIndex("filter_by_pid", {"PID"});
+
+  rel::Table* subst = *db_.CreateTable(
+      kSubstPolicies,
+      rel::Schema({{"PID", rel::DataType::kInt},
+                   {"GroupID", rel::DataType::kInt},
+                   {"Activity", rel::DataType::kString},
+                   {"Resource", rel::DataType::kString},
+                   {"NumberOfIntervals", rel::DataType::kInt},
+                   {"SubstitutedWhere", rel::DataType::kString},
+                   {"SubstitutingResource", rel::DataType::kString},
+                   {"SubstitutingWhere", rel::DataType::kString}}));
+  (void)subst->CreateOrderedIndex("subst_act_res", {"Activity", "Resource"});
+
+  rel::Table* subst_filter = *db_.CreateTable(kSubstFilter, FilterSchema());
+  (void)subst_filter->CreateOrderedIndex(
+      "subst_filter_attr_bounds", {"Attribute", "LowerBound", "UpperBound"});
+}
+
+// ---- Validation -----------------------------------------------------------
+
+Status PolicyStore::ValidateRangeClause(const std::string& activity,
+                                        const rel::Expr* with) const {
+  if (with == nullptr) return Status::OK();
+  WFRM_ASSIGN_OR_RETURN(std::vector<ConjunctiveRange> ranges,
+                        NormalizeRangeClause(with));
+  if (ranges.empty()) {
+    return Status::InvalidArgument(
+        "With clause is unsatisfiable: " + with->ToString());
+  }
+  // Every referenced attribute must exist on the activity type and the
+  // bound constants must fit its declared type.
+  for (const ConjunctiveRange& range : ranges) {
+    for (const auto& [attr, interval] : range) {
+      WFRM_ASSIGN_OR_RETURN(org::AttributeDef def,
+                            org_->activities().FindAttribute(activity, attr));
+      for (const std::optional<rel::Value>* bound :
+           {&interval.lower, &interval.upper}) {
+        if (bound->has_value() && !(*bound)->CompatibleWith(def.type)) {
+          return Status::TypeError(
+              "bound " + (*bound)->ToString() + " of attribute '" + attr +
+              "' is not compatible with its declared type " +
+              rel::DataTypeToString(def.type));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status PolicyStore::ValidateResourceRangeClause(const std::string& resource,
+                                                const rel::Expr* clause) const {
+  if (clause == nullptr) return Status::OK();
+  WFRM_ASSIGN_OR_RETURN(std::vector<ConjunctiveRange> ranges,
+                        NormalizeRangeClause(clause));
+  if (ranges.empty()) {
+    return Status::InvalidArgument(
+        "resource range clause is unsatisfiable: " + clause->ToString());
+  }
+  for (const ConjunctiveRange& range : ranges) {
+    for (const auto& [attr, interval] : range) {
+      (void)interval;
+      WFRM_ASSIGN_OR_RETURN(org::AttributeDef def,
+                            org_->resources().FindAttribute(resource, attr));
+      (void)def;
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Collects `[Parameter]` names appearing anywhere in an expression tree.
+void CollectParameters(const rel::Expr& e, std::vector<std::string>* out);
+
+void CollectParametersSelect(const rel::SelectStatement& s,
+                             std::vector<std::string>* out) {
+  for (const auto& item : s.items) {
+    if (item.expr) CollectParameters(*item.expr, out);
+  }
+  if (s.where) CollectParameters(*s.where, out);
+  if (s.connect_by) {
+    CollectParameters(*s.connect_by->start_with, out);
+    CollectParameters(*s.connect_by->connect, out);
+  }
+  if (s.union_next) CollectParametersSelect(*s.union_next, out);
+}
+
+void CollectParameters(const rel::Expr& e, std::vector<std::string>* out) {
+  using rel::Expr;
+  switch (e.kind()) {
+    case Expr::Kind::kParameter:
+      out->push_back(static_cast<const rel::ParameterExpr&>(e).name());
+      return;
+    case Expr::Kind::kBinary: {
+      const auto& b = static_cast<const rel::BinaryExpr&>(e);
+      CollectParameters(b.left(), out);
+      CollectParameters(b.right(), out);
+      return;
+    }
+    case Expr::Kind::kUnary:
+      CollectParameters(static_cast<const rel::UnaryExpr&>(e).operand(), out);
+      return;
+    case Expr::Kind::kInList: {
+      const auto& in = static_cast<const rel::InListExpr&>(e);
+      CollectParameters(in.needle(), out);
+      for (const auto& item : in.haystack()) CollectParameters(*item, out);
+      return;
+    }
+    case Expr::Kind::kSubquery:
+      CollectParametersSelect(
+          static_cast<const rel::SubqueryExpr&>(e).select(), out);
+      return;
+    case Expr::Kind::kInSubquery: {
+      const auto& in = static_cast<const rel::InSubqueryExpr&>(e);
+      CollectParameters(in.needle(), out);
+      CollectParametersSelect(in.select(), out);
+      return;
+    }
+    case Expr::Kind::kFunction: {
+      const auto& fn = static_cast<const rel::FunctionExpr&>(e);
+      for (const auto& arg : fn.args()) CollectParameters(*arg, out);
+      return;
+    }
+    case Expr::Kind::kLiteral:
+    case Expr::Kind::kColumnRef:
+      return;
+  }
+}
+
+}  // namespace
+
+Status PolicyStore::ValidateRequirementWhere(const std::string& resource,
+                                             const std::string& activity,
+                                             const rel::Expr* where) const {
+  (void)resource;
+  if (where == nullptr) return Status::OK();
+  // Every [Parameter] must name an attribute of the activity type: the
+  // rewriter substitutes the activity specification's value for it.
+  std::vector<std::string> params;
+  CollectParameters(*where, &params);
+  for (const std::string& p : params) {
+    WFRM_RETURN_NOT_OK(
+        org_->activities().FindAttribute(activity, p).status());
+  }
+  return Status::OK();
+}
+
+// ---- Insertion ------------------------------------------------------------
+
+Result<int64_t> PolicyStore::InsertDecomposed(
+    const std::string& policy_table, const std::string& filter_table,
+    const std::string& activity, const std::string& resource,
+    const rel::Expr* with, std::vector<rel::Value> extra_columns) {
+  WFRM_ASSIGN_OR_RETURN(std::vector<ConjunctiveRange> ranges,
+                        NormalizeRangeClause(with));
+  if (ranges.empty()) {
+    return Status::InvalidArgument("With clause is unsatisfiable");
+  }
+  rel::Table* policies = db_.GetTable(policy_table);
+  rel::Table* filter = db_.GetTable(filter_table);
+  int64_t group = next_group_++;
+  for (const ConjunctiveRange& raw_range : ranges) {
+    // Store attributes under their canonical declared spelling so index
+    // probes (exact string equality) are case-robust.
+    ConjunctiveRange range;
+    for (const auto& [attr, interval] : raw_range) {
+      WFRM_ASSIGN_OR_RETURN(org::AttributeDef def,
+                            org_->activities().FindAttribute(activity, attr));
+      range.emplace(def.name, interval);
+    }
+    int64_t pid = next_pid_++;
+    rel::Row row = {rel::Value::Int(pid), rel::Value::Int(group),
+                    rel::Value::String(activity), rel::Value::String(resource),
+                    rel::Value::Int(static_cast<int64_t>(range.size()))};
+    for (const rel::Value& v : extra_columns) row.push_back(v);
+    WFRM_RETURN_NOT_OK(policies->Insert(std::move(row)).status());
+    for (const auto& [attr, interval] : range) {
+      std::string lower = EncodedDomainMin();
+      std::string upper = EncodedDomainMax();
+      if (interval.lower) {
+        WFRM_ASSIGN_OR_RETURN(lower, EncodeKey(*interval.lower));
+      }
+      if (interval.upper) {
+        WFRM_ASSIGN_OR_RETURN(upper, EncodeKey(*interval.upper));
+      }
+      WFRM_RETURN_NOT_OK(
+          filter
+              ->Insert({rel::Value::Int(pid), rel::Value::String(attr),
+                        rel::Value::String(std::move(lower)),
+                        rel::Value::String(std::move(upper)),
+                        rel::Value::Bool(interval.lower_inclusive),
+                        rel::Value::Bool(interval.upper_inclusive)})
+              .status());
+      if (filter_table == kFilter) ++filter_attr_counts_[attr];
+    }
+  }
+  return group;
+}
+
+Result<int64_t> PolicyStore::AddQualification(const QualificationPolicy& p) {
+  WFRM_ASSIGN_OR_RETURN(std::string resource,
+                        org_->resources().Canonical(p.resource));
+  WFRM_ASSIGN_OR_RETURN(std::string activity,
+                        org_->activities().Canonical(p.activity));
+  int64_t pid = next_pid_++;
+  WFRM_RETURN_NOT_OK(db_.GetTable(kQualifications)
+                         ->Insert({rel::Value::Int(pid),
+                                   rel::Value::String(resource),
+                                   rel::Value::String(activity)})
+                         .status());
+  return pid;
+}
+
+Result<int64_t> PolicyStore::AddRequirement(const RequirementPolicy& p) {
+  WFRM_ASSIGN_OR_RETURN(std::string resource,
+                        org_->resources().Canonical(p.resource));
+  WFRM_ASSIGN_OR_RETURN(std::string activity,
+                        org_->activities().Canonical(p.activity));
+  WFRM_RETURN_NOT_OK(ValidateRangeClause(activity, p.with.get()));
+  WFRM_RETURN_NOT_OK(
+      ValidateRequirementWhere(resource, activity, p.where.get()));
+  std::string where_text = p.where ? p.where->ToString() : "";
+  return InsertDecomposed(kPolicies, kFilter, activity, resource, p.with.get(),
+                          {rel::Value::String(std::move(where_text))});
+}
+
+Result<int64_t> PolicyStore::AddSubstitution(const SubstitutionPolicy& p) {
+  WFRM_ASSIGN_OR_RETURN(std::string substituted,
+                        org_->resources().Canonical(p.substituted_resource));
+  WFRM_ASSIGN_OR_RETURN(std::string substituting,
+                        org_->resources().Canonical(p.substituting_resource));
+  WFRM_ASSIGN_OR_RETURN(std::string activity,
+                        org_->activities().Canonical(p.activity));
+  WFRM_RETURN_NOT_OK(ValidateRangeClause(activity, p.with.get()));
+  WFRM_RETURN_NOT_OK(
+      ValidateResourceRangeClause(substituted, p.substituted_where.get()));
+  WFRM_RETURN_NOT_OK(
+      ValidateResourceRangeClause(substituting, p.substituting_where.get()));
+  std::string substituted_where =
+      p.substituted_where ? p.substituted_where->ToString() : "";
+  std::string substituting_where =
+      p.substituting_where ? p.substituting_where->ToString() : "";
+  return InsertDecomposed(
+      kSubstPolicies, kSubstFilter, activity, substituted, p.with.get(),
+      {rel::Value::String(std::move(substituted_where)),
+       rel::Value::String(substituting),
+       rel::Value::String(std::move(substituting_where))});
+}
+
+Result<int64_t> PolicyStore::AddPolicy(const ParsedPolicy& policy) {
+  if (const auto* q = std::get_if<QualificationPolicy>(&policy)) {
+    return AddQualification(*q);
+  }
+  if (const auto* r = std::get_if<RequirementPolicy>(&policy)) {
+    return AddRequirement(*r);
+  }
+  return AddSubstitution(std::get<SubstitutionPolicy>(policy));
+}
+
+Status PolicyStore::AddPolicyText(std::string_view pl_text) {
+  WFRM_ASSIGN_OR_RETURN(std::vector<ParsedPolicy> policies,
+                        ParsePolicies(pl_text));
+  for (const ParsedPolicy& p : policies) {
+    WFRM_RETURN_NOT_OK(AddPolicy(p).status());
+  }
+  return Status::OK();
+}
+
+// ---- Qualification retrieval ------------------------------------------------
+
+Result<std::vector<std::string>> PolicyStore::QualifiedSubtypes(
+    const std::string& resource, const std::string& activity) const {
+  ++stats_.retrievals;
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> act_ancestors,
+                        org_->activities().Ancestors(activity));
+  NameSet act_set = ToSet(act_ancestors);
+
+  // Resource types directly qualified for some super-type of `activity`.
+  NameSet qualified;
+  const rel::Table* quals = db_.GetTable(kQualifications);
+  if (use_indexes_) {
+    const rel::OrderedIndex* idx = quals->ordered_indexes()[0].get();
+    for (const std::string& a : act_ancestors) {
+      rel::IndexProbe probe;
+      probe.equals = {rel::Value::String(a)};
+      for (rel::RowId rid : idx->Scan(probe)) {
+        if (!quals->IsLive(rid)) continue;
+        ++stats_.candidate_rows;
+        qualified.insert(quals->row(rid)[1].string_value());
+      }
+    }
+  } else {
+    quals->ForEach([&](rel::RowId, const rel::Row& row) {
+      ++stats_.candidate_rows;
+      if (act_set.count(row[2].string_value()) > 0) {
+        qualified.insert(row[1].string_value());
+      }
+    });
+  }
+
+  // §4.1: keep the sub-types of `resource` one of whose ancestors is
+  // directly qualified.
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> subtypes,
+                        org_->resources().Descendants(resource));
+  std::vector<std::string> out;
+  for (const std::string& sub : subtypes) {
+    WFRM_ASSIGN_OR_RETURN(std::vector<std::string> chain,
+                          org_->resources().Ancestors(sub));
+    for (const std::string& anc : chain) {
+      if (qualified.count(anc) > 0) {
+        out.push_back(sub);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<bool> PolicyStore::IsQualified(const std::string& resource,
+                                      const std::string& activity) const {
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> act_ancestors,
+                        org_->activities().Ancestors(activity));
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> res_ancestors,
+                        org_->resources().Ancestors(resource));
+  NameSet act_set = ToSet(act_ancestors);
+  NameSet res_set = ToSet(res_ancestors);
+  bool found = false;
+  db_.GetTable(kQualifications)->ForEach([&](rel::RowId, const rel::Row& row) {
+    if (res_set.count(row[1].string_value()) > 0 &&
+        act_set.count(row[2].string_value()) > 0) {
+      found = true;
+    }
+  });
+  return found;
+}
+
+// ---- Requirement retrieval ---------------------------------------------------
+
+Result<std::vector<PolicyStore::CandidateRow>> PolicyStore::CandidatePolicies(
+    const std::string& table, const std::vector<std::string>& activities,
+    const std::vector<std::string>& resources) const {
+  const rel::Table* policies = db_.GetTable(table);
+  std::vector<CandidateRow> out;
+  auto add_row = [&](const rel::Row& row) {
+    out.push_back(CandidateRow{row[0].int_value(), row[1].int_value(),
+                               row[4].int_value(), &row});
+  };
+  if (use_indexes_) {
+    const rel::OrderedIndex* idx = policies->ordered_indexes()[0].get();
+    for (const std::string& a : activities) {
+      for (const std::string& r : resources) {
+        rel::IndexProbe probe;
+        probe.equals = {rel::Value::String(a), rel::Value::String(r)};
+        for (rel::RowId rid : idx->Scan(probe)) {
+          if (!policies->IsLive(rid)) continue;
+          ++stats_.candidate_rows;
+          add_row(policies->row(rid));
+        }
+      }
+    }
+  } else {
+    NameSet act_set = ToSet(activities);
+    NameSet res_set = ToSet(resources);
+    policies->ForEach([&](rel::RowId, const rel::Row& row) {
+      ++stats_.candidate_rows;
+      if (act_set.count(row[2].string_value()) > 0 &&
+          res_set.count(row[3].string_value()) > 0) {
+        add_row(row);
+      }
+    });
+  }
+  return out;
+}
+
+rel::ParamMap PolicyStore::CanonicalizeSpec(const std::string& activity,
+                                            const rel::ParamMap& spec) const {
+  rel::ParamMap out;
+  for (const auto& [attr, value] : spec) {
+    auto def = org_->activities().FindAttribute(activity, attr);
+    out[def.ok() ? def->name : attr] = value;
+  }
+  return out;
+}
+
+Result<std::unordered_map<int64_t, int64_t>>
+PolicyStore::CountEnclosingIntervals(const std::string& filter_table,
+                                     const rel::ParamMap& spec) const {
+  const rel::Table* filter = db_.GetTable(filter_table);
+  std::unordered_map<int64_t, int64_t> counts;
+
+  // Residual predicate shared by both paths: the interval row [lo, up]
+  // (encoded, with inclusivity flags) must enclose the encoded value.
+  auto encloses = [](const rel::Row& row, const std::string& enc) {
+    const std::string& lo = row[2].string_value();
+    const std::string& up = row[3].string_value();
+    bool lo_incl = row[4].bool_value();
+    bool up_incl = row[5].bool_value();
+    if (enc < lo || (enc == lo && !lo_incl)) return false;
+    if (up < enc || (enc == up && !up_incl)) return false;
+    return true;
+  };
+
+  for (const auto& [attr, value] : spec) {
+    WFRM_ASSIGN_OR_RETURN(std::string enc, EncodeKey(value));
+    if (use_indexes_) {
+      // Probe the concatenated (Attribute, LowerBound, UpperBound)
+      // index: equality on Attribute, range LowerBound <= enc.
+      const rel::OrderedIndex* idx = filter->ordered_indexes()[0].get();
+      rel::IndexProbe probe;
+      probe.equals = {rel::Value::String(attr)};
+      probe.upper = rel::Bound{rel::Value::String(enc), /*inclusive=*/true};
+      for (rel::RowId rid : idx->Scan(probe)) {
+        if (!filter->IsLive(rid)) continue;
+        ++stats_.interval_rows;
+        const rel::Row& row = filter->row(rid);
+        if (encloses(row, enc)) counts[row[0].int_value()]++;
+      }
+    } else {
+      filter->ForEach([&](rel::RowId, const rel::Row& row) {
+        ++stats_.interval_rows;
+        if (row[1].string_value() != attr) return;
+        if (encloses(row, enc)) counts[row[0].int_value()]++;
+      });
+    }
+  }
+  return counts;
+}
+
+Result<std::vector<RelevantRequirement>>
+PolicyStore::RelevantRequirementsDirect(const std::string& resource,
+                                        const std::string& activity,
+                                        const rel::ParamMap& spec) const {
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> act_ancestors,
+                        org_->activities().Ancestors(activity));
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> res_ancestors,
+                        org_->resources().Ancestors(resource));
+  WFRM_ASSIGN_OR_RETURN(
+      std::vector<CandidateRow> candidates,
+      CandidatePolicies(kPolicies, act_ancestors, res_ancestors));
+  WFRM_ASSIGN_OR_RETURN(auto counts, CountEnclosingIntervals(kFilter, spec));
+
+  std::vector<RelevantRequirement> out;
+  for (const CandidateRow& c : candidates) {
+    auto it = counts.find(c.pid);
+    int64_t enclosed = it == counts.end() ? 0 : it->second;
+    // Figure 15's union: all intervals enclose the specification, or the
+    // policy constrains no interval at all.
+    if (c.num_intervals == 0 || enclosed == c.num_intervals) {
+      out.push_back(RelevantRequirement{c.pid, c.group,
+                                        (*c.row)[5].string_value()});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.pid < b.pid; });
+  return out;
+}
+
+Result<std::vector<RelevantRequirement>> PolicyStore::RelevantRequirementsSql(
+    const std::string& resource, const std::string& activity,
+    const rel::ParamMap& spec) const {
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> act_ancestors,
+                        org_->activities().Ancestors(activity));
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> res_ancestors,
+                        org_->resources().Ancestors(resource));
+
+  // Figure 13: view on Policies. Ancestor() expands to an In-list (the
+  // paper: "the inclusion check can be implemented as a group of
+  // disjunctively related equality comparisons"). GroupID is carried
+  // along so enforcement can apply each source policy once.
+  auto in_list = [](const std::vector<std::string>& names) {
+    std::string out = "(";
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += Quote(names[i]);
+    }
+    return out + ")";
+  };
+  std::string fig13 =
+      "Select PID, GroupID, NumberOfIntervals, WhereClause From Policies "
+      "Where Activity In " +
+      in_list(act_ancestors) + " And Resource In " + in_list(res_ancestors);
+
+  // Figure 14: view on Filter, counting enclosing intervals per PID.
+  std::string fig14 = "Select PID, Count(*) From Filter Where ";
+  if (spec.empty()) {
+    fig14 += "1 = 0";  // No bound attribute can match any interval.
+  } else {
+    bool first = true;
+    for (const auto& [attr, value] : spec) {
+      WFRM_ASSIGN_OR_RETURN(std::string enc, EncodeKey(value));
+      std::string e = Quote(enc);
+      if (!first) fig14 += " Or ";
+      first = false;
+      fig14 += "(Attribute = " + Quote(attr) + " And (LowerBound < " + e +
+               " Or (LowerInclusive = TRUE And LowerBound = " + e +
+               ")) And (" + e + " < UpperBound Or (UpperInclusive = TRUE "
+               "And UpperBound = " + e + ")))";
+    }
+  }
+  fig14 += " Group by PID";
+
+  WFRM_ASSIGN_OR_RETURN(rel::SelectPtr fig13_stmt,
+                        rel::SqlParser::ParseSelect(fig13));
+  WFRM_ASSIGN_OR_RETURN(rel::SelectPtr fig14_stmt,
+                        rel::SqlParser::ParseSelect(fig14));
+  db_.CreateOrReplaceView("Relevant_Policies",
+                          {"PID", "GroupID", "NumberOfIntervals",
+                           "WhereClause"},
+                          std::move(fig13_stmt));
+  db_.CreateOrReplaceView("Relevant_Filter", {"PID", "NumberOfIntervals"},
+                          std::move(fig14_stmt));
+
+  // Figure 15: the union retrieving the additional selection criteria.
+  const char* fig15 =
+      "Select Relevant_Policies.PID, Relevant_Policies.GroupID, "
+      "Relevant_Policies.WhereClause "
+      "From Relevant_Policies, Relevant_Filter "
+      "Where Relevant_Policies.PID = Relevant_Filter.PID And "
+      "Relevant_Policies.NumberOfIntervals = "
+      "Relevant_Filter.NumberOfIntervals "
+      "Union "
+      "Select PID, GroupID, WhereClause From Relevant_Policies "
+      "Where Relevant_Policies.NumberOfIntervals = 0";
+
+  rel::ExecOptions opts;
+  opts.use_indexes = use_indexes_;
+  rel::Executor exec(&db_, opts);
+  WFRM_ASSIGN_OR_RETURN(rel::ResultSet rs, exec.Query(fig15));
+  stats_.candidate_rows += exec.stats().rows_scanned;
+
+  std::vector<RelevantRequirement> out;
+  out.reserve(rs.rows.size());
+  for (const rel::Row& row : rs.rows) {
+    out.push_back(RelevantRequirement{row[0].int_value(), row[1].int_value(),
+                                      row[2].string_value()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.pid < b.pid; });
+  return out;
+}
+
+/// The Policies-first join order: Figure 13 candidates drive, each
+/// verified against its own Filter rows. Complexity is
+/// O(candidates · i) hash lookups instead of per-attribute range scans.
+Result<std::vector<RelevantRequirement>>
+PolicyStore::RelevantRequirementsPoliciesFirst(
+    const std::string& resource, const std::string& activity,
+    const rel::ParamMap& spec) const {
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> act_ancestors,
+                        org_->activities().Ancestors(activity));
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> res_ancestors,
+                        org_->resources().Ancestors(resource));
+  WFRM_ASSIGN_OR_RETURN(
+      std::vector<CandidateRow> candidates,
+      CandidatePolicies(kPolicies, act_ancestors, res_ancestors));
+
+  // Pre-encode the specification once.
+  std::unordered_map<std::string, std::string> encoded;
+  for (const auto& [attr, value] : spec) {
+    WFRM_ASSIGN_OR_RETURN(std::string enc, EncodeKey(value));
+    encoded.emplace(attr, std::move(enc));
+  }
+
+  const rel::Table* filter = db_.GetTable(kFilter);
+  const rel::HashIndex* by_pid = filter->hash_indexes()[0].get();
+
+  std::vector<RelevantRequirement> out;
+  for (const CandidateRow& c : candidates) {
+    bool all_enclose = true;
+    if (c.num_intervals > 0) {
+      if (use_indexes_) {
+        std::vector<rel::RowId> rids =
+            by_pid->Lookup({rel::Value::Int(c.pid)});
+        int64_t enclosing = 0;
+        for (rel::RowId rid : rids) {
+          if (!filter->IsLive(rid)) continue;
+          ++stats_.interval_rows;
+          const rel::Row& row = filter->row(rid);
+          auto it = encoded.find(row[1].string_value());
+          if (it == encoded.end()) continue;
+          const std::string& enc = it->second;
+          const std::string& lo = row[2].string_value();
+          const std::string& up = row[3].string_value();
+          if (enc < lo || (enc == lo && !row[4].bool_value())) continue;
+          if (up < enc || (enc == up && !row[5].bool_value())) continue;
+          ++enclosing;
+        }
+        all_enclose = enclosing == c.num_intervals;
+      } else {
+        int64_t enclosing = 0;
+        filter->ForEach([&](rel::RowId, const rel::Row& row) {
+          if (row[0].int_value() != c.pid) return;
+          ++stats_.interval_rows;
+          auto it = encoded.find(row[1].string_value());
+          if (it == encoded.end()) return;
+          const std::string& enc = it->second;
+          const std::string& lo = row[2].string_value();
+          const std::string& up = row[3].string_value();
+          if (enc < lo || (enc == lo && !row[4].bool_value())) return;
+          if (up < enc || (enc == up && !row[5].bool_value())) return;
+          ++enclosing;
+        });
+        all_enclose = enclosing == c.num_intervals;
+      }
+    }
+    if (all_enclose) {
+      out.push_back(RelevantRequirement{c.pid, c.group,
+                                        (*c.row)[5].string_value()});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.pid < b.pid; });
+  return out;
+}
+
+SelectivityParams PolicyStore::EstimateParams() const {
+  SelectivityParams p;
+  p.num_activities = std::max<size_t>(2, org_->activities().size());
+  p.num_resources = std::max<size_t>(2, org_->resources().size());
+  const rel::Table* policies = db_.GetTable(kPolicies);
+  const rel::Table* filter = db_.GetTable(kFilter);
+  double n = static_cast<double>(policies->num_rows());
+  // Distinct (Activity, Resource) pairs straight off the concatenated
+  // index.
+  double pairs = static_cast<double>(
+      std::max<size_t>(1, policies->ordered_indexes()[0]->num_keys()));
+  p.c = std::max(1.0, n / pairs);
+  p.q = std::max(1.0, pairs / static_cast<double>(p.num_resources));
+  p.intervals_per_range =
+      n == 0 ? 1.0 : static_cast<double>(filter->num_rows()) / n;
+  return p;
+}
+
+bool PolicyStore::PreferPoliciesFirst(size_t num_spec_attributes) const {
+  SelectivityParams p = EstimateParams();
+  const rel::Table* policies = db_.GetTable(kPolicies);
+  const rel::Table* filter = db_.GetTable(kFilter);
+  double n = static_cast<double>(policies->num_rows());
+  double f = static_cast<double>(filter->num_rows());
+  // Policies-first verifies each expected Figure 13 candidate against
+  // its i interval rows (hash lookups).
+  double cost_policies_first =
+      SelectivityPolicies(p) * n * std::max(1.0, p.intervals_per_range);
+  // Filter-first issues one (Attribute, LowerBound <= x) range probe per
+  // bound attribute; each visits about half of that attribute's
+  // partition of Filter, matched or not.
+  double attrs = static_cast<double>(std::max<size_t>(1, num_filter_attributes()));
+  double cost_filter_first =
+      static_cast<double>(std::max<size_t>(1, num_spec_attributes)) * f /
+      (2.0 * attrs);
+  return cost_policies_first < cost_filter_first;
+}
+
+Result<std::vector<RelevantRequirement>> PolicyStore::RelevantRequirements(
+    const std::string& resource, const std::string& activity,
+    const rel::ParamMap& spec) const {
+  ++stats_.retrievals;
+  WFRM_ASSIGN_OR_RETURN(std::string res,
+                        org_->resources().Canonical(resource));
+  WFRM_ASSIGN_OR_RETURN(std::string act,
+                        org_->activities().Canonical(activity));
+  rel::ParamMap canonical_spec = CanonicalizeSpec(act, spec);
+  if (mode_ == RetrievalMode::kSql) {
+    return RelevantRequirementsSql(res, act, canonical_spec);
+  }
+  bool policies_first = plan_ == DirectPlan::kPoliciesFirst ||
+                        (plan_ == DirectPlan::kAdaptive &&
+                         PreferPoliciesFirst(canonical_spec.size()));
+  if (policies_first) {
+    ++stats_.plans_policies_first;
+    return RelevantRequirementsPoliciesFirst(res, act, canonical_spec);
+  }
+  ++stats_.plans_filter_first;
+  return RelevantRequirementsDirect(res, act, canonical_spec);
+}
+
+// ---- Substitution retrieval --------------------------------------------------
+
+Result<std::vector<RelevantSubstitution>> PolicyStore::RelevantSubstitutions(
+    const std::string& resource, const rel::Expr* query_where,
+    const std::string& activity, const rel::ParamMap& spec) const {
+  ++stats_.retrievals;
+  WFRM_ASSIGN_OR_RETURN(std::string res,
+                        org_->resources().Canonical(resource));
+  WFRM_ASSIGN_OR_RETURN(std::string act,
+                        org_->activities().Canonical(activity));
+
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> act_ancestors,
+                        org_->activities().Ancestors(act));
+  // §4.3 condition 1: the substituted resource shares a sub-type with
+  // the query's resource. In a tree hierarchy that holds exactly when
+  // one is an ancestor of the other (the query resource implies all its
+  // sub-types, footnote 1).
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> res_related,
+                        org_->resources().Ancestors(res));
+  {
+    WFRM_ASSIGN_OR_RETURN(std::vector<std::string> desc,
+                          org_->resources().Descendants(res));
+    // Descendants() includes `res` which Ancestors() already lists.
+    for (std::string& d : desc) {
+      if (!EqualsIgnoreCase(d, res)) res_related.push_back(std::move(d));
+    }
+  }
+
+  WFRM_ASSIGN_OR_RETURN(
+      std::vector<CandidateRow> candidates,
+      CandidatePolicies(kSubstPolicies, act_ancestors, res_related));
+  WFRM_ASSIGN_OR_RETURN(
+      auto counts,
+      CountEnclosingIntervals(kSubstFilter, CanonicalizeSpec(act, spec)));
+
+  // §4.3 condition 2: the resource ranges intersect.
+  ConjunctiveRange query_range = ExtractConjunctiveRange(query_where);
+
+  std::vector<RelevantSubstitution> out;
+  for (const CandidateRow& c : candidates) {
+    auto it = counts.find(c.pid);
+    int64_t enclosed = it == counts.end() ? 0 : it->second;
+    if (!(c.num_intervals == 0 || enclosed == c.num_intervals)) continue;
+
+    const rel::Row& row = *c.row;
+    const std::string& substituted_where = row[5].string_value();
+    if (!substituted_where.empty()) {
+      WFRM_ASSIGN_OR_RETURN(rel::ExprPtr parsed,
+                            rel::SqlParser::ParseExpr(substituted_where));
+      WFRM_ASSIGN_OR_RETURN(std::vector<ConjunctiveRange> ranges,
+                            NormalizeRangeClause(parsed.get()));
+      bool intersects = false;
+      for (const ConjunctiveRange& r : ranges) {
+        WFRM_ASSIGN_OR_RETURN(bool x, RangesIntersect(query_range, r));
+        if (x) {
+          intersects = true;
+          break;
+        }
+      }
+      if (!intersects) continue;
+    }
+    out.push_back(RelevantSubstitution{
+        c.pid, c.group, row[3].string_value(), substituted_where,
+        row[6].string_value(), row[7].string_value()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.pid < b.pid; });
+  return out;
+}
+
+Result<PolicyStore::ViewSelectivity> PolicyStore::MeasureViewSelectivity(
+    const std::string& resource, const std::string& activity,
+    const rel::ParamMap& spec) const {
+  WFRM_ASSIGN_OR_RETURN(std::string res, org_->resources().Canonical(resource));
+  WFRM_ASSIGN_OR_RETURN(std::string act, org_->activities().Canonical(activity));
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> act_anc,
+                        org_->activities().Ancestors(act));
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> res_anc,
+                        org_->resources().Ancestors(res));
+  NameSet act_set = ToSet(act_anc);
+  NameSet res_set = ToSet(res_anc);
+
+  ViewSelectivity out;
+  const rel::Table* policies = db_.GetTable(kPolicies);
+  policies->ForEach([&](rel::RowId, const rel::Row& row) {
+    if (act_set.count(row[2].string_value()) > 0 &&
+        res_set.count(row[3].string_value()) > 0) {
+      ++out.policies_matched;
+    }
+  });
+
+  rel::ParamMap canonical = CanonicalizeSpec(act, spec);
+  std::unordered_map<std::string, std::string> encoded;
+  for (const auto& [attr, value] : canonical) {
+    WFRM_ASSIGN_OR_RETURN(std::string enc, EncodeKey(value));
+    encoded.emplace(attr, std::move(enc));
+  }
+  const rel::Table* filter = db_.GetTable(kFilter);
+  Status st = Status::OK();
+  filter->ForEach([&](rel::RowId, const rel::Row& row) {
+    auto it = encoded.find(row[1].string_value());
+    if (it == encoded.end()) return;
+    const std::string& enc = it->second;
+    const std::string& lo = row[2].string_value();
+    const std::string& up = row[3].string_value();
+    if (enc < lo || (enc == lo && !row[4].bool_value())) return;
+    if (up < enc || (enc == up && !row[5].bool_value())) return;
+    ++out.filter_matched;
+  });
+  WFRM_RETURN_NOT_OK(st);
+
+  size_t policies_total = policies->num_rows();
+  size_t filter_total = filter->num_rows();
+  out.policies_rate = policies_total == 0
+                          ? 0.0
+                          : static_cast<double>(out.policies_matched) /
+                                static_cast<double>(policies_total);
+  out.filter_rate = filter_total == 0
+                        ? 0.0
+                        : static_cast<double>(out.filter_matched) /
+                              static_cast<double>(filter_total);
+  return out;
+}
+
+Result<std::vector<PolicyStore::RequirementDiagnosis>>
+PolicyStore::DiagnoseRequirements(const std::string& resource,
+                                  const std::string& activity,
+                                  const rel::ParamMap& spec) const {
+  WFRM_ASSIGN_OR_RETURN(std::string res, org_->resources().Canonical(resource));
+  WFRM_ASSIGN_OR_RETURN(std::string act,
+                        org_->activities().Canonical(activity));
+  rel::ParamMap bindings = CanonicalizeSpec(act, spec);
+  WFRM_ASSIGN_OR_RETURN(auto groups, ListRequirements());
+
+  std::vector<RequirementDiagnosis> out;
+  out.reserve(groups.size());
+  for (const auto& g : groups) {
+    RequirementDiagnosis d;
+    d.group = g.group;
+    d.resource = g.resource;
+    d.activity = g.activity;
+    d.where_clause = g.where_clause;
+
+    WFRM_ASSIGN_OR_RETURN(bool res_ok,
+                          org_->resources().IsSubtypeOf(res, g.resource));
+    if (!res_ok) {
+      d.verdict = RequirementDiagnosis::Verdict::kResourceMismatch;
+      d.detail = "'" + res + "' is not a sub-type of '" + g.resource + "'";
+      out.push_back(std::move(d));
+      continue;
+    }
+    WFRM_ASSIGN_OR_RETURN(bool act_ok,
+                          org_->activities().IsSubtypeOf(act, g.activity));
+    if (!act_ok) {
+      d.verdict = RequirementDiagnosis::Verdict::kActivityMismatch;
+      d.detail = "'" + act + "' is not a sub-type of '" + g.activity + "'";
+      out.push_back(std::move(d));
+      continue;
+    }
+
+    bool inside = false;
+    for (const ConjunctiveRange& range : g.range_data) {
+      WFRM_ASSIGN_OR_RETURN(bool x, RangeContainsBindings(range, bindings));
+      if (x) {
+        inside = true;
+        break;
+      }
+    }
+    if (!inside) {
+      d.verdict = RequirementDiagnosis::Verdict::kRangeMismatch;
+      // Point at the first failing attribute of the first disjunct.
+      std::string why;
+      if (!g.range_data.empty()) {
+        for (const auto& [attr, interval] : g.range_data[0]) {
+          auto it = bindings.find(attr);
+          if (it == bindings.end()) {
+            why = attr + " is unbound but constrained to " +
+                  interval.ToString();
+            break;
+          }
+          auto contains = interval.Contains(it->second);
+          if (contains.ok() && !*contains) {
+            why = attr + " = " + it->second.ToString() + " outside " +
+                  interval.ToString();
+            break;
+          }
+        }
+      }
+      d.detail = why.empty() ? "specification outside the activity range"
+                             : why;
+      out.push_back(std::move(d));
+      continue;
+    }
+    d.verdict = RequirementDiagnosis::Verdict::kApplied;
+    d.detail = "all §4.2 conditions hold";
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+Result<std::vector<PolicyStore::SubstitutionDiagnosis>>
+PolicyStore::DiagnoseSubstitutions(const std::string& resource,
+                                   const rel::Expr* query_where,
+                                   const std::string& activity,
+                                   const rel::ParamMap& spec) const {
+  WFRM_ASSIGN_OR_RETURN(std::string res, org_->resources().Canonical(resource));
+  WFRM_ASSIGN_OR_RETURN(std::string act,
+                        org_->activities().Canonical(activity));
+  rel::ParamMap bindings = CanonicalizeSpec(act, spec);
+  ConjunctiveRange query_range = ExtractConjunctiveRange(query_where);
+  WFRM_ASSIGN_OR_RETURN(auto groups, ListSubstitutions());
+
+  std::vector<SubstitutionDiagnosis> out;
+  out.reserve(groups.size());
+  for (const auto& g : groups) {
+    SubstitutionDiagnosis d;
+    d.group = g.group;
+    d.substituted_resource = g.resource;
+    d.substituting_resource = g.substituting_resource;
+    d.activity = g.activity;
+
+    // §4.3 condition 1: common sub-type — in a tree, one must be the
+    // other's (in)direct super-type (footnote 1: the query type implies
+    // its sub-types).
+    WFRM_ASSIGN_OR_RETURN(bool sub_ab,
+                          org_->resources().IsSubtypeOf(res, g.resource));
+    WFRM_ASSIGN_OR_RETURN(bool sub_ba,
+                          org_->resources().IsSubtypeOf(g.resource, res));
+    if (!sub_ab && !sub_ba) {
+      d.verdict = SubstitutionDiagnosis::Verdict::kResourceUnrelated;
+      d.detail = "'" + res + "' and substituted '" + g.resource +
+                 "' share no sub-type";
+      out.push_back(std::move(d));
+      continue;
+    }
+    // Condition 3: policy activity is a super-type of the query's.
+    WFRM_ASSIGN_OR_RETURN(bool act_ok,
+                          org_->activities().IsSubtypeOf(act, g.activity));
+    if (!act_ok) {
+      d.verdict = SubstitutionDiagnosis::Verdict::kActivityMismatch;
+      d.detail = "'" + act + "' is not a sub-type of '" + g.activity + "'";
+      out.push_back(std::move(d));
+      continue;
+    }
+    // Condition 4: specification inside the activity range.
+    bool inside = false;
+    for (const ConjunctiveRange& range : g.range_data) {
+      WFRM_ASSIGN_OR_RETURN(bool x, RangeContainsBindings(range, bindings));
+      if (x) {
+        inside = true;
+        break;
+      }
+    }
+    if (!inside) {
+      d.verdict = SubstitutionDiagnosis::Verdict::kRangeMismatch;
+      d.detail = "specification outside the policy's activity range";
+      out.push_back(std::move(d));
+      continue;
+    }
+    // Condition 2: resource ranges intersect.
+    bool intersects = true;
+    if (!g.where_clause.empty()) {
+      WFRM_ASSIGN_OR_RETURN(rel::ExprPtr parsed,
+                            rel::SqlParser::ParseExpr(g.where_clause));
+      WFRM_ASSIGN_OR_RETURN(std::vector<ConjunctiveRange> ranges,
+                            NormalizeRangeClause(parsed.get()));
+      intersects = false;
+      for (const ConjunctiveRange& r : ranges) {
+        WFRM_ASSIGN_OR_RETURN(bool x, RangesIntersect(query_range, r));
+        if (x) {
+          intersects = true;
+          break;
+        }
+      }
+    }
+    if (!intersects) {
+      d.verdict = SubstitutionDiagnosis::Verdict::kResourceRangeDisjoint;
+      d.detail = "query range " + RangeToString(query_range) +
+                 " never meets substituted range '" + g.where_clause + "'";
+      out.push_back(std::move(d));
+      continue;
+    }
+    d.verdict = SubstitutionDiagnosis::Verdict::kApplied;
+    d.detail = "all §4.3 conditions hold";
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+// ---- Introspection ----------------------------------------------------------
+
+namespace {
+
+/// Rebuilds the interval map of one policy row from its Filter rows.
+Result<ConjunctiveRange> DecodeIntervalRows(
+    const std::vector<const rel::Row*>& rows) {
+  ConjunctiveRange range;
+  for (const rel::Row* row : rows) {
+    Interval iv;
+    const std::string& lo = (*row)[2].string_value();
+    const std::string& up = (*row)[3].string_value();
+    if (lo != EncodedDomainMin()) {
+      WFRM_ASSIGN_OR_RETURN(rel::Value v, DecodeKey(lo));
+      iv.lower = std::move(v);
+      iv.lower_inclusive = (*row)[4].bool_value();
+    }
+    if (up != EncodedDomainMax()) {
+      WFRM_ASSIGN_OR_RETURN(rel::Value v, DecodeKey(up));
+      iv.upper = std::move(v);
+      iv.upper_inclusive = (*row)[5].bool_value();
+    }
+    range.emplace((*row)[1].string_value(), std::move(iv));
+  }
+  return range;
+}
+
+}  // namespace
+
+std::vector<PolicyStore::StoredQualification>
+PolicyStore::ListQualifications() const {
+  std::vector<StoredQualification> out;
+  db_.GetTable(kQualifications)->ForEach([&](rel::RowId, const rel::Row& row) {
+    out.push_back(StoredQualification{
+        row[0].int_value(),
+        QualificationPolicy{row[1].string_value(), row[2].string_value()}});
+  });
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.pid < b.pid; });
+  return out;
+}
+
+namespace {
+
+/// Groups the rows of a decomposed policy table by GroupID, collecting
+/// each row's interval rows from the companion filter table.
+struct GroupedRows {
+  std::vector<int64_t> pids;
+  const rel::Row* first_row = nullptr;
+  std::vector<std::vector<const rel::Row*>> interval_rows;  // Per PID.
+};
+
+}  // namespace
+
+Result<std::vector<PolicyStore::StoredPolicyGroup>> PolicyStore::ListRequirements()
+    const {
+  const rel::Table* policies = db_.GetTable(kPolicies);
+  const rel::Table* filter = db_.GetTable(kFilter);
+
+  std::unordered_map<int64_t, std::vector<const rel::Row*>> intervals_by_pid;
+  filter->ForEach([&](rel::RowId, const rel::Row& row) {
+    intervals_by_pid[row[0].int_value()].push_back(&row);
+  });
+
+  std::map<int64_t, StoredPolicyGroup> groups;
+  Status st = Status::OK();
+  policies->ForEach([&](rel::RowId, const rel::Row& row) {
+    if (!st.ok()) return;
+    int64_t group = row[1].int_value();
+    StoredPolicyGroup& g = groups[group];
+    g.group = group;
+    g.pids.push_back(row[0].int_value());
+    g.activity = row[2].string_value();
+    g.resource = row[3].string_value();
+    g.where_clause = row[5].string_value();
+    auto decoded = DecodeIntervalRows(intervals_by_pid[row[0].int_value()]);
+    if (!decoded.ok()) {
+      st = decoded.status();
+      return;
+    }
+    g.ranges.push_back(RangeToString(*decoded));
+    g.range_data.push_back(std::move(decoded).ValueOrDie());
+  });
+  WFRM_RETURN_NOT_OK(st);
+
+  std::vector<StoredPolicyGroup> out;
+  out.reserve(groups.size());
+  for (auto& [group, g] : groups) out.push_back(std::move(g));
+  return out;
+}
+
+Result<std::vector<PolicyStore::StoredPolicyGroup>> PolicyStore::ListSubstitutions()
+    const {
+  const rel::Table* policies = db_.GetTable(kSubstPolicies);
+  const rel::Table* filter = db_.GetTable(kSubstFilter);
+
+  std::unordered_map<int64_t, std::vector<const rel::Row*>> intervals_by_pid;
+  filter->ForEach([&](rel::RowId, const rel::Row& row) {
+    intervals_by_pid[row[0].int_value()].push_back(&row);
+  });
+
+  std::map<int64_t, StoredPolicyGroup> groups;
+  Status st = Status::OK();
+  policies->ForEach([&](rel::RowId, const rel::Row& row) {
+    if (!st.ok()) return;
+    int64_t group = row[1].int_value();
+    StoredPolicyGroup& g = groups[group];
+    g.group = group;
+    g.pids.push_back(row[0].int_value());
+    g.activity = row[2].string_value();
+    g.resource = row[3].string_value();
+    g.where_clause = row[5].string_value();
+    g.substituting_resource = row[6].string_value();
+    g.substituting_where = row[7].string_value();
+    auto decoded = DecodeIntervalRows(intervals_by_pid[row[0].int_value()]);
+    if (!decoded.ok()) {
+      st = decoded.status();
+      return;
+    }
+    g.ranges.push_back(RangeToString(*decoded));
+    g.range_data.push_back(std::move(decoded).ValueOrDie());
+  });
+  WFRM_RETURN_NOT_OK(st);
+
+  std::vector<StoredPolicyGroup> out;
+  out.reserve(groups.size());
+  for (auto& [group, g] : groups) out.push_back(std::move(g));
+  return out;
+}
+
+Status PolicyStore::RemoveQualification(int64_t pid) {
+  rel::Table* quals = db_.GetTable(kQualifications);
+  std::vector<rel::RowId> to_delete;
+  quals->ForEach([&](rel::RowId rid, const rel::Row& row) {
+    if (row[0].int_value() == pid) to_delete.push_back(rid);
+  });
+  if (to_delete.empty()) {
+    return Status::NotFound("no qualification policy with PID " +
+                            std::to_string(pid));
+  }
+  for (rel::RowId rid : to_delete) WFRM_RETURN_NOT_OK(quals->Delete(rid));
+  return Status::OK();
+}
+
+namespace {
+
+Status RemoveGroupFrom(rel::Table* policies, rel::Table* filter,
+                       int64_t group) {
+  std::vector<rel::RowId> policy_rids;
+  std::unordered_set<int64_t> pids;
+  policies->ForEach([&](rel::RowId rid, const rel::Row& row) {
+    if (row[1].int_value() == group) {
+      policy_rids.push_back(rid);
+      pids.insert(row[0].int_value());
+    }
+  });
+  if (policy_rids.empty()) {
+    return Status::NotFound("no policy group " + std::to_string(group));
+  }
+  std::vector<rel::RowId> filter_rids;
+  filter->ForEach([&](rel::RowId rid, const rel::Row& row) {
+    if (pids.count(row[0].int_value()) > 0) filter_rids.push_back(rid);
+  });
+  for (rel::RowId rid : policy_rids) WFRM_RETURN_NOT_OK(policies->Delete(rid));
+  for (rel::RowId rid : filter_rids) WFRM_RETURN_NOT_OK(filter->Delete(rid));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status PolicyStore::RemoveRequirementGroup(int64_t group) {
+  // Capture the interval attributes being removed to keep the adaptive
+  // planner's statistics in step.
+  rel::Table* policies = db_.GetTable(kPolicies);
+  rel::Table* filter = db_.GetTable(kFilter);
+  std::unordered_set<int64_t> pids;
+  policies->ForEach([&](rel::RowId, const rel::Row& row) {
+    if (row[1].int_value() == group) pids.insert(row[0].int_value());
+  });
+  std::vector<std::string> removed_attrs;
+  filter->ForEach([&](rel::RowId, const rel::Row& row) {
+    if (pids.count(row[0].int_value()) > 0) {
+      removed_attrs.push_back(row[1].string_value());
+    }
+  });
+  WFRM_RETURN_NOT_OK(RemoveGroupFrom(policies, filter, group));
+  for (const std::string& attr : removed_attrs) {
+    auto it = filter_attr_counts_.find(attr);
+    if (it != filter_attr_counts_.end() && --it->second == 0) {
+      filter_attr_counts_.erase(it);
+    }
+  }
+  return Status::OK();
+}
+
+Status PolicyStore::RemoveSubstitutionGroup(int64_t group) {
+  return RemoveGroupFrom(db_.GetTable(kSubstPolicies),
+                         db_.GetTable(kSubstFilter), group);
+}
+
+size_t PolicyStore::num_qualification_rows() const {
+  return db_.GetTable(kQualifications)->num_rows();
+}
+size_t PolicyStore::num_requirement_rows() const {
+  return db_.GetTable(kPolicies)->num_rows();
+}
+size_t PolicyStore::num_requirement_interval_rows() const {
+  return db_.GetTable(kFilter)->num_rows();
+}
+size_t PolicyStore::num_substitution_rows() const {
+  return db_.GetTable(kSubstPolicies)->num_rows();
+}
+
+}  // namespace wfrm::policy

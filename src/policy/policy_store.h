@@ -1,0 +1,358 @@
+#ifndef WFRM_POLICY_POLICY_STORE_H_
+#define WFRM_POLICY_POLICY_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "org/org_model.h"
+#include "policy/dnf.h"
+#include "policy/policy_ast.h"
+#include "policy/selectivity_model.h"
+#include "rel/database.h"
+#include "rel/executor.h"
+
+namespace wfrm::policy {
+
+/// How relevant-policy retrieval is executed.
+enum class RetrievalMode {
+  /// Probes the concatenated indexes directly — the "in-memory query
+  /// processor not leveraging any commercial in-disk DBMS" the paper's
+  /// §6 closing guidance anticipates.
+  kDirect,
+  /// Builds and runs the literal Figure 13/14/15 view + union SQL on the
+  /// embedded relational engine.
+  kSql,
+};
+
+/// Join order for kDirect retrieval — the execution-plan choice §6's
+/// selectivity analysis exists to inform.
+enum class DirectPlan {
+  /// Drive from Relevant_Filter (Figure 14): per-attribute interval
+  /// probes produce enclosure counts per PID, joined against the
+  /// candidate policies. Wins when the Filter view is the more
+  /// selective one (large c).
+  kFilterFirst,
+  /// Drive from Relevant_Policies (Figure 13): (Activity, Resource)
+  /// index probes produce candidates, each verified against its own
+  /// interval rows (hash lookup by PID). Wins when the Policies view is
+  /// the more selective one (small c / large q).
+  kPoliciesFirst,
+  /// Choose per query from the §6 analytic selectivities evaluated on
+  /// live catalog statistics (|A|, |R| from the hierarchies; q, c
+  /// estimated from the stored pair/row counts).
+  kAdaptive,
+};
+
+/// A requirement policy row found relevant for a query (paper §4.2).
+struct RelevantRequirement {
+  int64_t pid = 0;
+  /// Rows produced from the same source policy (one per DNF disjunct of
+  /// its With clause) share a group; enforcement applies the WhereClause
+  /// once per group.
+  int64_t group = 0;
+  std::string where_clause;  // Stored SQL text; empty = no condition.
+};
+
+/// A substitution policy row found relevant for a query (paper §4.3).
+struct RelevantSubstitution {
+  int64_t pid = 0;
+  int64_t group = 0;
+  std::string substituted_resource;
+  std::string substituted_where;    // Range-clause text; may be empty.
+  std::string substituting_resource;
+  std::string substituting_where;   // Range-clause text; may be empty.
+};
+
+/// Retrieval work counters (complement wall-clock benchmarks). Atomic so
+/// concurrent read-only retrievals do not race on bookkeeping.
+struct StoreStats {
+  std::atomic<uint64_t> retrievals{0};
+  std::atomic<uint64_t> candidate_rows{0};   // Policy rows inspected.
+  std::atomic<uint64_t> interval_rows{0};    // Filter rows inspected.
+  // kDirect retrievals per join order.
+  std::atomic<uint64_t> plans_filter_first{0};
+  std::atomic<uint64_t> plans_policies_first{0};
+
+  void Reset() {
+    retrievals = 0;
+    candidate_rows = 0;
+    interval_rows = 0;
+    plans_filter_first = 0;
+    plans_policies_first = 0;
+  }
+};
+
+/// The policy base (paper §5): policies decomposed into relations inside
+/// an embedded in-memory database.
+///
+///   Qualifications(PID, Resource, Activity)
+///   Policies(PID, GroupID, Activity, Resource, NumberOfIntervals,
+///            WhereClause)                       — requirement policies
+///   Filter(PID, Attribute, LowerBound, UpperBound, LowerInclusive,
+///          UpperInclusive)                      — one row per interval
+///   SubstPolicies / SubstFilter                 — substitution policies
+///
+/// On insertion a requirement/substitution policy's With clause is
+/// normalized to DNF; each disjunct becomes its own PID row (sharing a
+/// GroupID) whose conjunctive range is stored as per-attribute intervals
+/// in the filter relation (§5.1). Interval bounds are strings under an
+/// order-preserving encoding (key_encoding.h) so one concatenated index
+/// on (Attribute, LowerBound, UpperBound) serves every attribute type;
+/// Policies carries the §5.2 concatenated index on (Activity, Resource).
+class PolicyStore {
+ public:
+  explicit PolicyStore(const org::OrgModel* org);
+
+  PolicyStore(const PolicyStore&) = delete;
+  PolicyStore& operator=(const PolicyStore&) = delete;
+
+  // ---- Definition ---------------------------------------------------------
+
+  /// Adds a parsed policy; returns the GroupID assigned to it.
+  Result<int64_t> AddPolicy(const ParsedPolicy& policy);
+
+  Result<int64_t> AddQualification(const QualificationPolicy& p);
+  Result<int64_t> AddRequirement(const RequirementPolicy& p);
+  Result<int64_t> AddSubstitution(const SubstitutionPolicy& p);
+
+  /// Parses and adds every ';'-separated statement in `pl_text`.
+  Status AddPolicyText(std::string_view pl_text);
+
+  // ---- Retrieval ----------------------------------------------------------
+
+  /// §4.1: the sub-types of `resource` (including itself) qualified — by
+  /// some qualification policy, under the CWA — to carry out `activity`.
+  /// The returned order follows the hierarchy's preorder.
+  Result<std::vector<std::string>> QualifiedSubtypes(
+      const std::string& resource, const std::string& activity) const;
+
+  /// True if (resource, activity) is covered by some qualification
+  /// policy through inheritance.
+  Result<bool> IsQualified(const std::string& resource,
+                           const std::string& activity) const;
+
+  /// §4.2 / Figures 13–16: requirement policies applicable to a query
+  /// for `resource`, `activity` with the given activity bindings.
+  /// Results are sorted by PID.
+  Result<std::vector<RelevantRequirement>> RelevantRequirements(
+      const std::string& resource, const std::string& activity,
+      const rel::ParamMap& spec) const;
+
+  /// §4.3: substitution policies applicable to a query for `resource`
+  /// (whose Where clause is `query_where`, used for the resource-range
+  /// intersection test) and `activity` with bindings `spec`.
+  Result<std::vector<RelevantSubstitution>> RelevantSubstitutions(
+      const std::string& resource, const rel::Expr* query_where,
+      const std::string& activity, const rel::ParamMap& spec) const;
+
+  // ---- Consultation and maintenance (Figure 1: the PL interface also
+  // lets one "consult existing" policies) --------------------------------
+
+  /// A stored qualification policy with its PID.
+  struct StoredQualification {
+    int64_t pid = 0;
+    QualificationPolicy policy;
+  };
+
+  /// A stored requirement/substitution policy group, reassembled from
+  /// its DNF rows: one rendered interval range per stored disjunct.
+  struct StoredPolicyGroup {
+    int64_t group = 0;
+    std::vector<int64_t> pids;
+    std::string resource;             // Substituted resource for
+                                      // substitution policies.
+    std::string activity;
+    std::string where_clause;         // Requirement Where (may be "").
+    std::string substituting_resource;  // Substitution policies only.
+    std::string substituting_where;     // Substitution policies only.
+    std::vector<std::string> ranges;  // RangeToString per disjunct.
+    /// The decoded interval map per disjunct (same order as `ranges`);
+    /// feeds DumpPl's reconstruction of the With clause.
+    std::vector<ConjunctiveRange> range_data;
+  };
+
+  /// Why a requirement group did or did not apply to a query — the
+  /// explainability counterpart of RelevantRequirements (same §4.2
+  /// conditions, but every group is reported with its verdict).
+  struct RequirementDiagnosis {
+    enum class Verdict {
+      kApplied,
+      kResourceMismatch,  // Policy resource is not a super-type.
+      kActivityMismatch,  // Policy activity is not a super-type.
+      kRangeMismatch,     // Specification outside every disjunct's range.
+    };
+    int64_t group = 0;
+    std::string resource;
+    std::string activity;
+    std::string where_clause;
+    Verdict verdict = Verdict::kApplied;
+    std::string detail;
+  };
+  Result<std::vector<RequirementDiagnosis>> DiagnoseRequirements(
+      const std::string& resource, const std::string& activity,
+      const rel::ParamMap& spec) const;
+
+  /// Why a substitution group did or did not apply (§4.3's four
+  /// conditions, each with its own verdict).
+  struct SubstitutionDiagnosis {
+    enum class Verdict {
+      kApplied,
+      kResourceUnrelated,      // No common sub-type with the query's type.
+      kResourceRangeDisjoint,  // Query range ∩ substituted range = ∅.
+      kActivityMismatch,
+      kRangeMismatch,
+    };
+    int64_t group = 0;
+    std::string substituted_resource;
+    std::string substituting_resource;
+    std::string activity;
+    Verdict verdict = Verdict::kApplied;
+    std::string detail;
+  };
+  Result<std::vector<SubstitutionDiagnosis>> DiagnoseSubstitutions(
+      const std::string& resource, const rel::Expr* query_where,
+      const std::string& activity, const rel::ParamMap& spec) const;
+
+  std::vector<StoredQualification> ListQualifications() const;
+  Result<std::vector<StoredPolicyGroup>> ListRequirements() const;
+  Result<std::vector<StoredPolicyGroup>> ListSubstitutions() const;
+
+  /// Removes a qualification policy by PID.
+  Status RemoveQualification(int64_t pid);
+  /// Removes every row (and its intervals) of a requirement group.
+  Status RemoveRequirementGroup(int64_t group);
+  /// Removes every row (and its intervals) of a substitution group.
+  Status RemoveSubstitutionGroup(int64_t group);
+
+  // ---- Introspection ------------------------------------------------------
+
+  RetrievalMode retrieval_mode() const { return mode_; }
+  void set_retrieval_mode(RetrievalMode mode) { mode_ = mode; }
+
+  DirectPlan direct_plan() const { return plan_; }
+  void set_direct_plan(DirectPlan plan) { plan_ = plan; }
+
+  /// Live parameter estimates feeding the kAdaptive plan choice: |A| and
+  /// |R| from the hierarchies, distinct (Activity, Resource) pairs from
+  /// the concatenated index, q and c derived per §6's N = |R|·q·c.
+  SelectivityParams EstimateParams() const;
+
+  /// True when the §6 model predicts the Policies-first join order is
+  /// the cheaper driver for a query binding `num_spec_attributes`
+  /// activity attributes (used by the kAdaptive plan; exposed for tests
+  /// and benches). The cost model compares expected candidate
+  /// verifications (Selectivity_Policies · N · i) against expected
+  /// interval-probe work (one range probe per bound attribute, each
+  /// visiting about half of its attribute's partition of Filter).
+  bool PreferPoliciesFirst(size_t num_spec_attributes) const;
+
+  /// Distinct attributes currently carrying interval rows in Filter.
+  size_t num_filter_attributes() const { return filter_attr_counts_.size(); }
+
+  /// Disables index usage in both modes (full scans) — the ablation
+  /// baseline for §5.2's concatenated-index recommendation.
+  void set_use_indexes(bool use) { use_indexes_ = use; }
+  bool use_indexes() const { return use_indexes_; }
+
+  /// Measured selectivities of the two §5.2 views for one query: the
+  /// fraction of Policies rows matched by the Figure 13 predicate and
+  /// the fraction of Filter rows matched by the Figure 14 predicate.
+  /// This is the empirical counterpart of the §6 analytical model
+  /// (bench/fig17_selectivity.cc).
+  struct ViewSelectivity {
+    double policies_rate = 0;
+    double filter_rate = 0;
+    size_t policies_matched = 0;
+    size_t filter_matched = 0;
+  };
+  Result<ViewSelectivity> MeasureViewSelectivity(
+      const std::string& resource, const std::string& activity,
+      const rel::ParamMap& spec) const;
+
+  size_t num_qualification_rows() const;
+  size_t num_requirement_rows() const;
+  size_t num_requirement_interval_rows() const;
+  size_t num_substitution_rows() const;
+
+  const rel::Database& db() const { return db_; }
+  const org::OrgModel& org() const { return *org_; }
+
+  const StoreStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  struct CandidateRow {
+    int64_t pid;
+    int64_t group;
+    int64_t num_intervals;
+    const rel::Row* row;
+  };
+
+  Status ValidateRangeClause(const std::string& activity,
+                             const rel::Expr* with) const;
+  Status ValidateResourceRangeClause(const std::string& resource,
+                                     const rel::Expr* clause) const;
+  Status ValidateRequirementWhere(const std::string& resource,
+                                  const std::string& activity,
+                                  const rel::Expr* where) const;
+
+  /// Inserts DNF rows for (activity, resource, with) into `policy_table`
+  /// + `filter_table` with shared group id; extra columns are appended
+  /// to each policy row. Attribute names in the With clause are stored
+  /// under their canonical (declared) spelling.
+  Result<int64_t> InsertDecomposed(const std::string& policy_table,
+                                   const std::string& filter_table,
+                                   const std::string& activity,
+                                   const std::string& resource,
+                                   const rel::Expr* with,
+                                   std::vector<rel::Value> extra_columns);
+
+  /// Rewrites spec keys to their canonical attribute spelling on the
+  /// query's activity type, so lookups match stored rows exactly.
+  rel::ParamMap CanonicalizeSpec(const std::string& activity,
+                                 const rel::ParamMap& spec) const;
+
+  /// Shared candidate scan: policy rows whose Activity/Resource are in
+  /// the given ancestor sets, via concatenated index or full scan.
+  Result<std::vector<CandidateRow>> CandidatePolicies(
+      const std::string& table, const std::vector<std::string>& activities,
+      const std::vector<std::string>& resources) const;
+
+  /// Count of enclosing intervals per PID for the spec bindings, via the
+  /// filter table's concatenated index (kDirect machinery, also used for
+  /// substitution policies).
+  Result<std::unordered_map<int64_t, int64_t>> CountEnclosingIntervals(
+      const std::string& filter_table, const rel::ParamMap& spec) const;
+
+  Result<std::vector<RelevantRequirement>> RelevantRequirementsDirect(
+      const std::string& resource, const std::string& activity,
+      const rel::ParamMap& spec) const;
+  Result<std::vector<RelevantRequirement>> RelevantRequirementsPoliciesFirst(
+      const std::string& resource, const std::string& activity,
+      const rel::ParamMap& spec) const;
+  Result<std::vector<RelevantRequirement>> RelevantRequirementsSql(
+      const std::string& resource, const std::string& activity,
+      const rel::ParamMap& spec) const;
+
+  const org::OrgModel* org_;
+  /// Mutable: the kSql path re-registers the per-query Relevant_Policies
+  /// and Relevant_Filter views (Figures 13/14 define them per query).
+  mutable rel::Database db_;
+  /// Live count of Filter rows per attribute, feeding the kAdaptive cost
+  /// model. Maintained on insert/remove.
+  std::unordered_map<std::string, size_t> filter_attr_counts_;
+  RetrievalMode mode_ = RetrievalMode::kDirect;
+  DirectPlan plan_ = DirectPlan::kFilterFirst;
+  bool use_indexes_ = true;
+  int64_t next_pid_ = 100;  // The paper's examples start at PID 100.
+  int64_t next_group_ = 1;
+  mutable StoreStats stats_;
+};
+
+}  // namespace wfrm::policy
+
+#endif  // WFRM_POLICY_POLICY_STORE_H_

@@ -1,0 +1,191 @@
+#include "policy/rewriter.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "rel/parser.h"
+
+namespace wfrm::policy {
+
+namespace {
+
+Result<rel::SelectPtr> SubstituteInSelect(const rel::SelectStatement& s,
+                                          const rel::ParamMap& params);
+
+Result<rel::ExprPtr> Substitute(const rel::Expr& e,
+                                const rel::ParamMap& params) {
+  using rel::Expr;
+  switch (e.kind()) {
+    case Expr::Kind::kLiteral:
+    case Expr::Kind::kColumnRef:
+      return e.Clone();
+    case Expr::Kind::kParameter: {
+      const auto& p = static_cast<const rel::ParameterExpr&>(e);
+      auto it = params.find(p.name());
+      if (it == params.end()) {
+        return Status::InvalidArgument(
+            "policy references activity attribute [" + p.name() +
+            "] which the query's With clause does not bind");
+      }
+      return rel::MakeLiteral(it->second);
+    }
+    case Expr::Kind::kBinary: {
+      const auto& b = static_cast<const rel::BinaryExpr&>(e);
+      WFRM_ASSIGN_OR_RETURN(rel::ExprPtr l, Substitute(b.left(), params));
+      WFRM_ASSIGN_OR_RETURN(rel::ExprPtr r, Substitute(b.right(), params));
+      return rel::MakeBinary(b.op(), std::move(l), std::move(r));
+    }
+    case Expr::Kind::kUnary: {
+      const auto& u = static_cast<const rel::UnaryExpr&>(e);
+      WFRM_ASSIGN_OR_RETURN(rel::ExprPtr operand,
+                            Substitute(u.operand(), params));
+      return rel::ExprPtr(
+          std::make_unique<rel::UnaryExpr>(u.op(), std::move(operand)));
+    }
+    case Expr::Kind::kInList: {
+      const auto& in = static_cast<const rel::InListExpr&>(e);
+      WFRM_ASSIGN_OR_RETURN(rel::ExprPtr needle,
+                            Substitute(in.needle(), params));
+      std::vector<rel::ExprPtr> list;
+      list.reserve(in.haystack().size());
+      for (const auto& item : in.haystack()) {
+        WFRM_ASSIGN_OR_RETURN(rel::ExprPtr x, Substitute(*item, params));
+        list.push_back(std::move(x));
+      }
+      return rel::ExprPtr(std::make_unique<rel::InListExpr>(std::move(needle),
+                                                            std::move(list)));
+    }
+    case Expr::Kind::kSubquery: {
+      const auto& sub = static_cast<const rel::SubqueryExpr&>(e);
+      WFRM_ASSIGN_OR_RETURN(rel::SelectPtr select,
+                            SubstituteInSelect(sub.select(), params));
+      return rel::ExprPtr(
+          std::make_unique<rel::SubqueryExpr>(std::move(select)));
+    }
+    case Expr::Kind::kInSubquery: {
+      const auto& in = static_cast<const rel::InSubqueryExpr&>(e);
+      WFRM_ASSIGN_OR_RETURN(rel::ExprPtr needle,
+                            Substitute(in.needle(), params));
+      WFRM_ASSIGN_OR_RETURN(rel::SelectPtr select,
+                            SubstituteInSelect(in.select(), params));
+      return rel::ExprPtr(std::make_unique<rel::InSubqueryExpr>(
+          std::move(needle), std::move(select)));
+    }
+    case Expr::Kind::kFunction: {
+      const auto& fn = static_cast<const rel::FunctionExpr&>(e);
+      std::vector<rel::ExprPtr> args;
+      args.reserve(fn.args().size());
+      for (const auto& arg : fn.args()) {
+        WFRM_ASSIGN_OR_RETURN(rel::ExprPtr x, Substitute(*arg, params));
+        args.push_back(std::move(x));
+      }
+      return rel::ExprPtr(std::make_unique<rel::FunctionExpr>(
+          fn.name(), std::move(args), fn.star()));
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Result<rel::SelectPtr> SubstituteInSelect(const rel::SelectStatement& s,
+                                          const rel::ParamMap& params) {
+  rel::SelectPtr out = s.Clone();
+  if (out->where) {
+    WFRM_ASSIGN_OR_RETURN(out->where, Substitute(*out->where, params));
+  }
+  for (auto& item : out->items) {
+    if (item.expr) {
+      WFRM_ASSIGN_OR_RETURN(item.expr, Substitute(*item.expr, params));
+    }
+  }
+  if (out->connect_by) {
+    WFRM_ASSIGN_OR_RETURN(out->connect_by->start_with,
+                          Substitute(*out->connect_by->start_with, params));
+    WFRM_ASSIGN_OR_RETURN(out->connect_by->connect,
+                          Substitute(*out->connect_by->connect, params));
+  }
+  if (out->union_next) {
+    WFRM_ASSIGN_OR_RETURN(out->union_next,
+                          SubstituteInSelect(*out->union_next, params));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<rel::ExprPtr> SubstituteParameters(const rel::Expr& expr,
+                                          const rel::ParamMap& params) {
+  return Substitute(expr, params);
+}
+
+Result<std::vector<rql::RqlQuery>> Rewriter::RewriteQualification(
+    const rql::RqlQuery& query) const {
+  WFRM_ASSIGN_OR_RETURN(
+      std::vector<std::string> qualified,
+      store_->QualifiedSubtypes(query.resource(), query.activity()));
+  std::vector<rql::RqlQuery> out;
+  out.reserve(qualified.size());
+  for (const std::string& type : qualified) {
+    rql::RqlQuery rewritten = query.Clone();
+    rewritten.select->from[0].name = type;
+    out.push_back(std::move(rewritten));
+  }
+  return out;
+}
+
+Result<rql::RqlQuery> Rewriter::RewriteRequirement(
+    const rql::RqlQuery& query) const {
+  rel::ParamMap params = query.spec.AsParams();
+  WFRM_ASSIGN_OR_RETURN(std::vector<RelevantRequirement> relevant,
+                        store_->RelevantRequirements(
+                            query.resource(), query.activity(), params));
+
+  rql::RqlQuery out = query.Clone();
+  // Requirement policies are And-related (§3.2); DNF splitting shares a
+  // group id and the WhereClause is applied once per source policy.
+  std::unordered_set<int64_t> applied_groups;
+  for (const RelevantRequirement& req : relevant) {
+    if (!applied_groups.insert(req.group).second) continue;
+    if (req.where_clause.empty()) continue;
+    WFRM_ASSIGN_OR_RETURN(rel::ExprPtr condition,
+                          rel::SqlParser::ParseExpr(req.where_clause));
+    WFRM_ASSIGN_OR_RETURN(condition, Substitute(*condition, params));
+    out.select->where =
+        rel::AndExprs(std::move(out.select->where), std::move(condition));
+  }
+  return out;
+}
+
+Result<std::vector<rql::RqlQuery>> Rewriter::RewriteSubstitution(
+    const rql::RqlQuery& query) const {
+  rel::ParamMap params = query.spec.AsParams();
+  WFRM_ASSIGN_OR_RETURN(
+      std::vector<RelevantSubstitution> relevant,
+      store_->RelevantSubstitutions(query.resource(),
+                                    query.select->where.get(),
+                                    query.activity(), params));
+
+  std::vector<rql::RqlQuery> out;
+  std::set<std::string> seen;
+  for (const RelevantSubstitution& sub : relevant) {
+    rql::RqlQuery alternative = query.Clone();
+    // §4.3: the resource *together with its specification* (From and
+    // Where clauses) is replaced by the substituting description.
+    alternative.select->from[0] = rel::TableRef{sub.substituting_resource, ""};
+    if (sub.substituting_where.empty()) {
+      alternative.select->where = nullptr;
+    } else {
+      WFRM_ASSIGN_OR_RETURN(rel::ExprPtr where,
+                            rel::SqlParser::ParseExpr(sub.substituting_where));
+      WFRM_ASSIGN_OR_RETURN(where, Substitute(*where, params));
+      alternative.select->where = std::move(where);
+    }
+    WFRM_ASSIGN_OR_RETURN(alternative,
+                          rql::BindRql(std::move(alternative), *org_));
+    if (seen.insert(alternative.ToString()).second) {
+      out.push_back(std::move(alternative));
+    }
+  }
+  return out;
+}
+
+}  // namespace wfrm::policy

@@ -1,0 +1,39 @@
+#include "policy/selectivity_model.h"
+
+#include <cmath>
+
+namespace wfrm::policy {
+
+double SelectivityPolicies(const SelectivityParams& p) {
+  double log_a = std::log2(static_cast<double>(p.num_activities));
+  double log_r = std::log2(static_cast<double>(p.num_resources));
+  return (log_a * log_r) / (static_cast<double>(p.num_resources) * p.q);
+}
+
+double SelectivityFilter(const SelectivityParams& p) {
+  return 1.0 / (static_cast<double>(p.num_resources) * p.c);
+}
+
+std::vector<SelectivityPoint> SelectivitySweep(
+    size_t num_activities, size_t num_resources, double total_policies,
+    const std::vector<double>& cs) {
+  std::vector<SelectivityPoint> out;
+  out.reserve(cs.size());
+  for (double c : cs) {
+    SelectivityParams p;
+    p.num_activities = num_activities;
+    p.num_resources = num_resources;
+    p.c = c;
+    p.q = total_policies / (static_cast<double>(num_resources) * c);
+    out.push_back(SelectivityPoint{c, p.q, SelectivityPolicies(p),
+                                   SelectivityFilter(p)});
+  }
+  return out;
+}
+
+std::vector<SelectivityPoint> Figure17Sweep() {
+  // N = 2^12, |A| = |R| = 2^6; c over powers of two up to q = 1.
+  return SelectivitySweep(64, 64, 4096.0, {1, 2, 4, 8, 16, 32, 64});
+}
+
+}  // namespace wfrm::policy

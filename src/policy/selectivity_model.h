@@ -1,0 +1,62 @@
+#ifndef WFRM_POLICY_SELECTIVITY_MODEL_H_
+#define WFRM_POLICY_SELECTIVITY_MODEL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wfrm::policy {
+
+/// The analytical model of paper §6 ("Analytical Evaluation").
+///
+/// Parameters (paper's notation):
+///   |A| — number of activity types
+///   |R| — number of resource types
+///   q   — average number of activity types a resource type is
+///         qualified for (requirement policies per resource, per case)
+///   c   — average number of "cases" per (resource, activity) pair
+///   i   — average number of intervals per activity range
+///   N   — number of requirement policies; N = |R| · q · c
+///
+/// Both hierarchies are complete binary trees, so the average number of
+/// ancestors of a type is log2 of the hierarchy size (the paper's
+/// average-height derivation).
+struct SelectivityParams {
+  size_t num_activities = 64;  // |A| = 2^6 in Figure 17.
+  size_t num_resources = 64;   // |R| = 2^6 in Figure 17.
+  double q = 8;
+  double c = 8;
+  double intervals_per_range = 1;  // i
+
+  double N() const { return static_cast<double>(num_resources) * q * c; }
+};
+
+/// Selectivity rate of the Figure 13 Relevant_Policies view:
+///   (log2|A| · log2|R|) / (|R| · q)
+double SelectivityPolicies(const SelectivityParams& p);
+
+/// Selectivity rate of the Figure 14 Relevant_Filter view:
+///   1 / (|R| · c)
+double SelectivityFilter(const SelectivityParams& p);
+
+/// One point of the Figure 17 sweep.
+struct SelectivityPoint {
+  double c = 0;
+  double q = 0;
+  double policies_rate = 0;
+  double filter_rate = 0;
+};
+
+/// The Figure 17 experiment: N = 2^12, |A| = |R| = 2^6 fixed, c swept
+/// over powers of two (q = N / (|R|·c) anti-proportional to c).
+std::vector<SelectivityPoint> Figure17Sweep();
+
+/// Generic sweep with caller-chosen totals.
+std::vector<SelectivityPoint> SelectivitySweep(size_t num_activities,
+                                               size_t num_resources,
+                                               double total_policies,
+                                               const std::vector<double>& cs);
+
+}  // namespace wfrm::policy
+
+#endif  // WFRM_POLICY_SELECTIVITY_MODEL_H_

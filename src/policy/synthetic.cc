@@ -1,0 +1,178 @@
+#include "policy/synthetic.h"
+
+#include "rel/parser.h"
+
+namespace wfrm::policy {
+
+namespace {
+
+/// The i attributes owned by activity node k: Act<k>_p0 .. Act<k>_p{i-1}.
+/// Giving every activity its own attributes keeps the case ranges of
+/// different activities from enclosing each other's specification
+/// values, which is the §6 assumption behind the q·i numerator of the
+/// Filter selectivity.
+std::string ActivityAttr(size_t k, size_t j) {
+  return "Act" + std::to_string(k) + "_p" + std::to_string(j);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SyntheticWorkload>> SyntheticWorkload::Build(
+    const SyntheticConfig& config) {
+  auto w = std::unique_ptr<SyntheticWorkload>(new SyntheticWorkload());
+  w->config_ = config;
+  w->org_ = std::make_unique<org::OrgModel>();
+  org::OrgModel& org = *w->org_;
+
+  // Activity hierarchy: complete binary tree, each node owning its i
+  // attributes.
+  for (size_t k = 0; k < config.num_activities; ++k) {
+    std::vector<org::AttributeDef> attrs;
+    for (size_t j = 0; j < config.intervals; ++j) {
+      attrs.push_back({ActivityAttr(k, j), rel::DataType::kInt});
+    }
+    std::string parent = k == 0 ? "" : ActivityName((k - 1) / 2);
+    WFRM_RETURN_NOT_OK(
+        org.DefineActivityType(ActivityName(k), parent, std::move(attrs)));
+    w->activity_names_.push_back(ActivityName(k));
+  }
+  for (size_t k = 0; k < config.num_activities; ++k) {
+    if (2 * k + 1 >= config.num_activities) w->leaf_activities_.push_back(k);
+  }
+
+  // Resource hierarchy: complete binary tree; shared attributes at the
+  // root keep resource queries simple.
+  for (size_t k = 0; k < config.num_resources; ++k) {
+    std::vector<org::AttributeDef> attrs;
+    if (k == 0) {
+      attrs = {{"Location", rel::DataType::kString},
+               {"Experience", rel::DataType::kInt}};
+    }
+    std::string parent = k == 0 ? "" : ResourceName((k - 1) / 2);
+    WFRM_RETURN_NOT_OK(
+        org.DefineResourceType(ResourceName(k), parent, std::move(attrs)));
+    w->resource_names_.push_back(ResourceName(k));
+  }
+
+  w->store_ = std::make_unique<PolicyStore>(&org);
+  if (config.build_naive_baseline) {
+    w->naive_ = std::make_unique<NaivePolicyStore>(&org);
+  }
+
+  if (config.with_qualifications) {
+    WFRM_RETURN_NOT_OK(
+        w->store_
+            ->AddQualification(
+                QualificationPolicy{ResourceName(0), ActivityName(0)})
+            .status());
+  }
+
+  // N = |R| · q · c requirement policies.
+  std::mt19937 rng(config.seed);
+  std::uniform_int_distribution<int64_t> exp_dist(0, 20);
+  for (size_t r = 0; r < config.num_resources; ++r) {
+    for (size_t t = 0; t < config.q; ++t) {
+      size_t a = config.general_activity_placement
+                     ? t % config.num_activities
+                     : (r + t) % config.num_activities;
+      for (size_t k = 0; k < config.c; ++k) {
+        // Case k's range: [k·W, (k+1)·W - 1] on each of the activity's
+        // own attributes — identical across resource types, pairwise
+        // disjoint across cases (§6 assumptions).
+        rel::ExprPtr with;
+        for (size_t j = 0; j < config.intervals; ++j) {
+          int64_t lo = static_cast<int64_t>(k) * config.case_width;
+          int64_t hi = lo + config.case_width - 1;
+          rel::ExprPtr piece = rel::AndExprs(
+              rel::MakeComparison(ActivityAttr(a, j), rel::BinaryOp::kGe,
+                                  rel::Value::Int(lo)),
+              rel::MakeComparison(ActivityAttr(a, j), rel::BinaryOp::kLe,
+                                  rel::Value::Int(hi)));
+          with = rel::AndExprs(std::move(with), std::move(piece));
+        }
+        RequirementPolicy policy;
+        policy.resource = ResourceName(r);
+        policy.activity = ActivityName(a);
+        policy.where = rel::MakeComparison("Experience", rel::BinaryOp::kGe,
+                                           rel::Value::Int(exp_dist(rng)));
+        policy.with = with ? with->Clone() : nullptr;
+        if (w->naive_) {
+          WFRM_RETURN_NOT_OK(w->naive_->AddRequirement(policy).status());
+        }
+        policy.with = std::move(with);
+        WFRM_RETURN_NOT_OK(w->store_->AddRequirement(policy).status());
+      }
+    }
+  }
+
+  // Substitution policies: random location-shift alternatives.
+  const char* kLocations[] = {"PA", "Cupertino", "Mexico", "Bristol"};
+  std::uniform_int_distribution<size_t> res_dist(0,
+                                                 config.num_resources - 1);
+  std::uniform_int_distribution<size_t> loc_dist(0, 3);
+  for (size_t s = 0; s < config.num_substitutions; ++s) {
+    size_t r = res_dist(rng);
+    size_t a = s % config.num_activities;
+    SubstitutionPolicy policy;
+    policy.substituted_resource = ResourceName(r);
+    policy.substituted_where =
+        rel::MakeComparison("Location", rel::BinaryOp::kEq,
+                            rel::Value::String(kLocations[loc_dist(rng)]));
+    policy.substituting_resource = ResourceName(r);
+    policy.substituting_where =
+        rel::MakeComparison("Location", rel::BinaryOp::kEq,
+                            rel::Value::String(kLocations[loc_dist(rng)]));
+    policy.activity = ActivityName(a);
+    policy.with = nullptr;
+    WFRM_RETURN_NOT_OK(w->store_->AddSubstitution(policy).status());
+  }
+
+  // Resource instances for end-to-end benchmarks.
+  std::uniform_int_distribution<int64_t> inst_exp(0, 30);
+  for (size_t r = 0;
+       config.instances_per_resource > 0 && r < config.num_resources; ++r) {
+    for (size_t n = 0; n < config.instances_per_resource; ++n) {
+      std::map<std::string, rel::Value> values = {
+          {"Location", rel::Value::String(kLocations[loc_dist(rng)])},
+          {"Experience", rel::Value::Int(inst_exp(rng))}};
+      WFRM_RETURN_NOT_OK(
+          org.AddResource(ResourceName(r),
+                          "res_" + std::to_string(r) + "_" + std::to_string(n),
+                          values)
+              .status());
+    }
+  }
+  return w;
+}
+
+Result<rql::RqlQuery> SyntheticWorkload::RandomQuery(std::mt19937& rng) const {
+  std::uniform_int_distribution<size_t> res_dist(0,
+                                                 resource_names_.size() - 1);
+  std::uniform_int_distribution<size_t> leaf_dist(0,
+                                                  leaf_activities_.size() - 1);
+  std::uniform_int_distribution<int64_t> value_dist(
+      0, static_cast<int64_t>(config_.c) * config_.case_width - 1);
+
+  const std::string& resource = resource_names_[res_dist(rng)];
+  size_t act = leaf_activities_[leaf_dist(rng)];
+
+  rql::RqlQuery query;
+  auto select = std::make_unique<rel::SelectStatement>();
+  rel::SelectItem item;
+  item.expr = rel::MakeColumnRef("Id");
+  select->items.push_back(std::move(item));
+  select->from.push_back(rel::TableRef{resource, ""});
+  query.select = std::move(select);
+  query.spec.activity = ActivityName(act);
+
+  // Bind every attribute of the leaf activity, own and inherited.
+  WFRM_ASSIGN_OR_RETURN(std::vector<org::AttributeDef> attrs,
+                        org_->activities().AttributesOf(ActivityName(act)));
+  for (const org::AttributeDef& attr : attrs) {
+    query.spec.bindings.push_back(
+        rql::ActivityBinding{attr.name, rel::Value::Int(value_dist(rng))});
+  }
+  return rql::BindRql(std::move(query), *org_);
+}
+
+}  // namespace wfrm::policy

@@ -1,0 +1,99 @@
+#ifndef WFRM_POLICY_SYNTHETIC_H_
+#define WFRM_POLICY_SYNTHETIC_H_
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "org/org_model.h"
+#include "policy/naive_store.h"
+#include "policy/policy_store.h"
+#include "rql/rql.h"
+
+namespace wfrm::policy {
+
+/// Parameters of a synthetic policy base realizing the §6 analytical
+/// model: complete binary trees for both hierarchies, N = |R|·q·c
+/// requirement policies, i intervals per activity range, pairwise
+/// disjoint case ranges.
+struct SyntheticConfig {
+  size_t num_activities = 64;  // |A|
+  size_t num_resources = 64;   // |R|
+  size_t q = 8;                // Partner activities per resource.
+  size_t c = 8;                // Cases per (resource, activity) pair.
+  size_t intervals = 1;        // i — attributes constrained per range.
+  int64_t case_width = 100;    // Width of each case's interval.
+  uint64_t seed = 42;
+
+  /// true: every resource partners with the q activities nearest the
+  /// activity root ("general policies", which is what makes ancestor
+  /// pairs densely covered — the §6 model's implicit assumption).
+  /// false: partners spread round-robin ((j+t) mod |A|).
+  bool general_activity_placement = true;
+
+  /// Mirror every requirement policy into a NaivePolicyStore baseline.
+  bool build_naive_baseline = false;
+
+  /// Emit `Qualify <resource root> For <activity root>` so the full
+  /// pipeline has a qualification base.
+  bool with_qualifications = true;
+
+  /// Number of synthetic substitution policies (0 = none).
+  size_t num_substitutions = 0;
+
+  /// Resource instances created per resource type (0 = none; only needed
+  /// for end-to-end allocation benchmarks).
+  size_t instances_per_resource = 0;
+};
+
+/// A generated organization + policy base + query source.
+class SyntheticWorkload {
+ public:
+  static Result<std::unique_ptr<SyntheticWorkload>> Build(
+      const SyntheticConfig& config);
+
+  const SyntheticConfig& config() const { return config_; }
+  org::OrgModel& org() { return *org_; }
+  const org::OrgModel& org() const { return *org_; }
+  PolicyStore& store() { return *store_; }
+  const PolicyStore& store() const { return *store_; }
+  NaivePolicyStore* naive() { return naive_.get(); }
+
+  const std::vector<std::string>& activity_names() const {
+    return activity_names_;
+  }
+  const std::vector<std::string>& resource_names() const {
+    return resource_names_;
+  }
+
+  /// A random bound RQL query: a random resource type, a random leaf
+  /// activity, and a fully-bound specification with values uniform over
+  /// the tiled case domain.
+  Result<rql::RqlQuery> RandomQuery(std::mt19937& rng) const;
+
+  /// Name of activity node `k` ("Act<k>"); node 0 is the root, the
+  /// parent of node k is node (k-1)/2.
+  static std::string ActivityName(size_t k) {
+    return "Act" + std::to_string(k);
+  }
+  static std::string ResourceName(size_t k) {
+    return "Role" + std::to_string(k);
+  }
+
+ private:
+  SyntheticWorkload() = default;
+
+  SyntheticConfig config_;
+  std::unique_ptr<org::OrgModel> org_;
+  std::unique_ptr<PolicyStore> store_;
+  std::unique_ptr<NaivePolicyStore> naive_;
+  std::vector<std::string> activity_names_;
+  std::vector<std::string> resource_names_;
+  std::vector<size_t> leaf_activities_;  // Indexes of childless activities.
+};
+
+}  // namespace wfrm::policy
+
+#endif  // WFRM_POLICY_SYNTHETIC_H_

@@ -1,0 +1,87 @@
+#include "rel/database.h"
+
+namespace wfrm::rel {
+
+Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
+  if (HasRelation(name)) {
+    return Status::AlreadyExists("relation '" + name + "' already exists");
+  }
+  tables_.push_back(std::make_unique<Table>(name, std::move(schema)));
+  table_index_[name] = tables_.size() - 1;
+  return tables_.back().get();
+}
+
+Status Database::CreateView(const std::string& name,
+                            std::vector<std::string> column_names,
+                            SelectPtr query) {
+  if (HasRelation(name)) {
+    return Status::AlreadyExists("relation '" + name + "' already exists");
+  }
+  views_.push_back(std::make_unique<ViewDef>(
+      ViewDef{name, std::move(column_names), std::move(query)}));
+  view_index_[name] = views_.size() - 1;
+  return Status::OK();
+}
+
+void Database::CreateOrReplaceView(const std::string& name,
+                                   std::vector<std::string> column_names,
+                                   SelectPtr query) {
+  auto it = view_index_.find(name);
+  if (it != view_index_.end()) {
+    views_[it->second] = std::make_unique<ViewDef>(
+        ViewDef{name, std::move(column_names), std::move(query)});
+    return;
+  }
+  views_.push_back(std::make_unique<ViewDef>(
+      ViewDef{name, std::move(column_names), std::move(query)}));
+  view_index_[name] = views_.size() - 1;
+}
+
+Status Database::DropTable(const std::string& name) {
+  auto it = table_index_.find(name);
+  if (it == table_index_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  tables_[it->second].reset();
+  table_index_.erase(it);
+  return Status::OK();
+}
+
+Status Database::DropView(const std::string& name) {
+  auto it = view_index_.find(name);
+  if (it == view_index_.end()) {
+    return Status::NotFound("view '" + name + "' does not exist");
+  }
+  views_[it->second].reset();
+  view_index_.erase(it);
+  return Status::OK();
+}
+
+Table* Database::GetTable(const std::string& name) {
+  auto it = table_index_.find(name);
+  return it == table_index_.end() ? nullptr : tables_[it->second].get();
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  auto it = table_index_.find(name);
+  return it == table_index_.end() ? nullptr : tables_[it->second].get();
+}
+
+const ViewDef* Database::GetView(const std::string& name) const {
+  auto it = view_index_.find(name);
+  return it == view_index_.end() ? nullptr : views_[it->second].get();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, idx] : table_index_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Database::ViewNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, idx] : view_index_) out.push_back(name);
+  return out;
+}
+
+}  // namespace wfrm::rel

@@ -1,0 +1,69 @@
+#ifndef WFRM_REL_DATABASE_H_
+#define WFRM_REL_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/strings.h"
+#include "rel/sql_ast.h"
+#include "rel/table.h"
+
+namespace wfrm::rel {
+
+/// A named view: a stored SELECT with optional output column renames,
+/// e.g. the paper's `ReportsTo(Emp, Mgr)` over BelongsTo ⋈ Manages, or
+/// the Figure 13/14 `Relevant_Policies` / `Relevant_Filter` views.
+struct ViewDef {
+  std::string name;
+  std::vector<std::string> column_names;  // Empty: keep query output names.
+  SelectPtr query;
+};
+
+/// The catalog: tables and views, name-keyed case-insensitively.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates an empty table. Fails on duplicate name (table or view).
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Registers a view. Fails on duplicate name.
+  Status CreateView(const std::string& name,
+                    std::vector<std::string> column_names, SelectPtr query);
+
+  /// Replaces a view definition, creating it if absent.
+  void CreateOrReplaceView(const std::string& name,
+                           std::vector<std::string> column_names,
+                           SelectPtr query);
+
+  Status DropTable(const std::string& name);
+  Status DropView(const std::string& name);
+
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+  const ViewDef* GetView(const std::string& name) const;
+
+  bool HasRelation(const std::string& name) const {
+    return GetTable(name) != nullptr || GetView(name) != nullptr;
+  }
+
+  std::vector<std::string> TableNames() const;
+  std::vector<std::string> ViewNames() const;
+
+ private:
+  using NameMap = std::unordered_map<std::string, size_t, CaseInsensitiveHash,
+                                     CaseInsensitiveEq>;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::vector<std::unique_ptr<ViewDef>> views_;
+  NameMap table_index_;
+  NameMap view_index_;
+};
+
+}  // namespace wfrm::rel
+
+#endif  // WFRM_REL_DATABASE_H_

@@ -1,0 +1,275 @@
+#ifndef WFRM_REL_EXPR_H_
+#define WFRM_REL_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rel/value.h"
+
+namespace wfrm::rel {
+
+struct SelectStatement;
+
+/// Binary operators. Comparison and logical operators evaluate with
+/// SQL-style three-valued logic (NULL-propagating).
+enum class BinaryOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  /// SQL LIKE: string match with '%' (any sequence) and '_' (any single
+  /// character) wildcards. Three-valued on NULL operands.
+  kLike,
+};
+
+const char* BinaryOpToString(BinaryOp op);
+
+/// True for =, !=, <, <=, >, >=.
+bool IsComparison(BinaryOp op);
+
+/// Flips a comparison for operand swap: < becomes >, <= becomes >= etc.
+BinaryOp SwapComparison(BinaryOp op);
+
+/// Negates a comparison: < becomes >=, = becomes != etc.
+BinaryOp NegateComparison(BinaryOp op);
+
+enum class UnaryOp {
+  kNot,
+  kNeg,
+  /// Oracle-style PRIOR marker inside a CONNECT BY condition: the operand
+  /// is evaluated against the parent row of the hierarchy step.
+  kPrior,
+};
+
+/// Expression tree node. Nodes are immutable after construction and
+/// deep-copyable via Clone(); the policy rewriters rely on Clone to graft
+/// policy predicates into resource queries.
+class Expr {
+ public:
+  enum class Kind {
+    kLiteral,
+    kColumnRef,
+    kParameter,
+    kBinary,
+    kUnary,
+    kInList,
+    kSubquery,
+    kInSubquery,
+    kFunction,
+  };
+
+  explicit Expr(Kind kind) : kind_(kind) {}
+  virtual ~Expr() = default;
+
+  Kind kind() const { return kind_; }
+
+  virtual std::unique_ptr<Expr> Clone() const = 0;
+
+  /// SQL-ish rendering; parenthesized where precedence requires.
+  virtual std::string ToString() const = 0;
+
+ private:
+  Kind kind_;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// A constant.
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value value)
+      : Expr(Kind::kLiteral), value_(std::move(value)) {}
+
+  const Value& value() const { return value_; }
+
+  ExprPtr Clone() const override {
+    return std::make_unique<LiteralExpr>(value_);
+  }
+  std::string ToString() const override { return value_.ToString(); }
+
+ private:
+  Value value_;
+};
+
+/// A (possibly qualified) column reference. In CONNECT BY queries the
+/// unqualified name LEVEL resolves to the hierarchy depth pseudo-column.
+class ColumnRefExpr final : public Expr {
+ public:
+  ColumnRefExpr(std::string qualifier, std::string name)
+      : Expr(Kind::kColumnRef),
+        qualifier_(std::move(qualifier)),
+        name_(std::move(name)) {}
+
+  const std::string& qualifier() const { return qualifier_; }
+  const std::string& name() const { return name_; }
+
+  ExprPtr Clone() const override {
+    return std::make_unique<ColumnRefExpr>(qualifier_, name_);
+  }
+  std::string ToString() const override {
+    return qualifier_.empty() ? name_ : qualifier_ + "." + name_;
+  }
+
+ private:
+  std::string qualifier_;
+  std::string name_;
+};
+
+/// A named parameter written `[Name]` — the policy language's reference
+/// to an attribute of the activity in the resource query (paper §3.2).
+class ParameterExpr final : public Expr {
+ public:
+  explicit ParameterExpr(std::string name)
+      : Expr(Kind::kParameter), name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  ExprPtr Clone() const override {
+    return std::make_unique<ParameterExpr>(name_);
+  }
+  std::string ToString() const override { return "[" + name_ + "]"; }
+
+ private:
+  std::string name_;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr left, ExprPtr right)
+      : Expr(Kind::kBinary),
+        op_(op),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  BinaryOp op() const { return op_; }
+  const Expr& left() const { return *left_; }
+  const Expr& right() const { return *right_; }
+
+  ExprPtr Clone() const override {
+    return std::make_unique<BinaryExpr>(op_, left_->Clone(), right_->Clone());
+  }
+  std::string ToString() const override;
+
+ private:
+  BinaryOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr(UnaryOp op, ExprPtr operand)
+      : Expr(Kind::kUnary), op_(op), operand_(std::move(operand)) {}
+
+  UnaryOp op() const { return op_; }
+  const Expr& operand() const { return *operand_; }
+
+  ExprPtr Clone() const override {
+    return std::make_unique<UnaryExpr>(op_, operand_->Clone());
+  }
+  std::string ToString() const override;
+
+ private:
+  UnaryOp op_;
+  ExprPtr operand_;
+};
+
+/// `expr IN (v1, v2, ...)`.
+class InListExpr final : public Expr {
+ public:
+  InListExpr(ExprPtr needle, std::vector<ExprPtr> haystack)
+      : Expr(Kind::kInList),
+        needle_(std::move(needle)),
+        haystack_(std::move(haystack)) {}
+
+  const Expr& needle() const { return *needle_; }
+  const std::vector<ExprPtr>& haystack() const { return haystack_; }
+
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  ExprPtr needle_;
+  std::vector<ExprPtr> haystack_;
+};
+
+/// A scalar subquery `( SELECT ... )`: must produce one column; its
+/// value is NULL when the subquery yields no row, an error when it
+/// yields more than one row.
+class SubqueryExpr final : public Expr {
+ public:
+  explicit SubqueryExpr(std::unique_ptr<SelectStatement> select);
+  ~SubqueryExpr() override;
+
+  const SelectStatement& select() const { return *select_; }
+
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  std::unique_ptr<SelectStatement> select_;
+};
+
+/// `expr IN ( SELECT ... )`.
+class InSubqueryExpr final : public Expr {
+ public:
+  InSubqueryExpr(ExprPtr needle, std::unique_ptr<SelectStatement> select);
+  ~InSubqueryExpr() override;
+
+  const Expr& needle() const { return *needle_; }
+  const SelectStatement& select() const { return *select_; }
+
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  ExprPtr needle_;
+  std::unique_ptr<SelectStatement> select_;
+};
+
+/// A scalar function call. The engine understands UPPER, LOWER, LENGTH,
+/// ABS; aggregate functions are recognized by name in select lists.
+class FunctionExpr final : public Expr {
+ public:
+  FunctionExpr(std::string name, std::vector<ExprPtr> args, bool star = false)
+      : Expr(Kind::kFunction),
+        name_(std::move(name)),
+        args_(std::move(args)),
+        star_(star) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+  /// True for COUNT(*).
+  bool star() const { return star_; }
+
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  std::string name_;
+  std::vector<ExprPtr> args_;
+  bool star_;
+};
+
+/// Convenience constructors used heavily by rewriters and tests.
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::string name);
+ExprPtr MakeColumnRef(std::string qualifier, std::string name);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r);
+ExprPtr MakeComparison(std::string column, BinaryOp op, Value v);
+/// Conjoins two (possibly null) predicates; returns the other when one
+/// side is null.
+ExprPtr AndExprs(ExprPtr a, ExprPtr b);
+
+}  // namespace wfrm::rel
+
+#endif  // WFRM_REL_EXPR_H_

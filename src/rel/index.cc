@@ -1,0 +1,97 @@
+#include "rel/index.h"
+
+#include <algorithm>
+
+namespace wfrm::rel {
+
+namespace {
+
+void ErasePosting(std::vector<RowId>* postings, RowId rid) {
+  postings->erase(std::remove(postings->begin(), postings->end(), rid),
+                  postings->end());
+}
+
+}  // namespace
+
+IndexKey OrderedIndex::KeyFor(const Row& row) const {
+  IndexKey key;
+  key.reserve(key_columns_.size());
+  for (size_t c : key_columns_) key.push_back(row[c]);
+  return key;
+}
+
+void OrderedIndex::Insert(const Row& row, RowId rid) {
+  entries_[KeyFor(row)].push_back(rid);
+}
+
+void OrderedIndex::Erase(const Row& row, RowId rid) {
+  auto it = entries_.find(KeyFor(row));
+  if (it == entries_.end()) return;
+  ErasePosting(&it->second, rid);
+  if (it->second.empty()) entries_.erase(it);
+}
+
+std::vector<RowId> OrderedIndex::Scan(const IndexProbe& probe) const {
+  std::vector<RowId> out;
+
+  // Lower edge of the scanned key range: the equality prefix, extended by
+  // the range lower bound when present.
+  IndexKey low = probe.equals;
+  if (probe.lower) low.push_back(probe.lower->value);
+
+  auto it = entries_.lower_bound(low);
+  IndexKeyLess less;
+  for (; it != entries_.end(); ++it) {
+    const IndexKey& key = it->first;
+    ++entries_visited_;
+    // Stop when the equality prefix no longer matches.
+    bool prefix_ok = key.size() >= probe.equals.size();
+    for (size_t i = 0; prefix_ok && i < probe.equals.size(); ++i) {
+      if (key[i] != probe.equals[i]) prefix_ok = false;
+    }
+    if (!prefix_ok) break;
+
+    size_t range_col = probe.equals.size();
+    if (probe.lower && key.size() > range_col) {
+      const Value& v = key[range_col];
+      if (!probe.lower->inclusive && !(probe.lower->value < v) &&
+          v == probe.lower->value) {
+        continue;  // Exclusive bound: skip keys equal to it.
+      }
+    }
+    if (probe.upper && key.size() > range_col) {
+      const Value& v = key[range_col];
+      if (probe.upper->value < v) break;
+      if (!probe.upper->inclusive && v == probe.upper->value) break;
+    }
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  (void)less;
+  return out;
+}
+
+IndexKey HashIndex::KeyFor(const Row& row) const {
+  IndexKey key;
+  key.reserve(key_columns_.size());
+  for (size_t c : key_columns_) key.push_back(row[c]);
+  return key;
+}
+
+void HashIndex::Insert(const Row& row, RowId rid) {
+  entries_[KeyFor(row)].push_back(rid);
+}
+
+void HashIndex::Erase(const Row& row, RowId rid) {
+  auto it = entries_.find(KeyFor(row));
+  if (it == entries_.end()) return;
+  ErasePosting(&it->second, rid);
+  if (it->second.empty()) entries_.erase(it);
+}
+
+std::vector<RowId> HashIndex::Lookup(const IndexKey& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return {};
+  return it->second;
+}
+
+}  // namespace wfrm::rel

@@ -1,0 +1,127 @@
+#ifndef WFRM_REL_INDEX_H_
+#define WFRM_REL_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/schema.h"
+#include "rel/value.h"
+
+namespace wfrm::rel {
+
+/// Composite key: one Value per indexed column, in index column order.
+using IndexKey = std::vector<Value>;
+
+/// Lexicographic ordering of composite keys by Value::operator<.
+struct IndexKeyLess {
+  bool operator()(const IndexKey& a, const IndexKey& b) const {
+    size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (a[i] < b[i]) return true;
+      if (b[i] < a[i]) return false;
+    }
+    return a.size() < b.size();
+  }
+};
+
+struct IndexKeyHash {
+  size_t operator()(const IndexKey& key) const {
+    size_t h = 0x9ddfea08eb382d69ull;
+    for (const Value& v : key) {
+      h ^= v.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+/// One bound of a one-dimensional range probe.
+struct Bound {
+  Value value;
+  bool inclusive = true;
+};
+
+/// A probe against an ordered index: equality on the first
+/// `equals.size()` columns, then an optional range on the next column.
+///
+/// This mirrors how a B-tree serves a concatenated index: the probe uses
+/// the longest usable prefix (the paper's concatenated indexes on
+/// (Activity, Resource) and (Attribute, LowerBound, UpperBound) are both
+/// driven through this shape).
+struct IndexProbe {
+  std::vector<Value> equals;
+  std::optional<Bound> lower;
+  std::optional<Bound> upper;
+};
+
+/// Ordered secondary index over a composite column list.
+///
+/// Implemented as a sorted map from composite key to posting list. This is
+/// the in-memory stand-in for the concatenated B-tree indexes the paper
+/// creates on its Policies and Filter tables (Section 5.2).
+class OrderedIndex {
+ public:
+  OrderedIndex(std::string name, std::vector<size_t> key_columns)
+      : name_(std::move(name)), key_columns_(std::move(key_columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+
+  /// Extracts this index's key from a full table row.
+  IndexKey KeyFor(const Row& row) const;
+
+  void Insert(const Row& row, RowId rid);
+  void Erase(const Row& row, RowId rid);
+
+  /// All row ids matching the probe, in key order.
+  std::vector<RowId> Scan(const IndexProbe& probe) const;
+
+  /// Number of distinct keys currently indexed.
+  size_t num_keys() const { return entries_.size(); }
+
+  /// Monotone count of index entries visited by Scan; used by the
+  /// benchmark harness to report work done, independent of wall time.
+  /// Atomic: concurrent read-only scans may update it.
+  uint64_t entries_visited() const { return entries_visited_.load(); }
+  void ResetStats() { entries_visited_ = 0; }
+
+ private:
+  std::string name_;
+  std::vector<size_t> key_columns_;
+  std::map<IndexKey, std::vector<RowId>, IndexKeyLess> entries_;
+  mutable std::atomic<uint64_t> entries_visited_{0};
+};
+
+/// Hash secondary index: equality-only probes over the full key.
+class HashIndex {
+ public:
+  HashIndex(std::string name, std::vector<size_t> key_columns)
+      : name_(std::move(name)), key_columns_(std::move(key_columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+
+  IndexKey KeyFor(const Row& row) const;
+
+  void Insert(const Row& row, RowId rid);
+  void Erase(const Row& row, RowId rid);
+
+  /// Row ids whose key equals `key` exactly.
+  std::vector<RowId> Lookup(const IndexKey& key) const;
+
+  size_t num_keys() const { return entries_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<size_t> key_columns_;
+  std::unordered_map<IndexKey, std::vector<RowId>, IndexKeyHash> entries_;
+};
+
+}  // namespace wfrm::rel
+
+#endif  // WFRM_REL_INDEX_H_

@@ -1,0 +1,478 @@
+#include "rel/parser.h"
+
+#include <array>
+
+#include "common/strings.h"
+
+namespace wfrm::rel {
+
+namespace {
+
+/// Identifiers that terminate a FROM-list alias or an expression because
+/// they introduce the next clause of an enclosing statement (SQL, RQL or
+/// PL grammar).
+constexpr std::array<std::string_view, 16> kClauseKeywords = {
+    "where", "start",  "connect", "group", "union", "for",  "with", "by",
+    "having", "order", "as",      "then",  "else",  "limit", "desc", "asc"};
+
+bool IsClauseKeyword(const Token& t) {
+  if (t.kind != Token::Kind::kIdentifier) return false;
+  for (std::string_view kw : kClauseKeywords) {
+    if (EqualsIgnoreCase(t.text, kw)) return true;
+  }
+  return false;
+}
+
+bool IsAggregateName(std::string_view name, AggregateFn* fn) {
+  if (EqualsIgnoreCase(name, "count")) {
+    *fn = AggregateFn::kCount;
+    return true;
+  }
+  if (EqualsIgnoreCase(name, "sum")) {
+    *fn = AggregateFn::kSum;
+    return true;
+  }
+  if (EqualsIgnoreCase(name, "min")) {
+    *fn = AggregateFn::kMin;
+    return true;
+  }
+  if (EqualsIgnoreCase(name, "max")) {
+    *fn = AggregateFn::kMax;
+    return true;
+  }
+  if (EqualsIgnoreCase(name, "avg")) {
+    *fn = AggregateFn::kAvg;
+    return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(TokenStream& ts) : ts_(ts) {}
+
+  Result<SelectPtr> ParseSelect() {
+    WFRM_RETURN_NOT_OK(ts_.ExpectKeyword("select"));
+    auto stmt = std::make_unique<SelectStatement>();
+    stmt->distinct = ts_.TryKeyword("distinct");
+
+    // Select list.
+    do {
+      WFRM_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      stmt->items.push_back(std::move(item));
+    } while (ts_.TrySymbol(","));
+
+    WFRM_RETURN_NOT_OK(ts_.ExpectKeyword("from"));
+    do {
+      WFRM_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+      stmt->from.push_back(std::move(ref));
+    } while (ts_.TrySymbol(","));
+
+    // Trailing clauses, in flexible order (Oracle accepts WHERE before
+    // START WITH; the paper's Figure 8 writes WHERE first).
+    while (true) {
+      if (ts_.TryKeyword("where")) {
+        if (stmt->where) return ts_.Error("duplicate Where clause");
+        WFRM_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+      } else if (ts_.Peek().IsKeyword("start") &&
+                 ts_.Peek(1).IsKeyword("with")) {
+        ts_.Next();
+        ts_.Next();
+        if (stmt->connect_by) return ts_.Error("duplicate Start With clause");
+        ConnectByClause cb;
+        WFRM_ASSIGN_OR_RETURN(cb.start_with, ParseExpr());
+        WFRM_RETURN_NOT_OK(ts_.ExpectKeyword("connect"));
+        WFRM_RETURN_NOT_OK(ts_.ExpectKeyword("by"));
+        WFRM_ASSIGN_OR_RETURN(cb.connect, ParseExpr());
+        stmt->connect_by = std::move(cb);
+      } else if (ts_.Peek().IsKeyword("connect") &&
+                 ts_.Peek(1).IsKeyword("by")) {
+        // CONNECT BY may precede START WITH in Oracle syntax.
+        ts_.Next();
+        ts_.Next();
+        ConnectByClause cb;
+        WFRM_ASSIGN_OR_RETURN(cb.connect, ParseExpr());
+        WFRM_RETURN_NOT_OK(ts_.ExpectKeyword("start"));
+        WFRM_RETURN_NOT_OK(ts_.ExpectKeyword("with"));
+        WFRM_ASSIGN_OR_RETURN(cb.start_with, ParseExpr());
+        stmt->connect_by = std::move(cb);
+      } else if (ts_.Peek().IsKeyword("group") &&
+                 ts_.Peek(1).IsKeyword("by")) {
+        ts_.Next();
+        ts_.Next();
+        do {
+          WFRM_ASSIGN_OR_RETURN(std::string col,
+                                ts_.ExpectIdentifier("group-by column"));
+          stmt->group_by.push_back(std::move(col));
+        } while (ts_.TrySymbol(","));
+      } else if (ts_.TryKeyword("having")) {
+        if (stmt->having) return ts_.Error("duplicate Having clause");
+        WFRM_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+      } else if (ts_.Peek().IsKeyword("order") && ts_.Peek(1).IsKeyword("by")) {
+        ts_.Next();
+        ts_.Next();
+        do {
+          OrderKey key;
+          WFRM_ASSIGN_OR_RETURN(key.expr, ParseExpr());
+          if (ts_.TryKeyword("desc")) {
+            key.descending = true;
+          } else {
+            ts_.TryKeyword("asc");
+          }
+          stmt->order_by.push_back(std::move(key));
+        } while (ts_.TrySymbol(","));
+      } else if (ts_.TryKeyword("limit")) {
+        const Token& t = ts_.Peek();
+        if (t.kind != Token::Kind::kNumber || !t.value.is_int() ||
+            t.value.int_value() < 0) {
+          return ts_.Error("Limit expects a non-negative integer");
+        }
+        stmt->limit = static_cast<size_t>(t.value.int_value());
+        ts_.Next();
+      } else if (ts_.TryKeyword("union")) {
+        WFRM_ASSIGN_OR_RETURN(stmt->union_next, ParseSelect());
+        break;  // UNION consumes the rest of the statement.
+      } else {
+        break;
+      }
+    }
+    return stmt;
+  }
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+ private:
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    if (ts_.TrySymbol("*")) {
+      item.is_star = true;
+      return item;
+    }
+    WFRM_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    // Recognize aggregate calls at the top of a select item.
+    if (e->kind() == Expr::Kind::kFunction) {
+      auto* fn = static_cast<FunctionExpr*>(e.get());
+      AggregateFn agg;
+      if (IsAggregateName(fn->name(), &agg)) {
+        if (fn->star()) {
+          if (agg != AggregateFn::kCount) {
+            return ts_.Error("'*' argument only valid in Count");
+          }
+          item.aggregate = AggregateFn::kCountStar;
+        } else {
+          if (fn->args().size() != 1) {
+            return ts_.Error("aggregate takes exactly one argument");
+          }
+          item.aggregate = agg;
+          item.expr = fn->args()[0]->Clone();
+        }
+        e = nullptr;
+      }
+    }
+    if (e) item.expr = std::move(e);
+    if (ts_.TryKeyword("as")) {
+      WFRM_ASSIGN_OR_RETURN(item.alias, ts_.ExpectIdentifier("alias"));
+    }
+    return item;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    WFRM_ASSIGN_OR_RETURN(ref.name, ts_.ExpectIdentifier("table name"));
+    const Token& t = ts_.Peek();
+    if (t.kind == Token::Kind::kIdentifier && !IsClauseKeyword(t)) {
+      ref.alias = t.text;
+      ts_.Next();
+    }
+    return ref;
+  }
+
+  Result<ExprPtr> ParseOr() {
+    WFRM_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (ts_.TryKeyword("or")) {
+      WFRM_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = MakeBinary(BinaryOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    WFRM_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (ts_.TryKeyword("and")) {
+      WFRM_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = MakeBinary(BinaryOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (ts_.TryKeyword("not")) {
+      WFRM_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return ExprPtr(
+          std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(operand)));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    WFRM_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+
+    // BETWEEN desugars to a pair of comparisons; the inner And is
+    // consumed here, before the And-level parser can see it.
+    {
+      bool between_negated = false;
+      if (ts_.Peek().IsKeyword("not") && ts_.Peek(1).IsKeyword("between")) {
+        ts_.Next();
+        between_negated = true;
+      }
+      if (ts_.TryKeyword("between")) {
+        WFRM_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+        WFRM_RETURN_NOT_OK(ts_.ExpectKeyword("and"));
+        WFRM_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+        ExprPtr left_copy = left->Clone();
+        ExprPtr range = MakeBinary(
+            BinaryOp::kAnd,
+            MakeBinary(BinaryOp::kGe, std::move(left_copy), std::move(lo)),
+            MakeBinary(BinaryOp::kLe, std::move(left), std::move(hi)));
+        if (between_negated) {
+          return ExprPtr(
+              std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(range)));
+        }
+        return range;
+      }
+      if (between_negated) {
+        return ts_.Error("expected Between after Not");
+      }
+    }
+
+    // LIKE / NOT LIKE.
+    {
+      bool like_negated = false;
+      if (ts_.Peek().IsKeyword("not") && ts_.Peek(1).IsKeyword("like")) {
+        ts_.Next();
+        like_negated = true;
+      }
+      if (ts_.TryKeyword("like")) {
+        WFRM_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+        ExprPtr like =
+            MakeBinary(BinaryOp::kLike, std::move(left), std::move(pattern));
+        if (like_negated) {
+          return ExprPtr(
+              std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(like)));
+        }
+        return like;
+      }
+      if (like_negated) {
+        return ts_.Error("expected Like after Not");
+      }
+    }
+
+    // IN-list / IN-subquery, with optional NOT.
+    bool negated = false;
+    if (ts_.Peek().IsKeyword("not") && ts_.Peek(1).IsKeyword("in")) {
+      ts_.Next();
+      negated = true;
+    }
+    if (ts_.TryKeyword("in")) {
+      WFRM_RETURN_NOT_OK(ts_.ExpectSymbol("("));
+      ExprPtr in;
+      if (ts_.Peek().IsKeyword("select")) {
+        WFRM_ASSIGN_OR_RETURN(SelectPtr sub, ParseSelect());
+        in = std::make_unique<InSubqueryExpr>(std::move(left), std::move(sub));
+      } else {
+        std::vector<ExprPtr> list;
+        do {
+          WFRM_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          list.push_back(std::move(e));
+        } while (ts_.TrySymbol(","));
+        in = std::make_unique<InListExpr>(std::move(left), std::move(list));
+      }
+      WFRM_RETURN_NOT_OK(ts_.ExpectSymbol(")"));
+      if (negated) {
+        return ExprPtr(
+            std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(in)));
+      }
+      return in;
+    }
+
+    const Token& t = ts_.Peek();
+    BinaryOp op;
+    if (t.IsSymbol("=")) {
+      op = BinaryOp::kEq;
+    } else if (t.IsSymbol("!=")) {
+      op = BinaryOp::kNe;
+    } else if (t.IsSymbol("<")) {
+      op = BinaryOp::kLt;
+    } else if (t.IsSymbol("<=")) {
+      op = BinaryOp::kLe;
+    } else if (t.IsSymbol(">")) {
+      op = BinaryOp::kGt;
+    } else if (t.IsSymbol(">=")) {
+      op = BinaryOp::kGe;
+    } else {
+      return left;
+    }
+    ts_.Next();
+    WFRM_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+    return MakeBinary(op, std::move(left), std::move(right));
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    WFRM_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (true) {
+      if (ts_.TrySymbol("+")) {
+        WFRM_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+        left = MakeBinary(BinaryOp::kAdd, std::move(left), std::move(right));
+      } else if (ts_.TrySymbol("-")) {
+        WFRM_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+        left = MakeBinary(BinaryOp::kSub, std::move(left), std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    WFRM_ASSIGN_OR_RETURN(ExprPtr left, ParsePrimary());
+    while (true) {
+      if (ts_.TrySymbol("*")) {
+        WFRM_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+        left = MakeBinary(BinaryOp::kMul, std::move(left), std::move(right));
+      } else if (ts_.TrySymbol("/")) {
+        WFRM_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+        left = MakeBinary(BinaryOp::kDiv, std::move(left), std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = ts_.Peek();
+    switch (t.kind) {
+      case Token::Kind::kNumber:
+      case Token::Kind::kString: {
+        Value v = t.value;
+        ts_.Next();
+        return MakeLiteral(std::move(v));
+      }
+      case Token::Kind::kParameter: {
+        std::string name = t.text;
+        ts_.Next();
+        return ExprPtr(std::make_unique<ParameterExpr>(std::move(name)));
+      }
+      case Token::Kind::kSymbol:
+        if (t.IsSymbol("-")) {
+          ts_.Next();
+          WFRM_ASSIGN_OR_RETURN(ExprPtr operand, ParsePrimary());
+          // Fold negation of numeric literals.
+          if (operand->kind() == Expr::Kind::kLiteral) {
+            const Value& v = static_cast<LiteralExpr*>(operand.get())->value();
+            if (v.is_int()) return MakeLiteral(Value::Int(-v.int_value()));
+            if (v.is_double())
+              return MakeLiteral(Value::Double(-v.double_value()));
+          }
+          return ExprPtr(
+              std::make_unique<UnaryExpr>(UnaryOp::kNeg, std::move(operand)));
+        }
+        if (t.IsSymbol("(")) {
+          ts_.Next();
+          if (ts_.Peek().IsKeyword("select")) {
+            WFRM_ASSIGN_OR_RETURN(SelectPtr sub, ParseSelect());
+            WFRM_RETURN_NOT_OK(ts_.ExpectSymbol(")"));
+            return ExprPtr(std::make_unique<SubqueryExpr>(std::move(sub)));
+          }
+          WFRM_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          WFRM_RETURN_NOT_OK(ts_.ExpectSymbol(")"));
+          return inner;
+        }
+        return ts_.Error("expected expression");
+      case Token::Kind::kIdentifier: {
+        if (t.IsKeyword("null")) {
+          ts_.Next();
+          return MakeLiteral(Value::Null());
+        }
+        if (t.IsKeyword("true")) {
+          ts_.Next();
+          return MakeLiteral(Value::Bool(true));
+        }
+        if (t.IsKeyword("false")) {
+          ts_.Next();
+          return MakeLiteral(Value::Bool(false));
+        }
+        if (t.IsKeyword("prior")) {
+          ts_.Next();
+          WFRM_ASSIGN_OR_RETURN(ExprPtr operand, ParsePrimary());
+          return ExprPtr(std::make_unique<UnaryExpr>(UnaryOp::kPrior,
+                                                     std::move(operand)));
+        }
+        std::string name = t.text;
+        ts_.Next();
+        if (ts_.TrySymbol("(")) {
+          // Function call, possibly Count(*).
+          if (ts_.TrySymbol("*")) {
+            WFRM_RETURN_NOT_OK(ts_.ExpectSymbol(")"));
+            return ExprPtr(std::make_unique<FunctionExpr>(
+                std::move(name), std::vector<ExprPtr>{}, /*star=*/true));
+          }
+          std::vector<ExprPtr> args;
+          if (!ts_.TrySymbol(")")) {
+            do {
+              WFRM_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+              args.push_back(std::move(arg));
+            } while (ts_.TrySymbol(","));
+            WFRM_RETURN_NOT_OK(ts_.ExpectSymbol(")"));
+          }
+          return ExprPtr(std::make_unique<FunctionExpr>(std::move(name),
+                                                        std::move(args)));
+        }
+        if (ts_.TrySymbol(".")) {
+          WFRM_ASSIGN_OR_RETURN(std::string col,
+                                ts_.ExpectIdentifier("column name"));
+          return MakeColumnRef(std::move(name), std::move(col));
+        }
+        return MakeColumnRef(std::move(name));
+      }
+      case Token::Kind::kEnd:
+        return ts_.Error("unexpected end of expression");
+    }
+    return ts_.Error("expected expression");
+  }
+
+  TokenStream& ts_;
+};
+
+Status ExpectFullyConsumed(TokenStream& ts) {
+  if (!ts.AtEnd() && !ts.Peek().IsSymbol(";")) {
+    return ts.Error("unexpected trailing input");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SelectPtr> SqlParser::ParseSelect(std::string_view sql) {
+  WFRM_ASSIGN_OR_RETURN(TokenStream ts, TokenStream::Open(sql));
+  WFRM_ASSIGN_OR_RETURN(SelectPtr stmt, ParseSelectFrom(ts));
+  WFRM_RETURN_NOT_OK(ExpectFullyConsumed(ts));
+  return stmt;
+}
+
+Result<ExprPtr> SqlParser::ParseExpr(std::string_view text) {
+  WFRM_ASSIGN_OR_RETURN(TokenStream ts, TokenStream::Open(text));
+  WFRM_ASSIGN_OR_RETURN(ExprPtr e, ParseExprFrom(ts));
+  WFRM_RETURN_NOT_OK(ExpectFullyConsumed(ts));
+  return e;
+}
+
+Result<SelectPtr> SqlParser::ParseSelectFrom(TokenStream& ts) {
+  Parser p(ts);
+  return p.ParseSelect();
+}
+
+Result<ExprPtr> SqlParser::ParseExprFrom(TokenStream& ts) {
+  Parser p(ts);
+  return p.ParseExpr();
+}
+
+}  // namespace wfrm::rel

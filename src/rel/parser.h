@@ -1,0 +1,38 @@
+#ifndef WFRM_REL_PARSER_H_
+#define WFRM_REL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "rel/sql_ast.h"
+#include "rel/token.h"
+
+namespace wfrm::rel {
+
+/// Recursive-descent parser for the SQL subset (see sql_ast.h).
+///
+/// The entry points taking a TokenStream are reused by the RQL and Policy
+/// Language parsers, which embed SQL select statements and where-clause
+/// expressions in their own grammars (paper Appendix).
+class SqlParser {
+ public:
+  /// Parses a complete SELECT statement; input must be fully consumed.
+  static Result<SelectPtr> ParseSelect(std::string_view sql);
+
+  /// Parses a standalone expression (e.g. a stored WhereClause string);
+  /// input must be fully consumed.
+  static Result<ExprPtr> ParseExpr(std::string_view text);
+
+  /// Parses a SELECT starting at the current token. Leaves the stream
+  /// positioned after the statement.
+  static Result<SelectPtr> ParseSelectFrom(TokenStream& ts);
+
+  /// Parses an expression starting at the current token. Stops at the
+  /// first token that cannot continue an expression (e.g. the RQL `For`
+  /// keyword), leaving it unconsumed.
+  static Result<ExprPtr> ParseExprFrom(TokenStream& ts);
+};
+
+}  // namespace wfrm::rel
+
+#endif  // WFRM_REL_PARSER_H_

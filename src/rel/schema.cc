@@ -1,0 +1,82 @@
+#include "rel/schema.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace wfrm::rel {
+
+std::optional<size_t> Schema::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::ResolveColumn(std::string_view name) const {
+  if (auto i = FindColumn(name)) return *i;
+  return Status::NotFound("column '" + std::string(name) +
+                          "' not in schema (" + ToString() + ")");
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += DataTypeToString(columns_[i].type);
+  }
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!EqualsIgnoreCase(columns_[i].name, other.columns_[i].name) ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ResultSet::ToString() const {
+  // Compute column widths over header + all cells.
+  std::vector<std::string> header;
+  std::vector<size_t> width;
+  for (const Column& c : schema.columns()) {
+    header.push_back(c.name);
+    width.push_back(c.name.size());
+  }
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows.size());
+  for (const Row& row : rows) {
+    std::vector<std::string> line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::string s = row[i].ToString();
+      if (i < width.size()) width[i] = std::max(width[i], s.size());
+      line.push_back(std::move(s));
+    }
+    cells.push_back(std::move(line));
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& line) {
+    os << "|";
+    for (size_t i = 0; i < width.size(); ++i) {
+      std::string cell = i < line.size() ? line[i] : "";
+      os << " " << cell << std::string(width[i] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  emit_row(header);
+  os << "|";
+  for (size_t w : width) os << std::string(w + 2, '-') << "|";
+  os << "\n";
+  for (const auto& line : cells) emit_row(line);
+  os << "(" << rows.size() << " row" << (rows.size() == 1 ? "" : "s") << ")\n";
+  return os.str();
+}
+
+}  // namespace wfrm::rel

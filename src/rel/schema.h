@@ -1,0 +1,66 @@
+#ifndef WFRM_REL_SCHEMA_H_
+#define WFRM_REL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/value.h"
+
+namespace wfrm::rel {
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  DataType type;
+};
+
+/// Ordered list of columns with case-insensitive name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name` (ASCII case-insensitive), if any.
+  std::optional<size_t> FindColumn(std::string_view name) const;
+
+  /// Like FindColumn but fails with NotFound naming the column.
+  Result<size_t> ResolveColumn(std::string_view name) const;
+
+  void AddColumn(Column column) { columns_.push_back(std::move(column)); }
+
+  /// "name TYPE, name TYPE, ..." — used in error messages and dumps.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// A tuple of values laid out per some Schema.
+using Row = std::vector<Value>;
+
+/// Stable identifier of a row within a Table (survives other deletions).
+using RowId = size_t;
+
+/// Schema + materialized rows: the result of executing a query.
+struct ResultSet {
+  Schema schema;
+  std::vector<Row> rows;
+
+  bool empty() const { return rows.empty(); }
+  size_t size() const { return rows.size(); }
+
+  /// Tabular rendering for examples and debugging.
+  std::string ToString() const;
+};
+
+}  // namespace wfrm::rel
+
+#endif  // WFRM_REL_SCHEMA_H_

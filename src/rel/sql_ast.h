@@ -1,0 +1,110 @@
+#ifndef WFRM_REL_SQL_AST_H_
+#define WFRM_REL_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rel/expr.h"
+
+namespace wfrm::rel {
+
+/// Aggregate functions supported in select lists.
+enum class AggregateFn {
+  kNone,
+  kCountStar,
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+};
+
+const char* AggregateFnToString(AggregateFn fn);
+
+/// One item of a select list: `*`, an expression, or an aggregate over an
+/// expression, each with an optional alias.
+struct SelectItem {
+  bool is_star = false;
+  AggregateFn aggregate = AggregateFn::kNone;
+  ExprPtr expr;  // Null for `*` and COUNT(*).
+  std::string alias;
+
+  SelectItem Clone() const;
+  std::string ToString() const;
+};
+
+/// A FROM-list entry: a table or view name with an optional alias.
+struct TableRef {
+  std::string name;
+  std::string alias;  // Empty when none; resolution falls back to name.
+
+  std::string BindingName() const { return alias.empty() ? name : alias; }
+  std::string ToString() const {
+    return alias.empty() ? name : name + " " + alias;
+  }
+};
+
+/// Oracle-style hierarchical clause:
+/// `START WITH <expr> CONNECT BY <expr-with-PRIOR>`.
+struct ConnectByClause {
+  ExprPtr start_with;
+  ExprPtr connect;
+
+  ConnectByClause Clone() const {
+    return ConnectByClause{start_with ? start_with->Clone() : nullptr,
+                           connect ? connect->Clone() : nullptr};
+  }
+};
+
+/// One ORDER BY key.
+struct OrderKey {
+  ExprPtr expr;
+  bool descending = false;
+
+  OrderKey Clone() const {
+    return OrderKey{expr ? expr->Clone() : nullptr, descending};
+  }
+};
+
+/// A parsed SELECT statement over the SQL subset:
+///
+///   SELECT [DISTINCT] items FROM refs [WHERE expr]
+///     [START WITH expr CONNECT BY expr]
+///     [GROUP BY cols] [ORDER BY expr [DESC], ...] [LIMIT n]
+///     [UNION select]
+///
+/// This covers everything the paper's machinery needs: the Figure 13/14
+/// views (joins, GROUP BY + COUNT), the Figure 15 union, and the Figure 8
+/// hierarchical manager-chain sub-query.
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;  // May be null.
+  std::optional<ConnectByClause> connect_by;
+  std::vector<std::string> group_by;
+  /// HAVING filters aggregate output rows; it resolves against the
+  /// output schema, so aggregate conditions reference select aliases
+  /// (`Select Dept, Count(*) As n ... Having n > 2`).
+  ExprPtr having;
+  std::vector<OrderKey> order_by;
+  std::optional<size_t> limit;
+  std::unique_ptr<SelectStatement> union_next;  // UNION (set semantics).
+
+  SelectStatement() = default;
+  SelectStatement(const SelectStatement&) = delete;
+  SelectStatement& operator=(const SelectStatement&) = delete;
+  SelectStatement(SelectStatement&&) = default;
+  SelectStatement& operator=(SelectStatement&&) = default;
+
+  std::unique_ptr<SelectStatement> Clone() const;
+  std::string ToString() const;
+};
+
+using SelectPtr = std::unique_ptr<SelectStatement>;
+
+}  // namespace wfrm::rel
+
+#endif  // WFRM_REL_SQL_AST_H_

@@ -1,0 +1,163 @@
+#include "rel/table.h"
+
+#include <algorithm>
+
+namespace wfrm::rel {
+
+Status Table::ValidateRow(const Row& row) const {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema (" +
+        schema_.ToString() + ") of table " + name_);
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!row[i].CompatibleWith(schema_.column(i).type)) {
+      return Status::TypeError(
+          "value " + row[i].ToString() + " not compatible with column " +
+          schema_.column(i).name + " " +
+          DataTypeToString(schema_.column(i).type) + " of table " + name_);
+    }
+  }
+  return Status::OK();
+}
+
+Result<RowId> Table::Insert(Row row) {
+  WFRM_RETURN_NOT_OK(ValidateRow(row));
+  RowId rid = rows_.size();
+  rows_.push_back(std::move(row));
+  live_.push_back(true);
+  ++live_count_;
+  for (auto& idx : ordered_indexes_) idx->Insert(rows_[rid], rid);
+  for (auto& idx : hash_indexes_) idx->Insert(rows_[rid], rid);
+  return rid;
+}
+
+Status Table::Delete(RowId rid) {
+  if (!IsLive(rid)) {
+    return Status::NotFound("row " + std::to_string(rid) +
+                            " is not live in table " + name_);
+  }
+  for (auto& idx : ordered_indexes_) idx->Erase(rows_[rid], rid);
+  for (auto& idx : hash_indexes_) idx->Erase(rows_[rid], rid);
+  live_[rid] = false;
+  --live_count_;
+  return Status::OK();
+}
+
+Status Table::Update(RowId rid, Row row) {
+  if (!IsLive(rid)) {
+    return Status::NotFound("row " + std::to_string(rid) +
+                            " is not live in table " + name_);
+  }
+  WFRM_RETURN_NOT_OK(ValidateRow(row));
+  for (auto& idx : ordered_indexes_) idx->Erase(rows_[rid], rid);
+  for (auto& idx : hash_indexes_) idx->Erase(rows_[rid], rid);
+  rows_[rid] = std::move(row);
+  for (auto& idx : ordered_indexes_) idx->Insert(rows_[rid], rid);
+  for (auto& idx : hash_indexes_) idx->Insert(rows_[rid], rid);
+  return Status::OK();
+}
+
+void Table::ForEach(const std::function<void(RowId, const Row&)>& fn) const {
+  for (RowId rid = 0; rid < rows_.size(); ++rid) {
+    if (live_[rid]) fn(rid, rows_[rid]);
+  }
+}
+
+std::vector<RowId> Table::AllRowIds() const {
+  std::vector<RowId> out;
+  out.reserve(live_count_);
+  for (RowId rid = 0; rid < rows_.size(); ++rid) {
+    if (live_[rid]) out.push_back(rid);
+  }
+  return out;
+}
+
+namespace {
+
+Result<std::vector<size_t>> ResolveColumns(
+    const Schema& schema, const std::vector<std::string>& columns) {
+  std::vector<size_t> out;
+  out.reserve(columns.size());
+  for (const std::string& c : columns) {
+    WFRM_ASSIGN_OR_RETURN(size_t i, schema.ResolveColumn(c));
+    out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status Table::CreateOrderedIndex(const std::string& index_name,
+                                 const std::vector<std::string>& columns) {
+  for (const auto& idx : ordered_indexes_) {
+    if (idx->name() == index_name) {
+      return Status::AlreadyExists("index " + index_name + " on " + name_);
+    }
+  }
+  WFRM_ASSIGN_OR_RETURN(std::vector<size_t> cols,
+                        ResolveColumns(schema_, columns));
+  auto idx = std::make_unique<OrderedIndex>(index_name, std::move(cols));
+  ForEach([&](RowId rid, const Row& row) { idx->Insert(row, rid); });
+  ordered_indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+Status Table::CreateHashIndex(const std::string& index_name,
+                              const std::vector<std::string>& columns) {
+  for (const auto& idx : hash_indexes_) {
+    if (idx->name() == index_name) {
+      return Status::AlreadyExists("index " + index_name + " on " + name_);
+    }
+  }
+  WFRM_ASSIGN_OR_RETURN(std::vector<size_t> cols,
+                        ResolveColumns(schema_, columns));
+  auto idx = std::make_unique<HashIndex>(index_name, std::move(cols));
+  ForEach([&](RowId rid, const Row& row) { idx->Insert(row, rid); });
+  hash_indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+const OrderedIndex* Table::FindBestOrderedIndex(
+    const std::vector<size_t>& equality_columns,
+    std::optional<size_t> range_column) const {
+  const OrderedIndex* best = nullptr;
+  size_t best_score = 0;
+  for (const auto& idx : ordered_indexes_) {
+    const auto& key_cols = idx->key_columns();
+    // Count how many leading key columns are covered by equality
+    // predicates, in any order of the predicate list.
+    size_t covered = 0;
+    while (covered < key_cols.size() &&
+           std::find(equality_columns.begin(), equality_columns.end(),
+                     key_cols[covered]) != equality_columns.end()) {
+      ++covered;
+    }
+    size_t score = covered * 2;
+    // A range predicate on the next key column extends the probe.
+    if (range_column && covered < key_cols.size() &&
+        key_cols[covered] == *range_column) {
+      ++score;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = idx.get();
+    }
+  }
+  return best;
+}
+
+void Table::Clear() {
+  rows_.clear();
+  live_.clear();
+  live_count_ = 0;
+  // Rebuild empty indexes preserving definitions.
+  for (auto& idx : ordered_indexes_) {
+    idx = std::make_unique<OrderedIndex>(idx->name(), idx->key_columns());
+  }
+  for (auto& idx : hash_indexes_) {
+    idx = std::make_unique<HashIndex>(idx->name(), idx->key_columns());
+  }
+}
+
+}  // namespace wfrm::rel

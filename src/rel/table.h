@@ -1,0 +1,94 @@
+#ifndef WFRM_REL_TABLE_H_
+#define WFRM_REL_TABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/index.h"
+#include "rel/schema.h"
+
+namespace wfrm::rel {
+
+/// An in-memory heap table with optional secondary indexes.
+///
+/// Rows get stable RowIds (slot numbers); deletion tombstones the slot.
+/// All mutations keep every attached index synchronized.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Validates arity and column-type compatibility, then appends.
+  Result<RowId> Insert(Row row);
+
+  /// Tombstones `rid`. Fails if the slot is already dead or out of range.
+  Status Delete(RowId rid);
+
+  /// Replaces the row at `rid`, revalidating and reindexing.
+  Status Update(RowId rid, Row row);
+
+  bool IsLive(RowId rid) const {
+    return rid < rows_.size() && live_[rid];
+  }
+  /// Requires IsLive(rid).
+  const Row& row(RowId rid) const { return rows_[rid]; }
+
+  size_t num_rows() const { return live_count_; }
+  size_t num_slots() const { return rows_.size(); }
+
+  /// Invokes `fn` for every live row, in slot order.
+  void ForEach(const std::function<void(RowId, const Row&)>& fn) const;
+
+  /// Collects all live RowIds.
+  std::vector<RowId> AllRowIds() const;
+
+  /// Creates an ordered (B-tree-like) index over the named columns and
+  /// backfills it from existing rows.
+  Status CreateOrderedIndex(const std::string& index_name,
+                            const std::vector<std::string>& columns);
+
+  /// Creates a hash index over the named columns and backfills it.
+  Status CreateHashIndex(const std::string& index_name,
+                         const std::vector<std::string>& columns);
+
+  const std::vector<std::unique_ptr<OrderedIndex>>& ordered_indexes() const {
+    return ordered_indexes_;
+  }
+  const std::vector<std::unique_ptr<HashIndex>>& hash_indexes() const {
+    return hash_indexes_;
+  }
+
+  /// Ordered index whose key columns start with the longest usable prefix
+  /// of `equality_columns` (+ optionally one range column after them).
+  /// Returns nullptr if no index matches at least one leading column.
+  const OrderedIndex* FindBestOrderedIndex(
+      const std::vector<size_t>& equality_columns,
+      std::optional<size_t> range_column) const;
+
+  /// Removes all rows (indexes are cleared too). Slots are reused.
+  void Clear();
+
+ private:
+  Status ValidateRow(const Row& row) const;
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<bool> live_;
+  size_t live_count_ = 0;
+  std::vector<std::unique_ptr<OrderedIndex>> ordered_indexes_;
+  std::vector<std::unique_ptr<HashIndex>> hash_indexes_;
+};
+
+}  // namespace wfrm::rel
+
+#endif  // WFRM_REL_TABLE_H_

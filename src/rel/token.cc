@@ -1,0 +1,209 @@
+#include "rel/token.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace wfrm::rel {
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return kind == Kind::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments: -- to end of line.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(input[j])) ++j;
+      tok.kind = Token::Kind::kIdentifier;
+      tok.text = std::string(input.substr(i, j - i));
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i;
+      bool is_double = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '.')) {
+        if (input[j] == '.') {
+          // A second dot ends the number (e.g. range syntax, not used,
+          // but keeps the lexer sane).
+          if (is_double) break;
+          is_double = true;
+        }
+        ++j;
+      }
+      // Exponent part.
+      if (j < n && (input[j] == 'e' || input[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (input[k] == '+' || input[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(input[k]))) {
+          is_double = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(input[j])))
+            ++j;
+        }
+      }
+      std::string text(input.substr(i, j - i));
+      tok.kind = Token::Kind::kNumber;
+      tok.text = text;
+      if (is_double) {
+        tok.value = Value::Double(std::strtod(text.c_str(), nullptr));
+      } else {
+        tok.value = Value::Int(std::strtoll(text.c_str(), nullptr, 10));
+      }
+      i = j;
+    } else if (c == '\'') {
+      std::string s;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {
+            s.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        s.push_back(input[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(i));
+      }
+      tok.kind = Token::Kind::kString;
+      tok.text = s;
+      tok.value = Value::String(std::move(s));
+      i = j;
+    } else if (c == '[') {
+      size_t j = i + 1;
+      std::string name;
+      while (j < n && input[j] != ']') {
+        name.push_back(input[j]);
+        ++j;
+      }
+      if (j >= n) {
+        return Status::ParseError("unterminated parameter at offset " +
+                                  std::to_string(i));
+      }
+      std::string trimmed(StripWhitespace(name));
+      if (trimmed.empty()) {
+        return Status::ParseError("empty parameter name at offset " +
+                                  std::to_string(i));
+      }
+      tok.kind = Token::Kind::kParameter;
+      tok.text = trimmed;
+      i = j + 1;
+    } else {
+      // Multi-character symbols first.
+      auto two = input.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
+        tok.kind = Token::Kind::kSymbol;
+        tok.text = two == "<>" ? "!=" : std::string(two);
+        i += 2;
+      } else if (std::string("()=<>,.;*+-/").find(c) != std::string::npos) {
+        tok.kind = Token::Kind::kSymbol;
+        tok.text = std::string(1, c);
+        ++i;
+      } else {
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at offset " +
+                                  std::to_string(i));
+      }
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = Token::Kind::kEnd;
+  end.offset = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+Result<TokenStream> TokenStream::Open(std::string_view input) {
+  WFRM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  return TokenStream(std::move(tokens), std::string(input));
+}
+
+bool TokenStream::TryKeyword(std::string_view kw) {
+  if (Peek().IsKeyword(kw)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+bool TokenStream::TrySymbol(std::string_view sym) {
+  if (Peek().IsSymbol(sym)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+Status TokenStream::ExpectKeyword(std::string_view kw) {
+  if (!TryKeyword(kw)) {
+    return Error("expected keyword '" + std::string(kw) + "'");
+  }
+  return Status::OK();
+}
+
+Status TokenStream::ExpectSymbol(std::string_view sym) {
+  if (!TrySymbol(sym)) {
+    return Error("expected '" + std::string(sym) + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::string> TokenStream::ExpectIdentifier(std::string_view what) {
+  const Token& t = Peek();
+  if (t.kind != Token::Kind::kIdentifier) {
+    return Error("expected " + std::string(what));
+  }
+  Next();
+  return t.text;
+}
+
+Status TokenStream::Error(const std::string& message) const {
+  const Token& t = Peek();
+  std::string context;
+  if (t.kind == Token::Kind::kEnd) {
+    context = "end of input";
+  } else {
+    context = "'" + t.text + "' at offset " + std::to_string(t.offset);
+  }
+  return Status::ParseError(message + " (found " + context + ")");
+}
+
+}  // namespace wfrm::rel

@@ -1,0 +1,84 @@
+#ifndef WFRM_REL_TOKEN_H_
+#define WFRM_REL_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/value.h"
+
+namespace wfrm::rel {
+
+/// Lexical token shared by the SQL, RQL and Policy Language parsers.
+struct Token {
+  enum class Kind {
+    kIdentifier,  // foo, Bar_2 (keywords are identifiers; parsers match
+                  // them case-insensitively)
+    kNumber,      // 42, 3.5 (value carries the parsed constant)
+    kString,      // 'text' with '' escaping
+    kSymbol,      // ( ) , . ; * + - / = < > <= >= != <>
+    kParameter,   // [Name] — activity-attribute reference (paper §3.2)
+    kEnd,
+  };
+
+  Kind kind = Kind::kEnd;
+  std::string text;   // Raw text (identifier spelling, symbol, param name).
+  Value value;        // For kNumber / kString.
+  size_t offset = 0;  // Byte offset into the input, for error messages.
+
+  bool IsSymbol(std::string_view s) const {
+    return kind == Kind::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword match against an identifier token.
+  bool IsKeyword(std::string_view kw) const;
+};
+
+/// Splits `input` into tokens. Fails with ParseError (and offset context)
+/// on malformed literals or unknown characters.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+/// Cursor over a token stream with the helpers recursive-descent parsers
+/// need. The terminating kEnd token is always present.
+class TokenStream {
+ public:
+  explicit TokenStream(std::vector<Token> tokens, std::string input)
+      : tokens_(std::move(tokens)), input_(std::move(input)) {}
+
+  /// Tokenizes and wraps in one step.
+  static Result<TokenStream> Open(std::string_view input);
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() {
+    const Token& t = Peek();
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  bool AtEnd() const { return Peek().kind == Token::Kind::kEnd; }
+
+  /// Consumes the next token if it is the given keyword.
+  bool TryKeyword(std::string_view kw);
+  /// Consumes the next token if it is the given symbol.
+  bool TrySymbol(std::string_view sym);
+
+  /// Requires and consumes a keyword, else ParseError.
+  Status ExpectKeyword(std::string_view kw);
+  /// Requires and consumes a symbol, else ParseError.
+  Status ExpectSymbol(std::string_view sym);
+  /// Requires and consumes an identifier, returning its spelling.
+  Result<std::string> ExpectIdentifier(std::string_view what);
+
+  /// ParseError pointing at the current token.
+  Status Error(const std::string& message) const;
+
+ private:
+  std::vector<Token> tokens_;
+  std::string input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace wfrm::rel
+
+#endif  // WFRM_REL_TOKEN_H_

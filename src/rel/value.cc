@@ -1,0 +1,125 @@
+#include "rel/value.h"
+
+#include <cmath>
+#include <functional>
+#include <ostream>
+#include <sstream>
+
+namespace wfrm::rel {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kInt:
+      return "INT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+DataType Value::type() const {
+  if (is_bool()) return DataType::kBool;
+  if (is_int()) return DataType::kInt;
+  if (is_double()) return DataType::kDouble;
+  return DataType::kString;
+}
+
+bool Value::CompatibleWith(DataType t) const {
+  if (is_null()) return true;
+  if (t == DataType::kDouble && is_int()) return true;
+  return type() == t;
+}
+
+namespace {
+
+int CompareDoubles(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+// Rank used for the cross-kind strict weak ordering only.
+int KindRank(const Value& v) {
+  if (v.is_null()) return 0;
+  if (v.is_bool()) return 1;
+  if (v.is_numeric()) return 2;
+  return 3;
+}
+
+}  // namespace
+
+Result<int> Value::Compare(const Value& other) const {
+  if (is_null() && other.is_null()) return 0;
+  if (is_null() || other.is_null()) {
+    return Status::TypeError("cannot compare NULL with a value");
+  }
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) {
+      int64_t a = int_value(), b = other.int_value();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    return CompareDoubles(AsDouble(), other.AsDouble());
+  }
+  if (is_string() && other.is_string()) {
+    int c = string_value().compare(other.string_value());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (is_bool() && other.is_bool()) {
+    return static_cast<int>(bool_value()) - static_cast<int>(other.bool_value());
+  }
+  return Status::TypeError("cannot compare " +
+                           std::string(DataTypeToString(type())) + " with " +
+                           std::string(DataTypeToString(other.type())));
+}
+
+bool Value::operator<(const Value& other) const {
+  int ra = KindRank(*this), rb = KindRank(other);
+  if (ra != rb) return ra < rb;
+  if (is_null()) return false;
+  if (is_bool()) return bool_value() < other.bool_value();
+  if (is_numeric()) {
+    // Mixed int/double within the numeric rank compares by magnitude,
+    // then by kind so that distinct representations stay distinct.
+    double a = AsDouble(), b = other.AsDouble();
+    if (a != b) return a < b;
+    return is_int() && other.is_double();
+  }
+  return string_value() < other.string_value();
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_bool()) return bool_value() ? "TRUE" : "FALSE";
+  if (is_int()) return std::to_string(int_value());
+  if (is_double()) {
+    std::ostringstream os;
+    os << double_value();
+    return os.str();
+  }
+  // Escape embedded quotes SQL-style.
+  std::string out = "'";
+  for (char c : string_value()) {
+    if (c == '\'') out += "''";
+    else out.push_back(c);
+  }
+  out += "'";
+  return out;
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ull;
+  if (is_bool()) return std::hash<bool>()(bool_value());
+  if (is_int()) return std::hash<int64_t>()(int_value());
+  if (is_double()) return std::hash<double>()(double_value());
+  return std::hash<std::string>()(string_value());
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace wfrm::rel

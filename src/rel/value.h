@@ -1,0 +1,100 @@
+#ifndef WFRM_REL_VALUE_H_
+#define WFRM_REL_VALUE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace wfrm::rel {
+
+/// Static column types understood by the relational engine.
+enum class DataType {
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+};
+
+const char* DataTypeToString(DataType type);
+
+/// Runtime value: a tagged union over the supported column types plus
+/// SQL NULL. Values are small, copyable and totally ordered within a
+/// comparable kind (numerics compare across int/double).
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : rep_(NullTag{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Rep(v)); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+
+  bool is_null() const { return std::holds_alternative<NullTag>(rep_); }
+  bool is_bool() const { return std::holds_alternative<bool>(rep_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_double() const { return std::holds_alternative<double>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  bool bool_value() const { return std::get<bool>(rep_); }
+  int64_t int_value() const { return std::get<int64_t>(rep_); }
+  double double_value() const { return std::get<double>(rep_); }
+  const std::string& string_value() const { return std::get<std::string>(rep_); }
+
+  /// Numeric value widened to double; requires is_numeric().
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(int_value()) : double_value();
+  }
+
+  /// The dynamic type; requires !is_null().
+  DataType type() const;
+
+  /// True if this value can be stored in a column of `type`
+  /// (NULL is storable anywhere; ints are storable in double columns).
+  bool CompatibleWith(DataType type) const;
+
+  /// Three-way comparison. Fails with TypeError on incomparable kinds
+  /// (e.g. string vs int). NULL compares only against NULL (equal) —
+  /// SQL three-valued logic is handled by the expression evaluator,
+  /// which never calls Compare on NULL operands.
+  Result<int> Compare(const Value& other) const;
+
+  /// Equality as value identity (NULL == NULL here); used by containers.
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Strict weak ordering across kinds (kind rank, then value); used by
+  /// ordered indexes, where a column has a single kind in practice.
+  bool operator<(const Value& other) const;
+
+  /// SQL-literal-ish rendering: NULL, TRUE, 42, 3.5, 'text'.
+  std::string ToString() const;
+
+  /// Hash consistent with operator==.
+  size_t Hash() const;
+
+ private:
+  struct NullTag {
+    bool operator==(const NullTag&) const { return true; }
+  };
+  using Rep = std::variant<NullTag, bool, int64_t, double, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace wfrm::rel
+
+#endif  // WFRM_REL_VALUE_H_

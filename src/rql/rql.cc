@@ -1,0 +1,235 @@
+#include "rql/rql.h"
+
+#include "org/org_model.h"
+#include "rel/parser.h"
+#include "rel/token.h"
+
+namespace wfrm::rql {
+
+const rel::Value* ActivitySpec::Find(const std::string& attribute) const {
+  for (const ActivityBinding& b : bindings) {
+    if (EqualsIgnoreCase(b.attribute, attribute)) return &b.value;
+  }
+  return nullptr;
+}
+
+rel::ParamMap ActivitySpec::AsParams() const {
+  rel::ParamMap params;
+  for (const ActivityBinding& b : bindings) params[b.attribute] = b.value;
+  return params;
+}
+
+std::string ActivitySpec::ToString() const {
+  std::string out = "For " + activity;
+  if (!bindings.empty()) {
+    out += " With ";
+    for (size_t i = 0; i < bindings.size(); ++i) {
+      if (i > 0) out += " And ";
+      out += bindings[i].attribute + " = " + bindings[i].value.ToString();
+    }
+  }
+  return out;
+}
+
+RqlQuery RqlQuery::Clone() const {
+  RqlQuery out;
+  out.select = select->Clone();
+  out.spec = spec;
+  return out;
+}
+
+std::string RqlQuery::ToString() const {
+  return select->ToString() + " " + spec.ToString();
+}
+
+Result<RqlQuery> ParseRql(std::string_view text) {
+  WFRM_ASSIGN_OR_RETURN(rel::TokenStream ts, rel::TokenStream::Open(text));
+  RqlQuery query;
+  WFRM_ASSIGN_OR_RETURN(query.select, rel::SqlParser::ParseSelectFrom(ts));
+  WFRM_RETURN_NOT_OK(ts.ExpectKeyword("for"));
+  WFRM_ASSIGN_OR_RETURN(query.spec.activity,
+                        ts.ExpectIdentifier("activity type"));
+  // `With` is mandatory in the grammar when the activity has attributes;
+  // we accept its absence for attribute-free activities.
+  if (ts.TryKeyword("with")) {
+    do {
+      ActivityBinding binding;
+      WFRM_ASSIGN_OR_RETURN(binding.attribute,
+                            ts.ExpectIdentifier("activity attribute"));
+      WFRM_RETURN_NOT_OK(ts.ExpectSymbol("="));
+      const rel::Token& t = ts.Peek();
+      switch (t.kind) {
+        case rel::Token::Kind::kNumber:
+        case rel::Token::Kind::kString:
+          binding.value = t.value;
+          ts.Next();
+          break;
+        case rel::Token::Kind::kIdentifier:
+          if (t.IsKeyword("true")) {
+            binding.value = rel::Value::Bool(true);
+            ts.Next();
+            break;
+          }
+          if (t.IsKeyword("false")) {
+            binding.value = rel::Value::Bool(false);
+            ts.Next();
+            break;
+          }
+          [[fallthrough]];
+        default:
+          return ts.Error("expected a constant in the With clause");
+      }
+      query.spec.bindings.push_back(std::move(binding));
+    } while (ts.TryKeyword("and"));
+  }
+  if (!ts.AtEnd() && !ts.Peek().IsSymbol(";")) {
+    return ts.Error("unexpected trailing input after RQL query");
+  }
+  return query;
+}
+
+namespace {
+
+/// Checks that every plain column reference in a Where clause resolves
+/// against the resource schema. Subqueries are skipped — they resolve
+/// against their own FROM lists at execution time.
+Status ValidateWhere(const rel::Expr& e, const rel::Schema& schema,
+                     const std::string& binding_name) {
+  using rel::Expr;
+  switch (e.kind()) {
+    case Expr::Kind::kLiteral:
+      return Status::OK();
+    case Expr::Kind::kParameter:
+      return Status::InvalidArgument(
+          "activity-attribute parameters ([...]) are only allowed in "
+          "policies, not in RQL queries");
+    case Expr::Kind::kColumnRef: {
+      const auto& ref = static_cast<const rel::ColumnRefExpr&>(e);
+      if (!ref.qualifier().empty() &&
+          !EqualsIgnoreCase(ref.qualifier(), binding_name)) {
+        return Status::NotFound("unknown qualifier '" + ref.qualifier() +
+                                "' in RQL Where clause");
+      }
+      if (!schema.FindColumn(ref.name())) {
+        return Status::NotFound("attribute '" + ref.name() +
+                                "' not defined on the requested resource");
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kUnary:
+      return ValidateWhere(static_cast<const rel::UnaryExpr&>(e).operand(),
+                           schema, binding_name);
+    case Expr::Kind::kBinary: {
+      const auto& b = static_cast<const rel::BinaryExpr&>(e);
+      WFRM_RETURN_NOT_OK(ValidateWhere(b.left(), schema, binding_name));
+      return ValidateWhere(b.right(), schema, binding_name);
+    }
+    case Expr::Kind::kInList: {
+      const auto& in = static_cast<const rel::InListExpr&>(e);
+      WFRM_RETURN_NOT_OK(ValidateWhere(in.needle(), schema, binding_name));
+      for (const auto& item : in.haystack()) {
+        WFRM_RETURN_NOT_OK(ValidateWhere(*item, schema, binding_name));
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kSubquery:
+      return Status::OK();
+    case Expr::Kind::kInSubquery:
+      return ValidateWhere(
+          static_cast<const rel::InSubqueryExpr&>(e).needle(), schema,
+          binding_name);
+    case Expr::Kind::kFunction: {
+      const auto& fn = static_cast<const rel::FunctionExpr&>(e);
+      for (const auto& arg : fn.args()) {
+        WFRM_RETURN_NOT_OK(ValidateWhere(*arg, schema, binding_name));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+}  // namespace
+
+Result<RqlQuery> BindRql(RqlQuery query, const org::OrgModel& org) {
+  if (query.select == nullptr) {
+    return Status::InvalidArgument("RQL query has no select statement");
+  }
+  if (query.select->from.size() != 1) {
+    return Status::InvalidArgument(
+        "an RQL query requests exactly one resource type");
+  }
+  if (query.select->union_next != nullptr || query.select->connect_by ||
+      !query.select->group_by.empty()) {
+    return Status::InvalidArgument(
+        "RQL supports plain Select-From-Where only");
+  }
+
+  // Canonicalize the resource type.
+  WFRM_ASSIGN_OR_RETURN(std::string resource,
+                        org.resources().Canonical(query.resource()));
+  query.select->from[0].name = resource;
+
+  // Canonicalize the activity type.
+  WFRM_ASSIGN_OR_RETURN(std::string activity,
+                        org.activities().Canonical(query.spec.activity));
+  query.spec.activity = activity;
+
+  // Activity must be fully described (§2.3): each declared attribute of
+  // the activity type bound exactly once, with a compatible constant.
+  WFRM_ASSIGN_OR_RETURN(std::vector<org::AttributeDef> attrs,
+                        org.activities().AttributesOf(activity));
+  for (const org::AttributeDef& attr : attrs) {
+    size_t bound = 0;
+    for (const ActivityBinding& b : query.spec.bindings) {
+      if (EqualsIgnoreCase(b.attribute, attr.name)) {
+        ++bound;
+        if (!b.value.CompatibleWith(attr.type)) {
+          return Status::TypeError(
+              "activity attribute '" + attr.name + "' expects " +
+              rel::DataTypeToString(attr.type) + " but got " +
+              b.value.ToString());
+        }
+      }
+    }
+    if (bound == 0) {
+      return Status::InvalidArgument(
+          "activity '" + activity + "' is not fully specified: attribute '" +
+          attr.name + "' is unbound (the paper requires every activity "
+          "attribute to be specified)");
+    }
+    if (bound > 1) {
+      return Status::InvalidArgument("activity attribute '" + attr.name +
+                                     "' bound more than once");
+    }
+  }
+  for (const ActivityBinding& b : query.spec.bindings) {
+    bool known = false;
+    for (const org::AttributeDef& attr : attrs) {
+      if (EqualsIgnoreCase(b.attribute, attr.name)) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::NotFound("attribute '" + b.attribute +
+                              "' not defined on activity '" + activity + "'");
+    }
+  }
+
+  // Validate the Where clause against the resource schema.
+  if (query.select->where != nullptr) {
+    WFRM_ASSIGN_OR_RETURN(rel::Schema schema, org.ResourceSchema(resource));
+    WFRM_RETURN_NOT_OK(ValidateWhere(*query.select->where, schema,
+                                     query.select->from[0].BindingName()));
+  }
+  return query;
+}
+
+Result<RqlQuery> ParseAndBindRql(std::string_view text,
+                                 const org::OrgModel& org) {
+  WFRM_ASSIGN_OR_RETURN(RqlQuery query, ParseRql(text));
+  return BindRql(std::move(query), org);
+}
+
+}  // namespace wfrm::rql

@@ -1,0 +1,86 @@
+#ifndef WFRM_RQL_RQL_H_
+#define WFRM_RQL_RQL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/executor.h"
+#include "rel/sql_ast.h"
+
+namespace wfrm::org {
+class OrgModel;
+}
+
+namespace wfrm::rql {
+
+/// One `attribute = value` binding of the activity specification.
+struct ActivityBinding {
+  std::string attribute;
+  rel::Value value;
+};
+
+/// The activity part of a resource request: `For <activity> With a1 = v1
+/// And a2 = v2 ...`. Per §2.3 the activity "can and should be fully
+/// described" — every attribute bound to a constant.
+struct ActivitySpec {
+  std::string activity;
+  std::vector<ActivityBinding> bindings;
+
+  /// Value bound to `attribute` (case-insensitive), if any.
+  const rel::Value* Find(const std::string& attribute) const;
+
+  /// The bindings as an executor parameter map, used both to evaluate
+  /// activity ranges and to substitute `[Attr]` references in policies.
+  rel::ParamMap AsParams() const;
+
+  std::string ToString() const;
+};
+
+/// A parsed RQL query (paper Figure 4):
+///
+///   Select <attrs> From <resource> [Where <cond>]
+///   For <activity> With <attribute_value_list>
+///
+/// `select` holds the SQL part; `spec` the activity part. The FROM
+/// clause names exactly one resource type.
+struct RqlQuery {
+  rel::SelectPtr select;
+  ActivitySpec spec;
+
+  RqlQuery() = default;
+  RqlQuery(rel::SelectPtr s, ActivitySpec a)
+      : select(std::move(s)), spec(std::move(a)) {}
+  RqlQuery(const RqlQuery&) = delete;
+  RqlQuery& operator=(const RqlQuery&) = delete;
+  RqlQuery(RqlQuery&&) = default;
+  RqlQuery& operator=(RqlQuery&&) = default;
+
+  RqlQuery Clone() const;
+
+  /// The requested resource type (the single FROM entry).
+  const std::string& resource() const { return select->from[0].name; }
+  const std::string& activity() const { return spec.activity; }
+
+  std::string ToString() const;
+};
+
+/// Parses RQL text into an RqlQuery (no semantic checks).
+Result<RqlQuery> ParseRql(std::string_view text);
+
+/// Validates a parsed query against the organization model: the resource
+/// and activity types exist, the activity is fully specified (every
+/// attribute of the activity type bound exactly once, with a type-
+/// compatible constant), and the Where clause mentions only attributes
+/// of the resource type. Returns the query with canonical type
+/// spellings.
+Result<RqlQuery> BindRql(RqlQuery query, const org::OrgModel& org);
+
+/// ParseRql + BindRql.
+Result<RqlQuery> ParseAndBindRql(std::string_view text,
+                                 const org::OrgModel& org);
+
+}  // namespace wfrm::rql
+
+#endif  // WFRM_RQL_RQL_H_

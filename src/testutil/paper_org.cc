@@ -1,0 +1,157 @@
+#include "testutil/paper_org.h"
+
+namespace wfrm::testutil {
+
+namespace {
+
+using rel::DataType;
+using rel::Value;
+
+Status AddEmployee(org::OrgModel* org, const std::string& type,
+                   const std::string& id, const std::string& location,
+                   const std::string& language, int64_t experience) {
+  std::map<std::string, Value> values = {
+      {"ContactInfo", Value::String(id + "@acme.example")},
+      {"Location", Value::String(location)},
+      {"Language", Value::String(language)},
+      {"Experience", Value::Int(experience)}};
+  return org->AddResource(type, id, values).status();
+}
+
+}  // namespace
+
+const char kPaperPolicies[] = R"(
+  Qualify Programmer For Engineering;
+  Qualify Analyst For Analysis;
+  Qualify Manager For Approval;
+
+  Require Programmer
+    Where Experience > 5
+    For Programming
+    With NumberOfLines > 10000;
+
+  Require Employee
+    Where Language = 'Spanish'
+    For Activity
+    With Location = 'Mexico';
+
+  Require Manager
+    Where ID = (Select Mgr From ReportsTo Where Emp = [Requester])
+    For Approval
+    With Amount < 1000;
+
+  Require Manager
+    Where ID = (Select Mgr From ReportsTo Where level = 2
+                Start with Emp = [Requester]
+                Connect by Prior Mgr = Emp)
+    For Approval
+    With Amount > 1000 And Amount < 5000;
+
+  Substitute Engineer Where Location = 'PA'
+    By Engineer Where Location = 'Cupertino'
+    For Programming
+    With NumberOfLines < 50000
+)";
+
+Result<std::unique_ptr<org::OrgModel>> BuildPaperOrg() {
+  auto org = std::make_unique<org::OrgModel>();
+
+  // ---- Resource hierarchy (Figure 2, left) ------------------------------
+  WFRM_RETURN_NOT_OK(org->DefineResourceType(
+      "Employee", "",
+      {{"ContactInfo", DataType::kString},
+       {"Location", DataType::kString},
+       {"Language", DataType::kString},
+       {"Experience", DataType::kInt}}));
+  WFRM_RETURN_NOT_OK(org->DefineResourceType("Engineer", "Employee"));
+  WFRM_RETURN_NOT_OK(org->DefineResourceType("Programmer", "Engineer"));
+  WFRM_RETURN_NOT_OK(org->DefineResourceType("Analyst", "Engineer"));
+  WFRM_RETURN_NOT_OK(org->DefineResourceType("Manager", "Employee"));
+  WFRM_RETURN_NOT_OK(org->DefineResourceType("Secretary", "Employee"));
+
+  // ---- Activity hierarchy (Figure 2, right) -----------------------------
+  WFRM_RETURN_NOT_OK(org->DefineActivityType(
+      "Activity", "", {{"Location", DataType::kString}}));
+  WFRM_RETURN_NOT_OK(org->DefineActivityType(
+      "Engineering", "Activity", {{"NumberOfLines", DataType::kInt}}));
+  WFRM_RETURN_NOT_OK(org->DefineActivityType("Programming", "Engineering"));
+  WFRM_RETURN_NOT_OK(org->DefineActivityType("Analysis", "Engineering"));
+  WFRM_RETURN_NOT_OK(org->DefineActivityType("Administration", "Activity"));
+  WFRM_RETURN_NOT_OK(org->DefineActivityType(
+      "Approval", "Administration",
+      {{"Amount", DataType::kInt}, {"Requester", DataType::kString}}));
+
+  // ---- Relationships and the ReportsTo view (Figure 3, §2.2) ------------
+  WFRM_RETURN_NOT_OK(org->DefineRelationship(
+      "BelongsTo",
+      {{"Employee", DataType::kString}, {"Unit", DataType::kString}}));
+  WFRM_RETURN_NOT_OK(org->DefineRelationship(
+      "Manages",
+      {{"Manager", DataType::kString}, {"Unit", DataType::kString}}));
+  WFRM_RETURN_NOT_OK(org->DefineView(
+      "ReportsTo", {"Emp", "Mgr"},
+      "Select b.Employee, m.Manager From BelongsTo b, Manages m "
+      "Where b.Unit = m.Unit"));
+
+  // ---- Resource instances ------------------------------------------------
+  // Engineers (exact type).
+  WFRM_RETURN_NOT_OK(AddEmployee(org.get(), "Engineer", "gail", "PA",
+                                 "English", 12));
+  WFRM_RETURN_NOT_OK(AddEmployee(org.get(), "Engineer", "hugo", "PA",
+                                 "Spanish", 8));
+  WFRM_RETURN_NOT_OK(AddEmployee(org.get(), "Engineer", "iris", "Cupertino",
+                                 "Spanish", 6));
+  // Programmers.
+  WFRM_RETURN_NOT_OK(AddEmployee(org.get(), "Programmer", "bob", "PA",
+                                 "Spanish", 7));
+  WFRM_RETURN_NOT_OK(AddEmployee(org.get(), "Programmer", "pam", "PA",
+                                 "English", 9));
+  WFRM_RETURN_NOT_OK(AddEmployee(org.get(), "Programmer", "pete", "PA",
+                                 "Spanish", 3));
+  WFRM_RETURN_NOT_OK(AddEmployee(org.get(), "Programmer", "quinn",
+                                 "Cupertino", "Spanish", 11));
+  WFRM_RETURN_NOT_OK(AddEmployee(org.get(), "Programmer", "raul", "Mexico",
+                                 "Spanish", 2));
+  // Analysts.
+  WFRM_RETURN_NOT_OK(AddEmployee(org.get(), "Analyst", "ana", "PA",
+                                 "Spanish", 10));
+  // Managers: the carol → dave → erin chain.
+  WFRM_RETURN_NOT_OK(AddEmployee(org.get(), "Manager", "carol", "PA",
+                                 "English", 15));
+  WFRM_RETURN_NOT_OK(AddEmployee(org.get(), "Manager", "dave", "PA",
+                                 "English", 20));
+  WFRM_RETURN_NOT_OK(AddEmployee(org.get(), "Manager", "erin", "PA",
+                                 "Spanish", 25));
+  // The requester.
+  WFRM_RETURN_NOT_OK(AddEmployee(org.get(), "Secretary", "alice", "PA",
+                                 "English", 5));
+
+  // Units: alice ∈ U1 (carol manages), carol ∈ U2 (dave manages),
+  // dave ∈ U3 (erin manages).
+  WFRM_RETURN_NOT_OK(org->AddRelationshipTuple(
+      "BelongsTo", {Value::String("alice"), Value::String("U1")}));
+  WFRM_RETURN_NOT_OK(org->AddRelationshipTuple(
+      "BelongsTo", {Value::String("carol"), Value::String("U2")}));
+  WFRM_RETURN_NOT_OK(org->AddRelationshipTuple(
+      "BelongsTo", {Value::String("dave"), Value::String("U3")}));
+  WFRM_RETURN_NOT_OK(org->AddRelationshipTuple(
+      "BelongsTo", {Value::String("bob"), Value::String("U1")}));
+  WFRM_RETURN_NOT_OK(org->AddRelationshipTuple(
+      "Manages", {Value::String("carol"), Value::String("U1")}));
+  WFRM_RETURN_NOT_OK(org->AddRelationshipTuple(
+      "Manages", {Value::String("dave"), Value::String("U2")}));
+  WFRM_RETURN_NOT_OK(org->AddRelationshipTuple(
+      "Manages", {Value::String("erin"), Value::String("U3")}));
+
+  return org;
+}
+
+Result<PaperWorld> BuildPaperWorld() {
+  PaperWorld world;
+  WFRM_ASSIGN_OR_RETURN(world.org, BuildPaperOrg());
+  world.store = std::make_unique<policy::PolicyStore>(world.org.get());
+  WFRM_RETURN_NOT_OK(world.store->AddPolicyText(kPaperPolicies));
+  return world;
+}
+
+}  // namespace wfrm::testutil

@@ -1,0 +1,51 @@
+#ifndef WFRM_TESTUTIL_PAPER_ORG_H_
+#define WFRM_TESTUTIL_PAPER_ORG_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "org/org_model.h"
+#include "policy/policy_store.h"
+
+namespace wfrm::testutil {
+
+/// Builds the paper's running-example organization (Figures 2 and 3):
+///
+/// Resource hierarchy:
+///   Employee(ContactInfo, Location, Language, Experience)
+///     ├─ Engineer
+///     │   ├─ Programmer
+///     │   └─ Analyst
+///     ├─ Manager
+///     └─ Secretary
+///
+/// Activity hierarchy:
+///   Activity(Location)
+///     ├─ Engineering(NumberOfLines)
+///     │   ├─ Programming
+///     │   └─ Analysis
+///     └─ Administration
+///         └─ Approval(Amount, Requester)
+///
+/// Relationships: BelongsTo(Employee, Unit), Manages(Manager, Unit) and
+/// the ReportsTo(Emp, Mgr) view joining them on Unit (§2.2).
+///
+/// Instances: engineers/programmers/analysts across PA, Cupertino and
+/// Mexico; a management chain carol → dave → erin used by the Figure 8
+/// approval policies.
+Result<std::unique_ptr<org::OrgModel>> BuildPaperOrg();
+
+/// The paper's example policies, in PL text (Figures 5, 6, 8 and 9 plus
+/// the qualifications the approval scenario needs).
+extern const char kPaperPolicies[];
+
+/// BuildPaperOrg + a PolicyStore loaded with kPaperPolicies.
+struct PaperWorld {
+  std::unique_ptr<org::OrgModel> org;
+  std::unique_ptr<policy::PolicyStore> store;
+};
+Result<PaperWorld> BuildPaperWorld();
+
+}  // namespace wfrm::testutil
+
+#endif  // WFRM_TESTUTIL_PAPER_ORG_H_

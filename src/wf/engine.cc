@@ -1,0 +1,107 @@
+#include "wf/engine.h"
+
+namespace wfrm::wf {
+
+Result<std::string> InstantiateTemplate(const std::string& rql_template,
+                                        const CaseData& data) {
+  std::string out;
+  out.reserve(rql_template.size());
+  size_t i = 0;
+  while (i < rql_template.size()) {
+    if (rql_template[i] == '$' && i + 1 < rql_template.size() &&
+        rql_template[i + 1] == '{') {
+      size_t end = rql_template.find('}', i + 2);
+      if (end == std::string::npos) {
+        return Status::InvalidArgument(
+            "unterminated ${...} placeholder in RQL template");
+      }
+      std::string name = rql_template.substr(i + 2, end - i - 2);
+      auto it = data.find(name);
+      if (it == data.end()) {
+        return Status::NotFound("case data does not bind placeholder '" +
+                                name + "'");
+      }
+      out += it->second;
+      i = end + 1;
+    } else {
+      out.push_back(rql_template[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+size_t WorkflowEngine::StartCase(const ProcessDefinition& process,
+                                 CaseData data) {
+  cases_.push_back(Case{&process, std::move(data), 0, CaseState::kRunning,
+                        std::nullopt});
+  return cases_.size() - 1;
+}
+
+Result<WorkflowEngine::Case*> WorkflowEngine::FindCase(size_t case_id) {
+  if (case_id >= cases_.size()) {
+    return Status::NotFound("unknown case " + std::to_string(case_id));
+  }
+  return &cases_[case_id];
+}
+
+Result<WorkItem> WorkflowEngine::Advance(size_t case_id) {
+  WFRM_ASSIGN_OR_RETURN(Case * c, FindCase(case_id));
+  if (c->state != CaseState::kRunning) {
+    return Status::InvalidArgument("case " + std::to_string(case_id) +
+                                   " is not running");
+  }
+  if (c->open_item) {
+    return Status::InvalidArgument(
+        "case " + std::to_string(case_id) +
+        " has an open work item; complete it before advancing");
+  }
+  if (c->next_step >= c->process->steps.size()) {
+    return Status::InvalidArgument("case " + std::to_string(case_id) +
+                                   " has no steps left");
+  }
+  const ActivityStep& step = c->process->steps[c->next_step];
+  auto rql = InstantiateTemplate(step.rql_template, c->data);
+  if (!rql.ok()) {
+    c->state = CaseState::kFailed;
+    return rql.status();
+  }
+  auto acquired = rm_->Acquire(*rql);
+  if (!acquired.ok()) {
+    c->state = CaseState::kFailed;
+    return acquired.status();
+  }
+  WorkItem item;
+  item.case_id = case_id;
+  item.step_index = c->next_step;
+  item.step_name = step.name;
+  item.resource = *acquired;
+  c->open_item = item;
+  return item;
+}
+
+Status WorkflowEngine::Complete(size_t case_id) {
+  WFRM_ASSIGN_OR_RETURN(Case * c, FindCase(case_id));
+  if (!c->open_item) {
+    return Status::InvalidArgument("case " + std::to_string(case_id) +
+                                   " has no open work item");
+  }
+  WFRM_RETURN_NOT_OK(rm_->Release(c->open_item->resource));
+  c->open_item->completed = true;
+  history_.push_back(*c->open_item);
+  c->open_item.reset();
+  ++c->next_step;
+  if (c->next_step >= c->process->steps.size()) {
+    c->state = CaseState::kCompleted;
+  }
+  return Status::OK();
+}
+
+Result<CaseState> WorkflowEngine::GetState(size_t case_id) const {
+  if (case_id >= cases_.size()) {
+    return Status::NotFound("unknown case " + std::to_string(case_id));
+  }
+  return cases_[case_id].state;
+}
+
+}  // namespace wfrm::wf

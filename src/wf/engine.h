@@ -1,0 +1,95 @@
+#ifndef WFRM_WF_ENGINE_H_
+#define WFRM_WF_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/resource_manager.h"
+
+namespace wfrm::wf {
+
+/// One activity node of a process definition. `rql_template` is an RQL
+/// request whose `${name}` placeholders are filled from the case data at
+/// run time — the workflow engine handles the "when", the resource
+/// manager the "who" (paper §1).
+struct ActivityStep {
+  std::string name;
+  std::string rql_template;
+};
+
+/// A linear process definition (sufficient context for the RM under
+/// study; branching/looping control flow is orthogonal to resource
+/// policy enforcement).
+struct ProcessDefinition {
+  std::string name;
+  std::vector<ActivityStep> steps;
+};
+
+/// Case data: placeholder name → literal text substituted into the RQL
+/// template (values must be valid RQL literals, e.g. "'ana'" or "1200").
+using CaseData = std::map<std::string, std::string>;
+
+enum class CaseState { kRunning, kCompleted, kFailed };
+
+/// A work item: one step of one case assigned to one resource.
+struct WorkItem {
+  size_t case_id = 0;
+  size_t step_index = 0;
+  std::string step_name;
+  org::ResourceRef resource;
+  bool completed = false;
+};
+
+/// Replaces `${name}` placeholders in an RQL template with case data.
+/// Fails on unbound placeholders.
+Result<std::string> InstantiateTemplate(const std::string& rql_template,
+                                        const CaseData& data);
+
+/// A minimal workflow engine driving the resource manager: it steps each
+/// case through its process definition, asking the RM for a qualified,
+/// policy-compliant, available resource at every activity, holding the
+/// allocation until the work item completes.
+class WorkflowEngine {
+ public:
+  explicit WorkflowEngine(core::ResourceManager* rm) : rm_(rm) {}
+
+  /// Starts a case; returns its id. The case sits before its first step
+  /// until Advance() is called.
+  size_t StartCase(const ProcessDefinition& process, CaseData data);
+
+  /// Assigns the case's next step to a resource (via the RM). On
+  /// success the case carries an open work item; complete it with
+  /// Complete(). Fails — and marks the case kFailed — when no resource
+  /// can be found.
+  Result<WorkItem> Advance(size_t case_id);
+
+  /// Completes the case's open work item, releasing its resource and
+  /// moving to the next step (or completing the case).
+  Status Complete(size_t case_id);
+
+  Result<CaseState> GetState(size_t case_id) const;
+
+  /// Work items processed so far (completed), across all cases.
+  const std::vector<WorkItem>& history() const { return history_; }
+
+ private:
+  struct Case {
+    const ProcessDefinition* process;
+    CaseData data;
+    size_t next_step = 0;
+    CaseState state = CaseState::kRunning;
+    std::optional<WorkItem> open_item;
+  };
+
+  Result<Case*> FindCase(size_t case_id);
+
+  core::ResourceManager* rm_;
+  std::vector<Case> cases_;
+  std::vector<WorkItem> history_;
+};
+
+}  // namespace wfrm::wf
+
+#endif  // WFRM_WF_ENGINE_H_

@@ -1,0 +1,296 @@
+#include "wf/graph.h"
+
+#include "rel/executor.h"
+#include "rel/parser.h"
+
+namespace wfrm::wf {
+
+// ---- ProcessGraph -----------------------------------------------------------
+
+Status ProcessGraph::AddNode(Node node) {
+  if (node.name.empty()) {
+    return Status::InvalidArgument("node name must not be empty");
+  }
+  if (Find(node.name) != nullptr) {
+    return Status::AlreadyExists("node '" + node.name + "' already exists in "
+                                 "process '" + name_ + "'");
+  }
+  if (start_.empty()) start_ = node.name;
+  nodes_.push_back(std::move(node));
+  return Status::OK();
+}
+
+Status ProcessGraph::AddActivity(const std::string& name,
+                                 std::string rql_template, std::string next) {
+  Node node;
+  node.name = name;
+  node.kind = Kind::kActivity;
+  node.rql_template = std::move(rql_template);
+  node.targets = {std::move(next)};
+  return AddNode(std::move(node));
+}
+
+Status ProcessGraph::AddXorSplit(const std::string& name,
+                                 std::vector<Branch> branches) {
+  if (branches.empty()) {
+    return Status::InvalidArgument("XOR split '" + name +
+                                   "' needs at least one branch");
+  }
+  Node node;
+  node.name = name;
+  node.kind = Kind::kXorSplit;
+  node.branches = std::move(branches);
+  return AddNode(std::move(node));
+}
+
+Status ProcessGraph::AddAndSplit(const std::string& name,
+                                 std::vector<std::string> targets) {
+  if (targets.empty()) {
+    return Status::InvalidArgument("AND split '" + name +
+                                   "' needs at least one target");
+  }
+  Node node;
+  node.name = name;
+  node.kind = Kind::kAndSplit;
+  node.targets = std::move(targets);
+  return AddNode(std::move(node));
+}
+
+Status ProcessGraph::AddAndJoin(const std::string& name, std::string next) {
+  Node node;
+  node.name = name;
+  node.kind = Kind::kAndJoin;
+  node.targets = {std::move(next)};
+  return AddNode(std::move(node));
+}
+
+Status ProcessGraph::SetStart(const std::string& name) {
+  if (Find(name) == nullptr) {
+    return Status::NotFound("unknown start node '" + name + "'");
+  }
+  start_ = name;
+  return Status::OK();
+}
+
+const ProcessGraph::Node* ProcessGraph::Find(const std::string& name) const {
+  for (const Node& node : nodes_) {
+    if (node.name == name) return &node;
+  }
+  return nullptr;
+}
+
+std::map<std::string, size_t> ProcessGraph::IncomingCounts() const {
+  std::map<std::string, size_t> counts;
+  auto count = [&](const std::string& target) {
+    if (!target.empty()) ++counts[target];
+  };
+  for (const Node& node : nodes_) {
+    if (node.kind == Kind::kXorSplit) {
+      for (const Branch& b : node.branches) count(b.target);
+    } else {
+      for (const std::string& t : node.targets) count(t);
+    }
+  }
+  return counts;
+}
+
+Status ProcessGraph::Validate() const {
+  if (nodes_.empty()) {
+    return Status::InvalidArgument("process '" + name_ + "' has no nodes");
+  }
+  auto check_target = [&](const std::string& from,
+                          const std::string& target) -> Status {
+    if (!target.empty() && Find(target) == nullptr) {
+      return Status::NotFound("node '" + from + "' targets unknown node '" +
+                              target + "'");
+    }
+    return Status::OK();
+  };
+  for (const Node& node : nodes_) {
+    if (node.kind == Kind::kXorSplit) {
+      for (const Branch& b : node.branches) {
+        WFRM_RETURN_NOT_OK(check_target(node.name, b.target));
+      }
+    } else {
+      for (const std::string& t : node.targets) {
+        WFRM_RETURN_NOT_OK(check_target(node.name, t));
+      }
+    }
+  }
+  std::map<std::string, size_t> incoming = IncomingCounts();
+  for (const Node& node : nodes_) {
+    if (node.kind == Kind::kAndJoin && incoming[node.name] == 0) {
+      return Status::InvalidArgument("AND join '" + node.name +
+                                     "' has no incoming edges");
+    }
+  }
+  return Status::OK();
+}
+
+// ---- GraphEngine ------------------------------------------------------------
+
+Result<GraphEngine::Case*> GraphEngine::FindCase(size_t case_id) {
+  if (case_id >= cases_.size()) {
+    return Status::NotFound("unknown case " + std::to_string(case_id));
+  }
+  return &cases_[case_id];
+}
+
+Result<const GraphEngine::Case*> GraphEngine::FindCase(size_t case_id) const {
+  if (case_id >= cases_.size()) {
+    return Status::NotFound("unknown case " + std::to_string(case_id));
+  }
+  return &cases_[case_id];
+}
+
+Result<size_t> GraphEngine::StartCase(const ProcessGraph& graph,
+                                      CaseData data) {
+  WFRM_RETURN_NOT_OK(graph.Validate());
+  Case c;
+  c.graph = &graph;
+  c.data = std::move(data);
+  cases_.push_back(std::move(c));
+  Case* stored = &cases_.back();
+  Status st = Flow(stored, graph.start_);
+  if (!st.ok()) {
+    stored->state = CaseState::kFailed;
+    return st;
+  }
+  if (stored->tokens.empty()) stored->state = CaseState::kCompleted;
+  return cases_.size() - 1;
+}
+
+Status GraphEngine::Flow(Case* c, std::string node_name) {
+  // Depth-first propagation of one token; activity nodes terminate the
+  // walk by parking a token.
+  if (node_name.empty()) return Status::OK();  // Token leaves the case.
+  const ProcessGraph::Node* node = c->graph->Find(node_name);
+  if (node == nullptr) {
+    return Status::Internal("token reached unknown node '" + node_name + "'");
+  }
+  switch (node->kind) {
+    case ProcessGraph::Kind::kActivity:
+      c->tokens.push_back(Token{node->name, std::nullopt});
+      return Status::OK();
+    case ProcessGraph::Kind::kXorSplit: {
+      for (const ProcessGraph::Branch& branch : node->branches) {
+        if (branch.condition_template.empty()) {
+          return Flow(c, branch.target);  // Else-branch.
+        }
+        WFRM_ASSIGN_OR_RETURN(
+            std::string text,
+            InstantiateTemplate(branch.condition_template, c->data));
+        WFRM_ASSIGN_OR_RETURN(rel::ExprPtr expr,
+                              rel::SqlParser::ParseExpr(text));
+        rel::Database empty;
+        rel::Executor exec(&empty);
+        WFRM_ASSIGN_OR_RETURN(rel::Value v, exec.EvalConst(*expr));
+        if (v.is_bool() && v.bool_value()) {
+          return Flow(c, branch.target);
+        }
+      }
+      return Status::ExecutionError(
+          "no branch of XOR split '" + node->name +
+          "' matched the case data and no else-branch exists");
+    }
+    case ProcessGraph::Kind::kAndSplit:
+      for (const std::string& target : node->targets) {
+        WFRM_RETURN_NOT_OK(Flow(c, target));
+      }
+      return Status::OK();
+    case ProcessGraph::Kind::kAndJoin: {
+      size_t needed = c->graph->IncomingCounts()[node->name];
+      size_t arrived = ++c->join_arrivals[node->name];
+      if (arrived < needed) return Status::OK();  // Wait for siblings.
+      c->join_arrivals[node->name] = 0;
+      return Flow(c, node->targets[0]);
+    }
+  }
+  return Status::Internal("unknown node kind");
+}
+
+Result<std::vector<std::string>> GraphEngine::PendingActivities(
+    size_t case_id) const {
+  WFRM_ASSIGN_OR_RETURN(const Case* c, FindCase(case_id));
+  std::vector<std::string> out;
+  for (const Token& t : c->tokens) {
+    if (!t.open) out.push_back(t.node);
+  }
+  return out;
+}
+
+Result<WorkItem> GraphEngine::StartActivity(size_t case_id,
+                                            const std::string& node_name) {
+  WFRM_ASSIGN_OR_RETURN(Case * c, FindCase(case_id));
+  if (c->state != CaseState::kRunning) {
+    return Status::InvalidArgument("case " + std::to_string(case_id) +
+                                   " is not running");
+  }
+  Token* token = nullptr;
+  for (Token& t : c->tokens) {
+    if (t.node == node_name && !t.open) {
+      token = &t;
+      break;
+    }
+  }
+  if (token == nullptr) {
+    return Status::NotFound("case " + std::to_string(case_id) +
+                            " has no idle token at activity '" + node_name +
+                            "'");
+  }
+  const ProcessGraph::Node* node = c->graph->Find(node_name);
+  WFRM_ASSIGN_OR_RETURN(std::string rql,
+                        InstantiateTemplate(node->rql_template, c->data));
+  // Resource exhaustion is transient: the token stays pending.
+  WFRM_ASSIGN_OR_RETURN(org::ResourceRef resource, rm_->Acquire(rql));
+  WorkItem item;
+  item.case_id = case_id;
+  item.step_name = node_name;
+  item.resource = std::move(resource);
+  token->open = item;
+  return item;
+}
+
+Status GraphEngine::CompleteActivity(size_t case_id,
+                                     const std::string& node_name) {
+  WFRM_ASSIGN_OR_RETURN(Case * c, FindCase(case_id));
+  size_t index = c->tokens.size();
+  for (size_t i = 0; i < c->tokens.size(); ++i) {
+    if (c->tokens[i].node == node_name && c->tokens[i].open) {
+      index = i;
+      break;
+    }
+  }
+  if (index == c->tokens.size()) {
+    return Status::NotFound("case " + std::to_string(case_id) +
+                            " has no running work item at '" + node_name +
+                            "'");
+  }
+  WorkItem item = *c->tokens[index].open;
+  WFRM_RETURN_NOT_OK(rm_->Release(item.resource));
+  item.completed = true;
+  history_.push_back(item);
+
+  const ProcessGraph::Node* node = c->graph->Find(node_name);
+  std::string next = node->targets[0];
+  c->tokens.erase(c->tokens.begin() + static_cast<ptrdiff_t>(index));
+  Status st = Flow(c, next);
+  if (!st.ok()) {
+    c->state = CaseState::kFailed;
+    return st;
+  }
+  bool any_open = false;
+  for (const Token& t : c->tokens) {
+    if (t.open) any_open = true;
+  }
+  (void)any_open;
+  if (c->tokens.empty()) c->state = CaseState::kCompleted;
+  return Status::OK();
+}
+
+Result<CaseState> GraphEngine::GetState(size_t case_id) const {
+  WFRM_ASSIGN_OR_RETURN(const Case* c, FindCase(case_id));
+  return c->state;
+}
+
+}  // namespace wfrm::wf

@@ -1,0 +1,142 @@
+#ifndef WFRM_WF_GRAPH_H_
+#define WFRM_WF_GRAPH_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/resource_manager.h"
+#include "wf/engine.h"
+
+namespace wfrm::wf {
+
+/// A structured process graph: activities plus the classic workflow
+/// control nodes — XOR-split (conditional routing on case data),
+/// AND-split (parallel branches) and AND-join (synchronization). This is
+/// the "when" machinery of a WFMS (paper §1); every activity node asks
+/// the resource manager for its "who".
+///
+/// Execution is token-based: a case starts with one token at the start
+/// node; control nodes move/duplicate/merge tokens immediately, activity
+/// nodes hold their token until the work item completes. The case
+/// finishes when no tokens remain.
+class ProcessGraph {
+ public:
+  explicit ProcessGraph(std::string name) : name_(std::move(name)) {}
+
+  /// An activity node: performs `rql_template` (with `${...}` case-data
+  /// placeholders) and moves its token to `next` ("" = case boundary).
+  Status AddActivity(const std::string& name, std::string rql_template,
+                     std::string next);
+
+  /// An XOR-split: the first branch whose condition evaluates to TRUE
+  /// receives the token. Conditions are boolean SQL expressions over
+  /// `${...}` placeholders (e.g. "${amount} > 1000"); an empty condition
+  /// is the else-branch.
+  struct Branch {
+    std::string condition_template;  // Empty = else.
+    std::string target;
+  };
+  Status AddXorSplit(const std::string& name, std::vector<Branch> branches);
+
+  /// An AND-split: duplicates the token onto every target.
+  Status AddAndSplit(const std::string& name,
+                     std::vector<std::string> targets);
+
+  /// An AND-join: waits for one token per incoming edge, then emits a
+  /// single token to `next`.
+  Status AddAndJoin(const std::string& name, std::string next);
+
+  /// Node the initial token starts on; defaults to the first added node.
+  Status SetStart(const std::string& name);
+
+  /// Structural checks: every referenced target exists, XOR splits have
+  /// branches, joins have at least one incoming edge.
+  Status Validate() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class GraphEngine;
+
+  enum class Kind { kActivity, kXorSplit, kAndSplit, kAndJoin };
+
+  struct Node {
+    std::string name;
+    Kind kind;
+    std::string rql_template;      // kActivity.
+    std::vector<Branch> branches;  // kXorSplit.
+    std::vector<std::string> targets;  // kAndSplit; kActivity/kAndJoin
+                                       // use targets[0] ("" = end).
+  };
+
+  Status AddNode(Node node);
+  const Node* Find(const std::string& name) const;
+  /// Incoming-edge count per node (for AND-join thresholds). Node names
+  /// are case-sensitive identifiers.
+  std::map<std::string, size_t> IncomingCounts() const;
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::string start_;
+};
+
+/// Executes process graphs against a resource manager.
+class GraphEngine {
+ public:
+  explicit GraphEngine(core::ResourceManager* rm) : rm_(rm) {}
+
+  /// Starts a case; control nodes run immediately, so PendingActivities
+  /// is ready right after. Fails if the graph does not validate.
+  Result<size_t> StartCase(const ProcessGraph& graph, CaseData data);
+
+  /// Activity nodes currently holding an idle token (work that can be
+  /// started). Parallel branches surface simultaneously.
+  Result<std::vector<std::string>> PendingActivities(size_t case_id) const;
+
+  /// Starts the named pending activity: asks the RM for a resource and
+  /// opens a work item. On kResourceUnavailable the token stays pending
+  /// (retry after a Release elsewhere); the case only fails on semantic
+  /// errors.
+  Result<WorkItem> StartActivity(size_t case_id, const std::string& node);
+
+  /// Completes the open work item of `node`: releases the resource,
+  /// moves the token onward and runs control nodes (joins may fire).
+  Status CompleteActivity(size_t case_id, const std::string& node);
+
+  Result<CaseState> GetState(size_t case_id) const;
+
+  const std::vector<WorkItem>& history() const { return history_; }
+
+ private:
+  struct Token {
+    std::string node;              // Always an activity node when idle.
+    std::optional<WorkItem> open;  // Set while the activity runs.
+  };
+
+  struct Case {
+    const ProcessGraph* graph;
+    CaseData data;
+    std::vector<Token> tokens;
+    std::map<std::string, size_t> join_arrivals;  // Tokens waiting at joins.
+    CaseState state = CaseState::kRunning;
+  };
+
+  /// Advances every token sitting on a control node until all rest on
+  /// activity nodes (or leave the graph). `node` may be "" for the case
+  /// boundary.
+  Status Flow(Case* c, std::string node);
+
+  Result<Case*> FindCase(size_t case_id);
+  Result<const Case*> FindCase(size_t case_id) const;
+
+  core::ResourceManager* rm_;
+  std::vector<Case> cases_;
+  std::vector<WorkItem> history_;
+};
+
+}  // namespace wfrm::wf
+
+#endif  // WFRM_WF_GRAPH_H_

@@ -1,0 +1,115 @@
+#include "wf/worklist.h"
+
+#include <algorithm>
+
+namespace wfrm::wf {
+
+Result<size_t> WorkList::CreateOffer(std::string_view rql) {
+  WFRM_ASSIGN_OR_RETURN(core::QueryOutcome outcome, rm_->Submit(rql));
+  if (!outcome.ok()) return outcome.status;
+  struct Offer offer;
+  offer.id = offers_.size();
+  offer.rql = std::string(rql);
+  offer.candidates = std::move(outcome.candidates);
+  offers_.push_back(std::move(offer));
+  return offers_.back().id;
+}
+
+std::vector<size_t> WorkList::WorkListFor(
+    const org::ResourceRef& resource) const {
+  std::vector<size_t> out;
+  for (const Offer& offer : offers_) {
+    if (offer.state != OfferState::kOpen) continue;
+    for (const org::ResourceRef& c : offer.candidates) {
+      if (c == resource) {
+        out.push_back(offer.id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<WorkList::Offer*> WorkList::FindOpen(size_t offer_id) {
+  if (offer_id >= offers_.size()) {
+    return Status::NotFound("unknown offer " + std::to_string(offer_id));
+  }
+  return &offers_[offer_id];
+}
+
+Status WorkList::Claim(size_t offer_id, const org::ResourceRef& resource) {
+  WFRM_ASSIGN_OR_RETURN(Offer * offer, FindOpen(offer_id));
+  if (offer->state != OfferState::kOpen) {
+    return Status::InvalidArgument("offer " + std::to_string(offer_id) +
+                                   " is not open");
+  }
+  bool candidate = std::any_of(
+      offer->candidates.begin(), offer->candidates.end(),
+      [&](const org::ResourceRef& c) { return c == resource; });
+  if (!candidate) {
+    return Status::PolicyViolation(
+        resource.ToString() + " is not in the policy-compliant candidate "
+        "set of offer " + std::to_string(offer_id));
+  }
+  // Allocation is the atomic claim arbiter: under contention exactly one
+  // claimant wins.
+  WFRM_RETURN_NOT_OK(rm_->Allocate(resource));
+  offer->state = OfferState::kClaimed;
+  offer->claimant = resource;
+  return Status::OK();
+}
+
+Status WorkList::Complete(size_t offer_id) {
+  WFRM_ASSIGN_OR_RETURN(Offer * offer, FindOpen(offer_id));
+  if (offer->state != OfferState::kClaimed) {
+    return Status::InvalidArgument("offer " + std::to_string(offer_id) +
+                                   " is not claimed");
+  }
+  WFRM_RETURN_NOT_OK(rm_->Release(*offer->claimant));
+  offer->state = OfferState::kCompleted;
+  return Status::OK();
+}
+
+Status WorkList::Cancel(size_t offer_id) {
+  WFRM_ASSIGN_OR_RETURN(Offer * offer, FindOpen(offer_id));
+  if (offer->state == OfferState::kCompleted ||
+      offer->state == OfferState::kCancelled) {
+    return Status::InvalidArgument("offer " + std::to_string(offer_id) +
+                                   " already finished");
+  }
+  if (offer->state == OfferState::kClaimed) {
+    WFRM_RETURN_NOT_OK(rm_->Release(*offer->claimant));
+  }
+  offer->state = OfferState::kCancelled;
+  return Status::OK();
+}
+
+Status WorkList::Refresh(size_t offer_id) {
+  WFRM_ASSIGN_OR_RETURN(Offer * offer, FindOpen(offer_id));
+  if (offer->state != OfferState::kOpen) {
+    return Status::InvalidArgument("only open offers can be refreshed");
+  }
+  WFRM_ASSIGN_OR_RETURN(core::QueryOutcome outcome, rm_->Submit(offer->rql));
+  if (!outcome.ok()) {
+    // Nothing available right now: the offer stays open with an empty
+    // candidate set rather than failing.
+    offer->candidates.clear();
+    return Status::OK();
+  }
+  offer->candidates = std::move(outcome.candidates);
+  return Status::OK();
+}
+
+const WorkList::Offer* WorkList::Get(size_t offer_id) const {
+  return offer_id < offers_.size() ? &offers_[offer_id] : nullptr;
+}
+
+size_t WorkList::num_open() const {
+  size_t n = 0;
+  for (const Offer& offer : offers_) {
+    if (offer.state == OfferState::kOpen) ++n;
+  }
+  return n;
+}
+
+}  // namespace wfrm::wf

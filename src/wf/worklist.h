@@ -1,0 +1,76 @@
+#ifndef WFRM_WF_WORKLIST_H_
+#define WFRM_WF_WORKLIST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/resource_manager.h"
+
+namespace wfrm::wf {
+
+/// Pull-model work distribution, the way the WFMS products of the
+/// paper's era (FlowMark, Staffware) assigned activities: instead of the
+/// engine picking one resource, a work item is *offered* to every
+/// qualified, policy-compliant, available candidate the resource
+/// manager's pipeline returns; one of them then *claims* it, which
+/// allocates that resource until completion.
+///
+/// The policy guarantee is preserved: the candidate set of an offer is
+/// exactly a ResourceManager::Submit outcome, and claims are restricted
+/// to that set.
+class WorkList {
+ public:
+  explicit WorkList(core::ResourceManager* rm) : rm_(rm) {}
+
+  enum class OfferState { kOpen, kClaimed, kCompleted, kCancelled };
+
+  struct Offer {
+    size_t id = 0;
+    std::string rql;
+    std::vector<org::ResourceRef> candidates;
+    OfferState state = OfferState::kOpen;
+    std::optional<org::ResourceRef> claimant;
+  };
+
+  /// Runs the request through the RM pipeline and opens an offer to all
+  /// candidates; returns the offer id. Fails (and opens nothing) when
+  /// the pipeline finds no available resource at all.
+  Result<size_t> CreateOffer(std::string_view rql);
+
+  /// Open offers on which `resource` is a candidate — its work list.
+  std::vector<size_t> WorkListFor(const org::ResourceRef& resource) const;
+
+  /// Claims an open offer for `resource`: it must be in the candidate
+  /// set and still be available (allocation happens here, atomically).
+  /// A stale candidate (allocated elsewhere since the offer was cut)
+  /// gets kResourceUnavailable and the offer stays open.
+  Status Claim(size_t offer_id, const org::ResourceRef& resource);
+
+  /// Completes a claimed offer, releasing the claimant.
+  Status Complete(size_t offer_id);
+
+  /// Cancels an offer; a claimed offer's claimant is released.
+  Status Cancel(size_t offer_id);
+
+  /// Re-runs the pipeline of an *open* offer, refreshing its candidate
+  /// set against current availability (e.g. after all candidates went
+  /// busy and some were released again — or substitution opened up).
+  Status Refresh(size_t offer_id);
+
+  /// Offer lookup; nullptr when the id is unknown.
+  const Offer* Get(size_t offer_id) const;
+
+  size_t num_open() const;
+
+ private:
+  Result<Offer*> FindOpen(size_t offer_id);
+
+  core::ResourceManager* rm_;
+  std::vector<Offer> offers_;
+};
+
+}  // namespace wfrm::wf
+
+#endif  // WFRM_WF_WORKLIST_H_

@@ -1,0 +1,109 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace wfrm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::ParseError("bad").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::TypeError("t").code(), StatusCode::kTypeError);
+  EXPECT_EQ(Status::PolicyViolation("p").code(), StatusCode::kPolicyViolation);
+  EXPECT_EQ(Status::NoQualifiedResource("q").code(),
+            StatusCode::kNoQualifiedResource);
+  EXPECT_EQ(Status::ResourceUnavailable("r").code(),
+            StatusCode::kResourceUnavailable);
+  Status s = Status::InvalidArgument("arg was wrong");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "arg was wrong");
+  EXPECT_EQ(s.ToString(), "invalid argument: arg was wrong");
+}
+
+TEST(StatusTest, PredicatesMatchCodes) {
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_FALSE(Status::ParseError("x").IsNotFound());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::PolicyViolation("x").IsPolicyViolation());
+  EXPECT_TRUE(Status::NoQualifiedResource("x").IsNoQualifiedResource());
+  EXPECT_TRUE(Status::ResourceUnavailable("x").IsResourceUnavailable());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Internal("boom");
+  Status t = s;
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.code(), StatusCode::kInternal);
+  EXPECT_EQ(t.message(), "boom");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    WFRM_RETURN_NOT_OK(Status::NotFound("inner"));
+    return Status::Internal("unreachable");
+  };
+  Status s = fails();
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "inner");
+
+  auto passes = []() -> Status {
+    WFRM_RETURN_NOT_OK(Status::OK());
+    return Status::OK();
+  };
+  EXPECT_TRUE(passes().ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::NotFound("nothing here");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::InvalidArgument("no");
+    return 10;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    WFRM_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v * 2;
+  };
+  ASSERT_TRUE(outer(false).ok());
+  EXPECT_EQ(*outer(false), 20);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusTest, StreamOperatorRendersToString) {
+  std::ostringstream os;
+  os << Status::ParseError("x");
+  EXPECT_EQ(os.str(), "parse error: x");
+}
+
+}  // namespace
+}  // namespace wfrm

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/resource_manager.h"
+#include "testutil/paper_org.h"
+
+namespace wfrm::core {
+namespace {
+
+// Three PA programmers are eligible for this small job (no requirement
+// policy applies).
+constexpr char kSmallJob[] =
+    "Select ContactInfo From Programmer Where Location = 'PA' "
+    "For Programming With NumberOfLines = 5000 And Location = 'PA'";
+
+class AllocationStrategyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto world = testutil::BuildPaperWorld();
+    ASSERT_TRUE(world.ok()) << world.status().ToString();
+    org_ = std::move(world->org);
+    store_ = std::move(world->store);
+  }
+
+  ResourceManager Make(AllocationStrategy strategy) {
+    ResourceManagerOptions options;
+    options.allocation_strategy = strategy;
+    return ResourceManager(org_.get(), store_.get(), options);
+  }
+
+  /// Acquires and immediately releases `n` times; returns allocation
+  /// counts per resource id.
+  std::map<std::string, int> Distribution(ResourceManager* rm, int n) {
+    std::map<std::string, int> counts;
+    for (int i = 0; i < n; ++i) {
+      auto ref = rm->Acquire(kSmallJob);
+      EXPECT_TRUE(ref.ok()) << ref.status().ToString();
+      if (!ref.ok()) break;
+      ++counts[ref->id];
+      EXPECT_TRUE(rm->Release(*ref).ok());
+    }
+    return counts;
+  }
+
+  std::unique_ptr<org::OrgModel> org_;
+  std::unique_ptr<policy::PolicyStore> store_;
+};
+
+TEST_F(AllocationStrategyTest, FirstAlwaysPicksTheSameResource) {
+  ResourceManager rm = Make(AllocationStrategy::kFirst);
+  auto counts = Distribution(&rm, 9);
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts.begin()->second, 9);
+}
+
+TEST_F(AllocationStrategyTest, RoundRobinCyclesThroughCandidates) {
+  ResourceManager rm = Make(AllocationStrategy::kRoundRobin);
+  auto counts = Distribution(&rm, 9);
+  // Three candidates, nine acquisitions: three each.
+  ASSERT_EQ(counts.size(), 3u);
+  for (const auto& [id, n] : counts) {
+    EXPECT_EQ(n, 3) << id;
+  }
+}
+
+TEST_F(AllocationStrategyTest, LeastRecentlyUsedIsFairAcrossReleases) {
+  ResourceManager rm = Make(AllocationStrategy::kLeastRecentlyUsed);
+  auto counts = Distribution(&rm, 9);
+  ASSERT_EQ(counts.size(), 3u);
+  for (const auto& [id, n] : counts) {
+    EXPECT_EQ(n, 3) << id;
+  }
+}
+
+TEST_F(AllocationStrategyTest, RandomIsSeededAndCoversCandidates) {
+  ResourceManagerOptions options;
+  options.allocation_strategy = AllocationStrategy::kRandom;
+  options.random_seed = 7;
+  ResourceManager a(org_.get(), store_.get(), options);
+  ResourceManager b(org_.get(), store_.get(), options);
+  // Same seed, same sequence.
+  for (int i = 0; i < 6; ++i) {
+    auto ra = a.Acquire(kSmallJob);
+    auto rb = b.Acquire(kSmallJob);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    EXPECT_EQ(ra->ToString(), rb->ToString());
+    ASSERT_TRUE(a.Release(*ra).ok());
+    ASSERT_TRUE(b.Release(*rb).ok());
+  }
+  // Over enough draws every candidate appears.
+  ResourceManager c(org_.get(), store_.get(), options);
+  auto counts = Distribution(&c, 60);
+  EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST_F(AllocationStrategyTest, StrategiesStillRespectAvailability) {
+  // Hold one resource: the rotation continues over the remaining two.
+  ResourceManager rm = Make(AllocationStrategy::kRoundRobin);
+  auto held = rm.Acquire(kSmallJob);
+  ASSERT_TRUE(held.ok());
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 6; ++i) {
+    auto ref = rm.Acquire(kSmallJob);
+    ASSERT_TRUE(ref.ok());
+    EXPECT_NE(ref->id, held->id);
+    ++counts[ref->id];
+    ASSERT_TRUE(rm.Release(*ref).ok());
+  }
+  EXPECT_EQ(counts.size(), 2u);
+}
+
+}  // namespace
+}  // namespace wfrm::core

@@ -1,0 +1,153 @@
+// Concurrency: Acquire() must never hand the same resource to two
+// threads at once, and contention resolves by falling through to other
+// candidates (including substitution alternatives) rather than failing
+// spuriously while capacity remains.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/resource_manager.h"
+#include "testutil/paper_org.h"
+
+namespace wfrm::core {
+namespace {
+
+constexpr char kSmallJob[] =
+    "Select ContactInfo From Programmer Where Location = 'PA' "
+    "For Programming With NumberOfLines = 5000 And Location = 'PA'";
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto world = testutil::BuildPaperWorld();
+    ASSERT_TRUE(world.ok()) << world.status().ToString();
+    org_ = std::move(world->org);
+    store_ = std::move(world->store);
+    rm_ = std::make_unique<ResourceManager>(org_.get(), store_.get());
+  }
+
+  std::unique_ptr<org::OrgModel> org_;
+  std::unique_ptr<policy::PolicyStore> store_;
+  std::unique_ptr<ResourceManager> rm_;
+};
+
+TEST_F(ConcurrencyTest, NoDoubleAllocationUnderContention) {
+  // Three eligible PA programmers; eight threads hammer acquire/release.
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 150;
+
+  std::atomic<int> double_allocations{0};
+  std::atomic<int> successes{0};
+  std::mutex held_mutex;
+  std::set<std::string> held;
+
+  auto worker = [&]() {
+    for (int i = 0; i < kIterations; ++i) {
+      auto ref = rm_->Acquire(kSmallJob);
+      if (!ref.ok()) {
+        // All three busy at this instant: acceptable under contention.
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(held_mutex);
+        if (!held.insert(ref->ToString()).second) {
+          ++double_allocations;  // Someone else holds it: a real bug.
+        }
+      }
+      ++successes;
+      {
+        std::lock_guard<std::mutex> lock(held_mutex);
+        held.erase(ref->ToString());
+      }
+      ASSERT_TRUE(rm_->Release(*ref).ok());
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(double_allocations.load(), 0);
+  EXPECT_GT(successes.load(), 0);
+  EXPECT_EQ(rm_->num_allocated(), 0u);
+}
+
+TEST_F(ConcurrencyTest, ConcurrentAcquirersSpreadOverCandidates) {
+  // Three threads acquire WITHOUT releasing: each must get a distinct
+  // programmer even though all submissions may snapshot the same
+  // availability.
+  std::vector<std::string> got(3);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t]() {
+      auto ref = rm_->Acquire(kSmallJob);
+      if (ref.ok()) {
+        got[static_cast<size_t>(t)] = ref->ToString();
+      } else {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  std::set<std::string> distinct(got.begin(), got.end());
+  EXPECT_EQ(distinct.size(), 3u);
+  EXPECT_EQ(rm_->num_allocated(), 3u);
+}
+
+TEST_F(ConcurrencyTest, ConcurrentReadOnlySubmissions) {
+  // Pure queries from many threads share the store and directory safely.
+  constexpr int kThreads = 8;
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 100; ++i) {
+        auto outcome = rm_->Submit(kSmallJob);
+        if (!outcome.ok() || !outcome->ok() ||
+            outcome->candidates.size() != 3) {
+          ++errors;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+TEST_F(ConcurrencyTest, SubstitutionUnderConcurrentPressure) {
+  // The Mexico job has one primary candidate (bob) and one substitute
+  // (quinn): two concurrent acquirers must end up with exactly those
+  // two, never a duplicate.
+  const char* rql =
+      "Select ContactInfo From Engineer Where Location = 'PA' "
+      "For Programming With NumberOfLines = 35000 And Location = 'Mexico'";
+  std::vector<std::string> got(2);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t]() {
+      auto ref = rm_->Acquire(rql);
+      if (ref.ok()) {
+        got[static_cast<size_t>(t)] = ref->ToString();
+      } else {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  std::set<std::string> distinct(got.begin(), got.end());
+  EXPECT_EQ(distinct.size(), 2u);
+  EXPECT_TRUE(distinct.count("Programmer:bob") == 1);
+  EXPECT_TRUE(distinct.count("Programmer:quinn") == 1);
+}
+
+}  // namespace
+}  // namespace wfrm::core

@@ -1,0 +1,173 @@
+// Property tests of the end-to-end enforcement invariant (paper §1:
+// "returned resources can always be guaranteed to fully comply with the
+// resource usage guidelines"): every resource the manager returns is
+// qualified, satisfies every relevant requirement policy, and is
+// available — checked directly against the policy definitions, not
+// against the rewriter's own output.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "core/resource_manager.h"
+#include "policy/synthetic.h"
+#include "rel/parser.h"
+#include "testutil/paper_org.h"
+
+namespace wfrm::core {
+namespace {
+
+/// Evaluates a requirement policy's Where clause against a concrete
+/// resource row, with the activity spec bound as parameters.
+Result<bool> SatisfiesWhere(const org::OrgModel& org,
+                            const std::string& where_clause,
+                            const std::string& type,
+                            const org::ResourceRef& ref,
+                            const rel::ParamMap& spec) {
+  if (where_clause.empty()) return true;
+  WFRM_ASSIGN_OR_RETURN(rel::ExprPtr where,
+                        rel::SqlParser::ParseExpr(where_clause));
+  WFRM_ASSIGN_OR_RETURN(rel::Schema schema, org.ResourceSchema(type));
+  WFRM_ASSIGN_OR_RETURN(rel::Row row, org.GetResource(ref));
+  rel::Executor exec(&org.db());
+  WFRM_ASSIGN_OR_RETURN(rel::Value v,
+                        exec.EvalWithRow(*where, schema, row, spec));
+  return v.is_bool() && v.bool_value();
+}
+
+struct ComplianceStats {
+  size_t queries = 0;
+  size_t hits = 0;
+  size_t candidates_checked = 0;
+};
+
+/// Submits random queries and verifies the invariant on every candidate.
+/// (void so gtest ASSERT macros can be used.)
+void CheckCompliance(policy::SyntheticWorkload& w, size_t num_queries,
+                     uint32_t seed, ComplianceStats* out) {
+  core::ResourceManager rm(&w.org(), &w.store());
+  std::mt19937 rng(seed);
+  ComplianceStats& stats = *out;
+  for (size_t n = 0; n < num_queries; ++n) {
+    auto query = w.RandomQuery(rng);
+    if (!query.ok()) continue;
+    ++stats.queries;
+    auto outcome = rm.Submit(*query);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    if (!outcome->ok()) continue;
+    ++stats.hits;
+    rel::ParamMap spec = query->spec.AsParams();
+
+    for (const org::ResourceRef& ref : outcome->candidates) {
+      ++stats.candidates_checked;
+      // (a) Qualification under the CWA.
+      auto qualified = w.store().IsQualified(ref.type, query->activity());
+      ASSERT_TRUE(qualified.ok());
+      EXPECT_TRUE(*qualified)
+          << ref.ToString() << " not qualified for " << query->activity();
+
+      // (b) Every relevant requirement policy's condition holds on the
+      // resource row itself.
+      auto relevant = w.store().RelevantRequirements(
+          ref.type, query->activity(), spec);
+      ASSERT_TRUE(relevant.ok());
+      std::set<int64_t> checked_groups;
+      for (const auto& req : *relevant) {
+        if (!checked_groups.insert(req.group).second) continue;
+        auto ok = SatisfiesWhere(w.org(), req.where_clause, ref.type, ref,
+                                 spec);
+        ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+        EXPECT_TRUE(*ok) << ref.ToString() << " violates '"
+                         << req.where_clause << "' for "
+                         << query->ToString();
+      }
+
+      // (c) Availability.
+      EXPECT_FALSE(rm.IsAllocated(ref));
+    }
+  }
+}
+
+TEST(PipelinePropertyTest, ReturnedResourcesComplyOnSyntheticWorlds) {
+  policy::SyntheticConfig config;
+  config.num_activities = 31;
+  config.num_resources = 31;
+  config.q = 4;
+  config.c = 4;
+  config.intervals = 1;
+  config.instances_per_resource = 6;
+  config.num_substitutions = 16;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    config.seed = seed;
+    auto w = policy::SyntheticWorkload::Build(config);
+    ASSERT_TRUE(w.ok()) << w.status().ToString();
+    ComplianceStats stats;
+    CheckCompliance(**w, 40, static_cast<uint32_t>(seed * 17), &stats);
+    // The property must actually have been exercised.
+    EXPECT_GT(stats.hits, 0u) << "seed " << seed;
+    EXPECT_GT(stats.candidates_checked, 0u) << "seed " << seed;
+  }
+}
+
+TEST(PipelinePropertyTest, PaperWorldComplianceUnderRandomApprovals) {
+  auto world = testutil::BuildPaperWorld();
+  ASSERT_TRUE(world.ok());
+  core::ResourceManager rm(world->org.get(), world->store.get());
+
+  std::mt19937 rng(2026);
+  std::uniform_int_distribution<int64_t> amount(1, 8000);
+  const char* requesters[] = {"alice", "bob", "carol", "dave"};
+  for (int n = 0; n < 100; ++n) {
+    int64_t a = amount(rng);
+    std::string requester = requesters[n % 4];
+    auto outcome = rm.Submit(
+        "Select ContactInfo From Manager For Approval With Amount = " +
+        std::to_string(a) + " And Requester = '" + requester +
+        "' And Location = 'PA'");
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    if (!outcome->ok()) continue;
+
+    rel::ParamMap spec = {{"Amount", rel::Value::Int(a)},
+                          {"Requester", rel::Value::String(requester)},
+                          {"Location", rel::Value::String("PA")}};
+    for (const org::ResourceRef& ref : outcome->candidates) {
+      auto relevant = world->store->RelevantRequirements(
+          ref.type, "Approval", spec);
+      ASSERT_TRUE(relevant.ok());
+      for (const auto& req : *relevant) {
+        auto ok = SatisfiesWhere(*world->org, req.where_clause, ref.type,
+                                 ref, spec);
+        ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+        EXPECT_TRUE(*ok) << "amount " << a << " requester " << requester
+                         << " approver " << ref.ToString();
+      }
+    }
+  }
+}
+
+TEST(PipelinePropertyTest, AllocationNeverReturnsBusyResources) {
+  // Acquire resources until exhaustion; no ref is ever handed out twice
+  // concurrently, and the exhaustion status is kResourceUnavailable.
+  auto world = testutil::BuildPaperWorld();
+  ASSERT_TRUE(world.ok());
+  core::ResourceManager rm(world->org.get(), world->store.get());
+  const char* rql =
+      "Select ContactInfo From Employee Where Location = 'PA' "
+      "For Programming With NumberOfLines = 5000 And Location = 'PA'";
+  std::set<std::string> seen;
+  while (true) {
+    auto ref = rm.Acquire(rql);
+    if (!ref.ok()) {
+      EXPECT_TRUE(ref.status().IsResourceUnavailable());
+      break;
+    }
+    EXPECT_TRUE(seen.insert(ref->ToString()).second)
+        << ref->ToString() << " allocated twice";
+  }
+  EXPECT_GT(seen.size(), 0u);
+  EXPECT_EQ(rm.num_allocated(), seen.size());
+}
+
+}  // namespace
+}  // namespace wfrm::core

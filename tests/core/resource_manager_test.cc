@@ -1,0 +1,193 @@
+#include "core/resource_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil/paper_org.h"
+
+namespace wfrm::core {
+namespace {
+
+constexpr char kFigure4[] =
+    "Select ContactInfo From Engineer Where Location = 'PA' "
+    "For Programming With NumberOfLines = 35000 And Location = 'Mexico'";
+
+class ResourceManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto world = testutil::BuildPaperWorld();
+    ASSERT_TRUE(world.ok()) << world.status().ToString();
+    org_ = std::move(world->org);
+    store_ = std::move(world->store);
+    rm_ = std::make_unique<ResourceManager>(org_.get(), store_.get());
+  }
+
+  std::unique_ptr<org::OrgModel> org_;
+  std::unique_ptr<policy::PolicyStore> store_;
+  std::unique_ptr<ResourceManager> rm_;
+};
+
+TEST_F(ResourceManagerTest, RunningExampleFindsCompliantProgrammer) {
+  auto outcome = rm_->Submit(kFigure4);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_TRUE(outcome->ok()) << outcome->status.ToString();
+  // Only bob is a PA programmer with Experience > 5 speaking Spanish.
+  ASSERT_EQ(outcome->candidates.size(), 1u);
+  EXPECT_EQ(outcome->candidates[0].ToString(), "Programmer:bob");
+  EXPECT_FALSE(outcome->used_substitution);
+  ASSERT_EQ(outcome->primary_queries.size(), 1u);
+  EXPECT_NE(outcome->primary_queries[0].find("Language = 'Spanish'"),
+            std::string::npos);
+
+  // Result rows: ResourceType, Id, then the user's ContactInfo.
+  ASSERT_EQ(outcome->resources.schema.num_columns(), 3u);
+  EXPECT_EQ(outcome->resources.rows[0][0].string_value(), "Programmer");
+  EXPECT_EQ(outcome->resources.rows[0][2].string_value(),
+            "bob@acme.example");
+}
+
+TEST_F(ResourceManagerTest, ClosedWorldYieldsNoQualifiedResource) {
+  auto outcome = rm_->Submit(
+      "Select ContactInfo From Secretary For Programming "
+      "With NumberOfLines = 1 And Location = 'PA'");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->status.IsNoQualifiedResource());
+  EXPECT_TRUE(outcome->candidates.empty());
+}
+
+TEST_F(ResourceManagerTest, SubstitutionKicksInWhenPrimaryResourcesBusy) {
+  // Allocate bob (the only primary candidate): the RM must fall back to
+  // the Figure 9 substitution and find the Cupertino programmer quinn
+  // (after the alternative re-enters qualification+requirement).
+  ASSERT_TRUE(rm_->Allocate(org::ResourceRef{"Programmer", "bob"}).ok());
+  auto outcome = rm_->Submit(kFigure4);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->ok()) << outcome->status.ToString();
+  EXPECT_TRUE(outcome->used_substitution);
+  ASSERT_EQ(outcome->candidates.size(), 1u);
+  EXPECT_EQ(outcome->candidates[0].ToString(), "Programmer:quinn");
+  ASSERT_FALSE(outcome->alternative_queries.empty());
+  EXPECT_NE(outcome->alternative_queries[0].find("Location = 'Cupertino'"),
+            std::string::npos);
+}
+
+TEST_F(ResourceManagerTest, SubstitutionIsNeverTransitive) {
+  // With bob and quinn both busy, the substitution alternative also
+  // fails; the RM must NOT substitute again (§1.2: never more than
+  // once) and reports unavailability.
+  ASSERT_TRUE(rm_->Allocate(org::ResourceRef{"Programmer", "bob"}).ok());
+  ASSERT_TRUE(rm_->Allocate(org::ResourceRef{"Programmer", "quinn"}).ok());
+  auto outcome = rm_->Submit(kFigure4);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->status.IsResourceUnavailable());
+  EXPECT_TRUE(outcome->used_substitution);
+  EXPECT_TRUE(outcome->candidates.empty());
+}
+
+TEST_F(ResourceManagerTest, SubstitutionCanBeDisabled) {
+  ResourceManagerOptions options;
+  options.enable_substitution = false;
+  ResourceManager rm(org_.get(), store_.get(), options);
+  ASSERT_TRUE(rm.Allocate(org::ResourceRef{"Programmer", "bob"}).ok());
+  auto outcome = rm.Submit(kFigure4);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->status.IsResourceUnavailable());
+  EXPECT_FALSE(outcome->used_substitution);
+  EXPECT_TRUE(outcome->alternative_queries.empty());
+}
+
+TEST_F(ResourceManagerTest, ApprovalPolicyRoutesToRequestersManager) {
+  // Figure 8, first policy: amounts under $1000 go to the requester's
+  // manager (alice → carol).
+  auto outcome = rm_->Submit(
+      "Select ContactInfo From Manager For Approval With Amount = 500 And "
+      "Requester = 'alice' And Location = 'PA'");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_TRUE(outcome->ok()) << outcome->status.ToString();
+  ASSERT_EQ(outcome->candidates.size(), 1u);
+  EXPECT_EQ(outcome->candidates[0].ToString(), "Manager:carol");
+}
+
+TEST_F(ResourceManagerTest, ApprovalPolicyRoutesToManagersManager) {
+  // Figure 8, second policy: $1000-$5000 goes to the manager's manager
+  // (alice → carol → dave), via the hierarchical sub-query.
+  auto outcome = rm_->Submit(
+      "Select ContactInfo From Manager For Approval With Amount = 2500 And "
+      "Requester = 'alice' And Location = 'PA'");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_TRUE(outcome->ok()) << outcome->status.ToString();
+  ASSERT_EQ(outcome->candidates.size(), 1u);
+  EXPECT_EQ(outcome->candidates[0].ToString(), "Manager:dave");
+}
+
+TEST_F(ResourceManagerTest, ApprovalBeyondPolicyRangesFindsAnyManager) {
+  // No requirement policy covers Amount >= 5000: every manager is
+  // eligible (policies are necessary conditions, §3.2).
+  auto outcome = rm_->Submit(
+      "Select ContactInfo From Manager For Approval With Amount = 9000 And "
+      "Requester = 'alice' And Location = 'PA'");
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->ok());
+  EXPECT_EQ(outcome->candidates.size(), 3u);  // carol, dave, erin.
+}
+
+TEST_F(ResourceManagerTest, AcquireAllocatesFirstCandidate) {
+  auto ref = rm_->Acquire(kFigure4);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  EXPECT_EQ(ref->ToString(), "Programmer:bob");
+  EXPECT_TRUE(rm_->IsAllocated(*ref));
+  EXPECT_EQ(rm_->num_allocated(), 1u);
+
+  // Second acquisition falls through to the substitute.
+  auto second = rm_->Acquire(kFigure4);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->ToString(), "Programmer:quinn");
+
+  // Third fails.
+  auto third = rm_->Acquire(kFigure4);
+  ASSERT_FALSE(third.ok());
+  EXPECT_TRUE(third.status().IsResourceUnavailable());
+
+  // Releasing bob makes him available again.
+  ASSERT_TRUE(rm_->Release(*ref).ok());
+  auto again = rm_->Acquire(kFigure4);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->ToString(), "Programmer:bob");
+}
+
+TEST_F(ResourceManagerTest, AllocationBookkeeping) {
+  org::ResourceRef bob{"Programmer", "bob"};
+  org::ResourceRef ghost{"Programmer", "ghost"};
+  EXPECT_TRUE(rm_->Allocate(ghost).IsNotFound());
+  ASSERT_TRUE(rm_->Allocate(bob).ok());
+  EXPECT_TRUE(rm_->Allocate(bob).IsResourceUnavailable());
+  ASSERT_TRUE(rm_->Release(bob).ok());
+  EXPECT_TRUE(rm_->Release(bob).IsNotFound());
+}
+
+TEST_F(ResourceManagerTest, MalformedRqlReported) {
+  EXPECT_TRUE(rm_->Submit("Select From Nothing").status().IsParseError());
+  EXPECT_FALSE(rm_->Submit("Select Id From Engineer For Programming "
+                           "With NumberOfLines = 1")
+                   .ok());  // Location unbound.
+}
+
+TEST_F(ResourceManagerTest, RequirementsFilterOutNonCompliantResources) {
+  // PA programmers for a small PA job: no requirement policy applies
+  // (NumberOfLines <= 10000, not Mexico), so every PA programmer is
+  // eligible.
+  auto outcome = rm_->Submit(
+      "Select ContactInfo From Programmer Where Location = 'PA' "
+      "For Programming With NumberOfLines = 5000 And Location = 'PA'");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->candidates.size(), 3u);  // bob, pam, pete.
+
+  // A big job adds Experience > 5: pete (3y) drops out.
+  auto big = rm_->Submit(
+      "Select ContactInfo From Programmer Where Location = 'PA' "
+      "For Programming With NumberOfLines = 20000 And Location = 'PA'");
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->candidates.size(), 2u);  // bob, pam.
+}
+
+}  // namespace
+}  // namespace wfrm::core

@@ -1,0 +1,145 @@
+// The recursive-substitution extension (paper §1.2 discusses and rejects
+// transitive substitution; we implement it behind an explicit bound with
+// cycle protection so the trade-off is measurable).
+
+#include <gtest/gtest.h>
+
+#include "core/resource_manager.h"
+#include "testutil/paper_org.h"
+
+namespace wfrm::core {
+namespace {
+
+constexpr char kFigure4[] =
+    "Select ContactInfo From Engineer Where Location = 'PA' "
+    "For Programming With NumberOfLines = 35000 And Location = 'Mexico'";
+
+class SubstitutionRoundsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto world = testutil::BuildPaperWorld();
+    ASSERT_TRUE(world.ok()) << world.status().ToString();
+    org_ = std::move(world->org);
+    store_ = std::move(world->store);
+
+    // Extend the paper's base with a second substitution hop
+    // (Cupertino → Bristol) and a compliant Bristol programmer.
+    ASSERT_TRUE(store_
+                    ->AddPolicyText(
+                        "Substitute Engineer Where Location = 'Cupertino' "
+                        "By Engineer Where Location = 'Bristol' "
+                        "For Programming With NumberOfLines < 50000")
+                    .ok());
+    std::map<std::string, rel::Value> values = {
+        {"ContactInfo", rel::Value::String("zara@acme.example")},
+        {"Location", rel::Value::String("Bristol")},
+        {"Language", rel::Value::String("Spanish")},
+        {"Experience", rel::Value::Int(9)}};
+    ASSERT_TRUE(org_->AddResource("Programmer", "zara", values).ok());
+  }
+
+  void AllocatePaAndCupertino(ResourceManager* rm) {
+    ASSERT_TRUE(rm->Allocate(org::ResourceRef{"Programmer", "bob"}).ok());
+    ASSERT_TRUE(rm->Allocate(org::ResourceRef{"Programmer", "quinn"}).ok());
+  }
+
+  std::unique_ptr<org::OrgModel> org_;
+  std::unique_ptr<policy::PolicyStore> store_;
+};
+
+TEST_F(SubstitutionRoundsTest, DefaultSingleRoundStopsAtCupertino) {
+  ResourceManager rm(org_.get(), store_.get());
+  AllocatePaAndCupertino(&rm);
+  auto outcome = rm.Submit(kFigure4);
+  ASSERT_TRUE(outcome.ok());
+  // One round reaches only Cupertino (busy) — the paper's behaviour.
+  EXPECT_TRUE(outcome->status.IsResourceUnavailable());
+  EXPECT_TRUE(outcome->used_substitution);
+}
+
+TEST_F(SubstitutionRoundsTest, TwoRoundsReachBristol) {
+  ResourceManagerOptions options;
+  options.max_substitution_rounds = 2;
+  ResourceManager rm(org_.get(), store_.get(), options);
+  AllocatePaAndCupertino(&rm);
+  auto outcome = rm.Submit(kFigure4);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->ok()) << outcome->status.ToString();
+  EXPECT_TRUE(outcome->used_substitution);
+  ASSERT_EQ(outcome->candidates.size(), 1u);
+  EXPECT_EQ(outcome->candidates[0].ToString(), "Programmer:zara");
+}
+
+TEST_F(SubstitutionRoundsTest, EarlierRoundWinsWhenAvailable) {
+  // With quinn free, round 1 already succeeds: Bristol is never offered
+  // even though two rounds are allowed.
+  ResourceManagerOptions options;
+  options.max_substitution_rounds = 2;
+  ResourceManager rm(org_.get(), store_.get(), options);
+  ASSERT_TRUE(rm.Allocate(org::ResourceRef{"Programmer", "bob"}).ok());
+  auto outcome = rm.Submit(kFigure4);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->ok());
+  ASSERT_EQ(outcome->candidates.size(), 1u);
+  EXPECT_EQ(outcome->candidates[0].ToString(), "Programmer:quinn");
+}
+
+TEST_F(SubstitutionRoundsTest, CyclesTerminate) {
+  // Close the loop: Bristol → PA. Unbounded recursion would ping-pong;
+  // the seen-set must terminate exploration.
+  ASSERT_TRUE(store_
+                  ->AddPolicyText(
+                      "Substitute Engineer Where Location = 'Bristol' "
+                      "By Engineer Where Location = 'PA' "
+                      "For Programming With NumberOfLines < 50000")
+                  .ok());
+  ResourceManagerOptions options;
+  options.max_substitution_rounds = 10;
+  ResourceManager rm(org_.get(), store_.get(), options);
+  AllocatePaAndCupertino(&rm);
+  // zara also busy: every hop exhausted; must terminate with failure.
+  ASSERT_TRUE(rm.Allocate(org::ResourceRef{"Programmer", "zara"}).ok());
+  auto outcome = rm.Submit(kFigure4);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->status.IsResourceUnavailable());
+}
+
+TEST_F(SubstitutionRoundsTest, RoundsApiShapesAndDedup) {
+  policy::PolicyManager pm(org_.get(), store_.get());
+  auto q = rql::ParseAndBindRql(kFigure4, *org_);
+  ASSERT_TRUE(q.ok());
+
+  auto rounds = pm.EnforceAlternativesRounds(*q, 3);
+  ASSERT_TRUE(rounds.ok());
+  ASSERT_EQ(rounds->size(), 3u);
+  // Round 0: Cupertino; round 1: Bristol; round 2: dry (no further
+  // substitution policies and cycles are suppressed).
+  ASSERT_EQ((*rounds)[0].queries.size(), 1u);
+  EXPECT_NE((*rounds)[0].queries[0].ToString().find("'Cupertino'"),
+            std::string::npos);
+  ASSERT_EQ((*rounds)[1].queries.size(), 1u);
+  EXPECT_NE((*rounds)[1].queries[0].ToString().find("'Bristol'"),
+            std::string::npos);
+  EXPECT_TRUE((*rounds)[2].queries.empty());
+
+  // Consistency with the single-round API.
+  auto single = pm.EnforceAlternatives(*q);
+  ASSERT_TRUE(single.ok());
+  ASSERT_EQ(single->queries.size(), 1u);
+  EXPECT_EQ(single->queries[0].ToString(),
+            (*rounds)[0].queries[0].ToString());
+}
+
+TEST_F(SubstitutionRoundsTest, ZeroRoundsDisablesSubstitution) {
+  ResourceManagerOptions options;
+  options.max_substitution_rounds = 0;
+  ResourceManager rm(org_.get(), store_.get(), options);
+  ASSERT_TRUE(rm.Allocate(org::ResourceRef{"Programmer", "bob"}).ok());
+  auto outcome = rm.Submit(kFigure4);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->status.IsResourceUnavailable());
+  EXPECT_FALSE(outcome->used_substitution);
+}
+
+}  // namespace
+}  // namespace wfrm::core

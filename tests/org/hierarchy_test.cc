@@ -1,0 +1,137 @@
+#include "org/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace wfrm::org {
+namespace {
+
+// The paper's Figure 2 resource hierarchy.
+TypeHierarchy PaperResources() {
+  TypeHierarchy h("resource");
+  EXPECT_TRUE(h.AddType("Employee", "",
+                        {{"ContactInfo", rel::DataType::kString},
+                         {"Location", rel::DataType::kString}})
+                  .ok());
+  EXPECT_TRUE(h.AddType("Engineer", "Employee").ok());
+  EXPECT_TRUE(
+      h.AddType("Programmer", "Engineer",
+                {{"MainLanguage", rel::DataType::kString}})
+          .ok());
+  EXPECT_TRUE(h.AddType("Analyst", "Engineer").ok());
+  EXPECT_TRUE(h.AddType("Manager", "Employee").ok());
+  return h;
+}
+
+TEST(TypeHierarchyTest, ContainsAndCanonical) {
+  TypeHierarchy h = PaperResources();
+  EXPECT_TRUE(h.Contains("Engineer"));
+  EXPECT_TRUE(h.Contains("ENGINEER"));
+  EXPECT_FALSE(h.Contains("Pilot"));
+  ASSERT_TRUE(h.Canonical("programmer").ok());
+  EXPECT_EQ(*h.Canonical("programmer"), "Programmer");
+  EXPECT_TRUE(h.Canonical("Pilot").status().IsNotFound());
+}
+
+TEST(TypeHierarchyTest, DuplicateAndUnknownParentRejected) {
+  TypeHierarchy h = PaperResources();
+  EXPECT_EQ(h.AddType("Engineer", "Employee").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(h.AddType("engineer", "Employee").code(),
+            StatusCode::kAlreadyExists);  // Case-insensitive.
+  EXPECT_TRUE(h.AddType("Pilot", "Aviation").IsNotFound());
+  EXPECT_FALSE(h.AddType("", "").ok());
+}
+
+TEST(TypeHierarchyTest, AncestorsIncludeSelfInOrder) {
+  TypeHierarchy h = PaperResources();
+  auto anc = h.Ancestors("Programmer");
+  ASSERT_TRUE(anc.ok());
+  ASSERT_EQ(anc->size(), 3u);
+  EXPECT_EQ((*anc)[0], "Programmer");
+  EXPECT_EQ((*anc)[1], "Engineer");
+  EXPECT_EQ((*anc)[2], "Employee");
+  EXPECT_EQ(h.Ancestors("Employee")->size(), 1u);
+}
+
+TEST(TypeHierarchyTest, DescendantsIncludeSelfPreorder) {
+  TypeHierarchy h = PaperResources();
+  auto desc = h.Descendants("Engineer");
+  ASSERT_TRUE(desc.ok());
+  ASSERT_EQ(desc->size(), 3u);
+  EXPECT_EQ((*desc)[0], "Engineer");
+  EXPECT_EQ((*desc)[1], "Programmer");
+  EXPECT_EQ((*desc)[2], "Analyst");
+  EXPECT_EQ(h.Descendants("Employee")->size(), 5u);
+  EXPECT_EQ(h.Descendants("Analyst")->size(), 1u);
+}
+
+TEST(TypeHierarchyTest, IsSubtypeOf) {
+  TypeHierarchy h = PaperResources();
+  EXPECT_TRUE(*h.IsSubtypeOf("Programmer", "Employee"));
+  EXPECT_TRUE(*h.IsSubtypeOf("Programmer", "Programmer"));
+  EXPECT_FALSE(*h.IsSubtypeOf("Employee", "Programmer"));
+  EXPECT_FALSE(*h.IsSubtypeOf("Manager", "Engineer"));
+  EXPECT_FALSE(h.IsSubtypeOf("Ghost", "Employee").ok());
+}
+
+TEST(TypeHierarchyTest, AttributeInheritance) {
+  TypeHierarchy h = PaperResources();
+  auto attrs = h.AttributesOf("Programmer");
+  ASSERT_TRUE(attrs.ok());
+  ASSERT_EQ(attrs->size(), 3u);
+  // Root-most attributes first.
+  EXPECT_EQ((*attrs)[0].name, "ContactInfo");
+  EXPECT_EQ((*attrs)[1].name, "Location");
+  EXPECT_EQ((*attrs)[2].name, "MainLanguage");
+
+  EXPECT_EQ(h.AttributesOf("Manager")->size(), 2u);
+}
+
+TEST(TypeHierarchyTest, FindAttributeSearchesChain) {
+  TypeHierarchy h = PaperResources();
+  auto a = h.FindAttribute("Programmer", "location");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->name, "Location");  // Canonical spelling.
+  EXPECT_EQ(a->type, rel::DataType::kString);
+  EXPECT_TRUE(h.FindAttribute("Employee", "MainLanguage").status().IsNotFound());
+}
+
+TEST(TypeHierarchyTest, AttributeShadowingRejected) {
+  TypeHierarchy h = PaperResources();
+  EXPECT_FALSE(
+      h.AddType("Intern", "Employee", {{"Location", rel::DataType::kInt}})
+          .ok());
+  EXPECT_FALSE(h.AddType("Clerk", "Employee",
+                         {{"A", rel::DataType::kInt},
+                          {"a", rel::DataType::kString}})
+                   .ok());
+}
+
+TEST(TypeHierarchyTest, DepthAndRoots) {
+  TypeHierarchy h = PaperResources();
+  EXPECT_EQ(*h.DepthOf("Employee"), 0u);
+  EXPECT_EQ(*h.DepthOf("Programmer"), 2u);
+  ASSERT_EQ(h.Roots().size(), 1u);
+  EXPECT_EQ(h.Roots()[0], "Employee");
+  EXPECT_EQ(h.size(), 5u);
+}
+
+TEST(TypeHierarchyTest, ForestWithMultipleRoots) {
+  TypeHierarchy h("resource");
+  ASSERT_TRUE(h.AddType("Human", "").ok());
+  ASSERT_TRUE(h.AddType("Machine", "").ok());
+  ASSERT_TRUE(h.AddType("Printer", "Machine").ok());
+  EXPECT_EQ(h.Roots().size(), 2u);
+  EXPECT_FALSE(*h.IsSubtypeOf("Printer", "Human"));
+}
+
+TEST(TypeHierarchyTest, ChildrenList) {
+  TypeHierarchy h = PaperResources();
+  auto ch = h.Children("Engineer");
+  ASSERT_TRUE(ch.ok());
+  EXPECT_EQ(ch->size(), 2u);
+  EXPECT_EQ(h.Children("Analyst")->size(), 0u);
+}
+
+}  // namespace
+}  // namespace wfrm::org

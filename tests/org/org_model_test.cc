@@ -1,0 +1,125 @@
+#include "org/org_model.h"
+
+#include <gtest/gtest.h>
+
+#include "rel/executor.h"
+#include "testutil/paper_org.h"
+
+namespace wfrm::org {
+namespace {
+
+class OrgModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto org = testutil::BuildPaperOrg();
+    ASSERT_TRUE(org.ok()) << org.status().ToString();
+    org_ = std::move(org).ValueOrDie();
+  }
+
+  std::unique_ptr<OrgModel> org_;
+};
+
+TEST_F(OrgModelTest, ResourceSchemaHasImplicitIdPlusInheritedAttributes) {
+  auto schema = org_->ResourceSchema("Programmer");
+  ASSERT_TRUE(schema.ok());
+  ASSERT_EQ(schema->num_columns(), 5u);
+  EXPECT_EQ(schema->column(0).name, "Id");
+  EXPECT_EQ(schema->column(1).name, "ContactInfo");
+  EXPECT_EQ(schema->column(4).name, "Experience");
+}
+
+TEST_F(OrgModelTest, TablesArePerExactType) {
+  // Programmers live in Programmer, not in Engineer (§4.1 note 2: a
+  // rewritten query's type excludes proper sub-types).
+  EXPECT_EQ(*org_->CountResources("Engineer"), 3u);
+  EXPECT_EQ(*org_->CountResources("Programmer"), 5u);
+  EXPECT_EQ(*org_->CountResources("Analyst"), 1u);
+}
+
+TEST_F(OrgModelTest, AddResourceValidatesAttributes) {
+  auto bad_attr = org_->AddResource(
+      "Engineer", "x1", {{"Nope", rel::Value::Int(1)}});
+  EXPECT_TRUE(bad_attr.status().IsNotFound());
+
+  auto bad_type = org_->AddResource(
+      "Engineer", "x2", {{"Experience", rel::Value::String("lots")}});
+  EXPECT_FALSE(bad_type.ok());
+
+  auto unknown = org_->AddResource("Pilot", "x3", {});
+  EXPECT_TRUE(unknown.status().IsNotFound());
+
+  auto empty_id = org_->AddResource("Engineer", "", {});
+  EXPECT_FALSE(empty_id.ok());
+}
+
+TEST_F(OrgModelTest, DuplicateIdWithinTypeRejected) {
+  EXPECT_TRUE(
+      org_->AddResource("Engineer", "gail", {}).status().code() ==
+      StatusCode::kAlreadyExists);
+  // Same id in a different type is allowed (identity is type-scoped).
+  EXPECT_TRUE(org_->AddResource("Analyst", "gail", {}).ok());
+}
+
+TEST_F(OrgModelTest, MissingAttributesBecomeNull) {
+  auto ref = org_->AddResource("Engineer", "newbie", {});
+  ASSERT_TRUE(ref.ok());
+  auto row = org_->GetResource(*ref);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[0].string_value(), "newbie");
+  EXPECT_TRUE((*row)[1].is_null());
+}
+
+TEST_F(OrgModelTest, GetResource) {
+  auto row = org_->GetResource(ResourceRef{"Programmer", "bob"});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[2].string_value(), "PA");
+  EXPECT_TRUE(
+      org_->GetResource(ResourceRef{"Programmer", "ghost"}).status()
+          .IsNotFound());
+}
+
+TEST_F(OrgModelTest, ReportsToViewJoinsBelongsToAndManages) {
+  // Figure 3 / §2.2: ReportsTo(Emp, Mgr) is a view over the join.
+  rel::Executor exec(&org_->db());
+  auto rs = exec.Query("Select Mgr From ReportsTo Where Emp = 'alice'");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].string_value(), "carol");
+
+  // The full management chain: alice → carol → dave → erin.
+  auto chain = exec.Query(
+      "Select Mgr From ReportsTo Start with Emp = 'alice' "
+      "Connect by Prior Mgr = Emp");
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  ASSERT_EQ(chain->size(), 3u);
+  EXPECT_EQ(chain->rows[2][0].string_value(), "erin");
+}
+
+TEST_F(OrgModelTest, QueryResourceTableThroughSql) {
+  rel::Executor exec(&org_->db());
+  auto rs = exec.Query(
+      "Select ContactInfo From Programmer Where Location = 'PA' And "
+      "Experience > 5");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->size(), 2u);  // bob (7), pam (9).
+}
+
+TEST_F(OrgModelTest, RelationshipValidation) {
+  EXPECT_TRUE(org_->AddRelationshipTuple("Nowhere", {}).IsNotFound());
+  EXPECT_FALSE(org_->AddRelationshipTuple(
+                       "BelongsTo", {rel::Value::Int(1), rel::Value::Int(2)})
+                   .ok());
+}
+
+TEST_F(OrgModelTest, IdCannotBeRedeclared) {
+  EXPECT_FALSE(org_->DefineResourceType(
+                       "Robot", "", {{"Id", rel::DataType::kString}})
+                   .ok());
+}
+
+TEST_F(OrgModelTest, DefineViewRejectsBadSql) {
+  EXPECT_TRUE(org_->DefineView("Bad", {}, "Select From Nothing").IsParseError());
+}
+
+}  // namespace
+}  // namespace wfrm::org

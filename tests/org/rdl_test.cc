@@ -1,0 +1,125 @@
+#include "org/rdl_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "rel/executor.h"
+
+namespace wfrm::org {
+namespace {
+
+constexpr char kAcmeRdl[] = R"(
+  Define Resource Type Employee
+      (ContactInfo String, Location String, Experience Int);
+  Define Resource Type Engineer Under Employee;
+  Define Resource Type Programmer Under Engineer;
+
+  Define Activity Type Activity (Location String);
+  Define Activity Type Engineering Under Activity (NumberOfLines Int);
+  Define Activity Type Programming Under Engineering;
+
+  Define Relationship BelongsTo (Employee String, Unit String);
+  Define Relationship Manages (Manager String, Unit String);
+  Define View ReportsTo (Emp, Mgr) As
+      Select b.Employee, m.Manager From BelongsTo b, Manages m
+      Where b.Unit = m.Unit;
+
+  Insert Resource Programmer 'bob'
+      (Location = 'PA', Experience = 7, ContactInfo = 'bob@x');
+  Insert Resource Engineer 'gail' (Location = 'PA');
+  Insert Into BelongsTo ('bob', 'U1');
+  Insert Into Manages ('carol', 'U1')
+)";
+
+TEST(RdlTest, FullScriptBuildsTheOrg) {
+  OrgModel org;
+  Status st = ExecuteRdl(kAcmeRdl, &org);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  EXPECT_TRUE(org.resources().Contains("Programmer"));
+  EXPECT_TRUE(*org.resources().IsSubtypeOf("Programmer", "Employee"));
+  EXPECT_TRUE(org.activities().Contains("Programming"));
+  EXPECT_EQ(*org.CountResources("Programmer"), 1u);
+  EXPECT_EQ(*org.CountResources("Engineer"), 1u);
+
+  auto row = org.GetResource(ResourceRef{"Programmer", "bob"});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[3].int_value(), 7);  // Experience.
+
+  rel::Executor exec(&org.db());
+  auto rs = exec.Query("Select Mgr From ReportsTo Where Emp = 'bob'");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].string_value(), "carol");
+}
+
+TEST(RdlTest, TypesAreCaseInsensitiveKeywords) {
+  OrgModel org;
+  EXPECT_TRUE(ExecuteRdl("define resource type T (a STRING, b int, "
+                         "c DOUBLE, d Bool)",
+                         &org)
+                  .ok());
+  auto attrs = org.resources().AttributesOf("T");
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ((*attrs)[2].type, rel::DataType::kDouble);
+  EXPECT_EQ((*attrs)[3].type, rel::DataType::kBool);
+}
+
+TEST(RdlTest, NegativeAndBooleanConstants) {
+  OrgModel org;
+  ASSERT_TRUE(ExecuteRdl("Define Resource Type T (a Int, b Bool);"
+                         "Insert Resource T 'x' (a = -5, b = True)",
+                         &org)
+                  .ok());
+  auto row = org.GetResource(ResourceRef{"T", "x"});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].int_value(), -5);
+  EXPECT_TRUE((*row)[2].bool_value());
+}
+
+TEST(RdlTest, NullConstantAllowedInInsert) {
+  OrgModel org;
+  ASSERT_TRUE(ExecuteRdl("Define Resource Type T (a Int);"
+                         "Insert Resource T 'x' (a = Null)",
+                         &org)
+                  .ok());
+  auto row = org.GetResource(ResourceRef{"T", "x"});
+  ASSERT_TRUE(row.ok());
+  EXPECT_TRUE((*row)[1].is_null());
+}
+
+TEST(RdlTest, SemanticErrorsPropagate) {
+  OrgModel org;
+  // Unknown parent.
+  EXPECT_FALSE(ExecuteRdl("Define Resource Type T Under Ghost", &org).ok());
+  // Duplicate type.
+  ASSERT_TRUE(ExecuteRdl("Define Resource Type T", &org).ok());
+  EXPECT_FALSE(ExecuteRdl("Define Resource Type T", &org).ok());
+  // Unknown attribute on insert.
+  EXPECT_FALSE(
+      ExecuteRdl("Insert Resource T 'x' (Ghost = 1)", &org).ok());
+  // Arity mismatch on relationship insert.
+  ASSERT_TRUE(
+      ExecuteRdl("Define Relationship R (a String, b String)", &org).ok());
+  EXPECT_FALSE(ExecuteRdl("Insert Into R ('only-one')", &org).ok());
+}
+
+TEST(RdlTest, SyntaxErrorsReported) {
+  OrgModel org;
+  EXPECT_TRUE(ExecuteRdl("Create Table T", &org).IsParseError());
+  EXPECT_TRUE(ExecuteRdl("Define Widget W", &org).IsParseError());
+  EXPECT_TRUE(ExecuteRdl("Define Resource Type T (a Text)", &org)
+                  .IsParseError());
+  EXPECT_TRUE(ExecuteRdl("Insert Resource T x", &org).IsParseError());
+  EXPECT_TRUE(ExecuteRdl("Define Relationship R ()", &org).IsParseError());
+  EXPECT_TRUE(
+      ExecuteRdl("Define Resource Type A; garbage", &org).IsParseError());
+}
+
+TEST(RdlTest, EmptyScriptIsOk) {
+  OrgModel org;
+  EXPECT_TRUE(ExecuteRdl("", &org).ok());
+  EXPECT_TRUE(ExecuteRdl("  -- just a comment\n", &org).ok());
+}
+
+}  // namespace
+}  // namespace wfrm::org

@@ -1,0 +1,182 @@
+#include "policy/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testutil/paper_org.h"
+
+namespace wfrm::policy {
+namespace {
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto world = testutil::BuildPaperWorld();
+    ASSERT_TRUE(world.ok()) << world.status().ToString();
+    org_ = std::move(world->org);
+    store_ = std::move(world->store);
+    analyzer_ = std::make_unique<PolicyAnalyzer>(store_.get());
+  }
+
+  bool Contains(const std::vector<std::string>& v, const std::string& s) {
+    return std::find(v.begin(), v.end(), s) != v.end();
+  }
+
+  std::unique_ptr<org::OrgModel> org_;
+  std::unique_ptr<PolicyStore> store_;
+  std::unique_ptr<PolicyAnalyzer> analyzer_;
+};
+
+TEST_F(AnalyzerTest, DeadActivitiesUnderClosedWorld) {
+  auto dead = analyzer_->DeadActivities();
+  ASSERT_TRUE(dead.ok()) << dead.status().ToString();
+  // The paper base qualifies Programmer/Engineering, Analyst/Analysis,
+  // Manager/Approval. Administration itself and the roots are
+  // unserved; Programming/Analysis/Engineering/Approval are alive.
+  EXPECT_TRUE(Contains(*dead, "Activity"));
+  EXPECT_TRUE(Contains(*dead, "Administration"));
+  EXPECT_FALSE(Contains(*dead, "Programming"));
+  EXPECT_FALSE(Contains(*dead, "Analysis"));
+  EXPECT_FALSE(Contains(*dead, "Approval"));
+  // Engineering is alive: Programmer is qualified for it directly.
+  EXPECT_FALSE(Contains(*dead, "Engineering"));
+}
+
+TEST_F(AnalyzerTest, DeadActivityRevivedByNewQualification) {
+  ASSERT_TRUE(store_->AddPolicyText("Qualify Secretary For Administration")
+                  .ok());
+  auto dead = analyzer_->DeadActivities();
+  ASSERT_TRUE(dead.ok());
+  EXPECT_FALSE(Contains(*dead, "Administration"));
+}
+
+TEST_F(AnalyzerTest, IdleResourceTypes) {
+  auto idle = analyzer_->IdleResourceTypes();
+  ASSERT_TRUE(idle.ok());
+  // Secretary has no qualification; Employee and Engineer are only
+  // qualified through descendants, which does not qualify the types
+  // themselves.
+  EXPECT_TRUE(Contains(*idle, "Secretary"));
+  EXPECT_TRUE(Contains(*idle, "Employee"));
+  EXPECT_TRUE(Contains(*idle, "Engineer"));
+  EXPECT_FALSE(Contains(*idle, "Programmer"));
+  EXPECT_FALSE(Contains(*idle, "Manager"));
+}
+
+TEST_F(AnalyzerTest, NoConflictsInThePaperBase) {
+  auto conflicts = analyzer_->RequirementConflicts();
+  ASSERT_TRUE(conflicts.ok()) << conflicts.status().ToString();
+  EXPECT_TRUE(conflicts->empty());
+}
+
+TEST_F(AnalyzerTest, DetectsContradictoryRequirements) {
+  // Both apply to a Programmer doing Programming with > 20000 lines,
+  // and no Experience value satisfies both.
+  ASSERT_TRUE(store_
+                  ->AddPolicyText(
+                      "Require Engineer Where Experience < 3 "
+                      "For Programming With NumberOfLines > 20000")
+                  .ok());
+  auto conflicts = analyzer_->RequirementConflicts();
+  ASSERT_TRUE(conflicts.ok());
+  ASSERT_EQ(conflicts->size(), 1u);
+  // Conflicts with the paper's "Experience > 5" Programmer policy; the
+  // common query is the more specific pair.
+  EXPECT_EQ((*conflicts)[0].resource, "Programmer");
+  EXPECT_EQ((*conflicts)[0].activity, "Programming");
+  EXPECT_NE((*conflicts)[0].detail.find("jointly unsatisfiable"),
+            std::string::npos);
+}
+
+TEST_F(AnalyzerTest, NoConflictWhenActivityRangesDisjoint) {
+  // Contradictory conditions, but on disjoint NumberOfLines ranges: no
+  // query matches both.
+  ASSERT_TRUE(store_
+                  ->AddPolicyText(
+                      "Require Engineer Where Experience < 3 "
+                      "For Programming With NumberOfLines <= 10000")
+                  .ok());
+  auto conflicts = analyzer_->RequirementConflicts();
+  ASSERT_TRUE(conflicts.ok());
+  EXPECT_TRUE(conflicts->empty());
+}
+
+TEST_F(AnalyzerTest, NoConflictAcrossUnrelatedTypes) {
+  // Contradicts the Programmer policy's condition but applies to
+  // Managers only — no common query.
+  ASSERT_TRUE(store_
+                  ->AddPolicyText("Require Manager Where Experience < 3 "
+                                  "For Approval")
+                  .ok());
+  auto conflicts = analyzer_->RequirementConflicts();
+  ASSERT_TRUE(conflicts.ok());
+  EXPECT_TRUE(conflicts->empty());
+}
+
+TEST_F(AnalyzerTest, OpaqueWhereClausesNeverReported) {
+  // Sub-query conditions cannot be interval-decomposed; the analyzer
+  // stays silent rather than guessing (sound, not complete).
+  ASSERT_TRUE(store_
+                  ->AddPolicyText(
+                      "Require Manager Where ID = (Select Mgr From ReportsTo "
+                      "Where Emp = [Requester]) And Experience > 99 "
+                      "For Approval With Amount < 1000")
+                  .ok());
+  auto conflicts = analyzer_->RequirementConflicts();
+  ASSERT_TRUE(conflicts.ok());
+  EXPECT_TRUE(conflicts->empty());
+}
+
+TEST_F(AnalyzerTest, ConflictViaDisjunctionNeedsAllBranchesDead) {
+  ASSERT_TRUE(store_
+                  ->AddPolicyText(
+                      "Require Programmer Where Experience < 3 Or "
+                      "Experience > 8 For Programming "
+                      "With NumberOfLines > 20000")
+                  .ok());
+  // Experience > 5 (paper) ∧ (Experience < 3 ∨ Experience > 8) is
+  // satisfiable (e.g. 9): no conflict.
+  auto conflicts = analyzer_->RequirementConflicts();
+  ASSERT_TRUE(conflicts.ok());
+  EXPECT_TRUE(conflicts->empty());
+
+  // But < 3 ∨ (4..5) against > 5 is dead on both branches.
+  ASSERT_TRUE(store_
+                  ->AddPolicyText(
+                      "Require Programmer Where Experience < 3 Or "
+                      "(Experience >= 4 And Experience <= 5) "
+                      "For Programming With NumberOfLines > 20000")
+                  .ok());
+  conflicts = analyzer_->RequirementConflicts();
+  ASSERT_TRUE(conflicts.ok());
+  ASSERT_GE(conflicts->size(), 1u);
+}
+
+TEST_F(AnalyzerTest, UselessSubstitutionDetected) {
+  auto before = analyzer_->UselessSubstitutions();
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->empty());  // Figure 9's substitute is qualified.
+
+  // Secretaries are never qualified for Programming: substituting with
+  // them can never produce a result.
+  ASSERT_TRUE(store_
+                  ->AddPolicyText(
+                      "Substitute Engineer By Secretary For Programming")
+                  .ok());
+  auto after = analyzer_->UselessSubstitutions();
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->size(), 1u);
+}
+
+TEST_F(AnalyzerTest, ReportRendersAllSections) {
+  auto report = analyzer_->Report();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("Dead activities"), std::string::npos);
+  EXPECT_NE(report->find("Idle resource types"), std::string::npos);
+  EXPECT_NE(report->find("Requirement conflicts: 0"), std::string::npos);
+  EXPECT_NE(report->find("Useless substitutions"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wfrm::policy

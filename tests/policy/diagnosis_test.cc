@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "policy/policy_store.h"
+#include "rql/rql.h"
+#include "testutil/paper_org.h"
+
+namespace wfrm::policy {
+namespace {
+
+using Verdict = PolicyStore::RequirementDiagnosis::Verdict;
+using rel::Value;
+
+class DiagnosisTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto world = testutil::BuildPaperWorld();
+    ASSERT_TRUE(world.ok()) << world.status().ToString();
+    org_ = std::move(world->org);
+    store_ = std::move(world->store);
+  }
+
+  std::unique_ptr<org::OrgModel> org_;
+  std::unique_ptr<PolicyStore> store_;
+};
+
+TEST_F(DiagnosisTest, CoversEveryGroupWithAVerdict) {
+  rel::ParamMap spec = {{"NumberOfLines", Value::Int(35000)},
+                        {"Location", Value::String("Mexico")}};
+  auto diags = store_->DiagnoseRequirements("Programmer", "Programming", spec);
+  ASSERT_TRUE(diags.ok()) << diags.status().ToString();
+  // All four paper requirement groups are reported.
+  ASSERT_EQ(diags->size(), 4u);
+  EXPECT_EQ((*diags)[0].verdict, Verdict::kApplied);   // Experience > 5.
+  EXPECT_EQ((*diags)[1].verdict, Verdict::kApplied);   // Spanish.
+  EXPECT_EQ((*diags)[2].verdict, Verdict::kResourceMismatch);  // Manager.
+  EXPECT_EQ((*diags)[3].verdict, Verdict::kResourceMismatch);
+}
+
+TEST_F(DiagnosisTest, AgreesWithRelevantRequirements) {
+  for (int64_t lines : {500, 10000, 10001, 35000}) {
+    for (const char* loc : {"PA", "Mexico"}) {
+      rel::ParamMap spec = {{"NumberOfLines", Value::Int(lines)},
+                            {"Location", Value::String(loc)}};
+      auto relevant =
+          store_->RelevantRequirements("Programmer", "Programming", spec);
+      auto diags =
+          store_->DiagnoseRequirements("Programmer", "Programming", spec);
+      ASSERT_TRUE(relevant.ok() && diags.ok());
+      std::set<int64_t> applied;
+      for (const auto& d : *diags) {
+        if (d.verdict == Verdict::kApplied) applied.insert(d.group);
+      }
+      std::set<int64_t> retrieved;
+      for (const auto& r : *relevant) retrieved.insert(r.group);
+      EXPECT_EQ(applied, retrieved) << lines << " " << loc;
+    }
+  }
+}
+
+TEST_F(DiagnosisTest, RangeMismatchNamesTheFailingAttribute) {
+  rel::ParamMap spec = {{"NumberOfLines", Value::Int(500)},
+                        {"Location", Value::String("Mexico")}};
+  auto diags = store_->DiagnoseRequirements("Programmer", "Programming", spec);
+  ASSERT_TRUE(diags.ok());
+  const auto& first = (*diags)[0];  // The NumberOfLines > 10000 policy.
+  EXPECT_EQ(first.verdict, Verdict::kRangeMismatch);
+  EXPECT_NE(first.detail.find("NumberOfLines = 500 outside (10000, +inf)"),
+            std::string::npos)
+      << first.detail;
+}
+
+TEST_F(DiagnosisTest, ActivityMismatchReported) {
+  rel::ParamMap spec = {{"NumberOfLines", Value::Int(35000)},
+                        {"Location", Value::String("PA")}};
+  auto diags = store_->DiagnoseRequirements("Programmer", "Analysis", spec);
+  ASSERT_TRUE(diags.ok());
+  // Group 1 is scoped to Programming; Analysis is a sibling.
+  EXPECT_EQ((*diags)[0].verdict, Verdict::kActivityMismatch);
+  EXPECT_NE((*diags)[0].detail.find("not a sub-type"), std::string::npos);
+}
+
+TEST_F(DiagnosisTest, UnboundConstrainedAttributeExplained) {
+  // Direct store call without full binding: the Amount-constrained
+  // policies must explain the unbound attribute.
+  rel::ParamMap spec = {{"Requester", Value::String("alice")},
+                        {"Location", Value::String("PA")}};
+  auto diags = store_->DiagnoseRequirements("Manager", "Approval", spec);
+  ASSERT_TRUE(diags.ok());
+  bool found = false;
+  for (const auto& d : *diags) {
+    if (d.verdict == Verdict::kRangeMismatch &&
+        d.detail.find("Amount is unbound") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+using SubVerdict = PolicyStore::SubstitutionDiagnosis::Verdict;
+
+class SubstitutionDiagnosisTest : public DiagnosisTest {};
+
+TEST_F(SubstitutionDiagnosisTest, AppliedOnTheRunningExample) {
+  auto q = rql::ParseAndBindRql(
+      "Select ContactInfo From Engineer Where Location = 'PA' "
+      "For Programming With NumberOfLines = 35000 And Location = 'Mexico'",
+      *org_);
+  ASSERT_TRUE(q.ok());
+  auto diags = store_->DiagnoseSubstitutions(
+      "Engineer", q->select->where.get(), "Programming", q->spec.AsParams());
+  ASSERT_TRUE(diags.ok()) << diags.status().ToString();
+  ASSERT_EQ(diags->size(), 1u);
+  EXPECT_EQ((*diags)[0].verdict, SubVerdict::kApplied);
+}
+
+TEST_F(SubstitutionDiagnosisTest, EachFailureConditionNamed) {
+  auto q = rql::ParseAndBindRql(
+      "Select ContactInfo From Engineer Where Location = 'PA' "
+      "For Programming With NumberOfLines = 35000 And Location = 'Mexico'",
+      *org_);
+  ASSERT_TRUE(q.ok());
+
+  // Condition 1: unrelated resource type.
+  auto unrelated = store_->DiagnoseSubstitutions(
+      "Manager", q->select->where.get(), "Programming", q->spec.AsParams());
+  ASSERT_TRUE(unrelated.ok());
+  EXPECT_EQ((*unrelated)[0].verdict, SubVerdict::kResourceUnrelated);
+
+  // Condition 3: sibling activity.
+  rel::ParamMap sibling_spec = {{"NumberOfLines", Value::Int(35000)},
+                                {"Location", Value::String("Mexico")}};
+  auto wrong_act = store_->DiagnoseSubstitutions(
+      "Engineer", q->select->where.get(), "Analysis", sibling_spec);
+  ASSERT_TRUE(wrong_act.ok());
+  EXPECT_EQ((*wrong_act)[0].verdict, SubVerdict::kActivityMismatch);
+
+  // Condition 4: spec outside the With range.
+  rel::ParamMap big = {{"NumberOfLines", Value::Int(60000)},
+                       {"Location", Value::String("Mexico")}};
+  auto out_of_range = store_->DiagnoseSubstitutions(
+      "Engineer", q->select->where.get(), "Programming", big);
+  ASSERT_TRUE(out_of_range.ok());
+  EXPECT_EQ((*out_of_range)[0].verdict, SubVerdict::kRangeMismatch);
+
+  // Condition 2: disjoint resource range.
+  auto q2 = rql::ParseAndBindRql(
+      "Select ContactInfo From Engineer Where Location = 'Bristol' "
+      "For Programming With NumberOfLines = 35000 And Location = 'Mexico'",
+      *org_);
+  ASSERT_TRUE(q2.ok());
+  auto disjoint = store_->DiagnoseSubstitutions(
+      "Engineer", q2->select->where.get(), "Programming",
+      q2->spec.AsParams());
+  ASSERT_TRUE(disjoint.ok());
+  EXPECT_EQ((*disjoint)[0].verdict, SubVerdict::kResourceRangeDisjoint);
+  EXPECT_NE((*disjoint)[0].detail.find("never meets"), std::string::npos);
+}
+
+TEST_F(SubstitutionDiagnosisTest, AgreesWithRelevantSubstitutions) {
+  for (const char* loc : {"PA", "Bristol"}) {
+    for (int64_t lines : {35000, 60000}) {
+      auto q = rql::ParseAndBindRql(
+          "Select Id From Engineer Where Location = '" + std::string(loc) +
+              "' For Programming With NumberOfLines = " +
+              std::to_string(lines) + " And Location = 'Mexico'",
+          *org_);
+      ASSERT_TRUE(q.ok());
+      auto relevant = store_->RelevantSubstitutions(
+          "Engineer", q->select->where.get(), "Programming",
+          q->spec.AsParams());
+      auto diags = store_->DiagnoseSubstitutions(
+          "Engineer", q->select->where.get(), "Programming",
+          q->spec.AsParams());
+      ASSERT_TRUE(relevant.ok() && diags.ok());
+      std::set<int64_t> applied;
+      for (const auto& d : *diags) {
+        if (d.verdict == SubVerdict::kApplied) applied.insert(d.group);
+      }
+      std::set<int64_t> retrieved;
+      for (const auto& r : *relevant) retrieved.insert(r.group);
+      EXPECT_EQ(applied, retrieved) << loc << " " << lines;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wfrm::policy

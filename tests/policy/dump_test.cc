@@ -1,0 +1,182 @@
+// Round-trip tests for the persistence path (§7's "load policies into
+// the main memory at start-up"): DumpRdl/DumpPl output, re-executed on a
+// fresh model, reproduces an equivalent organization and policy base.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/resource_manager.h"
+#include "org/rdl_dump.h"
+#include "org/rdl_parser.h"
+#include "policy/pl_dump.h"
+#include "policy/synthetic.h"
+#include "testutil/paper_org.h"
+
+namespace wfrm::policy {
+namespace {
+
+TEST(DumpTest, OrgRoundTripsThroughRdl) {
+  auto org = testutil::BuildPaperOrg();
+  ASSERT_TRUE(org.ok());
+  auto rdl = org::DumpRdl(**org);
+  ASSERT_TRUE(rdl.ok()) << rdl.status().ToString();
+
+  org::OrgModel copy;
+  Status st = org::ExecuteRdl(*rdl, &copy);
+  ASSERT_TRUE(st.ok()) << st.ToString() << "\n--- dump:\n" << *rdl;
+
+  // Same hierarchies.
+  EXPECT_EQ(copy.resources().AllTypes(), (*org)->resources().AllTypes());
+  EXPECT_EQ(copy.activities().AllTypes(), (*org)->activities().AllTypes());
+  for (const std::string& type : copy.resources().AllTypes()) {
+    auto a = (*org)->ResourceSchema(type);
+    auto b = copy.ResourceSchema(type);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_TRUE(*a == *b) << type;
+    EXPECT_EQ(*copy.CountResources(type), *(*org)->CountResources(type))
+        << type;
+  }
+
+  // Instances round-trip with values.
+  auto bob = copy.GetResource(org::ResourceRef{"Programmer", "bob"});
+  ASSERT_TRUE(bob.ok());
+  EXPECT_EQ((*bob)[2].string_value(), "PA");
+  EXPECT_EQ((*bob)[4].int_value(), 7);
+
+  // Relationships and the view work.
+  rel::Executor exec(&copy.db());
+  auto rs = exec.Query("Select Mgr From ReportsTo Where Emp = 'alice'");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].string_value(), "carol");
+}
+
+TEST(DumpTest, PolicyBaseRoundTripsThroughPl) {
+  auto world = testutil::BuildPaperWorld();
+  ASSERT_TRUE(world.ok());
+  auto pl = DumpPl(*world->store);
+  ASSERT_TRUE(pl.ok()) << pl.status().ToString();
+
+  PolicyStore copy(world->org.get());
+  Status st = copy.AddPolicyText(*pl);
+  ASSERT_TRUE(st.ok()) << st.ToString() << "\n--- dump:\n" << *pl;
+
+  EXPECT_EQ(copy.num_qualification_rows(),
+            world->store->num_qualification_rows());
+  EXPECT_EQ(copy.num_requirement_rows(),
+            world->store->num_requirement_rows());
+  EXPECT_EQ(copy.num_requirement_interval_rows(),
+            world->store->num_requirement_interval_rows());
+  EXPECT_EQ(copy.num_substitution_rows(),
+            world->store->num_substitution_rows());
+
+  // Retrieval behaves identically on the running example.
+  rel::ParamMap spec = {{"NumberOfLines", rel::Value::Int(35000)},
+                        {"Location", rel::Value::String("Mexico")}};
+  auto a = world->store->RelevantRequirements("Programmer", "Programming",
+                                              spec);
+  auto b = copy.RelevantRequirements("Programmer", "Programming", spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].where_clause, (*b)[i].where_clause);
+  }
+}
+
+TEST(DumpTest, DisjunctiveAndExclusiveBoundsRoundTrip) {
+  auto org = testutil::BuildPaperOrg();
+  ASSERT_TRUE(org.ok());
+  PolicyStore store(org->get());
+  ASSERT_TRUE(store
+                  .AddPolicyText(
+                      "Require Manager Where Experience > 2 For Approval "
+                      "With Amount < 10 Or Amount > 100;"
+                      "Require Manager For Approval With Amount != 50;"
+                      "Require Employee For Activity With "
+                      "Location In ('PA', 'Mexico')")
+                  .ok());
+  auto pl = DumpPl(store);
+  ASSERT_TRUE(pl.ok());
+
+  PolicyStore copy(org->get());
+  ASSERT_TRUE(copy.AddPolicyText(*pl).ok()) << "--- dump:\n" << *pl;
+  EXPECT_EQ(copy.num_requirement_rows(), store.num_requirement_rows());
+  EXPECT_EQ(copy.num_requirement_interval_rows(),
+            store.num_requirement_interval_rows());
+
+  // Behavioural equivalence across boundary points.
+  for (int64_t amount : {5, 10, 50, 51, 100, 101}) {
+    rel::ParamMap spec = {{"Amount", rel::Value::Int(amount)},
+                          {"Requester", rel::Value::String("x")},
+                          {"Location", rel::Value::String("PA")}};
+    auto a = store.RelevantRequirements("Manager", "Approval", spec);
+    auto b = copy.RelevantRequirements("Manager", "Approval", spec);
+    ASSERT_TRUE(a.ok() && b.ok());
+    std::multiset<std::string> wa, wb;
+    for (const auto& r : *a) wa.insert(r.where_clause);
+    for (const auto& r : *b) wb.insert(r.where_clause);
+    EXPECT_EQ(wa, wb) << "amount " << amount;
+  }
+}
+
+TEST(DumpTest, SyntheticWorldRoundTripsBehaviourally) {
+  SyntheticConfig config;
+  config.num_activities = 15;
+  config.num_resources = 15;
+  config.q = 3;
+  config.c = 3;
+  config.intervals = 2;
+  auto w = SyntheticWorkload::Build(config);
+  ASSERT_TRUE(w.ok());
+
+  // Dump + reload both layers.
+  auto rdl = org::DumpRdl((*w)->org());
+  ASSERT_TRUE(rdl.ok());
+  auto pl = DumpPl((*w)->store());
+  ASSERT_TRUE(pl.ok());
+
+  org::OrgModel org_copy;
+  ASSERT_TRUE(org::ExecuteRdl(*rdl, &org_copy).ok());
+  PolicyStore store_copy(&org_copy);
+  ASSERT_TRUE(store_copy.AddPolicyText(*pl).ok());
+
+  std::mt19937 rng(3);
+  for (int trial = 0; trial < 25; ++trial) {
+    auto query = (*w)->RandomQuery(rng);
+    ASSERT_TRUE(query.ok());
+    rel::ParamMap spec = query->spec.AsParams();
+    auto a = (*w)->store().RelevantRequirements(query->resource(),
+                                                query->activity(), spec);
+    auto b = store_copy.RelevantRequirements(query->resource(),
+                                             query->activity(), spec);
+    ASSERT_TRUE(a.ok() && b.ok());
+    std::multiset<std::string> wa, wb;
+    for (const auto& r : *a) wa.insert(r.where_clause);
+    for (const auto& r : *b) wb.insert(r.where_clause);
+    EXPECT_EQ(wa, wb) << query->ToString();
+  }
+}
+
+TEST(DumpTest, DumpIsStableUnderReload) {
+  // Dump(load(Dump(x))) == Dump(x): the dump is a fixpoint.
+  auto world = testutil::BuildPaperWorld();
+  ASSERT_TRUE(world.ok());
+  auto rdl1 = org::DumpRdl(*world->org);
+  auto pl1 = DumpPl(*world->store);
+  ASSERT_TRUE(rdl1.ok() && pl1.ok());
+
+  org::OrgModel org_copy;
+  ASSERT_TRUE(org::ExecuteRdl(*rdl1, &org_copy).ok());
+  PolicyStore store_copy(&org_copy);
+  ASSERT_TRUE(store_copy.AddPolicyText(*pl1).ok());
+
+  auto rdl2 = org::DumpRdl(org_copy);
+  auto pl2 = DumpPl(store_copy);
+  ASSERT_TRUE(rdl2.ok() && pl2.ok());
+  EXPECT_EQ(*rdl1, *rdl2);
+  EXPECT_EQ(*pl1, *pl2);
+}
+
+}  // namespace
+}  // namespace wfrm::policy

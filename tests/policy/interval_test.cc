@@ -1,0 +1,121 @@
+#include "policy/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace wfrm::policy {
+namespace {
+
+using rel::BinaryOp;
+using rel::Value;
+
+TEST(IntervalTest, FromComparison) {
+  auto eq = Interval::FromComparison(BinaryOp::kEq, Value::Int(5));
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(eq->ToString(), "[5, 5]");
+
+  auto lt = Interval::FromComparison(BinaryOp::kLt, Value::Int(5));
+  ASSERT_TRUE(lt.ok());
+  EXPECT_EQ(lt->ToString(), "(-inf, 5)");
+
+  auto le = Interval::FromComparison(BinaryOp::kLe, Value::Int(5));
+  EXPECT_EQ(le->ToString(), "(-inf, 5]");
+
+  auto gt = Interval::FromComparison(BinaryOp::kGt, Value::Int(5));
+  EXPECT_EQ(gt->ToString(), "(5, +inf)");
+
+  auto ge = Interval::FromComparison(BinaryOp::kGe, Value::Int(5));
+  EXPECT_EQ(ge->ToString(), "[5, +inf)");
+
+  EXPECT_FALSE(Interval::FromComparison(BinaryOp::kNe, Value::Int(5)).ok());
+  EXPECT_FALSE(Interval::FromComparison(BinaryOp::kAnd, Value::Int(5)).ok());
+}
+
+TEST(IntervalTest, ContainsRespectsBoundInclusivity) {
+  Interval iv;
+  iv.lower = Value::Int(10);
+  iv.lower_inclusive = false;
+  iv.upper = Value::Int(20);
+  iv.upper_inclusive = true;
+  EXPECT_FALSE(*iv.Contains(Value::Int(10)));
+  EXPECT_TRUE(*iv.Contains(Value::Int(11)));
+  EXPECT_TRUE(*iv.Contains(Value::Int(20)));
+  EXPECT_FALSE(*iv.Contains(Value::Int(21)));
+  EXPECT_FALSE(*iv.Contains(Value::Null()));
+}
+
+TEST(IntervalTest, ContainsUnbounded) {
+  EXPECT_TRUE(*Interval::All().Contains(Value::Int(-1000000)));
+  EXPECT_TRUE(*Interval::All().Contains(Value::String("anything")));
+}
+
+TEST(IntervalTest, ContainsStringDomain) {
+  Interval iv = Interval::Point(Value::String("Mexico"));
+  EXPECT_TRUE(*iv.Contains(Value::String("Mexico")));
+  EXPECT_FALSE(*iv.Contains(Value::String("PA")));
+}
+
+TEST(IntervalTest, ContainsTypeMismatchFails) {
+  Interval iv = Interval::Point(Value::Int(5));
+  EXPECT_FALSE(iv.Contains(Value::String("five")).ok());
+}
+
+TEST(IntervalTest, ContainsMixedNumerics) {
+  auto iv = Interval::FromComparison(BinaryOp::kGt, Value::Int(10000));
+  ASSERT_TRUE(iv.ok());
+  EXPECT_TRUE(*iv->Contains(Value::Double(10000.5)));
+  EXPECT_FALSE(*iv->Contains(Value::Double(9999.5)));
+}
+
+TEST(IntervalTest, IntersectTightensBounds) {
+  auto a = Interval::FromComparison(BinaryOp::kGt, Value::Int(10));
+  auto b = Interval::FromComparison(BinaryOp::kLe, Value::Int(20));
+  auto x = a->Intersect(*b);
+  ASSERT_TRUE(x.ok());
+  ASSERT_TRUE(x->has_value());
+  EXPECT_EQ((*x)->ToString(), "(10, 20]");
+}
+
+TEST(IntervalTest, IntersectEmptyWhenDisjoint) {
+  auto a = Interval::FromComparison(BinaryOp::kLt, Value::Int(10));
+  auto b = Interval::FromComparison(BinaryOp::kGt, Value::Int(20));
+  auto x = a->Intersect(*b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_FALSE(x->has_value());
+  EXPECT_FALSE(*a->Intersects(*b));
+}
+
+TEST(IntervalTest, IntersectTouchingBoundsDependOnInclusivity) {
+  auto le = Interval::FromComparison(BinaryOp::kLe, Value::Int(10));
+  auto ge = Interval::FromComparison(BinaryOp::kGe, Value::Int(10));
+  auto lt = Interval::FromComparison(BinaryOp::kLt, Value::Int(10));
+  EXPECT_TRUE(*le->Intersects(*ge));   // Share the point 10.
+  EXPECT_FALSE(*lt->Intersects(*ge));  // Open end excludes 10.
+}
+
+TEST(IntervalTest, IntersectSameBoundMergesInclusivity) {
+  Interval a = *Interval::FromComparison(BinaryOp::kLe, Value::Int(10));
+  Interval b = *Interval::FromComparison(BinaryOp::kLt, Value::Int(10));
+  auto x = a.Intersect(b);
+  ASSERT_TRUE(x.ok() && x->has_value());
+  EXPECT_FALSE((*x)->upper_inclusive);
+}
+
+TEST(IntervalTest, PointIntersection) {
+  Interval p = Interval::Point(Value::String("PA"));
+  Interval q = Interval::Point(Value::String("PA"));
+  Interval r = Interval::Point(Value::String("Cupertino"));
+  EXPECT_TRUE(*p.Intersects(q));
+  EXPECT_FALSE(*p.Intersects(r));
+}
+
+TEST(IntervalTest, EqualityOperator) {
+  auto a = Interval::FromComparison(BinaryOp::kGe, Value::Int(1));
+  auto b = Interval::FromComparison(BinaryOp::kGe, Value::Int(1));
+  auto c = Interval::FromComparison(BinaryOp::kGt, Value::Int(1));
+  EXPECT_TRUE(*a == *b);
+  EXPECT_FALSE(*a == *c);
+  EXPECT_TRUE(Interval::All() == Interval::All());
+}
+
+}  // namespace
+}  // namespace wfrm::policy

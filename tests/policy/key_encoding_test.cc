@@ -1,0 +1,101 @@
+#include "policy/key_encoding.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace wfrm::policy {
+namespace {
+
+using rel::Value;
+
+TEST(KeyEncodingTest, SentinelsBracketEverything) {
+  const std::string min = EncodedDomainMin();
+  const std::string max = EncodedDomainMax();
+  for (const Value& v :
+       {Value::Int(-1000000), Value::Int(0), Value::Int(1000000),
+        Value::Double(-1e300), Value::Double(1e300), Value::String(""),
+        Value::String("zzzz"), Value::Bool(false), Value::Bool(true)}) {
+    auto enc = EncodeKey(v);
+    ASSERT_TRUE(enc.ok());
+    EXPECT_LT(min, *enc) << v.ToString();
+    EXPECT_LT(*enc, max) << v.ToString();
+  }
+}
+
+TEST(KeyEncodingTest, NullRejected) {
+  EXPECT_FALSE(EncodeKey(Value::Null()).ok());
+}
+
+TEST(KeyEncodingTest, IntOrderPreserved) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<int64_t> dist(-1'000'000'000, 1'000'000'000);
+  for (int trial = 0; trial < 2000; ++trial) {
+    int64_t a = dist(rng), b = dist(rng);
+    std::string ea = *EncodeKey(Value::Int(a));
+    std::string eb = *EncodeKey(Value::Int(b));
+    EXPECT_EQ(a < b, ea < eb) << a << " vs " << b;
+    EXPECT_EQ(a == b, ea == eb);
+  }
+}
+
+TEST(KeyEncodingTest, DoubleOrderPreservedIncludingNegatives) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> dist(-1e6, 1e6);
+  for (int trial = 0; trial < 2000; ++trial) {
+    double a = dist(rng), b = dist(rng);
+    std::string ea = *EncodeKey(Value::Double(a));
+    std::string eb = *EncodeKey(Value::Double(b));
+    EXPECT_EQ(a < b, ea < eb) << a << " vs " << b;
+  }
+}
+
+TEST(KeyEncodingTest, MixedIntDoubleOrderPreserved) {
+  EXPECT_LT(*EncodeKey(Value::Int(2)), *EncodeKey(Value::Double(2.5)));
+  EXPECT_LT(*EncodeKey(Value::Double(1.5)), *EncodeKey(Value::Int(2)));
+  EXPECT_EQ(*EncodeKey(Value::Int(2)), *EncodeKey(Value::Double(2.0)));
+}
+
+TEST(KeyEncodingTest, StringOrderPreserved) {
+  EXPECT_LT(*EncodeKey(Value::String("Analyst")),
+            *EncodeKey(Value::String("Programmer")));
+  EXPECT_LT(*EncodeKey(Value::String("")), *EncodeKey(Value::String("a")));
+  EXPECT_LT(*EncodeKey(Value::String("PA")),
+            *EncodeKey(Value::String("PAL")));
+}
+
+TEST(KeyEncodingTest, BoolOrder) {
+  EXPECT_LT(*EncodeKey(Value::Bool(false)), *EncodeKey(Value::Bool(true)));
+}
+
+TEST(KeyEncodingTest, RoundTrip) {
+  for (const Value& v :
+       {Value::Int(35000), Value::Int(-17), Value::Double(2.5),
+        Value::String("Mexico"), Value::String("with 'quote'"),
+        Value::Bool(true), Value::Bool(false)}) {
+    auto enc = EncodeKey(v);
+    ASSERT_TRUE(enc.ok());
+    auto dec = DecodeKey(*enc);
+    ASSERT_TRUE(dec.ok()) << v.ToString();
+    if (v.is_double() && v.double_value() == 2.5) {
+      EXPECT_DOUBLE_EQ(dec->AsDouble(), 2.5);
+    } else {
+      EXPECT_EQ(*dec, v) << v.ToString();
+    }
+  }
+}
+
+TEST(KeyEncodingTest, SentinelsDecodeToNull) {
+  EXPECT_TRUE(DecodeKey(EncodedDomainMin())->is_null());
+  EXPECT_TRUE(DecodeKey(EncodedDomainMax())->is_null());
+}
+
+TEST(KeyEncodingTest, MalformedDecodesFail) {
+  EXPECT_FALSE(DecodeKey("nxyz").ok());
+  EXPECT_FALSE(DecodeKey("n1234").ok());  // Too short.
+  EXPECT_FALSE(DecodeKey("q???").ok());   // Unknown tag.
+  EXPECT_FALSE(DecodeKey("b7").ok());
+}
+
+}  // namespace
+}  // namespace wfrm::policy

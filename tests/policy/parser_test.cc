@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "policy/policy_ast.h"
+
+namespace wfrm::policy {
+namespace {
+
+TEST(PlParserTest, QualificationFigure5) {
+  auto p = ParsePolicy("Qualify Programmer For Engineering");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const auto* q = std::get_if<QualificationPolicy>(&*p);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->resource, "Programmer");
+  EXPECT_EQ(q->activity, "Engineering");
+  EXPECT_EQ(q->ToString(), "Qualify Programmer For Engineering");
+}
+
+TEST(PlParserTest, RequirementFigure6First) {
+  auto p = ParsePolicy(
+      "Require Programmer Where Experience > 5 "
+      "For Programming With NumberOfLines > 10000");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const auto* r = std::get_if<RequirementPolicy>(&*p);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->resource, "Programmer");
+  EXPECT_EQ(r->activity, "Programming");
+  ASSERT_NE(r->where, nullptr);
+  EXPECT_EQ(r->where->ToString(), "Experience > 5");
+  ASSERT_NE(r->with, nullptr);
+  EXPECT_EQ(r->with->ToString(), "NumberOfLines > 10000");
+}
+
+TEST(PlParserTest, RequirementFigure6Second) {
+  auto p = ParsePolicy(
+      "Require Employee Where Language = 'Spanish' "
+      "For Activity With Location = 'Mexico'");
+  ASSERT_TRUE(p.ok());
+  const auto* r = std::get_if<RequirementPolicy>(&*p);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->resource, "Employee");
+  EXPECT_EQ(r->activity, "Activity");
+}
+
+TEST(PlParserTest, RequirementOptionalClauses) {
+  auto no_where = ParsePolicy("Require Manager For Approval With Amount < 10");
+  ASSERT_TRUE(no_where.ok());
+  EXPECT_EQ(std::get<RequirementPolicy>(*no_where).where, nullptr);
+
+  auto no_with = ParsePolicy("Require Manager Where Experience > 1 For Approval");
+  ASSERT_TRUE(no_with.ok());
+  EXPECT_EQ(std::get<RequirementPolicy>(*no_with).with, nullptr);
+
+  auto bare = ParsePolicy("Require Manager For Approval");
+  ASSERT_TRUE(bare.ok());
+}
+
+TEST(PlParserTest, RequirementFigure8NestedSelect) {
+  auto p = ParsePolicy(
+      "Require Manager "
+      "Where ID = (Select Mgr From ReportsTo Where Emp = [Requester]) "
+      "For Approval With Amount < 1000");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const auto& r = std::get<RequirementPolicy>(*p);
+  EXPECT_NE(r.where->ToString().find("[Requester]"), std::string::npos);
+  EXPECT_NE(r.where->ToString().find("Select Mgr From ReportsTo"),
+            std::string::npos);
+}
+
+TEST(PlParserTest, RequirementFigure8HierarchicalSubquery) {
+  auto p = ParsePolicy(
+      "Require Manager "
+      "Where ID = (Select Mgr From ReportsTo Where level = 2 "
+      "Start with Emp = [Requester] Connect by Prior Mgr = Emp) "
+      "For Approval With Amount > 1000 And Amount < 5000");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const auto& r = std::get<RequirementPolicy>(*p);
+  EXPECT_NE(r.where->ToString().find("Connect By Prior Mgr = Emp"),
+            std::string::npos);
+  EXPECT_EQ(r.with->ToString(), "Amount > 1000 And Amount < 5000");
+}
+
+TEST(PlParserTest, SubstitutionFigure9) {
+  auto p = ParsePolicy(
+      "Substitute Engineer Where Location = 'PA' "
+      "By Engineer Where Location = 'Cupertino' "
+      "For Programming With NumberOfLines < 50000");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const auto* s = std::get_if<SubstitutionPolicy>(&*p);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->substituted_resource, "Engineer");
+  EXPECT_EQ(s->substituted_where->ToString(), "Location = 'PA'");
+  EXPECT_EQ(s->substituting_resource, "Engineer");
+  EXPECT_EQ(s->substituting_where->ToString(), "Location = 'Cupertino'");
+  EXPECT_EQ(s->activity, "Programming");
+  EXPECT_EQ(s->with->ToString(), "NumberOfLines < 50000");
+}
+
+TEST(PlParserTest, SubstitutionMinimal) {
+  auto p = ParsePolicy("Substitute Engineer By Analyst For Programming");
+  ASSERT_TRUE(p.ok());
+  const auto& s = std::get<SubstitutionPolicy>(*p);
+  EXPECT_EQ(s.substituted_where, nullptr);
+  EXPECT_EQ(s.substituting_where, nullptr);
+  EXPECT_EQ(s.with, nullptr);
+}
+
+TEST(PlParserTest, ToStringReparses) {
+  const char* policies[] = {
+      "Qualify Programmer For Engineering",
+      "Require Programmer Where Experience > 5 For Programming With "
+      "NumberOfLines > 10000",
+      "Substitute Engineer Where Location = 'PA' By Engineer Where "
+      "Location = 'Cupertino' For Programming With NumberOfLines < 50000",
+  };
+  for (const char* text : policies) {
+    auto p = ParsePolicy(text);
+    ASSERT_TRUE(p.ok()) << text;
+    auto p2 = ParsePolicy(PolicyToString(*p));
+    ASSERT_TRUE(p2.ok()) << PolicyToString(*p);
+    EXPECT_EQ(PolicyToString(*p), PolicyToString(*p2));
+  }
+}
+
+TEST(PlParserTest, ParseMultipleStatements) {
+  auto ps = ParsePolicies(
+      "Qualify Programmer For Engineering;\n"
+      "Require Programmer For Programming;\n"
+      "Substitute Engineer By Analyst For Programming");
+  ASSERT_TRUE(ps.ok()) << ps.status().ToString();
+  ASSERT_EQ(ps->size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<QualificationPolicy>((*ps)[0]));
+  EXPECT_TRUE(std::holds_alternative<RequirementPolicy>((*ps)[1]));
+  EXPECT_TRUE(std::holds_alternative<SubstitutionPolicy>((*ps)[2]));
+}
+
+TEST(PlParserTest, TrailingSemicolonAllowed) {
+  EXPECT_TRUE(ParsePolicy("Qualify A For B;").ok());
+  EXPECT_TRUE(ParsePolicies("Qualify A For B;").ok());
+}
+
+TEST(PlParserTest, Errors) {
+  EXPECT_FALSE(ParsePolicy("").ok());
+  EXPECT_FALSE(ParsePolicy("Permit A For B").ok());
+  EXPECT_FALSE(ParsePolicy("Qualify For B").ok());
+  EXPECT_FALSE(ParsePolicy("Qualify A B").ok());
+  EXPECT_FALSE(ParsePolicy("Require A Where For B").ok());
+  EXPECT_FALSE(ParsePolicy("Substitute A By For B").ok());
+  EXPECT_FALSE(ParsePolicy("Qualify A For B extra").ok());
+  EXPECT_FALSE(ParsePolicies("Qualify A For B Qualify C For D").ok());
+}
+
+TEST(PlParserTest, CloneIsDeep) {
+  auto p = ParsePolicy(
+      "Require Programmer Where Experience > 5 For Programming With "
+      "NumberOfLines > 10000");
+  ASSERT_TRUE(p.ok());
+  const auto& r = std::get<RequirementPolicy>(*p);
+  RequirementPolicy copy = r.Clone();
+  EXPECT_EQ(copy.ToString(), r.ToString());
+  EXPECT_NE(copy.where.get(), r.where.get());
+}
+
+}  // namespace
+}  // namespace wfrm::policy

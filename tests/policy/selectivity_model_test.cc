@@ -1,0 +1,74 @@
+#include "policy/selectivity_model.h"
+
+#include <gtest/gtest.h>
+
+namespace wfrm::policy {
+namespace {
+
+TEST(SelectivityModelTest, FormulasMatchSection6) {
+  // With |A| = |R| = 2^6: log2|A| = log2|R| = 6.
+  SelectivityParams p;
+  p.num_activities = 64;
+  p.num_resources = 64;
+  p.q = 64;
+  p.c = 1;
+  EXPECT_DOUBLE_EQ(SelectivityPolicies(p), 36.0 / (64.0 * 64.0));
+  EXPECT_DOUBLE_EQ(SelectivityFilter(p), 1.0 / 64.0);
+  EXPECT_DOUBLE_EQ(p.N(), 4096.0);
+}
+
+TEST(SelectivityModelTest, Figure17SweepShape) {
+  std::vector<SelectivityPoint> sweep = Figure17Sweep();
+  ASSERT_EQ(sweep.size(), 7u);
+  EXPECT_DOUBLE_EQ(sweep.front().c, 1.0);
+  EXPECT_DOUBLE_EQ(sweep.back().c, 64.0);
+
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    // N fixed at 2^12: q is anti-proportional to c ("When N and |R| are
+    // fixed, q is anti-proportional to c").
+    EXPECT_DOUBLE_EQ(sweep[i].q * sweep[i].c * 64.0, 4096.0);
+  }
+
+  for (size_t i = 1; i < sweep.size(); ++i) {
+    // "the more an activity gets fragmented (c increases), the higher is
+    // the selectivity on Relevant_Filter (the selectivity rate getting
+    // lower) and the lower is the selectivity on Relevant_Policies".
+    EXPECT_LT(sweep[i].filter_rate, sweep[i - 1].filter_rate);
+    EXPECT_GT(sweep[i].policies_rate, sweep[i - 1].policies_rate);
+  }
+}
+
+TEST(SelectivityModelTest, FilterMoreSelectiveThanPoliciesInGeneral) {
+  // "view Relevant_Filter tends to be more selective than
+  // Relevant_Policies, in general" — the curves cross between c = 1 and
+  // c = 2 (at c = 1 Policies is briefly the more selective view), and
+  // Filter wins everywhere from c = 2 on. This is the crossover visible
+  // in Figure 17.
+  std::vector<SelectivityPoint> sweep = Figure17Sweep();
+  EXPECT_GT(sweep[0].filter_rate, sweep[0].policies_rate);
+  for (size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LT(sweep[i].filter_rate, sweep[i].policies_rate)
+        << "c=" << sweep[i].c;
+  }
+}
+
+TEST(SelectivityModelTest, Figure17EndpointValues) {
+  std::vector<SelectivityPoint> sweep = Figure17Sweep();
+  // c = 1, q = 64: Policies = 36/4096 ≈ 0.0088, Filter = 1/64.
+  EXPECT_NEAR(sweep.front().policies_rate, 36.0 / 4096.0, 1e-12);
+  EXPECT_NEAR(sweep.front().filter_rate, 1.0 / 64.0, 1e-12);
+  // c = 64, q = 1: Policies = 36/64 = 0.5625, Filter = 1/4096.
+  EXPECT_NEAR(sweep.back().policies_rate, 36.0 / 64.0, 1e-12);
+  EXPECT_NEAR(sweep.back().filter_rate, 1.0 / 4096.0, 1e-12);
+}
+
+TEST(SelectivityModelTest, CustomSweep) {
+  auto sweep = SelectivitySweep(128, 32, 1024.0, {2, 8});
+  ASSERT_EQ(sweep.size(), 2u);
+  EXPECT_DOUBLE_EQ(sweep[0].q, 1024.0 / (32.0 * 2.0));
+  EXPECT_DOUBLE_EQ(sweep[0].filter_rate, 1.0 / 64.0);
+  EXPECT_DOUBLE_EQ(sweep[0].policies_rate, (7.0 * 5.0) / (32.0 * 16.0));
+}
+
+}  // namespace
+}  // namespace wfrm::policy

@@ -1,0 +1,183 @@
+#include "policy/policy_store.h"
+
+#include <gtest/gtest.h>
+
+#include "policy/key_encoding.h"
+#include "rel/executor.h"
+#include "testutil/paper_org.h"
+
+namespace wfrm::policy {
+namespace {
+
+using rel::Value;
+
+class PolicyStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto org = testutil::BuildPaperOrg();
+    ASSERT_TRUE(org.ok()) << org.status().ToString();
+    org_ = std::move(org).ValueOrDie();
+    store_ = std::make_unique<PolicyStore>(org_.get());
+  }
+
+  Result<int64_t> Add(const std::string& pl) {
+    auto p = ParsePolicy(pl);
+    if (!p.ok()) return p.status();
+    return store_->AddPolicy(*p);
+  }
+
+  std::unique_ptr<org::OrgModel> org_;
+  std::unique_ptr<PolicyStore> store_;
+};
+
+TEST_F(PolicyStoreTest, RequirementDecomposesIntoPoliciesAndFilterRows) {
+  // §5.1's worked example: the first Figure 6 policy becomes one
+  // Policies tuple and one Filter tuple...
+  ASSERT_TRUE(Add("Require Programmer Where Experience > 5 For Programming "
+                  "With NumberOfLines > 10000")
+                  .ok());
+  EXPECT_EQ(store_->num_requirement_rows(), 1u);
+  EXPECT_EQ(store_->num_requirement_interval_rows(), 1u);
+
+  // ...and the second becomes one of each as well.
+  ASSERT_TRUE(Add("Require Employee Where Language = 'Spanish' For Activity "
+                  "With Location = 'Mexico'")
+                  .ok());
+  EXPECT_EQ(store_->num_requirement_rows(), 2u);
+  EXPECT_EQ(store_->num_requirement_interval_rows(), 2u);
+}
+
+TEST_F(PolicyStoreTest, StoredRowsMatchPaperSection51) {
+  ASSERT_TRUE(Add("Require Programmer Where Experience > 5 For Programming "
+                  "With NumberOfLines > 10000")
+                  .ok());
+  rel::Executor exec(&store_->db());
+  auto policies = exec.Query("Select * From Policies");
+  ASSERT_TRUE(policies.ok());
+  ASSERT_EQ(policies->size(), 1u);
+  const rel::Row& row = policies->rows[0];
+  EXPECT_EQ(row[0].int_value(), 100);  // First PID is 100, as in §5.1.
+  EXPECT_EQ(row[2].string_value(), "Programming");
+  EXPECT_EQ(row[3].string_value(), "Programmer");
+  EXPECT_EQ(row[4].int_value(), 1);  // NumberOfIntervals.
+  EXPECT_EQ(row[5].string_value(), "Experience > 5");
+
+  auto filter = exec.Query("Select * From Filter");
+  ASSERT_TRUE(filter.ok());
+  ASSERT_EQ(filter->size(), 1u);
+  const rel::Row& f = filter->rows[0];
+  EXPECT_EQ(f[0].int_value(), 100);
+  EXPECT_EQ(f[1].string_value(), "NumberOfLines");
+  // (10000, Max] with an exclusive lower bound.
+  EXPECT_EQ(f[2].string_value(), *EncodeKey(Value::Int(10000)));
+  EXPECT_EQ(f[3].string_value(), EncodedDomainMax());
+  EXPECT_FALSE(f[4].bool_value());
+  EXPECT_TRUE(f[5].bool_value());
+}
+
+TEST_F(PolicyStoreTest, DisjunctiveWithClauseSplitsIntoGroupRows) {
+  // §5.1: <A, R, r1 Or r2, W> is divided into two policies sharing one
+  // source (GroupID).
+  ASSERT_TRUE(Add("Require Manager Where Experience > 1 For Approval "
+                  "With Amount < 10 Or Amount > 100")
+                  .ok());
+  EXPECT_EQ(store_->num_requirement_rows(), 2u);
+  rel::Executor exec(&store_->db());
+  auto rs = exec.Query("Select GroupID, NumberOfIntervals From Policies");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->size(), 2u);
+  EXPECT_EQ(rs->rows[0][0], rs->rows[1][0]);  // Same group.
+}
+
+TEST_F(PolicyStoreTest, NotEqualsStoresTwoRows) {
+  ASSERT_TRUE(
+      Add("Require Manager For Approval With Amount != 100").ok());
+  EXPECT_EQ(store_->num_requirement_rows(), 2u);
+}
+
+TEST_F(PolicyStoreTest, EmptyWithClauseStoresZeroIntervals) {
+  ASSERT_TRUE(Add("Require Manager Where Experience > 1 For Approval").ok());
+  EXPECT_EQ(store_->num_requirement_rows(), 1u);
+  EXPECT_EQ(store_->num_requirement_interval_rows(), 0u);
+}
+
+TEST_F(PolicyStoreTest, MultiAttributeRangeStoresOneRowPerInterval) {
+  ASSERT_TRUE(Add("Require Programmer For Programming "
+                  "With NumberOfLines > 10000 And Location = 'Mexico'")
+                  .ok());
+  EXPECT_EQ(store_->num_requirement_rows(), 1u);
+  EXPECT_EQ(store_->num_requirement_interval_rows(), 2u);
+}
+
+TEST_F(PolicyStoreTest, ValidationRejectsUnknownTypesAndAttributes) {
+  EXPECT_FALSE(Add("Qualify Pilot For Engineering").ok());
+  EXPECT_FALSE(Add("Qualify Programmer For Flying").ok());
+  EXPECT_FALSE(Add("Require Programmer For Programming With Budget > 5").ok());
+  EXPECT_FALSE(Add("Require Pilot For Programming").ok());
+  EXPECT_FALSE(
+      Add("Substitute Engineer By Pilot For Programming").ok());
+}
+
+TEST_F(PolicyStoreTest, ValidationRejectsTypeMismatchedBounds) {
+  EXPECT_TRUE(Add("Require Programmer For Programming With "
+                  "NumberOfLines > 'lots'")
+                  .status()
+                  .IsTypeError());
+}
+
+TEST_F(PolicyStoreTest, ValidationRejectsUnsatisfiableWith) {
+  auto r = Add("Require Programmer For Programming With "
+               "NumberOfLines > 10 And NumberOfLines < 5");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unsatisfiable"), std::string::npos);
+}
+
+TEST_F(PolicyStoreTest, ValidationRejectsUnknownParameterInWhere) {
+  // [Ghost] is not an attribute of Approval.
+  EXPECT_FALSE(Add("Require Manager Where ID = [Ghost] For Approval").ok());
+  // [Requester] is.
+  EXPECT_TRUE(Add("Require Manager Where ID = [Requester] For Approval").ok());
+}
+
+TEST_F(PolicyStoreTest, SubstitutionValidatesResourceRanges) {
+  EXPECT_FALSE(Add("Substitute Engineer Where Altitude > 5 By Engineer "
+                   "For Programming")
+                   .ok());
+  EXPECT_TRUE(Add("Substitute Engineer Where Location = 'PA' By Engineer "
+                  "Where Location = 'Cupertino' For Programming")
+                  .ok());
+  EXPECT_EQ(store_->num_substitution_rows(), 1u);
+}
+
+TEST_F(PolicyStoreTest, TypeSpellingsCanonicalized) {
+  ASSERT_TRUE(Add("Require PROGRAMMER For programming With "
+                  "numberoflines > 10")
+                  .ok());
+  rel::Executor exec(&store_->db());
+  auto rs = exec.Query("Select Activity, Resource From Policies");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0].string_value(), "Programming");
+  EXPECT_EQ(rs->rows[0][1].string_value(), "Programmer");
+  auto f = exec.Query("Select Attribute From Filter");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->rows[0][0].string_value(), "NumberOfLines");
+}
+
+TEST_F(PolicyStoreTest, AddPolicyTextLoadsTheWholePaperBase) {
+  ASSERT_TRUE(store_->AddPolicyText(testutil::kPaperPolicies).ok());
+  EXPECT_EQ(store_->num_qualification_rows(), 3u);
+  EXPECT_EQ(store_->num_requirement_rows(), 4u);
+  EXPECT_EQ(store_->num_substitution_rows(), 1u);
+}
+
+TEST_F(PolicyStoreTest, ConcatenatedIndexesExist) {
+  const rel::Table* policies = store_->db().GetTable("Policies");
+  ASSERT_EQ(policies->ordered_indexes().size(), 1u);
+  EXPECT_EQ(policies->ordered_indexes()[0]->key_columns().size(), 2u);
+  const rel::Table* filter = store_->db().GetTable("Filter");
+  ASSERT_EQ(filter->ordered_indexes().size(), 1u);
+  EXPECT_EQ(filter->ordered_indexes()[0]->key_columns().size(), 3u);
+}
+
+}  // namespace
+}  // namespace wfrm::policy

@@ -1,0 +1,131 @@
+#include "policy/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace wfrm::policy {
+namespace {
+
+TEST(SyntheticTest, BuildsConfiguredVolumes) {
+  SyntheticConfig config;
+  config.num_activities = 31;
+  config.num_resources = 15;
+  config.q = 4;
+  config.c = 3;
+  config.intervals = 2;
+  auto w = SyntheticWorkload::Build(config);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  // N = |R| * q * c requirement rows (conjunctive With → no splitting).
+  EXPECT_EQ((*w)->store().num_requirement_rows(), 15u * 4u * 3u);
+  // i interval rows each.
+  EXPECT_EQ((*w)->store().num_requirement_interval_rows(), 15u * 4u * 3u * 2u);
+  EXPECT_EQ((*w)->org().resources().size(), 15u);
+  EXPECT_EQ((*w)->org().activities().size(), 31u);
+  EXPECT_EQ((*w)->store().num_qualification_rows(), 1u);
+}
+
+TEST(SyntheticTest, HierarchiesAreCompleteBinaryTrees) {
+  SyntheticConfig config;
+  config.num_activities = 15;
+  config.num_resources = 7;
+  config.q = 1;
+  config.c = 1;
+  auto w = SyntheticWorkload::Build(config);
+  ASSERT_TRUE(w.ok());
+  const auto& acts = (*w)->org().activities();
+  EXPECT_EQ(*acts.ParentOf("Act14"), std::optional<std::string>("Act6"));
+  EXPECT_EQ(*acts.ParentOf("Act1"), std::optional<std::string>("Act0"));
+  EXPECT_EQ(*acts.DepthOf("Act14"), 3u);
+  EXPECT_EQ(acts.Roots().size(), 1u);
+}
+
+TEST(SyntheticTest, RandomQueriesAreBindable) {
+  SyntheticConfig config;
+  config.num_activities = 15;
+  config.num_resources = 15;
+  config.q = 2;
+  config.c = 2;
+  config.intervals = 1;
+  auto w = SyntheticWorkload::Build(config);
+  ASSERT_TRUE(w.ok());
+  std::mt19937 rng(1);
+  for (int i = 0; i < 20; ++i) {
+    auto q = (*w)->RandomQuery(rng);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    // Leaf activities only.
+    auto children = (*w)->org().activities().Children(q->activity());
+    ASSERT_TRUE(children.ok());
+    EXPECT_TRUE(children->empty());
+  }
+}
+
+TEST(SyntheticTest, RetrievalFindsOnlyEnclosingCases) {
+  // One resource chain, one activity, c disjoint cases: a query value in
+  // case k must retrieve exactly the case-k policy.
+  SyntheticConfig config;
+  config.num_activities = 1;
+  config.num_resources = 1;
+  config.q = 1;
+  config.c = 5;
+  config.intervals = 1;
+  config.case_width = 100;
+  auto w = SyntheticWorkload::Build(config);
+  ASSERT_TRUE(w.ok());
+  for (int64_t k = 0; k < 5; ++k) {
+    rel::ParamMap spec = {{"Act0_p0", rel::Value::Int(k * 100 + 37)}};
+    auto relevant =
+        (*w)->store().RelevantRequirements("Role0", "Act0", spec);
+    ASSERT_TRUE(relevant.ok());
+    EXPECT_EQ(relevant->size(), 1u) << "case " << k;
+  }
+  // Outside every case: nothing.
+  rel::ParamMap outside = {{"Act0_p0", rel::Value::Int(500)}};
+  auto none = (*w)->store().RelevantRequirements("Role0", "Act0", outside);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(SyntheticTest, InstancesCreatedWhenRequested) {
+  SyntheticConfig config;
+  config.num_activities = 3;
+  config.num_resources = 3;
+  config.q = 1;
+  config.c = 1;
+  config.instances_per_resource = 4;
+  auto w = SyntheticWorkload::Build(config);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(*(*w)->org().CountResources("Role1"), 4u);
+}
+
+TEST(SyntheticTest, SubstitutionPoliciesGenerated) {
+  SyntheticConfig config;
+  config.num_activities = 7;
+  config.num_resources = 7;
+  config.q = 1;
+  config.c = 1;
+  config.num_substitutions = 5;
+  auto w = SyntheticWorkload::Build(config);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ((*w)->store().num_substitution_rows(), 5u);
+}
+
+TEST(SyntheticTest, DeterministicUnderSeed) {
+  SyntheticConfig config;
+  config.num_activities = 7;
+  config.num_resources = 7;
+  config.q = 2;
+  config.c = 2;
+  config.seed = 77;
+  auto a = SyntheticWorkload::Build(config);
+  auto b = SyntheticWorkload::Build(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  std::mt19937 ra(9), rb(9);
+  for (int i = 0; i < 5; ++i) {
+    auto qa = (*a)->RandomQuery(ra);
+    auto qb = (*b)->RandomQuery(rb);
+    ASSERT_TRUE(qa.ok() && qb.ok());
+    EXPECT_EQ(qa->ToString(), qb->ToString());
+  }
+}
+
+}  // namespace
+}  // namespace wfrm::policy

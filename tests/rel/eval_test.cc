@@ -1,0 +1,192 @@
+// Expression-evaluator semantics: SQL three-valued logic (Kleene) truth
+// tables, NULL propagation, arithmetic typing, and comparison edge
+// cases. These are the semantics policy Where clauses rely on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rel/executor.h"
+#include "rel/parser.h"
+
+namespace wfrm::rel {
+namespace {
+
+/// Three-valued truth values for table-driven tests.
+enum class TV { kTrue, kFalse, kNull };
+
+const char* TvLiteral(TV v) {
+  switch (v) {
+    case TV::kTrue:
+      return "TRUE";
+    case TV::kFalse:
+      return "FALSE";
+    case TV::kNull:
+      return "NULL";
+  }
+  return "?";
+}
+
+class EvalTest : public ::testing::Test {
+ protected:
+  Result<Value> Eval(const std::string& text) {
+    auto expr = SqlParser::ParseExpr(text);
+    if (!expr.ok()) return expr.status();
+    Executor exec(&db_);
+    return exec.EvalConst(**expr);
+  }
+
+  TV EvalTv(const std::string& text) {
+    auto v = Eval(text);
+    EXPECT_TRUE(v.ok()) << v.status().ToString() << " for " << text;
+    if (!v.ok()) return TV::kNull;
+    if (v->is_null()) return TV::kNull;
+    EXPECT_TRUE(v->is_bool()) << text;
+    return v->bool_value() ? TV::kTrue : TV::kFalse;
+  }
+
+  Database db_;
+};
+
+TEST_F(EvalTest, KleeneAndTruthTable) {
+  const struct {
+    TV a, b, expected;
+  } kTable[] = {
+      {TV::kTrue, TV::kTrue, TV::kTrue},
+      {TV::kTrue, TV::kFalse, TV::kFalse},
+      {TV::kTrue, TV::kNull, TV::kNull},
+      {TV::kFalse, TV::kTrue, TV::kFalse},
+      {TV::kFalse, TV::kFalse, TV::kFalse},
+      {TV::kFalse, TV::kNull, TV::kFalse},  // False dominates.
+      {TV::kNull, TV::kTrue, TV::kNull},
+      {TV::kNull, TV::kFalse, TV::kFalse},
+      {TV::kNull, TV::kNull, TV::kNull},
+  };
+  for (const auto& row : kTable) {
+    std::string text = std::string(TvLiteral(row.a)) + " And " +
+                       TvLiteral(row.b);
+    EXPECT_EQ(EvalTv(text), row.expected) << text;
+  }
+}
+
+TEST_F(EvalTest, KleeneOrTruthTable) {
+  const struct {
+    TV a, b, expected;
+  } kTable[] = {
+      {TV::kTrue, TV::kTrue, TV::kTrue},
+      {TV::kTrue, TV::kNull, TV::kTrue},  // True dominates.
+      {TV::kFalse, TV::kFalse, TV::kFalse},
+      {TV::kFalse, TV::kNull, TV::kNull},
+      {TV::kNull, TV::kTrue, TV::kTrue},
+      {TV::kNull, TV::kFalse, TV::kNull},
+      {TV::kNull, TV::kNull, TV::kNull},
+  };
+  for (const auto& row : kTable) {
+    std::string text = std::string(TvLiteral(row.a)) + " Or " +
+                       TvLiteral(row.b);
+    EXPECT_EQ(EvalTv(text), row.expected) << text;
+  }
+}
+
+TEST_F(EvalTest, NotTruthTable) {
+  EXPECT_EQ(EvalTv("Not TRUE"), TV::kFalse);
+  EXPECT_EQ(EvalTv("Not FALSE"), TV::kTrue);
+  EXPECT_EQ(EvalTv("Not NULL"), TV::kNull);
+}
+
+TEST_F(EvalTest, ComparisonsWithNullAreNull) {
+  EXPECT_EQ(EvalTv("NULL = 1"), TV::kNull);
+  EXPECT_EQ(EvalTv("1 = NULL"), TV::kNull);
+  EXPECT_EQ(EvalTv("NULL != NULL"), TV::kNull);
+  EXPECT_EQ(EvalTv("NULL < 'a'"), TV::kNull);
+}
+
+TEST_F(EvalTest, ArithmeticNullPropagation) {
+  auto v = Eval("1 + NULL");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+  v = Eval("NULL / 0");  // NULL short-circuits even division by zero.
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+  v = Eval("-(NULL)");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST_F(EvalTest, InListThreeValued) {
+  EXPECT_EQ(EvalTv("1 In (1, 2)"), TV::kTrue);
+  EXPECT_EQ(EvalTv("3 In (1, 2)"), TV::kFalse);
+  EXPECT_EQ(EvalTv("3 In (1, NULL)"), TV::kNull);   // Unknown member.
+  EXPECT_EQ(EvalTv("1 In (1, NULL)"), TV::kTrue);   // Match wins.
+  EXPECT_EQ(EvalTv("NULL In (1, 2)"), TV::kNull);   // Unknown needle.
+  EXPECT_EQ(EvalTv("Not 3 In (1, NULL)"), TV::kNull);
+}
+
+TEST_F(EvalTest, IntegerAndDoubleArithmetic) {
+  EXPECT_EQ(Eval("7 / 2")->int_value(), 3);  // Integer division truncates.
+  EXPECT_DOUBLE_EQ(Eval("7.0 / 2")->double_value(), 3.5);
+  EXPECT_EQ(Eval("2 + 3 * 4")->int_value(), 14);
+  EXPECT_DOUBLE_EQ(Eval("1 + 0.5")->double_value(), 1.5);
+  EXPECT_EQ(Eval("-5 - -3")->int_value(), -2);
+}
+
+TEST_F(EvalTest, DivisionByZeroFailsForInts) {
+  EXPECT_FALSE(Eval("1 / 0").ok());
+  // Double division by zero yields infinity rather than an error.
+  auto v = Eval("1.0 / 0");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(std::isinf(v->double_value()));
+}
+
+TEST_F(EvalTest, StringComparisonsAndConcatenation) {
+  EXPECT_EQ(EvalTv("'abc' < 'abd'"), TV::kTrue);
+  EXPECT_EQ(EvalTv("'abc' = 'ABC'"), TV::kFalse);  // Values are exact.
+  EXPECT_EQ(Eval("'foo' + 'bar'")->string_value(), "foobar");
+}
+
+TEST_F(EvalTest, MixedNumericComparisons) {
+  EXPECT_EQ(EvalTv("2 < 2.5"), TV::kTrue);
+  EXPECT_EQ(EvalTv("2.0 = 2"), TV::kTrue);
+  EXPECT_EQ(EvalTv("3 >= 3.0"), TV::kTrue);
+}
+
+TEST_F(EvalTest, TypeErrorsReported) {
+  EXPECT_FALSE(Eval("'a' + 1").ok());
+  EXPECT_FALSE(Eval("'a' < 1").ok());
+  EXPECT_FALSE(Eval("1 And TRUE").ok());
+  EXPECT_FALSE(Eval("Not 1").ok());
+  EXPECT_FALSE(Eval("-'a'").ok());
+}
+
+TEST_F(EvalTest, ScalarFunctionsOnNull) {
+  EXPECT_TRUE(Eval("Upper(NULL)")->is_null());
+  EXPECT_TRUE(Eval("Length(NULL)")->is_null());
+  EXPECT_TRUE(Eval("Abs(NULL)")->is_null());
+  EXPECT_EQ(Eval("Abs(-4)")->int_value(), 4);
+  EXPECT_DOUBLE_EQ(Eval("Abs(-4.5)")->double_value(), 4.5);
+}
+
+TEST_F(EvalTest, UnknownFunctionAndArityErrors) {
+  EXPECT_FALSE(Eval("Frobnicate(1)").ok());
+  EXPECT_FALSE(Eval("Upper('a', 'b')").ok());
+  EXPECT_FALSE(Eval("Upper(1)").ok());
+}
+
+TEST_F(EvalTest, FilterSemanticsNullIsNotTrue) {
+  // A WHERE clause keeps a row only when the predicate is TRUE; NULL
+  // filters out. Verified at the executor level.
+  Table* t = *db_.CreateTable("T", Schema({{"x", DataType::kInt}}));
+  ASSERT_TRUE(t->Insert({Value::Int(1)}).ok());
+  ASSERT_TRUE(t->Insert({Value::Null()}).ok());
+  Executor exec(&db_);
+  auto rs = exec.Query("Select x From T Where x = 1");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->size(), 1u);
+  // NULL row matches neither the predicate nor its negation.
+  auto neg = exec.Query("Select x From T Where Not x = 1");
+  ASSERT_TRUE(neg.ok());
+  EXPECT_EQ(neg->size(), 0u);
+}
+
+}  // namespace
+}  // namespace wfrm::rel

@@ -1,0 +1,444 @@
+#include "rel/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "rel/parser.h"
+
+#include <algorithm>
+
+namespace wfrm::rel {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Engineer(Name, Location, Experience, Language)
+    Table* eng = *db_.CreateTable(
+        "Engineer", Schema({{"Name", DataType::kString},
+                            {"Location", DataType::kString},
+                            {"Experience", DataType::kInt},
+                            {"Language", DataType::kString}}));
+    auto add = [&](const char* n, const char* l, int64_t e, const char* lang) {
+      ASSERT_TRUE(eng->Insert({Value::String(n), Value::String(l),
+                               Value::Int(e), Value::String(lang)})
+                      .ok());
+    };
+    add("Ana", "PA", 7, "Spanish");
+    add("Bo", "PA", 3, "English");
+    add("Cy", "Cupertino", 9, "Spanish");
+    add("Dee", "Cupertino", 2, "French");
+    add("Eli", "Mexico", 11, "Spanish");
+
+    // ReportsTo(Emp, Mgr) — chain for CONNECT BY tests.
+    Table* rep = *db_.CreateTable(
+        "ReportsTo",
+        Schema({{"Emp", DataType::kString}, {"Mgr", DataType::kString}}));
+    auto rel = [&](const char* e, const char* m) {
+      ASSERT_TRUE(rep->Insert({Value::String(e), Value::String(m)}).ok());
+    };
+    rel("ana", "mia");
+    rel("bo", "mia");
+    rel("mia", "zoe");
+    rel("zoe", "root");
+
+    // BelongsTo / Manages for the Figure 3 view test.
+    Table* bel = *db_.CreateTable(
+        "BelongsTo",
+        Schema({{"Employee", DataType::kString}, {"Unit", DataType::kString}}));
+    Table* man = *db_.CreateTable(
+        "Manages",
+        Schema({{"Manager", DataType::kString}, {"Unit", DataType::kString}}));
+    ASSERT_TRUE(
+        bel->Insert({Value::String("ana"), Value::String("U1")}).ok());
+    ASSERT_TRUE(bel->Insert({Value::String("bo"), Value::String("U2")}).ok());
+    ASSERT_TRUE(
+        man->Insert({Value::String("mia"), Value::String("U1")}).ok());
+    ASSERT_TRUE(
+        man->Insert({Value::String("noa"), Value::String("U2")}).ok());
+  }
+
+  ResultSet MustQuery(std::string_view sql, const ParamMap& params = {}) {
+    Executor exec(&db_);
+    auto rs = exec.Query(sql, params);
+    EXPECT_TRUE(rs.ok()) << rs.status().ToString() << " for: " << sql;
+    return rs.ok() ? std::move(rs).ValueOrDie() : ResultSet{};
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorTest, SimpleFilterAndProject) {
+  ResultSet rs = MustQuery("Select Name From Engineer Where Location = 'PA'");
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs.schema.column(0).name, "Name");
+  EXPECT_EQ(rs.rows[0][0].string_value(), "Ana");
+  EXPECT_EQ(rs.rows[1][0].string_value(), "Bo");
+}
+
+TEST_F(ExecutorTest, SelectStarCarriesDeclaredTypes) {
+  ResultSet rs = MustQuery("Select * From Engineer Where Name = 'Ana'");
+  ASSERT_EQ(rs.size(), 1u);
+  ASSERT_EQ(rs.schema.num_columns(), 4u);
+  EXPECT_EQ(rs.schema.column(2).type, DataType::kInt);
+}
+
+TEST_F(ExecutorTest, ComparisonOperators) {
+  EXPECT_EQ(MustQuery("Select Name From Engineer Where Experience > 7").size(),
+            2u);
+  EXPECT_EQ(
+      MustQuery("Select Name From Engineer Where Experience >= 7").size(), 3u);
+  EXPECT_EQ(MustQuery("Select Name From Engineer Where Experience < 3").size(),
+            1u);
+  EXPECT_EQ(
+      MustQuery("Select Name From Engineer Where Experience != 7").size(), 4u);
+}
+
+TEST_F(ExecutorTest, AndOrNot) {
+  EXPECT_EQ(MustQuery("Select Name From Engineer Where Location = 'PA' And "
+                      "Experience > 5")
+                .size(),
+            1u);
+  EXPECT_EQ(MustQuery("Select Name From Engineer Where Location = 'PA' Or "
+                      "Location = 'Mexico'")
+                .size(),
+            3u);
+  EXPECT_EQ(
+      MustQuery("Select Name From Engineer Where Not Location = 'PA'").size(),
+      3u);
+}
+
+TEST_F(ExecutorTest, InListAndInSubquery) {
+  EXPECT_EQ(MustQuery("Select Name From Engineer Where Location In "
+                      "('PA', 'Mexico')")
+                .size(),
+            3u);
+  EXPECT_EQ(MustQuery("Select Emp From ReportsTo Where Mgr In "
+                      "(Select Manager From Manages)")
+                .size(),
+            2u);  // ana, bo report to mia.
+}
+
+TEST_F(ExecutorTest, ArithmeticInProjection) {
+  ResultSet rs =
+      MustQuery("Select Experience * 2 + 1 As x From Engineer Where "
+                "Name = 'Ana'");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].int_value(), 15);
+  EXPECT_EQ(rs.schema.column(0).name, "x");
+}
+
+TEST_F(ExecutorTest, StringConcatenation) {
+  ResultSet rs = MustQuery(
+      "Select Name + '@hp.com' As email From Engineer Where Name = 'Bo'");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].string_value(), "Bo@hp.com");
+}
+
+TEST_F(ExecutorTest, ScalarFunctions) {
+  ResultSet rs = MustQuery(
+      "Select Upper(Name), Lower(Location), Length(Name) From Engineer "
+      "Where Name = 'Ana'");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].string_value(), "ANA");
+  EXPECT_EQ(rs.rows[0][1].string_value(), "pa");
+  EXPECT_EQ(rs.rows[0][2].int_value(), 3);
+}
+
+TEST_F(ExecutorTest, JoinWithQualifiedColumns) {
+  ResultSet rs = MustQuery(
+      "Select BelongsTo.Employee, Manages.Manager From BelongsTo, Manages "
+      "Where BelongsTo.Unit = Manages.Unit");
+  ASSERT_EQ(rs.size(), 2u);
+}
+
+TEST_F(ExecutorTest, JoinWithAliases) {
+  ResultSet rs = MustQuery(
+      "Select b.Employee As Emp, m.Manager As Mgr From BelongsTo b, "
+      "Manages m Where b.Unit = m.Unit And b.Employee = 'ana'");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.rows[0][1].string_value(), "mia");
+}
+
+TEST_F(ExecutorTest, ViewOverJoin) {
+  // The paper's Figure 3 ReportsTo view (named differently here since a
+  // base table ReportsTo already exists in the fixture).
+  auto q = SqlParser::ParseSelect(
+      "Select b.Employee, m.Manager From BelongsTo b, Manages m "
+      "Where b.Unit = m.Unit");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(db_.CreateView("ReportsToView", {"Emp", "Mgr"},
+                             std::move(q).ValueOrDie())
+                  .ok());
+  ResultSet rs =
+      MustQuery("Select Mgr From ReportsToView Where Emp = 'ana'");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].string_value(), "mia");
+}
+
+TEST_F(ExecutorTest, ViewColumnCountMismatchFails) {
+  auto q = SqlParser::ParseSelect("Select Employee, Unit From BelongsTo");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(db_.CreateView("Bad", {"OnlyOne"}, std::move(q).ValueOrDie()).ok());
+  Executor exec(&db_);
+  EXPECT_FALSE(exec.Query("Select OnlyOne From Bad").ok());
+}
+
+TEST_F(ExecutorTest, GroupByCount) {
+  ResultSet rs = MustQuery(
+      "Select Location, Count(*) As n From Engineer Group by Location");
+  ASSERT_EQ(rs.size(), 3u);
+  // Groups come out in key order (std::map): Cupertino, Mexico, PA.
+  EXPECT_EQ(rs.rows[0][0].string_value(), "Cupertino");
+  EXPECT_EQ(rs.rows[0][1].int_value(), 2);
+  EXPECT_EQ(rs.rows[2][0].string_value(), "PA");
+  EXPECT_EQ(rs.rows[2][1].int_value(), 2);
+}
+
+TEST_F(ExecutorTest, GlobalAggregates) {
+  ResultSet rs = MustQuery(
+      "Select Count(*), Sum(Experience), Min(Experience), Max(Experience), "
+      "Avg(Experience) From Engineer");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].int_value(), 5);
+  EXPECT_EQ(rs.rows[0][1].int_value(), 32);
+  EXPECT_EQ(rs.rows[0][2].int_value(), 2);
+  EXPECT_EQ(rs.rows[0][3].int_value(), 11);
+  EXPECT_DOUBLE_EQ(rs.rows[0][4].double_value(), 6.4);
+}
+
+TEST_F(ExecutorTest, GlobalAggregateOnEmptyInput) {
+  ResultSet rs = MustQuery(
+      "Select Count(*), Max(Experience) From Engineer Where Name = 'none'");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].int_value(), 0);
+  EXPECT_TRUE(rs.rows[0][1].is_null());
+}
+
+TEST_F(ExecutorTest, GroupByOnEmptyInputYieldsNoGroups) {
+  ResultSet rs = MustQuery(
+      "Select Location, Count(*) From Engineer Where Name = 'none' "
+      "Group by Location");
+  EXPECT_EQ(rs.size(), 0u);
+}
+
+TEST_F(ExecutorTest, Distinct) {
+  ResultSet rs = MustQuery("Select Distinct Location From Engineer");
+  EXPECT_EQ(rs.size(), 3u);
+}
+
+TEST_F(ExecutorTest, UnionDeduplicates) {
+  ResultSet rs = MustQuery(
+      "Select Name From Engineer Where Location = 'PA' "
+      "Union Select Name From Engineer Where Experience > 5");
+  // PA: Ana, Bo; Exp>5: Ana, Cy, Eli → union {Ana, Bo, Cy, Eli}.
+  EXPECT_EQ(rs.size(), 4u);
+}
+
+TEST_F(ExecutorTest, UnionArityMismatchFails) {
+  Executor exec(&db_);
+  EXPECT_FALSE(exec.Query("Select Name From Engineer Union "
+                          "Select Name, Location From Engineer")
+                   .ok());
+}
+
+TEST_F(ExecutorTest, ScalarSubquery) {
+  ResultSet rs = MustQuery(
+      "Select Name From Engineer Where Experience = "
+      "(Select Max(Experience) From Engineer)");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].string_value(), "Eli");
+}
+
+TEST_F(ExecutorTest, ScalarSubqueryNoRowsIsNull) {
+  // NULL comparison filters everything out rather than erroring.
+  ResultSet rs = MustQuery(
+      "Select Name From Engineer Where Experience = "
+      "(Select Experience From Engineer Where Name = 'none')");
+  EXPECT_EQ(rs.size(), 0u);
+}
+
+TEST_F(ExecutorTest, ScalarSubqueryMultipleRowsFails) {
+  Executor exec(&db_);
+  EXPECT_FALSE(exec.Query("Select Name From Engineer Where Experience = "
+                          "(Select Experience From Engineer)")
+                   .ok());
+}
+
+TEST_F(ExecutorTest, CorrelatedSubquery) {
+  // Engineers whose experience is the maximum at their location.
+  ResultSet rs = MustQuery(
+      "Select Name From Engineer e Where Experience = "
+      "(Select Max(Experience) From Engineer i Where i.Location = "
+      "e.Location)");
+  ASSERT_EQ(rs.size(), 3u);  // Ana (PA), Cy (Cupertino), Eli (Mexico).
+}
+
+TEST_F(ExecutorTest, ParameterBinding) {
+  ParamMap params;
+  params["Requester"] = Value::String("ana");
+  ResultSet rs = MustQuery(
+      "Select Mgr From ReportsTo Where Emp = [Requester]", params);
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].string_value(), "mia");
+}
+
+TEST_F(ExecutorTest, UnboundParameterFails) {
+  Executor exec(&db_);
+  auto rs = exec.Query("Select Mgr From ReportsTo Where Emp = [Requester]");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_NE(rs.status().message().find("Requester"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, ConnectByLevel2FindsManagersManager) {
+  // The Figure 8 second policy: the manager's manager of the requester.
+  ParamMap params;
+  params["Requester"] = Value::String("ana");
+  ResultSet rs = MustQuery(
+      "Select Mgr From ReportsTo Where level = 2 "
+      "Start with Emp = [Requester] Connect by Prior Mgr = Emp",
+      params);
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].string_value(), "zoe");
+}
+
+TEST_F(ExecutorTest, ConnectByWholeChain) {
+  ParamMap params;
+  params["Requester"] = Value::String("ana");
+  ResultSet rs = MustQuery(
+      "Select Mgr, level From ReportsTo "
+      "Start with Emp = [Requester] Connect by Prior Mgr = Emp",
+      params);
+  // ana→mia (level 1), mia→zoe (2), zoe→root (3).
+  ASSERT_EQ(rs.size(), 3u);
+  EXPECT_EQ(rs.rows[0][0].string_value(), "mia");
+  EXPECT_EQ(rs.rows[0][1].int_value(), 1);
+}
+
+TEST_F(ExecutorTest, ConnectByCycleDetected) {
+  Table* rep = db_.GetTable("ReportsTo");
+  ASSERT_TRUE(
+      rep->Insert({Value::String("root"), Value::String("ana")}).ok());
+  Executor exec(&db_);
+  ParamMap params;
+  params["Requester"] = Value::String("ana");
+  auto rs = exec.Query(
+      "Select Mgr From ReportsTo Start with Emp = [Requester] "
+      "Connect by Prior Mgr = Emp",
+      params);
+  ASSERT_FALSE(rs.ok());
+  EXPECT_NE(rs.status().message().find("depth"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, ConnectByRequiresSingleRelation) {
+  Executor exec(&db_);
+  EXPECT_FALSE(exec.Query("Select 1 From BelongsTo, Manages "
+                          "Start with Employee = 'x' Connect by Prior "
+                          "Employee = Employee")
+                   .ok());
+}
+
+TEST_F(ExecutorTest, IndexAccessPathProducesSameResults) {
+  Table* eng = db_.GetTable("Engineer");
+  ASSERT_TRUE(
+      eng->CreateOrderedIndex("by_loc_exp", {"Location", "Experience"}).ok());
+
+  Executor with_idx(&db_, ExecOptions{.use_indexes = true});
+  Executor no_idx(&db_, ExecOptions{.use_indexes = false});
+  const char* queries[] = {
+      "Select Name From Engineer Where Location = 'PA'",
+      "Select Name From Engineer Where Location = 'PA' And Experience > 4",
+      "Select Name From Engineer Where Location = 'PA' And Experience >= 3 "
+      "And Experience < 7",
+      "Select Name From Engineer Where Experience > 100",
+      "Select Name From Engineer Where Location = 'Mexico' And "
+      "Language = 'Spanish'",
+  };
+  for (const char* q : queries) {
+    auto a = with_idx.Query(q);
+    auto b = no_idx.Query(q);
+    ASSERT_TRUE(a.ok()) << q;
+    ASSERT_TRUE(b.ok()) << q;
+    auto names = [](const ResultSet& rs) {
+      std::vector<std::string> out;
+      for (const Row& r : rs.rows) out.push_back(r[0].string_value());
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+    EXPECT_EQ(names(*a), names(*b)) << q;
+  }
+  EXPECT_GT(with_idx.stats().index_probes, 0u);
+  EXPECT_EQ(no_idx.stats().index_probes, 0u);
+}
+
+TEST_F(ExecutorTest, NullComparisonsFilterOut) {
+  Table* eng = db_.GetTable("Engineer");
+  ASSERT_TRUE(eng->Insert({Value::String("Nul"), Value::Null(), Value::Null(),
+                           Value::Null()})
+                  .ok());
+  // NULL location row never matches either branch.
+  EXPECT_EQ(MustQuery("Select Name From Engineer Where Location = 'PA' Or "
+                      "Not Location = 'PA'")
+                .size(),
+            5u);
+}
+
+TEST_F(ExecutorTest, AmbiguousColumnFails) {
+  Executor exec(&db_);
+  // Unit exists in both relations.
+  EXPECT_FALSE(
+      exec.Query("Select Unit From BelongsTo, Manages").ok());
+}
+
+TEST_F(ExecutorTest, UnknownRelationAndColumnFail) {
+  Executor exec(&db_);
+  EXPECT_TRUE(exec.Query("Select x From Nowhere").status().IsNotFound());
+  EXPECT_TRUE(
+      exec.Query("Select Missing From Engineer").status().IsNotFound());
+}
+
+TEST_F(ExecutorTest, DivisionByZeroFails) {
+  Executor exec(&db_);
+  EXPECT_FALSE(exec.Query("Select Experience / 0 From Engineer").ok());
+}
+
+TEST_F(ExecutorTest, SelfJoinWithAliases) {
+  // Colleagues: pairs of engineers sharing a location.
+  ResultSet rs = MustQuery(
+      "Select a.Name, b.Name From Engineer a, Engineer b "
+      "Where a.Location = b.Location And a.Name < b.Name");
+  // PA: (Ana,Bo); Cupertino: (Cy,Dee). Mexico has one engineer.
+  EXPECT_EQ(rs.size(), 2u);
+}
+
+TEST_F(ExecutorTest, ViewOverView) {
+  auto v1 = SqlParser::ParseSelect(
+      "Select Name, Experience From Engineer Where Location = 'PA'");
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(db_.CreateView("PaEngineers", {}, std::move(v1).ValueOrDie())
+                  .ok());
+  auto v2 = SqlParser::ParseSelect(
+      "Select Name From PaEngineers Where Experience > 5");
+  ASSERT_TRUE(v2.ok());
+  ASSERT_TRUE(
+      db_.CreateView("SeniorPa", {}, std::move(v2).ValueOrDie()).ok());
+  ResultSet rs = MustQuery("Select * From SeniorPa");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].string_value(), "Ana");
+}
+
+TEST_F(ExecutorTest, CrossJoinThreeRelations) {
+  ResultSet rs = MustQuery(
+      "Select b.Employee From BelongsTo b, Manages m, Engineer e "
+      "Where b.Unit = m.Unit And e.Name = 'Ana' And m.Manager = 'mia'");
+  EXPECT_EQ(rs.size(), 1u);
+}
+
+TEST_F(ExecutorTest, StatsCountScans) {
+  Executor exec(&db_);
+  exec.ResetStats();
+  ASSERT_TRUE(exec.Query("Select Name From Engineer").ok());
+  EXPECT_EQ(exec.stats().rows_scanned, 5u);
+}
+
+}  // namespace
+}  // namespace wfrm::rel

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "rel/executor.h"
+#include "rel/parser.h"
+
+namespace wfrm::rel {
+namespace {
+
+class HavingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table* t = *db_.CreateTable("Emp", Schema({{"Dept", DataType::kString},
+                                               {"Salary", DataType::kInt}}));
+    auto add = [&](const char* d, int64_t s) {
+      ASSERT_TRUE(t->Insert({Value::String(d), Value::Int(s)}).ok());
+    };
+    add("eng", 100);
+    add("eng", 200);
+    add("eng", 300);
+    add("ops", 400);
+    add("ops", 500);
+    add("hr", 600);
+  }
+
+  ResultSet MustQuery(std::string_view sql) {
+    Executor exec(&db_);
+    auto rs = exec.Query(sql);
+    EXPECT_TRUE(rs.ok()) << rs.status().ToString() << " for: " << sql;
+    return rs.ok() ? std::move(rs).ValueOrDie() : ResultSet{};
+  }
+
+  Database db_;
+};
+
+TEST_F(HavingTest, FiltersGroupsByAggregateAlias) {
+  auto rs = MustQuery(
+      "Select Dept, Count(*) As n From Emp Group By Dept Having n >= 2");
+  ASSERT_EQ(rs.size(), 2u);  // eng (3), ops (2).
+  for (const Row& row : rs.rows) {
+    EXPECT_GE(row[1].int_value(), 2);
+  }
+}
+
+TEST_F(HavingTest, FiltersByGroupKey) {
+  auto rs = MustQuery(
+      "Select Dept, Sum(Salary) As total From Emp Group By Dept "
+      "Having Dept != 'hr'");
+  EXPECT_EQ(rs.size(), 2u);
+}
+
+TEST_F(HavingTest, CombinesWithWhereOrderAndLimit) {
+  auto rs = MustQuery(
+      "Select Dept, Sum(Salary) As total From Emp Where Salary > 100 "
+      "Group By Dept Having total >= 500 Order By total Desc Limit 1");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].string_value(), "ops");
+  EXPECT_EQ(rs.rows[0][1].int_value(), 900);
+}
+
+TEST_F(HavingTest, GlobalAggregateHaving) {
+  auto all = MustQuery(
+      "Select Count(*) As n From Emp Having n > 3");
+  EXPECT_EQ(all.size(), 1u);
+  auto none = MustQuery(
+      "Select Count(*) As n From Emp Having n > 100");
+  EXPECT_EQ(none.size(), 0u);
+}
+
+TEST_F(HavingTest, HavingWithoutAggregatesRejected) {
+  Executor exec(&db_);
+  EXPECT_FALSE(exec.Query("Select Dept From Emp Having Dept = 'x'").ok());
+}
+
+TEST_F(HavingTest, DuplicateHavingRejected) {
+  EXPECT_FALSE(SqlParser::ParseSelect(
+                   "Select Dept, Count(*) As n From Emp Group By Dept "
+                   "Having n > 1 Having n > 2")
+                   .ok());
+}
+
+TEST_F(HavingTest, ToStringRoundTrips) {
+  auto stmt = SqlParser::ParseSelect(
+      "Select Dept, Count(*) As n From Emp Group By Dept Having n >= 2 "
+      "Order By n Desc");
+  ASSERT_TRUE(stmt.ok());
+  auto reparsed = SqlParser::ParseSelect((*stmt)->ToString());
+  ASSERT_TRUE(reparsed.ok()) << (*stmt)->ToString();
+  EXPECT_EQ((*stmt)->ToString(), (*reparsed)->ToString());
+  EXPECT_EQ((*stmt)->ToString(), (*stmt)->Clone()->ToString());
+}
+
+}  // namespace
+}  // namespace wfrm::rel

@@ -1,0 +1,185 @@
+#include "rel/index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace wfrm::rel {
+namespace {
+
+// Builds an index over rows of (Attribute STRING, Lower INT, Upper INT)
+// keyed on all three columns — the shape of the paper's Filter table
+// concatenated index (§5.2).
+class FilterIndexTest : public ::testing::Test {
+ protected:
+  FilterIndexTest() : index_("cat", {0, 1, 2}) {}
+
+  RowId Add(const char* attr, int64_t lower, int64_t upper) {
+    Row row = {Value::String(attr), Value::Int(lower), Value::Int(upper)};
+    rows_.push_back(row);
+    RowId rid = rows_.size() - 1;
+    index_.Insert(row, rid);
+    return rid;
+  }
+
+  OrderedIndex index_;
+  std::vector<Row> rows_;
+};
+
+TEST_F(FilterIndexTest, EqualityPrefixProbe) {
+  Add("NumberOfLines", 10000, 1 << 30);
+  Add("NumberOfLines", 0, 9999);
+  Add("Location", 5, 5);
+  IndexProbe probe;
+  probe.equals = {Value::String("NumberOfLines")};
+  EXPECT_EQ(index_.Scan(probe).size(), 2u);
+  probe.equals = {Value::String("Location")};
+  EXPECT_EQ(index_.Scan(probe).size(), 1u);
+  probe.equals = {Value::String("Missing")};
+  EXPECT_TRUE(index_.Scan(probe).empty());
+}
+
+TEST_F(FilterIndexTest, RangeAfterPrefix) {
+  Add("a", 1, 10);
+  Add("a", 5, 10);
+  Add("a", 9, 10);
+  Add("b", 5, 10);
+  IndexProbe probe;
+  probe.equals = {Value::String("a")};
+  probe.upper = Bound{Value::Int(5), /*inclusive=*/true};
+  // Lower bounds <= 5: rows with Lower in {1, 5}.
+  EXPECT_EQ(index_.Scan(probe).size(), 2u);
+  probe.upper->inclusive = false;
+  EXPECT_EQ(index_.Scan(probe).size(), 1u);
+}
+
+TEST_F(FilterIndexTest, LowerBoundProbe) {
+  Add("a", 1, 10);
+  Add("a", 5, 10);
+  Add("a", 9, 10);
+  IndexProbe probe;
+  probe.equals = {Value::String("a")};
+  probe.lower = Bound{Value::Int(5), /*inclusive=*/true};
+  EXPECT_EQ(index_.Scan(probe).size(), 2u);
+  probe.lower->inclusive = false;
+  EXPECT_EQ(index_.Scan(probe).size(), 1u);
+}
+
+TEST_F(FilterIndexTest, BothBounds) {
+  for (int i = 0; i < 10; ++i) Add("a", i, 100);
+  IndexProbe probe;
+  probe.equals = {Value::String("a")};
+  probe.lower = Bound{Value::Int(3), true};
+  probe.upper = Bound{Value::Int(6), true};
+  EXPECT_EQ(index_.Scan(probe).size(), 4u);  // 3,4,5,6
+}
+
+TEST_F(FilterIndexTest, EmptyProbeScansAll) {
+  Add("a", 1, 2);
+  Add("b", 3, 4);
+  IndexProbe probe;  // No constraints.
+  EXPECT_EQ(index_.Scan(probe).size(), 2u);
+}
+
+TEST_F(FilterIndexTest, DuplicateKeysKeepAllPostings) {
+  Add("a", 1, 2);
+  Add("a", 1, 2);
+  IndexProbe probe;
+  probe.equals = {Value::String("a"), Value::Int(1), Value::Int(2)};
+  EXPECT_EQ(index_.Scan(probe).size(), 2u);
+  EXPECT_EQ(index_.num_keys(), 1u);
+}
+
+TEST_F(FilterIndexTest, EraseRemovesOnlyTargetPosting) {
+  RowId a = Add("a", 1, 2);
+  Add("a", 1, 2);
+  index_.Erase(rows_[a], a);
+  IndexProbe probe;
+  probe.equals = {Value::String("a")};
+  EXPECT_EQ(index_.Scan(probe).size(), 1u);
+}
+
+TEST_F(FilterIndexTest, StatsCountVisitedEntries) {
+  Add("a", 1, 2);
+  Add("b", 3, 4);
+  index_.ResetStats();
+  IndexProbe probe;
+  probe.equals = {Value::String("a")};
+  index_.Scan(probe);
+  // Visits the 'a' entry plus the 'b' entry that terminates the scan.
+  EXPECT_GE(index_.entries_visited(), 1u);
+  EXPECT_LE(index_.entries_visited(), 2u);
+}
+
+TEST(IndexKeyLessTest, LexicographicWithPrefixes) {
+  IndexKeyLess less;
+  IndexKey a = {Value::String("a")};
+  IndexKey ab = {Value::String("a"), Value::Int(1)};
+  IndexKey b = {Value::String("b")};
+  EXPECT_TRUE(less(a, ab));   // Prefix sorts first.
+  EXPECT_TRUE(less(ab, b));
+  EXPECT_FALSE(less(b, ab));
+  EXPECT_FALSE(less(a, a));
+}
+
+TEST(OrderedIndexPropertyTest, ScanMatchesBruteForce) {
+  // Randomized equivalence: index range scans agree with a brute-force
+  // filter over the same rows.
+  std::mt19937 rng(20260704);
+  std::uniform_int_distribution<int> attr_dist(0, 3);
+  std::uniform_int_distribution<int64_t> val_dist(0, 50);
+  const char* attrs[] = {"w", "x", "y", "z"};
+
+  OrderedIndex index("i", {0, 1});
+  std::vector<Row> rows;
+  for (int i = 0; i < 500; ++i) {
+    Row row = {Value::String(attrs[attr_dist(rng)]),
+               Value::Int(val_dist(rng))};
+    rows.push_back(row);
+    index.Insert(row, rows.size() - 1);
+  }
+
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string attr = attrs[attr_dist(rng)];
+    int64_t lo = val_dist(rng);
+    int64_t hi = val_dist(rng);
+    if (lo > hi) std::swap(lo, hi);
+    bool lo_incl = trial % 2 == 0;
+    bool hi_incl = trial % 3 == 0;
+
+    IndexProbe probe;
+    probe.equals = {Value::String(attr)};
+    probe.lower = Bound{Value::Int(lo), lo_incl};
+    probe.upper = Bound{Value::Int(hi), hi_incl};
+    std::vector<RowId> got = index.Scan(probe);
+    std::sort(got.begin(), got.end());
+
+    std::vector<RowId> want;
+    for (RowId rid = 0; rid < rows.size(); ++rid) {
+      if (rows[rid][0].string_value() != attr) continue;
+      int64_t v = rows[rid][1].int_value();
+      bool lower_ok = lo_incl ? v >= lo : v > lo;
+      bool upper_ok = hi_incl ? v <= hi : v < hi;
+      if (lower_ok && upper_ok) want.push_back(rid);
+    }
+    EXPECT_EQ(got, want) << "attr=" << attr << " lo=" << lo << " hi=" << hi
+                         << " lo_incl=" << lo_incl << " hi_incl=" << hi_incl;
+  }
+}
+
+TEST(HashIndexTest, LookupExactKeyOnly) {
+  HashIndex h("h", {0});
+  Row r1 = {Value::String("a")};
+  Row r2 = {Value::String("b")};
+  h.Insert(r1, 0);
+  h.Insert(r2, 1);
+  EXPECT_EQ(h.Lookup({Value::String("a")}).size(), 1u);
+  EXPECT_EQ(h.Lookup({Value::String("c")}).size(), 0u);
+  h.Erase(r1, 0);
+  EXPECT_EQ(h.Lookup({Value::String("a")}).size(), 0u);
+  EXPECT_EQ(h.num_keys(), 1u);
+}
+
+}  // namespace
+}  // namespace wfrm::rel

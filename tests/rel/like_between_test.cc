@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "rel/executor.h"
+#include "rel/parser.h"
+
+namespace wfrm::rel {
+namespace {
+
+class LikeBetweenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table* t = *db_.CreateTable("Emp", Schema({{"Name", DataType::kString},
+                                               {"Email", DataType::kString},
+                                               {"Salary", DataType::kInt}}));
+    auto add = [&](const char* n, const char* e, int64_t s) {
+      ASSERT_TRUE(
+          t->Insert({Value::String(n), Value::String(e), Value::Int(s)}).ok());
+    };
+    add("alice", "alice@acme.example", 100);
+    add("bob", "bob@acme.example", 250);
+    add("carol", "carol@other.example", 400);
+    add("dave", "dave@acme.example", 550);
+  }
+
+  size_t Count(std::string_view sql) {
+    Executor exec(&db_);
+    auto rs = exec.Query(sql);
+    EXPECT_TRUE(rs.ok()) << rs.status().ToString() << " for: " << sql;
+    return rs.ok() ? rs->size() : 0;
+  }
+
+  Result<Value> Eval(const std::string& text) {
+    auto e = SqlParser::ParseExpr(text);
+    if (!e.ok()) return e.status();
+    Executor exec(&db_);
+    return exec.EvalConst(**e);
+  }
+
+  Database db_;
+};
+
+TEST_F(LikeBetweenTest, LikePercentWildcard) {
+  EXPECT_EQ(Count("Select Name From Emp Where Email Like '%@acme.example'"),
+            3u);
+  EXPECT_EQ(Count("Select Name From Emp Where Name Like 'a%'"), 1u);
+  EXPECT_EQ(Count("Select Name From Emp Where Name Like '%a%'"), 3u);
+  EXPECT_EQ(Count("Select Name From Emp Where Email Like '%'"), 4u);
+}
+
+TEST_F(LikeBetweenTest, LikeUnderscoreWildcard) {
+  EXPECT_EQ(Count("Select Name From Emp Where Name Like '___'"), 1u);  // bob.
+  EXPECT_EQ(Count("Select Name From Emp Where Name Like 'd_ve'"), 1u);
+  EXPECT_EQ(Count("Select Name From Emp Where Name Like '_ob'"), 1u);
+}
+
+TEST_F(LikeBetweenTest, LikeExactAndNoMatch) {
+  EXPECT_EQ(Count("Select Name From Emp Where Name Like 'alice'"), 1u);
+  EXPECT_EQ(Count("Select Name From Emp Where Name Like 'ali'"), 0u);
+  EXPECT_EQ(Count("Select Name From Emp Where Name Like 'zz%'"), 0u);
+}
+
+TEST_F(LikeBetweenTest, NotLike) {
+  EXPECT_EQ(
+      Count("Select Name From Emp Where Email Not Like '%@acme.example'"),
+      1u);
+}
+
+TEST_F(LikeBetweenTest, LikeBacktracking) {
+  // Patterns that force '%' backtracking.
+  EXPECT_EQ(*Eval("'aaab' Like '%ab'"), Value::Bool(true));
+  EXPECT_EQ(*Eval("'abcabc' Like '%abc'"), Value::Bool(true));
+  EXPECT_EQ(*Eval("'abcab' Like '%abc'"), Value::Bool(false));
+  EXPECT_EQ(*Eval("'mississippi' Like '%iss%ppi'"), Value::Bool(true));
+  EXPECT_EQ(*Eval("'' Like '%'"), Value::Bool(true));
+  EXPECT_EQ(*Eval("'' Like '_'"), Value::Bool(false));
+  EXPECT_EQ(*Eval("'x' Like '%%x%%'"), Value::Bool(true));
+}
+
+TEST_F(LikeBetweenTest, LikeThreeValuedAndTypeChecked) {
+  EXPECT_TRUE(Eval("NULL Like '%'")->is_null());
+  EXPECT_TRUE(Eval("'a' Like NULL")->is_null());
+  EXPECT_FALSE(Eval("1 Like '%'").ok());
+  EXPECT_FALSE(Eval("'a' Like 1").ok());
+}
+
+TEST_F(LikeBetweenTest, BetweenDesugarsToInclusiveRange) {
+  EXPECT_EQ(Count("Select Name From Emp Where Salary Between 100 And 400"),
+            3u);  // 100, 250, 400 — both ends inclusive.
+  EXPECT_EQ(Count("Select Name From Emp Where Salary Between 101 And 399"),
+            1u);
+  EXPECT_EQ(
+      Count("Select Name From Emp Where Salary Not Between 100 And 400"), 1u);
+}
+
+TEST_F(LikeBetweenTest, BetweenToStringShowsDesugaredForm) {
+  auto e = SqlParser::ParseExpr("Salary Between 10 And 20");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "Salary >= 10 And Salary <= 20");
+}
+
+TEST_F(LikeBetweenTest, BetweenInsideLargerExpression) {
+  EXPECT_EQ(Count("Select Name From Emp Where Salary Between 100 And 400 "
+                  "And Name Like '%b%'"),
+            1u);  // bob.
+  EXPECT_EQ(Count("Select Name From Emp Where Salary Between 100 And 250 Or "
+                  "Salary Between 500 And 600"),
+            3u);
+}
+
+TEST_F(LikeBetweenTest, BetweenWorksInPolicyRangeClauses) {
+  // BETWEEN desugars to >= / <=, so the DNF normalizer accepts it in
+  // With clauses transparently (interval [10, 20]).
+  auto e = SqlParser::ParseExpr("Amount Between 10 And 20");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "Amount >= 10 And Amount <= 20");
+}
+
+TEST_F(LikeBetweenTest, ParseErrors) {
+  EXPECT_FALSE(SqlParser::ParseExpr("x Between 1").ok());
+  EXPECT_FALSE(SqlParser::ParseExpr("x Between 1 Or 2").ok());
+  EXPECT_FALSE(SqlParser::ParseExpr("x Like").ok());
+  EXPECT_FALSE(SqlParser::ParseExpr("x Not Between").ok());
+}
+
+TEST_F(LikeBetweenTest, ToStringRoundTrips) {
+  for (const char* text :
+       {"Name Like 'a%'", "Not (Name Like '_b%')",
+        "Salary >= 10 And Salary <= 20"}) {
+    auto e = SqlParser::ParseExpr(text);
+    ASSERT_TRUE(e.ok()) << text;
+    auto e2 = SqlParser::ParseExpr((*e)->ToString());
+    ASSERT_TRUE(e2.ok()) << (*e)->ToString();
+    EXPECT_EQ((*e)->ToString(), (*e2)->ToString());
+  }
+}
+
+}  // namespace
+}  // namespace wfrm::rel

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "rel/executor.h"
+#include "rel/parser.h"
+
+namespace wfrm::rel {
+namespace {
+
+class OrderByTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table* t = *db_.CreateTable("Emp", Schema({{"Name", DataType::kString},
+                                               {"Dept", DataType::kString},
+                                               {"Salary", DataType::kInt}}));
+    auto add = [&](const char* n, const char* d, int64_t s) {
+      ASSERT_TRUE(
+          t->Insert({Value::String(n), Value::String(d), Value::Int(s)}).ok());
+    };
+    add("carol", "eng", 300);
+    add("alice", "eng", 100);
+    add("erin", "ops", 500);
+    add("bob", "ops", 200);
+    add("dave", "eng", 400);
+  }
+
+  ResultSet MustQuery(std::string_view sql) {
+    Executor exec(&db_);
+    auto rs = exec.Query(sql);
+    EXPECT_TRUE(rs.ok()) << rs.status().ToString() << " for: " << sql;
+    return rs.ok() ? std::move(rs).ValueOrDie() : ResultSet{};
+  }
+
+  std::vector<std::string> Names(const ResultSet& rs) {
+    std::vector<std::string> out;
+    for (const Row& r : rs.rows) out.push_back(r[0].string_value());
+    return out;
+  }
+
+  Database db_;
+};
+
+TEST_F(OrderByTest, AscendingByInt) {
+  auto rs = MustQuery("Select Name, Salary From Emp Order By Salary");
+  EXPECT_EQ(Names(rs), (std::vector<std::string>{"alice", "bob", "carol",
+                                                 "dave", "erin"}));
+}
+
+TEST_F(OrderByTest, DescendingByInt) {
+  auto rs = MustQuery("Select Name From Emp Order By Salary Desc");
+  ASSERT_EQ(rs.size(), 5u);
+  EXPECT_EQ(rs.rows[0][0].string_value(), "erin");
+  EXPECT_EQ(rs.rows[4][0].string_value(), "alice");
+}
+
+TEST_F(OrderByTest, MultipleKeys) {
+  auto rs = MustQuery("Select Name From Emp Order By Dept, Salary Desc");
+  // eng by salary desc: dave, carol, alice; then ops: erin, bob.
+  EXPECT_EQ(Names(rs), (std::vector<std::string>{"dave", "carol", "alice",
+                                                 "erin", "bob"}));
+}
+
+TEST_F(OrderByTest, OrderByStringAndAsc) {
+  auto rs = MustQuery("Select Name From Emp Order By Name Asc");
+  EXPECT_EQ(Names(rs), (std::vector<std::string>{"alice", "bob", "carol",
+                                                 "dave", "erin"}));
+}
+
+TEST_F(OrderByTest, OrderByAliasAndExpression) {
+  auto rs = MustQuery(
+      "Select Name, Salary * 2 As Double_pay From Emp Order By Double_pay "
+      "Desc Limit 2");
+  EXPECT_EQ(Names(rs), (std::vector<std::string>{"erin", "dave"}));
+}
+
+TEST_F(OrderByTest, Limit) {
+  EXPECT_EQ(MustQuery("Select Name From Emp Limit 3").size(), 3u);
+  EXPECT_EQ(MustQuery("Select Name From Emp Limit 0").size(), 0u);
+  EXPECT_EQ(MustQuery("Select Name From Emp Limit 100").size(), 5u);
+}
+
+TEST_F(OrderByTest, OrderByWithGroupBy) {
+  auto rs = MustQuery(
+      "Select Dept, Count(*) As n From Emp Group By Dept Order By n Desc");
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].string_value(), "eng");
+  EXPECT_EQ(rs.rows[0][1].int_value(), 3);
+}
+
+TEST_F(OrderByTest, OrderByAppliesToUnionResult) {
+  auto rs = MustQuery(
+      "Select Name From Emp Where Dept = 'eng' Order By Name Desc "
+      "Union Select Name From Emp Where Dept = 'ops'");
+  // Hmm: Order By written before Union attaches to the outer statement
+  // and sorts the combined result.
+  ASSERT_EQ(rs.size(), 5u);
+  EXPECT_EQ(rs.rows[0][0].string_value(), "erin");
+  EXPECT_EQ(rs.rows[4][0].string_value(), "alice");
+}
+
+TEST_F(OrderByTest, OrderByOnInnerUnionArmRejected) {
+  Executor exec(&db_);
+  auto rs = exec.Query(
+      "Select Name From Emp Union Select Name From Emp Order By Name");
+  EXPECT_FALSE(rs.ok());
+}
+
+TEST_F(OrderByTest, SortIsStable) {
+  // Equal keys keep input order: salaries tie after integer division.
+  auto rs = MustQuery("Select Name From Emp Order By Salary / 1000");
+  // All keys are 0 → original insertion order preserved.
+  EXPECT_EQ(Names(rs), (std::vector<std::string>{"carol", "alice", "erin",
+                                                 "bob", "dave"}));
+}
+
+TEST_F(OrderByTest, NullsSortFirst) {
+  Table* t = db_.GetTable("Emp");
+  ASSERT_TRUE(
+      t->Insert({Value::String("nil"), Value::Null(), Value::Null()}).ok());
+  auto rs = MustQuery("Select Name From Emp Order By Salary");
+  EXPECT_EQ(rs.rows[0][0].string_value(), "nil");
+  auto desc = MustQuery("Select Name From Emp Order By Salary Desc");
+  EXPECT_EQ(desc.rows[5][0].string_value(), "nil");
+}
+
+TEST_F(OrderByTest, ParseErrors) {
+  Executor exec(&db_);
+  EXPECT_FALSE(SqlParser::ParseSelect("Select x From T Order By").ok());
+  EXPECT_FALSE(SqlParser::ParseSelect("Select x From T Limit -1").ok());
+  EXPECT_FALSE(SqlParser::ParseSelect("Select x From T Limit many").ok());
+}
+
+TEST_F(OrderByTest, ToStringRoundTrips) {
+  auto stmt = SqlParser::ParseSelect(
+      "Select Name From Emp Order By Salary Desc, Name Limit 3");
+  ASSERT_TRUE(stmt.ok());
+  auto reparsed = SqlParser::ParseSelect((*stmt)->ToString());
+  ASSERT_TRUE(reparsed.ok()) << (*stmt)->ToString();
+  EXPECT_EQ((*stmt)->ToString(), (*reparsed)->ToString());
+  auto clone = (*stmt)->Clone();
+  EXPECT_EQ((*stmt)->ToString(), clone->ToString());
+}
+
+TEST_F(OrderByTest, UnknownOrderKeyFails) {
+  Executor exec(&db_);
+  EXPECT_FALSE(exec.Query("Select Name From Emp Order By Ghost").ok());
+}
+
+}  // namespace
+}  // namespace wfrm::rel

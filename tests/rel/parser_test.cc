@@ -1,0 +1,232 @@
+#include "rel/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace wfrm::rel {
+namespace {
+
+SelectPtr MustParse(std::string_view sql) {
+  auto r = SqlParser::ParseSelect(sql);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for: " << sql;
+  return r.ok() ? std::move(r).ValueOrDie() : nullptr;
+}
+
+ExprPtr MustParseExpr(std::string_view text) {
+  auto r = SqlParser::ParseExpr(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for: " << text;
+  return r.ok() ? std::move(r).ValueOrDie() : nullptr;
+}
+
+TEST(SqlParserTest, SimpleSelect) {
+  auto stmt = MustParse("Select ContactInfo From Engineer Where Location = 'PA'");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->items.size(), 1u);
+  EXPECT_FALSE(stmt->items[0].is_star);
+  ASSERT_EQ(stmt->from.size(), 1u);
+  EXPECT_EQ(stmt->from[0].name, "Engineer");
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(stmt->where->ToString(), "Location = 'PA'");
+}
+
+TEST(SqlParserTest, SelectStar) {
+  auto stmt = MustParse("Select * From T");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_TRUE(stmt->items[0].is_star);
+}
+
+TEST(SqlParserTest, MultipleItemsAndAliases) {
+  auto stmt = MustParse("Select a As x, b, t.c From T t");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->items.size(), 3u);
+  EXPECT_EQ(stmt->items[0].alias, "x");
+  EXPECT_EQ(stmt->items[2].expr->ToString(), "t.c");
+  EXPECT_EQ(stmt->from[0].alias, "t");
+  EXPECT_EQ(stmt->from[0].BindingName(), "t");
+}
+
+TEST(SqlParserTest, JoinFromList) {
+  auto stmt = MustParse(
+      "Select Emp, Mgr From BelongsTo b, Manages m Where b.Unit = m.Unit");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->from.size(), 2u);
+  EXPECT_EQ(stmt->from[0].BindingName(), "b");
+  EXPECT_EQ(stmt->from[1].BindingName(), "m");
+}
+
+TEST(SqlParserTest, OperatorPrecedence) {
+  auto e = MustParseExpr("a = 1 Or b = 2 And c = 3");
+  ASSERT_NE(e, nullptr);
+  // And binds tighter than Or.
+  EXPECT_EQ(e->ToString(), "a = 1 Or b = 2 And c = 3");
+  auto* bin = static_cast<BinaryExpr*>(e.get());
+  EXPECT_EQ(bin->op(), BinaryOp::kOr);
+}
+
+TEST(SqlParserTest, ParenthesesOverridePrecedence) {
+  auto e = MustParseExpr("(a = 1 Or b = 2) And c = 3");
+  auto* bin = static_cast<BinaryExpr*>(e.get());
+  EXPECT_EQ(bin->op(), BinaryOp::kAnd);
+  EXPECT_EQ(e->ToString(), "(a = 1 Or b = 2) And c = 3");
+}
+
+TEST(SqlParserTest, ArithmeticPrecedence) {
+  auto e = MustParseExpr("a + b * 2 - c / 4");
+  EXPECT_EQ(e->ToString(), "a + b * 2 - c / 4");
+}
+
+TEST(SqlParserTest, NotAndComparisons) {
+  auto e = MustParseExpr("Not Amount >= 1000");
+  ASSERT_EQ(e->kind(), Expr::Kind::kUnary);
+  EXPECT_EQ(static_cast<UnaryExpr*>(e.get())->op(), UnaryOp::kNot);
+}
+
+TEST(SqlParserTest, NegativeNumbersFold) {
+  auto e = MustParseExpr("x > -5");
+  EXPECT_EQ(e->ToString(), "x > -5");
+}
+
+TEST(SqlParserTest, InList) {
+  auto e = MustParseExpr("Location In ('PA', 'Cupertino')");
+  ASSERT_EQ(e->kind(), Expr::Kind::kInList);
+  EXPECT_EQ(e->ToString(), "Location In ('PA', 'Cupertino')");
+}
+
+TEST(SqlParserTest, NotIn) {
+  auto e = MustParseExpr("x Not In (1, 2)");
+  ASSERT_EQ(e->kind(), Expr::Kind::kUnary);
+}
+
+TEST(SqlParserTest, InSubquery) {
+  auto e = MustParseExpr("Activity In (Select A From Ancestors)");
+  ASSERT_EQ(e->kind(), Expr::Kind::kInSubquery);
+}
+
+TEST(SqlParserTest, ScalarSubqueryFigure8) {
+  // First policy of Figure 8: manager-of-requester.
+  auto e = MustParseExpr(
+      "ID = (Select Mgr From ReportsTo Where Emp = [Requester])");
+  ASSERT_EQ(e->kind(), Expr::Kind::kBinary);
+  const auto* bin = static_cast<const BinaryExpr*>(e.get());
+  EXPECT_EQ(bin->right().kind(), Expr::Kind::kSubquery);
+  EXPECT_NE(e->ToString().find("[Requester]"), std::string::npos);
+}
+
+TEST(SqlParserTest, ConnectByFigure8) {
+  // Second policy of Figure 8: manager's manager via hierarchical query.
+  auto stmt = MustParse(
+      "Select Mgr From ReportsTo Where level = 2 "
+      "Start with Emp = [Requester] Connect by Prior Mgr = Emp");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_TRUE(stmt->connect_by.has_value());
+  EXPECT_EQ(stmt->connect_by->start_with->ToString(), "Emp = [Requester]");
+  EXPECT_EQ(stmt->connect_by->connect->ToString(), "Prior Mgr = Emp");
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(stmt->where->ToString(), "level = 2");
+}
+
+TEST(SqlParserTest, ConnectByBeforeStartWith) {
+  auto stmt = MustParse(
+      "Select Mgr From ReportsTo Connect by Prior Mgr = Emp "
+      "Start with Emp = 'e1'");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_TRUE(stmt->connect_by.has_value());
+}
+
+TEST(SqlParserTest, GroupByCount) {
+  // The Figure 14 Relevant_Filter shape.
+  auto stmt = MustParse(
+      "Select PID, Count(*) From Filter Where "
+      "(Attribute = 'NumberOfLines' And LowerBound <= 35000 And "
+      "35000 <= UpperBound) Group by PID");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->items.size(), 2u);
+  EXPECT_EQ(stmt->items[1].aggregate, AggregateFn::kCountStar);
+  ASSERT_EQ(stmt->group_by.size(), 1u);
+  EXPECT_EQ(stmt->group_by[0], "PID");
+}
+
+TEST(SqlParserTest, Aggregates) {
+  auto stmt = MustParse(
+      "Select Count(x), Sum(x), Min(x), Max(x), Avg(x) From T");
+  ASSERT_EQ(stmt->items.size(), 5u);
+  EXPECT_EQ(stmt->items[0].aggregate, AggregateFn::kCount);
+  EXPECT_EQ(stmt->items[1].aggregate, AggregateFn::kSum);
+  EXPECT_EQ(stmt->items[2].aggregate, AggregateFn::kMin);
+  EXPECT_EQ(stmt->items[3].aggregate, AggregateFn::kMax);
+  EXPECT_EQ(stmt->items[4].aggregate, AggregateFn::kAvg);
+}
+
+TEST(SqlParserTest, UnionFigure15) {
+  auto stmt = MustParse(
+      "Select WhereClause From Relevant_Policies, Relevant_Filter "
+      "Where Relevant_Policies.PID = Relevant_Filter.PID And "
+      "Relevant_Policies.NumberOfIntervals = Relevant_Filter.NumberOfIntervals "
+      "Union "
+      "Select WhereClause From Relevant_Policies "
+      "Where Relevant_Policies.NumberOfIntervals = 0");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_NE(stmt->union_next, nullptr);
+  EXPECT_EQ(stmt->union_next->from[0].name, "Relevant_Policies");
+}
+
+TEST(SqlParserTest, Distinct) {
+  auto stmt = MustParse("Select Distinct a From T");
+  EXPECT_TRUE(stmt->distinct);
+}
+
+TEST(SqlParserTest, CloneRoundTrips) {
+  auto stmt = MustParse(
+      "Select Mgr From ReportsTo Where level = 2 "
+      "Start with Emp = [Requester] Connect by Prior Mgr = Emp "
+      "Union Select a From B Group by a");
+  auto clone = stmt->Clone();
+  EXPECT_EQ(stmt->ToString(), clone->ToString());
+}
+
+TEST(SqlParserTest, ToStringReparses) {
+  const char* queries[] = {
+      "Select ContactInfo From Engineer Where Location = 'PA'",
+      "Select PID, Count(*) From Filter Group by PID",
+      "Select a From T Where x In (1, 2, 3) Union Select b From U",
+      "Select Mgr From ReportsTo Where level = 2 Start with Emp = 'x' "
+      "Connect by Prior Mgr = Emp",
+  };
+  for (const char* q : queries) {
+    auto stmt = MustParse(q);
+    ASSERT_NE(stmt, nullptr);
+    auto reparsed = MustParse(stmt->ToString());
+    ASSERT_NE(reparsed, nullptr) << stmt->ToString();
+    EXPECT_EQ(stmt->ToString(), reparsed->ToString());
+  }
+}
+
+TEST(SqlParserTest, Errors) {
+  EXPECT_FALSE(SqlParser::ParseSelect("Select").ok());
+  EXPECT_FALSE(SqlParser::ParseSelect("Select x").ok());
+  EXPECT_FALSE(SqlParser::ParseSelect("Select x From").ok());
+  EXPECT_FALSE(SqlParser::ParseSelect("Select x From T Where").ok());
+  EXPECT_FALSE(SqlParser::ParseSelect("Select x From T trailing garbage ,").ok());
+  EXPECT_FALSE(SqlParser::ParseExpr("a = ").ok());
+  EXPECT_FALSE(SqlParser::ParseExpr("(a = 1").ok());
+  EXPECT_FALSE(SqlParser::ParseExpr("= 1").ok());
+  EXPECT_FALSE(SqlParser::ParseExpr("a In 1").ok());
+}
+
+TEST(SqlParserTest, DuplicateWhereRejected) {
+  EXPECT_FALSE(
+      SqlParser::ParseSelect("Select x From T Where a = 1 Where b = 2").ok());
+}
+
+TEST(SqlParserTest, FunctionCalls) {
+  auto e = MustParseExpr("Upper(name) = 'PA'");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->ToString(), "Upper(name) = 'PA'");
+}
+
+TEST(SqlParserTest, TrailingSemicolonAccepted) {
+  auto stmt = MustParse("Select x From T;");
+  ASSERT_NE(stmt, nullptr);
+}
+
+}  // namespace
+}  // namespace wfrm::rel

@@ -1,0 +1,65 @@
+#include "rel/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace wfrm::rel {
+namespace {
+
+Schema EngineerSchema() {
+  return Schema({{"Name", DataType::kString},
+                 {"Location", DataType::kString},
+                 {"Experience", DataType::kInt}});
+}
+
+TEST(SchemaTest, FindColumnIsCaseInsensitive) {
+  Schema s = EngineerSchema();
+  EXPECT_EQ(s.num_columns(), 3u);
+  ASSERT_TRUE(s.FindColumn("location").has_value());
+  EXPECT_EQ(*s.FindColumn("LOCATION"), 1u);
+  EXPECT_FALSE(s.FindColumn("Salary").has_value());
+}
+
+TEST(SchemaTest, ResolveColumnReportsNotFound) {
+  Schema s = EngineerSchema();
+  ASSERT_TRUE(s.ResolveColumn("Experience").ok());
+  EXPECT_EQ(*s.ResolveColumn("Experience"), 2u);
+  auto r = s.ResolveColumn("Missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_NE(r.status().message().find("Missing"), std::string::npos);
+}
+
+TEST(SchemaTest, EqualityIgnoresNameCase) {
+  Schema a({{"A", DataType::kInt}});
+  Schema b({{"a", DataType::kInt}});
+  Schema c({{"a", DataType::kString}});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  EXPECT_EQ(EngineerSchema().ToString(),
+            "Name STRING, Location STRING, Experience INT");
+}
+
+TEST(ResultSetTest, ToStringRendersTable) {
+  ResultSet rs;
+  rs.schema = Schema({{"Name", DataType::kString}, {"Exp", DataType::kInt}});
+  rs.rows.push_back({Value::String("Ana"), Value::Int(7)});
+  rs.rows.push_back({Value::String("Bo"), Value::Int(12)});
+  std::string s = rs.ToString();
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("'Ana'"), std::string::npos);
+  EXPECT_NE(s.find("(2 rows)"), std::string::npos);
+}
+
+TEST(ResultSetTest, EmptyAndSize) {
+  ResultSet rs;
+  EXPECT_TRUE(rs.empty());
+  rs.rows.push_back({});
+  EXPECT_FALSE(rs.empty());
+  EXPECT_EQ(rs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace wfrm::rel

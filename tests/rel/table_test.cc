@@ -1,0 +1,183 @@
+#include "rel/table.h"
+
+#include <gtest/gtest.h>
+
+namespace wfrm::rel {
+namespace {
+
+Schema PersonSchema() {
+  return Schema({{"Name", DataType::kString},
+                 {"Location", DataType::kString},
+                 {"Experience", DataType::kInt}});
+}
+
+Row Person(const char* name, const char* loc, int64_t exp) {
+  return {Value::String(name), Value::String(loc), Value::Int(exp)};
+}
+
+TEST(TableTest, InsertAndRead) {
+  Table t("Engineer", PersonSchema());
+  auto rid = t.Insert(Person("Ana", "PA", 7));
+  ASSERT_TRUE(rid.ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_TRUE(t.IsLive(*rid));
+  EXPECT_EQ(t.row(*rid)[0].string_value(), "Ana");
+}
+
+TEST(TableTest, InsertValidatesArity) {
+  Table t("Engineer", PersonSchema());
+  auto rid = t.Insert({Value::String("Ana")});
+  ASSERT_FALSE(rid.ok());
+  EXPECT_EQ(rid.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, InsertValidatesTypes) {
+  Table t("Engineer", PersonSchema());
+  auto rid = t.Insert({Value::Int(1), Value::String("PA"), Value::Int(2)});
+  ASSERT_FALSE(rid.ok());
+  EXPECT_TRUE(rid.status().IsTypeError());
+}
+
+TEST(TableTest, NullsAreStorable) {
+  Table t("Engineer", PersonSchema());
+  EXPECT_TRUE(t.Insert({Value::Null(), Value::Null(), Value::Null()}).ok());
+}
+
+TEST(TableTest, IntStorableInDoubleColumn) {
+  Table t("M", Schema({{"x", DataType::kDouble}}));
+  EXPECT_TRUE(t.Insert({Value::Int(3)}).ok());
+  EXPECT_FALSE(t.Insert({Value::String("3")}).ok());
+}
+
+TEST(TableTest, DeleteTombstones) {
+  Table t("Engineer", PersonSchema());
+  RowId a = *t.Insert(Person("Ana", "PA", 7));
+  RowId b = *t.Insert(Person("Bo", "Cupertino", 3));
+  ASSERT_TRUE(t.Delete(a).ok());
+  EXPECT_FALSE(t.IsLive(a));
+  EXPECT_TRUE(t.IsLive(b));
+  EXPECT_EQ(t.num_rows(), 1u);
+  // Double delete fails.
+  EXPECT_TRUE(t.Delete(a).IsNotFound());
+  // Out-of-range delete fails.
+  EXPECT_TRUE(t.Delete(999).IsNotFound());
+}
+
+TEST(TableTest, UpdateReplacesAndRevalidates) {
+  Table t("Engineer", PersonSchema());
+  RowId a = *t.Insert(Person("Ana", "PA", 7));
+  ASSERT_TRUE(t.Update(a, Person("Ana", "Cupertino", 8)).ok());
+  EXPECT_EQ(t.row(a)[1].string_value(), "Cupertino");
+  EXPECT_FALSE(t.Update(a, {Value::Int(1), Value::Int(2), Value::Int(3)}).ok());
+}
+
+TEST(TableTest, ForEachSkipsDeleted) {
+  Table t("Engineer", PersonSchema());
+  RowId a = *t.Insert(Person("Ana", "PA", 7));
+  t.Insert(Person("Bo", "PA", 3)).ValueOrDie();
+  ASSERT_TRUE(t.Delete(a).ok());
+  size_t count = 0;
+  t.ForEach([&](RowId, const Row& row) {
+    ++count;
+    EXPECT_EQ(row[0].string_value(), "Bo");
+  });
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(t.AllRowIds().size(), 1u);
+}
+
+TEST(TableTest, OrderedIndexMaintainedAcrossMutations) {
+  Table t("Engineer", PersonSchema());
+  ASSERT_TRUE(t.CreateOrderedIndex("by_loc", {"Location"}).ok());
+  RowId a = *t.Insert(Person("Ana", "PA", 7));
+  RowId b = *t.Insert(Person("Bo", "PA", 3));
+  *t.Insert(Person("Cy", "Cupertino", 9));
+
+  const OrderedIndex* idx = t.ordered_indexes()[0].get();
+  IndexProbe probe;
+  probe.equals = {Value::String("PA")};
+  EXPECT_EQ(idx->Scan(probe).size(), 2u);
+
+  ASSERT_TRUE(t.Delete(a).ok());
+  EXPECT_EQ(idx->Scan(probe).size(), 1u);
+
+  ASSERT_TRUE(t.Update(b, Person("Bo", "Cupertino", 3)).ok());
+  EXPECT_EQ(idx->Scan(probe).size(), 0u);
+  probe.equals = {Value::String("Cupertino")};
+  EXPECT_EQ(idx->Scan(probe).size(), 2u);
+}
+
+TEST(TableTest, IndexBackfillsExistingRows) {
+  Table t("Engineer", PersonSchema());
+  t.Insert(Person("Ana", "PA", 7)).ValueOrDie();
+  t.Insert(Person("Bo", "PA", 3)).ValueOrDie();
+  ASSERT_TRUE(t.CreateOrderedIndex("by_loc", {"Location"}).ok());
+  IndexProbe probe;
+  probe.equals = {Value::String("PA")};
+  EXPECT_EQ(t.ordered_indexes()[0]->Scan(probe).size(), 2u);
+}
+
+TEST(TableTest, DuplicateIndexNameRejected) {
+  Table t("Engineer", PersonSchema());
+  ASSERT_TRUE(t.CreateOrderedIndex("i", {"Location"}).ok());
+  EXPECT_EQ(t.CreateOrderedIndex("i", {"Name"}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, IndexOnUnknownColumnRejected) {
+  Table t("Engineer", PersonSchema());
+  EXPECT_TRUE(t.CreateOrderedIndex("i", {"Nope"}).IsNotFound());
+  EXPECT_TRUE(t.CreateHashIndex("h", {"Nope"}).IsNotFound());
+}
+
+TEST(TableTest, HashIndexLookup) {
+  Table t("Engineer", PersonSchema());
+  ASSERT_TRUE(t.CreateHashIndex("h", {"Name", "Location"}).ok());
+  t.Insert(Person("Ana", "PA", 7)).ValueOrDie();
+  t.Insert(Person("Ana", "Cupertino", 7)).ValueOrDie();
+  const HashIndex* h = t.hash_indexes()[0].get();
+  EXPECT_EQ(h->Lookup({Value::String("Ana"), Value::String("PA")}).size(), 1u);
+  EXPECT_EQ(h->Lookup({Value::String("Zed"), Value::String("PA")}).size(), 0u);
+}
+
+TEST(TableTest, FindBestOrderedIndexPrefersLongerPrefix) {
+  Table t("Policies", Schema({{"Activity", DataType::kString},
+                              {"Resource", DataType::kString},
+                              {"N", DataType::kInt}}));
+  ASSERT_TRUE(t.CreateOrderedIndex("by_act", {"Activity"}).ok());
+  ASSERT_TRUE(t.CreateOrderedIndex("by_act_res", {"Activity", "Resource"}).ok());
+  const OrderedIndex* best = t.FindBestOrderedIndex({0, 1}, std::nullopt);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->name(), "by_act_res");
+  // Equality on Resource only cannot use either index (not a prefix).
+  EXPECT_EQ(t.FindBestOrderedIndex({1}, std::nullopt), nullptr);
+}
+
+TEST(TableTest, FindBestOrderedIndexUsesRangeColumn) {
+  Table t("Filter", Schema({{"Attribute", DataType::kString},
+                            {"LowerBound", DataType::kInt},
+                            {"UpperBound", DataType::kInt}}));
+  ASSERT_TRUE(
+      t.CreateOrderedIndex("cat", {"Attribute", "LowerBound", "UpperBound"})
+          .ok());
+  const OrderedIndex* best = t.FindBestOrderedIndex({0}, 1);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->name(), "cat");
+}
+
+TEST(TableTest, ClearKeepsIndexDefinitions) {
+  Table t("Engineer", PersonSchema());
+  ASSERT_TRUE(t.CreateOrderedIndex("by_loc", {"Location"}).ok());
+  t.Insert(Person("Ana", "PA", 7)).ValueOrDie();
+  t.Clear();
+  EXPECT_EQ(t.num_rows(), 0u);
+  ASSERT_EQ(t.ordered_indexes().size(), 1u);
+  EXPECT_EQ(t.ordered_indexes()[0]->num_keys(), 0u);
+  // Reinsert reindexes.
+  t.Insert(Person("Bo", "PA", 1)).ValueOrDie();
+  IndexProbe probe;
+  probe.equals = {Value::String("PA")};
+  EXPECT_EQ(t.ordered_indexes()[0]->Scan(probe).size(), 1u);
+}
+
+}  // namespace
+}  // namespace wfrm::rel

@@ -1,0 +1,132 @@
+#include "rel/token.h"
+
+#include <gtest/gtest.h>
+
+namespace wfrm::rel {
+namespace {
+
+Result<std::vector<Token>> Lex(std::string_view s) { return Tokenize(s); }
+
+TEST(TokenizerTest, IdentifiersAndKeywords) {
+  auto toks = Lex("Select ContactInfo From Engineer");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 5u);  // 4 identifiers + end.
+  EXPECT_TRUE((*toks)[0].IsKeyword("select"));
+  EXPECT_TRUE((*toks)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*toks)[1].text, "ContactInfo");
+  EXPECT_EQ((*toks)[4].kind, Token::Kind::kEnd);
+}
+
+TEST(TokenizerTest, NumbersIntAndDouble) {
+  auto toks = Lex("35000 3.5 1e3 2.5E-2");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_TRUE((*toks)[0].value.is_int());
+  EXPECT_EQ((*toks)[0].value.int_value(), 35000);
+  EXPECT_TRUE((*toks)[1].value.is_double());
+  EXPECT_DOUBLE_EQ((*toks)[1].value.double_value(), 3.5);
+  EXPECT_TRUE((*toks)[2].value.is_double());
+  EXPECT_DOUBLE_EQ((*toks)[2].value.double_value(), 1000.0);
+  EXPECT_DOUBLE_EQ((*toks)[3].value.double_value(), 0.025);
+}
+
+TEST(TokenizerTest, StringLiteralsWithEscapes) {
+  auto toks = Lex("'PA' 'O''Brien' ''");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].value.string_value(), "PA");
+  EXPECT_EQ((*toks)[1].value.string_value(), "O'Brien");
+  EXPECT_EQ((*toks)[2].value.string_value(), "");
+}
+
+TEST(TokenizerTest, UnterminatedStringFails) {
+  auto toks = Lex("'abc");
+  ASSERT_FALSE(toks.ok());
+  EXPECT_TRUE(toks.status().IsParseError());
+}
+
+TEST(TokenizerTest, Parameters) {
+  auto toks = Lex("ID = [Requester]");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[2].kind, Token::Kind::kParameter);
+  EXPECT_EQ((*toks)[2].text, "Requester");
+}
+
+TEST(TokenizerTest, ParameterWithSpacesTrimmed) {
+  auto toks = Lex("[ Number Of Lines ]");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].text, "Number Of Lines");
+}
+
+TEST(TokenizerTest, UnterminatedParameterFails) {
+  EXPECT_FALSE(Lex("[Requester").ok());
+  EXPECT_FALSE(Lex("[  ]").ok());
+}
+
+TEST(TokenizerTest, SymbolsIncludingTwoChar) {
+  auto toks = Lex("<= >= != <> < > = ( ) , . ; * + - /");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_TRUE((*toks)[0].IsSymbol("<="));
+  EXPECT_TRUE((*toks)[1].IsSymbol(">="));
+  EXPECT_TRUE((*toks)[2].IsSymbol("!="));
+  EXPECT_TRUE((*toks)[3].IsSymbol("!="));  // <> normalizes to !=.
+  EXPECT_TRUE((*toks)[4].IsSymbol("<"));
+  EXPECT_TRUE((*toks)[6].IsSymbol("="));
+}
+
+TEST(TokenizerTest, LineComments) {
+  auto toks = Lex("a -- comment to end\n b");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 3u);
+  EXPECT_EQ((*toks)[0].text, "a");
+  EXPECT_EQ((*toks)[1].text, "b");
+}
+
+TEST(TokenizerTest, MinusVersusCommentDisambiguation) {
+  auto toks = Lex("5 - 3");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_TRUE((*toks)[1].IsSymbol("-"));
+}
+
+TEST(TokenizerTest, UnknownCharacterFails) {
+  auto toks = Lex("a ? b");
+  ASSERT_FALSE(toks.ok());
+  EXPECT_TRUE(toks.status().IsParseError());
+  EXPECT_NE(toks.status().message().find("?"), std::string::npos);
+}
+
+TEST(TokenizerTest, OffsetsRecorded) {
+  auto toks = Lex("ab cd");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].offset, 0u);
+  EXPECT_EQ((*toks)[1].offset, 3u);
+}
+
+TEST(TokenStreamTest, NavigationHelpers) {
+  auto ts = TokenStream::Open("Select x From t");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_TRUE(ts->TryKeyword("select"));
+  EXPECT_FALSE(ts->TryKeyword("from"));
+  auto id = ts->ExpectIdentifier("column");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, "x");
+  EXPECT_TRUE(ts->ExpectKeyword("from").ok());
+  EXPECT_FALSE(ts->AtEnd());
+  ts->Next();
+  EXPECT_TRUE(ts->AtEnd());
+}
+
+TEST(TokenStreamTest, ErrorsMentionContext) {
+  auto ts = TokenStream::Open("x");
+  ASSERT_TRUE(ts.ok());
+  Status s = ts->ExpectSymbol("(");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("'x'"), std::string::npos);
+}
+
+TEST(TokenStreamTest, PeekAheadClampsAtEnd) {
+  auto ts = TokenStream::Open("a");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts->Peek(5).kind, Token::Kind::kEnd);
+}
+
+}  // namespace
+}  // namespace wfrm::rel

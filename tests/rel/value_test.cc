@@ -1,0 +1,106 @@
+#include "rel/value.h"
+
+#include <gtest/gtest.h>
+
+namespace wfrm::rel {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Bool(true).is_bool());
+  EXPECT_TRUE(Value::Int(3).is_int());
+  EXPECT_TRUE(Value::Double(3.5).is_double());
+  EXPECT_TRUE(Value::String("x").is_string());
+  EXPECT_TRUE(Value::Int(1).is_numeric());
+  EXPECT_TRUE(Value::Double(1).is_numeric());
+  EXPECT_FALSE(Value::String("1").is_numeric());
+
+  EXPECT_EQ(Value::Int(42).int_value(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("abc").string_value(), "abc");
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+}
+
+TEST(ValueTest, TypeReporting) {
+  EXPECT_EQ(Value::Bool(true).type(), DataType::kBool);
+  EXPECT_EQ(Value::Int(1).type(), DataType::kInt);
+  EXPECT_EQ(Value::Double(1).type(), DataType::kDouble);
+  EXPECT_EQ(Value::String("").type(), DataType::kString);
+}
+
+TEST(ValueTest, CompatibleWith) {
+  EXPECT_TRUE(Value::Null().CompatibleWith(DataType::kInt));
+  EXPECT_TRUE(Value::Null().CompatibleWith(DataType::kString));
+  EXPECT_TRUE(Value::Int(1).CompatibleWith(DataType::kInt));
+  EXPECT_TRUE(Value::Int(1).CompatibleWith(DataType::kDouble));
+  EXPECT_FALSE(Value::Double(1).CompatibleWith(DataType::kInt));
+  EXPECT_FALSE(Value::String("x").CompatibleWith(DataType::kInt));
+}
+
+TEST(ValueTest, CompareNumericAcrossKinds) {
+  ASSERT_TRUE(Value::Int(2).Compare(Value::Int(3)).ok());
+  EXPECT_EQ(*Value::Int(2).Compare(Value::Int(3)), -1);
+  EXPECT_EQ(*Value::Int(3).Compare(Value::Int(3)), 0);
+  EXPECT_EQ(*Value::Int(4).Compare(Value::Int(3)), 1);
+  EXPECT_EQ(*Value::Int(2).Compare(Value::Double(2.5)), -1);
+  EXPECT_EQ(*Value::Double(2.0).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, CompareStringsLexicographically) {
+  EXPECT_EQ(*Value::String("PA").Compare(Value::String("PA")), 0);
+  EXPECT_LT(*Value::String("Analyst").Compare(Value::String("Programmer")), 0);
+  EXPECT_GT(*Value::String("b").Compare(Value::String("a")), 0);
+}
+
+TEST(ValueTest, CompareIncompatibleKindsFails) {
+  EXPECT_TRUE(Value::String("x").Compare(Value::Int(1)).status().IsTypeError());
+  EXPECT_TRUE(Value::Bool(true).Compare(Value::Int(1)).status().IsTypeError());
+}
+
+TEST(ValueTest, CompareWithNull) {
+  EXPECT_EQ(*Value::Null().Compare(Value::Null()), 0);
+  EXPECT_FALSE(Value::Null().Compare(Value::Int(1)).ok());
+}
+
+TEST(ValueTest, EqualityIsValueIdentity) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Int(2));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Int(1), Value::Double(1.0));  // Distinct representations.
+  EXPECT_EQ(Value::String("a"), Value::String("a"));
+}
+
+TEST(ValueTest, StrictWeakOrderingAcrossKinds) {
+  // Null < bool < numeric < string by kind rank.
+  EXPECT_LT(Value::Null(), Value::Bool(false));
+  EXPECT_LT(Value::Bool(true), Value::Int(0));
+  EXPECT_LT(Value::Int(999), Value::String(""));
+  // Within numerics, by magnitude.
+  EXPECT_LT(Value::Int(1), Value::Double(1.5));
+  EXPECT_LT(Value::Double(0.5), Value::Int(1));
+  // Irreflexive.
+  EXPECT_FALSE(Value::Int(3) < Value::Int(3));
+}
+
+TEST(ValueTest, ToStringRendersSqlLiterals) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(true).ToString(), "TRUE");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+  EXPECT_EQ(Value::Int(35000).ToString(), "35000");
+  EXPECT_EQ(Value::String("PA").ToString(), "'PA'");
+  EXPECT_EQ(Value::String("O'Brien").ToString(), "'O''Brien'");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Int(5).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+}
+
+TEST(ValueTest, AsDoubleWidens) {
+  EXPECT_DOUBLE_EQ(Value::Int(7).AsDouble(), 7.0);
+  EXPECT_DOUBLE_EQ(Value::Double(7.25).AsDouble(), 7.25);
+}
+
+}  // namespace
+}  // namespace wfrm::rel

@@ -1,0 +1,173 @@
+#include "rql/rql.h"
+
+#include <gtest/gtest.h>
+
+#include "org/org_model.h"
+#include "testutil/paper_org.h"
+
+namespace wfrm::rql {
+namespace {
+
+// The paper's Figure 4 query.
+constexpr char kFigure4[] =
+    "Select ContactInfo From Engineer Where Location = 'PA' "
+    "For Programming With NumberOfLines = 35000 And Location = 'Mexico'";
+
+class RqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto org = testutil::BuildPaperOrg();
+    ASSERT_TRUE(org.ok()) << org.status().ToString();
+    org_ = std::move(org).ValueOrDie();
+  }
+
+  std::unique_ptr<org::OrgModel> org_;
+};
+
+TEST_F(RqlTest, ParseFigure4) {
+  auto q = ParseRql(kFigure4);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->resource(), "Engineer");
+  EXPECT_EQ(q->activity(), "Programming");
+  ASSERT_EQ(q->spec.bindings.size(), 2u);
+  EXPECT_EQ(q->spec.bindings[0].attribute, "NumberOfLines");
+  EXPECT_EQ(q->spec.bindings[0].value.int_value(), 35000);
+  EXPECT_EQ(q->spec.bindings[1].value.string_value(), "Mexico");
+  ASSERT_NE(q->select->where, nullptr);
+  EXPECT_EQ(q->select->where->ToString(), "Location = 'PA'");
+}
+
+TEST_F(RqlTest, SpecLookupIsCaseInsensitive) {
+  auto q = ParseRql(kFigure4);
+  ASSERT_TRUE(q.ok());
+  const rel::Value* v = q->spec.Find("numberoflines");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->int_value(), 35000);
+  EXPECT_EQ(q->spec.Find("Missing"), nullptr);
+}
+
+TEST_F(RqlTest, ToStringRoundTrips) {
+  auto q = ParseRql(kFigure4);
+  ASSERT_TRUE(q.ok());
+  auto q2 = ParseRql(q->ToString());
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString() << ": " << q->ToString();
+  EXPECT_EQ(q->ToString(), q2->ToString());
+}
+
+TEST_F(RqlTest, CloneIsDeep) {
+  auto q = ParseRql(kFigure4);
+  ASSERT_TRUE(q.ok());
+  RqlQuery copy = q->Clone();
+  copy.select->from[0].name = "Programmer";
+  EXPECT_EQ(q->resource(), "Engineer");
+  EXPECT_EQ(copy.resource(), "Programmer");
+}
+
+TEST_F(RqlTest, BindCanonicalizesTypeSpellings) {
+  auto q = ParseAndBindRql(
+      "Select ContactInfo From ENGINEER Where Location = 'PA' "
+      "For programming With NumberOfLines = 1 And Location = 'PA'",
+      *org_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->resource(), "Engineer");
+  EXPECT_EQ(q->activity(), "Programming");
+}
+
+TEST_F(RqlTest, BindRejectsUnknownTypes) {
+  EXPECT_TRUE(ParseAndBindRql("Select Id From Pilot For Programming With "
+                              "NumberOfLines = 1 And Location = 'PA'",
+                              *org_)
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(ParseAndBindRql("Select Id From Engineer For Flying With "
+                              "NumberOfLines = 1 And Location = 'PA'",
+                              *org_)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(RqlTest, BindRequiresFullActivitySpecification) {
+  // §2.3: "each attribute of the activity is to be specified".
+  auto missing = ParseAndBindRql(
+      "Select Id From Engineer For Programming With NumberOfLines = 1",
+      *org_);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("Location"), std::string::npos);
+
+  auto dup = ParseAndBindRql(
+      "Select Id From Engineer For Programming With NumberOfLines = 1 And "
+      "Location = 'PA' And NumberOfLines = 2",
+      *org_);
+  EXPECT_FALSE(dup.ok());
+
+  auto unknown_attr = ParseAndBindRql(
+      "Select Id From Engineer For Programming With NumberOfLines = 1 And "
+      "Location = 'PA' And Budget = 3",
+      *org_);
+  EXPECT_TRUE(unknown_attr.status().IsNotFound());
+}
+
+TEST_F(RqlTest, BindChecksAttributeTypes) {
+  auto q = ParseAndBindRql(
+      "Select Id From Engineer For Programming With "
+      "NumberOfLines = 'many' And Location = 'PA'",
+      *org_);
+  ASSERT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsTypeError());
+}
+
+TEST_F(RqlTest, BindValidatesWhereAgainstResourceSchema) {
+  auto q = ParseAndBindRql(
+      "Select Id From Engineer Where Salary > 10 For Programming With "
+      "NumberOfLines = 1 And Location = 'PA'",
+      *org_);
+  ASSERT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsNotFound());
+}
+
+TEST_F(RqlTest, BindRejectsParametersInUserQueries) {
+  auto q = ParseAndBindRql(
+      "Select Id From Engineer Where Location = [Loc] For Programming "
+      "With NumberOfLines = 1 And Location = 'PA'",
+      *org_);
+  EXPECT_FALSE(q.ok());
+}
+
+TEST_F(RqlTest, BindRejectsMultipleResources) {
+  auto q = ParseAndBindRql(
+      "Select Id From Engineer, Manager For Programming With "
+      "NumberOfLines = 1 And Location = 'PA'",
+      *org_);
+  EXPECT_FALSE(q.ok());
+}
+
+TEST_F(RqlTest, ActivityWithoutAttributesNeedsNoWith) {
+  ASSERT_TRUE(org_->DefineActivityType("Idle", "", {}).ok());
+  auto q = ParseAndBindRql("Select Id From Engineer For Idle", *org_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->spec.bindings.empty());
+}
+
+TEST_F(RqlTest, ParseErrors) {
+  EXPECT_FALSE(ParseRql("Select Id From Engineer").ok());  // No For.
+  EXPECT_FALSE(ParseRql("Select Id From Engineer For").ok());
+  EXPECT_FALSE(
+      ParseRql("Select Id From Engineer For Programming With").ok());
+  EXPECT_FALSE(ParseRql("Select Id From Engineer For Programming With "
+                        "NumberOfLines > 10")
+                   .ok());  // Spec bindings are equalities.
+  EXPECT_FALSE(ParseRql("Select Id From Engineer For Programming With "
+                        "NumberOfLines = Location")
+                   .ok());  // Spec values are constants.
+}
+
+TEST_F(RqlTest, AsParamsExposesBindings) {
+  auto q = ParseRql(kFigure4);
+  ASSERT_TRUE(q.ok());
+  rel::ParamMap params = q->spec.AsParams();
+  EXPECT_EQ(params.at("NumberOfLines").int_value(), 35000);
+  EXPECT_EQ(params.at("location").string_value(), "Mexico");
+}
+
+}  // namespace
+}  // namespace wfrm::rql

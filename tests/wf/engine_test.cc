@@ -1,0 +1,149 @@
+#include "wf/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil/paper_org.h"
+
+namespace wfrm::wf {
+namespace {
+
+// A two-step expense process: a programmer writes the expense tool
+// change, then a manager approves the amount.
+ProcessDefinition ExpenseProcess() {
+  return ProcessDefinition{
+      "expense",
+      {{"implement",
+        "Select ContactInfo From Engineer Where Location = 'PA' "
+        "For Programming With NumberOfLines = 20000 And Location = 'PA'"},
+       {"approve",
+        "Select ContactInfo From Manager For Approval With "
+        "Amount = ${amount} And Requester = ${requester} And "
+        "Location = 'PA'"}}};
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto world = testutil::BuildPaperWorld();
+    ASSERT_TRUE(world.ok()) << world.status().ToString();
+    org_ = std::move(world->org);
+    store_ = std::move(world->store);
+    rm_ = std::make_unique<core::ResourceManager>(org_.get(), store_.get());
+    engine_ = std::make_unique<WorkflowEngine>(rm_.get());
+  }
+
+  std::unique_ptr<org::OrgModel> org_;
+  std::unique_ptr<policy::PolicyStore> store_;
+  std::unique_ptr<core::ResourceManager> rm_;
+  std::unique_ptr<WorkflowEngine> engine_;
+};
+
+TEST(TemplateTest, InstantiatesPlaceholders) {
+  CaseData data = {{"amount", "500"}, {"requester", "'alice'"}};
+  auto s = InstantiateTemplate("Amount = ${amount} And R = ${requester}",
+                               data);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, "Amount = 500 And R = 'alice'");
+}
+
+TEST(TemplateTest, ReportsUnboundAndMalformed) {
+  EXPECT_TRUE(InstantiateTemplate("x = ${missing}", {}).status().IsNotFound());
+  EXPECT_FALSE(InstantiateTemplate("x = ${unterminated", {}).ok());
+  // No placeholders is fine.
+  EXPECT_TRUE(InstantiateTemplate("plain", {}).ok());
+}
+
+TEST_F(EngineTest, CaseRunsThroughBothSteps) {
+  ProcessDefinition process = ExpenseProcess();
+  size_t case_id = engine_->StartCase(
+      process, {{"amount", "500"}, {"requester", "'alice'"}});
+  EXPECT_EQ(*engine_->GetState(case_id), CaseState::kRunning);
+
+  auto item1 = engine_->Advance(case_id);
+  ASSERT_TRUE(item1.ok()) << item1.status().ToString();
+  EXPECT_EQ(item1->step_name, "implement");
+  // A qualified PA programmer with Experience > 5 (20k-line job).
+  EXPECT_EQ(item1->resource.type, "Programmer");
+  EXPECT_TRUE(rm_->IsAllocated(item1->resource));
+
+  ASSERT_TRUE(engine_->Complete(case_id).ok());
+  EXPECT_FALSE(rm_->IsAllocated(item1->resource));
+
+  auto item2 = engine_->Advance(case_id);
+  ASSERT_TRUE(item2.ok()) << item2.status().ToString();
+  EXPECT_EQ(item2->step_name, "approve");
+  // Amount 500 → the requester's manager carol (Figure 8 policy 1).
+  EXPECT_EQ(item2->resource.ToString(), "Manager:carol");
+
+  ASSERT_TRUE(engine_->Complete(case_id).ok());
+  EXPECT_EQ(*engine_->GetState(case_id), CaseState::kCompleted);
+  EXPECT_EQ(engine_->history().size(), 2u);
+}
+
+TEST_F(EngineTest, CaseDataChangesRouting) {
+  ProcessDefinition process = ExpenseProcess();
+  size_t case_id = engine_->StartCase(
+      process, {{"amount", "2500"}, {"requester", "'alice'"}});
+  ASSERT_TRUE(engine_->Advance(case_id).ok());
+  ASSERT_TRUE(engine_->Complete(case_id).ok());
+  auto item = engine_->Advance(case_id);
+  ASSERT_TRUE(item.ok());
+  // 2500 → manager's manager dave (Figure 8 policy 2).
+  EXPECT_EQ(item->resource.ToString(), "Manager:dave");
+}
+
+TEST_F(EngineTest, ConcurrentCasesShareResourcePool) {
+  // Two concurrent 35k-line Mexico jobs: bob then (via substitution)
+  // quinn; a third case fails.
+  ProcessDefinition mexico{
+      "mexico",
+      {{"implement",
+        "Select ContactInfo From Engineer Where Location = 'PA' "
+        "For Programming With NumberOfLines = 35000 And "
+        "Location = 'Mexico'"}}};
+  size_t c1 = engine_->StartCase(mexico, {});
+  size_t c2 = engine_->StartCase(mexico, {});
+  size_t c3 = engine_->StartCase(mexico, {});
+
+  auto i1 = engine_->Advance(c1);
+  ASSERT_TRUE(i1.ok());
+  EXPECT_EQ(i1->resource.ToString(), "Programmer:bob");
+  auto i2 = engine_->Advance(c2);
+  ASSERT_TRUE(i2.ok());
+  EXPECT_EQ(i2->resource.ToString(), "Programmer:quinn");
+  auto i3 = engine_->Advance(c3);
+  EXPECT_FALSE(i3.ok());
+  EXPECT_EQ(*engine_->GetState(c3), CaseState::kFailed);
+
+  // Completing case 1 frees bob for a new case.
+  ASSERT_TRUE(engine_->Complete(c1).ok());
+  size_t c4 = engine_->StartCase(mexico, {});
+  auto i4 = engine_->Advance(c4);
+  ASSERT_TRUE(i4.ok());
+  EXPECT_EQ(i4->resource.ToString(), "Programmer:bob");
+}
+
+TEST_F(EngineTest, ApiMisuseReported) {
+  ProcessDefinition process = ExpenseProcess();
+  size_t case_id = engine_->StartCase(
+      process, {{"amount", "500"}, {"requester", "'alice'"}});
+  EXPECT_TRUE(engine_->Complete(case_id).code() ==
+              StatusCode::kInvalidArgument);  // Nothing open.
+  ASSERT_TRUE(engine_->Advance(case_id).ok());
+  EXPECT_FALSE(engine_->Advance(case_id).ok());  // Item still open.
+  EXPECT_FALSE(engine_->Advance(999).ok());
+  EXPECT_FALSE(engine_->GetState(999).ok());
+  EXPECT_FALSE(engine_->Complete(999).ok());
+}
+
+TEST_F(EngineTest, MissingCaseDataFailsTheCase) {
+  ProcessDefinition process = ExpenseProcess();
+  size_t case_id = engine_->StartCase(process, {});  // No bindings.
+  ASSERT_TRUE(engine_->Advance(case_id).ok());       // Step 1 needs none.
+  ASSERT_TRUE(engine_->Complete(case_id).ok());
+  EXPECT_FALSE(engine_->Advance(case_id).ok());      // Step 2 does.
+  EXPECT_EQ(*engine_->GetState(case_id), CaseState::kFailed);
+}
+
+}  // namespace
+}  // namespace wfrm::wf

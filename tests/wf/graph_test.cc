@@ -1,0 +1,236 @@
+#include "wf/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testutil/paper_org.h"
+
+namespace wfrm::wf {
+namespace {
+
+constexpr char kImplementRql[] =
+    "Select ContactInfo From Engineer Where Location = 'PA' "
+    "For Programming With NumberOfLines = 5000 And Location = 'PA'";
+constexpr char kAnalyzeRql[] =
+    "Select ContactInfo From Analyst Where Location = 'PA' "
+    "For Analysis With NumberOfLines = 5000 And Location = 'PA'";
+constexpr char kApproveRql[] =
+    "Select ContactInfo From Manager For Approval With "
+    "Amount = ${amount} And Requester = ${requester} And Location = 'PA'";
+
+class GraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto world = testutil::BuildPaperWorld();
+    ASSERT_TRUE(world.ok()) << world.status().ToString();
+    org_ = std::move(world->org);
+    store_ = std::move(world->store);
+    rm_ = std::make_unique<core::ResourceManager>(org_.get(), store_.get());
+    engine_ = std::make_unique<GraphEngine>(rm_.get());
+  }
+
+  /// implement → approve, sequential.
+  ProcessGraph Sequential() {
+    ProcessGraph g("sequential");
+    EXPECT_TRUE(g.AddActivity("implement", kImplementRql, "approve").ok());
+    EXPECT_TRUE(g.AddActivity("approve", kApproveRql, "").ok());
+    return g;
+  }
+
+  /// AND-split into implement ∥ analyze, joined, then approve.
+  ProcessGraph Parallel() {
+    ProcessGraph g("parallel");
+    EXPECT_TRUE(g.AddAndSplit("fork", {"implement", "analyze"}).ok());
+    EXPECT_TRUE(g.AddActivity("implement", kImplementRql, "join").ok());
+    EXPECT_TRUE(g.AddActivity("analyze", kAnalyzeRql, "join").ok());
+    EXPECT_TRUE(g.AddAndJoin("join", "approve").ok());
+    EXPECT_TRUE(g.AddActivity("approve", kApproveRql, "").ok());
+    EXPECT_TRUE(g.SetStart("fork").ok());
+    return g;
+  }
+
+  /// Route by amount: cheap expenses skip implementation entirely.
+  ProcessGraph Routed() {
+    ProcessGraph g("routed");
+    EXPECT_TRUE(
+        g.AddXorSplit("triage", {{"${amount} >= 1000", "implement"},
+                                 {"", "approve"}})
+            .ok());
+    EXPECT_TRUE(g.AddActivity("implement", kImplementRql, "approve").ok());
+    EXPECT_TRUE(g.AddActivity("approve", kApproveRql, "").ok());
+    EXPECT_TRUE(g.SetStart("triage").ok());
+    return g;
+  }
+
+  CaseData AliceData(const char* amount) {
+    return CaseData{{"amount", amount}, {"requester", "'alice'"}};
+  }
+
+  std::unique_ptr<org::OrgModel> org_;
+  std::unique_ptr<policy::PolicyStore> store_;
+  std::unique_ptr<core::ResourceManager> rm_;
+  std::unique_ptr<GraphEngine> engine_;
+};
+
+TEST_F(GraphTest, SequentialCaseRunsToCompletion) {
+  ProcessGraph g = Sequential();
+  auto case_id = engine_->StartCase(g, AliceData("500"));
+  ASSERT_TRUE(case_id.ok()) << case_id.status().ToString();
+
+  auto pending = engine_->PendingActivities(*case_id);
+  ASSERT_TRUE(pending.ok());
+  EXPECT_EQ(*pending, std::vector<std::string>{"implement"});
+
+  auto item = engine_->StartActivity(*case_id, "implement");
+  ASSERT_TRUE(item.ok()) << item.status().ToString();
+  ASSERT_TRUE(engine_->CompleteActivity(*case_id, "implement").ok());
+
+  pending = engine_->PendingActivities(*case_id);
+  ASSERT_TRUE(pending.ok());
+  EXPECT_EQ(*pending, std::vector<std::string>{"approve"});
+
+  auto approver = engine_->StartActivity(*case_id, "approve");
+  ASSERT_TRUE(approver.ok());
+  EXPECT_EQ(approver->resource.ToString(), "Manager:carol");
+  ASSERT_TRUE(engine_->CompleteActivity(*case_id, "approve").ok());
+  EXPECT_EQ(*engine_->GetState(*case_id), CaseState::kCompleted);
+  EXPECT_EQ(engine_->history().size(), 2u);
+}
+
+TEST_F(GraphTest, AndSplitRunsBranchesConcurrently) {
+  ProcessGraph g = Parallel();
+  auto case_id = engine_->StartCase(g, AliceData("500"));
+  ASSERT_TRUE(case_id.ok());
+
+  auto pending = engine_->PendingActivities(*case_id);
+  ASSERT_TRUE(pending.ok());
+  ASSERT_EQ(pending->size(), 2u);
+  EXPECT_NE(std::find(pending->begin(), pending->end(), "implement"),
+            pending->end());
+  EXPECT_NE(std::find(pending->begin(), pending->end(), "analyze"),
+            pending->end());
+
+  // Both branches hold resources simultaneously.
+  auto impl = engine_->StartActivity(*case_id, "implement");
+  auto analyze = engine_->StartActivity(*case_id, "analyze");
+  ASSERT_TRUE(impl.ok());
+  ASSERT_TRUE(analyze.ok()) << analyze.status().ToString();
+  EXPECT_EQ(rm_->num_allocated(), 2u);
+
+  // The join waits for both.
+  ASSERT_TRUE(engine_->CompleteActivity(*case_id, "implement").ok());
+  pending = engine_->PendingActivities(*case_id);
+  ASSERT_TRUE(pending.ok());
+  EXPECT_EQ(*pending, std::vector<std::string>{});  // analyze still open.
+
+  ASSERT_TRUE(engine_->CompleteActivity(*case_id, "analyze").ok());
+  pending = engine_->PendingActivities(*case_id);
+  ASSERT_TRUE(pending.ok());
+  EXPECT_EQ(*pending, std::vector<std::string>{"approve"});
+}
+
+TEST_F(GraphTest, XorSplitRoutesOnCaseData) {
+  ProcessGraph g = Routed();
+  // Expensive: implement first.
+  auto big = engine_->StartCase(g, AliceData("5000"));
+  ASSERT_TRUE(big.ok());
+  auto pending = engine_->PendingActivities(*big);
+  ASSERT_TRUE(pending.ok());
+  EXPECT_EQ(*pending, std::vector<std::string>{"implement"});
+
+  // Cheap: straight to approval (else-branch).
+  auto small = engine_->StartCase(g, AliceData("200"));
+  ASSERT_TRUE(small.ok());
+  pending = engine_->PendingActivities(*small);
+  ASSERT_TRUE(pending.ok());
+  EXPECT_EQ(*pending, std::vector<std::string>{"approve"});
+}
+
+TEST_F(GraphTest, XorWithoutMatchingBranchFailsTheCase) {
+  ProcessGraph g("bad");
+  ASSERT_TRUE(
+      g.AddXorSplit("triage", {{"${amount} >= 1000", "approve"}}).ok());
+  ASSERT_TRUE(g.AddActivity("approve", kApproveRql, "").ok());
+  ASSERT_TRUE(g.SetStart("triage").ok());
+  auto case_id = engine_->StartCase(g, AliceData("5"));
+  ASSERT_FALSE(case_id.ok());
+  EXPECT_NE(case_id.status().message().find("no branch"), std::string::npos);
+}
+
+TEST_F(GraphTest, ResourceExhaustionLeavesTokenPending) {
+  // Only one manager satisfies the small-amount approval policy; two
+  // concurrent cases contend for carol.
+  ProcessGraph g("approval_only");
+  ASSERT_TRUE(g.AddActivity("approve", kApproveRql, "").ok());
+  auto c1 = engine_->StartCase(g, AliceData("500"));
+  auto c2 = engine_->StartCase(g, AliceData("500"));
+  ASSERT_TRUE(c1.ok() && c2.ok());
+
+  ASSERT_TRUE(engine_->StartActivity(*c1, "approve").ok());
+  auto blocked = engine_->StartActivity(*c2, "approve");
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_TRUE(blocked.status().IsResourceUnavailable());
+  // Token still pending; case still running.
+  EXPECT_EQ(*engine_->GetState(*c2), CaseState::kRunning);
+  EXPECT_EQ(engine_->PendingActivities(*c2)->size(), 1u);
+
+  // After case 1 finishes, case 2 can proceed.
+  ASSERT_TRUE(engine_->CompleteActivity(*c1, "approve").ok());
+  ASSERT_TRUE(engine_->StartActivity(*c2, "approve").ok());
+}
+
+TEST_F(GraphTest, ValidationCatchesStructuralErrors) {
+  ProcessGraph empty("empty");
+  EXPECT_FALSE(empty.Validate().ok());
+
+  ProcessGraph dangling("dangling");
+  ASSERT_TRUE(dangling.AddActivity("a", kApproveRql, "nowhere").ok());
+  EXPECT_TRUE(dangling.Validate().IsNotFound());
+
+  ProcessGraph orphan_join("orphan");
+  ASSERT_TRUE(orphan_join.AddAndJoin("join", "").ok());
+  EXPECT_FALSE(orphan_join.Validate().ok());
+
+  ProcessGraph dup("dup");
+  ASSERT_TRUE(dup.AddActivity("a", kApproveRql, "").ok());
+  EXPECT_EQ(dup.AddActivity("a", kApproveRql, "").code(),
+            StatusCode::kAlreadyExists);
+
+  ProcessGraph g("ok");
+  ASSERT_TRUE(g.AddActivity("a", kApproveRql, "").ok());
+  EXPECT_TRUE(g.SetStart("missing").IsNotFound());
+  EXPECT_FALSE(g.AddXorSplit("x", {}).ok());
+  EXPECT_FALSE(g.AddAndSplit("y", {}).ok());
+}
+
+TEST_F(GraphTest, ApiMisuseReported) {
+  ProcessGraph g = Sequential();
+  auto case_id = engine_->StartCase(g, AliceData("500"));
+  ASSERT_TRUE(case_id.ok());
+  // Wrong node names.
+  EXPECT_TRUE(engine_->StartActivity(*case_id, "approve").status()
+                  .IsNotFound());  // Not pending yet.
+  EXPECT_TRUE(engine_->CompleteActivity(*case_id, "implement").IsNotFound());
+  // Double start on the same token.
+  ASSERT_TRUE(engine_->StartActivity(*case_id, "implement").ok());
+  EXPECT_FALSE(engine_->StartActivity(*case_id, "implement").ok());
+  // Unknown case ids.
+  EXPECT_FALSE(engine_->PendingActivities(99).ok());
+  EXPECT_FALSE(engine_->StartActivity(99, "x").ok());
+  EXPECT_FALSE(engine_->CompleteActivity(99, "x").ok());
+  EXPECT_FALSE(engine_->GetState(99).ok());
+}
+
+TEST_F(GraphTest, TrivialControlOnlyCaseCompletesImmediately) {
+  ProcessGraph g("control_only");
+  ASSERT_TRUE(g.AddAndSplit("fork", {"join", "join"}).ok());
+  ASSERT_TRUE(g.AddAndJoin("join", "").ok());
+  ASSERT_TRUE(g.SetStart("fork").ok());
+  auto case_id = engine_->StartCase(g, {});
+  ASSERT_TRUE(case_id.ok()) << case_id.status().ToString();
+  EXPECT_EQ(*engine_->GetState(*case_id), CaseState::kCompleted);
+}
+
+}  // namespace
+}  // namespace wfrm::wf

@@ -1,0 +1,167 @@
+#include "wf/worklist.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil/paper_org.h"
+
+namespace wfrm::wf {
+namespace {
+
+constexpr char kSmallJob[] =
+    "Select ContactInfo From Programmer Where Location = 'PA' "
+    "For Programming With NumberOfLines = 5000 And Location = 'PA'";
+constexpr char kApproval[] =
+    "Select ContactInfo From Manager For Approval With Amount = 500 And "
+    "Requester = 'alice' And Location = 'PA'";
+
+class WorkListTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto world = testutil::BuildPaperWorld();
+    ASSERT_TRUE(world.ok()) << world.status().ToString();
+    org_ = std::move(world->org);
+    store_ = std::move(world->store);
+    rm_ = std::make_unique<core::ResourceManager>(org_.get(), store_.get());
+    wl_ = std::make_unique<WorkList>(rm_.get());
+  }
+
+  std::unique_ptr<org::OrgModel> org_;
+  std::unique_ptr<policy::PolicyStore> store_;
+  std::unique_ptr<core::ResourceManager> rm_;
+  std::unique_ptr<WorkList> wl_;
+};
+
+TEST_F(WorkListTest, OfferCollectsPolicyCompliantCandidates) {
+  auto id = wl_->CreateOffer(kSmallJob);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  const WorkList::Offer* offer = wl_->Get(*id);
+  ASSERT_NE(offer, nullptr);
+  EXPECT_EQ(offer->candidates.size(), 3u);  // bob, pam, pete.
+  EXPECT_EQ(offer->state, WorkList::OfferState::kOpen);
+  EXPECT_EQ(wl_->num_open(), 1u);
+}
+
+TEST_F(WorkListTest, OfferFailsWhenNothingAvailable) {
+  auto bad = wl_->CreateOffer(
+      "Select Id From Secretary For Programming With NumberOfLines = 1 "
+      "And Location = 'PA'");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsNoQualifiedResource());
+  EXPECT_EQ(wl_->num_open(), 0u);
+}
+
+TEST_F(WorkListTest, WorkListsPerResource) {
+  auto job = wl_->CreateOffer(kSmallJob);
+  auto approval = wl_->CreateOffer(kApproval);
+  ASSERT_TRUE(job.ok() && approval.ok());
+
+  org::ResourceRef bob{"Programmer", "bob"};
+  org::ResourceRef carol{"Manager", "carol"};
+  org::ResourceRef erin{"Manager", "erin"};
+  EXPECT_EQ(wl_->WorkListFor(bob), std::vector<size_t>{*job});
+  EXPECT_EQ(wl_->WorkListFor(carol), std::vector<size_t>{*approval});
+  // erin is not the requester's manager: policy keeps the approval off
+  // her list.
+  EXPECT_TRUE(wl_->WorkListFor(erin).empty());
+}
+
+TEST_F(WorkListTest, ClaimAllocatesAndCompleteReleases) {
+  auto id = wl_->CreateOffer(kSmallJob);
+  ASSERT_TRUE(id.ok());
+  org::ResourceRef bob{"Programmer", "bob"};
+  ASSERT_TRUE(wl_->Claim(*id, bob).ok());
+  EXPECT_TRUE(rm_->IsAllocated(bob));
+  EXPECT_EQ(wl_->Get(*id)->state, WorkList::OfferState::kClaimed);
+  // Claimed offers drop off everyone's work list.
+  EXPECT_TRUE(wl_->WorkListFor(bob).empty());
+
+  ASSERT_TRUE(wl_->Complete(*id).ok());
+  EXPECT_FALSE(rm_->IsAllocated(bob));
+  EXPECT_EQ(wl_->Get(*id)->state, WorkList::OfferState::kCompleted);
+}
+
+TEST_F(WorkListTest, NonCandidateClaimIsAPolicyViolation) {
+  auto id = wl_->CreateOffer(kSmallJob);
+  ASSERT_TRUE(id.ok());
+  // quinn is a programmer but in Cupertino: not in this candidate set.
+  Status st = wl_->Claim(*id, org::ResourceRef{"Programmer", "quinn"});
+  EXPECT_TRUE(st.IsPolicyViolation());
+  EXPECT_EQ(wl_->Get(*id)->state, WorkList::OfferState::kOpen);
+}
+
+TEST_F(WorkListTest, StaleCandidateClaimFailsButOfferStaysOpen) {
+  auto id = wl_->CreateOffer(kSmallJob);
+  ASSERT_TRUE(id.ok());
+  org::ResourceRef bob{"Programmer", "bob"};
+  // bob gets allocated elsewhere after the offer was cut.
+  ASSERT_TRUE(rm_->Allocate(bob).ok());
+  Status st = wl_->Claim(*id, bob);
+  EXPECT_TRUE(st.IsResourceUnavailable());
+  EXPECT_EQ(wl_->Get(*id)->state, WorkList::OfferState::kOpen);
+  // Another candidate can still claim.
+  EXPECT_TRUE(wl_->Claim(*id, org::ResourceRef{"Programmer", "pam"}).ok());
+}
+
+TEST_F(WorkListTest, OnlyOneClaimWins) {
+  auto id = wl_->CreateOffer(kSmallJob);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(wl_->Claim(*id, org::ResourceRef{"Programmer", "bob"}).ok());
+  Status st = wl_->Claim(*id, org::ResourceRef{"Programmer", "pam"});
+  EXPECT_FALSE(st.ok());  // Not open any more.
+}
+
+TEST_F(WorkListTest, CancelReleasesClaimant) {
+  auto id = wl_->CreateOffer(kSmallJob);
+  ASSERT_TRUE(id.ok());
+  org::ResourceRef bob{"Programmer", "bob"};
+  ASSERT_TRUE(wl_->Claim(*id, bob).ok());
+  ASSERT_TRUE(wl_->Cancel(*id).ok());
+  EXPECT_FALSE(rm_->IsAllocated(bob));
+  EXPECT_EQ(wl_->Get(*id)->state, WorkList::OfferState::kCancelled);
+  EXPECT_FALSE(wl_->Cancel(*id).ok());
+}
+
+TEST_F(WorkListTest, RefreshTracksAvailabilityAndSubstitution) {
+  // The Mexico job: one primary candidate (bob).
+  const char* mexico =
+      "Select ContactInfo From Engineer Where Location = 'PA' "
+      "For Programming With NumberOfLines = 35000 And Location = 'Mexico'";
+  auto id = wl_->CreateOffer(mexico);
+  ASSERT_TRUE(id.ok());
+  ASSERT_EQ(wl_->Get(*id)->candidates.size(), 1u);
+  EXPECT_EQ(wl_->Get(*id)->candidates[0].id, "bob");
+
+  // bob goes busy; refreshing routes the offer through substitution to
+  // the Cupertino programmer.
+  ASSERT_TRUE(rm_->Allocate(org::ResourceRef{"Programmer", "bob"}).ok());
+  ASSERT_TRUE(wl_->Refresh(*id).ok());
+  ASSERT_EQ(wl_->Get(*id)->candidates.size(), 1u);
+  EXPECT_EQ(wl_->Get(*id)->candidates[0].id, "quinn");
+
+  // Everyone busy: candidates empty, offer still open.
+  ASSERT_TRUE(rm_->Allocate(org::ResourceRef{"Programmer", "quinn"}).ok());
+  ASSERT_TRUE(wl_->Refresh(*id).ok());
+  EXPECT_TRUE(wl_->Get(*id)->candidates.empty());
+  EXPECT_EQ(wl_->Get(*id)->state, WorkList::OfferState::kOpen);
+
+  // bob released: refresh restores him.
+  ASSERT_TRUE(rm_->Release(org::ResourceRef{"Programmer", "bob"}).ok());
+  ASSERT_TRUE(wl_->Refresh(*id).ok());
+  ASSERT_EQ(wl_->Get(*id)->candidates.size(), 1u);
+  EXPECT_EQ(wl_->Get(*id)->candidates[0].id, "bob");
+}
+
+TEST_F(WorkListTest, ApiMisuse) {
+  EXPECT_FALSE(wl_->Claim(99, org::ResourceRef{"Programmer", "bob"}).ok());
+  EXPECT_FALSE(wl_->Complete(99).ok());
+  EXPECT_FALSE(wl_->Refresh(99).ok());
+  EXPECT_EQ(wl_->Get(99), nullptr);
+  auto id = wl_->CreateOffer(kSmallJob);
+  ASSERT_TRUE(id.ok());
+  EXPECT_FALSE(wl_->Complete(*id).ok());  // Not claimed yet.
+  ASSERT_TRUE(wl_->Claim(*id, org::ResourceRef{"Programmer", "bob"}).ok());
+  EXPECT_FALSE(wl_->Refresh(*id).ok());   // Not open any more.
+}
+
+}  // namespace
+}  // namespace wfrm::wf
