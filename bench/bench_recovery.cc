@@ -1,0 +1,156 @@
+// Cost of the failure-handling layer: steady-state Acquire overhead
+// with leases enabled vs. the seed's plain hold-until-release
+// allocations, lease renewal/reap pass costs, and end-to-end case
+// throughput under injected resource-failure rates (0% / 5% / 20%) —
+// how much chaos the recovery paths absorb per assignment.
+
+#include <benchmark/benchmark.h>
+
+#include "common/clock.h"
+#include "core/fault_injector.h"
+#include "core/resource_manager.h"
+#include "testutil/paper_org.h"
+#include "wf/engine.h"
+
+namespace {
+
+using namespace wfrm;  // NOLINT
+
+constexpr char kSmallJob[] =
+    "Select ContactInfo From Programmer Where Location = 'PA' "
+    "For Programming With NumberOfLines = 5000 And Location = 'PA'";
+
+void BM_Recovery_AcquireRelease_NoLeaseExpiry(benchmark::State& state) {
+  // Baseline = seed semantics: lease_duration 0 (never expires), system
+  // clock, no injector.
+  auto world = testutil::BuildPaperWorld();
+  if (!world.ok()) std::abort();
+  core::ResourceManager rm(world->org.get(), world->store.get());
+  for (auto _ : state) {
+    auto lease = rm.Acquire(kSmallJob);
+    if (lease.ok()) {
+      benchmark::DoNotOptimize(*lease);
+      (void)rm.Release(*lease);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Recovery_AcquireRelease_NoLeaseExpiry);
+
+void BM_Recovery_AcquireRelease_WithLeases(benchmark::State& state) {
+  // Leases enabled (deadline arithmetic against a simulated clock) plus
+  // a reap pass per cycle — the full steady-state lease overhead.
+  auto world = testutil::BuildPaperWorld();
+  if (!world.ok()) std::abort();
+  SimulatedClock clock;
+  core::ResourceManagerOptions options;
+  options.clock = &clock;
+  options.lease_duration_micros = 1'000'000;
+  core::ResourceManager rm(world->org.get(), world->store.get(), options);
+  for (auto _ : state) {
+    auto lease = rm.Acquire(kSmallJob);
+    if (lease.ok()) {
+      benchmark::DoNotOptimize(*lease);
+      (void)rm.Release(*lease);
+    }
+    clock.AdvanceMicros(10);
+    benchmark::DoNotOptimize(rm.ReapExpired());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Recovery_AcquireRelease_WithLeases);
+
+void BM_Recovery_RenewLease(benchmark::State& state) {
+  auto world = testutil::BuildPaperWorld();
+  if (!world.ok()) std::abort();
+  SimulatedClock clock;
+  core::ResourceManagerOptions options;
+  options.clock = &clock;
+  options.lease_duration_micros = 1'000'000;
+  core::ResourceManager rm(world->org.get(), world->store.get(), options);
+  auto lease = rm.Acquire(kSmallJob);
+  if (!lease.ok()) std::abort();
+  for (auto _ : state) {
+    auto renewed = rm.RenewLease(*lease);
+    if (!renewed.ok()) std::abort();
+    benchmark::DoNotOptimize(*renewed);
+    clock.AdvanceMicros(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Recovery_RenewLease);
+
+void BM_Recovery_ReapExpired_Idle(benchmark::State& state) {
+  // The reap pass when nothing is expired — the cost of running it on a
+  // timer in a healthy system.
+  auto world = testutil::BuildPaperWorld();
+  if (!world.ok()) std::abort();
+  SimulatedClock clock;
+  core::ResourceManagerOptions options;
+  options.clock = &clock;
+  options.lease_duration_micros = 1'000'000'000;
+  core::ResourceManager rm(world->org.get(), world->store.get(), options);
+  auto a = rm.Acquire(kSmallJob);
+  auto b = rm.Acquire(kSmallJob);
+  if (!a.ok() || !b.ok()) std::abort();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rm.ReapExpired());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Recovery_ReapExpired_Idle);
+
+void BM_Recovery_CaseThroughputUnderFailures(benchmark::State& state) {
+  // End-to-end case throughput while the configured permille of work
+  // items lose their holder mid-flight and recover via Reassign (fresh
+  // pipeline run excluding the dead resource).
+  const double failure_rate = static_cast<double>(state.range(0)) / 1000.0;
+  auto world = testutil::BuildPaperWorld();
+  if (!world.ok()) std::abort();
+  SimulatedClock clock;
+  core::FaultInjectorOptions fopts;
+  fopts.seed = 42;
+  fopts.resource_failure_rate = failure_rate;
+  core::FaultInjector injector(fopts);
+  core::ResourceManagerOptions ropts;
+  ropts.clock = &clock;
+  ropts.lease_duration_micros = 1'000'000;
+  ropts.fault_injector = &injector;
+  core::ResourceManager rm(world->org.get(), world->store.get(), ropts);
+  wf::WorkflowEngineOptions eopts;
+  eopts.retry_policy.max_attempts = 5;
+  wf::WorkflowEngine engine(&rm, eopts);
+  wf::ProcessDefinition process{"fix", {{"fix", kSmallJob}}};
+
+  size_t reassigned = 0;
+  for (auto _ : state) {
+    size_t id = engine.StartCase(process, {});
+    auto item = engine.Advance(id);
+    if (!item.ok()) std::abort();
+    if (injector.SampleResourceFailure()) {
+      // The holder dies; recovery must land a substitute.
+      if (!rm.MarkFailed(item->resource).ok()) std::abort();
+      auto replacement = engine.Reassign(id);
+      if (!replacement.ok()) std::abort();
+      if (!rm.MarkRecovered(item->resource).ok()) std::abort();
+      ++reassigned;
+    }
+    if (!engine.Complete(id).ok()) std::abort();
+    clock.AdvanceMicros(10);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["reassign_rate"] =
+      state.iterations() == 0
+          ? 0.0
+          : static_cast<double>(reassigned) /
+                static_cast<double>(state.iterations());
+}
+// Failure rates in permille: 0%, 5%, 20%.
+BENCHMARK(BM_Recovery_CaseThroughputUnderFailures)
+    ->Arg(0)
+    ->Arg(50)
+    ->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

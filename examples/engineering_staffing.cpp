@@ -79,7 +79,7 @@ int main() {
   // Allocate bob; the next identical request must fall back to the
   // Figure 9 substitution policy and staff the Cupertino programmer.
   auto bob = Check(rm.Acquire(kFigure4));
-  std::cout << "Allocated " << bob.ToString()
+  std::cout << "Allocated " << bob.resource.ToString()
             << "; resubmitting the same request...\n\n";
   auto fallback = Check(rm.Submit(kFigure4));
   std::cout << "Substitution used: "

@@ -67,26 +67,27 @@ int main() {
 
   // Phase 1: all cases request an implementer concurrently. The pool has
   // one compliant PA programmer; the second case is staffed through the
-  // substitution policy (Cupertino); the third fails to start.
+  // substitution policy (Cupertino); the third finds nothing — a
+  // transient condition, so its case stays running and tries again
+  // later.
   std::cout << "== implement phase ==\n";
+  std::vector<size_t> staffed, stalled;
   for (size_t id : case_ids) {
     auto item = engine.Advance(id);
     if (item.ok()) {
       std::cout << "case " << id << ": '" << item->step_name
                 << "' assigned to " << item->resource.ToString() << "\n";
+      staffed.push_back(id);
     } else {
-      std::cout << "case " << id << ": " << item.status().ToString() << "\n";
+      std::cout << "case " << id << ": " << item.status().ToString()
+                << " (case stays running)\n";
+      stalled.push_back(id);
     }
   }
 
   // Phase 2: finish implementation, then route approvals.
   std::cout << "\n== approve phase ==\n";
-  for (size_t id : case_ids) {
-    auto state = Check(engine.GetState(id));
-    if (state != wfrm::wf::CaseState::kRunning) {
-      std::cout << "case " << id << ": skipped (failed earlier)\n";
-      continue;
-    }
+  for (size_t id : staffed) {
     Check(engine.Complete(id));
     auto item = engine.Advance(id);
     if (item.ok()) {
@@ -96,6 +97,25 @@ int main() {
     } else {
       std::cout << "case " << id << ": " << item.status().ToString() << "\n";
     }
+  }
+
+  // Phase 3: the implementers are free again — the stalled case resumes
+  // where it left off instead of having failed.
+  std::cout << "\n== retry phase ==\n";
+  for (size_t id : stalled) {
+    auto item = engine.Advance(id);
+    if (!item.ok()) {
+      std::cout << "case " << id << ": " << item.status().ToString() << "\n";
+      continue;
+    }
+    std::cout << "case " << id << ": '" << item->step_name
+              << "' assigned to " << item->resource.ToString()
+              << " (after retry)\n";
+    Check(engine.Complete(id));
+    auto approve = Check(engine.Advance(id));
+    std::cout << "case " << id << ": '" << approve.step_name
+              << "' assigned to " << approve.resource.ToString() << "\n";
+    Check(engine.Complete(id));
   }
 
   std::cout << "\n== audit trail ==\n";

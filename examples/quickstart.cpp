@@ -96,7 +96,7 @@ int main() {
   auto ben = Check(rm.Acquire(
       "Select Name From Staff Where Site = 'Lyon' "
       "For Incident With Severity = 4"));
-  std::cout << "acquired " << ben.ToString() << " for the incident\n";
+  std::cout << "acquired " << ben.resource.ToString() << " for the incident\n";
   auto rerun = Check(rm.Submit(
       "Select Name From Staff Where Site = 'Lyon' "
       "For Incident With Severity = 4"));
@@ -104,6 +104,6 @@ int main() {
             << rerun.candidates.size() << " candidate(s); status: "
             << rerun.status.ToString() << "\n";
   Check(rm.Release(ben));
-  std::cout << "released " << ben.ToString() << "\n";
+  std::cout << "released " << ben.resource.ToString() << "\n";
   return 0;
 }

@@ -1,0 +1,24 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace wfrm {
+
+int64_t SystemClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SystemClock::SleepForMicros(int64_t micros) {
+  if (micros <= 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+SystemClock* SystemClock::Default() {
+  static SystemClock clock;
+  return &clock;
+}
+
+}  // namespace wfrm

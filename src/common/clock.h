@@ -1,0 +1,66 @@
+#ifndef WFRM_COMMON_CLOCK_H_
+#define WFRM_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace wfrm {
+
+/// Time source for lease deadlines, retry backoff and fault schedules.
+///
+/// All timestamps are microseconds on an arbitrary monotonic epoch —
+/// they order events and measure durations, they are not wall-clock
+/// dates. Production code uses SystemClock; tests and benches inject a
+/// SimulatedClock so failure scenarios replay deterministically.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time, microseconds, monotonic.
+  virtual int64_t NowMicros() const = 0;
+
+  /// Blocks (or, for a simulated clock, advances time) for `micros`.
+  /// Negative durations are a no-op.
+  virtual void SleepForMicros(int64_t micros) = 0;
+};
+
+/// std::chrono::steady_clock — monotonic, unaffected by wall-clock
+/// adjustments. SleepForMicros really sleeps the calling thread.
+class SystemClock : public Clock {
+ public:
+  int64_t NowMicros() const override;
+  void SleepForMicros(int64_t micros) override;
+
+  /// Process-wide shared instance (the default when no clock is
+  /// injected).
+  static SystemClock* Default();
+};
+
+/// A clock that only moves when told to. SleepForMicros advances the
+/// clock instead of blocking, so retry backoff and lease expiry run at
+/// full speed in tests. Thread-safe: concurrent readers and advancers
+/// see a monotonically non-decreasing time.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(int64_t start_micros = 0)
+      : now_micros_(start_micros) {}
+
+  int64_t NowMicros() const override {
+    return now_micros_.load(std::memory_order_acquire);
+  }
+  void SleepForMicros(int64_t micros) override { AdvanceMicros(micros); }
+
+  /// Moves time forward by `micros` (negative: no-op — time never goes
+  /// backwards).
+  void AdvanceMicros(int64_t micros) {
+    if (micros <= 0) return;
+    now_micros_.fetch_add(micros, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<int64_t> now_micros_;
+};
+
+}  // namespace wfrm
+
+#endif  // WFRM_COMMON_CLOCK_H_

@@ -1,0 +1,37 @@
+#include "common/retry.h"
+
+#include <algorithm>
+
+namespace wfrm {
+
+Backoff::Backoff(const RetryPolicy& policy, uint64_t seed)
+    : policy_(policy),
+      next_backoff_micros_(policy.initial_backoff_micros),
+      rng_(seed) {
+  policy_.max_attempts = std::max(policy_.max_attempts, 1);
+  policy_.jitter = std::clamp(policy_.jitter, 0.0, 1.0);
+  if (policy_.backoff_multiplier < 1.0) policy_.backoff_multiplier = 1.0;
+}
+
+bool Backoff::ShouldRetry(int attempt) const {
+  return attempt + 1 < policy_.max_attempts;
+}
+
+int64_t Backoff::NextDelayMicros() {
+  int64_t base = std::min(next_backoff_micros_, policy_.max_backoff_micros);
+  // Grow the series for the following call, saturating at the cap to
+  // avoid overflow on long retry chains.
+  double grown = static_cast<double>(next_backoff_micros_) *
+                 policy_.backoff_multiplier;
+  next_backoff_micros_ =
+      grown >= static_cast<double>(policy_.max_backoff_micros)
+          ? policy_.max_backoff_micros
+          : static_cast<int64_t>(grown);
+  if (base <= 0) return 0;
+  if (policy_.jitter == 0.0) return base;
+  std::uniform_real_distribution<double> dist(1.0 - policy_.jitter,
+                                              1.0 + policy_.jitter);
+  return static_cast<int64_t>(static_cast<double>(base) * dist(rng_));
+}
+
+}  // namespace wfrm

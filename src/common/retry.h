@@ -1,0 +1,59 @@
+#ifndef WFRM_COMMON_RETRY_H_
+#define WFRM_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <random>
+
+namespace wfrm {
+
+/// Retry behaviour for transient failures (kResourceUnavailable):
+/// exponential backoff with multiplicative jitter, capped. Delays are
+/// *computed* here and *spent* against an injected Clock, so a
+/// SimulatedClock replays a retry schedule instantly and
+/// deterministically.
+struct RetryPolicy {
+  /// Total tries including the first. 1 disables retrying; 0 is
+  /// normalized to 1.
+  int max_attempts = 3;
+  /// Delay before the second try.
+  int64_t initial_backoff_micros = 1000;
+  /// Growth factor between consecutive delays.
+  double backoff_multiplier = 2.0;
+  /// Upper bound on any single delay.
+  int64_t max_backoff_micros = 1'000'000;
+  /// Each delay is scaled by a uniform factor in [1-jitter, 1+jitter]
+  /// to decorrelate concurrent retriers. 0 = fully deterministic
+  /// schedule.
+  double jitter = 0.1;
+
+  /// No retrying at all: fail on the first transient error (the seed's
+  /// behaviour).
+  static RetryPolicy None() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+};
+
+/// Stateful backoff series for one logical operation. Seeded, so two
+/// Backoff instances with the same policy and seed produce identical
+/// delay sequences.
+class Backoff {
+ public:
+  explicit Backoff(const RetryPolicy& policy, uint64_t seed = 42);
+
+  /// True while tries remain; `attempt` is 0-based (0 = the first try).
+  bool ShouldRetry(int attempt) const;
+
+  /// The delay to spend before the next try. Advances the series.
+  int64_t NextDelayMicros();
+
+ private:
+  RetryPolicy policy_;
+  int64_t next_backoff_micros_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace wfrm
+
+#endif  // WFRM_COMMON_RETRY_H_

@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "no qualified resource";
     case StatusCode::kResourceUnavailable:
       return "resource unavailable";
+    case StatusCode::kNotAllocated:
+      return "not allocated";
     case StatusCode::kUnimplemented:
       return "unimplemented";
     case StatusCode::kInternal:

@@ -25,6 +25,12 @@ enum class StatusCode {
   kPolicyViolation,
   kNoQualifiedResource,
   kResourceUnavailable,
+  /// Release/renew of a resource that is not currently allocated, or
+  /// through a lease that is no longer current (expired+reaped, or the
+  /// resource was re-acquired under a newer lease). Distinct from
+  /// kNotFound so callers can tell a bookkeeping misuse from a missing
+  /// entity.
+  kNotAllocated,
   kUnimplemented,
   kInternal,
 };
@@ -81,6 +87,9 @@ class Status {
   static Status ResourceUnavailable(std::string msg) {
     return Status(StatusCode::kResourceUnavailable, std::move(msg));
   }
+  static Status NotAllocated(std::string msg) {
+    return Status(StatusCode::kNotAllocated, std::move(msg));
+  }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
@@ -107,6 +116,7 @@ class Status {
   bool IsResourceUnavailable() const {
     return code() == StatusCode::kResourceUnavailable;
   }
+  bool IsNotAllocated() const { return code() == StatusCode::kNotAllocated; }
 
   /// Renders "<code>: <message>" (or "OK").
   std::string ToString() const;

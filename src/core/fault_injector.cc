@@ -1,0 +1,73 @@
+#include "core/fault_injector.h"
+
+#include <algorithm>
+
+namespace wfrm::core {
+
+FaultInjector::FaultInjector(FaultInjectorOptions options)
+    : options_(options), rng_(options.seed) {}
+
+bool FaultInjector::SampleQueryFault() {
+  if (options_.query_fault_rate <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  if (dist(rng_) >= options_.query_fault_rate) return false;
+  ++query_faults_injected_;
+  return true;
+}
+
+bool FaultInjector::SampleResourceFailure() {
+  if (options_.resource_failure_rate <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  if (dist(rng_) >= options_.resource_failure_rate) return false;
+  ++resource_failures_injected_;
+  return true;
+}
+
+void FaultInjector::ScheduleDown(const org::ResourceRef& resource,
+                                 int64_t at_micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  schedule_.push_back(HealthEvent{resource, at_micros, /*down=*/true});
+}
+
+void FaultInjector::ScheduleUp(const org::ResourceRef& resource,
+                               int64_t at_micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  schedule_.push_back(HealthEvent{resource, at_micros, /*down=*/false});
+}
+
+std::vector<FaultInjector::HealthEvent> FaultInjector::DrainDue(
+    int64_t now_micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HealthEvent> due;
+  std::vector<HealthEvent> remaining;
+  for (HealthEvent& ev : schedule_) {
+    (ev.at_micros <= now_micros ? due : remaining).push_back(std::move(ev));
+  }
+  schedule_ = std::move(remaining);
+  // Insertion order breaks ties, so a down scheduled before an up at the
+  // same instant applies first (stable_sort keeps the vector order).
+  std::stable_sort(due.begin(), due.end(),
+                   [](const HealthEvent& a, const HealthEvent& b) {
+                     return a.at_micros < b.at_micros;
+                   });
+  return due;
+}
+
+size_t FaultInjector::num_query_faults_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return query_faults_injected_;
+}
+
+size_t FaultInjector::num_resource_failures_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resource_failures_injected_;
+}
+
+size_t FaultInjector::num_scheduled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return schedule_.size();
+}
+
+}  // namespace wfrm::core

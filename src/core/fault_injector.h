@@ -1,0 +1,78 @@
+#ifndef WFRM_CORE_FAULT_INJECTOR_H_
+#define WFRM_CORE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <vector>
+
+#include "org/org_model.h"
+
+namespace wfrm::core {
+
+struct FaultInjectorOptions {
+  /// Seed for the probability-driven faults: the same seed replays the
+  /// same fault sequence.
+  uint64_t seed = 42;
+  /// Probability that one Submit() suffers a transient query fault
+  /// (reported as kResourceUnavailable — retryable).
+  double query_fault_rate = 0.0;
+  /// Probability that one SampleResourceFailure() call reports a
+  /// failure — callers sample this e.g. once per assigned work item to
+  /// decide whether the holder dies mid-flight.
+  double resource_failure_rate = 0.0;
+};
+
+/// Deterministic fault source for chaos tests and benches.
+///
+/// Two modes, usable together:
+///  * probability-driven: seeded coin flips for transient query faults
+///    and resource failures;
+///  * schedule-driven: "resource R goes down (comes back up) at time T"
+///    events against the injected Clock, drained by whoever owns the
+///    health states (the ResourceManager polls DrainDue on query entry
+///    when wired through ResourceManagerOptions::fault_injector).
+///
+/// Thread-safe; all entry points are internally synchronized.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultInjectorOptions options = {});
+
+  /// One health transition of the schedule.
+  struct HealthEvent {
+    org::ResourceRef resource;
+    int64_t at_micros = 0;
+    bool down = true;  // false = recovery
+  };
+
+  /// Coin flip at query_fault_rate; counts injected faults.
+  bool SampleQueryFault();
+
+  /// Coin flip at resource_failure_rate; counts injected failures.
+  bool SampleResourceFailure();
+
+  /// Schedules `resource` to fail (recover) at `at_micros`.
+  void ScheduleDown(const org::ResourceRef& resource, int64_t at_micros);
+  void ScheduleUp(const org::ResourceRef& resource, int64_t at_micros);
+
+  /// Removes and returns every scheduled event with at_micros <=
+  /// now_micros, ordered by time (ties: schedule insertion order), so
+  /// down/up pairs for the same resource apply in the intended order.
+  std::vector<HealthEvent> DrainDue(int64_t now_micros);
+
+  size_t num_query_faults_injected() const;
+  size_t num_resource_failures_injected() const;
+  size_t num_scheduled() const;
+
+ private:
+  FaultInjectorOptions options_;
+  mutable std::mutex mutex_;
+  std::mt19937_64 rng_;
+  std::vector<HealthEvent> schedule_;
+  size_t query_faults_injected_ = 0;
+  size_t resource_failures_injected_ = 0;
+};
+
+}  // namespace wfrm::core
+
+#endif  // WFRM_CORE_FAULT_INJECTOR_H_

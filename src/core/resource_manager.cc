@@ -4,6 +4,32 @@
 
 namespace wfrm::core {
 
+void ResourceManager::ApplyScheduledFaults() const {
+  if (options_.fault_injector == nullptr) return;
+  if (options_.fault_injector->num_scheduled() == 0) return;
+  std::vector<FaultInjector::HealthEvent> due =
+      options_.fault_injector->DrainDue(clock_->NowMicros());
+  if (due.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const FaultInjector::HealthEvent& ev : due) {
+    if (ev.down) {
+      failed_.insert(ev.resource);
+    } else {
+      failed_.erase(ev.resource);
+    }
+  }
+}
+
+bool ResourceManager::IsUnavailableLocked(const org::ResourceRef& ref,
+                                          int64_t now_micros) const {
+  if (failed_.count(ref) > 0) return true;  // Down resources are invisible.
+  auto it = allocated_.find(ref);
+  if (it == allocated_.end()) return false;
+  // An expired lease no longer protects the allocation: the resource is
+  // available again even before a ReapExpired() pass collects it.
+  return it->second.deadline_micros > now_micros;
+}
+
 Result<size_t> ResourceManager::RunQueries(
     const std::vector<rql::RqlQuery>& queries, QueryOutcome* outcome) const {
   rel::ExecOptions opts;
@@ -32,9 +58,14 @@ Result<size_t> ResourceManager::RunQueries(
       outcome->resources.schema = std::move(schema);
     }
     const std::string& type = query.resource();
+    const int64_t now = clock_->NowMicros();
     for (rel::Row& row : rs.rows) {
       org::ResourceRef ref{type, row[0].string_value()};
-      if (IsAllocated(ref)) continue;  // Busy resources are unavailable.
+      {
+        // Busy or down resources are unavailable.
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (IsUnavailableLocked(ref, now)) continue;
+      }
       rel::Row out;
       out.reserve(row.size() + 1);
       out.push_back(rel::Value::String(type));
@@ -49,8 +80,21 @@ Result<size_t> ResourceManager::RunQueries(
 
 Result<QueryOutcome> ResourceManager::Submit(
     const rql::RqlQuery& query) const {
+  ApplyScheduledFaults();
+
   QueryOutcome outcome;
   outcome.status = Status::OK();
+
+  // Chaos hook: a transient infrastructure fault before the pipeline
+  // even runs. Reported as kResourceUnavailable so callers retry it
+  // exactly like a momentarily exhausted resource pool.
+  if (options_.fault_injector != nullptr &&
+      options_.fault_injector->SampleQueryFault()) {
+    outcome.injected_fault = true;
+    outcome.status = Status::ResourceUnavailable(
+        "injected transient query fault (fault injector)");
+    return outcome;
+  }
 
   // Stage 1+2 (§4.1, §4.2): qualification fan-out, requirement
   // enhancement.
@@ -136,7 +180,29 @@ size_t ResourceManager::PickCandidate(
   return 0;
 }
 
-Result<org::ResourceRef> ResourceManager::Acquire(std::string_view rql_text) {
+Lease ResourceManager::TryClaimLocked(const org::ResourceRef& ref,
+                                      int64_t now_micros) {
+  if (failed_.count(ref) > 0) return Lease{};  // Down: not claimable.
+  auto it = allocated_.find(ref);
+  if (it != allocated_.end() && it->second.deadline_micros > now_micros) {
+    return Lease{};  // Held under a live lease.
+  }
+  // Fresh grant, or overwrite of an expired one (the stale lease id
+  // keeps the previous holder from releasing this new grant).
+  Grant grant;
+  grant.lease_id = next_lease_id_++;
+  grant.deadline_micros = LeaseDeadline(now_micros);
+  allocated_[ref] = grant;
+  last_allocated_[ref] = ++logical_clock_;
+  return Lease{ref, grant.lease_id, grant.deadline_micros};
+}
+
+Result<Lease> ResourceManager::Acquire(std::string_view rql_text) {
+  return AcquireExcluding(rql_text, org::ResourceRef{});
+}
+
+Result<Lease> ResourceManager::AcquireExcluding(
+    std::string_view rql_text, const org::ResourceRef& excluded) {
   // Concurrent acquirers race between Submit's availability snapshot and
   // the allocation; losing a race is handled by trying the remaining
   // candidates and, if all were snapped up, re-submitting (the fresh
@@ -145,42 +211,150 @@ Result<org::ResourceRef> ResourceManager::Acquire(std::string_view rql_text) {
     WFRM_ASSIGN_OR_RETURN(QueryOutcome outcome, Submit(rql_text));
     if (!outcome.ok()) return outcome.status;
 
+    const int64_t now = clock_->NowMicros();
     std::lock_guard<std::mutex> lock(mutex_);
     ++acquire_count_;
     size_t start = PickCandidate(outcome.candidates);
     for (size_t i = 0; i < outcome.candidates.size(); ++i) {
       const org::ResourceRef& ref =
           outcome.candidates[(start + i) % outcome.candidates.size()];
-      if (allocated_.insert(ref).second) {
-        last_allocated_[ref] = ++logical_clock_;
-        return ref;
-      }
+      if (!excluded.id.empty() && ref == excluded) continue;
+      Lease lease = TryClaimLocked(ref, now);
+      if (lease.valid()) return lease;
     }
-    // Every candidate was claimed by a concurrent acquirer; retry with a
-    // fresh snapshot.
+    // Every candidate was claimed by a concurrent acquirer (or was the
+    // excluded resource); retry with a fresh snapshot unless exclusion
+    // alone exhausted the outcome.
+    if (!excluded.id.empty() && outcome.candidates.size() == 1 &&
+        outcome.candidates[0] == excluded) {
+      return Status::ResourceUnavailable(
+          "the only candidate is the excluded resource " +
+          excluded.ToString());
+    }
   }
   return Status::ResourceUnavailable(
       "could not claim any candidate under concurrent contention");
 }
 
-Status ResourceManager::Allocate(const org::ResourceRef& ref) {
+Result<Lease> ResourceManager::AllocateLease(const org::ResourceRef& ref) {
   // The resource must exist.
   WFRM_RETURN_NOT_OK(org_->GetResource(ref).status());
+  ApplyScheduledFaults();
+  const int64_t now = clock_->NowMicros();
   std::lock_guard<std::mutex> lock(mutex_);
-  if (!allocated_.insert(ref).second) {
+  if (failed_.count(ref) > 0) {
+    return Status::ResourceUnavailable("resource " + ref.ToString() +
+                                       " is down");
+  }
+  Lease lease = TryClaimLocked(ref, now);
+  if (!lease.valid()) {
     return Status::ResourceUnavailable("resource " + ref.ToString() +
                                        " is already allocated");
   }
-  return Status::OK();
+  return lease;
+}
+
+Status ResourceManager::Allocate(const org::ResourceRef& ref) {
+  return AllocateLease(ref).status();
 }
 
 Status ResourceManager::Release(const org::ResourceRef& ref) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (allocated_.erase(ref) == 0) {
-    return Status::NotFound("resource " + ref.ToString() +
-                            " is not allocated");
+    return Status::NotAllocated("resource " + ref.ToString() +
+                                " is not allocated (never allocated, "
+                                "double-released, or reaped)");
   }
   return Status::OK();
+}
+
+Status ResourceManager::Release(const Lease& lease) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = allocated_.find(lease.resource);
+  if (it == allocated_.end() || it->second.lease_id != lease.id) {
+    return Status::NotAllocated(
+        "lease " + std::to_string(lease.id) + " on " +
+        lease.resource.ToString() +
+        " is no longer current (released, reaped, or superseded)");
+  }
+  allocated_.erase(it);
+  return Status::OK();
+}
+
+Result<Lease> ResourceManager::RenewLease(const Lease& lease) {
+  const int64_t now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = allocated_.find(lease.resource);
+  if (it == allocated_.end() || it->second.lease_id != lease.id) {
+    return Status::NotAllocated(
+        "lease " + std::to_string(lease.id) + " on " +
+        lease.resource.ToString() + " cannot be renewed: not current");
+  }
+  // A renewal that arrives after the deadline but before any reap/claim
+  // still wins: the holder proved liveness.
+  it->second.deadline_micros = LeaseDeadline(now);
+  return Lease{lease.resource, lease.id, it->second.deadline_micros};
+}
+
+size_t ResourceManager::ReapExpired() {
+  const int64_t now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t reaped = 0;
+  for (auto it = allocated_.begin(); it != allocated_.end();) {
+    if (it->second.deadline_micros <= now) {
+      it = allocated_.erase(it);
+      ++reaped;
+    } else {
+      ++it;
+    }
+  }
+  return reaped;
+}
+
+bool ResourceManager::IsLeaseActive(const Lease& lease) const {
+  const int64_t now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = allocated_.find(lease.resource);
+  return it != allocated_.end() && it->second.lease_id == lease.id &&
+         it->second.deadline_micros > now;
+}
+
+bool ResourceManager::IsAllocated(const org::ResourceRef& ref) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return allocated_.count(ref) > 0;
+}
+
+size_t ResourceManager::num_allocated() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return allocated_.size();
+}
+
+Status ResourceManager::MarkFailed(const org::ResourceRef& ref) {
+  // Only real resources have health.
+  WFRM_RETURN_NOT_OK(org_->GetResource(ref).status());
+  std::lock_guard<std::mutex> lock(mutex_);
+  failed_.insert(ref);
+  return Status::OK();
+}
+
+Status ResourceManager::MarkRecovered(const org::ResourceRef& ref) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  failed_.erase(ref);  // Idempotent: recovering an up resource is a no-op.
+  return Status::OK();
+}
+
+bool ResourceManager::IsFailed(const org::ResourceRef& ref) const {
+  // Health is a lazily-synchronized view of the fault schedule: sync it
+  // so a reader sees transitions that are already due.
+  ApplyScheduledFaults();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failed_.count(ref) > 0;
+}
+
+size_t ResourceManager::num_failed() const {
+  ApplyScheduledFaults();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failed_.size();
 }
 
 }  // namespace wfrm::core

@@ -1,6 +1,7 @@
 #ifndef WFRM_CORE_RESOURCE_MANAGER_H_
 #define WFRM_CORE_RESOURCE_MANAGER_H_
 
+#include <limits>
 #include <map>
 #include <mutex>
 #include <random>
@@ -8,7 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/result.h"
+#include "core/fault_injector.h"
 #include "org/org_model.h"
 #include "policy/policy_manager.h"
 #include "policy/policy_store.h"
@@ -46,14 +49,52 @@ struct ResourceManagerOptions {
   AllocationStrategy allocation_strategy = AllocationStrategy::kFirst;
   /// Seed for AllocationStrategy::kRandom.
   uint64_t random_seed = 42;
+
+  // ---- Failure model -----------------------------------------------------
+
+  /// Time source for lease deadlines and scheduled faults. nullptr =
+  /// SystemClock::Default(). Inject a SimulatedClock for deterministic
+  /// expiry/fault replay.
+  Clock* clock = nullptr;
+  /// How long an allocation's lease lasts before it can be reaped.
+  /// 0 = leases never expire (the seed's hold-until-release semantics).
+  int64_t lease_duration_micros = 0;
+  /// Optional fault source: its schedule drives resource health
+  /// transitions (drained on query entry) and its query_fault_rate
+  /// injects transient kResourceUnavailable outcomes into Submit().
+  /// Not owned; may be shared across managers.
+  FaultInjector* fault_injector = nullptr;
 };
+
+/// A granted allocation: the resource, a unique lease id, and the
+/// deadline by which the holder must Complete/Release or RenewLease()
+/// before a ReapExpired() pass may reclaim the resource. Value type —
+/// copy it freely; the ResourceManager keeps the authoritative record.
+struct Lease {
+  /// Deadline value for leases that never expire.
+  static constexpr int64_t kNoExpiry = std::numeric_limits<int64_t>::max();
+
+  org::ResourceRef resource;
+  /// Unique per grant; 0 = invalid/never granted. A reclaimed resource
+  /// re-acquired later gets a fresh id, so a stale lease can never
+  /// release the new holder's allocation.
+  uint64_t id = 0;
+  int64_t deadline_micros = kNoExpiry;
+
+  bool valid() const { return id != 0; }
+};
+
+/// Per-resource health (paper-era "resource became unavailable" is
+/// modelled as kDown; substitution then doubles as graceful
+/// degradation).
+enum class HealthState { kUp, kDown };
 
 /// Trace + result of one resource request through the Figure 1 pipeline.
 struct QueryOutcome {
   /// kOk — resources found (possibly via substitution);
   /// kNoQualifiedResource — the CWA ruled out every resource type (§3.1);
   /// kResourceUnavailable — rewritten queries (and alternatives, §2.1)
-  /// matched nothing available.
+  /// matched nothing available, or a transient fault was injected.
   Status status;
 
   /// The §4.1+§4.2 enforced queries, rendered.
@@ -62,6 +103,9 @@ struct QueryOutcome {
   /// primary round succeeded or substitution is disabled.
   std::vector<std::string> alternative_queries;
   bool used_substitution = false;
+  /// True when the outcome's failure was manufactured by the fault
+  /// injector rather than observed from the org database.
+  bool injected_fault = false;
 
   /// Matching *available* resources: ResourceType, Id, then the query's
   /// select list.
@@ -77,15 +121,27 @@ struct QueryOutcome {
 /// against the organization's resource tables, applies availability, and
 /// falls back to substitution alternatives exactly once.
 ///
-/// Availability is allocation-based: Allocate() marks a resource busy;
-/// busy resources never appear in query outcomes until Release()d.
+/// Availability is allocation- and health-based: Allocate()/Acquire()
+/// mark a resource busy, MarkFailed() marks it down; busy or down
+/// resources never appear in query outcomes until released/reaped
+/// (busy) or MarkRecovered() (down).
+///
+/// Every allocation carries a Lease. With lease_duration_micros == 0
+/// leases never expire and behave exactly like the original
+/// hold-until-release allocations. With a positive duration, a holder
+/// that neither completes nor renews within the window loses the claim:
+/// ReapExpired() reclaims the resource, and a concurrent acquirer may
+/// overwrite an expired record directly. Stale leases are harmless —
+/// Release/RenewLease through them fail with kNotAllocated instead of
+/// touching the new holder's grant.
 ///
 /// Thread safety: allocation bookkeeping (Allocate / Release /
-/// IsAllocated / Acquire) is internally synchronized, and Acquire claims
-/// a candidate atomically (two threads acquiring concurrently never
-/// receive the same resource; the loser falls through to the next
-/// candidate or to substitution). The org model and policy store must
-/// not be mutated concurrently with queries.
+/// IsAllocated / Acquire / RenewLease / ReapExpired) and health state
+/// are internally synchronized, and Acquire claims a candidate
+/// atomically (two threads acquiring concurrently never receive the
+/// same resource; the loser falls through to the next candidate or to
+/// substitution). The org model and policy store must not be mutated
+/// concurrently with queries.
 class ResourceManager {
  public:
   ResourceManager(org::OrgModel* org, policy::PolicyStore* store,
@@ -93,6 +149,7 @@ class ResourceManager {
       : org_(org),
         store_(store),
         options_(options),
+        clock_(options.clock ? options.clock : SystemClock::Default()),
         policy_manager_(org, store) {}
 
   /// Parses, binds, enforces and executes an RQL request.
@@ -103,44 +160,119 @@ class ResourceManager {
 
   /// Submits and allocates a candidate chosen by the configured
   /// allocation strategy, atomically with respect to concurrent
-  /// Acquire() calls.
-  Result<org::ResourceRef> Acquire(std::string_view rql_text);
+  /// Acquire() calls. The returned lease is the receipt for
+  /// RenewLease/Release.
+  Result<Lease> Acquire(std::string_view rql_text);
+
+  /// Acquire, but never hands out `excluded` even if the pipeline
+  /// offers it — the recovery path after `excluded`'s holder died: the
+  /// full enforcement pipeline runs afresh and the replacement is drawn
+  /// from that outcome minus the failed resource.
+  Result<Lease> AcquireExcluding(std::string_view rql_text,
+                                 const org::ResourceRef& excluded);
 
   // ---- Allocation bookkeeping ------------------------------------------
 
+  /// Allocates a specific resource (it must exist and be up), returning
+  /// its lease.
+  Result<Lease> AllocateLease(const org::ResourceRef& ref);
+
+  /// Back-compat wrapper: AllocateLease, dropping the lease (the record
+  /// is still lease-tracked internally; Release(ref) frees it).
   Status Allocate(const org::ResourceRef& ref);
+
+  /// Releases whatever lease currently holds `ref`. kNotAllocated when
+  /// the resource is not allocated (never allocated, double-released,
+  /// or already reaped).
   Status Release(const org::ResourceRef& ref);
-  bool IsAllocated(const org::ResourceRef& ref) const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return allocated_.count(ref) > 0;
-  }
-  size_t num_allocated() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return allocated_.size();
-  }
+
+  /// Releases through a lease receipt: fails with kNotAllocated when
+  /// the lease is stale (expired+reaped or superseded by a newer
+  /// grant), leaving any newer grant untouched.
+  Status Release(const Lease& lease);
+
+  /// Extends a live lease by lease_duration_micros from now, returning
+  /// the refreshed lease. kNotAllocated when the lease is stale. With
+  /// expiry disabled this is a no-op that returns the lease unchanged.
+  Result<Lease> RenewLease(const Lease& lease);
+
+  /// Reclaims every allocation whose lease deadline has passed; returns
+  /// how many were reaped. Cheap when nothing is expired — callers may
+  /// run it on a timer or before allocation-sensitive decisions.
+  size_t ReapExpired();
+
+  /// True when `lease` is the current grant on its resource and has not
+  /// expired.
+  bool IsLeaseActive(const Lease& lease) const;
+
+  bool IsAllocated(const org::ResourceRef& ref) const;
+  size_t num_allocated() const;
+
+  // ---- Health ----------------------------------------------------------
+
+  /// Marks a resource down: it stops appearing in query outcomes and
+  /// cannot be allocated until MarkRecovered(). An existing allocation
+  /// is left in place — the holder's engine notices via IsFailed() and
+  /// reassigns, or the lease expires and is reaped.
+  Status MarkFailed(const org::ResourceRef& ref);
+  Status MarkRecovered(const org::ResourceRef& ref);
+  bool IsFailed(const org::ResourceRef& ref) const;
+  size_t num_failed() const;
 
   const policy::PolicyManager& policy_manager() const {
     return policy_manager_;
   }
   org::OrgModel& org() { return *org_; }
+  Clock& clock() const { return *clock_; }
+  const ResourceManagerOptions& options() const { return options_; }
 
  private:
+  struct Grant {
+    uint64_t lease_id = 0;
+    int64_t deadline_micros = Lease::kNoExpiry;
+  };
+
   /// Executes enforced queries; appends hits to `outcome`. Returns the
   /// number of available resources found.
   Result<size_t> RunQueries(const std::vector<rql::RqlQuery>& queries,
                             QueryOutcome* outcome) const;
 
+  /// Applies due scheduled fault-injector health events. Called on
+  /// query entry; const because health is a lazily-synchronized view of
+  /// the external fault schedule.
+  void ApplyScheduledFaults() const;
+
+  /// Busy (under a live lease) or down. Lock held.
+  bool IsUnavailableLocked(const org::ResourceRef& ref,
+                           int64_t now_micros) const;
+
+  /// Claims `ref` (fresh grant or overwrite of an expired one); returns
+  /// the lease, or invalid lease if the resource is held or down. Lock
+  /// held.
+  Lease TryClaimLocked(const org::ResourceRef& ref, int64_t now_micros);
+
   /// Applies the configured allocation strategy to a non-empty
   /// candidate list; returns the chosen index.
   size_t PickCandidate(const std::vector<org::ResourceRef>& candidates);
 
+  int64_t LeaseDeadline(int64_t now_micros) const {
+    return options_.lease_duration_micros > 0
+               ? now_micros + options_.lease_duration_micros
+               : Lease::kNoExpiry;
+  }
+
   org::OrgModel* org_;
   policy::PolicyStore* store_;
   ResourceManagerOptions options_;
+  Clock* clock_;
   policy::PolicyManager policy_manager_;
-  /// Guards allocated_ and the strategy state.
+  /// Guards allocated_, failed_ and the strategy state.
   mutable std::mutex mutex_;
-  std::set<org::ResourceRef> allocated_;
+  std::map<org::ResourceRef, Grant> allocated_;
+  /// Down resources (health). Mutable: lazily synchronized from the
+  /// fault injector's schedule on (const) query entry.
+  mutable std::set<org::ResourceRef> failed_;
+  uint64_t next_lease_id_ = 1;
   // Strategy state (guarded by mutex_).
   uint64_t acquire_count_ = 0;
   uint64_t logical_clock_ = 0;

@@ -45,6 +45,34 @@ Result<WorkflowEngine::Case*> WorkflowEngine::FindCase(size_t case_id) {
   return &cases_[case_id];
 }
 
+Result<core::Lease> WorkflowEngine::AcquireWithRetry(
+    Case* c, const std::string& rql, const org::ResourceRef& excluded) {
+  // Each acquisition gets its own deterministic backoff series (the
+  // sequence number decorrelates jitter across acquisitions while
+  // keeping whole-run replay exact).
+  Backoff backoff(options_.retry_policy,
+                  options_.retry_jitter_seed + retry_sequence_++);
+  Status last;
+  for (int attempt = 0;; ++attempt) {
+    auto acquired = excluded.id.empty()
+                        ? rm_->Acquire(rql)
+                        : rm_->AcquireExcluding(rql, excluded);
+    if (acquired.ok()) return acquired;
+    last = acquired.status();
+    if (!last.IsResourceUnavailable()) {
+      // Terminal: CWA rejection (kNoQualifiedResource), malformed RQL,
+      // execution errors. The case cannot ever make progress here.
+      c->state = CaseState::kFailed;
+      return last;
+    }
+    if (!backoff.ShouldRetry(attempt)) break;
+    clock().SleepForMicros(backoff.NextDelayMicros());
+  }
+  // Transient exhaustion: report it, but the case stays kRunning — a
+  // later call may find capacity restored.
+  return last;
+}
+
 Result<WorkItem> WorkflowEngine::Advance(size_t case_id) {
   WFRM_ASSIGN_OR_RETURN(Case * c, FindCase(case_id));
   if (c->state != CaseState::kRunning) {
@@ -66,18 +94,67 @@ Result<WorkItem> WorkflowEngine::Advance(size_t case_id) {
     c->state = CaseState::kFailed;
     return rql.status();
   }
-  auto acquired = rm_->Acquire(*rql);
-  if (!acquired.ok()) {
-    c->state = CaseState::kFailed;
-    return acquired.status();
-  }
+  WFRM_ASSIGN_OR_RETURN(core::Lease lease,
+                        AcquireWithRetry(c, *rql, org::ResourceRef{}));
   WorkItem item;
   item.case_id = case_id;
   item.step_index = c->next_step;
   item.step_name = step.name;
-  item.resource = *acquired;
+  item.resource = lease.resource;
+  item.lease = lease;
   c->open_item = item;
   return item;
+}
+
+Result<WorkItem> WorkflowEngine::Reassign(size_t case_id) {
+  WFRM_ASSIGN_OR_RETURN(Case * c, FindCase(case_id));
+  if (c->state != CaseState::kRunning) {
+    return Status::InvalidArgument("case " + std::to_string(case_id) +
+                                   " is not running");
+  }
+  if (!c->open_item) {
+    return Status::InvalidArgument("case " + std::to_string(case_id) +
+                                   " has no open work item to reassign");
+  }
+  const org::ResourceRef failed = c->open_item->resource;
+  // Reclaim the dead holder's allocation. kNotAllocated is fine — the
+  // lease may already have expired and been reaped (or overwritten by a
+  // newer grant, which Release-by-lease never touches).
+  Status released = rm_->Release(c->open_item->lease);
+  if (!released.ok() && !released.IsNotAllocated()) return released;
+
+  const ActivityStep& step = c->process->steps[c->open_item->step_index];
+  WFRM_ASSIGN_OR_RETURN(std::string rql,
+                        InstantiateTemplate(step.rql_template, c->data));
+  auto lease = AcquireWithRetry(c, rql, failed);
+  if (!lease.ok()) {
+    // The old holder is gone either way; drop the orphaned item so the
+    // case can re-enter this step through a later Advance().
+    c->open_item.reset();
+    return lease.status();
+  }
+  WorkItem item;
+  item.case_id = case_id;
+  item.step_index = c->open_item->step_index;
+  item.step_name = step.name;
+  item.resource = lease->resource;
+  item.lease = *lease;
+  item.reassigned = true;
+  c->open_item = item;
+  ++num_reassignments_;
+  return item;
+}
+
+Status WorkflowEngine::RenewLease(size_t case_id) {
+  WFRM_ASSIGN_OR_RETURN(Case * c, FindCase(case_id));
+  if (!c->open_item) {
+    return Status::InvalidArgument("case " + std::to_string(case_id) +
+                                   " has no open work item");
+  }
+  WFRM_ASSIGN_OR_RETURN(core::Lease renewed,
+                        rm_->RenewLease(c->open_item->lease));
+  c->open_item->lease = renewed;
+  return Status::OK();
 }
 
 Status WorkflowEngine::Complete(size_t case_id) {
@@ -86,7 +163,10 @@ Status WorkflowEngine::Complete(size_t case_id) {
     return Status::InvalidArgument("case " + std::to_string(case_id) +
                                    " has no open work item");
   }
-  WFRM_RETURN_NOT_OK(rm_->Release(c->open_item->resource));
+  // Release by lease receipt: if the lease lapsed and the resource was
+  // reclaimed (possibly re-granted elsewhere), the completion is
+  // rejected instead of silently freeing someone else's allocation.
+  WFRM_RETURN_NOT_OK(rm_->Release(c->open_item->lease));
   c->open_item->completed = true;
   history_.push_back(*c->open_item);
   c->open_item.reset();

@@ -2,10 +2,13 @@
 #define WFRM_WF_ENGINE_H_
 
 #include <map>
+#include <random>
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "core/resource_manager.h"
 
 namespace wfrm::wf {
@@ -39,7 +42,25 @@ struct WorkItem {
   size_t step_index = 0;
   std::string step_name;
   org::ResourceRef resource;
+  /// The allocation receipt backing `resource`.
+  core::Lease lease;
   bool completed = false;
+  /// True when this assignment replaced a failed holder via Reassign()
+  /// (the resource still came from a fresh enforced-query outcome).
+  bool reassigned = false;
+};
+
+struct WorkflowEngineOptions {
+  /// Retry schedule for transient kResourceUnavailable in Advance() and
+  /// Reassign(). RetryPolicy::None() restores the seed's
+  /// fail-on-first-error behaviour (but the case still stays kRunning).
+  RetryPolicy retry_policy;
+  /// Backoff delays are spent against this clock. nullptr = the
+  /// resource manager's clock (so a SimulatedClock wired into the RM
+  /// automatically drives engine backoff too).
+  Clock* clock = nullptr;
+  /// Seed for backoff jitter (deterministic retry schedules in tests).
+  uint64_t retry_jitter_seed = 42;
 };
 
 /// Replaces `${name}` placeholders in an RQL template with case data.
@@ -51,9 +72,20 @@ Result<std::string> InstantiateTemplate(const std::string& rql_template,
 /// case through its process definition, asking the RM for a qualified,
 /// policy-compliant, available resource at every activity, holding the
 /// allocation until the work item completes.
+///
+/// Failure handling: transient resource exhaustion is retried (with
+/// backoff) and never kills a case — the case stays kRunning so a later
+/// Advance() can succeed once capacity or health returns. Only terminal
+/// conditions fail a case: kNoQualifiedResource (the CWA rejected every
+/// resource type, §3.1) and semantic errors (unbound template
+/// placeholders, malformed RQL). A holder that dies mid work item is
+/// replaced via Reassign(), which re-runs the full §4 enforcement
+/// pipeline rather than reusing the stale candidate set.
 class WorkflowEngine {
  public:
-  explicit WorkflowEngine(core::ResourceManager* rm) : rm_(rm) {}
+  explicit WorkflowEngine(core::ResourceManager* rm,
+                          WorkflowEngineOptions options = {})
+      : rm_(rm), options_(options) {}
 
   /// Starts a case; returns its id. The case sits before its first step
   /// until Advance() is called.
@@ -61,18 +93,40 @@ class WorkflowEngine {
 
   /// Assigns the case's next step to a resource (via the RM). On
   /// success the case carries an open work item; complete it with
-  /// Complete(). Fails — and marks the case kFailed — when no resource
-  /// can be found.
+  /// Complete(). Transient unavailability is retried per the retry
+  /// policy; when retries are exhausted the call fails but the case
+  /// stays kRunning (call Advance() again later). The case is marked
+  /// kFailed only on terminal errors (no qualified resource, bad
+  /// template/RQL).
   Result<WorkItem> Advance(size_t case_id);
 
+  /// Replaces the holder of the case's open work item after it failed
+  /// (died, lease lost): releases the old allocation and re-runs the
+  /// full enforcement pipeline — qualification, requirement, one
+  /// substitution round — excluding the failed resource, so the
+  /// substitute is policy-compliant by construction. On transient
+  /// exhaustion the open item is abandoned (the case stays kRunning at
+  /// the same step; a later Advance() re-assigns it).
+  Result<WorkItem> Reassign(size_t case_id);
+
+  /// Renews the lease of the case's open work item (long-running work
+  /// under short leases).
+  Status RenewLease(size_t case_id);
+
   /// Completes the case's open work item, releasing its resource and
-  /// moving to the next step (or completing the case).
+  /// moving to the next step (or completing the case). Fails with
+  /// kNotAllocated when the item's lease already lapsed and was
+  /// reclaimed — the work item is no longer this holder's to complete;
+  /// Reassign() or Advance() it instead.
   Status Complete(size_t case_id);
 
   Result<CaseState> GetState(size_t case_id) const;
 
   /// Work items processed so far (completed), across all cases.
   const std::vector<WorkItem>& history() const { return history_; }
+
+  /// Reassignments performed so far (successful Reassign calls).
+  size_t num_reassignments() const { return num_reassignments_; }
 
  private:
   struct Case {
@@ -84,10 +138,20 @@ class WorkflowEngine {
   };
 
   Result<Case*> FindCase(size_t case_id);
+  Clock& clock() const {
+    return options_.clock ? *options_.clock : rm_->clock();
+  }
+  /// Acquire with retry/backoff; `excluded` may be empty. Terminal
+  /// failures mark the case; transient exhaustion leaves it kRunning.
+  Result<core::Lease> AcquireWithRetry(Case* c, const std::string& rql,
+                                       const org::ResourceRef& excluded);
 
   core::ResourceManager* rm_;
+  WorkflowEngineOptions options_;
   std::vector<Case> cases_;
   std::vector<WorkItem> history_;
+  size_t num_reassignments_ = 0;
+  uint64_t retry_sequence_ = 0;
 };
 
 }  // namespace wfrm::wf

@@ -242,11 +242,12 @@ Result<WorkItem> GraphEngine::StartActivity(size_t case_id,
   WFRM_ASSIGN_OR_RETURN(std::string rql,
                         InstantiateTemplate(node->rql_template, c->data));
   // Resource exhaustion is transient: the token stays pending.
-  WFRM_ASSIGN_OR_RETURN(org::ResourceRef resource, rm_->Acquire(rql));
+  WFRM_ASSIGN_OR_RETURN(core::Lease lease, rm_->Acquire(rql));
   WorkItem item;
   item.case_id = case_id;
   item.step_name = node_name;
-  item.resource = std::move(resource);
+  item.resource = lease.resource;
+  item.lease = lease;
   token->open = item;
   return item;
 }
@@ -267,7 +268,7 @@ Status GraphEngine::CompleteActivity(size_t case_id,
                             "'");
   }
   WorkItem item = *c->tokens[index].open;
-  WFRM_RETURN_NOT_OK(rm_->Release(item.resource));
+  WFRM_RETURN_NOT_OK(rm_->Release(item.lease));
   item.completed = true;
   history_.push_back(item);
 

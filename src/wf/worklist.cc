@@ -11,6 +11,9 @@ Result<size_t> WorkList::CreateOffer(std::string_view rql) {
   offer.id = offers_.size();
   offer.rql = std::string(rql);
   offer.candidates = std::move(outcome.candidates);
+  if (options_.offer_ttl_micros > 0) {
+    offer.expires_at_micros = clock().NowMicros() + options_.offer_ttl_micros;
+  }
   offers_.push_back(std::move(offer));
   return offers_.back().id;
 }
@@ -43,6 +46,11 @@ Status WorkList::Claim(size_t offer_id, const org::ResourceRef& resource) {
     return Status::InvalidArgument("offer " + std::to_string(offer_id) +
                                    " is not open");
   }
+  if (offer->expires_at_micros <= clock().NowMicros()) {
+    offer->state = OfferState::kExpired;
+    return Status::InvalidArgument("offer " + std::to_string(offer_id) +
+                                   " has expired");
+  }
   bool candidate = std::any_of(
       offer->candidates.begin(), offer->candidates.end(),
       [&](const org::ResourceRef& c) { return c == resource; });
@@ -52,10 +60,11 @@ Status WorkList::Claim(size_t offer_id, const org::ResourceRef& resource) {
         "set of offer " + std::to_string(offer_id));
   }
   // Allocation is the atomic claim arbiter: under contention exactly one
-  // claimant wins.
-  WFRM_RETURN_NOT_OK(rm_->Allocate(resource));
+  // claimant wins. The lease is the claim's liveness receipt.
+  WFRM_ASSIGN_OR_RETURN(core::Lease lease, rm_->AllocateLease(resource));
   offer->state = OfferState::kClaimed;
   offer->claimant = resource;
+  offer->claim_lease = lease;
   return Status::OK();
 }
 
@@ -65,7 +74,8 @@ Status WorkList::Complete(size_t offer_id) {
     return Status::InvalidArgument("offer " + std::to_string(offer_id) +
                                    " is not claimed");
   }
-  WFRM_RETURN_NOT_OK(rm_->Release(*offer->claimant));
+  // Release by lease: a lapsed claim must not free a newer grant.
+  WFRM_RETURN_NOT_OK(rm_->Release(offer->claim_lease));
   offer->state = OfferState::kCompleted;
   return Status::OK();
 }
@@ -73,12 +83,16 @@ Status WorkList::Complete(size_t offer_id) {
 Status WorkList::Cancel(size_t offer_id) {
   WFRM_ASSIGN_OR_RETURN(Offer * offer, FindOpen(offer_id));
   if (offer->state == OfferState::kCompleted ||
-      offer->state == OfferState::kCancelled) {
+      offer->state == OfferState::kCancelled ||
+      offer->state == OfferState::kExpired) {
     return Status::InvalidArgument("offer " + std::to_string(offer_id) +
                                    " already finished");
   }
   if (offer->state == OfferState::kClaimed) {
-    WFRM_RETURN_NOT_OK(rm_->Release(*offer->claimant));
+    // A lapsed lease means nothing is held any more — that is fine for
+    // a cancellation.
+    Status released = rm_->Release(offer->claim_lease);
+    if (!released.ok() && !released.IsNotAllocated()) return released;
   }
   offer->state = OfferState::kCancelled;
   return Status::OK();
@@ -98,6 +112,42 @@ Status WorkList::Refresh(size_t offer_id) {
   }
   offer->candidates = std::move(outcome.candidates);
   return Status::OK();
+}
+
+size_t WorkList::RecoverLapsedClaims() {
+  size_t recovered = 0;
+  for (Offer& offer : offers_) {
+    if (offer.state != OfferState::kClaimed) continue;
+    bool claimant_down = rm_->IsFailed(*offer.claimant);
+    bool lease_lapsed = !rm_->IsLeaseActive(offer.claim_lease);
+    if (!claimant_down && !lease_lapsed) continue;
+    // Reclaim whatever the lapsed claim still holds; kNotAllocated just
+    // means a reap (or a newer grant) got there first.
+    Status released = rm_->Release(offer.claim_lease);
+    (void)released;
+    offer.state = OfferState::kOpen;
+    offer.claimant.reset();
+    offer.claim_lease = core::Lease{};
+    ++offer.times_recovered;
+    // Auto-refresh: the re-offered candidate set must reflect current
+    // availability and health (a down ex-claimant never reappears).
+    (void)Refresh(offer.id);
+    ++recovered;
+  }
+  return recovered;
+}
+
+size_t WorkList::ExpireOffers() {
+  const int64_t now = clock().NowMicros();
+  size_t expired = 0;
+  for (Offer& offer : offers_) {
+    if (offer.state != OfferState::kOpen) continue;
+    if (offer.expires_at_micros <= now) {
+      offer.state = OfferState::kExpired;
+      ++expired;
+    }
+  }
+  return expired;
 }
 
 const WorkList::Offer* WorkList::Get(size_t offer_id) const {

@@ -5,26 +5,45 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/result.h"
 #include "core/resource_manager.h"
 
 namespace wfrm::wf {
+
+struct WorkListOptions {
+  /// Time source for offer expiry. nullptr = the resource manager's
+  /// clock.
+  Clock* clock = nullptr;
+  /// Offers older than this are expired by ExpireOffers(). 0 = offers
+  /// never expire.
+  int64_t offer_ttl_micros = 0;
+};
 
 /// Pull-model work distribution, the way the WFMS products of the
 /// paper's era (FlowMark, Staffware) assigned activities: instead of the
 /// engine picking one resource, a work item is *offered* to every
 /// qualified, policy-compliant, available candidate the resource
 /// manager's pipeline returns; one of them then *claims* it, which
-/// allocates that resource until completion.
+/// allocates that resource (under a lease) until completion.
 ///
 /// The policy guarantee is preserved: the candidate set of an offer is
 /// exactly a ResourceManager::Submit outcome, and claims are restricted
 /// to that set.
+///
+/// Failure handling: a claimant whose lease lapses (expired and
+/// reaped/superseded) or who is marked failed loses the claim —
+/// RecoverLapsedClaims() reopens the offer and auto-Refresh()es its
+/// candidate set against current availability and health, so the work
+/// is re-offered to live, policy-compliant resources. ExpireOffers()
+/// cancels open offers past their TTL.
 class WorkList {
  public:
-  explicit WorkList(core::ResourceManager* rm) : rm_(rm) {}
+  explicit WorkList(core::ResourceManager* rm, WorkListOptions options = {})
+      : rm_(rm), options_(options) {}
 
-  enum class OfferState { kOpen, kClaimed, kCompleted, kCancelled };
+  enum class OfferState { kOpen, kClaimed, kCompleted, kCancelled,
+                          kExpired };
 
   struct Offer {
     size_t id = 0;
@@ -32,6 +51,12 @@ class WorkList {
     std::vector<org::ResourceRef> candidates;
     OfferState state = OfferState::kOpen;
     std::optional<org::ResourceRef> claimant;
+    /// The claimant's allocation receipt (valid while kClaimed).
+    core::Lease claim_lease;
+    /// Absolute deadline for the *offer* (kNoExpiry = none).
+    int64_t expires_at_micros = core::Lease::kNoExpiry;
+    /// How many times this offer lost a claimant and was re-opened.
+    size_t times_recovered = 0;
   };
 
   /// Runs the request through the RM pipeline and opens an offer to all
@@ -45,10 +70,14 @@ class WorkList {
   /// Claims an open offer for `resource`: it must be in the candidate
   /// set and still be available (allocation happens here, atomically).
   /// A stale candidate (allocated elsewhere since the offer was cut)
-  /// gets kResourceUnavailable and the offer stays open.
+  /// gets kResourceUnavailable and the offer stays open. Claiming an
+  /// offer past its TTL expires it instead.
   Status Claim(size_t offer_id, const org::ResourceRef& resource);
 
-  /// Completes a claimed offer, releasing the claimant.
+  /// Completes a claimed offer, releasing the claimant. Fails with
+  /// kNotAllocated when the claim lease already lapsed (the claim is no
+  /// longer the claimant's to complete — RecoverLapsedClaims() will
+  /// re-offer it).
   Status Complete(size_t offer_id);
 
   /// Cancels an offer; a claimed offer's claimant is released.
@@ -59,6 +88,15 @@ class WorkList {
   /// busy and some were released again — or substitution opened up).
   Status Refresh(size_t offer_id);
 
+  /// Reopens every claimed offer whose claimant died (IsFailed) or
+  /// whose claim lease is no longer active, releasing any leftover
+  /// allocation and auto-refreshing the candidate set. Returns how many
+  /// offers were recovered.
+  size_t RecoverLapsedClaims();
+
+  /// Expires open offers past their TTL; returns how many.
+  size_t ExpireOffers();
+
   /// Offer lookup; nullptr when the id is unknown.
   const Offer* Get(size_t offer_id) const;
 
@@ -66,8 +104,12 @@ class WorkList {
 
  private:
   Result<Offer*> FindOpen(size_t offer_id);
+  Clock& clock() const {
+    return options_.clock ? *options_.clock : rm_->clock();
+  }
 
   core::ResourceManager* rm_;
+  WorkListOptions options_;
   std::vector<Offer> offers_;
 };
 

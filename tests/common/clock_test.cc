@@ -1,0 +1,105 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/retry.h"
+
+namespace wfrm {
+namespace {
+
+TEST(SimulatedClockTest, AdvancesOnlyWhenTold) {
+  SimulatedClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100);
+  clock.AdvanceMicros(50);
+  EXPECT_EQ(clock.NowMicros(), 150);
+  // Sleeping advances simulated time instead of blocking.
+  clock.SleepForMicros(25);
+  EXPECT_EQ(clock.NowMicros(), 175);
+  // Time never runs backwards.
+  clock.AdvanceMicros(-10);
+  clock.SleepForMicros(-10);
+  EXPECT_EQ(clock.NowMicros(), 175);
+}
+
+TEST(SimulatedClockTest, ConcurrentAdvancesAllLand) {
+  SimulatedClock clock;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&clock]() {
+      for (int i = 0; i < 1000; ++i) clock.AdvanceMicros(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(clock.NowMicros(), 4000);
+}
+
+TEST(SystemClockTest, MonotoneAndSharedDefault) {
+  SystemClock* clock = SystemClock::Default();
+  ASSERT_NE(clock, nullptr);
+  EXPECT_EQ(clock, SystemClock::Default());
+  int64_t a = clock->NowMicros();
+  int64_t b = clock->NowMicros();
+  EXPECT_LE(a, b);
+}
+
+TEST(BackoffTest, ExponentialSeriesWithCap) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_micros = 100;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_micros = 350;
+  policy.jitter = 0.0;
+  Backoff backoff(policy);
+  EXPECT_TRUE(backoff.ShouldRetry(0));
+  EXPECT_TRUE(backoff.ShouldRetry(3));
+  EXPECT_FALSE(backoff.ShouldRetry(4));
+  EXPECT_EQ(backoff.NextDelayMicros(), 100);
+  EXPECT_EQ(backoff.NextDelayMicros(), 200);
+  EXPECT_EQ(backoff.NextDelayMicros(), 350);  // Capped.
+  EXPECT_EQ(backoff.NextDelayMicros(), 350);  // Stays capped.
+}
+
+TEST(BackoffTest, JitterIsSeededAndBounded) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff_micros = 1000;
+  policy.backoff_multiplier = 1.0;
+  policy.max_backoff_micros = 1000;
+  policy.jitter = 0.5;
+
+  Backoff a(policy, 7);
+  Backoff b(policy, 7);
+  Backoff c(policy, 8);
+  bool c_differs = false;
+  for (int i = 0; i < 20; ++i) {
+    int64_t da = a.NextDelayMicros();
+    EXPECT_EQ(da, b.NextDelayMicros());  // Same seed → same series.
+    if (da != c.NextDelayMicros()) c_differs = true;
+    EXPECT_GE(da, 500);
+    EXPECT_LE(da, 1500);
+  }
+  EXPECT_TRUE(c_differs);  // Different seed → different series.
+}
+
+TEST(BackoffTest, NoneDisablesRetrying) {
+  RetryPolicy none = RetryPolicy::None();
+  Backoff backoff(none);
+  EXPECT_FALSE(backoff.ShouldRetry(0));
+}
+
+TEST(BackoffTest, DegenerateValuesNormalized) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;       // → 1
+  policy.initial_backoff_micros = 0;
+  policy.backoff_multiplier = 0.5;  // → 1.0
+  policy.jitter = 2.0;              // → 1.0
+  Backoff backoff(policy);
+  EXPECT_FALSE(backoff.ShouldRetry(0));
+  EXPECT_EQ(backoff.NextDelayMicros(), 0);
+}
+
+}  // namespace
+}  // namespace wfrm

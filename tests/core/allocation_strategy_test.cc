@@ -37,7 +37,7 @@ class AllocationStrategyTest : public ::testing::Test {
       auto ref = rm->Acquire(kSmallJob);
       EXPECT_TRUE(ref.ok()) << ref.status().ToString();
       if (!ref.ok()) break;
-      ++counts[ref->id];
+      ++counts[ref->resource.id];
       EXPECT_TRUE(rm->Release(*ref).ok());
     }
     return counts;
@@ -84,7 +84,7 @@ TEST_F(AllocationStrategyTest, RandomIsSeededAndCoversCandidates) {
     auto ra = a.Acquire(kSmallJob);
     auto rb = b.Acquire(kSmallJob);
     ASSERT_TRUE(ra.ok() && rb.ok());
-    EXPECT_EQ(ra->ToString(), rb->ToString());
+    EXPECT_EQ(ra->resource.ToString(), rb->resource.ToString());
     ASSERT_TRUE(a.Release(*ra).ok());
     ASSERT_TRUE(b.Release(*rb).ok());
   }
@@ -103,8 +103,8 @@ TEST_F(AllocationStrategyTest, StrategiesStillRespectAvailability) {
   for (int i = 0; i < 6; ++i) {
     auto ref = rm.Acquire(kSmallJob);
     ASSERT_TRUE(ref.ok());
-    EXPECT_NE(ref->id, held->id);
-    ++counts[ref->id];
+    EXPECT_NE(ref->resource.id, held->resource.id);
+    ++counts[ref->resource.id];
     ASSERT_TRUE(rm.Release(*ref).ok());
   }
   EXPECT_EQ(counts.size(), 2u);

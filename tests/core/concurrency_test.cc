@@ -55,14 +55,14 @@ TEST_F(ConcurrencyTest, NoDoubleAllocationUnderContention) {
       }
       {
         std::lock_guard<std::mutex> lock(held_mutex);
-        if (!held.insert(ref->ToString()).second) {
+        if (!held.insert(ref->resource.ToString()).second) {
           ++double_allocations;  // Someone else holds it: a real bug.
         }
       }
       ++successes;
       {
         std::lock_guard<std::mutex> lock(held_mutex);
-        held.erase(ref->ToString());
+        held.erase(ref->resource.ToString());
       }
       ASSERT_TRUE(rm_->Release(*ref).ok());
     }
@@ -88,7 +88,7 @@ TEST_F(ConcurrencyTest, ConcurrentAcquirersSpreadOverCandidates) {
     threads.emplace_back([&, t]() {
       auto ref = rm_->Acquire(kSmallJob);
       if (ref.ok()) {
-        got[static_cast<size_t>(t)] = ref->ToString();
+        got[static_cast<size_t>(t)] = ref->resource.ToString();
       } else {
         ++failures;
       }
@@ -99,6 +99,94 @@ TEST_F(ConcurrencyTest, ConcurrentAcquirersSpreadOverCandidates) {
   std::set<std::string> distinct(got.begin(), got.end());
   EXPECT_EQ(distinct.size(), 3u);
   EXPECT_EQ(rm_->num_allocated(), 3u);
+}
+
+TEST_F(ConcurrencyTest, LeaseExpiryStressNeverDoubleHolds) {
+  // Short leases, abandoning holders, a reaper advancing a simulated
+  // clock, and acquirers racing to re-claim: no resource may ever be
+  // under two simultaneously-active leases, and after the final reap
+  // nothing stays allocated.
+  SimulatedClock clock;
+  ResourceManagerOptions options;
+  options.clock = &clock;
+  options.lease_duration_micros = 500;
+  ResourceManager rm(org_.get(), store_.get(), options);
+
+  constexpr int kThreads = 6;
+  constexpr int kIterations = 120;
+  std::mutex reg_mutex;
+  // Last lease granted per resource, as observed by workers.
+  std::map<std::string, Lease> last_grant;
+  std::atomic<int> double_holds{0};
+  std::atomic<int> acquired{0};
+  std::atomic<int> renewed{0};
+  std::atomic<bool> stop_reaper{false};
+
+  std::thread reaper([&]() {
+    while (!stop_reaper.load()) {
+      clock.AdvanceMicros(100);
+      rm.ReapExpired();
+      std::this_thread::yield();
+    }
+  });
+
+  auto worker = [&](unsigned tid) {
+    std::mt19937 rng(tid * 7919u + 13u);
+    for (int i = 0; i < kIterations; ++i) {
+      auto lease = rm.Acquire(kSmallJob);
+      if (!lease.ok()) continue;
+      ++acquired;
+      {
+        std::lock_guard<std::mutex> lock(reg_mutex);
+        auto it = last_grant.find(lease->resource.ToString());
+        // Lease ids are granted monotonically, so an *older* lease that
+        // is still active alongside ours is a genuine double-hold. (A
+        // newer id just means another thread won the registration race
+        // after our grant lapsed.)
+        if (it != last_grant.end() && it->second.id < lease->id &&
+            rm.IsLeaseActive(it->second)) {
+          ++double_holds;
+        }
+        last_grant[lease->resource.ToString()] = *lease;
+      }
+      switch (rng() % 3) {
+        case 0:
+          // Abandoning holder: never releases; the reaper must reclaim.
+          break;
+        case 1: {
+          // Renewing holder: extends, then releases.
+          auto fresh = rm.RenewLease(*lease);
+          if (fresh.ok()) {
+            ++renewed;
+            (void)rm.Release(*fresh);
+          }
+          break;
+        }
+        default:
+          // Well-behaved holder. The release may race lease expiry +
+          // re-claim, in which case kNotAllocated is the correct
+          // answer; anything else is a bug.
+          Status st = rm.Release(*lease);
+          EXPECT_TRUE(st.ok() || st.IsNotAllocated()) << st.ToString();
+          break;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(worker, static_cast<unsigned>(t));
+  }
+  for (std::thread& t : threads) t.join();
+  stop_reaper.store(true);
+  reaper.join();
+
+  EXPECT_EQ(double_holds.load(), 0);
+  EXPECT_GT(acquired.load(), 0);
+  // Drain: everything left behind by abandoners expires and is reaped.
+  clock.AdvanceMicros(options.lease_duration_micros + 1);
+  rm.ReapExpired();
+  EXPECT_EQ(rm.num_allocated(), 0u);
 }
 
 TEST_F(ConcurrencyTest, ConcurrentReadOnlySubmissions) {
@@ -135,7 +223,7 @@ TEST_F(ConcurrencyTest, SubstitutionUnderConcurrentPressure) {
     threads.emplace_back([&, t]() {
       auto ref = rm_->Acquire(rql);
       if (ref.ok()) {
-        got[static_cast<size_t>(t)] = ref->ToString();
+        got[static_cast<size_t>(t)] = ref->resource.ToString();
       } else {
         ++failures;
       }

@@ -1,0 +1,204 @@
+// Lease mechanics: deadlines, renewal, reaping, stale receipts; and the
+// fault injector's deterministic sampling + scheduling.
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "core/fault_injector.h"
+#include "core/resource_manager.h"
+#include "testutil/paper_org.h"
+
+namespace wfrm::core {
+namespace {
+
+constexpr char kSmallJob[] =
+    "Select ContactInfo From Programmer Where Location = 'PA' "
+    "For Programming With NumberOfLines = 5000 And Location = 'PA'";
+
+class LeaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto world = testutil::BuildPaperWorld();
+    ASSERT_TRUE(world.ok()) << world.status().ToString();
+    org_ = std::move(world->org);
+    store_ = std::move(world->store);
+    options_.clock = &clock_;
+    options_.lease_duration_micros = 1000;
+    rm_ = std::make_unique<ResourceManager>(org_.get(), store_.get(),
+                                            options_);
+  }
+
+  SimulatedClock clock_;
+  ResourceManagerOptions options_;
+  std::unique_ptr<org::OrgModel> org_;
+  std::unique_ptr<policy::PolicyStore> store_;
+  std::unique_ptr<ResourceManager> rm_;
+};
+
+TEST_F(LeaseTest, AcquireGrantsDeadlineFromClock) {
+  clock_.AdvanceMicros(50);
+  auto lease = rm_->Acquire(kSmallJob);
+  ASSERT_TRUE(lease.ok()) << lease.status().ToString();
+  EXPECT_TRUE(lease->valid());
+  EXPECT_EQ(lease->deadline_micros, 50 + 1000);
+  EXPECT_TRUE(rm_->IsLeaseActive(*lease));
+}
+
+TEST_F(LeaseTest, ZeroDurationMeansLeasesNeverExpire) {
+  ResourceManagerOptions options;
+  options.clock = &clock_;  // duration stays 0
+  ResourceManager rm(org_.get(), store_.get(), options);
+  auto lease = rm.Acquire(kSmallJob);
+  ASSERT_TRUE(lease.ok());
+  EXPECT_EQ(lease->deadline_micros, Lease::kNoExpiry);
+  clock_.AdvanceMicros(1'000'000'000);
+  EXPECT_TRUE(rm.IsLeaseActive(*lease));
+  EXPECT_EQ(rm.ReapExpired(), 0u);
+  EXPECT_TRUE(rm.Release(*lease).ok());
+}
+
+TEST_F(LeaseTest, RenewExtendsTheDeadline) {
+  auto lease = rm_->Acquire(kSmallJob);
+  ASSERT_TRUE(lease.ok());
+  clock_.AdvanceMicros(900);
+  auto renewed = rm_->RenewLease(*lease);
+  ASSERT_TRUE(renewed.ok()) << renewed.status().ToString();
+  EXPECT_EQ(renewed->deadline_micros, 900 + 1000);
+  EXPECT_EQ(renewed->id, lease->id);  // Same grant, later deadline.
+  clock_.AdvanceMicros(1000);  // Past the original deadline...
+  EXPECT_EQ(rm_->ReapExpired(), 1u);  // ...1900 == deadline: reaped.
+}
+
+TEST_F(LeaseTest, ReapReclaimsOnlyExpiredLeases) {
+  auto a = rm_->Acquire(kSmallJob);
+  ASSERT_TRUE(a.ok());
+  clock_.AdvanceMicros(600);
+  auto b = rm_->Acquire(kSmallJob);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(rm_->num_allocated(), 2u);
+
+  clock_.AdvanceMicros(500);  // a (deadline 1000) expired; b (1600) not.
+  EXPECT_EQ(rm_->ReapExpired(), 1u);
+  EXPECT_EQ(rm_->num_allocated(), 1u);
+  EXPECT_FALSE(rm_->IsLeaseActive(*a));
+  EXPECT_TRUE(rm_->IsLeaseActive(*b));
+  // The reaped holder's receipt is dead: release/renew refuse it.
+  EXPECT_TRUE(rm_->Release(*a).IsNotAllocated());
+  EXPECT_TRUE(rm_->RenewLease(*a).status().IsNotAllocated());
+}
+
+TEST_F(LeaseTest, ExpiredLeaseIsReclaimableEvenBeforeReap) {
+  // The same single-candidate request twice: the second succeeds only
+  // because the first grant expired — no reap pass ran in between.
+  constexpr char kFigure4[] =
+      "Select ContactInfo From Engineer Where Location = 'PA' "
+      "For Programming With NumberOfLines = 35000 And Location = 'Mexico'";
+  ResourceManagerOptions options = options_;
+  options.enable_substitution = false;
+  ResourceManager rm(org_.get(), store_.get(), options);
+
+  auto first = rm.Acquire(kFigure4);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(rm.Acquire(kFigure4).status().IsResourceUnavailable());
+  clock_.AdvanceMicros(1001);
+  auto second = rm.Acquire(kFigure4);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->resource, first->resource);
+  EXPECT_NE(second->id, first->id);
+  // The first holder's stale receipt cannot free the new grant.
+  EXPECT_TRUE(rm.Release(*first).IsNotAllocated());
+  EXPECT_TRUE(rm.IsLeaseActive(*second));
+  EXPECT_TRUE(rm.Release(*second).ok());
+}
+
+TEST_F(LeaseTest, AllocateLeaseRespectsHealth) {
+  org::ResourceRef bob{"Programmer", "bob"};
+  ASSERT_TRUE(rm_->MarkFailed(bob).ok());
+  EXPECT_TRUE(rm_->AllocateLease(bob).status().IsResourceUnavailable());
+  ASSERT_TRUE(rm_->MarkRecovered(bob).ok());
+  auto lease = rm_->AllocateLease(bob);
+  ASSERT_TRUE(lease.ok());
+  EXPECT_TRUE(rm_->Release(*lease).ok());
+}
+
+TEST_F(LeaseTest, AcquireExcludingSkipsTheExcludedResource) {
+  auto first = rm_->Acquire(kSmallJob);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(rm_->Release(*first).ok());
+  auto other = rm_->AcquireExcluding(kSmallJob, first->resource);
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(other->resource, first->resource);
+}
+
+TEST(FaultInjectorTest, SamplingIsSeedDeterministic) {
+  FaultInjectorOptions options;
+  options.seed = 99;
+  options.query_fault_rate = 0.3;
+  options.resource_failure_rate = 0.7;
+  FaultInjector a(options);
+  FaultInjector b(options);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.SampleQueryFault(), b.SampleQueryFault());
+    EXPECT_EQ(a.SampleResourceFailure(), b.SampleResourceFailure());
+  }
+  EXPECT_EQ(a.num_query_faults_injected(), b.num_query_faults_injected());
+  EXPECT_GT(a.num_resource_failures_injected(), 0u);
+}
+
+TEST(FaultInjectorTest, ZeroRatesNeverFire) {
+  FaultInjector injector;  // both rates 0
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(injector.SampleQueryFault());
+    EXPECT_FALSE(injector.SampleResourceFailure());
+  }
+  EXPECT_EQ(injector.num_query_faults_injected(), 0u);
+}
+
+TEST(FaultInjectorTest, DrainDueReturnsEventsInTimeOrder) {
+  FaultInjector injector;
+  org::ResourceRef bob{"Programmer", "bob"};
+  org::ResourceRef pam{"Programmer", "pam"};
+  injector.ScheduleDown(pam, 30);
+  injector.ScheduleDown(bob, 10);
+  injector.ScheduleUp(bob, 20);
+  injector.ScheduleUp(pam, 99);
+  EXPECT_EQ(injector.num_scheduled(), 4u);
+
+  auto due = injector.DrainDue(30);
+  ASSERT_EQ(due.size(), 3u);
+  EXPECT_EQ(due[0].resource, bob);
+  EXPECT_TRUE(due[0].down);
+  EXPECT_EQ(due[1].resource, bob);
+  EXPECT_FALSE(due[1].down);
+  EXPECT_EQ(due[2].resource, pam);
+  EXPECT_EQ(injector.num_scheduled(), 1u);  // pam@99 still pending.
+  EXPECT_TRUE(injector.DrainDue(30).empty());
+}
+
+TEST(FaultInjectorTest, ScheduledFaultsDriveManagerHealth) {
+  auto world = testutil::BuildPaperWorld();
+  ASSERT_TRUE(world.ok());
+  SimulatedClock clock;
+  FaultInjector injector;
+  ResourceManagerOptions options;
+  options.clock = &clock;
+  options.fault_injector = &injector;
+  ResourceManager rm(world->org.get(), world->store.get(), options);
+
+  org::ResourceRef bob{"Programmer", "bob"};
+  injector.ScheduleDown(bob, 100);
+  injector.ScheduleUp(bob, 200);
+  EXPECT_FALSE(rm.IsFailed(bob));
+  clock.AdvanceMicros(100);
+  EXPECT_TRUE(rm.IsFailed(bob));  // Down event drained on read.
+  auto outcome = rm.Submit(kSmallJob);
+  ASSERT_TRUE(outcome.ok());
+  for (const org::ResourceRef& c : outcome->candidates) {
+    EXPECT_FALSE(c == bob) << "down resource surfaced in an outcome";
+  }
+  clock.AdvanceMicros(100);
+  EXPECT_FALSE(rm.IsFailed(bob));  // Recovered on schedule.
+}
+
+}  // namespace
+}  // namespace wfrm::core

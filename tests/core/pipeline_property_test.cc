@@ -162,8 +162,8 @@ TEST(PipelinePropertyTest, AllocationNeverReturnsBusyResources) {
       EXPECT_TRUE(ref.status().IsResourceUnavailable());
       break;
     }
-    EXPECT_TRUE(seen.insert(ref->ToString()).second)
-        << ref->ToString() << " allocated twice";
+    EXPECT_TRUE(seen.insert(ref->resource.ToString()).second)
+        << ref->resource.ToString() << " allocated twice";
   }
   EXPECT_GT(seen.size(), 0u);
   EXPECT_EQ(rm.num_allocated(), seen.size());

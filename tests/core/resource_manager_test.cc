@@ -133,14 +133,16 @@ TEST_F(ResourceManagerTest, ApprovalBeyondPolicyRangesFindsAnyManager) {
 TEST_F(ResourceManagerTest, AcquireAllocatesFirstCandidate) {
   auto ref = rm_->Acquire(kFigure4);
   ASSERT_TRUE(ref.ok()) << ref.status().ToString();
-  EXPECT_EQ(ref->ToString(), "Programmer:bob");
-  EXPECT_TRUE(rm_->IsAllocated(*ref));
+  EXPECT_EQ(ref->resource.ToString(), "Programmer:bob");
+  EXPECT_TRUE(ref->valid());
+  EXPECT_TRUE(rm_->IsAllocated(ref->resource));
+  EXPECT_TRUE(rm_->IsLeaseActive(*ref));
   EXPECT_EQ(rm_->num_allocated(), 1u);
 
   // Second acquisition falls through to the substitute.
   auto second = rm_->Acquire(kFigure4);
   ASSERT_TRUE(second.ok());
-  EXPECT_EQ(second->ToString(), "Programmer:quinn");
+  EXPECT_EQ(second->resource.ToString(), "Programmer:quinn");
 
   // Third fails.
   auto third = rm_->Acquire(kFigure4);
@@ -151,7 +153,11 @@ TEST_F(ResourceManagerTest, AcquireAllocatesFirstCandidate) {
   ASSERT_TRUE(rm_->Release(*ref).ok());
   auto again = rm_->Acquire(kFigure4);
   ASSERT_TRUE(again.ok());
-  EXPECT_EQ(again->ToString(), "Programmer:bob");
+  EXPECT_EQ(again->resource.ToString(), "Programmer:bob");
+  // The fresh grant carries a fresh lease id: the released lease is
+  // stale and cannot touch it.
+  EXPECT_NE(again->id, ref->id);
+  EXPECT_TRUE(rm_->Release(*ref).IsNotAllocated());
 }
 
 TEST_F(ResourceManagerTest, AllocationBookkeeping) {
@@ -161,7 +167,65 @@ TEST_F(ResourceManagerTest, AllocationBookkeeping) {
   ASSERT_TRUE(rm_->Allocate(bob).ok());
   EXPECT_TRUE(rm_->Allocate(bob).IsResourceUnavailable());
   ASSERT_TRUE(rm_->Release(bob).ok());
-  EXPECT_TRUE(rm_->Release(bob).IsNotFound());
+  EXPECT_TRUE(rm_->Release(bob).IsNotAllocated());
+}
+
+TEST_F(ResourceManagerTest, ReleaseMisuseGetsDistinctError) {
+  // Regression: releasing a never-allocated or double-released ref must
+  // report kNotAllocated — not silently succeed, and not alias another
+  // status (kNotFound is for missing entities, kResourceUnavailable for
+  // busy ones).
+  org::ResourceRef bob{"Programmer", "bob"};
+
+  // Never allocated.
+  Status never = rm_->Release(bob);
+  EXPECT_TRUE(never.IsNotAllocated()) << never.ToString();
+  EXPECT_FALSE(never.IsNotFound());
+  EXPECT_FALSE(never.IsResourceUnavailable());
+
+  // Double release.
+  ASSERT_TRUE(rm_->Allocate(bob).ok());
+  ASSERT_TRUE(rm_->Release(bob).ok());
+  Status twice = rm_->Release(bob);
+  EXPECT_TRUE(twice.IsNotAllocated()) << twice.ToString();
+
+  // Same through a lease receipt.
+  auto lease = rm_->AllocateLease(bob);
+  ASSERT_TRUE(lease.ok());
+  ASSERT_TRUE(rm_->Release(*lease).ok());
+  EXPECT_TRUE(rm_->Release(*lease).IsNotAllocated());
+  EXPECT_TRUE(rm_->RenewLease(*lease).status().IsNotAllocated());
+  EXPECT_EQ(rm_->num_allocated(), 0u);
+}
+
+TEST_F(ResourceManagerTest, FailedResourcesNeverAppearInOutcomes) {
+  // bob is the only primary candidate of the Figure 4 request; marking
+  // him down must route the request through substitution (degradation),
+  // and recovery must restore him.
+  org::ResourceRef bob{"Programmer", "bob"};
+  EXPECT_TRUE(rm_->MarkFailed(org::ResourceRef{"Programmer", "ghost"})
+                  .IsNotFound());
+  ASSERT_TRUE(rm_->MarkFailed(bob).ok());
+  EXPECT_TRUE(rm_->IsFailed(bob));
+  EXPECT_EQ(rm_->num_failed(), 1u);
+
+  auto outcome = rm_->Submit(kFigure4);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->ok()) << outcome->status.ToString();
+  EXPECT_TRUE(outcome->used_substitution);
+  ASSERT_EQ(outcome->candidates.size(), 1u);
+  EXPECT_EQ(outcome->candidates[0].ToString(), "Programmer:quinn");
+
+  // A down resource cannot be allocated directly either.
+  EXPECT_TRUE(rm_->Allocate(bob).IsResourceUnavailable());
+
+  ASSERT_TRUE(rm_->MarkRecovered(bob).ok());
+  EXPECT_FALSE(rm_->IsFailed(bob));
+  auto back = rm_->Submit(kFigure4);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->candidates.size(), 1u);
+  EXPECT_EQ(back->candidates[0].ToString(), "Programmer:bob");
+  EXPECT_FALSE(back->used_substitution);
 }
 
 TEST_F(ResourceManagerTest, MalformedRqlReported) {

@@ -113,14 +113,115 @@ TEST_F(EngineTest, ConcurrentCasesShareResourcePool) {
   EXPECT_EQ(i2->resource.ToString(), "Programmer:quinn");
   auto i3 = engine_->Advance(c3);
   EXPECT_FALSE(i3.ok());
-  EXPECT_EQ(*engine_->GetState(c3), CaseState::kFailed);
+  EXPECT_TRUE(i3.status().IsResourceUnavailable());
+  // Transient exhaustion: the case survives to try again.
+  EXPECT_EQ(*engine_->GetState(c3), CaseState::kRunning);
 
-  // Completing case 1 frees bob for a new case.
+  // Completing case 1 frees bob — now the surviving case 3 advances.
   ASSERT_TRUE(engine_->Complete(c1).ok());
-  size_t c4 = engine_->StartCase(mexico, {});
-  auto i4 = engine_->Advance(c4);
-  ASSERT_TRUE(i4.ok());
-  EXPECT_EQ(i4->resource.ToString(), "Programmer:bob");
+  auto i3_again = engine_->Advance(c3);
+  ASSERT_TRUE(i3_again.ok()) << i3_again.status().ToString();
+  EXPECT_EQ(i3_again->resource.ToString(), "Programmer:bob");
+}
+
+TEST_F(EngineTest, NoQualifiedResourceIsTerminal) {
+  // A CWA rejection (§3.1) can never be fixed by waiting: the case is
+  // failed immediately, with no retries.
+  ProcessDefinition hopeless{
+      "hopeless",
+      {{"type", "Select ContactInfo From Secretary For Programming "
+                "With NumberOfLines = 1 And Location = 'PA'"}}};
+  size_t c = engine_->StartCase(hopeless, {});
+  auto item = engine_->Advance(c);
+  ASSERT_FALSE(item.ok());
+  EXPECT_TRUE(item.status().IsNoQualifiedResource());
+  EXPECT_EQ(*engine_->GetState(c), CaseState::kFailed);
+}
+
+TEST_F(EngineTest, AdvanceRetriesTransientInjectedFaults) {
+  // A fault injector that fails most Submits: with retries the engine
+  // still lands every assignment; with RetryPolicy::None() the first
+  // fault surfaces (but never kills the case).
+  core::FaultInjectorOptions fopts;
+  fopts.seed = 7;
+  fopts.query_fault_rate = 0.8;
+  core::FaultInjector injector(fopts);
+  core::ResourceManagerOptions ropts;
+  ropts.fault_injector = &injector;
+  SimulatedClock clock;
+  ropts.clock = &clock;
+  core::ResourceManager rm(org_.get(), store_.get(), ropts);
+
+  WorkflowEngineOptions eopts;
+  eopts.retry_policy.max_attempts = 50;
+  WorkflowEngine engine(&rm, eopts);
+
+  ProcessDefinition process = ExpenseProcess();
+  size_t c = engine.StartCase(process,
+                              {{"amount", "500"}, {"requester", "'alice'"}});
+  auto item = engine.Advance(c);
+  ASSERT_TRUE(item.ok()) << item.status().ToString();
+  ASSERT_TRUE(engine.Complete(c).ok());
+  ASSERT_TRUE(engine.Advance(c).ok());
+  ASSERT_TRUE(engine.Complete(c).ok());
+  EXPECT_EQ(*engine.GetState(c), CaseState::kCompleted);
+  EXPECT_GT(injector.num_query_faults_injected(), 0u);
+}
+
+TEST_F(EngineTest, ReassignReplacesFailedHolderViaFreshPipeline) {
+  ProcessDefinition mexico{
+      "mexico",
+      {{"implement",
+        "Select ContactInfo From Engineer Where Location = 'PA' "
+        "For Programming With NumberOfLines = 35000 And "
+        "Location = 'Mexico'"}}};
+  size_t c = engine_->StartCase(mexico, {});
+  auto item = engine_->Advance(c);
+  ASSERT_TRUE(item.ok());
+  EXPECT_EQ(item->resource.ToString(), "Programmer:bob");
+
+  // bob dies holding the work item.
+  ASSERT_TRUE(rm_->MarkFailed(item->resource).ok());
+  auto replacement = engine_->Reassign(c);
+  ASSERT_TRUE(replacement.ok()) << replacement.status().ToString();
+  // The substitute comes from a fresh §4 pipeline run (Figure 9
+  // substitution: Cupertino programmers), never the failed resource.
+  EXPECT_EQ(replacement->resource.ToString(), "Programmer:quinn");
+  EXPECT_TRUE(replacement->reassigned);
+  EXPECT_EQ(engine_->num_reassignments(), 1u);
+  EXPECT_FALSE(rm_->IsAllocated(item->resource));
+
+  ASSERT_TRUE(engine_->Complete(c).ok());
+  EXPECT_EQ(*engine_->GetState(c), CaseState::kCompleted);
+  EXPECT_EQ(rm_->num_allocated(), 0u);
+  ASSERT_EQ(engine_->history().size(), 1u);
+  EXPECT_EQ(engine_->history()[0].resource.ToString(), "Programmer:quinn");
+}
+
+TEST_F(EngineTest, ReassignWithNoSubstituteLeavesCaseRunning) {
+  ProcessDefinition mexico{
+      "mexico",
+      {{"implement",
+        "Select ContactInfo From Engineer Where Location = 'PA' "
+        "For Programming With NumberOfLines = 35000 And "
+        "Location = 'Mexico'"}}};
+  size_t c = engine_->StartCase(mexico, {});
+  ASSERT_TRUE(engine_->Advance(c).ok());  // bob.
+  // quinn (the only substitute) is busy elsewhere, and bob dies.
+  ASSERT_TRUE(rm_->Allocate(org::ResourceRef{"Programmer", "quinn"}).ok());
+  ASSERT_TRUE(rm_->MarkFailed(org::ResourceRef{"Programmer", "bob"}).ok());
+  auto replacement = engine_->Reassign(c);
+  ASSERT_FALSE(replacement.ok());
+  EXPECT_TRUE(replacement.status().IsResourceUnavailable());
+  // Transient: the case survives, the dead holder's allocation is
+  // reclaimed, and a later Advance() succeeds once quinn frees up.
+  EXPECT_EQ(*engine_->GetState(c), CaseState::kRunning);
+  ASSERT_TRUE(rm_->Release(org::ResourceRef{"Programmer", "quinn"}).ok());
+  auto item = engine_->Advance(c);
+  ASSERT_TRUE(item.ok()) << item.status().ToString();
+  EXPECT_EQ(item->resource.ToString(), "Programmer:quinn");
+  ASSERT_TRUE(engine_->Complete(c).ok());
+  EXPECT_EQ(rm_->num_allocated(), 0u);
 }
 
 TEST_F(EngineTest, ApiMisuseReported) {
