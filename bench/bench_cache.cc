@@ -1,0 +1,200 @@
+// Prices the epoch-versioned enforcement cache: cold (cache disabled)
+// vs warm retrieval, steady-state throughput under writer churn (0, 1
+// and 8 policy mutations per 10k queries — every mutation bumps the
+// store epoch and invalidates all cached derivations), and concurrent
+// shared-lock retrieval scaling at 1 vs 8 reader threads. Counters
+// carry the hit-rate and invalidation figures from StoreStatsSnapshot.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "json_reporter.h"
+#include "policy/policy_manager.h"
+#include "policy/synthetic.h"
+
+namespace {
+
+using namespace wfrm;          // NOLINT
+using namespace wfrm::policy;  // NOLINT
+
+constexpr size_t kQueriesPerWriteWindow = 10000;
+
+std::unique_ptr<SyntheticWorkload> BuildWorkload() {
+  SyntheticConfig config;
+  config.num_activities = 64;
+  config.num_resources = 64;
+  config.q = 8;
+  config.c = 8;  // N = 64·8·8 = 4096 requirement policies.
+  auto w = SyntheticWorkload::Build(config);
+  if (!w.ok()) std::abort();
+  return std::move(w).ValueOrDie();
+}
+
+std::vector<rql::RqlQuery> MakeQueries(const SyntheticWorkload& w, size_t n) {
+  std::mt19937 rng(23);
+  std::vector<rql::RqlQuery> queries;
+  while (queries.size() < n) {
+    auto q = w.RandomQuery(rng);
+    if (q.ok()) queries.push_back(std::move(q).ValueOrDie());
+  }
+  return queries;
+}
+
+/// The churn policy an interleaved writer adds and removes: touching
+/// Act1/Role1 keeps the mutation cheap while still bumping the global
+/// epoch (invalidation is epoch-wide, not per-key). Policies own their
+/// expression trees (move-only), so parse one fresh per mutation —
+/// always outside the timed region.
+RequirementPolicy ChurnPolicy() {
+  auto parsed = ParsePolicy(
+      "Require Role1 Where Experience > 7 For Act1 "
+      "With Act1_p0 > 10 And Act1_p0 < 20");
+  if (!parsed.ok()) std::abort();
+  return std::move(std::get<RequirementPolicy>(*parsed));
+}
+
+void ReportCacheCounters(benchmark::State& state, const PolicyStore& store,
+                         const StoreStatsSnapshot& before) {
+  const StoreStatsSnapshot delta = store.stats().Snapshot() - before;
+  state.counters["hit_rate"] = delta.CacheHitRate();
+  state.counters["hits"] = static_cast<double>(delta.cache_hits);
+  state.counters["misses"] = static_cast<double>(delta.cache_misses);
+  state.counters["invalidations"] =
+      static_cast<double>(delta.cache_invalidations);
+}
+
+/// Steady-state requirement retrieval with `writes_per_10k` epoch-bumping
+/// policy mutations interleaved per 10k queries. writes_per_10k < 0
+/// means "cache disabled" (the cold baseline).
+void RunCachedRetrieval(benchmark::State& state, int64_t writes_per_10k) {
+  static auto* w = BuildWorkload().release();
+  static auto* queries = new std::vector<rql::RqlQuery>(MakeQueries(*w, 64));
+  w->store().set_cache_enabled(writes_per_10k >= 0);
+
+  // Warm the cache (and the first-lap allocator noise) outside the
+  // timed region so the loop below measures steady state.
+  for (const auto& query : *queries) {
+    benchmark::DoNotOptimize(w->store().RelevantRequirements(
+        query.resource(), query.activity(), query.spec.AsParams()));
+  }
+
+  const size_t write_stride =
+      writes_per_10k > 0
+          ? kQueriesPerWriteWindow / static_cast<size_t>(writes_per_10k)
+          : 0;
+  const StoreStatsSnapshot before = w->store().stats().Snapshot();
+  size_t i = 0;
+  int64_t churn_group = -1;
+  for (auto _ : state) {
+    if (write_stride != 0 && i % write_stride == 0) {
+      state.PauseTiming();
+      // Alternate add/remove so the policy base size stays flat; both
+      // directions bump the epoch and flush the cached derivations.
+      if (churn_group < 0) {
+        auto added = w->store().AddRequirement(ChurnPolicy());
+        if (!added.ok()) std::abort();
+        churn_group = *added;
+      } else {
+        if (!w->store().RemoveRequirementGroup(churn_group).ok()) std::abort();
+        churn_group = -1;
+      }
+      state.ResumeTiming();
+    }
+    const auto& query = (*queries)[i++ % queries->size()];
+    benchmark::DoNotOptimize(w->store().RelevantRequirements(
+        query.resource(), query.activity(), query.spec.AsParams()));
+  }
+  ReportCacheCounters(state, w->store(), before);
+  if (churn_group >= 0) {
+    if (!w->store().RemoveRequirementGroup(churn_group).ok()) std::abort();
+  }
+  w->store().set_cache_enabled(true);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_Cache_ColdRetrieval(benchmark::State& state) {
+  RunCachedRetrieval(state, /*writes_per_10k=*/-1);
+}
+BENCHMARK(BM_Cache_ColdRetrieval);
+
+void BM_Cache_WarmRetrieval(benchmark::State& state) {
+  RunCachedRetrieval(state, static_cast<int64_t>(state.range(0)));
+}
+// 0 / 1 / 8 writer mutations per 10k queries.
+BENCHMARK(BM_Cache_WarmRetrieval)->Arg(0)->Arg(1)->Arg(8);
+
+// Full enforcement pipeline (qualification + requirement rewriting)
+// through the PolicyManager's rewrite LRU: cold vs warm.
+void RunPipeline(benchmark::State& state, bool cached) {
+  static auto* w = BuildWorkload().release();
+  static auto* queries = new std::vector<rql::RqlQuery>(MakeQueries(*w, 64));
+  static auto* pm = new PolicyManager(&w->org(), &w->store());
+  w->store().set_cache_enabled(cached);
+  for (const auto& query : *queries) {
+    benchmark::DoNotOptimize(pm->EnforcePrimary(query));
+  }
+  const StoreStatsSnapshot before = w->store().stats().Snapshot();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pm->EnforcePrimary((*queries)[i++ % queries->size()]));
+  }
+  const StoreStatsSnapshot delta = w->store().stats().Snapshot() - before;
+  state.counters["rewrite_hits"] =
+      static_cast<double>(delta.rewrite_cache_hits);
+  state.counters["rewrite_misses"] =
+      static_cast<double>(delta.rewrite_cache_misses);
+  w->store().set_cache_enabled(true);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_Cache_ColdPipeline(benchmark::State& state) {
+  RunPipeline(state, /*cached=*/false);
+}
+BENCHMARK(BM_Cache_ColdPipeline);
+
+void BM_Cache_WarmPipeline(benchmark::State& state) {
+  RunPipeline(state, /*cached=*/true);
+}
+BENCHMARK(BM_Cache_WarmPipeline);
+
+// Concurrent warm retrieval: every thread reads through the shared
+// caches under the store's shared lock. items/s at Threads(8) over
+// items/s at Threads(1) is the reader-scaling acceptance figure.
+void BM_Cache_ConcurrentRetrieval(benchmark::State& state) {
+  static auto* w = BuildWorkload().release();
+  static auto* queries = new std::vector<rql::RqlQuery>(MakeQueries(*w, 64));
+  if (state.thread_index() == 0) {
+    w->store().set_cache_enabled(true);
+    for (const auto& query : *queries) {
+      benchmark::DoNotOptimize(w->store().RelevantRequirements(
+          query.resource(), query.activity(), query.spec.AsParams()));
+    }
+  }
+  size_t i = static_cast<size_t>(state.thread_index()) * 7;
+  for (auto _ : state) {
+    const auto& query = (*queries)[i++ % queries->size()];
+    benchmark::DoNotOptimize(w->store().RelevantRequirements(
+        query.resource(), query.activity(), query.spec.AsParams()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  // items_per_second reports a per-thread rate (thread wall times are
+  // summed before the rate divide, cancelling the thread count).
+  // Scaling by threads() recovers the machine-wide retrieval rate;
+  // agg_rate(threads:8) / agg_rate(threads:1) is the reader-scaling
+  // acceptance figure.
+  state.counters["agg_rate"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * state.threads(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Cache_ConcurrentRetrieval)
+    ->Threads(1)
+    ->Threads(8)
+    ->UseRealTime();
+
+}  // namespace
+
+WFRM_BENCH_JSON_MAIN();

@@ -30,6 +30,9 @@ void RunPlan(benchmark::State& state, DirectPlan plan,
   auto w = SyntheticWorkload::Build(config);
   if (!w.ok()) std::abort();
   (*w)->store().set_direct_plan(plan);
+  // Plan comparison needs every iteration to execute the plan; the
+  // repeated-query enforcement cache would hide it.
+  (*w)->store().set_cache_enabled(false);
 
   std::mt19937 rng(7);
   std::vector<wfrm::rql::RqlQuery> queries;

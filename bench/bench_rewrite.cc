@@ -6,6 +6,7 @@
 
 #include <random>
 
+#include "json_reporter.h"
 #include "policy/policy_manager.h"
 #include "policy/synthetic.h"
 #include "testutil/paper_org.h"
@@ -33,6 +34,10 @@ struct PaperFixture {
         std::move(world).ValueOrDie(), std::move(query).ValueOrDie(),
         Rewriter(nullptr, nullptr)};
     f->rewriter = Rewriter(f->world.org.get(), f->world.store.get());
+    // These benches price the rewriting machinery on repeated queries;
+    // with the enforcement/rewrite caches on they would measure memo
+    // hits instead. bench_cache prices the cached path.
+    f->world.store->set_cache_enabled(false);
     return f;
   }
 };
@@ -104,6 +109,7 @@ void BM_Rewrite_RequirementVsPolicyBase(benchmark::State& state) {
   auto w = SyntheticWorkload::Build(config);
   if (!w.ok()) std::abort();
   Rewriter rewriter(&(*w)->org(), &(*w)->store());
+  (*w)->store().set_cache_enabled(false);
   std::mt19937 rng(3);
   std::vector<rql::RqlQuery> queries;
   for (int i = 0; i < 32; ++i) {
@@ -122,4 +128,4 @@ BENCHMARK(BM_Rewrite_RequirementVsPolicyBase)->Arg(4)->Arg(8)->Arg(16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+WFRM_BENCH_JSON_MAIN();

@@ -1,5 +1,8 @@
 #include "core/resource_manager.h"
 
+#include <atomic>
+#include <thread>
+
 #include "rel/executor.h"
 
 namespace wfrm::core {
@@ -32,6 +35,9 @@ bool ResourceManager::IsUnavailableLocked(const org::ResourceRef& ref,
 
 Result<size_t> ResourceManager::RunQueries(
     const std::vector<rql::RqlQuery>& queries, QueryOutcome* outcome) const {
+  // Shared lock: concurrent submits execute together; org writers
+  // (instance inserts, type definitions) are excluded for the duration.
+  auto org_lock = org_->ReadLock();
   rel::ExecOptions opts;
   opts.use_indexes = options_.use_indexes;
   rel::Executor exec(&org_->db(), opts);
@@ -146,6 +152,43 @@ Result<QueryOutcome> ResourceManager::Submit(std::string_view rql_text) const {
   WFRM_ASSIGN_OR_RETURN(rql::RqlQuery query,
                         rql::ParseAndBindRql(rql_text, *org_));
   return Submit(query);
+}
+
+std::vector<Result<QueryOutcome>> ResourceManager::SubmitBatch(
+    const std::vector<std::string>& rql_texts, size_t num_workers) const {
+  // Result<T> has no default constructor: seed every slot with a
+  // placeholder error so workers can assign by index.
+  std::vector<Result<QueryOutcome>> results;
+  results.reserve(rql_texts.size());
+  for (size_t i = 0; i < rql_texts.size(); ++i) {
+    results.emplace_back(Status::Internal("batch entry not executed"));
+  }
+  if (rql_texts.empty()) return results;
+
+  size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  size_t workers = num_workers == 0 ? std::min(rql_texts.size(), hw)
+                                    : std::min(num_workers, rql_texts.size());
+  if (workers <= 1) {
+    for (size_t i = 0; i < rql_texts.size(); ++i) {
+      results[i] = Submit(rql_texts[i]);
+    }
+    return results;
+  }
+
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&]() {
+      for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < rql_texts.size();
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        results[i] = Submit(rql_texts[i]);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  return results;
 }
 
 size_t ResourceManager::PickCandidate(

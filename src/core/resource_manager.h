@@ -140,8 +140,11 @@ struct QueryOutcome {
 /// are internally synchronized, and Acquire claims a candidate
 /// atomically (two threads acquiring concurrently never receive the
 /// same resource; the loser falls through to the next candidate or to
-/// substitution). The org model and policy store must not be mutated
-/// concurrently with queries.
+/// substitution). Queries hold the org model's read lock while executing
+/// and the policy store synchronizes internally, so policy/org mutations
+/// may run concurrently with Submit — each query observes either the
+/// state before or after a given mutation, never a torn mix (the store's
+/// epoch keeps cached derivations equally consistent).
 class ResourceManager {
  public:
   ResourceManager(org::OrgModel* org, policy::PolicyStore* store,
@@ -157,6 +160,15 @@ class ResourceManager {
 
   /// Same for an already parsed-and-bound query.
   Result<QueryOutcome> Submit(const rql::RqlQuery& query) const;
+
+  /// Fans a batch of independent RQL requests across a small worker
+  /// pool; element i of the result is Submit(rql_texts[i]). Workers
+  /// share the enforcement caches and take only shared (reader) locks on
+  /// the org model and policy store, so throughput scales with cores.
+  /// num_workers == 0 picks min(batch size, hardware concurrency).
+  std::vector<Result<QueryOutcome>> SubmitBatch(
+      const std::vector<std::string>& rql_texts,
+      size_t num_workers = 0) const;
 
   /// Submits and allocates a candidate chosen by the configured
   /// allocation strategy, atomically with respect to concurrent

@@ -16,7 +16,8 @@ Status TypeHierarchy::AddType(const std::string& name,
   if (name.empty()) {
     return Status::InvalidArgument("type name must not be empty");
   }
-  if (Contains(name)) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (index_.find(name) != index_.end()) {
     return Status::AlreadyExists(kind_ + " type '" + name +
                                  "' already declared");
   }
@@ -29,7 +30,7 @@ Status TypeHierarchy::AddType(const std::string& name,
   // among own attributes themselves.
   std::vector<AttributeDef> inherited;
   if (parent_idx) {
-    WFRM_ASSIGN_OR_RETURN(inherited, AttributesOf(nodes_[*parent_idx].name));
+    WFRM_ASSIGN_OR_RETURN(inherited, AttributesOfImpl(nodes_[*parent_idx].name));
   }
   for (size_t i = 0; i < attributes.size(); ++i) {
     for (const AttributeDef& a : inherited) {
@@ -56,24 +57,37 @@ Status TypeHierarchy::AddType(const std::string& name,
   size_t idx = nodes_.size() - 1;
   index_[name] = idx;
   if (parent_idx) nodes_[*parent_idx].children.push_back(idx);
+  {
+    // A new type extends its ancestors' descendant closures and gets
+    // closures of its own: drop every memoized closure wholesale.
+    std::lock_guard<std::mutex> memo_lock(memo_mu_);
+    anc_memo_.clear();
+    desc_memo_.clear();
+  }
+  version_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
+bool TypeHierarchy::Contains(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return index_.find(name) != index_.end();
+}
+
 Result<std::string> TypeHierarchy::Canonical(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   WFRM_ASSIGN_OR_RETURN(size_t idx, IndexOf(name));
   return nodes_[idx].name;
 }
 
 Result<std::optional<std::string>> TypeHierarchy::ParentOf(
     const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   WFRM_ASSIGN_OR_RETURN(size_t idx, IndexOf(name));
   if (!nodes_[idx].parent) return std::optional<std::string>{};
   return std::optional<std::string>{nodes_[*nodes_[idx].parent].name};
 }
 
-Result<std::vector<std::string>> TypeHierarchy::Ancestors(
-    const std::string& name) const {
-  WFRM_ASSIGN_OR_RETURN(size_t idx, IndexOf(name));
+std::vector<std::string> TypeHierarchy::AncestorsImpl(size_t idx) const {
   std::vector<std::string> out;
   std::optional<size_t> cur = idx;
   while (cur) {
@@ -83,9 +97,24 @@ Result<std::vector<std::string>> TypeHierarchy::Ancestors(
   return out;
 }
 
-Result<std::vector<std::string>> TypeHierarchy::Descendants(
+Result<std::vector<std::string>> TypeHierarchy::Ancestors(
     const std::string& name) const {
-  WFRM_ASSIGN_OR_RETURN(size_t root, IndexOf(name));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  WFRM_ASSIGN_OR_RETURN(size_t idx, IndexOf(name));
+  {
+    std::lock_guard<std::mutex> memo_lock(memo_mu_);
+    auto it = anc_memo_.find(idx);
+    if (it != anc_memo_.end()) return it->second;
+  }
+  std::vector<std::string> out = AncestorsImpl(idx);
+  {
+    std::lock_guard<std::mutex> memo_lock(memo_mu_);
+    anc_memo_.emplace(idx, out);
+  }
+  return out;
+}
+
+std::vector<std::string> TypeHierarchy::DescendantsImpl(size_t root) const {
   std::vector<std::string> out;
   std::vector<size_t> stack = {root};
   while (!stack.empty()) {
@@ -99,8 +128,26 @@ Result<std::vector<std::string>> TypeHierarchy::Descendants(
   return out;
 }
 
+Result<std::vector<std::string>> TypeHierarchy::Descendants(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  WFRM_ASSIGN_OR_RETURN(size_t root, IndexOf(name));
+  {
+    std::lock_guard<std::mutex> memo_lock(memo_mu_);
+    auto it = desc_memo_.find(root);
+    if (it != desc_memo_.end()) return it->second;
+  }
+  std::vector<std::string> out = DescendantsImpl(root);
+  {
+    std::lock_guard<std::mutex> memo_lock(memo_mu_);
+    desc_memo_.emplace(root, out);
+  }
+  return out;
+}
+
 Result<std::vector<std::string>> TypeHierarchy::Children(
     const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   WFRM_ASSIGN_OR_RETURN(size_t idx, IndexOf(name));
   std::vector<std::string> out;
   for (size_t c : nodes_[idx].children) out.push_back(nodes_[c].name);
@@ -109,6 +156,7 @@ Result<std::vector<std::string>> TypeHierarchy::Children(
 
 Result<bool> TypeHierarchy::IsSubtypeOf(const std::string& sub,
                                         const std::string& super) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   WFRM_ASSIGN_OR_RETURN(size_t sub_idx, IndexOf(sub));
   WFRM_ASSIGN_OR_RETURN(size_t super_idx, IndexOf(super));
   std::optional<size_t> cur = sub_idx;
@@ -119,23 +167,32 @@ Result<bool> TypeHierarchy::IsSubtypeOf(const std::string& sub,
   return false;
 }
 
-Result<std::vector<AttributeDef>> TypeHierarchy::AttributesOf(
+Result<std::vector<AttributeDef>> TypeHierarchy::AttributesOfImpl(
     const std::string& name) const {
-  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> chain, Ancestors(name));
+  WFRM_ASSIGN_OR_RETURN(size_t idx, IndexOf(name));
+  std::vector<std::string> chain = AncestorsImpl(idx);
   std::vector<AttributeDef> out;
   // Root-most first.
   for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-    size_t idx = index_.at(*it);
-    for (const AttributeDef& a : nodes_[idx].own_attributes) {
+    size_t i = index_.at(*it);
+    for (const AttributeDef& a : nodes_[i].own_attributes) {
       out.push_back(a);
     }
   }
   return out;
 }
 
+Result<std::vector<AttributeDef>> TypeHierarchy::AttributesOf(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return AttributesOfImpl(name);
+}
+
 Result<AttributeDef> TypeHierarchy::FindAttribute(
     const std::string& type, const std::string& attribute) const {
-  WFRM_ASSIGN_OR_RETURN(std::vector<AttributeDef> attrs, AttributesOf(type));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  WFRM_ASSIGN_OR_RETURN(std::vector<AttributeDef> attrs,
+                        AttributesOfImpl(type));
   for (const AttributeDef& a : attrs) {
     if (EqualsIgnoreCase(a.name, attribute)) return a;
   }
@@ -144,11 +201,13 @@ Result<AttributeDef> TypeHierarchy::FindAttribute(
 }
 
 Result<size_t> TypeHierarchy::DepthOf(const std::string& name) const {
-  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> chain, Ancestors(name));
-  return chain.size() - 1;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  WFRM_ASSIGN_OR_RETURN(size_t idx, IndexOf(name));
+  return AncestorsImpl(idx).size() - 1;
 }
 
 std::vector<std::string> TypeHierarchy::Roots() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> out;
   for (const Node& n : nodes_) {
     if (!n.parent) out.push_back(n.name);
@@ -157,10 +216,16 @@ std::vector<std::string> TypeHierarchy::Roots() const {
 }
 
 std::vector<std::string> TypeHierarchy::AllTypes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(nodes_.size());
   for (const Node& n : nodes_) out.push_back(n.name);
   return out;
+}
+
+size_t TypeHierarchy::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return nodes_.size();
 }
 
 }  // namespace wfrm::org

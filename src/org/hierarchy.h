@@ -1,7 +1,11 @@
 #ifndef WFRM_ORG_HIERARCHY_H_
 #define WFRM_ORG_HIERARCHY_H_
 
+#include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -22,9 +26,38 @@ struct AttributeDef {
 /// of named types where every type inherits all attributes of its
 /// ancestors. Used twice — once for resource roles, once for activity
 /// types. Names are case-insensitive.
+///
+/// Thread safety: reads (Ancestors, Descendants, FindAttribute, ...)
+/// take a shared lock and may run concurrently; AddType takes an
+/// exclusive lock. Ancestor/descendant closures are memoized per node —
+/// the memo is invalidated (and `version()` bumped) by every AddType, so
+/// downstream epoch-keyed caches can detect hierarchy edits.
 class TypeHierarchy {
  public:
   explicit TypeHierarchy(std::string kind) : kind_(std::move(kind)) {}
+
+  /// Movable for by-value construction in fixtures. Moving is NOT
+  /// thread-safe — the source must have no concurrent users; the
+  /// synchronization members and memos start fresh in the destination
+  /// (the version counter carries over so epoch-keyed caches stay
+  /// monotone).
+  TypeHierarchy(TypeHierarchy&& other) noexcept
+      : kind_(std::move(other.kind_)),
+        nodes_(std::move(other.nodes_)),
+        index_(std::move(other.index_)),
+        version_(other.version_.load(std::memory_order_acquire)) {}
+  TypeHierarchy& operator=(TypeHierarchy&& other) noexcept {
+    if (this != &other) {
+      kind_ = std::move(other.kind_);
+      nodes_ = std::move(other.nodes_);
+      index_ = std::move(other.index_);
+      anc_memo_.clear();
+      desc_memo_.clear();
+      version_.store(other.version_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+    }
+    return *this;
+  }
 
   /// Declares a type. `parent` empty declares a root. Fails if the name
   /// exists, the parent is unknown, or an own attribute collides with an
@@ -32,9 +65,7 @@ class TypeHierarchy {
   Status AddType(const std::string& name, const std::string& parent,
                  std::vector<AttributeDef> attributes = {});
 
-  bool Contains(const std::string& name) const {
-    return index_.find(name) != index_.end();
-  }
+  bool Contains(const std::string& name) const;
 
   /// Canonical spelling of a type name as declared.
   Result<std::string> Canonical(const std::string& name) const;
@@ -43,10 +74,10 @@ class TypeHierarchy {
   Result<std::optional<std::string>> ParentOf(const std::string& name) const;
 
   /// [name, parent, grandparent, ..., root]. Includes the type itself,
-  /// matching the paper's Ancestor() in Figure 13.
+  /// matching the paper's Ancestor() in Figure 13. Memoized.
   Result<std::vector<std::string>> Ancestors(const std::string& name) const;
 
-  /// All sub-types including the type itself, preorder.
+  /// All sub-types including the type itself, preorder. Memoized.
   Result<std::vector<std::string>> Descendants(const std::string& name) const;
 
   /// Direct children.
@@ -70,7 +101,12 @@ class TypeHierarchy {
 
   std::vector<std::string> Roots() const;
   std::vector<std::string> AllTypes() const;
-  size_t size() const { return nodes_.size(); }
+  size_t size() const;
+
+  /// Monotone edit counter: bumped by every successful AddType. Feeds
+  /// the policy layer's enforcement-cache epoch, so a hierarchy edit
+  /// invalidates closures cached against the old shape.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
   /// Which hierarchy this is ("resource" / "activity"), for messages.
   const std::string& kind() const { return kind_; }
@@ -83,13 +119,26 @@ class TypeHierarchy {
     std::vector<AttributeDef> own_attributes;
   };
 
+  // Unlocked implementations; callers hold mu_ (shared or exclusive).
   Result<size_t> IndexOf(const std::string& name) const;
+  std::vector<std::string> AncestorsImpl(size_t idx) const;
+  std::vector<std::string> DescendantsImpl(size_t idx) const;
+  Result<std::vector<AttributeDef>> AttributesOfImpl(
+      const std::string& name) const;
 
   std::string kind_;
   std::vector<Node> nodes_;
   std::unordered_map<std::string, size_t, CaseInsensitiveHash,
                      CaseInsensitiveEq>
       index_;
+
+  /// Guards nodes_/index_: shared for reads, exclusive for AddType.
+  mutable std::shared_mutex mu_;
+  /// Guards the closure memos only. Lock order: mu_ before memo_mu_.
+  mutable std::mutex memo_mu_;
+  mutable std::unordered_map<size_t, std::vector<std::string>> anc_memo_;
+  mutable std::unordered_map<size_t, std::vector<std::string>> desc_memo_;
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace wfrm::org

@@ -17,6 +17,7 @@ Status OrgModel::DefineResourceType(const std::string& name,
   }
   WFRM_RETURN_NOT_OK(resources_.AddType(name, parent, std::move(attributes)));
   WFRM_ASSIGN_OR_RETURN(rel::Schema schema, ResourceSchema(name));
+  std::unique_lock<std::shared_mutex> lock(mu_);
   WFRM_ASSIGN_OR_RETURN(rel::Table * table, db_.CreateTable(name, schema));
   // Id is the access path for allocation bookkeeping and joins.
   WFRM_RETURN_NOT_OK(table->CreateHashIndex(name + "_by_id", {"Id"}));
@@ -42,6 +43,7 @@ Result<ResourceRef> OrgModel::AddResource(
     const std::string& type, const std::string& id,
     const std::map<std::string, rel::Value>& values) {
   WFRM_ASSIGN_OR_RETURN(std::string canonical, resources_.Canonical(type));
+  std::unique_lock<std::shared_mutex> lock(mu_);
   rel::Table* table = db_.GetTable(canonical);
   if (table == nullptr) {
     return Status::Internal("resource type '" + canonical +
@@ -77,6 +79,7 @@ Result<ResourceRef> OrgModel::AddResource(
 }
 
 Result<rel::Row> OrgModel::GetResource(const ResourceRef& ref) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const rel::Table* table = db_.GetTable(ref.type);
   if (table == nullptr) {
     return Status::NotFound("unknown resource type '" + ref.type + "'");
@@ -91,6 +94,7 @@ Result<rel::Row> OrgModel::GetResource(const ResourceRef& ref) const {
 
 Status OrgModel::DefineRelationship(const std::string& name,
                                     std::vector<rel::Column> columns) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   WFRM_ASSIGN_OR_RETURN(rel::Table * table,
                         db_.CreateTable(name, rel::Schema(std::move(columns))));
   (void)table;
@@ -98,6 +102,7 @@ Status OrgModel::DefineRelationship(const std::string& name,
 }
 
 Status OrgModel::AddRelationshipTuple(const std::string& name, rel::Row row) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   rel::Table* table = db_.GetTable(name);
   if (table == nullptr) {
     return Status::NotFound("unknown relationship '" + name + "'");
@@ -110,11 +115,13 @@ Status OrgModel::DefineView(const std::string& name,
                             std::string_view select_sql) {
   WFRM_ASSIGN_OR_RETURN(rel::SelectPtr query,
                         rel::SqlParser::ParseSelect(select_sql));
+  std::unique_lock<std::shared_mutex> lock(mu_);
   return db_.CreateView(name, std::move(column_names), std::move(query));
 }
 
 Result<size_t> OrgModel::CountResources(const std::string& type) const {
   WFRM_ASSIGN_OR_RETURN(std::string canonical, resources_.Canonical(type));
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const rel::Table* table = db_.GetTable(canonical);
   if (table == nullptr) {
     return Status::Internal("resource type without table: " + canonical);

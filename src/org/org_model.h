@@ -1,7 +1,9 @@
 #ifndef WFRM_ORG_ORG_MODEL_H_
 #define WFRM_ORG_ORG_MODEL_H_
 
+#include <cstdint>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -40,6 +42,12 @@ struct ResourceRef {
 ///   over them (ReportsTo = BelongsTo ⋈ Manages).
 ///
 /// Every resource table implicitly starts with an `Id STRING` column.
+///
+/// Thread safety: instance reads (GetResource, CountResources,
+/// ResourceSchema) take a shared lock; definition and instance writers
+/// take an exclusive one. Callers running ad-hoc queries against `db()`
+/// concurrently with writers must hold `ReadLock()` for the duration
+/// (the resource manager's query executor does).
 class OrgModel {
  public:
   OrgModel();
@@ -91,10 +99,27 @@ class OrgModel {
   /// Number of instances stored for `type` (exact type only).
   Result<size_t> CountResources(const std::string& type) const;
 
+  /// Shared lock over the instance/relationship tables, for callers that
+  /// read `db()` directly (query execution). Writers are excluded while
+  /// any such lock is held; readers run concurrently.
+  std::shared_lock<std::shared_mutex> ReadLock() const {
+    return std::shared_lock<std::shared_mutex>(mu_);
+  }
+
+  /// Monotone edit counter over the two hierarchies — the part of the
+  /// org model that policy retrieval depends on. Instance inserts do not
+  /// bump it (they cannot change which policies are relevant).
+  uint64_t hierarchy_version() const {
+    return resources_.version() + activities_.version();
+  }
+
  private:
   TypeHierarchy resources_;
   TypeHierarchy activities_;
   rel::Database db_;
+  /// Guards db_ tables/views against concurrent definition or instance
+  /// mutation. The hierarchies carry their own internal locks.
+  mutable std::shared_mutex mu_;
 };
 
 }  // namespace wfrm::org

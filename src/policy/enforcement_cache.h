@@ -1,0 +1,96 @@
+#ifndef WFRM_POLICY_ENFORCEMENT_CACHE_H_
+#define WFRM_POLICY_ENFORCEMENT_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace wfrm::policy {
+
+/// Outcome of one cache probe, for the StoreStats counters.
+enum class CacheLookup {
+  kHit,    // Entry present at the current epoch.
+  kMiss,   // No entry under the key.
+  kStale,  // Entry present but tagged with an older epoch (a
+           // PolicyStore/OrgModel mutation invalidated it).
+};
+
+/// Epoch-versioned memo table for enforcement-time derivations
+/// (hierarchy fan-out sets, relevant requirement/substitution row sets).
+///
+/// Entries are tagged with the store epoch observed when they were
+/// computed; a probe at a newer epoch reports kStale and the caller
+/// recomputes. There is no eager invalidation — writers only bump the
+/// epoch, which makes mutations O(1) and keeps the write path off every
+/// cache lock. Size is bounded: when an insert would exceed
+/// `max_entries`, stale-epoch entries are evicted first and, if the
+/// table is still full (all-current entries), it is dropped wholesale —
+/// repeated enforcement refills it in one round.
+///
+/// Thread safety: probes take a shared lock, inserts an exclusive one.
+template <typename V>
+class EpochCache {
+ public:
+  explicit EpochCache(size_t max_entries = 8192) : max_entries_(max_entries) {}
+
+  std::optional<V> Get(const std::string& key, uint64_t epoch,
+                       CacheLookup* outcome) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      *outcome = CacheLookup::kMiss;
+      return std::nullopt;
+    }
+    if (it->second.epoch != epoch) {
+      *outcome = CacheLookup::kStale;
+      return std::nullopt;
+    }
+    *outcome = CacheLookup::kHit;
+    return it->second.value;
+  }
+
+  void Put(const std::string& key, uint64_t epoch, V value) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (map_.size() >= max_entries_ && map_.find(key) == map_.end()) {
+      for (auto it = map_.begin(); it != map_.end();) {
+        it = it->second.epoch == epoch ? std::next(it) : map_.erase(it);
+      }
+      if (map_.size() >= max_entries_) map_.clear();
+    }
+    map_[key] = Entry{epoch, std::move(value)};
+  }
+
+  void Clear() {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    map_.clear();
+  }
+
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return map_.size();
+  }
+
+ private:
+  struct Entry {
+    uint64_t epoch = 0;
+    V value;
+  };
+
+  mutable std::shared_mutex mu_;
+  size_t max_entries_;
+  std::unordered_map<std::string, Entry> map_;
+};
+
+/// Joins cache-key parts with an unlikely separator ('\x1f', ASCII unit
+/// separator) so composite keys cannot collide across part boundaries.
+inline void AppendCacheKeyPart(std::string* key, const std::string& part) {
+  if (!key->empty()) key->push_back('\x1f');
+  key->append(part);
+}
+
+}  // namespace wfrm::policy
+
+#endif  // WFRM_POLICY_ENFORCEMENT_CACHE_H_

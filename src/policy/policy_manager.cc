@@ -1,11 +1,76 @@
 #include "policy/policy_manager.h"
 
 #include <set>
+#include <utility>
 
 namespace wfrm::policy {
 
+EnforcedQueries EnforcedQueries::Clone() const {
+  EnforcedQueries out;
+  out.queries.reserve(queries.size());
+  for (const rql::RqlQuery& q : queries) out.queries.push_back(q.Clone());
+  out.qualified_types = qualified_types;
+  return out;
+}
+
+std::optional<EnforcedQueries> PolicyManager::RewriteCacheGet(
+    const std::string& key, uint64_t epoch, CacheLookup* outcome) const {
+  std::lock_guard<std::mutex> lock(rewrite_mu_);
+  auto it = rewrite_map_.find(key);
+  if (it == rewrite_map_.end()) {
+    *outcome = CacheLookup::kMiss;
+    return std::nullopt;
+  }
+  if (it->second->epoch != epoch) {
+    rewrite_lru_.erase(it->second);
+    rewrite_map_.erase(it);
+    *outcome = CacheLookup::kStale;
+    return std::nullopt;
+  }
+  rewrite_lru_.splice(rewrite_lru_.begin(), rewrite_lru_, it->second);
+  *outcome = CacheLookup::kHit;
+  return it->second->value.Clone();
+}
+
+void PolicyManager::RewriteCachePut(const std::string& key, uint64_t epoch,
+                                    EnforcedQueries value) const {
+  std::lock_guard<std::mutex> lock(rewrite_mu_);
+  auto it = rewrite_map_.find(key);
+  if (it != rewrite_map_.end()) {
+    it->second->epoch = epoch;
+    it->second->value = std::move(value);
+    rewrite_lru_.splice(rewrite_lru_.begin(), rewrite_lru_, it->second);
+    return;
+  }
+  rewrite_lru_.push_front(RewriteEntry{key, epoch, std::move(value)});
+  rewrite_map_[key] = rewrite_lru_.begin();
+  while (rewrite_lru_.size() > rewrite_capacity_) {
+    rewrite_map_.erase(rewrite_lru_.back().key);
+    rewrite_lru_.pop_back();
+  }
+}
+
+size_t PolicyManager::rewrite_cache_size() const {
+  std::lock_guard<std::mutex> lock(rewrite_mu_);
+  return rewrite_lru_.size();
+}
+
 Result<EnforcedQueries> PolicyManager::EnforcePrimary(
     const rql::RqlQuery& query) const {
+  const bool use_cache = store_->cache_enabled() && rewrite_capacity_ > 0;
+  std::string key;
+  uint64_t observed_epoch = 0;
+  if (use_cache) {
+    key = Rewriter::EnforcementKey(query);
+    observed_epoch = store_->epoch();
+    CacheLookup outcome;
+    if (auto hit = RewriteCacheGet(key, observed_epoch, &outcome)) {
+      store_->NoteRewriteLookup(outcome);
+      return std::move(*hit);
+    }
+    store_->NoteRewriteLookup(outcome);
+  }
+
   EnforcedQueries out;
   WFRM_ASSIGN_OR_RETURN(std::vector<rql::RqlQuery> fanned,
                         rewriter_.RewriteQualification(query));
@@ -15,6 +80,11 @@ Result<EnforcedQueries> PolicyManager::EnforcePrimary(
                           rewriter_.RewriteRequirement(q));
     out.qualified_types.push_back(std::move(type));
     out.queries.push_back(std::move(enhanced));
+  }
+  // Publish only if no mutation interleaved with the rewrite; a torn
+  // entry would otherwise survive until the next epoch bump.
+  if (use_cache && store_->epoch() == observed_epoch) {
+    RewriteCachePut(key, observed_epoch, out.Clone());
   }
   return out;
 }

@@ -1,10 +1,16 @@
 #ifndef WFRM_POLICY_POLICY_MANAGER_H_
 #define WFRM_POLICY_POLICY_MANAGER_H_
 
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "policy/enforcement_cache.h"
 #include "policy/rewriter.h"
 
 namespace wfrm::policy {
@@ -21,6 +27,10 @@ struct EnforcedQueries {
   /// The qualified sub-types the fan-out produced, aligned with
   /// `queries`.
   std::vector<std::string> qualified_types;
+
+  /// Deep copy (RqlQuery is move-only); what the rewrite cache stores
+  /// and serves.
+  EnforcedQueries Clone() const;
 };
 
 /// The policy manager of Figure 1: receives a resource query from the
@@ -29,10 +39,19 @@ struct EnforcedQueries {
 /// of which re-enters qualification + requirement rewriting. Substitution
 /// is never applied transitively (§1.2/§2.1): alternatives get no second
 /// round of substitution.
+///
+/// EnforcePrimary results are memoized in a bounded LRU keyed by the
+/// query's canonical text and tagged with the store epoch: repeated
+/// enforcement of the same request at an unchanged epoch skips the
+/// fan-out and rewriting entirely. The LRU honours the store's
+/// `cache_enabled()` switch and reports its traffic through the store's
+/// rewrite_cache_* counters.
 class PolicyManager {
  public:
-  PolicyManager(const org::OrgModel* org, const PolicyStore* store)
-      : org_(org), store_(store), rewriter_(org, store) {}
+  PolicyManager(const org::OrgModel* org, const PolicyStore* store,
+                size_t rewrite_cache_capacity = 1024)
+      : org_(org), store_(store), rewriter_(org, store),
+        rewrite_capacity_(rewrite_cache_capacity) {}
 
   /// Primary enforcement: §4.1 fan-out then §4.2 enhancement.
   Result<EnforcedQueries> EnforcePrimary(const rql::RqlQuery& query) const;
@@ -57,10 +76,34 @@ class PolicyManager {
   const Rewriter& rewriter() const { return rewriter_; }
   const PolicyStore& store() const { return *store_; }
 
+  /// Entries currently held by the rewrite LRU (tests/benches).
+  size_t rewrite_cache_size() const;
+
  private:
+  struct RewriteEntry {
+    std::string key;
+    uint64_t epoch = 0;
+    EnforcedQueries value;
+  };
+
+  /// Probes the LRU; a hit is refreshed to the front and returned as a
+  /// deep clone. A stale-epoch entry is dropped in place.
+  std::optional<EnforcedQueries> RewriteCacheGet(const std::string& key,
+                                                 uint64_t epoch,
+                                                 CacheLookup* outcome) const;
+  void RewriteCachePut(const std::string& key, uint64_t epoch,
+                       EnforcedQueries value) const;
+
   const org::OrgModel* org_;
   const PolicyStore* store_;
   Rewriter rewriter_;
+
+  size_t rewrite_capacity_;
+  mutable std::mutex rewrite_mu_;
+  /// Front = most recently used.
+  mutable std::list<RewriteEntry> rewrite_lru_;
+  mutable std::unordered_map<std::string, std::list<RewriteEntry>::iterator>
+      rewrite_map_;
 };
 
 }  // namespace wfrm::policy

@@ -46,6 +46,22 @@ NameSet ToSet(const std::vector<std::string>& names) {
 
 }  // namespace
 
+StoreStatsSnapshot StoreStatsSnapshot::operator-(
+    const StoreStatsSnapshot& earlier) const {
+  StoreStatsSnapshot d;
+  d.retrievals = retrievals - earlier.retrievals;
+  d.candidate_rows = candidate_rows - earlier.candidate_rows;
+  d.interval_rows = interval_rows - earlier.interval_rows;
+  d.plans_filter_first = plans_filter_first - earlier.plans_filter_first;
+  d.plans_policies_first = plans_policies_first - earlier.plans_policies_first;
+  d.cache_hits = cache_hits - earlier.cache_hits;
+  d.cache_misses = cache_misses - earlier.cache_misses;
+  d.cache_invalidations = cache_invalidations - earlier.cache_invalidations;
+  d.rewrite_cache_hits = rewrite_cache_hits - earlier.rewrite_cache_hits;
+  d.rewrite_cache_misses = rewrite_cache_misses - earlier.rewrite_cache_misses;
+  return d;
+}
+
 PolicyStore::PolicyStore(const org::OrgModel* org) : org_(org) {
   // Table creation on a fresh database cannot fail.
   rel::Table* quals =
@@ -279,12 +295,14 @@ Result<int64_t> PolicyStore::AddQualification(const QualificationPolicy& p) {
                         org_->resources().Canonical(p.resource));
   WFRM_ASSIGN_OR_RETURN(std::string activity,
                         org_->activities().Canonical(p.activity));
+  std::unique_lock<std::shared_mutex> lock(mu_);
   int64_t pid = next_pid_++;
   WFRM_RETURN_NOT_OK(db_.GetTable(kQualifications)
                          ->Insert({rel::Value::Int(pid),
                                    rel::Value::String(resource),
                                    rel::Value::String(activity)})
                          .status());
+  BumpEpoch();
   return pid;
 }
 
@@ -297,8 +315,14 @@ Result<int64_t> PolicyStore::AddRequirement(const RequirementPolicy& p) {
   WFRM_RETURN_NOT_OK(
       ValidateRequirementWhere(resource, activity, p.where.get()));
   std::string where_text = p.where ? p.where->ToString() : "";
-  return InsertDecomposed(kPolicies, kFilter, activity, resource, p.with.get(),
-                          {rel::Value::String(std::move(where_text))});
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Result<int64_t> group =
+      InsertDecomposed(kPolicies, kFilter, activity, resource, p.with.get(),
+                       {rel::Value::String(std::move(where_text))});
+  // Bump even on partial failure: any rows inserted before the error must
+  // still invalidate cached derivations.
+  BumpEpoch();
+  return group;
 }
 
 Result<int64_t> PolicyStore::AddSubstitution(const SubstitutionPolicy& p) {
@@ -317,11 +341,14 @@ Result<int64_t> PolicyStore::AddSubstitution(const SubstitutionPolicy& p) {
       p.substituted_where ? p.substituted_where->ToString() : "";
   std::string substituting_where =
       p.substituting_where ? p.substituting_where->ToString() : "";
-  return InsertDecomposed(
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Result<int64_t> group = InsertDecomposed(
       kSubstPolicies, kSubstFilter, activity, substituted, p.with.get(),
       {rel::Value::String(std::move(substituted_where)),
        rel::Value::String(substituting),
        rel::Value::String(std::move(substituting_where))});
+  BumpEpoch();
+  return group;
 }
 
 Result<int64_t> PolicyStore::AddPolicy(const ParsedPolicy& policy) {
@@ -343,11 +370,52 @@ Status PolicyStore::AddPolicyText(std::string_view pl_text) {
   return Status::OK();
 }
 
+// ---- Cache plumbing -------------------------------------------------------
+
+std::string PolicyStore::RetrievalCacheKey(const char* tag,
+                                           const std::string& resource,
+                                           const std::string& activity,
+                                           const rel::ParamMap& spec) const {
+  std::string key;
+  AppendCacheKeyPart(&key, tag);
+  AppendCacheKeyPart(&key, std::to_string(static_cast<int>(
+                               mode_.load(std::memory_order_relaxed))));
+  AppendCacheKeyPart(&key, std::to_string(static_cast<int>(
+                               plan_.load(std::memory_order_relaxed))));
+  AppendCacheKeyPart(&key,
+                     use_indexes_.load(std::memory_order_relaxed) ? "i1" : "i0");
+  AppendCacheKeyPart(&key, resource);
+  AppendCacheKeyPart(&key, activity);
+  // ParamMap iteration order is unspecified: sort for a canonical key.
+  std::vector<std::string> parts;
+  parts.reserve(spec.size());
+  for (const auto& [attr, value] : spec) {
+    parts.push_back(attr + "=" + value.ToString());
+  }
+  std::sort(parts.begin(), parts.end());
+  for (const std::string& p : parts) AppendCacheKeyPart(&key, p);
+  return key;
+}
+
+void PolicyStore::NoteRewriteLookup(CacheLookup outcome) const {
+  switch (outcome) {
+    case CacheLookup::kHit:
+      ++stats_.rewrite_cache_hits;
+      break;
+    case CacheLookup::kMiss:
+      ++stats_.rewrite_cache_misses;
+      break;
+    case CacheLookup::kStale:
+      ++stats_.rewrite_cache_misses;
+      ++stats_.cache_invalidations;
+      break;
+  }
+}
+
 // ---- Qualification retrieval ------------------------------------------------
 
-Result<std::vector<std::string>> PolicyStore::QualifiedSubtypes(
+Result<std::vector<std::string>> PolicyStore::QualifiedSubtypesLocked(
     const std::string& resource, const std::string& activity) const {
-  ++stats_.retrievals;
   WFRM_ASSIGN_OR_RETURN(std::vector<std::string> act_ancestors,
                         org_->activities().Ancestors(activity));
   NameSet act_set = ToSet(act_ancestors);
@@ -393,6 +461,36 @@ Result<std::vector<std::string>> PolicyStore::QualifiedSubtypes(
   return out;
 }
 
+Result<std::vector<std::string>> PolicyStore::QualifiedSubtypes(
+    const std::string& resource, const std::string& activity) const {
+  ++stats_.retrievals;
+  const bool use_cache = cache_enabled();
+  std::string key;
+  uint64_t observed_epoch = 0;
+  if (use_cache) {
+    key = RetrievalCacheKey("qual", resource, activity, {});
+    observed_epoch = epoch();
+    CacheLookup outcome;
+    if (auto hit = qualified_cache_.Get(key, observed_epoch, &outcome)) {
+      ++stats_.cache_hits;
+      return *hit;
+    }
+    outcome == CacheLookup::kStale ? ++stats_.cache_invalidations
+                                   : ++stats_.cache_misses;
+  }
+  Result<std::vector<std::string>> result = std::vector<std::string>{};
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    result = QualifiedSubtypesLocked(resource, activity);
+  }
+  // Only publish results whose inputs were stable across the computation:
+  // a concurrent mutation would leave the entry half-old, half-new.
+  if (use_cache && result.ok() && epoch() == observed_epoch) {
+    qualified_cache_.Put(key, observed_epoch, *result);
+  }
+  return result;
+}
+
 Result<bool> PolicyStore::IsQualified(const std::string& resource,
                                       const std::string& activity) const {
   WFRM_ASSIGN_OR_RETURN(std::vector<std::string> act_ancestors,
@@ -402,6 +500,7 @@ Result<bool> PolicyStore::IsQualified(const std::string& resource,
   NameSet act_set = ToSet(act_ancestors);
   NameSet res_set = ToSet(res_ancestors);
   bool found = false;
+  std::shared_lock<std::shared_mutex> lock(mu_);
   db_.GetTable(kQualifications)->ForEach([&](rel::RowId, const rel::Row& row) {
     if (res_set.count(row[1].string_value()) > 0 &&
         act_set.count(row[2].string_value()) > 0) {
@@ -690,7 +789,7 @@ PolicyStore::RelevantRequirementsPoliciesFirst(
   return out;
 }
 
-SelectivityParams PolicyStore::EstimateParams() const {
+SelectivityParams PolicyStore::EstimateParamsLocked() const {
   SelectivityParams p;
   p.num_activities = std::max<size_t>(2, org_->activities().size());
   p.num_resources = std::max<size_t>(2, org_->resources().size());
@@ -708,8 +807,13 @@ SelectivityParams PolicyStore::EstimateParams() const {
   return p;
 }
 
-bool PolicyStore::PreferPoliciesFirst(size_t num_spec_attributes) const {
-  SelectivityParams p = EstimateParams();
+SelectivityParams PolicyStore::EstimateParams() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return EstimateParamsLocked();
+}
+
+bool PolicyStore::PreferPoliciesFirstLocked(size_t num_spec_attributes) const {
+  SelectivityParams p = EstimateParamsLocked();
   const rel::Table* policies = db_.GetTable(kPolicies);
   const rel::Table* filter = db_.GetTable(kFilter);
   double n = static_cast<double>(policies->num_rows());
@@ -721,11 +825,22 @@ bool PolicyStore::PreferPoliciesFirst(size_t num_spec_attributes) const {
   // Filter-first issues one (Attribute, LowerBound <= x) range probe per
   // bound attribute; each visits about half of that attribute's
   // partition of Filter, matched or not.
-  double attrs = static_cast<double>(std::max<size_t>(1, num_filter_attributes()));
+  double attrs =
+      static_cast<double>(std::max<size_t>(1, filter_attr_counts_.size()));
   double cost_filter_first =
       static_cast<double>(std::max<size_t>(1, num_spec_attributes)) * f /
       (2.0 * attrs);
   return cost_policies_first < cost_filter_first;
+}
+
+bool PolicyStore::PreferPoliciesFirst(size_t num_spec_attributes) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return PreferPoliciesFirstLocked(num_spec_attributes);
+}
+
+size_t PolicyStore::num_filter_attributes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return filter_attr_counts_.size();
 }
 
 Result<std::vector<RelevantRequirement>> PolicyStore::RelevantRequirements(
@@ -737,31 +852,56 @@ Result<std::vector<RelevantRequirement>> PolicyStore::RelevantRequirements(
   WFRM_ASSIGN_OR_RETURN(std::string act,
                         org_->activities().Canonical(activity));
   rel::ParamMap canonical_spec = CanonicalizeSpec(act, spec);
-  if (mode_ == RetrievalMode::kSql) {
-    return RelevantRequirementsSql(res, act, canonical_spec);
+
+  const bool use_cache = cache_enabled();
+  std::string key;
+  uint64_t observed_epoch = 0;
+  if (use_cache) {
+    key = RetrievalCacheKey("req", res, act, canonical_spec);
+    observed_epoch = epoch();
+    CacheLookup outcome;
+    if (auto hit = requirement_cache_.Get(key, observed_epoch, &outcome)) {
+      ++stats_.cache_hits;
+      return *hit;
+    }
+    outcome == CacheLookup::kStale ? ++stats_.cache_invalidations
+                                   : ++stats_.cache_misses;
   }
-  bool policies_first = plan_ == DirectPlan::kPoliciesFirst ||
-                        (plan_ == DirectPlan::kAdaptive &&
-                         PreferPoliciesFirst(canonical_spec.size()));
-  if (policies_first) {
-    ++stats_.plans_policies_first;
-    return RelevantRequirementsPoliciesFirst(res, act, canonical_spec);
+
+  Result<std::vector<RelevantRequirement>> result =
+      std::vector<RelevantRequirement>{};
+  if (retrieval_mode() == RetrievalMode::kSql) {
+    // Exclusive: the SQL path re-registers the per-query views.
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    result = RelevantRequirementsSql(res, act, canonical_spec);
+  } else {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    DirectPlan plan = direct_plan();
+    bool policies_first =
+        plan == DirectPlan::kPoliciesFirst ||
+        (plan == DirectPlan::kAdaptive &&
+         PreferPoliciesFirstLocked(canonical_spec.size()));
+    if (policies_first) {
+      ++stats_.plans_policies_first;
+      result = RelevantRequirementsPoliciesFirst(res, act, canonical_spec);
+    } else {
+      ++stats_.plans_filter_first;
+      result = RelevantRequirementsDirect(res, act, canonical_spec);
+    }
   }
-  ++stats_.plans_filter_first;
-  return RelevantRequirementsDirect(res, act, canonical_spec);
+  if (use_cache && result.ok() && epoch() == observed_epoch) {
+    requirement_cache_.Put(key, observed_epoch, *result);
+  }
+  return result;
 }
 
 // ---- Substitution retrieval --------------------------------------------------
 
-Result<std::vector<RelevantSubstitution>> PolicyStore::RelevantSubstitutions(
-    const std::string& resource, const rel::Expr* query_where,
-    const std::string& activity, const rel::ParamMap& spec) const {
-  ++stats_.retrievals;
-  WFRM_ASSIGN_OR_RETURN(std::string res,
-                        org_->resources().Canonical(resource));
-  WFRM_ASSIGN_OR_RETURN(std::string act,
-                        org_->activities().Canonical(activity));
-
+Result<std::vector<RelevantSubstitution>>
+PolicyStore::RelevantSubstitutionsLocked(const std::string& res,
+                                         const rel::Expr* query_where,
+                                         const std::string& act,
+                                         const rel::ParamMap& spec) const {
   WFRM_ASSIGN_OR_RETURN(std::vector<std::string> act_ancestors,
                         org_->activities().Ancestors(act));
   // §4.3 condition 1: the substituted resource shares a sub-type with
@@ -782,9 +922,8 @@ Result<std::vector<RelevantSubstitution>> PolicyStore::RelevantSubstitutions(
   WFRM_ASSIGN_OR_RETURN(
       std::vector<CandidateRow> candidates,
       CandidatePolicies(kSubstPolicies, act_ancestors, res_related));
-  WFRM_ASSIGN_OR_RETURN(
-      auto counts,
-      CountEnclosingIntervals(kSubstFilter, CanonicalizeSpec(act, spec)));
+  WFRM_ASSIGN_OR_RETURN(auto counts,
+                        CountEnclosingIntervals(kSubstFilter, spec));
 
   // §4.3 condition 2: the resource ranges intersect.
   ConjunctiveRange query_range = ExtractConjunctiveRange(query_where);
@@ -821,6 +960,45 @@ Result<std::vector<RelevantSubstitution>> PolicyStore::RelevantSubstitutions(
   return out;
 }
 
+Result<std::vector<RelevantSubstitution>> PolicyStore::RelevantSubstitutions(
+    const std::string& resource, const rel::Expr* query_where,
+    const std::string& activity, const rel::ParamMap& spec) const {
+  ++stats_.retrievals;
+  WFRM_ASSIGN_OR_RETURN(std::string res,
+                        org_->resources().Canonical(resource));
+  WFRM_ASSIGN_OR_RETURN(std::string act,
+                        org_->activities().Canonical(activity));
+  rel::ParamMap canonical_spec = CanonicalizeSpec(act, spec);
+
+  const bool use_cache = cache_enabled();
+  std::string key;
+  uint64_t observed_epoch = 0;
+  if (use_cache) {
+    key = RetrievalCacheKey("subst", res, act, canonical_spec);
+    AppendCacheKeyPart(&key, query_where ? query_where->ToString() : "");
+    observed_epoch = epoch();
+    CacheLookup outcome;
+    if (auto hit = substitution_cache_.Get(key, observed_epoch, &outcome)) {
+      ++stats_.cache_hits;
+      return *hit;
+    }
+    outcome == CacheLookup::kStale ? ++stats_.cache_invalidations
+                                   : ++stats_.cache_misses;
+  }
+
+  Result<std::vector<RelevantSubstitution>> result =
+      std::vector<RelevantSubstitution>{};
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    result = RelevantSubstitutionsLocked(res, query_where, act,
+                                         canonical_spec);
+  }
+  if (use_cache && result.ok() && epoch() == observed_epoch) {
+    substitution_cache_.Put(key, observed_epoch, *result);
+  }
+  return result;
+}
+
 Result<PolicyStore::ViewSelectivity> PolicyStore::MeasureViewSelectivity(
     const std::string& resource, const std::string& activity,
     const rel::ParamMap& spec) const {
@@ -833,6 +1011,7 @@ Result<PolicyStore::ViewSelectivity> PolicyStore::MeasureViewSelectivity(
   NameSet act_set = ToSet(act_anc);
   NameSet res_set = ToSet(res_anc);
 
+  std::shared_lock<std::shared_mutex> lock(mu_);
   ViewSelectivity out;
   const rel::Table* policies = db_.GetTable(kPolicies);
   policies->ForEach([&](rel::RowId, const rel::Row& row) {
@@ -883,7 +1062,9 @@ PolicyStore::DiagnoseRequirements(const std::string& resource,
   WFRM_ASSIGN_OR_RETURN(std::string act,
                         org_->activities().Canonical(activity));
   rel::ParamMap bindings = CanonicalizeSpec(act, spec);
-  WFRM_ASSIGN_OR_RETURN(auto groups, ListRequirements());
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  WFRM_ASSIGN_OR_RETURN(auto groups,
+                        ListGroupsLocked(kPolicies, kFilter, false));
 
   std::vector<RequirementDiagnosis> out;
   out.reserve(groups.size());
@@ -961,7 +1142,9 @@ PolicyStore::DiagnoseSubstitutions(const std::string& resource,
                         org_->activities().Canonical(activity));
   rel::ParamMap bindings = CanonicalizeSpec(act, spec);
   ConjunctiveRange query_range = ExtractConjunctiveRange(query_where);
-  WFRM_ASSIGN_OR_RETURN(auto groups, ListSubstitutions());
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  WFRM_ASSIGN_OR_RETURN(auto groups,
+                        ListGroupsLocked(kSubstPolicies, kSubstFilter, true));
 
   std::vector<SubstitutionDiagnosis> out;
   out.reserve(groups.size());
@@ -1071,6 +1254,7 @@ Result<ConjunctiveRange> DecodeIntervalRows(
 
 std::vector<PolicyStore::StoredQualification>
 PolicyStore::ListQualifications() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<StoredQualification> out;
   db_.GetTable(kQualifications)->ForEach([&](rel::RowId, const rel::Row& row) {
     out.push_back(StoredQualification{
@@ -1082,22 +1266,12 @@ PolicyStore::ListQualifications() const {
   return out;
 }
 
-namespace {
-
-/// Groups the rows of a decomposed policy table by GroupID, collecting
-/// each row's interval rows from the companion filter table.
-struct GroupedRows {
-  std::vector<int64_t> pids;
-  const rel::Row* first_row = nullptr;
-  std::vector<std::vector<const rel::Row*>> interval_rows;  // Per PID.
-};
-
-}  // namespace
-
-Result<std::vector<PolicyStore::StoredPolicyGroup>> PolicyStore::ListRequirements()
-    const {
-  const rel::Table* policies = db_.GetTable(kPolicies);
-  const rel::Table* filter = db_.GetTable(kFilter);
+Result<std::vector<PolicyStore::StoredPolicyGroup>>
+PolicyStore::ListGroupsLocked(const std::string& policy_table,
+                              const std::string& filter_table,
+                              bool substitution) const {
+  const rel::Table* policies = db_.GetTable(policy_table);
+  const rel::Table* filter = db_.GetTable(filter_table);
 
   std::unordered_map<int64_t, std::vector<const rel::Row*>> intervals_by_pid;
   filter->ForEach([&](rel::RowId, const rel::Row& row) {
@@ -1115,6 +1289,10 @@ Result<std::vector<PolicyStore::StoredPolicyGroup>> PolicyStore::ListRequirement
     g.activity = row[2].string_value();
     g.resource = row[3].string_value();
     g.where_clause = row[5].string_value();
+    if (substitution) {
+      g.substituting_resource = row[6].string_value();
+      g.substituting_where = row[7].string_value();
+    }
     auto decoded = DecodeIntervalRows(intervals_by_pid[row[0].int_value()]);
     if (!decoded.ok()) {
       st = decoded.status();
@@ -1131,46 +1309,20 @@ Result<std::vector<PolicyStore::StoredPolicyGroup>> PolicyStore::ListRequirement
   return out;
 }
 
-Result<std::vector<PolicyStore::StoredPolicyGroup>> PolicyStore::ListSubstitutions()
-    const {
-  const rel::Table* policies = db_.GetTable(kSubstPolicies);
-  const rel::Table* filter = db_.GetTable(kSubstFilter);
+Result<std::vector<PolicyStore::StoredPolicyGroup>>
+PolicyStore::ListRequirements() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return ListGroupsLocked(kPolicies, kFilter, false);
+}
 
-  std::unordered_map<int64_t, std::vector<const rel::Row*>> intervals_by_pid;
-  filter->ForEach([&](rel::RowId, const rel::Row& row) {
-    intervals_by_pid[row[0].int_value()].push_back(&row);
-  });
-
-  std::map<int64_t, StoredPolicyGroup> groups;
-  Status st = Status::OK();
-  policies->ForEach([&](rel::RowId, const rel::Row& row) {
-    if (!st.ok()) return;
-    int64_t group = row[1].int_value();
-    StoredPolicyGroup& g = groups[group];
-    g.group = group;
-    g.pids.push_back(row[0].int_value());
-    g.activity = row[2].string_value();
-    g.resource = row[3].string_value();
-    g.where_clause = row[5].string_value();
-    g.substituting_resource = row[6].string_value();
-    g.substituting_where = row[7].string_value();
-    auto decoded = DecodeIntervalRows(intervals_by_pid[row[0].int_value()]);
-    if (!decoded.ok()) {
-      st = decoded.status();
-      return;
-    }
-    g.ranges.push_back(RangeToString(*decoded));
-    g.range_data.push_back(std::move(decoded).ValueOrDie());
-  });
-  WFRM_RETURN_NOT_OK(st);
-
-  std::vector<StoredPolicyGroup> out;
-  out.reserve(groups.size());
-  for (auto& [group, g] : groups) out.push_back(std::move(g));
-  return out;
+Result<std::vector<PolicyStore::StoredPolicyGroup>>
+PolicyStore::ListSubstitutions() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return ListGroupsLocked(kSubstPolicies, kSubstFilter, true);
 }
 
 Status PolicyStore::RemoveQualification(int64_t pid) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   rel::Table* quals = db_.GetTable(kQualifications);
   std::vector<rel::RowId> to_delete;
   quals->ForEach([&](rel::RowId rid, const rel::Row& row) {
@@ -1181,6 +1333,7 @@ Status PolicyStore::RemoveQualification(int64_t pid) {
                             std::to_string(pid));
   }
   for (rel::RowId rid : to_delete) WFRM_RETURN_NOT_OK(quals->Delete(rid));
+  BumpEpoch();
   return Status::OK();
 }
 
@@ -1211,6 +1364,7 @@ Status RemoveGroupFrom(rel::Table* policies, rel::Table* filter,
 }  // namespace
 
 Status PolicyStore::RemoveRequirementGroup(int64_t group) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   // Capture the interval attributes being removed to keep the adaptive
   // planner's statistics in step.
   rel::Table* policies = db_.GetTable(kPolicies);
@@ -1232,24 +1386,32 @@ Status PolicyStore::RemoveRequirementGroup(int64_t group) {
       filter_attr_counts_.erase(it);
     }
   }
+  BumpEpoch();
   return Status::OK();
 }
 
 Status PolicyStore::RemoveSubstitutionGroup(int64_t group) {
-  return RemoveGroupFrom(db_.GetTable(kSubstPolicies),
-                         db_.GetTable(kSubstFilter), group);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  WFRM_RETURN_NOT_OK(RemoveGroupFrom(db_.GetTable(kSubstPolicies),
+                                     db_.GetTable(kSubstFilter), group));
+  BumpEpoch();
+  return Status::OK();
 }
 
 size_t PolicyStore::num_qualification_rows() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return db_.GetTable(kQualifications)->num_rows();
 }
 size_t PolicyStore::num_requirement_rows() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return db_.GetTable(kPolicies)->num_rows();
 }
 size_t PolicyStore::num_requirement_interval_rows() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return db_.GetTable(kFilter)->num_rows();
 }
 size_t PolicyStore::num_substitution_rows() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return db_.GetTable(kSubstPolicies)->num_rows();
 }
 

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "common/result.h"
 #include "org/org_model.h"
 #include "policy/dnf.h"
+#include "policy/enforcement_cache.h"
 #include "policy/policy_ast.h"
 #include "policy/selectivity_model.h"
 #include "rel/database.h"
@@ -67,6 +69,33 @@ struct RelevantSubstitution {
   std::string substituting_where;   // Range-clause text; may be empty.
 };
 
+/// Copyable point-in-time view of StoreStats (the live struct is atomic
+/// and therefore non-copyable): benches and tests capture one before and
+/// one after a phase and diff them, without racing a concurrent Reset().
+struct StoreStatsSnapshot {
+  uint64_t retrievals = 0;
+  uint64_t candidate_rows = 0;
+  uint64_t interval_rows = 0;
+  uint64_t plans_filter_first = 0;
+  uint64_t plans_policies_first = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_invalidations = 0;
+  uint64_t rewrite_cache_hits = 0;
+  uint64_t rewrite_cache_misses = 0;
+
+  /// Counter-wise difference (this - earlier), for before/after diffing.
+  StoreStatsSnapshot operator-(const StoreStatsSnapshot& earlier) const;
+
+  /// Retrieval-cache hit rate over probes that reached the cache.
+  double CacheHitRate() const {
+    uint64_t probes = cache_hits + cache_misses + cache_invalidations;
+    return probes == 0 ? 0.0
+                       : static_cast<double>(cache_hits) /
+                             static_cast<double>(probes);
+  }
+};
+
 /// Retrieval work counters (complement wall-clock benchmarks). Atomic so
 /// concurrent read-only retrievals do not race on bookkeeping.
 struct StoreStats {
@@ -76,6 +105,30 @@ struct StoreStats {
   // kDirect retrievals per join order.
   std::atomic<uint64_t> plans_filter_first{0};
   std::atomic<uint64_t> plans_policies_first{0};
+  // Enforcement-cache traffic (retrieval-level memo tables).
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  /// Probes that found an entry tagged with an older epoch: a mutation
+  /// invalidated it between the fill and this probe.
+  std::atomic<uint64_t> cache_invalidations{0};
+  // Rewritten-query LRU traffic (PolicyManager level).
+  std::atomic<uint64_t> rewrite_cache_hits{0};
+  std::atomic<uint64_t> rewrite_cache_misses{0};
+
+  StoreStatsSnapshot Snapshot() const {
+    StoreStatsSnapshot s;
+    s.retrievals = retrievals.load();
+    s.candidate_rows = candidate_rows.load();
+    s.interval_rows = interval_rows.load();
+    s.plans_filter_first = plans_filter_first.load();
+    s.plans_policies_first = plans_policies_first.load();
+    s.cache_hits = cache_hits.load();
+    s.cache_misses = cache_misses.load();
+    s.cache_invalidations = cache_invalidations.load();
+    s.rewrite_cache_hits = rewrite_cache_hits.load();
+    s.rewrite_cache_misses = rewrite_cache_misses.load();
+    return s;
+  }
 
   void Reset() {
     retrievals = 0;
@@ -83,6 +136,11 @@ struct StoreStats {
     interval_rows = 0;
     plans_filter_first = 0;
     plans_policies_first = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_invalidations = 0;
+    rewrite_cache_hits = 0;
+    rewrite_cache_misses = 0;
   }
 };
 
@@ -103,6 +161,16 @@ struct StoreStats {
 /// order-preserving encoding (key_encoding.h) so one concatenated index
 /// on (Attribute, LowerBound, UpperBound) serves every attribute type;
 /// Policies carries the §5.2 concatenated index on (Activity, Resource).
+///
+/// Thread safety and caching: retrieval takes a shared lock (kSql mode
+/// an exclusive one — it re-registers the per-query Figure 13/14 views),
+/// mutation an exclusive one, so concurrent read-only retrievals never
+/// serialize on each other. Every mutation — and every hierarchy edit in
+/// the backing OrgModel — bumps `epoch()`; qualification fan-out sets and
+/// relevant requirement/substitution row sets are memoized per
+/// (configuration, activity, resource, spec) tagged with the epoch they
+/// were computed at, so a repeated enforcement at an unchanged epoch is
+/// answered from the cache without touching the relations.
 class PolicyStore {
  public:
   explicit PolicyStore(const org::OrgModel* org);
@@ -230,11 +298,42 @@ class PolicyStore {
 
   // ---- Introspection ------------------------------------------------------
 
-  RetrievalMode retrieval_mode() const { return mode_; }
-  void set_retrieval_mode(RetrievalMode mode) { mode_ = mode; }
+  RetrievalMode retrieval_mode() const {
+    return mode_.load(std::memory_order_relaxed);
+  }
+  void set_retrieval_mode(RetrievalMode mode) {
+    mode_.store(mode, std::memory_order_relaxed);
+  }
 
-  DirectPlan direct_plan() const { return plan_; }
-  void set_direct_plan(DirectPlan plan) { plan_ = plan; }
+  DirectPlan direct_plan() const {
+    return plan_.load(std::memory_order_relaxed);
+  }
+  void set_direct_plan(DirectPlan plan) {
+    plan_.store(plan, std::memory_order_relaxed);
+  }
+
+  /// The enforcement epoch: bumped by every policy mutation and every
+  /// hierarchy edit of the backing OrgModel. All enforcement caches tag
+  /// entries with the epoch they were computed at; an entry from an
+  /// older epoch is never served.
+  uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire) + org_->hierarchy_version();
+  }
+
+  /// Enables/disables the retrieval memo tables (default on). Disabling
+  /// is the ablation baseline for bench_cache; it does not clear
+  /// existing entries (re-enabling may hit them if the epoch still
+  /// matches).
+  void set_cache_enabled(bool enabled) {
+    cache_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool cache_enabled() const {
+    return cache_enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Records a rewritten-query LRU probe in this store's counters (the
+  /// LRU itself lives in PolicyManager; stats are centralized here).
+  void NoteRewriteLookup(CacheLookup outcome) const;
 
   /// Live parameter estimates feeding the kAdaptive plan choice: |A| and
   /// |R| from the hierarchies, distinct (Activity, Resource) pairs from
@@ -251,12 +350,16 @@ class PolicyStore {
   bool PreferPoliciesFirst(size_t num_spec_attributes) const;
 
   /// Distinct attributes currently carrying interval rows in Filter.
-  size_t num_filter_attributes() const { return filter_attr_counts_.size(); }
+  size_t num_filter_attributes() const;
 
   /// Disables index usage in both modes (full scans) — the ablation
   /// baseline for §5.2's concatenated-index recommendation.
-  void set_use_indexes(bool use) { use_indexes_ = use; }
-  bool use_indexes() const { return use_indexes_; }
+  void set_use_indexes(bool use) {
+    use_indexes_.store(use, std::memory_order_relaxed);
+  }
+  bool use_indexes() const {
+    return use_indexes_.load(std::memory_order_relaxed);
+  }
 
   /// Measured selectivities of the two §5.2 views for one query: the
   /// fraction of Policies rows matched by the Figure 13 predicate and
@@ -303,7 +406,8 @@ class PolicyStore {
   /// Inserts DNF rows for (activity, resource, with) into `policy_table`
   /// + `filter_table` with shared group id; extra columns are appended
   /// to each policy row. Attribute names in the With clause are stored
-  /// under their canonical (declared) spelling.
+  /// under their canonical (declared) spelling. Caller holds mu_
+  /// exclusively.
   Result<int64_t> InsertDecomposed(const std::string& policy_table,
                                    const std::string& filter_table,
                                    const std::string& activity,
@@ -315,6 +419,16 @@ class PolicyStore {
   /// query's activity type, so lookups match stored rows exactly.
   rel::ParamMap CanonicalizeSpec(const std::string& activity,
                                  const rel::ParamMap& spec) const;
+
+  /// Composite cache key prefixed with the retrieval configuration, so
+  /// plan/index ablations never share entries (work counters stay
+  /// meaningful per configuration).
+  std::string RetrievalCacheKey(const char* tag, const std::string& resource,
+                                const std::string& activity,
+                                const rel::ParamMap& spec) const;
+
+  // The following helpers assume mu_ is held (shared suffices unless
+  // noted) — they are the pre-concurrency retrieval bodies.
 
   /// Shared candidate scan: policy rows whose Activity/Resource are in
   /// the given ancestor sets, via concatenated index or full scan.
@@ -328,29 +442,56 @@ class PolicyStore {
   Result<std::unordered_map<int64_t, int64_t>> CountEnclosingIntervals(
       const std::string& filter_table, const rel::ParamMap& spec) const;
 
+  Result<std::vector<std::string>> QualifiedSubtypesLocked(
+      const std::string& resource, const std::string& activity) const;
   Result<std::vector<RelevantRequirement>> RelevantRequirementsDirect(
       const std::string& resource, const std::string& activity,
       const rel::ParamMap& spec) const;
   Result<std::vector<RelevantRequirement>> RelevantRequirementsPoliciesFirst(
       const std::string& resource, const std::string& activity,
       const rel::ParamMap& spec) const;
+  /// Requires mu_ held exclusively (re-registers the per-query views).
   Result<std::vector<RelevantRequirement>> RelevantRequirementsSql(
       const std::string& resource, const std::string& activity,
       const rel::ParamMap& spec) const;
+  Result<std::vector<RelevantSubstitution>> RelevantSubstitutionsLocked(
+      const std::string& resource, const rel::Expr* query_where,
+      const std::string& activity, const rel::ParamMap& spec) const;
+  Result<std::vector<StoredPolicyGroup>> ListGroupsLocked(
+      const std::string& policy_table, const std::string& filter_table,
+      bool substitution) const;
+  SelectivityParams EstimateParamsLocked() const;
+  bool PreferPoliciesFirstLocked(size_t num_spec_attributes) const;
+
+  /// Marks a completed mutation: bumps the epoch so every cached
+  /// derivation from before it is invalidated. Caller holds mu_.
+  void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_release); }
 
   const org::OrgModel* org_;
   /// Mutable: the kSql path re-registers the per-query Relevant_Policies
-  /// and Relevant_Filter views (Figures 13/14 define them per query).
+  /// and Relevant_Filter views (Figures 13/14 define them per query) —
+  /// which is why kSql retrieval takes the exclusive lock.
   mutable rel::Database db_;
   /// Live count of Filter rows per attribute, feeding the kAdaptive cost
   /// model. Maintained on insert/remove.
   std::unordered_map<std::string, size_t> filter_attr_counts_;
-  RetrievalMode mode_ = RetrievalMode::kDirect;
-  DirectPlan plan_ = DirectPlan::kFilterFirst;
-  bool use_indexes_ = true;
+  std::atomic<RetrievalMode> mode_{RetrievalMode::kDirect};
+  std::atomic<DirectPlan> plan_{DirectPlan::kFilterFirst};
+  std::atomic<bool> use_indexes_{true};
   int64_t next_pid_ = 100;  // The paper's examples start at PID 100.
   int64_t next_group_ = 1;
   mutable StoreStats stats_;
+
+  /// Guards db_, filter_attr_counts_, next_pid_, next_group_: shared for
+  /// retrieval, exclusive for mutation (and kSql retrieval).
+  mutable std::shared_mutex mu_;
+  /// Store-local component of epoch() (org_ contributes hierarchy
+  /// versions).
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<bool> cache_enabled_{true};
+  mutable EpochCache<std::vector<std::string>> qualified_cache_;
+  mutable EpochCache<std::vector<RelevantRequirement>> requirement_cache_;
+  mutable EpochCache<std::vector<RelevantSubstitution>> substitution_cache_;
 };
 
 }  // namespace wfrm::policy

@@ -39,6 +39,15 @@ class Rewriter {
   Result<std::vector<rql::RqlQuery>> RewriteSubstitution(
       const rql::RqlQuery& query) const;
 
+  /// Canonical cache key of a bound query — the text every enforcement
+  /// cache (PolicyManager's rewrite LRU, cycle protection in
+  /// EnforceAlternativesRounds) keys on. Bound queries render type and
+  /// attribute names in canonical spelling, so textual equality is
+  /// semantic equality.
+  static std::string EnforcementKey(const rql::RqlQuery& query) {
+    return query.ToString();
+  }
+
  private:
   const org::OrgModel* org_;
   const PolicyStore* store_;

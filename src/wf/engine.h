@@ -122,6 +122,17 @@ class WorkflowEngine {
 
   Result<CaseState> GetState(size_t case_id) const;
 
+  /// Enforces and executes a batch of independent RQL requests through
+  /// the resource manager's worker pool (e.g. the assignment queries of
+  /// every ready case in a scheduling tick). Element i is the outcome of
+  /// rql_texts[i]; no allocation is performed — callers Advance() the
+  /// cases they decide to schedule. num_workers == 0 auto-sizes.
+  std::vector<Result<core::QueryOutcome>> EnforceBatch(
+      const std::vector<std::string>& rql_texts,
+      size_t num_workers = 0) const {
+    return rm_->SubmitBatch(rql_texts, num_workers);
+  }
+
   /// Work items processed so far (completed), across all cases.
   const std::vector<WorkItem>& history() const { return history_; }
 

@@ -209,6 +209,67 @@ TEST_F(ConcurrencyTest, ConcurrentReadOnlySubmissions) {
   EXPECT_EQ(errors.load(), 0);
 }
 
+TEST_F(ConcurrencyTest, SubmitBatchMatchesSequentialSubmission) {
+  // A mixed batch through the worker pool: element i must be exactly
+  // Submit(rql_texts[i]) — same candidates, errors in place.
+  const std::string ok_query = kSmallJob;
+  const std::string bad_query = "Select Nothing From Nowhere";
+  std::vector<std::string> batch;
+  for (int i = 0; i < 16; ++i) {
+    batch.push_back(i % 5 == 4 ? bad_query : ok_query);
+  }
+
+  for (size_t workers : {size_t{0}, size_t{1}, size_t{4}}) {
+    SCOPED_TRACE(workers);
+    auto results = rm_->SubmitBatch(batch, workers);
+    ASSERT_EQ(results.size(), batch.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (i % 5 == 4) {
+        EXPECT_FALSE(results[i].ok()) << i;
+      } else {
+        ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+        EXPECT_EQ((*results[i]).candidates.size(), 3u) << i;
+      }
+    }
+  }
+}
+
+TEST_F(ConcurrencyTest, SubmitBatchRacesCleanlyWithPolicyWrites) {
+  // Batches keep enforcing while a writer churns a marker requirement:
+  // every outcome must be a complete snapshot (all three PA
+  // programmers pass the marker's Experience > 0 bound, so the
+  // candidate set is 3 under both epochs).
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::vector<std::string> batch(8, kSmallJob);
+
+  std::thread reader([&] {
+    for (int i = 0; i < 40 && !stop.load(); ++i) {
+      auto results = rm_->SubmitBatch(batch, 4);
+      for (const auto& r : results) {
+        if (!r.ok() || !(*r).ok() || (*r).candidates.size() != 3) ++errors;
+      }
+    }
+  });
+
+  std::thread writer([&] {
+    for (int i = 0; i < 40; ++i) {
+      auto added = store_->AddPolicyText(
+          "Require Programmer Where Experience > 0 For Programming "
+          "With NumberOfLines < 1000000");
+      ASSERT_TRUE(added.ok());
+      auto reqs = store_->ListRequirements();
+      ASSERT_TRUE(reqs.ok());
+      ASSERT_TRUE(store_->RemoveRequirementGroup(reqs->back().group).ok());
+    }
+    stop.store(true);
+  });
+
+  reader.join();
+  writer.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
 TEST_F(ConcurrencyTest, SubstitutionUnderConcurrentPressure) {
   // The Mexico job has one primary candidate (bob) and one substitute
   // (quinn): two concurrent acquirers must end up with exactly those
