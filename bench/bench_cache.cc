@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "json_reporter.h"
+#include "obs/metrics.h"
 #include "policy/policy_manager.h"
 #include "policy/synthetic.h"
 
@@ -160,6 +161,40 @@ void BM_Cache_WarmPipeline(benchmark::State& state) {
   RunPipeline(state, /*cached=*/true);
 }
 BENCHMARK(BM_Cache_WarmPipeline);
+
+// Prices the observability hooks on the hot path: the warm pipeline
+// with a metrics registry attached to the store (every retrieval and
+// cache probe mirrors into relaxed atomic counters) vs detached (the
+// null-pointer fast path). Enabled must stay within 5% of disabled —
+// compare_bench.py enforces the bound from baseline.json.
+void RunObsPipeline(benchmark::State& state, bool metrics_on) {
+  static auto* w = BuildWorkload().release();
+  static auto* queries = new std::vector<rql::RqlQuery>(MakeQueries(*w, 64));
+  static auto* pm = new PolicyManager(&w->org(), &w->store());
+  static auto* registry = new obs::MetricsRegistry();
+  w->store().set_cache_enabled(true);
+  w->store().set_metrics(metrics_on ? registry : nullptr);
+  for (const auto& query : *queries) {
+    benchmark::DoNotOptimize(pm->EnforcePrimary(query));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pm->EnforcePrimary((*queries)[i++ % queries->size()]));
+  }
+  w->store().set_metrics(nullptr);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_Obs_WarmPipelineMetricsOff(benchmark::State& state) {
+  RunObsPipeline(state, /*metrics_on=*/false);
+}
+BENCHMARK(BM_Obs_WarmPipelineMetricsOff);
+
+void BM_Obs_WarmPipelineMetricsOn(benchmark::State& state) {
+  RunObsPipeline(state, /*metrics_on=*/true);
+}
+BENCHMARK(BM_Obs_WarmPipelineMetricsOn);
 
 // Concurrent warm retrieval: every thread reads through the shared
 // caches under the store's shared lock. items/s at Threads(8) over

@@ -8,7 +8,7 @@
 //
 //   policies            list the policy base
 //   allocate <type> <id>  / release <type> <id>
-//   explain <rql>       show the rewritten queries without executing
+//   explain <rql>       full decision report (stages, PIDs) without allocating
 //   demo                load the paper's running example
 //   help, quit
 //
@@ -87,31 +87,15 @@ struct Shell {
   }
 
   void Explain(const std::string& rql) {
-    auto query = rql::ParseAndBindRql(rql, *org);
-    if (!query.ok()) {
-      std::cout << "error: " << query.status().ToString() << "\n";
+    // The full per-stage decision report (qualification fan-out,
+    // requirement conjuncts with their PIDs, substitution alternatives,
+    // availability) — enforcement runs, but nothing is allocated.
+    auto report = rm->Explain(rql);
+    if (!report.ok()) {
+      std::cout << "error: " << report.status().ToString() << "\n";
       return;
     }
-    policy::PolicyManager pm(org.get(), store.get());
-    auto primary = pm.EnforcePrimary(*query);
-    if (!primary.ok()) {
-      std::cout << "error: " << primary.status().ToString() << "\n";
-      return;
-    }
-    std::cout << "primary (qualification + requirement):\n";
-    if (primary->queries.empty()) {
-      std::cout << "  <closed world: no qualified resource type>\n";
-    }
-    for (const auto& q : primary->queries) {
-      std::cout << "  " << q.ToString() << "\n";
-    }
-    auto alternatives = pm.EnforceAlternatives(*query);
-    if (alternatives.ok() && !alternatives->queries.empty()) {
-      std::cout << "alternatives (if nothing available):\n";
-      for (const auto& q : alternatives->queries) {
-        std::cout << "  " << q.ToString() << "\n";
-      }
-    }
+    std::cout << *report;
   }
 
   void Submit(const std::string& rql) {
@@ -147,7 +131,7 @@ struct Shell {
           << "  Define/Insert ...   RDL (types, relationships, resources)\n"
           << "  Qualify/Require/Substitute ...   PL (policies)\n"
           << "  Select ... For ... With ...      RQL (resource query)\n"
-          << "  explain <rql>       show rewritings only\n"
+          << "  explain <rql>       full decision report without allocating\n"
           << "  why <rql>           per-policy applicability verdicts\n"
           << "  policies            list the policy base\n"
           << "  allocate <type> <id> | release <type> <id>\n"

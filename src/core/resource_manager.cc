@@ -2,10 +2,187 @@
 
 #include <atomic>
 #include <thread>
+#include <utility>
 
 #include "rel/executor.h"
 
 namespace wfrm::core {
+
+namespace {
+
+/// "1 query" / "3 queries" for attr strings that are already rendered
+/// decimal counts.
+std::string CountNoun(const std::string& count, const char* singular,
+                      const char* plural) {
+  std::string out = count.empty() ? "0" : count;
+  out += ' ';
+  out += (count == "1") ? singular : plural;
+  return out;
+}
+
+/// Renders the Explain() prose report from the finished trace. The attr
+/// keys consumed here are the contract produced by PolicyManager /
+/// Rewriter / RunQueries (see DESIGN.md).
+std::string RenderExplainReport(const QueryOutcome& outcome,
+                                const obs::EnforcementTrace& trace) {
+  const obs::TraceSpan* root = trace.root();
+  std::string out;
+  out += "Decision report for: " + trace.query_text() + "\n";
+  out += "Status: " + root->Attr("status");
+  if (outcome.ok()) {
+    out += " (" + CountNoun(std::to_string(outcome.candidates.size()),
+                            "candidate available", "candidates available") +
+           ")";
+  } else if (!outcome.status.message().empty()) {
+    out += " -- " + outcome.status.message();
+  }
+  out += "\n\n";
+
+  int step = 1;
+  const obs::TraceSpan* primary = root->Find("enforce_primary");
+  if (primary != nullptr) {
+    const obs::TraceSpan* qual = primary->Find("qualification");
+    out += "[" + std::to_string(step++) + "] Qualification (4.1)";
+    if (qual != nullptr) {
+      out += " -- resource '" + qual->Attr("resource") + "', activity '" +
+             qual->Attr("activity") + "'\n";
+      out += "    rewrite cache: " + primary->Attr("rewrite_cache") + "\n";
+      std::vector<std::string> types = qual->AttrAll("qualified_type");
+      if (types.empty()) {
+        out +=
+            "    no qualification policy matched: under the closed-world "
+            "assumption every sub-type is ruled out (3.1)\n";
+      }
+      for (const std::string& t : types) {
+        out += "    - qualified sub-type: " + t + "\n";
+      }
+    } else {
+      out += "\n";
+    }
+
+    bool any_requirement = false;
+    for (const auto& child : primary->children()) {
+      if (child->name() != "requirement") continue;
+      if (!any_requirement) {
+        out += "[" + std::to_string(step++) + "] Requirement (4.2)\n";
+        any_requirement = true;
+      }
+      out += "    " + child->Attr("type") + ":\n";
+      std::vector<std::string> rows = child->AttrAll("policy");
+      if (rows.empty()) {
+        out += "    - no requirement policy applies\n";
+      }
+      for (const std::string& row : rows) out += "    - " + row + "\n";
+      out += "      enforced: " + child->Attr("enforced_query") + "\n";
+    }
+  }
+
+  // Execution and substitution stages, in pipeline order.
+  for (const auto& child : root->children()) {
+    if (child->name() == "execute") {
+      out += "[" + std::to_string(step++) + "] Execution (" +
+             child->Attr("stage") + "): ran " +
+             CountNoun(child->Attr("queries"), "enforced query",
+                       "enforced queries") +
+             ", " + child->Attr("rows_matched") + " rows matched, " +
+             child->Attr("available") + " available, " +
+             child->Attr("filtered") + " filtered as busy or down\n";
+    } else if (child->name() == "enforce_alternatives") {
+      out += "[" + std::to_string(step++) + "] Substitution (4.3), up to " +
+             CountNoun(child->Attr("max_rounds"), "round", "rounds") + "\n";
+      for (const auto& round : child->children()) {
+        if (round->name() != "round") continue;
+        out += "    round " + round->Attr("round") + ":\n";
+        for (const auto& stage : round->children()) {
+          if (stage->name() == "substitution") {
+            std::vector<std::string> rows = stage->AttrAll("policy");
+            std::vector<std::string> alts = stage->AttrAll("alternative");
+            if (rows.empty()) {
+              out += "    - no substitution policy applies to '" +
+                     stage->Attr("resource") + "'\n";
+            }
+            for (size_t i = 0; i < rows.size(); ++i) {
+              out += "    - " + rows[i] + "\n";
+              if (i < alts.size()) {
+                out += "      alternative: " + alts[i] + "\n";
+              }
+            }
+          } else if (stage->name() == "enforce_primary") {
+            const obs::TraceSpan* q = stage->Find("qualification");
+            out += "      re-enforced";
+            if (q != nullptr) {
+              out += " '" + q->Attr("resource") + "' with fan-out " +
+                     q->Attr("fanout");
+            }
+            out +=
+                " (rewrite cache: " + stage->Attr("rewrite_cache") + ")\n";
+          }
+        }
+      }
+    }
+  }
+
+  out += "\nOutcome: ";
+  if (outcome.ok()) {
+    out += outcome.used_substitution
+               ? "resources found via substitution alternatives"
+               : "resources found by the primary enforcement round";
+    if (!outcome.candidates.empty()) {
+      out += " --";
+      for (const org::ResourceRef& ref : outcome.candidates) {
+        out += " " + ref.ToString();
+      }
+    }
+  } else {
+    out += outcome.status.ToString();
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace
+
+void ResourceManager::ResolveMetrics() {
+  obs::MetricsRegistry* reg = options_.metrics;
+  if (reg == nullptr) return;
+  const std::string submits_help = "Submit() pipeline outcomes by result.";
+  metrics_.submit_ok =
+      reg->GetCounter("wfrm_rm_submits_total", {{"result", "ok"}},
+                      submits_help);
+  metrics_.submit_no_qualified = reg->GetCounter(
+      "wfrm_rm_submits_total", {{"result", "no_qualified_resource"}},
+      submits_help);
+  metrics_.submit_unavailable = reg->GetCounter(
+      "wfrm_rm_submits_total", {{"result", "resource_unavailable"}},
+      submits_help);
+  metrics_.submit_error = reg->GetCounter(
+      "wfrm_rm_submits_total", {{"result", "error"}}, submits_help);
+  metrics_.substitution_used = reg->GetCounter(
+      "wfrm_rm_substitutions_total", {},
+      "Submits that fell back to substitution alternatives (4.3).");
+  metrics_.injected_faults = reg->GetCounter(
+      "wfrm_rm_injected_faults_total", {},
+      "Transient query faults manufactured by the fault injector.");
+  const std::string acquires_help = "Acquire() outcomes by result.";
+  metrics_.acquire_ok = reg->GetCounter(
+      "wfrm_rm_acquires_total", {{"result", "ok"}}, acquires_help);
+  metrics_.acquire_failed = reg->GetCounter(
+      "wfrm_rm_acquires_total", {{"result", "failed"}}, acquires_help);
+  metrics_.acquire_races = reg->GetCounter(
+      "wfrm_rm_acquire_races_total", {},
+      "Acquire rounds where every candidate was claimed concurrently.");
+  metrics_.leases_reaped = reg->GetCounter(
+      "wfrm_rm_leases_reaped_total", {},
+      "Expired leases reclaimed by ReapExpired().");
+  metrics_.submit_latency = reg->GetHistogram(
+      "wfrm_rm_submit_latency_micros", obs::Histogram::LatencyBucketsMicros(),
+      {}, "End-to-end Submit() latency in microseconds.");
+  metrics_.allocated =
+      reg->GetGauge("wfrm_rm_allocated_resources", {},
+                    "Resources currently held under a lease.");
+  metrics_.failed = reg->GetGauge("wfrm_rm_failed_resources", {},
+                                  "Resources currently marked down.");
+}
 
 void ResourceManager::ApplyScheduledFaults() const {
   if (options_.fault_injector == nullptr) return;
@@ -21,6 +198,7 @@ void ResourceManager::ApplyScheduledFaults() const {
       failed_.erase(ev.resource);
     }
   }
+  UpdateGaugesLocked();
 }
 
 bool ResourceManager::IsUnavailableLocked(const org::ResourceRef& ref,
@@ -34,7 +212,12 @@ bool ResourceManager::IsUnavailableLocked(const org::ResourceRef& ref,
 }
 
 Result<size_t> ResourceManager::RunQueries(
-    const std::vector<rql::RqlQuery>& queries, QueryOutcome* outcome) const {
+    const std::vector<rql::RqlQuery>& queries, QueryOutcome* outcome,
+    obs::TraceSpan* parent, const char* stage) const {
+  obs::ScopedSpan span(parent, "execute");
+  obs::Attr(span, "stage", stage);
+  obs::Attr(span, "queries", static_cast<int64_t>(queries.size()));
+
   // Shared lock: concurrent submits execute together; org writers
   // (instance inserts, type definitions) are excluded for the duration.
   auto org_lock = org_->ReadLock();
@@ -43,6 +226,7 @@ Result<size_t> ResourceManager::RunQueries(
   rel::Executor exec(&org_->db(), opts);
 
   size_t found = 0;
+  size_t matched = 0;
   for (const rql::RqlQuery& query : queries) {
     // Execute with Id prepended so availability and allocation can be
     // tracked; the user's projection follows.
@@ -55,6 +239,7 @@ Result<size_t> ResourceManager::RunQueries(
     }
     WFRM_ASSIGN_OR_RETURN(rel::ResultSet rs,
                           exec.Execute(*select, query.spec.AsParams()));
+    matched += rs.rows.size();
 
     // Result schema: ResourceType, Id, then the user's columns.
     if (outcome->resources.schema.num_columns() == 0) {
@@ -81,77 +266,176 @@ Result<size_t> ResourceManager::RunQueries(
       ++found;
     }
   }
+  obs::Attr(span, "rows_matched", static_cast<int64_t>(matched));
+  obs::Attr(span, "available", static_cast<int64_t>(found));
+  obs::Attr(span, "filtered", static_cast<int64_t>(matched - found));
   return found;
+}
+
+Result<QueryOutcome> ResourceManager::SubmitImpl(
+    const rql::RqlQuery& query, obs::EnforcementTrace* trace) const {
+  const bool timed = metrics_.submit_latency != nullptr;
+  const int64_t t0 = timed ? clock_->NowMicros() : 0;
+  obs::TraceSpan* root = trace != nullptr ? trace->root() : nullptr;
+
+  Result<QueryOutcome> result = [&]() -> Result<QueryOutcome> {
+    ApplyScheduledFaults();
+
+    QueryOutcome outcome;
+    outcome.status = Status::OK();
+
+    // Chaos hook: a transient infrastructure fault before the pipeline
+    // even runs. Reported as kResourceUnavailable so callers retry it
+    // exactly like a momentarily exhausted resource pool.
+    if (options_.fault_injector != nullptr &&
+        options_.fault_injector->SampleQueryFault()) {
+      outcome.injected_fault = true;
+      outcome.status = Status::ResourceUnavailable(
+          "injected transient query fault (fault injector)");
+      return outcome;
+    }
+
+    // Stage 1+2 (§4.1, §4.2): qualification fan-out, requirement
+    // enhancement.
+    WFRM_ASSIGN_OR_RETURN(policy::EnforcedQueries primary,
+                          policy_manager_.EnforcePrimary(query, root));
+    for (const rql::RqlQuery& q : primary.queries) {
+      outcome.primary_queries.push_back(q.ToString());
+    }
+    if (primary.queries.empty()) {
+      // CWA: no resource type is qualified for this activity.
+      outcome.status = Status::NoQualifiedResource(
+          "no qualification policy permits any sub-type of '" +
+          query.resource() + "' to carry out activity '" + query.activity() +
+          "'");
+      return outcome;
+    }
+
+    WFRM_ASSIGN_OR_RETURN(
+        size_t found, RunQueries(primary.queries, &outcome, root, "primary"));
+    if (found > 0) return outcome;
+
+    // Stage 3 (§4.3): the *initial* query is re-sent for substitution;
+    // alternatives re-enter qualification + requirement. By default a
+    // single round (never transitive, §1.2); additional rounds are the
+    // opt-in recursive extension.
+    if (options_.enable_substitution &&
+        options_.max_substitution_rounds > 0) {
+      WFRM_ASSIGN_OR_RETURN(
+          std::vector<policy::EnforcedQueries> rounds,
+          policy_manager_.EnforceAlternativesRounds(
+              query, options_.max_substitution_rounds, root));
+      for (const policy::EnforcedQueries& alternatives : rounds) {
+        if (alternatives.queries.empty()) continue;
+        outcome.used_substitution = true;
+        for (const rql::RqlQuery& q : alternatives.queries) {
+          outcome.alternative_queries.push_back(q.ToString());
+        }
+        WFRM_ASSIGN_OR_RETURN(
+            found,
+            RunQueries(alternatives.queries, &outcome, root, "alternatives"));
+        if (found > 0) return outcome;
+      }
+    }
+
+    outcome.status = Status::ResourceUnavailable(
+        "no available resource satisfies the enforced queries" +
+        std::string(outcome.used_substitution ? " (substitution attempted)"
+                                              : ""));
+    return outcome;
+  }();
+
+  if (timed) {
+    metrics_.submit_latency->Observe(
+        static_cast<double>(clock_->NowMicros() - t0));
+  }
+  if (result.ok()) {
+    const QueryOutcome& o = *result;
+    switch (o.status.code()) {
+      case StatusCode::kOk:
+        if (metrics_.submit_ok != nullptr) metrics_.submit_ok->Increment();
+        break;
+      case StatusCode::kNoQualifiedResource:
+        if (metrics_.submit_no_qualified != nullptr) {
+          metrics_.submit_no_qualified->Increment();
+        }
+        break;
+      case StatusCode::kResourceUnavailable:
+        if (metrics_.submit_unavailable != nullptr) {
+          metrics_.submit_unavailable->Increment();
+        }
+        break;
+      default:
+        if (metrics_.submit_error != nullptr) {
+          metrics_.submit_error->Increment();
+        }
+        break;
+    }
+    if (o.used_substitution && metrics_.substitution_used != nullptr) {
+      metrics_.substitution_used->Increment();
+    }
+    if (o.injected_fault && metrics_.injected_faults != nullptr) {
+      metrics_.injected_faults->Increment();
+    }
+    if (root != nullptr) {
+      root->AddAttr("status", StatusCodeToString(o.status.code()));
+      root->AddAttr("candidates", static_cast<int64_t>(o.candidates.size()));
+      root->AddAttr("used_substitution",
+                    o.used_substitution ? "true" : "false");
+      if (o.injected_fault) root->AddAttr("injected_fault", "true");
+    }
+  } else {
+    if (metrics_.submit_error != nullptr) metrics_.submit_error->Increment();
+    if (root != nullptr) {
+      root->AddAttr("status", StatusCodeToString(result.status().code()));
+      root->AddAttr("error", result.status().message());
+    }
+  }
+  return result;
+}
+
+Result<QueryOutcome> ResourceManager::Submit(
+    const rql::RqlQuery& query, obs::EnforcementTrace* trace) const {
+  return SubmitImpl(query, trace);
 }
 
 Result<QueryOutcome> ResourceManager::Submit(
     const rql::RqlQuery& query) const {
-  ApplyScheduledFaults();
-
-  QueryOutcome outcome;
-  outcome.status = Status::OK();
-
-  // Chaos hook: a transient infrastructure fault before the pipeline
-  // even runs. Reported as kResourceUnavailable so callers retry it
-  // exactly like a momentarily exhausted resource pool.
-  if (options_.fault_injector != nullptr &&
-      options_.fault_injector->SampleQueryFault()) {
-    outcome.injected_fault = true;
-    outcome.status = Status::ResourceUnavailable(
-        "injected transient query fault (fault injector)");
-    return outcome;
+  if (options_.trace_sink != nullptr) {
+    auto trace =
+        std::make_shared<obs::EnforcementTrace>(query.ToString(), clock_);
+    Result<QueryOutcome> result = SubmitImpl(query, trace.get());
+    trace->Finish();
+    options_.trace_sink->Add(std::move(trace));
+    return result;
   }
-
-  // Stage 1+2 (§4.1, §4.2): qualification fan-out, requirement
-  // enhancement.
-  WFRM_ASSIGN_OR_RETURN(policy::EnforcedQueries primary,
-                        policy_manager_.EnforcePrimary(query));
-  for (const rql::RqlQuery& q : primary.queries) {
-    outcome.primary_queries.push_back(q.ToString());
-  }
-  if (primary.queries.empty()) {
-    // CWA: no resource type is qualified for this activity.
-    outcome.status = Status::NoQualifiedResource(
-        "no qualification policy permits any sub-type of '" +
-        query.resource() + "' to carry out activity '" + query.activity() +
-        "'");
-    return outcome;
-  }
-
-  WFRM_ASSIGN_OR_RETURN(size_t found, RunQueries(primary.queries, &outcome));
-  if (found > 0) return outcome;
-
-  // Stage 3 (§4.3): the *initial* query is re-sent for substitution;
-  // alternatives re-enter qualification + requirement. By default a
-  // single round (never transitive, §1.2); additional rounds are the
-  // opt-in recursive extension.
-  if (options_.enable_substitution && options_.max_substitution_rounds > 0) {
-    WFRM_ASSIGN_OR_RETURN(
-        std::vector<policy::EnforcedQueries> rounds,
-        policy_manager_.EnforceAlternativesRounds(
-            query, options_.max_substitution_rounds));
-    for (const policy::EnforcedQueries& alternatives : rounds) {
-      if (alternatives.queries.empty()) continue;
-      outcome.used_substitution = true;
-      for (const rql::RqlQuery& q : alternatives.queries) {
-        outcome.alternative_queries.push_back(q.ToString());
-      }
-      WFRM_ASSIGN_OR_RETURN(found, RunQueries(alternatives.queries, &outcome));
-      if (found > 0) return outcome;
-    }
-  }
-
-  outcome.status = Status::ResourceUnavailable(
-      "no available resource satisfies the enforced queries" +
-      std::string(outcome.used_substitution ? " (substitution attempted)"
-                                            : ""));
-  return outcome;
+  return SubmitImpl(query, nullptr);
 }
 
 Result<QueryOutcome> ResourceManager::Submit(std::string_view rql_text) const {
   WFRM_ASSIGN_OR_RETURN(rql::RqlQuery query,
                         rql::ParseAndBindRql(rql_text, *org_));
   return Submit(query);
+}
+
+Result<ResourceManager::Explanation> ResourceManager::ExplainQuery(
+    std::string_view rql_text) const {
+  WFRM_ASSIGN_OR_RETURN(rql::RqlQuery query,
+                        rql::ParseAndBindRql(rql_text, *org_));
+  auto trace =
+      std::make_shared<obs::EnforcementTrace>(query.ToString(), clock_);
+  WFRM_ASSIGN_OR_RETURN(QueryOutcome outcome, SubmitImpl(query, trace.get()));
+  trace->Finish();
+  Explanation explanation;
+  explanation.report = RenderExplainReport(outcome, *trace);
+  explanation.outcome = std::move(outcome);
+  explanation.trace = std::move(trace);
+  return explanation;
+}
+
+Result<std::string> ResourceManager::Explain(std::string_view rql_text) const {
+  WFRM_ASSIGN_OR_RETURN(Explanation explanation, ExplainQuery(rql_text));
+  return std::move(explanation.report);
 }
 
 std::vector<Result<QueryOutcome>> ResourceManager::SubmitBatch(
@@ -237,6 +521,7 @@ Lease ResourceManager::TryClaimLocked(const org::ResourceRef& ref,
   grant.deadline_micros = LeaseDeadline(now_micros);
   allocated_[ref] = grant;
   last_allocated_[ref] = ++logical_clock_;
+  UpdateGaugesLocked();
   return Lease{ref, grant.lease_id, grant.deadline_micros};
 }
 
@@ -252,7 +537,12 @@ Result<Lease> ResourceManager::AcquireExcluding(
   // snapshot excludes them). Bounded to rule out livelock.
   for (int attempt = 0; attempt < 8; ++attempt) {
     WFRM_ASSIGN_OR_RETURN(QueryOutcome outcome, Submit(rql_text));
-    if (!outcome.ok()) return outcome.status;
+    if (!outcome.ok()) {
+      if (metrics_.acquire_failed != nullptr) {
+        metrics_.acquire_failed->Increment();
+      }
+      return outcome.status;
+    }
 
     const int64_t now = clock_->NowMicros();
     std::lock_guard<std::mutex> lock(mutex_);
@@ -263,18 +553,26 @@ Result<Lease> ResourceManager::AcquireExcluding(
           outcome.candidates[(start + i) % outcome.candidates.size()];
       if (!excluded.id.empty() && ref == excluded) continue;
       Lease lease = TryClaimLocked(ref, now);
-      if (lease.valid()) return lease;
+      if (lease.valid()) {
+        if (metrics_.acquire_ok != nullptr) metrics_.acquire_ok->Increment();
+        return lease;
+      }
     }
     // Every candidate was claimed by a concurrent acquirer (or was the
     // excluded resource); retry with a fresh snapshot unless exclusion
     // alone exhausted the outcome.
+    if (metrics_.acquire_races != nullptr) metrics_.acquire_races->Increment();
     if (!excluded.id.empty() && outcome.candidates.size() == 1 &&
         outcome.candidates[0] == excluded) {
+      if (metrics_.acquire_failed != nullptr) {
+        metrics_.acquire_failed->Increment();
+      }
       return Status::ResourceUnavailable(
           "the only candidate is the excluded resource " +
           excluded.ToString());
     }
   }
+  if (metrics_.acquire_failed != nullptr) metrics_.acquire_failed->Increment();
   return Status::ResourceUnavailable(
       "could not claim any candidate under concurrent contention");
 }
@@ -308,6 +606,7 @@ Status ResourceManager::Release(const org::ResourceRef& ref) {
                                 " is not allocated (never allocated, "
                                 "double-released, or reaped)");
   }
+  UpdateGaugesLocked();
   return Status::OK();
 }
 
@@ -321,6 +620,7 @@ Status ResourceManager::Release(const Lease& lease) {
         " is no longer current (released, reaped, or superseded)");
   }
   allocated_.erase(it);
+  UpdateGaugesLocked();
   return Status::OK();
 }
 
@@ -351,6 +651,12 @@ size_t ResourceManager::ReapExpired() {
       ++it;
     }
   }
+  if (reaped > 0) {
+    if (metrics_.leases_reaped != nullptr) {
+      metrics_.leases_reaped->Increment(reaped);
+    }
+    UpdateGaugesLocked();
+  }
   return reaped;
 }
 
@@ -377,12 +683,14 @@ Status ResourceManager::MarkFailed(const org::ResourceRef& ref) {
   WFRM_RETURN_NOT_OK(org_->GetResource(ref).status());
   std::lock_guard<std::mutex> lock(mutex_);
   failed_.insert(ref);
+  UpdateGaugesLocked();
   return Status::OK();
 }
 
 Status ResourceManager::MarkRecovered(const org::ResourceRef& ref) {
   std::lock_guard<std::mutex> lock(mutex_);
   failed_.erase(ref);  // Idempotent: recovering an up resource is a no-op.
+  UpdateGaugesLocked();
   return Status::OK();
 }
 

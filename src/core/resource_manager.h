@@ -3,6 +3,7 @@
 
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <random>
 #include <set>
@@ -12,6 +13,8 @@
 #include "common/clock.h"
 #include "common/result.h"
 #include "core/fault_injector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "org/org_model.h"
 #include "policy/policy_manager.h"
 #include "policy/policy_store.h"
@@ -64,6 +67,23 @@ struct ResourceManagerOptions {
   /// injects transient kResourceUnavailable outcomes into Submit().
   /// Not owned; may be shared across managers.
   FaultInjector* fault_injector = nullptr;
+
+  // ---- Observability -----------------------------------------------------
+
+  /// Metric instruments (submit/acquire counters, latency histograms,
+  /// allocation gauges) are registered here when non-null. Instrument
+  /// pointers are resolved once at construction, so the enabled hot-path
+  /// cost is a few relaxed atomic ops and the disabled path one branch.
+  /// Not owned; may be shared across managers. To also mirror the policy
+  /// store's cache counters, attach the registry to the store with
+  /// PolicyStore::set_metrics.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// When non-null, every Submit records an EnforcementTrace decision
+  /// log (rewrite stages, matched policy PIDs, cache outcomes,
+  /// candidate-set sizes) and delivers it here. Not owned. Tracing is
+  /// per query and allocation-heavy; leave null on hot paths and use
+  /// Explain() for ad-hoc inspection.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 /// A granted allocation: the resource, a unique lease id, and the
@@ -153,13 +173,38 @@ class ResourceManager {
         store_(store),
         options_(options),
         clock_(options.clock ? options.clock : SystemClock::Default()),
-        policy_manager_(org, store) {}
+        policy_manager_(org, store) {
+    ResolveMetrics();
+  }
 
   /// Parses, binds, enforces and executes an RQL request.
   Result<QueryOutcome> Submit(std::string_view rql_text) const;
 
   /// Same for an already parsed-and-bound query.
   Result<QueryOutcome> Submit(const rql::RqlQuery& query) const;
+
+  /// Submit, recording the full decision log into `trace` (may be null —
+  /// then identical to Submit). The caller owns the trace and calls
+  /// Finish(); the configured trace_sink is NOT involved.
+  Result<QueryOutcome> Submit(const rql::RqlQuery& query,
+                              obs::EnforcementTrace* trace) const;
+
+  /// Runs the full enforcement pipeline for `rql_text` (no allocation)
+  /// and renders a human-readable decision report: which qualification
+  /// rows fanned the query out (§4.1), which requirement conjuncts were
+  /// appended with their [ActivityAttr] substitutions (§4.2), which
+  /// substitution policy — if any — replaced the From/Where (§4.3), and
+  /// the availability outcome, each with the responsible policy PIDs.
+  Result<std::string> Explain(std::string_view rql_text) const;
+
+  /// Explain's machinery with the raw materials exposed: the outcome
+  /// plus the finished trace (for programmatic assertions).
+  struct Explanation {
+    QueryOutcome outcome;
+    std::shared_ptr<const obs::EnforcementTrace> trace;
+    std::string report;
+  };
+  Result<Explanation> ExplainQuery(std::string_view rql_text) const;
 
   /// Fans a batch of independent RQL requests across a small worker
   /// pool; element i of the result is Submit(rql_texts[i]). Workers
@@ -245,9 +290,30 @@ class ResourceManager {
   };
 
   /// Executes enforced queries; appends hits to `outcome`. Returns the
-  /// number of available resources found.
+  /// number of available resources found. When `parent` is non-null an
+  /// "execute" span records matched/available/filtered row counts for
+  /// `stage` ("primary" or "alternatives").
   Result<size_t> RunQueries(const std::vector<rql::RqlQuery>& queries,
-                            QueryOutcome* outcome) const;
+                            QueryOutcome* outcome, obs::TraceSpan* parent,
+                            const char* stage) const;
+
+  /// The traced/metered Submit body; `trace` may be null.
+  Result<QueryOutcome> SubmitImpl(const rql::RqlQuery& query,
+                                  obs::EnforcementTrace* trace) const;
+
+  /// Resolves metric instrument pointers from options_.metrics (no-op
+  /// when detached).
+  void ResolveMetrics();
+
+  /// Updates the allocation/health gauges. Lock held.
+  void UpdateGaugesLocked() const {
+    if (metrics_.allocated != nullptr) {
+      metrics_.allocated->Set(static_cast<int64_t>(allocated_.size()));
+    }
+    if (metrics_.failed != nullptr) {
+      metrics_.failed->Set(static_cast<int64_t>(failed_.size()));
+    }
+  }
 
   /// Applies due scheduled fault-injector health events. Called on
   /// query entry; const because health is a lazily-synchronized view of
@@ -273,11 +339,29 @@ class ResourceManager {
                : Lease::kNoExpiry;
   }
 
+  /// Resolved instruments; all null when options_.metrics is null.
+  struct Instruments {
+    obs::Counter* submit_ok = nullptr;
+    obs::Counter* submit_no_qualified = nullptr;
+    obs::Counter* submit_unavailable = nullptr;
+    obs::Counter* submit_error = nullptr;
+    obs::Counter* substitution_used = nullptr;
+    obs::Counter* injected_faults = nullptr;
+    obs::Counter* acquire_ok = nullptr;
+    obs::Counter* acquire_failed = nullptr;
+    obs::Counter* acquire_races = nullptr;
+    obs::Counter* leases_reaped = nullptr;
+    obs::Histogram* submit_latency = nullptr;
+    obs::Gauge* allocated = nullptr;
+    obs::Gauge* failed = nullptr;
+  };
+
   org::OrgModel* org_;
   policy::PolicyStore* store_;
   ResourceManagerOptions options_;
   Clock* clock_;
   policy::PolicyManager policy_manager_;
+  Instruments metrics_;
   /// Guards allocated_, failed_ and the strategy state.
   mutable std::mutex mutex_;
   std::map<org::ResourceRef, Grant> allocated_;

@@ -1,0 +1,166 @@
+#ifndef WFRM_OBS_METRICS_H_
+#define WFRM_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wfrm::obs {
+
+/// Label set of one instrument instance. Kept sorted by key so that two
+/// semantically equal label sets always map to the same instrument.
+using LabelMap = std::map<std::string, std::string>;
+
+/// Monotonically increasing event count. Updates are single relaxed
+/// atomic adds — safe to call from any thread, cheap enough for hot
+/// enforcement paths.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that can go up and down (allocated resources, cache sizes).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram in the Prometheus style: `bounds` are the
+/// inclusive upper bounds of the finite buckets ("le"), with an implicit
+/// +Inf bucket at the end. Observations are two relaxed atomic adds plus
+/// an atomic sum update; bucket counts are stored per bucket and
+/// cumulated only at exposition time.
+class Histogram {
+ public:
+  /// Buckets must be strictly increasing; an empty list leaves only the
+  /// +Inf bucket.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  /// Default latency buckets in microseconds: 1 µs .. 10 s in a 1-2-5
+  /// progression — wide enough for a cache hit and a cold SQL retrieval
+  /// on the same scale.
+  static const std::vector<double>& LatencyBucketsMicros();
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Non-cumulative count of bucket `i` (i == bounds().size() is +Inf).
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Cumulative counts per bound plus the +Inf total, exposition-style.
+  std::vector<uint64_t> CumulativeCounts() const;
+
+ private:
+  std::vector<double> bounds_;
+  /// bounds_.size() + 1 slots; the last one is the +Inf overflow bucket.
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Thread-safe instrument registry with Prometheus text exposition and a
+/// JSON dump. Get* registers on first use and returns a stable pointer —
+/// callers resolve their instruments once and then update them with
+/// plain atomic ops, so a disabled registry (null pointer at the call
+/// site) costs a single branch.
+///
+/// Naming convention: `wfrm_<layer>_<what>[_total|_micros]`, e.g.
+/// `wfrm_enforce_cache_lookups_total{cache="rewrite",outcome="hit"}`.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter registered under (name, labels), creating it on
+  /// first use. `help` is recorded on creation and ignored afterwards.
+  Counter* GetCounter(const std::string& name, const LabelMap& labels = {},
+                      const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const LabelMap& labels = {},
+                  const std::string& help = "");
+  /// The bucket layout is fixed by the first registration of `name`;
+  /// later calls with different bounds get the existing instrument.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds,
+                          const LabelMap& labels = {},
+                          const std::string& help = "");
+
+  /// Prometheus text exposition format (# HELP / # TYPE / samples),
+  /// deterministically ordered by metric name then labels. Label values
+  /// are escaped per the format spec (backslash, double-quote, newline).
+  std::string RenderPrometheus() const;
+
+  /// The same data as one JSON object:
+  ///   {"counters":[{"name":..,"labels":{..},"value":..},...],
+  ///    "gauges":[...],
+  ///    "histograms":[{"name":..,"labels":{..},"count":..,"sum":..,
+  ///                   "buckets":[{"le":..,"count":..},...]},...]}
+  std::string RenderJson() const;
+
+  /// Number of registered instruments (tests).
+  size_t size() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Instrument {
+    Kind kind;
+    std::string name;
+    LabelMap labels;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  /// Composite map key: name + serialized labels.
+  static std::string Key(const std::string& name, const LabelMap& labels);
+
+  Instrument* FindOrCreate(Kind kind, const std::string& name,
+                           const LabelMap& labels, const std::string& help,
+                           std::vector<double> bounds);
+
+  mutable std::mutex mu_;
+  /// Stable instrument storage: the map owns the nodes, pointers into
+  /// them never move.
+  std::map<std::string, std::unique_ptr<Instrument>> instruments_;
+  /// HELP text per metric family: the first non-empty help registered
+  /// for a name wins, whatever label set carried it.
+  std::map<std::string, std::string> family_help_;
+};
+
+/// Escapes a Prometheus label value: `\` -> `\\`, `"` -> `\"`, newline ->
+/// `\n` (exposed for tests).
+std::string EscapeLabelValue(const std::string& value);
+
+/// Escapes HELP text: `\` -> `\\`, newline -> `\n`.
+std::string EscapeHelp(const std::string& value);
+
+/// Escapes a JSON string body (quotes, backslashes, control chars).
+std::string EscapeJson(const std::string& value);
+
+/// Formats a histogram bound the way exposition expects ("+Inf" for the
+/// overflow bucket, shortest round-trip decimal otherwise).
+std::string FormatBound(double bound);
+
+}  // namespace wfrm::obs
+
+#endif  // WFRM_OBS_METRICS_H_

@@ -1,0 +1,144 @@
+#include "obs/trace.h"
+
+#include "obs/metrics.h"
+
+namespace wfrm::obs {
+
+TraceSpan::TraceSpan(EnforcementTrace* trace, std::string name)
+    : trace_(trace), name_(std::move(name)),
+      start_micros_(trace->NowMicros()) {}
+
+TraceSpan* TraceSpan::Child(std::string name) {
+  children_.push_back(
+      std::unique_ptr<TraceSpan>(new TraceSpan(trace_, std::move(name))));
+  return children_.back().get();
+}
+
+void TraceSpan::AddAttr(std::string key, std::string value) {
+  attrs_.emplace_back(std::move(key), std::move(value));
+}
+
+void TraceSpan::AddAttr(std::string key, int64_t value) {
+  attrs_.emplace_back(std::move(key), std::to_string(value));
+}
+
+void TraceSpan::End() {
+  if (!ended_) {
+    end_micros_ = trace_->NowMicros();
+    ended_ = true;
+  }
+}
+
+std::string TraceSpan::Attr(const std::string& key) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+std::vector<std::string> TraceSpan::AttrAll(const std::string& key) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) out.push_back(v);
+  }
+  return out;
+}
+
+const TraceSpan* TraceSpan::Find(const std::string& name) const {
+  if (name_ == name) return this;
+  for (const auto& child : children_) {
+    if (const TraceSpan* hit = child->Find(name)) return hit;
+  }
+  return nullptr;
+}
+
+EnforcementTrace::EnforcementTrace(std::string query_text, Clock* clock)
+    : query_text_(std::move(query_text)),
+      clock_(clock != nullptr ? clock : SystemClock::Default()),
+      root_(new TraceSpan(this, "submit")) {}
+
+namespace {
+
+void FinishRecursive(TraceSpan* span) {
+  for (const auto& child : span->children()) FinishRecursive(child.get());
+  span->End();
+}
+
+void RenderText(const TraceSpan& span, size_t depth, std::string* out) {
+  out->append(depth * 2, ' ');
+  *out += span.name() + " (" + std::to_string(span.duration_micros()) + "us)";
+  for (const auto& [k, v] : span.attrs()) {
+    *out += " " + k + "=" + v;
+  }
+  *out += "\n";
+  for (const auto& child : span.children()) {
+    RenderText(*child, depth + 1, out);
+  }
+}
+
+void RenderJson(const TraceSpan& span, std::string* out) {
+  *out += "{\"name\":\"" + EscapeJson(span.name()) +
+          "\",\"start_us\":" + std::to_string(span.start_micros()) +
+          ",\"end_us\":" + std::to_string(span.end_micros()) + ",\"attrs\":[";
+  bool first = true;
+  for (const auto& [k, v] : span.attrs()) {
+    if (!first) *out += ",";
+    first = false;
+    *out += "[\"" + EscapeJson(k) + "\",\"" + EscapeJson(v) + "\"]";
+  }
+  *out += "],\"children\":[";
+  first = true;
+  for (const auto& child : span.children()) {
+    if (!first) *out += ",";
+    first = false;
+    RenderJson(*child, out);
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+void EnforcementTrace::Finish() { FinishRecursive(root_.get()); }
+
+std::string EnforcementTrace::ToString() const {
+  std::string out;
+  if (!query_text_.empty()) out += "query: " + query_text_ + "\n";
+  RenderText(*root_, 0, &out);
+  return out;
+}
+
+std::string EnforcementTrace::ToJson() const {
+  std::string out = "{\"query\":\"" + EscapeJson(query_text_) + "\",\"root\":";
+  RenderJson(*root_, &out);
+  out += "}";
+  return out;
+}
+
+void TraceSink::Add(std::shared_ptr<const EnforcementTrace> trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (traces_.size() >= capacity_) {
+    traces_.pop_front();
+    ++dropped_;
+  }
+  traces_.push_back(std::move(trace));
+}
+
+std::vector<std::shared_ptr<const EnforcementTrace>> TraceSink::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<const EnforcementTrace>> out(traces_.begin(),
+                                                           traces_.end());
+  traces_.clear();
+  return out;
+}
+
+size_t TraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_.size();
+}
+
+uint64_t TraceSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace wfrm::obs

@@ -1,0 +1,183 @@
+#ifndef WFRM_OBS_TRACE_H_
+#define WFRM_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace wfrm::obs {
+
+class EnforcementTrace;
+
+/// One stage of the enforcement pipeline for one query: a named, timed
+/// span with ordered key/value attributes and child spans. Spans are
+/// created through EnforcementTrace / TraceSpan::Child and owned by
+/// their parent; pointers stay valid for the lifetime of the trace.
+///
+/// A trace belongs to a single Submit call and is mutated from that one
+/// thread only; cross-thread safety is provided at the TraceSink level
+/// (each concurrent query gets its own trace).
+class TraceSpan {
+ public:
+  /// Starts a child span (clocked from the owning trace). Never null.
+  TraceSpan* Child(std::string name);
+
+  /// Appends an attribute. Keys may repeat; insertion order is
+  /// preserved (Explain renders repeated "policy" rows in match order).
+  void AddAttr(std::string key, std::string value);
+  void AddAttr(std::string key, int64_t value);
+
+  /// Closes the span (records end time). Idempotent: the first call
+  /// wins. An unclosed span is closed by EnforcementTrace::Finish().
+  void End();
+
+  const std::string& name() const { return name_; }
+  int64_t start_micros() const { return start_micros_; }
+  bool ended() const { return ended_; }
+  /// Meaningful only after End() (see ended()).
+  int64_t end_micros() const { return end_micros_; }
+  int64_t duration_micros() const {
+    return ended_ ? end_micros_ - start_micros_ : 0;
+  }
+  const std::vector<std::pair<std::string, std::string>>& attrs() const {
+    return attrs_;
+  }
+  const std::vector<std::unique_ptr<TraceSpan>>& children() const {
+    return children_;
+  }
+
+  /// First value recorded under `key`, or "" when absent.
+  std::string Attr(const std::string& key) const;
+  /// Every value recorded under `key`, in insertion order.
+  std::vector<std::string> AttrAll(const std::string& key) const;
+  /// First descendant span (pre-order) named `name`, or nullptr.
+  const TraceSpan* Find(const std::string& name) const;
+
+ private:
+  friend class EnforcementTrace;
+  TraceSpan(EnforcementTrace* trace, std::string name);
+
+  EnforcementTrace* trace_;
+  std::string name_;
+  int64_t start_micros_ = 0;
+  int64_t end_micros_ = 0;
+  bool ended_ = false;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<std::unique_ptr<TraceSpan>> children_;
+};
+
+/// The decision log of one RQL query through the Figure 1 pipeline: a
+/// span tree rooted at "submit" recording each rewrite stage (policies
+/// matched by PID, cache outcomes, candidate-set sizes) and the final
+/// outcome. Rendered as an indented tree (ToString) or JSON (ToJson);
+/// ResourceManager::Explain turns it into a prose report.
+class EnforcementTrace {
+ public:
+  /// `clock` drives span timestamps; nullptr = SystemClock::Default()
+  /// (inject a SimulatedClock for deterministic timings in tests).
+  explicit EnforcementTrace(std::string query_text, Clock* clock = nullptr);
+
+  TraceSpan* root() { return root_.get(); }
+  const TraceSpan* root() const { return root_.get(); }
+  const std::string& query_text() const { return query_text_; }
+
+  /// Ends every span still open (children before parents, so child
+  /// end times never exceed the parent's).
+  void Finish();
+
+  int64_t NowMicros() const { return clock_->NowMicros(); }
+
+  /// Indented human-readable tree:
+  ///   submit (142us) status=kOk candidates=2
+  ///     enforce_primary (66us) rewrite_cache=miss
+  ///       qualification (31us) fanout=1 ...
+  std::string ToString() const;
+
+  /// One JSON object: {"query":..,"root":{"name":..,"start_us":..,
+  /// "end_us":..,"attrs":[[k,v],...],"children":[...]}}
+  std::string ToJson() const;
+
+ private:
+  std::string query_text_;
+  Clock* clock_;
+  std::unique_ptr<TraceSpan> root_;
+};
+
+/// Thread-safe collector of finished traces, bounded to `capacity`
+/// (oldest dropped first). Attach one to ResourceManagerOptions to
+/// capture the decision log of every Submit — including each worker's
+/// queries under SubmitBatch/EnforceBatch.
+class TraceSink {
+ public:
+  explicit TraceSink(size_t capacity = 1024) : capacity_(capacity) {}
+
+  void Add(std::shared_ptr<const EnforcementTrace> trace);
+
+  /// Removes and returns everything collected so far, oldest first.
+  std::vector<std::shared_ptr<const EnforcementTrace>> Drain();
+
+  size_t size() const;
+  /// Traces dropped because the sink was full.
+  uint64_t dropped() const;
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<std::shared_ptr<const EnforcementTrace>> traces_;
+  uint64_t dropped_ = 0;
+};
+
+// ---- Null-safe helpers ----------------------------------------------------
+//
+// The enforcement pipeline threads an optional TraceSpan* through every
+// stage; these helpers make the disabled path (span == nullptr) a single
+// predicted branch with no allocation.
+
+inline TraceSpan* Child(TraceSpan* parent, const char* name) {
+  return parent == nullptr ? nullptr : parent->Child(name);
+}
+
+/// By const reference so the disabled path never copies the value; the
+/// copy happens inside the branch. Callers composing a value string
+/// should still guard the composition with `if (span != nullptr)`.
+inline void Attr(TraceSpan* span, const char* key, const std::string& value) {
+  if (span != nullptr) span->AddAttr(key, value);
+}
+
+inline void Attr(TraceSpan* span, const char* key, const char* value) {
+  if (span != nullptr) span->AddAttr(key, std::string(value));
+}
+
+inline void Attr(TraceSpan* span, const char* key, int64_t value) {
+  if (span != nullptr) span->AddAttr(key, value);
+}
+
+inline void End(TraceSpan* span) {
+  if (span != nullptr) span->End();
+}
+
+/// RAII span guard for scoped stages; tolerates a null parent.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceSpan* parent, const char* name)
+      : span_(Child(parent, name)) {}
+  ~ScopedSpan() { End(span_); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  TraceSpan* get() const { return span_; }
+  operator TraceSpan*() const { return span_; }
+
+ private:
+  TraceSpan* span_;
+};
+
+}  // namespace wfrm::obs
+
+#endif  // WFRM_OBS_TRACE_H_

@@ -18,6 +18,20 @@ enum class CacheLookup {
            // PolicyStore/OrgModel mutation invalidated it).
 };
 
+/// Canonical lower-case name, used as a metrics label and trace
+/// attribute value.
+inline const char* CacheLookupName(CacheLookup outcome) {
+  switch (outcome) {
+    case CacheLookup::kHit:
+      return "hit";
+    case CacheLookup::kMiss:
+      return "miss";
+    case CacheLookup::kStale:
+      return "stale";
+  }
+  return "unknown";
+}
+
 /// Epoch-versioned memo table for enforcement-time derivations
 /// (hierarchy fan-out sets, relevant requirement/substitution row sets).
 ///

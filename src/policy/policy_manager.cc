@@ -56,34 +56,42 @@ size_t PolicyManager::rewrite_cache_size() const {
 }
 
 Result<EnforcedQueries> PolicyManager::EnforcePrimary(
-    const rql::RqlQuery& query) const {
+    const rql::RqlQuery& query, obs::TraceSpan* parent) const {
+  obs::ScopedSpan span(parent, "enforce_primary");
   const bool use_cache = store_->cache_enabled() && rewrite_capacity_ > 0;
   std::string key;
   uint64_t observed_epoch = 0;
+  bool cache_hit = false;
   if (use_cache) {
     key = Rewriter::EnforcementKey(query);
     observed_epoch = store_->epoch();
     CacheLookup outcome;
-    if (auto hit = RewriteCacheGet(key, observed_epoch, &outcome)) {
-      store_->NoteRewriteLookup(outcome);
-      return std::move(*hit);
-    }
+    auto hit = RewriteCacheGet(key, observed_epoch, &outcome);
     store_->NoteRewriteLookup(outcome);
+    obs::Attr(span, "rewrite_cache", CacheLookupName(outcome));
+    if (hit) {
+      // Untraced: serve the memo. Traced: record the hit but recompute
+      // the stages so the decision log names the policies that fired.
+      if (span.get() == nullptr) return std::move(*hit);
+      cache_hit = true;
+    }
+  } else {
+    obs::Attr(span, "rewrite_cache", "off");
   }
 
   EnforcedQueries out;
   WFRM_ASSIGN_OR_RETURN(std::vector<rql::RqlQuery> fanned,
-                        rewriter_.RewriteQualification(query));
+                        rewriter_.RewriteQualification(query, span));
   for (rql::RqlQuery& q : fanned) {
     std::string type = q.resource();
     WFRM_ASSIGN_OR_RETURN(rql::RqlQuery enhanced,
-                          rewriter_.RewriteRequirement(q));
+                          rewriter_.RewriteRequirement(q, span));
     out.qualified_types.push_back(std::move(type));
     out.queries.push_back(std::move(enhanced));
   }
   // Publish only if no mutation interleaved with the rewrite; a torn
   // entry would otherwise survive until the next epoch bump.
-  if (use_cache && store_->epoch() == observed_epoch) {
+  if (use_cache && !cache_hit && store_->epoch() == observed_epoch) {
     RewriteCachePut(key, observed_epoch, out.Clone());
   }
   return out;
@@ -97,7 +105,9 @@ Result<EnforcedQueries> PolicyManager::EnforceAlternatives(
 }
 
 Result<std::vector<EnforcedQueries>> PolicyManager::EnforceAlternativesRounds(
-    const rql::RqlQuery& query, size_t rounds) const {
+    const rql::RqlQuery& query, size_t rounds, obs::TraceSpan* parent) const {
+  obs::ScopedSpan alt_span(parent, "enforce_alternatives");
+  obs::Attr(alt_span, "max_rounds", static_cast<int64_t>(rounds));
   std::vector<EnforcedQueries> out;
   // Alternatives already explored, keyed by their pre-enforcement text —
   // this is the cycle protection that makes the recursive variant
@@ -112,15 +122,18 @@ Result<std::vector<EnforcedQueries>> PolicyManager::EnforceAlternativesRounds(
   frontier.push_back(query.Clone());
 
   for (size_t round = 0; round < rounds && !frontier.empty(); ++round) {
+    obs::ScopedSpan round_span(alt_span, "round");
+    obs::Attr(round_span, "round", static_cast<int64_t>(round + 1));
     EnforcedQueries this_round;
     std::vector<rql::RqlQuery> next_frontier;
     for (const rql::RqlQuery& source : frontier) {
       WFRM_ASSIGN_OR_RETURN(std::vector<rql::RqlQuery> alternatives,
-                            rewriter_.RewriteSubstitution(source));
+                            rewriter_.RewriteSubstitution(source, round_span));
       for (rql::RqlQuery& alt : alternatives) {
         if (!seen_alternatives.insert(alt.ToString()).second) continue;
         // Each alternative re-enters the primary pipeline (§2.1).
-        WFRM_ASSIGN_OR_RETURN(EnforcedQueries enforced, EnforcePrimary(alt));
+        WFRM_ASSIGN_OR_RETURN(EnforcedQueries enforced,
+                              EnforcePrimary(alt, round_span));
         for (size_t i = 0; i < enforced.queries.size(); ++i) {
           if (!seen_enforced.insert(enforced.queries[i].ToString()).second) {
             continue;

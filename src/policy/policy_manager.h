@@ -54,7 +54,16 @@ class PolicyManager {
         rewrite_capacity_(rewrite_cache_capacity) {}
 
   /// Primary enforcement: §4.1 fan-out then §4.2 enhancement.
-  Result<EnforcedQueries> EnforcePrimary(const rql::RqlQuery& query) const;
+  ///
+  /// With a non-null `parent` span, an "enforce_primary" child records
+  /// the rewrite cache outcome and the full per-stage decision log
+  /// (matched policy PIDs, fan-out, conjuncts). Tracing bypasses the
+  /// rewrite LRU's serve path — the probe outcome is still recorded and
+  /// counted, but the stages recompute so the trace is complete; the
+  /// untraced path is byte-for-byte the old one.
+  Result<EnforcedQueries> EnforcePrimary(const rql::RqlQuery& query,
+                                         obs::TraceSpan* parent = nullptr)
+      const;
 
   /// Fallback enforcement: §4.3 alternatives from substitution policies,
   /// each then treated as a new query (qualification + requirement).
@@ -71,7 +80,8 @@ class PolicyManager {
   /// in earlier rounds are not revisited. EnforceAlternatives(q) equals
   /// EnforceAlternativesRounds(q, 1)[0].
   Result<std::vector<EnforcedQueries>> EnforceAlternativesRounds(
-      const rql::RqlQuery& query, size_t rounds) const;
+      const rql::RqlQuery& query, size_t rounds,
+      obs::TraceSpan* parent = nullptr) const;
 
   const Rewriter& rewriter() const { return rewriter_; }
   const PolicyStore& store() const { return *store_; }

@@ -401,15 +401,48 @@ void PolicyStore::NoteRewriteLookup(CacheLookup outcome) const {
   switch (outcome) {
     case CacheLookup::kHit:
       ++stats_.rewrite_cache_hits;
+      if (metrics_.rewrite_hits != nullptr) metrics_.rewrite_hits->Increment();
       break;
     case CacheLookup::kMiss:
       ++stats_.rewrite_cache_misses;
+      if (metrics_.rewrite_misses != nullptr) {
+        metrics_.rewrite_misses->Increment();
+      }
       break;
     case CacheLookup::kStale:
       ++stats_.rewrite_cache_misses;
       ++stats_.cache_invalidations;
+      if (metrics_.rewrite_stale != nullptr) {
+        metrics_.rewrite_stale->Increment();
+      }
       break;
   }
+}
+
+void PolicyStore::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = RetrievalMetrics{};
+    return;
+  }
+  const std::string lookups = "wfrm_store_cache_lookups_total";
+  const std::string lookups_help =
+      "Enforcement cache probes by cache (retrieval memo tables vs the "
+      "rewritten-query LRU) and outcome";
+  metrics_.retrievals =
+      registry->GetCounter("wfrm_store_retrievals_total", {},
+                           "Relevant-policy retrievals entering the store");
+  metrics_.hits = registry->GetCounter(
+      lookups, {{"cache", "retrieval"}, {"outcome", "hit"}}, lookups_help);
+  metrics_.misses = registry->GetCounter(
+      lookups, {{"cache", "retrieval"}, {"outcome", "miss"}}, lookups_help);
+  metrics_.stale = registry->GetCounter(
+      lookups, {{"cache", "retrieval"}, {"outcome", "stale"}}, lookups_help);
+  metrics_.rewrite_hits = registry->GetCounter(
+      lookups, {{"cache", "rewrite"}, {"outcome", "hit"}}, lookups_help);
+  metrics_.rewrite_misses = registry->GetCounter(
+      lookups, {{"cache", "rewrite"}, {"outcome", "miss"}}, lookups_help);
+  metrics_.rewrite_stale = registry->GetCounter(
+      lookups, {{"cache", "rewrite"}, {"outcome", "stale"}}, lookups_help);
 }
 
 // ---- Qualification retrieval ------------------------------------------------
@@ -463,7 +496,7 @@ Result<std::vector<std::string>> PolicyStore::QualifiedSubtypesLocked(
 
 Result<std::vector<std::string>> PolicyStore::QualifiedSubtypes(
     const std::string& resource, const std::string& activity) const {
-  ++stats_.retrievals;
+  NoteRetrieval();
   const bool use_cache = cache_enabled();
   std::string key;
   uint64_t observed_epoch = 0;
@@ -472,11 +505,10 @@ Result<std::vector<std::string>> PolicyStore::QualifiedSubtypes(
     observed_epoch = epoch();
     CacheLookup outcome;
     if (auto hit = qualified_cache_.Get(key, observed_epoch, &outcome)) {
-      ++stats_.cache_hits;
+      NoteRetrievalHit();
       return *hit;
     }
-    outcome == CacheLookup::kStale ? ++stats_.cache_invalidations
-                                   : ++stats_.cache_misses;
+    NoteRetrievalMiss(outcome);
   }
   Result<std::vector<std::string>> result = std::vector<std::string>{};
   {
@@ -846,7 +878,7 @@ size_t PolicyStore::num_filter_attributes() const {
 Result<std::vector<RelevantRequirement>> PolicyStore::RelevantRequirements(
     const std::string& resource, const std::string& activity,
     const rel::ParamMap& spec) const {
-  ++stats_.retrievals;
+  NoteRetrieval();
   WFRM_ASSIGN_OR_RETURN(std::string res,
                         org_->resources().Canonical(resource));
   WFRM_ASSIGN_OR_RETURN(std::string act,
@@ -861,11 +893,10 @@ Result<std::vector<RelevantRequirement>> PolicyStore::RelevantRequirements(
     observed_epoch = epoch();
     CacheLookup outcome;
     if (auto hit = requirement_cache_.Get(key, observed_epoch, &outcome)) {
-      ++stats_.cache_hits;
+      NoteRetrievalHit();
       return *hit;
     }
-    outcome == CacheLookup::kStale ? ++stats_.cache_invalidations
-                                   : ++stats_.cache_misses;
+    NoteRetrievalMiss(outcome);
   }
 
   Result<std::vector<RelevantRequirement>> result =
@@ -963,7 +994,7 @@ PolicyStore::RelevantSubstitutionsLocked(const std::string& res,
 Result<std::vector<RelevantSubstitution>> PolicyStore::RelevantSubstitutions(
     const std::string& resource, const rel::Expr* query_where,
     const std::string& activity, const rel::ParamMap& spec) const {
-  ++stats_.retrievals;
+  NoteRetrieval();
   WFRM_ASSIGN_OR_RETURN(std::string res,
                         org_->resources().Canonical(resource));
   WFRM_ASSIGN_OR_RETURN(std::string act,
@@ -979,11 +1010,10 @@ Result<std::vector<RelevantSubstitution>> PolicyStore::RelevantSubstitutions(
     observed_epoch = epoch();
     CacheLookup outcome;
     if (auto hit = substitution_cache_.Get(key, observed_epoch, &outcome)) {
-      ++stats_.cache_hits;
+      NoteRetrievalHit();
       return *hit;
     }
-    outcome == CacheLookup::kStale ? ++stats_.cache_invalidations
-                                   : ++stats_.cache_misses;
+    NoteRetrievalMiss(outcome);
   }
 
   Result<std::vector<RelevantSubstitution>> result =

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "org/org_model.h"
 #include "policy/dnf.h"
 #include "policy/enforcement_cache.h"
@@ -335,6 +336,14 @@ class PolicyStore {
   /// LRU itself lives in PolicyManager; stats are centralized here).
   void NoteRewriteLookup(CacheLookup outcome) const;
 
+  /// Mirrors the StoreStats counters into `registry` (counter family
+  /// `wfrm_store_cache_lookups_total{cache,outcome}` plus
+  /// `wfrm_store_retrievals_total`), covering the EpochCache memo tables
+  /// and the rewrite LRU. Instrument pointers are resolved once here, so
+  /// the per-probe cost is one relaxed atomic add. Call before the store
+  /// sees concurrent traffic; nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* registry);
+
   /// Live parameter estimates feeding the kAdaptive plan choice: |A| and
   /// |R| from the hierarchies, distinct (Activity, Resource) pairs from
   /// the concatenated index, q and c derived per §6's N = |R|·q·c.
@@ -467,6 +476,37 @@ class PolicyStore {
   /// derivation from before it is invalidated. Caller holds mu_.
   void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_release); }
 
+  /// Resolved metric instruments (null when no registry is attached).
+  struct RetrievalMetrics {
+    obs::Counter* retrievals = nullptr;
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* stale = nullptr;
+    obs::Counter* rewrite_hits = nullptr;
+    obs::Counter* rewrite_misses = nullptr;
+    obs::Counter* rewrite_stale = nullptr;
+  };
+
+  /// One retrieval entered the store (stats + optional metrics mirror).
+  void NoteRetrieval() const {
+    ++stats_.retrievals;
+    if (metrics_.retrievals != nullptr) metrics_.retrievals->Increment();
+  }
+  void NoteRetrievalHit() const {
+    ++stats_.cache_hits;
+    if (metrics_.hits != nullptr) metrics_.hits->Increment();
+  }
+  /// Outcome is kMiss or kStale (a hit takes NoteRetrievalHit).
+  void NoteRetrievalMiss(CacheLookup outcome) const {
+    if (outcome == CacheLookup::kStale) {
+      ++stats_.cache_invalidations;
+      if (metrics_.stale != nullptr) metrics_.stale->Increment();
+    } else {
+      ++stats_.cache_misses;
+      if (metrics_.misses != nullptr) metrics_.misses->Increment();
+    }
+  }
+
   const org::OrgModel* org_;
   /// Mutable: the kSql path re-registers the per-query Relevant_Policies
   /// and Relevant_Filter views (Figures 13/14 define them per query) —
@@ -481,6 +521,7 @@ class PolicyStore {
   int64_t next_pid_ = 100;  // The paper's examples start at PID 100.
   int64_t next_group_ = 1;
   mutable StoreStats stats_;
+  RetrievalMetrics metrics_;
 
   /// Guards db_, filter_attr_counts_, next_pid_, next_group_: shared for
   /// retrieval, exclusive for mutation (and kSql retrieval).

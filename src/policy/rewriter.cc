@@ -118,10 +118,19 @@ Result<rel::ExprPtr> SubstituteParameters(const rel::Expr& expr,
 }
 
 Result<std::vector<rql::RqlQuery>> Rewriter::RewriteQualification(
-    const rql::RqlQuery& query) const {
+    const rql::RqlQuery& query, obs::TraceSpan* parent) const {
+  obs::ScopedSpan span(parent, "qualification");
   WFRM_ASSIGN_OR_RETURN(
       std::vector<std::string> qualified,
       store_->QualifiedSubtypes(query.resource(), query.activity()));
+  if (span.get() != nullptr) {
+    obs::Attr(span, "resource", query.resource());
+    obs::Attr(span, "activity", query.activity());
+    obs::Attr(span, "fanout", static_cast<int64_t>(qualified.size()));
+    for (const std::string& type : qualified) {
+      obs::Attr(span, "qualified_type", type);
+    }
+  }
   std::vector<rql::RqlQuery> out;
   out.reserve(qualified.size());
   for (const std::string& type : qualified) {
@@ -133,7 +142,9 @@ Result<std::vector<rql::RqlQuery>> Rewriter::RewriteQualification(
 }
 
 Result<rql::RqlQuery> Rewriter::RewriteRequirement(
-    const rql::RqlQuery& query) const {
+    const rql::RqlQuery& query, obs::TraceSpan* parent) const {
+  obs::ScopedSpan span(parent, "requirement");
+  obs::Attr(span, "type", query.resource());
   rel::ParamMap params = query.spec.AsParams();
   WFRM_ASSIGN_OR_RETURN(std::vector<RelevantRequirement> relevant,
                         store_->RelevantRequirements(
@@ -143,20 +154,34 @@ Result<rql::RqlQuery> Rewriter::RewriteRequirement(
   // Requirement policies are And-related (§3.2); DNF splitting shares a
   // group id and the WhereClause is applied once per source policy.
   std::unordered_set<int64_t> applied_groups;
+  int64_t conjuncts = 0;
   for (const RelevantRequirement& req : relevant) {
     if (!applied_groups.insert(req.group).second) continue;
     if (req.where_clause.empty()) continue;
     WFRM_ASSIGN_OR_RETURN(rel::ExprPtr condition,
                           rel::SqlParser::ParseExpr(req.where_clause));
     WFRM_ASSIGN_OR_RETURN(condition, Substitute(*condition, params));
+    if (span.get() != nullptr) {
+      // The conjunct as enforced, i.e. after [ActivityAttr] substitution.
+      obs::Attr(span, "policy",
+                "PID " + std::to_string(req.pid) + " (group " +
+                    std::to_string(req.group) + "): " + condition->ToString());
+    }
+    ++conjuncts;
     out.select->where =
         rel::AndExprs(std::move(out.select->where), std::move(condition));
+  }
+  if (span.get() != nullptr) {
+    obs::Attr(span, "conjuncts", conjuncts);
+    obs::Attr(span, "enforced_query", out.ToString());
   }
   return out;
 }
 
 Result<std::vector<rql::RqlQuery>> Rewriter::RewriteSubstitution(
-    const rql::RqlQuery& query) const {
+    const rql::RqlQuery& query, obs::TraceSpan* parent) const {
+  obs::ScopedSpan span(parent, "substitution");
+  obs::Attr(span, "resource", query.resource());
   rel::ParamMap params = query.spec.AsParams();
   WFRM_ASSIGN_OR_RETURN(
       std::vector<RelevantSubstitution> relevant,
@@ -182,9 +207,24 @@ Result<std::vector<rql::RqlQuery>> Rewriter::RewriteSubstitution(
     WFRM_ASSIGN_OR_RETURN(alternative,
                           rql::BindRql(std::move(alternative), *org_));
     if (seen.insert(alternative.ToString()).second) {
+      if (span.get() != nullptr) {
+        std::string from = sub.substituted_resource;
+        if (!sub.substituted_where.empty()) {
+          from += " Where " + sub.substituted_where;
+        }
+        std::string to = sub.substituting_resource;
+        if (!sub.substituting_where.empty()) {
+          to += " Where " + sub.substituting_where;
+        }
+        obs::Attr(span, "policy",
+                  "PID " + std::to_string(sub.pid) + " (group " +
+                      std::to_string(sub.group) + "): " + from + " -> " + to);
+        obs::Attr(span, "alternative", alternative.ToString());
+      }
       out.push_back(std::move(alternative));
     }
   }
+  obs::Attr(span, "alternatives", static_cast<int64_t>(out.size()));
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/trace.h"
 #include "policy/policy_store.h"
 #include "rql/rql.h"
 
@@ -25,19 +26,25 @@ class Rewriter {
   /// its sub-types qualified (via qualification policies, under the CWA)
   /// for some super-type of the query's activity. An empty result means
   /// no resource type may carry out the activity.
+  ///
+  /// All three rewritings take an optional trace span: when non-null, a
+  /// child span is recorded with the stage's decisions (matched policy
+  /// PIDs, fan-out sizes, rendered conjuncts/alternatives). The null
+  /// path costs one branch.
   Result<std::vector<rql::RqlQuery>> RewriteQualification(
-      const rql::RqlQuery& query) const;
+      const rql::RqlQuery& query, obs::TraceSpan* parent = nullptr) const;
 
   /// §4.2, Figure 11: conjoins the Where clauses of all relevant
   /// requirement policies onto the query (one per policy group — DNF
   /// splitting must not duplicate enforcement).
-  Result<rql::RqlQuery> RewriteRequirement(const rql::RqlQuery& query) const;
+  Result<rql::RqlQuery> RewriteRequirement(
+      const rql::RqlQuery& query, obs::TraceSpan* parent = nullptr) const;
 
   /// §4.3, Figure 12: one alternative query per relevant substitution
   /// policy, with the From/Where replaced by the substituting resource
   /// and its description. Alternatives are deduplicated.
   Result<std::vector<rql::RqlQuery>> RewriteSubstitution(
-      const rql::RqlQuery& query) const;
+      const rql::RqlQuery& query, obs::TraceSpan* parent = nullptr) const;
 
   /// Canonical cache key of a bound query — the text every enforcement
   /// cache (PolicyManager's rewrite LRU, cycle protection in

@@ -2,6 +2,25 @@
 
 namespace wfrm::wf {
 
+void WorkflowEngine::ResolveMetrics() {
+  obs::MetricsRegistry* reg = rm_->options().metrics;
+  if (reg == nullptr) return;
+  const std::string advances_help = "Advance() outcomes by result.";
+  metrics_.advance_ok = reg->GetCounter("wfrm_engine_advances_total",
+                                        {{"result", "ok"}}, advances_help);
+  metrics_.advance_failed = reg->GetCounter(
+      "wfrm_engine_advances_total", {{"result", "failed"}}, advances_help);
+  metrics_.retries = reg->GetCounter(
+      "wfrm_engine_retries_total", {},
+      "Backoff retries after transient resource unavailability.");
+  metrics_.reassignments = reg->GetCounter(
+      "wfrm_engine_reassignments_total", {},
+      "Work items whose failed holder was replaced via Reassign().");
+  metrics_.completions = reg->GetCounter(
+      "wfrm_engine_completions_total", {},
+      "Work items completed (resource released, step advanced).");
+}
+
 Result<std::string> InstantiateTemplate(const std::string& rql_template,
                                         const CaseData& data) {
   std::string out;
@@ -66,6 +85,7 @@ Result<core::Lease> WorkflowEngine::AcquireWithRetry(
       return last;
     }
     if (!backoff.ShouldRetry(attempt)) break;
+    if (metrics_.retries != nullptr) metrics_.retries->Increment();
     clock().SleepForMicros(backoff.NextDelayMicros());
   }
   // Transient exhaustion: report it, but the case stays kRunning — a
@@ -92,10 +112,19 @@ Result<WorkItem> WorkflowEngine::Advance(size_t case_id) {
   auto rql = InstantiateTemplate(step.rql_template, c->data);
   if (!rql.ok()) {
     c->state = CaseState::kFailed;
+    if (metrics_.advance_failed != nullptr) {
+      metrics_.advance_failed->Increment();
+    }
     return rql.status();
   }
-  WFRM_ASSIGN_OR_RETURN(core::Lease lease,
-                        AcquireWithRetry(c, *rql, org::ResourceRef{}));
+  auto acquired = AcquireWithRetry(c, *rql, org::ResourceRef{});
+  if (!acquired.ok()) {
+    if (metrics_.advance_failed != nullptr) {
+      metrics_.advance_failed->Increment();
+    }
+    return acquired.status();
+  }
+  core::Lease lease = *std::move(acquired);
   WorkItem item;
   item.case_id = case_id;
   item.step_index = c->next_step;
@@ -103,6 +132,7 @@ Result<WorkItem> WorkflowEngine::Advance(size_t case_id) {
   item.resource = lease.resource;
   item.lease = lease;
   c->open_item = item;
+  if (metrics_.advance_ok != nullptr) metrics_.advance_ok->Increment();
   return item;
 }
 
@@ -142,6 +172,7 @@ Result<WorkItem> WorkflowEngine::Reassign(size_t case_id) {
   item.reassigned = true;
   c->open_item = item;
   ++num_reassignments_;
+  if (metrics_.reassignments != nullptr) metrics_.reassignments->Increment();
   return item;
 }
 
@@ -170,6 +201,7 @@ Status WorkflowEngine::Complete(size_t case_id) {
   c->open_item->completed = true;
   history_.push_back(*c->open_item);
   c->open_item.reset();
+  if (metrics_.completions != nullptr) metrics_.completions->Increment();
   ++c->next_step;
   if (c->next_step >= c->process->steps.size()) {
     c->state = CaseState::kCompleted;

@@ -85,7 +85,9 @@ class WorkflowEngine {
  public:
   explicit WorkflowEngine(core::ResourceManager* rm,
                           WorkflowEngineOptions options = {})
-      : rm_(rm), options_(options) {}
+      : rm_(rm), options_(options) {
+    ResolveMetrics();
+  }
 
   /// Starts a case; returns its id. The case sits before its first step
   /// until Advance() is called.
@@ -148,6 +150,18 @@ class WorkflowEngine {
     std::optional<WorkItem> open_item;
   };
 
+  /// Engine counters, registered on the resource manager's metrics
+  /// registry (rm->options().metrics); all null when it is detached.
+  struct Instruments {
+    obs::Counter* advance_ok = nullptr;
+    obs::Counter* advance_failed = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* reassignments = nullptr;
+    obs::Counter* completions = nullptr;
+  };
+
+  void ResolveMetrics();
+
   Result<Case*> FindCase(size_t case_id);
   Clock& clock() const {
     return options_.clock ? *options_.clock : rm_->clock();
@@ -159,6 +173,7 @@ class WorkflowEngine {
 
   core::ResourceManager* rm_;
   WorkflowEngineOptions options_;
+  Instruments metrics_;
   std::vector<Case> cases_;
   std::vector<WorkItem> history_;
   size_t num_reassignments_ = 0;

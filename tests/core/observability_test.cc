@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/resource_manager.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "testutil/paper_org.h"
+#include "wf/engine.h"
+
+namespace wfrm::core {
+namespace {
+
+constexpr char kFigure4[] =
+    "Select ContactInfo From Engineer Where Location = 'PA' "
+    "For Programming With NumberOfLines = 35000 And Location = 'Mexico'";
+
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto world = testutil::BuildPaperWorld();
+    ASSERT_TRUE(world.ok()) << world.status().ToString();
+    org_ = std::move(world->org);
+    store_ = std::move(world->store);
+  }
+
+  std::unique_ptr<ResourceManager> MakeRm(ResourceManagerOptions options = {}) {
+    return std::make_unique<ResourceManager>(org_.get(), store_.get(),
+                                             options);
+  }
+
+  std::unique_ptr<org::OrgModel> org_;
+  std::unique_ptr<policy::PolicyStore> store_;
+};
+
+// The Explain golden test: the paper's Figure 4 query with the only
+// primary candidate busy must report the Figure 9/12 substitution
+// rewrite (Engineer in PA -> Engineer in Cupertino) under the actual
+// stored policy PID.
+TEST_F(ObservabilityTest, ExplainReportsSubstitutionRewriteWithPolicyPid) {
+  auto rm = MakeRm();
+  ASSERT_TRUE(rm->Allocate(org::ResourceRef{"Programmer", "bob"}).ok());
+
+  auto subs = store_->ListSubstitutions();
+  ASSERT_TRUE(subs.ok());
+  ASSERT_EQ(subs->size(), 1u);
+  ASSERT_FALSE((*subs)[0].pids.empty());
+  const int64_t sub_pid = (*subs)[0].pids[0];
+
+  auto explanation = rm->ExplainQuery(kFigure4);
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  const std::string& report = explanation->report;
+
+  // The pipeline stages, in order, with their paper sections.
+  EXPECT_NE(report.find("Decision report for:"), std::string::npos);
+  EXPECT_NE(report.find("Qualification (4.1)"), std::string::npos);
+  EXPECT_NE(report.find("resource 'Engineer', activity 'Programming'"),
+            std::string::npos);
+  EXPECT_NE(report.find("qualified sub-type: Programmer"), std::string::npos);
+  EXPECT_NE(report.find("Requirement (4.2)"), std::string::npos);
+  // The [ActivityAttr] substitution resolved Location to the activity's
+  // binding, yielding the Spanish-speaker conjunct of Figure 11.
+  EXPECT_NE(report.find("Language = 'Spanish'"), std::string::npos);
+  EXPECT_NE(report.find("Substitution (4.3)"), std::string::npos);
+  // The substitution row is attributed to its stored PID and rewrites
+  // the From/Where as in Figure 12.
+  EXPECT_NE(report.find("PID " + std::to_string(sub_pid)), std::string::npos);
+  EXPECT_NE(report.find("Location = 'Cupertino'"), std::string::npos);
+  EXPECT_NE(report.find("via substitution"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("Programmer:quinn"), std::string::npos);
+
+  // The machine-readable side agrees with the report.
+  EXPECT_TRUE(explanation->outcome.used_substitution);
+  ASSERT_NE(explanation->trace, nullptr);
+  const obs::TraceSpan* root = explanation->trace->root();
+  EXPECT_EQ(root->Attr("status"), "OK");
+  EXPECT_EQ(root->Attr("used_substitution"), "true");
+  const obs::TraceSpan* sub = root->Find("substitution");
+  ASSERT_NE(sub, nullptr);
+  std::vector<std::string> rows = sub->AttrAll("policy");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_NE(rows[0].find("PID " + std::to_string(sub_pid)),
+            std::string::npos);
+}
+
+TEST_F(ObservabilityTest, ExplainReportsClosedWorldRejection) {
+  auto rm = MakeRm();
+  auto report = rm->Explain(
+      "Select ContactInfo From Secretary For Programming "
+      "With NumberOfLines = 1 And Location = 'PA'");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("no qualified resource"), std::string::npos);
+  EXPECT_NE(report->find("closed-world"), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, SubmitRecordsMetricsAndCacheOutcomes) {
+  obs::MetricsRegistry registry;
+  store_->set_metrics(&registry);
+  ResourceManagerOptions options;
+  options.metrics = &registry;
+  auto rm = MakeRm(options);
+
+  // Two identical submits: the first misses the rewrite LRU, the second
+  // hits it; both succeed.
+  ASSERT_TRUE(rm->Submit(kFigure4).ok());
+  ASSERT_TRUE(rm->Submit(kFigure4).ok());
+
+  EXPECT_EQ(registry
+                .GetCounter("wfrm_rm_submits_total", {{"result", "ok"}})
+                ->Value(),
+            2u);
+  EXPECT_EQ(registry
+                .GetCounter("wfrm_store_cache_lookups_total",
+                            {{"cache", "rewrite"}, {"outcome", "miss"}})
+                ->Value(),
+            1u);
+  EXPECT_EQ(registry
+                .GetCounter("wfrm_store_cache_lookups_total",
+                            {{"cache", "rewrite"}, {"outcome", "hit"}})
+                ->Value(),
+            1u);
+  EXPECT_EQ(
+      registry.GetHistogram("wfrm_rm_submit_latency_micros", {})->Count(),
+      2u);
+
+  // Allocation and health gauges follow the bookkeeping.
+  ASSERT_TRUE(rm->Allocate(org::ResourceRef{"Programmer", "bob"}).ok());
+  ASSERT_TRUE(rm->MarkFailed(org::ResourceRef{"Programmer", "quinn"}).ok());
+  EXPECT_EQ(registry.GetGauge("wfrm_rm_allocated_resources")->Value(), 1);
+  EXPECT_EQ(registry.GetGauge("wfrm_rm_failed_resources")->Value(), 1);
+  ASSERT_TRUE(rm->Release(org::ResourceRef{"Programmer", "bob"}).ok());
+  EXPECT_EQ(registry.GetGauge("wfrm_rm_allocated_resources")->Value(), 0);
+
+  // The whole registry renders to the exposition format.
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("wfrm_rm_submits_total{result=\"ok\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE wfrm_rm_submit_latency_micros histogram"),
+            std::string::npos);
+}
+
+// Every worker's Submit under EnforceBatch must deliver a well-formed,
+// independently owned span tree to the shared sink (TSan-clean).
+class ObservabilityConcurrencyTest : public ObservabilityTest {};
+
+void ExpectWellFormed(const obs::TraceSpan& span) {
+  EXPECT_TRUE(span.ended());
+  for (const auto& child : span.children()) {
+    EXPECT_GE(child->start_micros(), span.start_micros());
+    EXPECT_LE(child->end_micros(), span.end_micros());
+    ExpectWellFormed(*child);
+  }
+}
+
+TEST_F(ObservabilityConcurrencyTest, EnforceBatchDeliversOrderedSpanTrees) {
+  obs::MetricsRegistry registry;
+  obs::TraceSink sink(256);
+  ResourceManagerOptions options;
+  options.metrics = &registry;
+  options.trace_sink = &sink;
+  auto rm = MakeRm(options);
+  wf::WorkflowEngine engine(rm.get());
+
+  std::vector<std::string> batch;
+  for (int i = 0; i < 32; ++i) {
+    batch.push_back(i % 2 == 0
+                        ? kFigure4
+                        : "Select ContactInfo From Analyst Where Location = "
+                          "'PA' For Analysis With NumberOfLines = 5000 And "
+                          "Location = 'PA'");
+  }
+  std::vector<Result<QueryOutcome>> outcomes = engine.EnforceBatch(batch, 4);
+  for (const auto& outcome : outcomes) ASSERT_TRUE(outcome.ok());
+
+  auto traces = sink.Drain();
+  ASSERT_EQ(traces.size(), batch.size());
+  EXPECT_EQ(sink.dropped(), 0u);
+  for (const auto& trace : traces) {
+    const obs::TraceSpan* root = trace->root();
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(root->name(), "submit");
+    EXPECT_EQ(root->Attr("status"), "OK");
+    // Tracing recomputes the stages even on a rewrite-LRU hit, so every
+    // trace carries the full decision log.
+    const obs::TraceSpan* primary = root->Find("enforce_primary");
+    ASSERT_NE(primary, nullptr);
+    EXPECT_NE(primary->Find("qualification"), nullptr);
+    ExpectWellFormed(*root);
+  }
+  EXPECT_EQ(registry
+                .GetCounter("wfrm_rm_submits_total", {{"result", "ok"}})
+                ->Value(),
+            batch.size());
+}
+
+}  // namespace
+}  // namespace wfrm::core

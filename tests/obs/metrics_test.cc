@@ -1,0 +1,167 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace wfrm::obs {
+namespace {
+
+TEST(CounterTest, IncrementsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  g.Set(-1);
+  EXPECT_EQ(g.Value(), -1);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 5.0});
+  // A value equal to a bound lands in that bound's bucket ("le").
+  h.Observe(0.5);  // bucket le=1
+  h.Observe(1.0);  // bucket le=1 (boundary is inclusive)
+  h.Observe(1.5);  // bucket le=2
+  h.Observe(2.0);  // bucket le=2
+  h.Observe(5.0);  // bucket le=5
+  h.Observe(7.0);  // +Inf overflow
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 2u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+  EXPECT_EQ(h.Count(), 6u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 7.0);
+
+  // Exposition-style cumulative counts: monotone, ending at the total.
+  std::vector<uint64_t> cum = h.CumulativeCounts();
+  ASSERT_EQ(cum.size(), 4u);
+  EXPECT_EQ(cum[0], 2u);
+  EXPECT_EQ(cum[1], 4u);
+  EXPECT_EQ(cum[2], 5u);
+  EXPECT_EQ(cum[3], 6u);
+}
+
+TEST(HistogramTest, EmptyBoundsLeaveOnlyOverflowBucket) {
+  Histogram h({});
+  h.Observe(123.0);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.CumulativeCounts(), std::vector<uint64_t>{1});
+}
+
+TEST(HistogramTest, LatencyBucketsAreStrictlyIncreasing) {
+  const std::vector<double>& b = Histogram::LatencyBucketsMicros();
+  ASSERT_GE(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(b.front(), 1.0);
+  EXPECT_DOUBLE_EQ(b.back(), 10'000'000.0);  // 10 s in µs.
+  for (size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+}
+
+TEST(HistogramTest, ConcurrentObservationsLoseNothing) {
+  Histogram h({10.0, 100.0});
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t) {
+    pool.emplace_back([&h]() {
+      for (int i = 0; i < 1000; ++i) h.Observe(static_cast<double>(i % 200));
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(h.Count(), 4000u);
+  EXPECT_EQ(h.CumulativeCounts().back(), 4000u);
+}
+
+TEST(EscapingTest, LabelValueEscapesBackslashQuoteNewline) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapeLabelValue("line1\nline2"), "line1\\nline2");
+}
+
+TEST(EscapingTest, HelpEscapesBackslashAndNewlineOnly) {
+  EXPECT_EQ(EscapeHelp("a\\b\nc\"d"), "a\\\\b\\nc\"d");
+}
+
+TEST(EscapingTest, JsonEscapesControlCharacters) {
+  EXPECT_EQ(EscapeJson("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(EscapeJson("t\tr\rn\n"), "t\\tr\\rn\\n");
+  EXPECT_EQ(EscapeJson(std::string("x\x01y", 3)), "x\\u0001y");
+}
+
+TEST(EscapingTest, FormatBound) {
+  EXPECT_EQ(FormatBound(10.0), "10");
+  EXPECT_EQ(FormatBound(0.5), "0.5");
+  EXPECT_EQ(FormatBound(std::numeric_limits<double>::infinity()), "+Inf");
+}
+
+TEST(MetricsRegistryTest, SameNameAndLabelsShareOneInstrument) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("wfrm_test_total", {{"k", "v"}}, "help");
+  Counter* b = reg.GetCounter("wfrm_test_total", {{"k", "v"}});
+  Counter* c = reg.GetCounter("wfrm_test_total", {{"k", "other"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, PrometheusExpositionFormat) {
+  MetricsRegistry reg;
+  reg.GetCounter("wfrm_requests_total", {{"result", "ok"}},
+                 "Requests by result.")
+      ->Increment(3);
+  reg.GetCounter("wfrm_requests_total", {{"result", "err\"or\n"}});
+  reg.GetGauge("wfrm_busy", {}, "Busy resources.")->Set(2);
+  Histogram* h = reg.GetHistogram("wfrm_latency_micros", {1.0, 10.0}, {},
+                                  "Latency.");
+  h->Observe(0.5);
+  h->Observe(4.0);
+  h->Observe(99.0);
+
+  std::string text = reg.RenderPrometheus();
+  // HELP/TYPE once per family.
+  EXPECT_NE(text.find("# HELP wfrm_requests_total Requests by result.\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("# TYPE wfrm_requests_total counter"),
+            text.rfind("# TYPE wfrm_requests_total counter"));
+  EXPECT_NE(text.find("wfrm_requests_total{result=\"ok\"} 3\n"),
+            std::string::npos);
+  // Label escaping in the sample line.
+  EXPECT_NE(text.find("wfrm_requests_total{result=\"err\\\"or\\n\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE wfrm_busy gauge"), std::string::npos);
+  EXPECT_NE(text.find("wfrm_busy 2\n"), std::string::npos);
+  // Histogram: cumulative buckets, +Inf, _sum, _count.
+  EXPECT_NE(text.find("wfrm_latency_micros_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("wfrm_latency_micros_bucket{le=\"10\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("wfrm_latency_micros_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("wfrm_latency_micros_sum 103.5\n"), std::string::npos);
+  EXPECT_NE(text.find("wfrm_latency_micros_count 3\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonDumpContainsAllInstrumentKinds) {
+  MetricsRegistry reg;
+  reg.GetCounter("wfrm_c_total")->Increment();
+  reg.GetGauge("wfrm_g")->Set(-4);
+  reg.GetHistogram("wfrm_h_micros", {2.0})->Observe(1.0);
+  std::string json = reg.RenderJson();
+  EXPECT_NE(json.find("\"counters\":[{\"name\":\"wfrm_c_total\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"value\":-4"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[{\"le\":\"2\",\"count\":1},"
+                      "{\"le\":\"+Inf\",\"count\":1}]"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace wfrm::obs
