@@ -1,0 +1,143 @@
+// Durability layer costs: WAL append throughput per fsync mode,
+// checkpoint cost, and replay throughput — how many journaled
+// mutations per second Open() can reconstruct (the startup-latency
+// figure that motivates snapshots + log truncation, DESIGN.md §10).
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "store/durable_rm.h"
+#include "store/record.h"
+#include "store/wal.h"
+
+#include "json_reporter.h"
+
+namespace {
+
+using namespace wfrm;  // NOLINT
+
+std::string MakeTempDir() {
+  std::string tmpl =
+      (std::filesystem::temp_directory_path() / "wfrm_bench_store_XXXXXX")
+          .string();
+  if (::mkdtemp(tmpl.data()) == nullptr) std::abort();
+  return tmpl;
+}
+
+void RemoveDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+constexpr char kRdl[] =
+    "Define Resource Type Employee "
+    "(ContactInfo String, Location String, Experience Int);"
+    "Define Resource Type Programmer Under Employee;"
+    "Define Activity Type Activity (Location String);"
+    "Define Activity Type Programming Under Activity (NumberOfLines Int);";
+
+std::string InsertStatement(int i) {
+  std::string id = "p";
+  id += std::to_string(i);
+  std::string stmt = "Insert Resource Programmer '";
+  stmt += id;
+  stmt += "' (ContactInfo = '";
+  stmt += id;
+  stmt += "@x.com', Location = 'PA', Experience = ";
+  stmt += std::to_string(i % 20);
+  stmt += ");";
+  return stmt;
+}
+
+/// Raw framing cost: append fixed-size records under each fsync mode.
+void BM_Store_WalAppend(benchmark::State& state) {
+  auto mode = static_cast<store::FsyncMode>(state.range(0));
+  std::string dir = MakeTempDir();
+  store::WalWriter wal;
+  if (!wal.Open(dir + "/wal.log", mode, 64).ok()) std::abort();
+  std::string payload(128, 'x');
+  for (auto _ : state) {
+    if (!wal.Append(payload).ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size() + 8));
+  state.SetLabel(store::FsyncModeName(mode));
+  wal.Close();
+  RemoveDir(dir);
+}
+BENCHMARK(BM_Store_WalAppend)
+    ->Arg(static_cast<int>(store::FsyncMode::kOff))
+    ->Arg(static_cast<int>(store::FsyncMode::kInterval));
+
+/// Journaled mutation cost through the facade (org inserts — the
+/// cheapest real mutation, so the measured delta is the journal).
+void BM_Store_JournaledInsert(benchmark::State& state) {
+  std::string dir = MakeTempDir();
+  store::DurableOptions options;
+  options.fsync_mode = store::FsyncMode::kInterval;
+  auto d = store::DurableResourceManager::Open(dir, options);
+  if (!d.ok() || !(*d)->ExecuteRdl(kRdl).ok()) std::abort();
+  int i = 0;
+  for (auto _ : state) {
+    if (!(*d)->ExecuteRdl(InsertStatement(i++)).ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+  d->reset();
+  RemoveDir(dir);
+}
+BENCHMARK(BM_Store_JournaledInsert);
+
+/// Replay throughput: Open() over a WAL of `range(0)` insert records.
+/// items == replayed records, so items_per_second is the recovery rate.
+void BM_Store_Replay(benchmark::State& state) {
+  const int records = static_cast<int>(state.range(0));
+  std::string dir = MakeTempDir();
+  {
+    store::DurableOptions options;
+    options.fsync_mode = store::FsyncMode::kOff;
+    auto d = store::DurableResourceManager::Open(dir, options);
+    if (!d.ok() || !(*d)->ExecuteRdl(kRdl).ok()) std::abort();
+    for (int i = 0; i < records; ++i) {
+      if (!(*d)->ExecuteRdl(InsertStatement(i)).ok()) std::abort();
+    }
+  }
+  for (auto _ : state) {
+    auto d = store::DurableResourceManager::Open(dir);
+    if (!d.ok()) std::abort();
+    benchmark::DoNotOptimize((*d)->recovery_info().wal_records_replayed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          (records + 1));
+  RemoveDir(dir);
+}
+BENCHMARK(BM_Store_Replay)->Arg(100)->Arg(1000);
+
+/// Snapshot + truncate cost, and Open()-from-snapshot on the result.
+void BM_Store_CheckpointAndReopen(benchmark::State& state) {
+  std::string dir = MakeTempDir();
+  {
+    store::DurableOptions options;
+    options.fsync_mode = store::FsyncMode::kOff;
+    auto d = store::DurableResourceManager::Open(dir, options);
+    if (!d.ok() || !(*d)->ExecuteRdl(kRdl).ok()) std::abort();
+    for (int i = 0; i < 500; ++i) {
+      if (!(*d)->ExecuteRdl(InsertStatement(i)).ok()) std::abort();
+    }
+    if (!(*d)->Checkpoint().ok()) std::abort();
+  }
+  for (auto _ : state) {
+    auto d = store::DurableResourceManager::Open(dir);
+    if (!d.ok() || !(*d)->recovery_info().snapshot_loaded) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+  RemoveDir(dir);
+}
+BENCHMARK(BM_Store_CheckpointAndReopen);
+
+}  // namespace
+
+WFRM_BENCH_JSON_MAIN();

@@ -9,6 +9,9 @@
 //   policies            list the policy base
 //   allocate <type> <id>  / release <type> <id>
 //   explain <rql>       full decision report (stages, PIDs) without allocating
+//   open <dir>          open a durable home: recover from WAL + snapshot,
+//                       then journal every later mutation
+//   save <dir>          checkpoint the open home / export this session
 //   demo                load the paper's running example
 //   help, quit
 //
@@ -29,6 +32,7 @@
 #include "policy/analyzer.h"
 #include "policy/pl_dump.h"
 #include "policy/policy_manager.h"
+#include "store/durable_rm.h"
 #include "testutil/paper_org.h"
 
 namespace {
@@ -41,6 +45,13 @@ struct Shell {
       std::make_unique<policy::PolicyStore>(org.get());
   std::unique_ptr<core::ResourceManager> rm =
       std::make_unique<core::ResourceManager>(org.get(), store.get());
+  /// Non-null after `open <dir>`: every mutation is then journaled to
+  /// the directory's WAL and survives a crash or restart.
+  std::unique_ptr<store::DurableResourceManager> durable;
+
+  org::OrgModel& Org() { return durable ? durable->org() : *org; }
+  policy::PolicyStore& Store() { return durable ? durable->store() : *store; }
+  core::ResourceManager& Rm() { return durable ? durable->rm() : *rm; }
 
   void LoadDemo() {
     auto world = testutil::BuildPaperWorld();
@@ -48,6 +59,7 @@ struct Shell {
       std::cout << "demo failed: " << world.status().ToString() << "\n";
       return;
     }
+    durable.reset();
     org = std::move(world->org);
     store = std::move(world->store);
     rm = std::make_unique<core::ResourceManager>(org.get(), store.get());
@@ -56,10 +68,10 @@ struct Shell {
   }
 
   void ListPolicies() {
-    for (const auto& q : store->ListQualifications()) {
+    for (const auto& q : Store().ListQualifications()) {
       std::cout << "  #" << q.pid << "  " << q.policy.ToString() << "\n";
     }
-    auto reqs = store->ListRequirements();
+    auto reqs = Store().ListRequirements();
     if (reqs.ok()) {
       for (const auto& g : *reqs) {
         std::cout << "  group " << g.group << "  Require " << g.resource;
@@ -72,7 +84,7 @@ struct Shell {
         }
       }
     }
-    auto subs = store->ListSubstitutions();
+    auto subs = Store().ListSubstitutions();
     if (subs.ok()) {
       for (const auto& g : *subs) {
         std::cout << "  group " << g.group << "  Substitute " << g.resource;
@@ -90,7 +102,7 @@ struct Shell {
     // The full per-stage decision report (qualification fan-out,
     // requirement conjuncts with their PIDs, substitution alternatives,
     // availability) — enforcement runs, but nothing is allocated.
-    auto report = rm->Explain(rql);
+    auto report = Rm().Explain(rql);
     if (!report.ok()) {
       std::cout << "error: " << report.status().ToString() << "\n";
       return;
@@ -99,7 +111,7 @@ struct Shell {
   }
 
   void Submit(const std::string& rql) {
-    auto outcome = rm->Submit(rql);
+    auto outcome = Rm().Submit(rql);
     if (!outcome.ok()) {
       std::cout << "error: " << outcome.status().ToString() << "\n";
       return;
@@ -136,7 +148,11 @@ struct Shell {
           << "  policies            list the policy base\n"
           << "  allocate <type> <id> | release <type> <id>\n"
           << "  analyze             policy-base consistency report\n"
-          << "  save <file> | load <file>\n"
+          << "  open <dir>          open a durable home (WAL + snapshot);\n"
+          << "                      mutations are journaled from then on\n"
+          << "  save <dir>          checkpoint the open home, or write a\n"
+          << "                      fresh durable home from this session\n"
+          << "  load <file>         read a plain-text RDL+PL script\n"
           << "  demo                load the paper's example org\n"
           << "  quit\n";
       return true;
@@ -145,24 +161,55 @@ struct Shell {
       LoadDemo();
       return true;
     }
-    if (lower == "save" || lower == "load") {
+    if (lower == "open") {
       std::string path;
       words >> path;
       if (path.empty()) {
-        std::cout << "usage: " << lower << " <file>\n";
+        std::cout << "usage: open <dir>\n";
         return true;
       }
-      if (lower == "save") {
-        auto rdl = wfrm::org::DumpRdl(*org);
-        auto pl = wfrm::policy::DumpPl(*store);
-        if (!rdl.ok() || !pl.ok()) {
-          std::cout << (rdl.ok() ? pl.status() : rdl.status()).ToString()
-                    << "\n";
-          return true;
-        }
-        std::ofstream out(path);
-        out << *rdl << "-- POLICIES --\n" << *pl;
-        std::cout << (out.good() ? "saved " + path : "write failed") << "\n";
+      auto opened = store::DurableResourceManager::Open(path);
+      if (!opened.ok()) {
+        std::cout << "open failed: " << opened.status().ToString() << "\n";
+        return true;
+      }
+      durable = std::move(*opened);
+      const auto& info = durable->recovery_info();
+      std::cout << "opened " << path << " (snapshot "
+                << (info.snapshot_loaded ? "loaded" : "absent") << ", "
+                << info.wal_records_replayed << " wal records replayed";
+      if (info.wal_records_skipped > 0) {
+        std::cout << ", " << info.wal_records_skipped << " skipped";
+      }
+      if (info.torn_tail) std::cout << ", torn tail truncated";
+      std::cout << ")\n";
+      return true;
+    }
+    if (lower == "save") {
+      std::string path;
+      words >> path;
+      if (durable && (path.empty() || path == durable->dir())) {
+        Status st = durable->Checkpoint();
+        std::cout << (st.ok() ? "checkpointed " + durable->dir()
+                              : st.ToString())
+                  << "\n";
+        return true;
+      }
+      if (path.empty()) {
+        std::cout << "usage: save <dir>\n";
+        return true;
+      }
+      Status st =
+          store::DurableResourceManager::SaveWorld(path, Org(), Store(), Rm());
+      std::cout << (st.ok() ? "saved durable home " + path : st.ToString())
+                << "\n";
+      return true;
+    }
+    if (lower == "load") {
+      std::string path;
+      words >> path;
+      if (path.empty()) {
+        std::cout << "usage: load <file>\n";
         return true;
       }
       std::ifstream in(path);
@@ -191,6 +238,7 @@ struct Shell {
           return true;
         }
       }
+      durable.reset();
       org = std::move(fresh_org);
       store = std::move(fresh_store);
       rm = std::make_unique<wfrm::core::ResourceManager>(org.get(),
@@ -200,13 +248,13 @@ struct Shell {
     }
     if (lower == "why") {
       std::string rql = line.substr(line.find(verb) + verb.size());
-      auto query = rql::ParseAndBindRql(rql, *org);
+      auto query = rql::ParseAndBindRql(rql, Org());
       if (!query.ok()) {
         std::cout << "error: " << query.status().ToString() << "\n";
         return true;
       }
       auto quals =
-          store->QualifiedSubtypes(query->resource(), query->activity());
+          Store().QualifiedSubtypes(query->resource(), query->activity());
       if (quals.ok()) {
         std::cout << "qualification (CWA): ";
         if (quals->empty()) {
@@ -217,7 +265,7 @@ struct Shell {
           std::cout << "\n";
         }
       }
-      auto diags = store->DiagnoseRequirements(
+      auto diags = Store().DiagnoseRequirements(
           query->resource(), query->activity(), query->spec.AsParams());
       if (!diags.ok()) {
         std::cout << "error: " << diags.status().ToString() << "\n";
@@ -238,7 +286,7 @@ struct Shell {
       return true;
     }
     if (lower == "analyze") {
-      wfrm::policy::PolicyAnalyzer analyzer(store.get());
+      wfrm::policy::PolicyAnalyzer analyzer(&Store());
       auto report = analyzer.Report();
       std::cout << (report.ok() ? *report : report.status().ToString())
                 << "\n";
@@ -256,7 +304,13 @@ struct Shell {
         return true;
       }
       org::ResourceRef ref{type, id};
-      Status st = lower == "allocate" ? rm->Allocate(ref) : rm->Release(ref);
+      Status st;
+      if (durable) {
+        st = lower == "allocate" ? durable->AllocateLease(ref).status()
+                                 : durable->Release(ref);
+      } else {
+        st = lower == "allocate" ? rm->Allocate(ref) : rm->Release(ref);
+      }
       std::cout << (st.ok() ? "ok" : st.ToString()) << "\n";
       return true;
     }
@@ -265,12 +319,14 @@ struct Shell {
       return true;
     }
     if (lower == "define" || lower == "insert") {
-      Status st = org::ExecuteRdl(line, org.get());
+      Status st = durable ? durable->ExecuteRdl(line)
+                          : org::ExecuteRdl(line, org.get());
       std::cout << (st.ok() ? "ok" : st.ToString()) << "\n";
       return true;
     }
     if (lower == "qualify" || lower == "require" || lower == "substitute") {
-      Status st = store->AddPolicyText(line);
+      Status st = durable ? durable->AddPolicyText(line)
+                          : store->AddPolicyText(line);
       std::cout << (st.ok() ? "ok" : st.ToString()) << "\n";
       return true;
     }

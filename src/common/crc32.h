@@ -1,0 +1,18 @@
+#ifndef WFRM_COMMON_CRC32_H_
+#define WFRM_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace wfrm {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data`,
+/// continuing from `seed` (pass the previous result to checksum data in
+/// pieces). Table-driven, no hardware assumptions — the WAL record
+/// checksum (src/store) and nothing performance-critical.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+}  // namespace wfrm
+
+#endif  // WFRM_COMMON_CRC32_H_

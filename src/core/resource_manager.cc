@@ -639,25 +639,68 @@ Result<Lease> ResourceManager::RenewLease(const Lease& lease) {
   return Lease{lease.resource, lease.id, it->second.deadline_micros};
 }
 
-size_t ResourceManager::ReapExpired() {
+size_t ResourceManager::ReapExpired() { return ReapExpiredLeases().size(); }
+
+std::vector<Lease> ResourceManager::ReapExpiredLeases() {
   const int64_t now = clock_->NowMicros();
   std::lock_guard<std::mutex> lock(mutex_);
-  size_t reaped = 0;
+  std::vector<Lease> reaped;
   for (auto it = allocated_.begin(); it != allocated_.end();) {
     if (it->second.deadline_micros <= now) {
+      reaped.push_back(
+          Lease{it->first, it->second.lease_id, it->second.deadline_micros});
       it = allocated_.erase(it);
-      ++reaped;
     } else {
       ++it;
     }
   }
-  if (reaped > 0) {
+  if (!reaped.empty()) {
     if (metrics_.leases_reaped != nullptr) {
-      metrics_.leases_reaped->Increment(reaped);
+      metrics_.leases_reaped->Increment(reaped.size());
     }
     UpdateGaugesLocked();
   }
   return reaped;
+}
+
+Status ResourceManager::RestoreLease(const Lease& lease) {
+  if (!lease.valid()) {
+    return Status::InvalidArgument("cannot restore an invalid lease");
+  }
+  WFRM_RETURN_NOT_OK(org_->GetResource(lease.resource).status());
+  std::lock_guard<std::mutex> lock(mutex_);
+  allocated_[lease.resource] = Grant{lease.id, lease.deadline_micros};
+  if (next_lease_id_ <= lease.id) next_lease_id_ = lease.id + 1;
+  UpdateGaugesLocked();
+  return Status::OK();
+}
+
+std::vector<Lease> ResourceManager::ListLeases() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Lease> leases;
+  leases.reserve(allocated_.size());
+  for (const auto& [ref, grant] : allocated_) {
+    leases.push_back(Lease{ref, grant.lease_id, grant.deadline_micros});
+  }
+  return leases;
+}
+
+std::optional<Lease> ResourceManager::FindLease(
+    const org::ResourceRef& ref) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = allocated_.find(ref);
+  if (it == allocated_.end()) return std::nullopt;
+  return Lease{ref, it->second.lease_id, it->second.deadline_micros};
+}
+
+uint64_t ResourceManager::next_lease_id() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_lease_id_;
+}
+
+void ResourceManager::AdvanceLeaseId(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (next_lease_id_ < id) next_lease_id_ = id;
 }
 
 bool ResourceManager::IsLeaseActive(const Lease& lease) const {

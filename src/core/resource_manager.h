@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <random>
 #include <set>
 #include <string>
@@ -257,6 +258,36 @@ class ResourceManager {
   /// how many were reaped. Cheap when nothing is expired — callers may
   /// run it on a timer or before allocation-sensitive decisions.
   size_t ReapExpired();
+
+  /// ReapExpired, but returning the reclaimed leases themselves — the
+  /// durable layer journals one release per reaped lease so replay
+  /// reproduces the reap exactly.
+  std::vector<Lease> ReapExpiredLeases();
+
+  // ---- Persistence (src/store recovery) --------------------------------
+
+  /// Re-installs a persisted grant during recovery, bypassing
+  /// availability checks (the journal proves the grant was made). Any
+  /// existing grant on the resource is overwritten — replaying a renew
+  /// record over its acquire record is the normal case. The resource
+  /// must exist in the (already recovered) org model, and the lease-id
+  /// high-water mark advances past `lease.id` so later grants never
+  /// reuse a persisted id.
+  Status RestoreLease(const Lease& lease);
+
+  /// Every current grant as a lease, ordered by resource (snapshots;
+  /// expired-but-unreaped grants are included, matching live state).
+  std::vector<Lease> ListLeases() const;
+
+  /// The live lease currently recorded on `ref`, if any.
+  std::optional<Lease> FindLease(const org::ResourceRef& ref) const;
+
+  /// Lease-id high-water mark: the id the next grant would get.
+  /// Persisted in snapshots so recovery never reuses an id already
+  /// handed out (stale-lease protection depends on uniqueness).
+  uint64_t next_lease_id() const;
+  /// Raises the high-water mark to at least `id` (recovery only).
+  void AdvanceLeaseId(uint64_t id);
 
   /// True when `lease` is the current grant on its resource and has not
   /// expired.

@@ -212,6 +212,17 @@ ConjunctiveRange ExtractConjunctiveRange(const rel::Expr* clause) {
   return range;
 }
 
+std::vector<ConjunctiveRange> QueryRangesForIntersection(
+    const rel::Expr* clause) {
+  if (clause == nullptr) return {ConjunctiveRange{}};
+  if (auto exact = NormalizeRangeClause(clause); exact.ok()) {
+    // An empty disjunct list means the clause is unsatisfiable: the
+    // query can match nothing, so no substitution range intersects it.
+    return *exact;
+  }
+  return {ExtractConjunctiveRange(clause)};
+}
+
 Result<bool> RangeContainsBindings(const ConjunctiveRange& range,
                                    const rel::ParamMap& bindings) {
   for (const auto& [attr, interval] : range) {

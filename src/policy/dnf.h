@@ -46,6 +46,17 @@ Result<std::vector<ConjunctiveRange>> NormalizeRangeClause(
 /// Where clause may contain predicates beyond simple ranges.
 ConjunctiveRange ExtractConjunctiveRange(const rel::Expr* clause);
 
+/// The query-side disjunctive range view for the §4.3 substitution
+/// intersection test. When the Where clause is a pure range clause the
+/// exact DNF is returned, so strict bounds and `!=` exclusions are
+/// honored (`Where Age != 30` must NOT intersect a policy range
+/// [30, 30]). Clauses the DNF normalizer rejects — subqueries,
+/// parameters, arithmetic — fall back to the conservative
+/// ExtractConjunctiveRange single conjunct, which can only widen the
+/// range (treat a substitution as relevant), never narrow it.
+std::vector<ConjunctiveRange> QueryRangesForIntersection(
+    const rel::Expr* clause);
+
 /// True when `bindings` (attribute → constant) falls inside `range`:
 /// every constrained attribute is bound and its value lies in the
 /// interval. Unbound constrained attributes fail the test, mirroring the

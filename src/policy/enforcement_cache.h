@@ -2,6 +2,7 @@
 #define WFRM_POLICY_ENFORCEMENT_CACHE_H_
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <shared_mutex>
 #include <string>
@@ -40,9 +41,11 @@ inline const char* CacheLookupName(CacheLookup outcome) {
 /// recomputes. There is no eager invalidation — writers only bump the
 /// epoch, which makes mutations O(1) and keeps the write path off every
 /// cache lock. Size is bounded: when an insert would exceed
-/// `max_entries`, stale-epoch entries are evicted first and, if the
-/// table is still full (all-current entries), it is dropped wholesale —
-/// repeated enforcement refills it in one round.
+/// `max_entries`, the entry inserted least recently is evicted (FIFO).
+/// Because the epoch only ever advances, insertion order also orders
+/// entries by epoch, so stale-epoch entries always leave before
+/// current-epoch ones and an insert is O(1) even when the table is full
+/// of entries from the live epoch.
 ///
 /// Thread safety: probes take a shared lock, inserts an exclusive one.
 template <typename V>
@@ -68,18 +71,27 @@ class EpochCache {
 
   void Put(const std::string& key, uint64_t epoch, V value) {
     std::unique_lock<std::shared_mutex> lock(mu_);
-    if (map_.size() >= max_entries_ && map_.find(key) == map_.end()) {
-      for (auto it = map_.begin(); it != map_.end();) {
-        it = it->second.epoch == epoch ? std::next(it) : map_.erase(it);
-      }
-      if (map_.size() >= max_entries_) map_.clear();
+    if (max_entries_ == 0) return;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      // Refresh in place; the key keeps its original queue position.
+      it->second = Entry{epoch, std::move(value)};
+      return;
     }
-    map_[key] = Entry{epoch, std::move(value)};
+    // Every map entry is in order_ exactly once, so popping the front
+    // until below the bound both terminates and keeps the invariant.
+    while (map_.size() >= max_entries_ && !order_.empty()) {
+      map_.erase(order_.front());
+      order_.pop_front();
+    }
+    order_.push_back(key);
+    map_.emplace(key, Entry{epoch, std::move(value)});
   }
 
   void Clear() {
     std::unique_lock<std::shared_mutex> lock(mu_);
     map_.clear();
+    order_.clear();
   }
 
   size_t size() const {
@@ -96,6 +108,9 @@ class EpochCache {
   mutable std::shared_mutex mu_;
   size_t max_entries_;
   std::unordered_map<std::string, Entry> map_;
+  /// Keys in insertion order — the eviction queue. Since the epoch is
+  /// monotone, the front is always the entry most likely to be stale.
+  std::deque<std::string> order_;
 };
 
 /// Joins cache-key parts with an unlikely separator ('\x1f', ASCII unit

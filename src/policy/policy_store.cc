@@ -956,8 +956,12 @@ PolicyStore::RelevantSubstitutionsLocked(const std::string& res,
   WFRM_ASSIGN_OR_RETURN(auto counts,
                         CountEnclosingIntervals(kSubstFilter, spec));
 
-  // §4.3 condition 2: the resource ranges intersect.
-  ConjunctiveRange query_range = ExtractConjunctiveRange(query_where);
+  // §4.3 condition 2: the resource ranges intersect. The query side is
+  // a disjunct list too, so `Where Age != 30` (which normalizes to
+  // `< 30 Or > 30`) is not silently widened into matching a policy
+  // range of exactly [30, 30].
+  std::vector<ConjunctiveRange> query_ranges =
+      QueryRangesForIntersection(query_where);
 
   std::vector<RelevantSubstitution> out;
   for (const CandidateRow& c : candidates) {
@@ -973,12 +977,15 @@ PolicyStore::RelevantSubstitutionsLocked(const std::string& res,
       WFRM_ASSIGN_OR_RETURN(std::vector<ConjunctiveRange> ranges,
                             NormalizeRangeClause(parsed.get()));
       bool intersects = false;
-      for (const ConjunctiveRange& r : ranges) {
-        WFRM_ASSIGN_OR_RETURN(bool x, RangesIntersect(query_range, r));
-        if (x) {
-          intersects = true;
-          break;
+      for (const ConjunctiveRange& q : query_ranges) {
+        for (const ConjunctiveRange& r : ranges) {
+          WFRM_ASSIGN_OR_RETURN(bool x, RangesIntersect(q, r));
+          if (x) {
+            intersects = true;
+            break;
+          }
         }
+        if (intersects) break;
       }
       if (!intersects) continue;
     }
@@ -1171,7 +1178,8 @@ PolicyStore::DiagnoseSubstitutions(const std::string& resource,
   WFRM_ASSIGN_OR_RETURN(std::string act,
                         org_->activities().Canonical(activity));
   rel::ParamMap bindings = CanonicalizeSpec(act, spec);
-  ConjunctiveRange query_range = ExtractConjunctiveRange(query_where);
+  std::vector<ConjunctiveRange> query_ranges =
+      QueryRangesForIntersection(query_where);
   std::shared_lock<std::shared_mutex> lock(mu_);
   WFRM_ASSIGN_OR_RETURN(auto groups,
                         ListGroupsLocked(kSubstPolicies, kSubstFilter, true));
@@ -1231,18 +1239,24 @@ PolicyStore::DiagnoseSubstitutions(const std::string& resource,
       WFRM_ASSIGN_OR_RETURN(std::vector<ConjunctiveRange> ranges,
                             NormalizeRangeClause(parsed.get()));
       intersects = false;
-      for (const ConjunctiveRange& r : ranges) {
-        WFRM_ASSIGN_OR_RETURN(bool x, RangesIntersect(query_range, r));
-        if (x) {
-          intersects = true;
-          break;
+      for (const ConjunctiveRange& q : query_ranges) {
+        for (const ConjunctiveRange& r : ranges) {
+          WFRM_ASSIGN_OR_RETURN(bool x, RangesIntersect(q, r));
+          if (x) {
+            intersects = true;
+            break;
+          }
         }
+        if (intersects) break;
       }
     }
     if (!intersects) {
       d.verdict = SubstitutionDiagnosis::Verdict::kResourceRangeDisjoint;
-      d.detail = "query range " + RangeToString(query_range) +
-                 " never meets substituted range '" + g.where_clause + "'";
+      d.detail =
+          "query range " +
+          (query_ranges.empty() ? std::string("(unsatisfiable)")
+                                : RangeToString(query_ranges.front())) +
+          " never meets substituted range '" + g.where_clause + "'";
       out.push_back(std::move(d));
       continue;
     }
@@ -1349,6 +1363,64 @@ Result<std::vector<PolicyStore::StoredPolicyGroup>>
 PolicyStore::ListSubstitutions() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return ListGroupsLocked(kSubstPolicies, kSubstFilter, true);
+}
+
+// ---- Persistence ------------------------------------------------------------
+
+namespace {
+
+std::vector<rel::Row> CopyRows(const rel::Table* table) {
+  std::vector<rel::Row> rows;
+  rows.reserve(table->num_rows());
+  table->ForEach([&](rel::RowId, const rel::Row& row) { rows.push_back(row); });
+  return rows;
+}
+
+}  // namespace
+
+PolicyStore::Image PolicyStore::ExportImage() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  Image image;
+  image.qualifications = CopyRows(db_.GetTable(kQualifications));
+  image.policies = CopyRows(db_.GetTable(kPolicies));
+  image.filter = CopyRows(db_.GetTable(kFilter));
+  image.subst_policies = CopyRows(db_.GetTable(kSubstPolicies));
+  image.subst_filter = CopyRows(db_.GetTable(kSubstFilter));
+  image.next_pid = next_pid_;
+  image.next_group = next_group_;
+  image.epoch = epoch_.load(std::memory_order_acquire);
+  return image;
+}
+
+Status PolicyStore::ImportImage(const Image& image) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  struct Load {
+    const char* table;
+    const std::vector<rel::Row>* rows;
+  };
+  const Load loads[] = {{kQualifications, &image.qualifications},
+                        {kPolicies, &image.policies},
+                        {kFilter, &image.filter},
+                        {kSubstPolicies, &image.subst_policies},
+                        {kSubstFilter, &image.subst_filter}};
+  for (const Load& load : loads) {
+    rel::Table* table = db_.GetTable(load.table);
+    table->Clear();
+    for (const rel::Row& row : *load.rows) {
+      WFRM_RETURN_NOT_OK(table->Insert(row).status());
+    }
+  }
+  filter_attr_counts_.clear();
+  for (const rel::Row& row : image.filter) {
+    ++filter_attr_counts_[row[1].string_value()];
+  }
+  next_pid_ = image.next_pid;
+  next_group_ = image.next_group;
+  epoch_.store(image.epoch, std::memory_order_release);
+  qualified_cache_.Clear();
+  requirement_cache_.Clear();
+  substitution_cache_.Clear();
+  return Status::OK();
 }
 
 Status PolicyStore::RemoveQualification(int64_t pid) {

@@ -290,6 +290,40 @@ class PolicyStore {
   Result<std::vector<StoredPolicyGroup>> ListRequirements() const;
   Result<std::vector<StoredPolicyGroup>> ListSubstitutions() const;
 
+  // ---- Persistence (src/store snapshots) ---------------------------------
+
+  /// Raw relational image of the policy base: the exact rows of the five
+  /// §5 relations plus the id counters and the store-local epoch. Unlike
+  /// DumpPl (which renumbers PIDs on reload), importing an image
+  /// reproduces the store bit-for-bit — PIDs, groups and epoch included —
+  /// which is what crash recovery needs to be indistinguishable from
+  /// never having crashed.
+  struct Image {
+    std::vector<rel::Row> qualifications;
+    std::vector<rel::Row> policies;
+    std::vector<rel::Row> filter;
+    std::vector<rel::Row> subst_policies;
+    std::vector<rel::Row> subst_filter;
+    int64_t next_pid = 100;
+    int64_t next_group = 1;
+    uint64_t epoch = 0;
+  };
+
+  Image ExportImage() const;
+
+  /// Replaces the entire policy base with `image` (rows are re-validated
+  /// against the table schemas, so a corrupted snapshot fails cleanly),
+  /// rebuilds the planner statistics, restores the counters/epoch and
+  /// drops every cache entry — recovered state starts cold.
+  Status ImportImage(const Image& image);
+
+  /// The store-local component of epoch() (the backing OrgModel
+  /// contributes its hierarchy versions on top). Snapshots persist this
+  /// so a recovered store resumes at the epoch it crashed at.
+  uint64_t local_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
   /// Removes a qualification policy by PID.
   Status RemoveQualification(int64_t pid);
   /// Removes every row (and its intervals) of a requirement group.

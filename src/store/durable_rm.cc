@@ -1,0 +1,400 @@
+#include "store/durable_rm.h"
+
+#include <chrono>
+#include <filesystem>
+#include <utility>
+
+#include "org/rdl_dump.h"
+#include "org/rdl_parser.h"
+
+namespace wfrm::store {
+
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+DurableResourceManager::DurableResourceManager(std::string dir,
+                                               DurableOptions options)
+    : dir_(std::move(dir)), options_(std::move(options)) {
+  org_ = std::make_unique<org::OrgModel>();
+  store_ = std::make_unique<policy::PolicyStore>(org_.get());
+  obs::MetricsRegistry* reg = options_.rm_options.metrics;
+  if (reg != nullptr) {
+    store_->set_metrics(reg);
+    metrics_.wal_appends = reg->GetCounter(
+        "wfrm_store_wal_appends_total", {}, "WAL records appended.");
+    metrics_.wal_bytes = reg->GetCounter("wfrm_store_wal_bytes_total", {},
+                                         "WAL bytes written (framed).");
+    metrics_.wal_syncs = reg->GetCounter("wfrm_store_wal_syncs_total", {},
+                                         "WAL fsync calls issued.");
+    metrics_.wal_truncations =
+        reg->GetCounter("wfrm_store_wal_truncations_total", {},
+                        "WAL truncations after successful snapshots.");
+    metrics_.snapshots = reg->GetCounter("wfrm_store_snapshots_total", {},
+                                         "Snapshots committed.");
+    metrics_.replayed_records =
+        reg->GetCounter("wfrm_store_replayed_records_total", {},
+                        "WAL records re-applied during recovery.");
+    metrics_.replay_latency = reg->GetHistogram(
+        "wfrm_store_replay_micros", obs::Histogram::LatencyBucketsMicros(), {},
+        "Open() recovery time (snapshot load + WAL replay) in microseconds.");
+  }
+  rm_ = std::make_unique<core::ResourceManager>(org_.get(), store_.get(),
+                                                options_.rm_options);
+}
+
+DurableResourceManager::~DurableResourceManager() = default;
+
+Result<std::unique_ptr<DurableResourceManager>> DurableResourceManager::Open(
+    const std::string& dir, DurableOptions options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::ExecutionError("cannot create durable home " + dir + ": " +
+                                  ec.message());
+  }
+  std::unique_ptr<DurableResourceManager> d(
+      new DurableResourceManager(dir, std::move(options)));
+  WFRM_RETURN_NOT_OK(d->Recover());
+  return d;
+}
+
+Status DurableResourceManager::SaveWorld(const std::string& dir,
+                                         const org::OrgModel& org,
+                                         const policy::PolicyStore& store,
+                                         const core::ResourceManager& rm) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::ExecutionError("cannot create durable home " + dir + ": " +
+                                  ec.message());
+  }
+  SnapshotData data;
+  WFRM_ASSIGN_OR_RETURN(data.rdl_text, org::DumpRdl(org));
+  data.policy_image = store.ExportImage();
+  data.leases = rm.ListLeases();
+  data.next_lease_id = rm.next_lease_id();
+  data.last_seq = 0;
+  WFRM_RETURN_NOT_OK(WriteSnapshot(dir + "/snapshot.dat", data));
+  // Start with an empty log: the snapshot is the whole history.
+  WalWriter wal;
+  WFRM_RETURN_NOT_OK(
+      wal.Open(dir + "/wal.log", FsyncMode::kOff, 0, /*valid_bytes=*/0));
+  return wal.Sync();
+}
+
+// ---- Recovery ---------------------------------------------------------------
+
+Status DurableResourceManager::Recover() {
+  const int64_t start = NowMicros();
+
+  Result<SnapshotData> snapshot = ReadSnapshot(SnapshotPath());
+  if (snapshot.ok()) {
+    // The snapshot's RDL dump always re-executes cleanly against a
+    // fresh org; failure means the snapshot lies about its own state.
+    WFRM_RETURN_NOT_OK(org::ExecuteRdl(snapshot->rdl_text, org_.get()));
+    WFRM_RETURN_NOT_OK(store_->ImportImage(snapshot->policy_image));
+    for (const core::Lease& lease : snapshot->leases) {
+      WFRM_RETURN_NOT_OK(rm_->RestoreLease(lease));
+    }
+    rm_->AdvanceLeaseId(snapshot->next_lease_id);
+    seq_ = snapshot->last_seq;
+    recovery_.snapshot_loaded = true;
+    recovery_.snapshot_seq = snapshot->last_seq;
+  } else if (snapshot.status().code() != StatusCode::kNotFound) {
+    return snapshot.status();
+  }
+
+  WFRM_ASSIGN_OR_RETURN(WalScan scan, ReadWal(WalPath()));
+  uint64_t good_bytes = 0;
+  for (const std::string& payload : scan.payloads) {
+    Result<Record> record = DecodeRecord(payload);
+    if (!record.ok()) {
+      // A CRC-valid but undecodable record: version skew or silent
+      // corruption. Cut history here, exactly like a torn tail.
+      recovery_.torn_tail = true;
+      break;
+    }
+    if (record->seq <= recovery_.snapshot_seq && recovery_.snapshot_loaded) {
+      // Already inside the snapshot — the crash hit between
+      // snapshot-rename and WAL-truncation.
+      ++recovery_.wal_records_skipped;
+    } else {
+      ApplyRecord(*record);
+      seq_ = record->seq;
+      ++recovery_.wal_records_replayed;
+    }
+    good_bytes += 8 + payload.size();
+  }
+  recovery_.torn_tail = recovery_.torn_tail || scan.torn_tail;
+
+  // Reopen for appends, cutting off whatever tail was not replayable.
+  WFRM_RETURN_NOT_OK(wal_.Open(WalPath(), options_.fsync_mode,
+                               options_.fsync_interval_records,
+                               static_cast<int64_t>(good_bytes)));
+
+  recovery_.replay_micros = NowMicros() - start;
+  if (metrics_.replayed_records != nullptr) {
+    metrics_.replayed_records->Increment(recovery_.wal_records_replayed);
+  }
+  if (metrics_.replay_latency != nullptr) {
+    metrics_.replay_latency->Observe(
+        static_cast<double>(recovery_.replay_micros));
+  }
+  return Status::OK();
+}
+
+void DurableResourceManager::ApplyRecord(const Record& record) {
+  // Replay reruns history faithfully: an operation that failed (or
+  // partially applied — RDL scripts abort at the first bad statement)
+  // when first journaled fails identically here, so its status is
+  // deliberately ignored. The parsers return clean errors on any
+  // malformed text, so a damaged record degrades to a no-op rather
+  // than poisoning recovery.
+  switch (record.type) {
+    case RecordType::kRdl:
+      (void)org::ExecuteRdl(record.text, org_.get());
+      break;
+    case RecordType::kPl:
+      (void)store_->AddPolicyText(record.text);
+      break;
+    case RecordType::kRemoveQualification:
+      (void)store_->RemoveQualification(record.id);
+      break;
+    case RecordType::kRemoveRequirementGroup:
+      (void)store_->RemoveRequirementGroup(record.id);
+      break;
+    case RecordType::kRemoveSubstitutionGroup:
+      (void)store_->RemoveSubstitutionGroup(record.id);
+      break;
+    case RecordType::kLeaseAcquire:
+    case RecordType::kLeaseRenew:
+      (void)rm_->RestoreLease(record.lease);
+      break;
+    case RecordType::kLeaseRelease:
+      (void)rm_->Release(record.lease);
+      break;
+  }
+}
+
+// ---- Journaling -------------------------------------------------------------
+
+void DurableResourceManager::ReportSyncsLocked() {
+  uint64_t total = wal_.syncs();
+  if (metrics_.wal_syncs != nullptr && total > syncs_reported_) {
+    metrics_.wal_syncs->Increment(total - syncs_reported_);
+  }
+  syncs_reported_ = total;
+}
+
+Status DurableResourceManager::JournalLocked(Record record) {
+  record.seq = ++seq_;
+  std::string payload = EncodeRecord(record);
+  WFRM_RETURN_NOT_OK(wal_.Append(payload));
+  if (metrics_.wal_appends != nullptr) metrics_.wal_appends->Increment();
+  if (metrics_.wal_bytes != nullptr) {
+    metrics_.wal_bytes->Increment(payload.size() + 8);
+  }
+  ReportSyncsLocked();
+  ++records_since_checkpoint_;
+  return Status::OK();
+}
+
+Status DurableResourceManager::MaybeCheckpointLocked() {
+  // Runs only after the journaled mutation has been applied — a
+  // checkpoint taken between journal and apply would stamp the record's
+  // seq on a snapshot that lacks its effect, then truncate the record.
+  if (options_.snapshot_every_records == 0 ||
+      records_since_checkpoint_ < options_.snapshot_every_records) {
+    return Status::OK();
+  }
+  return CheckpointLocked();
+}
+
+Status DurableResourceManager::ExecuteRdl(std::string_view rdl_text) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  // Journal before apply: an RDL script that aborts mid-way still
+  // mutated the org, and replay must reproduce exactly that partial
+  // effect (redo-logging, DESIGN.md §10).
+  Record record;
+  record.type = RecordType::kRdl;
+  record.text = std::string(rdl_text);
+  WFRM_RETURN_NOT_OK(JournalLocked(std::move(record)));
+  Status applied = org::ExecuteRdl(rdl_text, org_.get());
+  Status checkpointed = MaybeCheckpointLocked();
+  return applied.ok() ? checkpointed : applied;
+}
+
+Status DurableResourceManager::AddPolicyText(std::string_view pl_text) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  Record record;
+  record.type = RecordType::kPl;
+  record.text = std::string(pl_text);
+  WFRM_RETURN_NOT_OK(JournalLocked(std::move(record)));
+  Status applied = store_->AddPolicyText(pl_text);
+  Status checkpointed = MaybeCheckpointLocked();
+  return applied.ok() ? checkpointed : applied;
+}
+
+Status DurableResourceManager::RemoveQualification(int64_t pid) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  Record record;
+  record.type = RecordType::kRemoveQualification;
+  record.id = pid;
+  WFRM_RETURN_NOT_OK(JournalLocked(std::move(record)));
+  Status applied = store_->RemoveQualification(pid);
+  Status checkpointed = MaybeCheckpointLocked();
+  return applied.ok() ? checkpointed : applied;
+}
+
+Status DurableResourceManager::RemoveRequirementGroup(int64_t group) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  Record record;
+  record.type = RecordType::kRemoveRequirementGroup;
+  record.id = group;
+  WFRM_RETURN_NOT_OK(JournalLocked(std::move(record)));
+  Status applied = store_->RemoveRequirementGroup(group);
+  Status checkpointed = MaybeCheckpointLocked();
+  return applied.ok() ? checkpointed : applied;
+}
+
+Status DurableResourceManager::RemoveSubstitutionGroup(int64_t group) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  Record record;
+  record.type = RecordType::kRemoveSubstitutionGroup;
+  record.id = group;
+  WFRM_RETURN_NOT_OK(JournalLocked(std::move(record)));
+  Status applied = store_->RemoveSubstitutionGroup(group);
+  Status checkpointed = MaybeCheckpointLocked();
+  return applied.ok() ? checkpointed : applied;
+}
+
+Result<core::Lease> DurableResourceManager::Acquire(std::string_view rql_text) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  // Lease ops journal after apply: the record carries the *outcome*
+  // (which resource, which id), which does not exist beforehand. The
+  // crash window loses only unacknowledged grants.
+  WFRM_ASSIGN_OR_RETURN(core::Lease lease, rm_->Acquire(rql_text));
+  Record record;
+  record.type = RecordType::kLeaseAcquire;
+  record.lease = lease;
+  Status journaled = JournalLocked(std::move(record));
+  if (!journaled.ok()) {
+    (void)rm_->Release(lease);  // Keep state ⊆ journal.
+    return journaled;
+  }
+  (void)MaybeCheckpointLocked();
+  return lease;
+}
+
+Result<core::Lease> DurableResourceManager::AllocateLease(
+    const org::ResourceRef& ref) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  WFRM_ASSIGN_OR_RETURN(core::Lease lease, rm_->AllocateLease(ref));
+  Record record;
+  record.type = RecordType::kLeaseAcquire;
+  record.lease = lease;
+  Status journaled = JournalLocked(std::move(record));
+  if (!journaled.ok()) {
+    (void)rm_->Release(lease);
+    return journaled;
+  }
+  (void)MaybeCheckpointLocked();
+  return lease;
+}
+
+Status DurableResourceManager::Release(const core::Lease& lease) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  WFRM_RETURN_NOT_OK(rm_->Release(lease));
+  Record record;
+  record.type = RecordType::kLeaseRelease;
+  record.lease = lease;
+  WFRM_RETURN_NOT_OK(JournalLocked(std::move(record)));
+  return MaybeCheckpointLocked();
+}
+
+Status DurableResourceManager::Release(const org::ResourceRef& ref) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  std::optional<core::Lease> lease = rm_->FindLease(ref);
+  WFRM_RETURN_NOT_OK(rm_->Release(ref));
+  Record record;
+  record.type = RecordType::kLeaseRelease;
+  record.lease = lease ? *lease : core::Lease{ref, 0, core::Lease::kNoExpiry};
+  WFRM_RETURN_NOT_OK(JournalLocked(std::move(record)));
+  return MaybeCheckpointLocked();
+}
+
+Result<core::Lease> DurableResourceManager::RenewLease(
+    const core::Lease& lease) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  WFRM_ASSIGN_OR_RETURN(core::Lease renewed, rm_->RenewLease(lease));
+  Record record;
+  record.type = RecordType::kLeaseRenew;
+  record.lease = renewed;
+  WFRM_RETURN_NOT_OK(JournalLocked(std::move(record)));
+  (void)MaybeCheckpointLocked();
+  return renewed;
+}
+
+size_t DurableResourceManager::ReapExpired() {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  std::vector<core::Lease> reaped = rm_->ReapExpiredLeases();
+  for (const core::Lease& lease : reaped) {
+    Record record;
+    record.type = RecordType::kLeaseRelease;
+    record.lease = lease;
+    // Best-effort: a journal error here cannot un-reap; the lease had
+    // already expired, so replay reaching a live-looking grant is
+    // still safe (its deadline is in the past).
+    (void)JournalLocked(std::move(record));
+  }
+  (void)MaybeCheckpointLocked();
+  return reaped.size();
+}
+
+// ---- Checkpointing ----------------------------------------------------------
+
+SnapshotData DurableResourceManager::CaptureLocked() const {
+  SnapshotData data;
+  data.last_seq = seq_;
+  data.policy_image = store_->ExportImage();
+  data.leases = rm_->ListLeases();
+  data.next_lease_id = rm_->next_lease_id();
+  return data;
+}
+
+Status DurableResourceManager::CheckpointLocked() {
+  SnapshotData data = CaptureLocked();
+  WFRM_ASSIGN_OR_RETURN(data.rdl_text, org::DumpRdl(*org_));
+
+  const std::string tmp = SnapshotPath() + ".tmp";
+  WFRM_RETURN_NOT_OK(WriteSnapshotFile(tmp, data));
+  if (options_.crash_point == CheckpointCrashPoint::kAfterTmpWrite) {
+    return Status::OK();  // Simulated crash: tmp written, not committed.
+  }
+  WFRM_RETURN_NOT_OK(CommitSnapshot(tmp, SnapshotPath()));
+  if (metrics_.snapshots != nullptr) metrics_.snapshots->Increment();
+  if (options_.crash_point == CheckpointCrashPoint::kAfterRename) {
+    return Status::OK();  // Simulated crash: snapshot live, WAL untruncated.
+  }
+  WFRM_RETURN_NOT_OK(wal_.Truncate());
+  if (metrics_.wal_truncations != nullptr) {
+    metrics_.wal_truncations->Increment();
+  }
+  ReportSyncsLocked();
+  records_since_checkpoint_ = 0;
+  return Status::OK();
+}
+
+Status DurableResourceManager::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  return CheckpointLocked();
+}
+
+}  // namespace wfrm::store

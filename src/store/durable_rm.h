@@ -1,0 +1,181 @@
+#ifndef WFRM_STORE_DURABLE_RM_H_
+#define WFRM_STORE_DURABLE_RM_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/resource_manager.h"
+#include "obs/metrics.h"
+#include "org/org_model.h"
+#include "policy/policy_store.h"
+#include "store/record.h"
+#include "store/snapshot.h"
+#include "store/wal.h"
+
+namespace wfrm::store {
+
+/// Crash-injection seam for Checkpoint(): stop after the named stage and
+/// return, leaving the directory exactly as a crash at that instant
+/// would. Tests reopen the store and verify recovery; production always
+/// uses kNone.
+enum class CheckpointCrashPoint {
+  kNone,
+  /// Snapshot bytes written and fsynced to `.tmp`, rename not issued:
+  /// recovery must ignore the tmp file and replay the full WAL.
+  kAfterTmpWrite,
+  /// Snapshot renamed into place, WAL not yet truncated: recovery must
+  /// load the snapshot and skip the (already-included) WAL records by
+  /// sequence number instead of applying them twice.
+  kAfterRename,
+};
+
+struct DurableOptions {
+  FsyncMode fsync_mode = FsyncMode::kInterval;
+  /// kInterval: fsync the WAL every this many appends.
+  size_t fsync_interval_records = 64;
+  /// Automatic checkpoint every this many WAL records; 0 = only when
+  /// Checkpoint() is called.
+  size_t snapshot_every_records = 0;
+  CheckpointCrashPoint crash_point = CheckpointCrashPoint::kNone;
+  /// Passed through to the recovered ResourceManager (clock, lease
+  /// duration, allocation strategy, metrics, ...). When `metrics` is
+  /// set the policy store is attached to the same registry and the
+  /// WAL/snapshot/replay instruments are registered there too.
+  core::ResourceManagerOptions rm_options;
+};
+
+/// What Open() did to get back to the pre-crash state.
+struct RecoveryInfo {
+  bool snapshot_loaded = false;
+  uint64_t snapshot_seq = 0;
+  size_t wal_records_replayed = 0;
+  /// Records already covered by the snapshot (seq <= snapshot_seq) — a
+  /// crash between snapshot-rename and WAL-truncation leaves these.
+  size_t wal_records_skipped = 0;
+  bool torn_tail = false;
+  int64_t replay_micros = 0;
+};
+
+/// The durable shell around the in-memory resource manager stack: an
+/// OrgModel + PolicyStore + ResourceManager whose every mutation is
+/// journaled to an append-only WAL, checkpointed into snapshots, and
+/// reconstructed by Open() after a crash (DESIGN.md §10).
+///
+/// Journaling is redo-only. Text and remove operations journal BEFORE
+/// apply: replay feeds the identical statement to the identical
+/// deterministic engine, so even a partially-applied script reproduces
+/// exactly (replay ignores apply errors for the same reason). Lease
+/// operations journal AFTER apply, because their records carry concrete
+/// outcomes (resource, id, deadline) rather than the RQL that produced
+/// them — recovery never re-runs enforcement against a policy base that
+/// may differ mid-replay; a failed append rolls the acquisition back.
+///
+/// Mutations are serialized by an internal mutex (journal order must
+/// equal apply order); reads delegate to the underlying objects, which
+/// are internally synchronized.
+class DurableResourceManager {
+ public:
+  /// Opens (or creates) the durable home `dir`, reconstructing state
+  /// from `dir`/snapshot.dat plus the `dir`/wal.log tail. A torn final
+  /// WAL record is cut off; a corrupt snapshot is an error.
+  static Result<std::unique_ptr<DurableResourceManager>> Open(
+      const std::string& dir, DurableOptions options = {});
+
+  /// Captures a fresh durable home at `dir` from an existing in-memory
+  /// world — the shell's `save` for a session that started volatile.
+  /// Open(dir) afterwards reconstructs this exact state.
+  static Status SaveWorld(const std::string& dir, const org::OrgModel& org,
+                          const policy::PolicyStore& store,
+                          const core::ResourceManager& rm);
+
+  ~DurableResourceManager();
+
+  // ---- Journaled mutations ---------------------------------------------
+
+  Status ExecuteRdl(std::string_view rdl_text);
+  Status AddPolicyText(std::string_view pl_text);
+  Status RemoveQualification(int64_t pid);
+  Status RemoveRequirementGroup(int64_t group);
+  Status RemoveSubstitutionGroup(int64_t group);
+
+  Result<core::Lease> Acquire(std::string_view rql_text);
+  Result<core::Lease> AllocateLease(const org::ResourceRef& ref);
+  Status Release(const core::Lease& lease);
+  /// Releases whatever lease currently holds `ref`.
+  Status Release(const org::ResourceRef& ref);
+  Result<core::Lease> RenewLease(const core::Lease& lease);
+  size_t ReapExpired();
+
+  // ---- Checkpointing ----------------------------------------------------
+
+  /// Snapshots the current state (atomic tmp+rename) and truncates the
+  /// WAL. Startup cost becomes one snapshot load plus whatever tail
+  /// accumulates afterwards.
+  Status Checkpoint();
+
+  // ---- Access -----------------------------------------------------------
+
+  org::OrgModel& org() { return *org_; }
+  policy::PolicyStore& store() { return *store_; }
+  core::ResourceManager& rm() { return *rm_; }
+  const core::ResourceManager& rm() const { return *rm_; }
+
+  const RecoveryInfo& recovery_info() const { return recovery_; }
+  const std::string& dir() const { return dir_; }
+  uint64_t last_seq() const { return seq_; }
+  uint64_t wal_bytes() const { return wal_.bytes_written(); }
+
+ private:
+  DurableResourceManager(std::string dir, DurableOptions options);
+
+  Status Recover();
+  /// Applies one replayed WAL record to the in-memory state.
+  void ApplyRecord(const Record& record);
+  /// Forwards new WalWriter syncs to the wal_syncs counter.
+  void ReportSyncsLocked();
+  /// Journals one record for a mutation that just succeeded; assigns
+  /// the next sequence number. Caller holds mutate_mu_.
+  Status JournalLocked(Record record);
+  /// Auto-checkpoint trigger; called after a journaled mutation has
+  /// been applied (never between journal and apply — the snapshot would
+  /// claim a seq whose effect it lacks, and truncation would lose it).
+  Status MaybeCheckpointLocked();
+  Status CheckpointLocked();
+  SnapshotData CaptureLocked() const;
+
+  std::string WalPath() const { return dir_ + "/wal.log"; }
+  std::string SnapshotPath() const { return dir_ + "/snapshot.dat"; }
+
+  std::string dir_;
+  DurableOptions options_;
+  std::unique_ptr<org::OrgModel> org_;
+  std::unique_ptr<policy::PolicyStore> store_;
+  std::unique_ptr<core::ResourceManager> rm_;
+
+  std::mutex mutate_mu_;
+  WalWriter wal_;
+  uint64_t seq_ = 0;
+  size_t records_since_checkpoint_ = 0;
+  uint64_t syncs_reported_ = 0;
+  RecoveryInfo recovery_;
+
+  /// Null when no registry is configured.
+  struct Instruments {
+    obs::Counter* wal_appends = nullptr;
+    obs::Counter* wal_bytes = nullptr;
+    obs::Counter* wal_syncs = nullptr;
+    obs::Counter* wal_truncations = nullptr;
+    obs::Counter* snapshots = nullptr;
+    obs::Counter* replayed_records = nullptr;
+    obs::Histogram* replay_latency = nullptr;
+  };
+  Instruments metrics_;
+};
+
+}  // namespace wfrm::store
+
+#endif  // WFRM_STORE_DURABLE_RM_H_

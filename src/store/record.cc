@@ -1,0 +1,207 @@
+#include "store/record.h"
+
+#include <cstring>
+
+namespace wfrm::store {
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFU));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFU));
+  }
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  AppendU64(out, static_cast<uint64_t>(v));
+}
+
+void AppendString(std::string* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool ReadU32(std::string_view* in, uint32_t* v) {
+  if (in->size() < 4) return false;
+  uint32_t r = 0;
+  for (int i = 3; i >= 0; --i) {
+    r = (r << 8) | static_cast<uint8_t>((*in)[i]);
+  }
+  *v = r;
+  in->remove_prefix(4);
+  return true;
+}
+
+bool ReadU64(std::string_view* in, uint64_t* v) {
+  if (in->size() < 8) return false;
+  uint64_t r = 0;
+  for (int i = 7; i >= 0; --i) {
+    r = (r << 8) | static_cast<uint8_t>((*in)[i]);
+  }
+  *v = r;
+  in->remove_prefix(8);
+  return true;
+}
+
+bool ReadI64(std::string_view* in, int64_t* v) {
+  uint64_t u = 0;
+  if (!ReadU64(in, &u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool ReadString(std::string_view* in, std::string* s) {
+  uint32_t length = 0;
+  if (!ReadU32(in, &length) || in->size() < length) return false;
+  s->assign(in->data(), length);
+  in->remove_prefix(length);
+  return true;
+}
+
+void AppendValue(std::string* out, const rel::Value& v) {
+  if (v.is_null()) {
+    out->push_back('N');
+  } else if (v.is_bool()) {
+    out->push_back(v.bool_value() ? '1' : '0');
+  } else if (v.is_int()) {
+    out->push_back('i');
+    AppendI64(out, v.int_value());
+  } else if (v.is_double()) {
+    out->push_back('d');
+    uint64_t bits = 0;
+    double d = v.double_value();
+    std::memcpy(&bits, &d, sizeof(bits));
+    AppendU64(out, bits);
+  } else {
+    out->push_back('s');
+    AppendString(out, v.string_value());
+  }
+}
+
+bool ReadValue(std::string_view* in, rel::Value* v) {
+  if (in->empty()) return false;
+  char tag = in->front();
+  in->remove_prefix(1);
+  switch (tag) {
+    case 'N':
+      *v = rel::Value::Null();
+      return true;
+    case '0':
+    case '1':
+      *v = rel::Value::Bool(tag == '1');
+      return true;
+    case 'i': {
+      int64_t i = 0;
+      if (!ReadI64(in, &i)) return false;
+      *v = rel::Value::Int(i);
+      return true;
+    }
+    case 'd': {
+      uint64_t bits = 0;
+      if (!ReadU64(in, &bits)) return false;
+      double d = 0;
+      std::memcpy(&d, &bits, sizeof(d));
+      *v = rel::Value::Double(d);
+      return true;
+    }
+    case 's': {
+      std::string s;
+      if (!ReadString(in, &s)) return false;
+      *v = rel::Value::String(std::move(s));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void AppendRow(std::string* out, const rel::Row& row) {
+  AppendU32(out, static_cast<uint32_t>(row.size()));
+  for (const rel::Value& v : row) AppendValue(out, v);
+}
+
+bool ReadRow(std::string_view* in, rel::Row* row) {
+  uint32_t n = 0;
+  if (!ReadU32(in, &n)) return false;
+  row->clear();
+  row->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    rel::Value v;
+    if (!ReadValue(in, &v)) return false;
+    row->push_back(std::move(v));
+  }
+  return true;
+}
+
+std::string EncodeRecord(const Record& record) {
+  std::string out;
+  AppendU64(&out, record.seq);
+  out.push_back(static_cast<char>(record.type));
+  switch (record.type) {
+    case RecordType::kRdl:
+    case RecordType::kPl:
+      AppendString(&out, record.text);
+      break;
+    case RecordType::kRemoveQualification:
+    case RecordType::kRemoveRequirementGroup:
+    case RecordType::kRemoveSubstitutionGroup:
+      AppendI64(&out, record.id);
+      break;
+    case RecordType::kLeaseAcquire:
+    case RecordType::kLeaseRenew:
+    case RecordType::kLeaseRelease:
+      AppendString(&out, record.lease.resource.type);
+      AppendString(&out, record.lease.resource.id);
+      AppendU64(&out, record.lease.id);
+      AppendI64(&out, record.lease.deadline_micros);
+      break;
+  }
+  return out;
+}
+
+Result<Record> DecodeRecord(std::string_view payload) {
+  Record record;
+  std::string_view in = payload;
+  uint8_t type = 0;
+  if (!ReadU64(&in, &record.seq) || in.empty()) {
+    return Status::ExecutionError("WAL record header truncated");
+  }
+  type = static_cast<uint8_t>(in.front());
+  in.remove_prefix(1);
+  if (type < static_cast<uint8_t>(RecordType::kRdl) ||
+      type > static_cast<uint8_t>(RecordType::kLeaseRelease)) {
+    return Status::ExecutionError("unknown WAL record type " +
+                                  std::to_string(type));
+  }
+  record.type = static_cast<RecordType>(type);
+  bool ok = true;
+  switch (record.type) {
+    case RecordType::kRdl:
+    case RecordType::kPl:
+      ok = ReadString(&in, &record.text);
+      break;
+    case RecordType::kRemoveQualification:
+    case RecordType::kRemoveRequirementGroup:
+    case RecordType::kRemoveSubstitutionGroup:
+      ok = ReadI64(&in, &record.id);
+      break;
+    case RecordType::kLeaseAcquire:
+    case RecordType::kLeaseRenew:
+    case RecordType::kLeaseRelease:
+      ok = ReadString(&in, &record.lease.resource.type) &&
+           ReadString(&in, &record.lease.resource.id) &&
+           ReadU64(&in, &record.lease.id) &&
+           ReadI64(&in, &record.lease.deadline_micros);
+      break;
+  }
+  if (!ok || !in.empty()) {
+    return Status::ExecutionError("malformed WAL record payload");
+  }
+  return record;
+}
+
+}  // namespace wfrm::store

@@ -1,0 +1,76 @@
+#ifndef WFRM_STORE_RECORD_H_
+#define WFRM_STORE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/resource_manager.h"
+#include "rel/schema.h"
+
+namespace wfrm::store {
+
+/// One journaled mutation. Every mutation through the durable facade is
+/// exactly one WAL record (a reap pass is one release record per lease
+/// reclaimed), so the prefix of records that survives a crash is a
+/// prefix of the mutation history.
+enum class RecordType : uint8_t {
+  /// RDL text (hierarchy edits, resource registration) — replayed
+  /// through ExecuteRdl.
+  kRdl = 1,
+  /// PL text (policy add) — replayed through AddPolicyText.
+  kPl = 2,
+  kRemoveQualification = 3,    // id = PID
+  kRemoveRequirementGroup = 4,  // id = GroupID
+  kRemoveSubstitutionGroup = 5,
+  /// Lease grant: the concrete outcome (resource, id, deadline), not
+  /// the RQL that produced it — replay must not re-run enforcement.
+  kLeaseAcquire = 6,
+  kLeaseRenew = 7,  // Same fields; replay overwrites the grant.
+  kLeaseRelease = 8,
+};
+
+struct Record {
+  /// Monotone sequence number. Snapshots remember the last applied seq;
+  /// replay skips records at or below it, which is what makes a crash
+  /// between snapshot-rename and WAL-truncation safe (no double-apply).
+  uint64_t seq = 0;
+  RecordType type = RecordType::kRdl;
+
+  std::string text;  // kRdl / kPl statement text.
+  int64_t id = 0;    // Remove*: PID or GroupID.
+  core::Lease lease;  // kLease* payload.
+};
+
+/// Serializes `record` into a WAL payload (the framing layer adds the
+/// length prefix and checksum).
+std::string EncodeRecord(const Record& record);
+
+/// Inverse of EncodeRecord; fails with ExecutionError on malformed or
+/// truncated payloads (a CRC-valid frame normally cannot be malformed —
+/// this guards against version skew and snapshot corruption).
+Result<Record> DecodeRecord(std::string_view payload);
+
+// ---- Field primitives (shared with the snapshot codec) -----------------
+
+void AppendU32(std::string* out, uint32_t v);
+void AppendU64(std::string* out, uint64_t v);
+void AppendI64(std::string* out, int64_t v);
+void AppendString(std::string* out, std::string_view s);
+void AppendValue(std::string* out, const rel::Value& v);
+void AppendRow(std::string* out, const rel::Row& row);
+
+/// Cursor-style readers: consume from the front of `*in`; false on
+/// underrun or malformed input.
+bool ReadU32(std::string_view* in, uint32_t* v);
+bool ReadU64(std::string_view* in, uint64_t* v);
+bool ReadI64(std::string_view* in, int64_t* v);
+bool ReadString(std::string_view* in, std::string* s);
+bool ReadValue(std::string_view* in, rel::Value* v);
+bool ReadRow(std::string_view* in, rel::Row* row);
+
+}  // namespace wfrm::store
+
+#endif  // WFRM_STORE_RECORD_H_

@@ -1,0 +1,213 @@
+#include "store/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "store/record.h"
+#include "store/wal.h"
+
+namespace wfrm::store {
+
+namespace {
+
+/// Section tags: the snapshot is a short log of sections, each one
+/// framed record. Unknown sections fail the read — the format is
+/// versioned by the magic string.
+constexpr char kMagic[] = "wfrm-snapshot-v1";
+constexpr uint8_t kSectionHeader = 1;
+constexpr uint8_t kSectionRdl = 2;
+constexpr uint8_t kSectionTable = 3;
+constexpr uint8_t kSectionLeases = 4;
+constexpr uint8_t kSectionEnd = 5;
+
+void AppendTableSection(std::string* out, std::string_view name,
+                        const std::vector<rel::Row>& rows) {
+  out->push_back(static_cast<char>(kSectionTable));
+  AppendString(out, name);
+  AppendU32(out, static_cast<uint32_t>(rows.size()));
+  for (const rel::Row& row : rows) AppendRow(out, row);
+}
+
+Status Corrupt(const std::string& path, const char* what) {
+  return Status::ExecutionError("snapshot " + path + " is corrupt: " + what);
+}
+
+}  // namespace
+
+Status WriteSnapshotFile(const std::string& path, const SnapshotData& data) {
+  {
+    WalWriter writer;
+    // Sync decisions are made explicitly below; per-record fsync would
+    // only slow the burst down.
+    WFRM_RETURN_NOT_OK(
+        writer.Open(path, FsyncMode::kOff, 0, /*valid_bytes=*/0));
+
+    std::string header;
+    header.push_back(static_cast<char>(kSectionHeader));
+    AppendString(&header, kMagic);
+    AppendU64(&header, data.last_seq);
+    AppendU64(&header, data.next_lease_id);
+    AppendI64(&header, data.policy_image.next_pid);
+    AppendI64(&header, data.policy_image.next_group);
+    AppendU64(&header, data.policy_image.epoch);
+    WFRM_RETURN_NOT_OK(writer.Append(header));
+
+    std::string rdl;
+    rdl.push_back(static_cast<char>(kSectionRdl));
+    AppendString(&rdl, data.rdl_text);
+    WFRM_RETURN_NOT_OK(writer.Append(rdl));
+
+    const auto& img = data.policy_image;
+    std::string tables;
+    AppendTableSection(&tables, "Qualifications", img.qualifications);
+    WFRM_RETURN_NOT_OK(writer.Append(tables));
+    tables.clear();
+    AppendTableSection(&tables, "Policies", img.policies);
+    WFRM_RETURN_NOT_OK(writer.Append(tables));
+    tables.clear();
+    AppendTableSection(&tables, "Filter", img.filter);
+    WFRM_RETURN_NOT_OK(writer.Append(tables));
+    tables.clear();
+    AppendTableSection(&tables, "SubstPolicies", img.subst_policies);
+    WFRM_RETURN_NOT_OK(writer.Append(tables));
+    tables.clear();
+    AppendTableSection(&tables, "SubstFilter", img.subst_filter);
+    WFRM_RETURN_NOT_OK(writer.Append(tables));
+
+    std::string leases;
+    leases.push_back(static_cast<char>(kSectionLeases));
+    AppendU32(&leases, static_cast<uint32_t>(data.leases.size()));
+    for (const core::Lease& lease : data.leases) {
+      AppendString(&leases, lease.resource.type);
+      AppendString(&leases, lease.resource.id);
+      AppendU64(&leases, lease.id);
+      AppendI64(&leases, lease.deadline_micros);
+    }
+    WFRM_RETURN_NOT_OK(writer.Append(leases));
+
+    std::string end(1, static_cast<char>(kSectionEnd));
+    WFRM_RETURN_NOT_OK(writer.Append(end));
+    // The contents must be durable before a rename commits them.
+    WFRM_RETURN_NOT_OK(writer.Sync());
+  }
+  return Status::OK();
+}
+
+Status CommitSnapshot(const std::string& tmp_path,
+                      const std::string& final_path) {
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return Status::ExecutionError("cannot commit snapshot " + final_path +
+                                  ": " + std::strerror(errno));
+  }
+  // Make the rename itself durable (directory entry update).
+  std::string dir = final_path;
+  size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+Status WriteSnapshot(const std::string& path, const SnapshotData& data) {
+  WFRM_RETURN_NOT_OK(WriteSnapshotFile(path + ".tmp", data));
+  return CommitSnapshot(path + ".tmp", path);
+}
+
+Result<SnapshotData> ReadSnapshot(const std::string& path) {
+  {
+    // Distinguish "no snapshot yet" from "snapshot unreadable".
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0 && errno == ENOENT) {
+      return Status::NotFound("no snapshot at " + path);
+    }
+    if (fd >= 0) ::close(fd);
+  }
+  WFRM_ASSIGN_OR_RETURN(WalScan scan, ReadWal(path));
+  if (scan.torn_tail) return Corrupt(path, "torn record");
+
+  SnapshotData data;
+  bool saw_header = false;
+  bool saw_end = false;
+  for (const std::string& payload : scan.payloads) {
+    std::string_view in = payload;
+    if (in.empty()) return Corrupt(path, "empty section");
+    uint8_t section = static_cast<uint8_t>(in.front());
+    in.remove_prefix(1);
+    switch (section) {
+      case kSectionHeader: {
+        std::string magic;
+        if (!ReadString(&in, &magic) || magic != kMagic) {
+          return Corrupt(path, "bad magic");
+        }
+        if (!ReadU64(&in, &data.last_seq) ||
+            !ReadU64(&in, &data.next_lease_id) ||
+            !ReadI64(&in, &data.policy_image.next_pid) ||
+            !ReadI64(&in, &data.policy_image.next_group) ||
+            !ReadU64(&in, &data.policy_image.epoch)) {
+          return Corrupt(path, "short header");
+        }
+        saw_header = true;
+        break;
+      }
+      case kSectionRdl:
+        if (!ReadString(&in, &data.rdl_text)) {
+          return Corrupt(path, "short RDL section");
+        }
+        break;
+      case kSectionTable: {
+        std::string name;
+        uint32_t count = 0;
+        if (!ReadString(&in, &name) || !ReadU32(&in, &count)) {
+          return Corrupt(path, "short table section");
+        }
+        std::vector<rel::Row>* rows = nullptr;
+        auto& img = data.policy_image;
+        if (name == "Qualifications") rows = &img.qualifications;
+        else if (name == "Policies") rows = &img.policies;
+        else if (name == "Filter") rows = &img.filter;
+        else if (name == "SubstPolicies") rows = &img.subst_policies;
+        else if (name == "SubstFilter") rows = &img.subst_filter;
+        else return Corrupt(path, "unknown table section");
+        rows->reserve(count);
+        for (uint32_t i = 0; i < count; ++i) {
+          rel::Row row;
+          if (!ReadRow(&in, &row)) return Corrupt(path, "short table row");
+          rows->push_back(std::move(row));
+        }
+        break;
+      }
+      case kSectionLeases: {
+        uint32_t count = 0;
+        if (!ReadU32(&in, &count)) return Corrupt(path, "short lease section");
+        data.leases.reserve(count);
+        for (uint32_t i = 0; i < count; ++i) {
+          core::Lease lease;
+          if (!ReadString(&in, &lease.resource.type) ||
+              !ReadString(&in, &lease.resource.id) ||
+              !ReadU64(&in, &lease.id) ||
+              !ReadI64(&in, &lease.deadline_micros)) {
+            return Corrupt(path, "short lease row");
+          }
+          data.leases.push_back(std::move(lease));
+        }
+        break;
+      }
+      case kSectionEnd:
+        saw_end = true;
+        break;
+      default:
+        return Corrupt(path, "unknown section");
+    }
+  }
+  if (!saw_header || !saw_end) return Corrupt(path, "incomplete");
+  return data;
+}
+
+}  // namespace wfrm::store

@@ -1,0 +1,52 @@
+#ifndef WFRM_STORE_SNAPSHOT_H_
+#define WFRM_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/resource_manager.h"
+#include "policy/policy_store.h"
+
+namespace wfrm::store {
+
+/// Everything a checkpoint captures: the org model as RDL text (the
+/// paper's own serialization of hierarchies/resources, §7), the policy
+/// base as a raw relational image (PIDs/epoch preserved — see
+/// PolicyStore::Image), and the live leases with their id high-water
+/// mark. `last_seq` is the WAL sequence number of the last mutation the
+/// snapshot includes; replay skips records at or below it.
+struct SnapshotData {
+  uint64_t last_seq = 0;
+  uint64_t next_lease_id = 1;
+  std::string rdl_text;
+  policy::PolicyStore::Image policy_image;
+  std::vector<core::Lease> leases;
+};
+
+/// Writes `data` to exactly `path` and fsyncs it. The file reuses the
+/// WAL record framing, so the same torn-tail detection applies. Callers
+/// normally write to a `.tmp` path and CommitSnapshot() it — the
+/// checkpoint crash seam needs the two stages separable.
+Status WriteSnapshotFile(const std::string& path, const SnapshotData& data);
+
+/// Renames `tmp_path` over `final_path` (the commit point — atomic on
+/// POSIX) and fsyncs the containing directory so the rename survives a
+/// crash.
+Status CommitSnapshot(const std::string& tmp_path,
+                      const std::string& final_path);
+
+/// WriteSnapshotFile to `path + ".tmp"` followed by CommitSnapshot: a
+/// crash mid-write leaves only a `.tmp` that recovery ignores.
+Status WriteSnapshot(const std::string& path, const SnapshotData& data);
+
+/// Reads a snapshot written by WriteSnapshot. NotFound when `path` does
+/// not exist; ExecutionError when the file exists but is corrupt (a
+/// renamed snapshot is complete by construction, so corruption means
+/// storage damage and recovery must not guess).
+Result<SnapshotData> ReadSnapshot(const std::string& path);
+
+}  // namespace wfrm::store
+
+#endif  // WFRM_STORE_SNAPSHOT_H_

@@ -1,0 +1,174 @@
+#include "store/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace wfrm::store {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFU));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  return v;
+}
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::ExecutionError(what + " " + path + ": " +
+                                std::strerror(errno));
+}
+
+}  // namespace
+
+const char* FsyncModeName(FsyncMode mode) {
+  switch (mode) {
+    case FsyncMode::kAlways:
+      return "always";
+    case FsyncMode::kInterval:
+      return "interval";
+    case FsyncMode::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+Status WalWriter::Open(const std::string& path, FsyncMode mode,
+                       size_t fsync_interval_records, int64_t valid_bytes) {
+  Close();
+  mode_ = mode;
+  fsync_interval_records_ =
+      fsync_interval_records == 0 ? 1 : fsync_interval_records;
+  appends_since_sync_ = 0;
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) return Errno("cannot open WAL", path);
+  if (valid_bytes >= 0 && ::ftruncate(fd_, valid_bytes) != 0) {
+    Status st = Errno("cannot truncate torn WAL tail of", path);
+    Close();
+    return st;
+  }
+  off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) {
+    Status st = Errno("cannot seek WAL", path);
+    Close();
+    return st;
+  }
+  offset_ = static_cast<uint64_t>(end);
+  return Status::OK();
+}
+
+Status WalWriter::Append(std::string_view payload) {
+  if (fd_ < 0) return Status::ExecutionError("WAL is not open");
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32(payload));
+  frame.append(payload);
+  // A single write keeps the frame contiguous; a crash mid-write leaves
+  // a short (hence torn, hence skipped) final record.
+  const char* p = frame.data();
+  size_t left = frame.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::ExecutionError(std::string("WAL write failed: ") +
+                                    std::strerror(errno));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  offset_ += frame.size();
+  if (mode_ == FsyncMode::kAlways) return Sync();
+  if (mode_ == FsyncMode::kInterval &&
+      ++appends_since_sync_ >= fsync_interval_records_) {
+    return Sync();
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (fd_ < 0) return Status::ExecutionError("WAL is not open");
+  appends_since_sync_ = 0;
+  ++syncs_;
+  if (::fsync(fd_) != 0) {
+    return Status::ExecutionError(std::string("WAL fsync failed: ") +
+                                  std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Truncate() {
+  if (fd_ < 0) return Status::ExecutionError("WAL is not open");
+  if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) < 0) {
+    return Status::ExecutionError(std::string("WAL truncate failed: ") +
+                                  std::strerror(errno));
+  }
+  offset_ = 0;
+  appends_since_sync_ = 0;
+  if (::fsync(fd_) != 0) {
+    return Status::ExecutionError(std::string("WAL fsync failed: ") +
+                                  std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void WalWriter::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<WalScan> ReadWal(const std::string& path) {
+  WalScan scan;
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return scan;  // A fresh store has no log yet.
+    return Errno("cannot read WAL", path);
+  }
+  std::string contents;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Errno("cannot read WAL", path);
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    contents.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  size_t pos = 0;
+  while (pos + 8 <= contents.size()) {
+    uint32_t length = GetU32(contents.data() + pos);
+    uint32_t crc = GetU32(contents.data() + pos + 4);
+    if (pos + 8 + length > contents.size()) break;  // Short final frame.
+    std::string_view payload(contents.data() + pos + 8, length);
+    if (Crc32(payload) != crc) break;  // Corrupt tail.
+    scan.payloads.emplace_back(payload);
+    pos += 8 + length;
+  }
+  scan.valid_bytes = pos;
+  scan.torn_tail = pos < contents.size();
+  return scan;
+}
+
+}  // namespace wfrm::store

@@ -1,0 +1,95 @@
+#ifndef WFRM_STORE_WAL_H_
+#define WFRM_STORE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace wfrm::store {
+
+/// When WAL appends reach the disk (the classic durability/latency
+/// trade; DESIGN.md §10).
+enum class FsyncMode {
+  /// fsync after every append — nothing acknowledged is ever lost.
+  kAlways,
+  /// fsync every `fsync_interval_records` appends — bounded loss window.
+  kInterval,
+  /// Never fsync from the writer (the OS flushes eventually) — fastest;
+  /// crash-consistency still holds, only the loss window is unbounded.
+  kOff,
+};
+
+const char* FsyncModeName(FsyncMode mode);
+
+/// Append-only log of length-prefixed, checksummed records:
+///
+///   [u32 payload_length][u32 crc32(payload)][payload bytes]
+///
+/// little-endian, no alignment padding. A record is valid only when the
+/// full frame is present and the checksum matches, so a crash mid-append
+/// leaves at most one torn final record that readers skip. The same
+/// framing serves the snapshot files (they are just logs written in one
+/// burst).
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens `path` for appending, creating it if absent. When
+  /// `valid_bytes` is non-negative the file is first truncated to that
+  /// offset — recovery cuts off a torn tail before new appends follow
+  /// it.
+  Status Open(const std::string& path, FsyncMode mode,
+              size_t fsync_interval_records, int64_t valid_bytes = -1);
+
+  /// Frames and appends one record, applying the fsync policy.
+  Status Append(std::string_view payload);
+
+  /// Forces everything appended so far to disk (checkpoint barrier).
+  Status Sync();
+
+  /// Truncates the log to empty (after a successful snapshot). The
+  /// truncation itself is fsynced regardless of mode — a checkpoint
+  /// must not be undone by a crash.
+  Status Truncate();
+
+  void Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  uint64_t bytes_written() const { return offset_; }
+  uint64_t syncs() const { return syncs_; }
+
+ private:
+  int fd_ = -1;
+  FsyncMode mode_ = FsyncMode::kInterval;
+  size_t fsync_interval_records_ = 64;
+  size_t appends_since_sync_ = 0;
+  uint64_t offset_ = 0;
+  uint64_t syncs_ = 0;
+};
+
+/// Result of scanning a log file: every decodable record payload in
+/// order, plus how the scan ended.
+struct WalScan {
+  std::vector<std::string> payloads;
+  /// Byte offset just past the last valid record — the safe truncation
+  /// point for a writer reopening this log.
+  uint64_t valid_bytes = 0;
+  /// True when trailing bytes after the last valid record were present
+  /// but undecodable (torn final record or tail corruption). Recovery
+  /// treats this as the end of history, not an error.
+  bool torn_tail = false;
+};
+
+/// Reads `path` front to back, stopping at the first frame that is
+/// incomplete or fails its checksum. A missing file yields an empty
+/// scan (a fresh store has no log yet); an unreadable file is an error.
+Result<WalScan> ReadWal(const std::string& path);
+
+}  // namespace wfrm::store
+
+#endif  // WFRM_STORE_WAL_H_

@@ -130,6 +130,40 @@ TEST_F(SubstitutionRoundsTest, RoundsApiShapesAndDedup) {
             (*rounds)[0].queries[0].ToString());
 }
 
+TEST_F(SubstitutionRoundsTest, ReassignmentAppliesSubstitutionAtMostOnce) {
+  // The recovery path (AcquireExcluding after a holder failure) runs
+  // the same pipeline as Submit, so the paper's at-most-once rule must
+  // hold there too: with the default single round, the PA → Cupertino
+  // policy may fire, but the Cupertino → Bristol policy must not be
+  // chained onto its result. bob (PA) failed, quinn (Cupertino) busy,
+  // zara (Bristol) free — reassignment must still come up empty rather
+  // than transitively offering zara.
+  ResourceManager rm(org_.get(), store_.get());
+  auto bob = rm.AllocateLease(org::ResourceRef{"Programmer", "bob"});
+  ASSERT_TRUE(bob.ok());
+  ASSERT_TRUE(rm.Allocate(org::ResourceRef{"Programmer", "quinn"}).ok());
+
+  auto reassigned = rm.AcquireExcluding(kFigure4, bob->resource);
+  EXPECT_FALSE(reassigned.ok());
+  EXPECT_TRUE(reassigned.status().IsResourceUnavailable())
+      << reassigned.status().ToString();
+}
+
+TEST_F(SubstitutionRoundsTest, ReassignmentHonorsTheConfiguredRoundBound) {
+  // Same scenario with the recursion bound raised: the second hop is
+  // now an explicit opt-in, and reassignment reaches Bristol.
+  ResourceManagerOptions options;
+  options.max_substitution_rounds = 2;
+  ResourceManager rm(org_.get(), store_.get(), options);
+  auto bob = rm.AllocateLease(org::ResourceRef{"Programmer", "bob"});
+  ASSERT_TRUE(bob.ok());
+  ASSERT_TRUE(rm.Allocate(org::ResourceRef{"Programmer", "quinn"}).ok());
+
+  auto reassigned = rm.AcquireExcluding(kFigure4, bob->resource);
+  ASSERT_TRUE(reassigned.ok()) << reassigned.status().ToString();
+  EXPECT_EQ(reassigned->resource.ToString(), "Programmer:zara");
+}
+
 TEST_F(SubstitutionRoundsTest, ZeroRoundsDisablesSubstitution) {
   ResourceManagerOptions options;
   options.max_substitution_rounds = 0;

@@ -115,6 +115,56 @@ TEST(RdlTest, SyntaxErrorsReported) {
       ExecuteRdl("Define Resource Type A; garbage", &org).IsParseError());
 }
 
+TEST(RdlTest, TruncatedStatementsFailCleanly) {
+  // Scripts cut off mid-statement (a torn write, an interrupted paste)
+  // must yield a parse Status, never a crash or partial definition.
+  for (const char* text : {
+           "Define",
+           "Define Resource",
+           "Define Resource Type",
+           "Define Resource Type T (",
+           "Define Resource Type T (a",
+           "Define Resource Type T (a Int",
+           "Define Resource Type T (a Int,",
+           "Insert Resource",
+           "Insert Resource T",
+           "Insert Resource T 'x' (a =",
+           "Insert Into",
+           "Define Relationship R (a Int",
+       }) {
+    OrgModel org;
+    Status st = ExecuteRdl(text, &org);
+    EXPECT_FALSE(st.ok()) << "accepted truncated input: " << text;
+    EXPECT_TRUE(st.IsParseError()) << st.ToString();
+    EXPECT_FALSE(st.ToString().empty());
+  }
+}
+
+TEST(RdlTest, UnknownKeywordsNameTheOffender) {
+  OrgModel org;
+  Status st = ExecuteRdl("Describe Resource Type T", &org);
+  EXPECT_TRUE(st.IsParseError());
+  st = ExecuteRdl("Define Resource Kind T", &org);
+  EXPECT_TRUE(st.IsParseError());
+  st = ExecuteRdl("Insert Activity T 'x'", &org);
+  EXPECT_TRUE(st.IsParseError());
+}
+
+TEST(RdlTest, FailedScriptAppliesNothingAfterTheBadStatement) {
+  // Execution is statement-at-a-time: everything before the failure
+  // sticks, nothing after it runs — the contract WAL replay relies on
+  // to reproduce partially-applied scripts deterministically.
+  OrgModel org;
+  Status st = ExecuteRdl(
+      "Define Resource Type Good (a Int);"
+      "Bogus Statement;"
+      "Define Resource Type Never (b Int);",
+      &org);
+  EXPECT_TRUE(st.IsParseError());
+  EXPECT_TRUE(org.ResourceSchema("Good").ok());
+  EXPECT_FALSE(org.ResourceSchema("Never").ok());
+}
+
 TEST(RdlTest, EmptyScriptIsOk) {
   OrgModel org;
   EXPECT_TRUE(ExecuteRdl("", &org).ok());

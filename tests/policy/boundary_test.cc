@@ -1,0 +1,195 @@
+// Boundary-value audit of the interval decomposition (§4.1 Filter
+// relation) and the §4.3 substitution range intersection: strict
+// comparisons must exclude their endpoint and `!=` must exclude exactly
+// the excluded point, over both int and string domains.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "org/org_model.h"
+#include "org/rdl_parser.h"
+#include "policy/policy_store.h"
+#include "rql/rql.h"
+
+namespace wfrm::policy {
+namespace {
+
+using rel::Value;
+
+// Each Require policy carries a unique Where tag so a probe can name
+// exactly which policies it matched.
+constexpr char kRdl[] = R"(
+  Define Resource Type Employee (ContactInfo String, Age Int);
+  Define Resource Type Clerk Under Employee;
+  Define Activity Type Activity (Location String);
+  Define Activity Type Filing Under Activity (Amount Int, Label String);
+)";
+
+constexpr char kPolicies[] = R"(
+  Qualify Clerk For Filing;
+  Require Clerk Where ContactInfo = 'int-gt' For Filing With Amount > 100;
+  Require Clerk Where ContactInfo = 'int-lt' For Filing With Amount < 100;
+  Require Clerk Where ContactInfo = 'int-ne' For Filing With Amount != 100;
+  Require Clerk Where ContactInfo = 'int-ge' For Filing With Amount >= 100;
+  Require Clerk Where ContactInfo = 'int-le' For Filing With Amount <= 100;
+  Require Clerk Where ContactInfo = 'str-gt' For Filing With Label > 'mm';
+  Require Clerk Where ContactInfo = 'str-lt' For Filing With Label < 'mm';
+  Require Clerk Where ContactInfo = 'str-ne' For Filing With Label != 'mm';
+)";
+
+class BoundaryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    org_ = std::make_unique<org::OrgModel>();
+    ASSERT_TRUE(org::ExecuteRdl(kRdl, org_.get()).ok());
+    store_ = std::make_unique<PolicyStore>(org_.get());
+    ASSERT_TRUE(store_->AddPolicyText(kPolicies).ok());
+  }
+
+  /// Which Where tags are relevant for a Filing request with the given
+  /// Amount and Label bindings.
+  std::set<std::string> Matched(int64_t amount, const std::string& label) {
+    rel::ParamMap spec = {{"Amount", Value::Int(amount)},
+                          {"Label", Value::String(label)},
+                          {"Location", Value::String("PA")}};
+    auto relevant = store_->RelevantRequirements("Clerk", "Filing", spec);
+    EXPECT_TRUE(relevant.ok()) << relevant.status().ToString();
+    std::set<std::string> tags;
+    if (!relevant.ok()) return tags;
+    for (const auto& r : *relevant) {
+      // Where texts look like "ContactInfo = 'int-gt'".
+      auto from = r.where_clause.find('\'');
+      auto to = r.where_clause.rfind('\'');
+      tags.insert(r.where_clause.substr(from + 1, to - from - 1));
+    }
+    return tags;
+  }
+
+  std::unique_ptr<org::OrgModel> org_;
+  std::unique_ptr<PolicyStore> store_;
+};
+
+TEST_F(BoundaryTest, IntEndpointExcludedByStrictComparisons) {
+  // Exactly at the boundary: strict < and > must NOT match; >=, <=
+  // must; != must not.
+  std::set<std::string> at = Matched(100, "zz-unrelated");
+  EXPECT_EQ(at.count("int-gt"), 0u) << "Amount > 100 matched 100";
+  EXPECT_EQ(at.count("int-lt"), 0u) << "Amount < 100 matched 100";
+  EXPECT_EQ(at.count("int-ne"), 0u) << "Amount != 100 matched 100";
+  EXPECT_EQ(at.count("int-ge"), 1u);
+  EXPECT_EQ(at.count("int-le"), 1u);
+}
+
+TEST_F(BoundaryTest, IntNeighborsOfTheEndpointMatchStrictSides) {
+  std::set<std::string> above = Matched(101, "zz-unrelated");
+  EXPECT_EQ(above.count("int-gt"), 1u);
+  EXPECT_EQ(above.count("int-lt"), 0u);
+  EXPECT_EQ(above.count("int-ne"), 1u);
+  EXPECT_EQ(above.count("int-ge"), 1u);
+  EXPECT_EQ(above.count("int-le"), 0u);
+
+  std::set<std::string> below = Matched(99, "zz-unrelated");
+  EXPECT_EQ(below.count("int-gt"), 0u);
+  EXPECT_EQ(below.count("int-lt"), 1u);
+  EXPECT_EQ(below.count("int-ne"), 1u);
+  EXPECT_EQ(below.count("int-ge"), 0u);
+  EXPECT_EQ(below.count("int-le"), 1u);
+}
+
+TEST_F(BoundaryTest, StringEndpointExcludedByStrictComparisons) {
+  std::set<std::string> at = Matched(5000, "mm");
+  EXPECT_EQ(at.count("str-gt"), 0u) << "Label > 'mm' matched 'mm'";
+  EXPECT_EQ(at.count("str-lt"), 0u) << "Label < 'mm' matched 'mm'";
+  EXPECT_EQ(at.count("str-ne"), 0u) << "Label != 'mm' matched 'mm'";
+
+  // Lexicographic neighbors: "ml" < "mm" < "mma" < "mn".
+  std::set<std::string> above = Matched(5000, "mma");
+  EXPECT_EQ(above.count("str-gt"), 1u);
+  EXPECT_EQ(above.count("str-lt"), 0u);
+  EXPECT_EQ(above.count("str-ne"), 1u);
+
+  std::set<std::string> below = Matched(5000, "ml");
+  EXPECT_EQ(below.count("str-gt"), 0u);
+  EXPECT_EQ(below.count("str-lt"), 1u);
+  EXPECT_EQ(below.count("str-ne"), 1u);
+}
+
+class SubstitutionBoundaryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    org_ = std::make_unique<org::OrgModel>();
+    ASSERT_TRUE(org::ExecuteRdl(kRdl, org_.get()).ok());
+    store_ = std::make_unique<PolicyStore>(org_.get());
+    // One substitution whose substituted range is the single point
+    // Age = 30, and one with a strict bound Age > 30.
+    ASSERT_TRUE(store_
+                    ->AddPolicyText(
+                        "Substitute Clerk Where Age = 30 "
+                        "By Clerk Where Age > 60 "
+                        "For Filing With Amount < 1000;"
+                        "Substitute Clerk Where Age > 30 "
+                        "By Clerk Where Age < 20 "
+                        "For Filing With Amount < 1000;")
+                    .ok());
+  }
+
+  /// Substituted Where texts of the policies relevant to a Clerk query
+  /// with the given resource Where clause.
+  std::set<std::string> Matched(const std::string& query_where) {
+    auto q = rql::ParseAndBindRql(
+        "Select ContactInfo From Clerk Where " + query_where +
+            " For Filing With Amount = 500 And Label = 'x' "
+            "And Location = 'PA'",
+        *org_);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    std::set<std::string> out;
+    if (!q.ok()) return out;
+    auto relevant = store_->RelevantSubstitutions(
+        "Clerk", q->select->where.get(), "Filing", q->spec.AsParams());
+    EXPECT_TRUE(relevant.ok()) << relevant.status().ToString();
+    if (!relevant.ok()) return out;
+    for (const auto& r : *relevant) out.insert(r.substituted_where);
+    return out;
+  }
+
+  std::unique_ptr<org::OrgModel> org_;
+  std::unique_ptr<PolicyStore> store_;
+};
+
+TEST_F(SubstitutionBoundaryTest, NotEqualQueryMissesThePointPolicy) {
+  // `Age != 30` covers everything except exactly 30, so it cannot
+  // intersect the point range [30, 30] — a conservative-range
+  // implementation that widens != to (-inf, +inf) would wrongly match.
+  std::set<std::string> tags = Matched("Age != 30");
+  EXPECT_EQ(tags.count("Age = 30"), 0u);
+  EXPECT_EQ(tags.count("Age > 30"), 1u);  // Still overlaps (30, +inf).
+}
+
+TEST_F(SubstitutionBoundaryTest, StrictBoundsExcludeTheSharedEndpoint) {
+  // Query point 30 vs policy range (30, +inf): tangent, not
+  // intersecting.
+  std::set<std::string> at = Matched("Age = 30");
+  EXPECT_EQ(at.count("Age = 30"), 1u);
+  EXPECT_EQ(at.count("Age > 30"), 0u);
+
+  std::set<std::string> above = Matched("Age = 31");
+  EXPECT_EQ(above.count("Age = 30"), 0u);
+  EXPECT_EQ(above.count("Age > 30"), 1u);
+
+  // Two strict ranges meeting at 30 from opposite sides are disjoint.
+  std::set<std::string> open = Matched("Age < 30");
+  EXPECT_EQ(open.count("Age > 30"), 0u);
+  EXPECT_EQ(open.count("Age = 30"), 0u);
+}
+
+TEST_F(SubstitutionBoundaryTest, UnsatisfiableQueryMatchesNothing) {
+  // An empty DNF (no satisfiable disjunct) intersects no range at all.
+  std::set<std::string> tags = Matched("Age > 40 And Age < 20");
+  EXPECT_TRUE(tags.empty());
+}
+
+}  // namespace
+}  // namespace wfrm::policy

@@ -260,5 +260,64 @@ TEST_F(CacheTest, SnapshotIsACopyableValueWithWindowedDiffs) {
   EXPECT_DOUBLE_EQ(window.CacheHitRate(), 0.5);
 }
 
+// Regression: Put used to evict only entries from older epochs, so a
+// table filled at a single epoch grew without bound. The FIFO bound
+// must hold even when every entry is from the live epoch.
+TEST(EpochCacheTest, NeverExceedsMaxEntriesAtASingleEpoch) {
+  constexpr size_t kCap = 16;
+  EpochCache<int> cache(kCap);
+  for (int i = 0; i < static_cast<int>(kCap) * 2; ++i) {
+    cache.Put("key" + std::to_string(i), /*epoch=*/7, i);
+    EXPECT_LE(cache.size(), kCap) << "after insert " << i;
+  }
+  EXPECT_EQ(cache.size(), kCap);
+
+  // FIFO: the oldest half was evicted, the newest half survives.
+  CacheLookup outcome;
+  EXPECT_FALSE(cache.Get("key0", 7, &outcome).has_value());
+  EXPECT_EQ(outcome, CacheLookup::kMiss);
+  auto newest = cache.Get("key31", 7, &outcome);
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(*newest, 31);
+  EXPECT_EQ(outcome, CacheLookup::kHit);
+}
+
+TEST(EpochCacheTest, RefreshingAKeyDoesNotGrowOrEvict) {
+  EpochCache<int> cache(4);
+  for (int i = 0; i < 4; ++i) {
+    cache.Put("key" + std::to_string(i), 1, i);
+  }
+  // Refresh an existing key at a newer epoch: size unchanged, no
+  // eviction, newest value served.
+  cache.Put("key2", 2, 222);
+  EXPECT_EQ(cache.size(), 4u);
+  CacheLookup outcome;
+  auto hit = cache.Get("key2", 2, &outcome);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 222);
+  EXPECT_TRUE(cache.Get("key0", 1, &outcome).has_value());
+}
+
+TEST(EpochCacheTest, StaleEpochEntriesEvictFirstByInsertionOrder) {
+  EpochCache<int> cache(2);
+  cache.Put("old", 1, 1);
+  cache.Put("mid", 2, 2);
+  cache.Put("new", 3, 3);  // Evicts "old" — the earliest insert.
+  CacheLookup outcome;
+  EXPECT_FALSE(cache.Get("old", 3, &outcome).has_value());
+  EXPECT_EQ(outcome, CacheLookup::kMiss);
+  EXPECT_FALSE(cache.Get("mid", 3, &outcome).has_value());
+  EXPECT_EQ(outcome, CacheLookup::kStale);  // Present but outdated.
+  EXPECT_TRUE(cache.Get("new", 3, &outcome).has_value());
+}
+
+TEST(EpochCacheTest, ZeroCapacityCacheStoresNothing) {
+  EpochCache<int> cache(0);
+  cache.Put("key", 1, 42);
+  EXPECT_EQ(cache.size(), 0u);
+  CacheLookup outcome;
+  EXPECT_FALSE(cache.Get("key", 1, &outcome).has_value());
+}
+
 }  // namespace
 }  // namespace wfrm::policy

@@ -149,6 +149,60 @@ TEST(PlParserTest, Errors) {
   EXPECT_FALSE(ParsePolicies("Qualify A For B Qualify C For D").ok());
 }
 
+TEST(PlParserTest, TruncatedInputFailsCleanly) {
+  // Statements cut off mid-clause must produce a parse Status, never a
+  // crash or a silently-partial policy.
+  for (const char* text : {
+           "Qualify",
+           "Qualify Programmer",
+           "Qualify Programmer For",
+           "Require Programmer Where",
+           "Require Programmer Where Experience >",
+           "Require Programmer Where Experience > 5 For",
+           "Require Programmer Where Experience > 5 For Programming With",
+           "Substitute",
+           "Substitute Engineer Where",
+           "Substitute Engineer Where Location = 'PA' By",
+           "Substitute Engineer Where Location = 'PA' By Engineer For",
+       }) {
+    auto p = ParsePolicy(text);
+    EXPECT_FALSE(p.ok()) << "accepted truncated input: " << text;
+    EXPECT_TRUE(p.status().IsParseError()) << p.status().ToString();
+    EXPECT_FALSE(p.status().ToString().empty());
+  }
+}
+
+TEST(PlParserTest, UnknownKeywordsFailCleanly) {
+  for (const char* text : {
+           "Allow Programmer For Engineering",
+           "Qualify Programmer Against Engineering",
+           "Require Programmer Having Experience > 5 For Programming",
+           "Substitute Engineer Where Location = 'PA' "
+           "With Engineer For Programming",  // 'With' is not 'By'.
+       }) {
+    auto p = ParsePolicy(text);
+    EXPECT_FALSE(p.ok()) << "accepted unknown keyword: " << text;
+    EXPECT_TRUE(p.status().IsParseError()) << p.status().ToString();
+  }
+}
+
+TEST(PlParserTest, UnbalancedWithClausesFail) {
+  // A With keyword with nothing behind it, doubled clauses, and
+  // unbalanced parentheses inside the clause expression.
+  for (const char* text : {
+           "Require A Where x > 1 For B With",
+           "Require A Where x > 1 For B With With y < 2",
+           "Require A Where x > 1 For B With y < 2 With z < 3",
+           "Require A Where (x > 1 For B With y < 2",
+           "Require A Where x > 1 For B With (y < 2 And z > 3",
+           "Substitute A Where x > 1 By A Where x < 1 For B With (",
+       }) {
+    auto p = ParsePolicy(text);
+    EXPECT_FALSE(p.ok()) << "accepted unbalanced input: " << text;
+    EXPECT_TRUE(p.status().IsParseError()) << p.status().ToString();
+  }
+}
+
 TEST(PlParserTest, CloneIsDeep) {
   auto p = ParsePolicy(
       "Require Programmer Where Experience > 5 For Programming With "

@@ -1,0 +1,422 @@
+// DurableResourceManager: open/mutate/reopen equality, checkpoint
+// truncation, the two checkpoint crash windows, torn tails, SaveWorld,
+// and the WAL/snapshot metrics.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/clock.h"
+#include "core/resource_manager.h"
+#include "obs/metrics.h"
+#include "org/rdl_dump.h"
+#include "policy/pl_dump.h"
+#include "store/durable_rm.h"
+#include "testutil/paper_org.h"
+
+namespace wfrm::store {
+namespace {
+
+constexpr char kRdl[] = R"(
+  Define Resource Type Employee
+      (ContactInfo String, Location String, Experience Int);
+  Define Resource Type Programmer Under Employee;
+  Define Activity Type Activity (Location String);
+  Define Activity Type Programming Under Activity (NumberOfLines Int);
+  Insert Resource Programmer 'alice'
+      (ContactInfo = 'alice@x.com', Location = 'PA', Experience = 8);
+  Insert Resource Programmer 'bob'
+      (ContactInfo = 'bob@x.com', Location = 'PA', Experience = 3);
+)";
+
+constexpr char kPolicies[] = R"(
+  Qualify Programmer For Programming;
+  Require Programmer Where Experience > 5
+    For Programming With NumberOfLines > 10000;
+)";
+
+constexpr char kBigJob[] =
+    "Select ContactInfo From Programmer Where Location = 'PA' "
+    "For Programming With NumberOfLines = 20000 And Location = 'PA'";
+
+/// Full observable state: org as RDL, policy base as PL, combined
+/// epoch, lease-id high-water mark, and the live lease set. Two stores
+/// with equal fingerprints are indistinguishable to every query path.
+std::string Fingerprint(const org::OrgModel& org,
+                        const policy::PolicyStore& store,
+                        const core::ResourceManager& rm) {
+  auto rdl = org::DumpRdl(org);
+  auto pl = policy::DumpPl(store);
+  std::ostringstream out;
+  out << (rdl.ok() ? *rdl : rdl.status().ToString()) << "\n---\n"
+      << (pl.ok() ? *pl : pl.status().ToString()) << "\n---\n"
+      << "epoch=" << store.epoch() << " next_lease=" << rm.next_lease_id()
+      << "\n";
+  auto leases = rm.ListLeases();
+  std::sort(leases.begin(), leases.end(),
+            [](const core::Lease& a, const core::Lease& b) {
+              return std::tie(a.resource.type, a.resource.id, a.id) <
+                     std::tie(b.resource.type, b.resource.id, b.id);
+            });
+  for (const auto& l : leases) {
+    out << l.resource.type << "/" << l.resource.id << " id=" << l.id
+        << " deadline=" << l.deadline_micros << "\n";
+  }
+  return out.str();
+}
+
+std::string Fingerprint(DurableResourceManager& d) {
+  return Fingerprint(d.org(), d.store(), d.rm());
+}
+
+class DurableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "wfrm_durable_XXXXXX")
+            .string();
+    ASSERT_NE(::mkdtemp(tmpl.data()), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  /// Opens `dir_` and runs the standard workload: org + policies + one
+  /// acquired lease.
+  std::unique_ptr<DurableResourceManager> OpenWithWorkload(
+      DurableOptions options = {}) {
+    auto d = DurableResourceManager::Open(dir_, options);
+    EXPECT_TRUE(d.ok()) << d.status().ToString();
+    if (!d.ok()) return nullptr;
+    EXPECT_TRUE((*d)->ExecuteRdl(kRdl).ok());
+    EXPECT_TRUE((*d)->AddPolicyText(kPolicies).ok());
+    auto lease = (*d)->Acquire(kBigJob);
+    EXPECT_TRUE(lease.ok()) << lease.status().ToString();
+    return std::move(*d);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DurableTest, FreshOpenRecoversNothing) {
+  auto d = DurableResourceManager::Open(dir_);
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE((*d)->recovery_info().snapshot_loaded);
+  EXPECT_EQ((*d)->recovery_info().wal_records_replayed, 0u);
+  EXPECT_EQ((*d)->last_seq(), 0u);
+}
+
+TEST_F(DurableTest, ReopenReplaysWalExactly) {
+  std::string before;
+  uint64_t seq = 0;
+  {
+    auto d = OpenWithWorkload();
+    ASSERT_NE(d, nullptr);
+    before = Fingerprint(*d);
+    seq = d->last_seq();
+    EXPECT_GT(d->wal_bytes(), 0u);
+  }
+  auto d = DurableResourceManager::Open(dir_);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_FALSE((*d)->recovery_info().snapshot_loaded);
+  EXPECT_EQ((*d)->recovery_info().wal_records_replayed, 3u);
+  EXPECT_EQ((*d)->last_seq(), seq);
+  EXPECT_EQ(Fingerprint(**d), before);
+
+  // The recovered lease still guards its resource: the only qualified
+  // programmer is taken, so the same acquire now fails.
+  EXPECT_FALSE((*d)->Acquire(kBigJob).ok());
+}
+
+TEST_F(DurableTest, CheckpointTruncatesAndReopensFromSnapshot) {
+  std::string before;
+  {
+    auto d = OpenWithWorkload();
+    ASSERT_NE(d, nullptr);
+    ASSERT_TRUE(d->Checkpoint().ok());
+    EXPECT_EQ(d->wal_bytes(), 0u);
+    before = Fingerprint(*d);
+  }
+  auto d = DurableResourceManager::Open(dir_);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_TRUE((*d)->recovery_info().snapshot_loaded);
+  EXPECT_EQ((*d)->recovery_info().wal_records_replayed, 0u);
+  EXPECT_EQ(Fingerprint(**d), before);
+}
+
+TEST_F(DurableTest, MutationsAfterCheckpointReplayOnTopOfSnapshot) {
+  std::string before;
+  {
+    auto d = OpenWithWorkload();
+    ASSERT_NE(d, nullptr);
+    ASSERT_TRUE(d->Checkpoint().ok());
+    ASSERT_TRUE(d->ExecuteRdl("Insert Resource Programmer 'carol' "
+                              "(ContactInfo = 'carol@x.com', "
+                              "Location = 'PA', Experience = 9);")
+                    .ok());
+    ASSERT_TRUE(d->Acquire(kBigJob).ok());  // Gets carol.
+    before = Fingerprint(*d);
+  }
+  auto d = DurableResourceManager::Open(dir_);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_TRUE((*d)->recovery_info().snapshot_loaded);
+  EXPECT_EQ((*d)->recovery_info().wal_records_replayed, 2u);
+  EXPECT_EQ(Fingerprint(**d), before);
+}
+
+TEST_F(DurableTest, AutomaticCheckpointEveryNRecords) {
+  DurableOptions options;
+  options.snapshot_every_records = 2;
+  std::string before;
+  {
+    auto d = OpenWithWorkload(options);
+    ASSERT_NE(d, nullptr);
+    // 3 records with a checkpoint after the 2nd: only the 3rd survives
+    // in the WAL.
+    auto scan = ReadWal(dir_ + "/wal.log");
+    ASSERT_TRUE(scan.ok());
+    EXPECT_EQ(scan->payloads.size(), 1u);
+    before = Fingerprint(*d);
+  }
+  auto d = DurableResourceManager::Open(dir_);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_TRUE((*d)->recovery_info().snapshot_loaded);
+  EXPECT_EQ(Fingerprint(**d), before);
+}
+
+TEST_F(DurableTest, CrashRecoveryAfterTmpWriteIgnoresTmpSnapshot) {
+  std::string before;
+  {
+    DurableOptions options;
+    options.crash_point = CheckpointCrashPoint::kAfterTmpWrite;
+    auto d = OpenWithWorkload(options);
+    ASSERT_NE(d, nullptr);
+    ASSERT_TRUE(d->Checkpoint().ok());  // Stops before the rename.
+    before = Fingerprint(*d);
+  }
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/snapshot.dat.tmp"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/snapshot.dat"));
+
+  auto d = DurableResourceManager::Open(dir_);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_FALSE((*d)->recovery_info().snapshot_loaded);
+  EXPECT_EQ((*d)->recovery_info().wal_records_replayed, 3u);
+  EXPECT_EQ(Fingerprint(**d), before);
+}
+
+TEST_F(DurableTest, CrashRecoveryAfterRenameSkipsSnapshottedRecords) {
+  std::string before;
+  {
+    DurableOptions options;
+    options.crash_point = CheckpointCrashPoint::kAfterRename;
+    auto d = OpenWithWorkload(options);
+    ASSERT_NE(d, nullptr);
+    ASSERT_TRUE(d->Checkpoint().ok());  // Snapshot live, WAL untruncated.
+    before = Fingerprint(*d);
+  }
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/snapshot.dat"));
+  auto scan = ReadWal(dir_ + "/wal.log");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->payloads.size(), 3u);  // Still there, all pre-snapshot.
+
+  auto d = DurableResourceManager::Open(dir_);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_TRUE((*d)->recovery_info().snapshot_loaded);
+  // No double-apply: every WAL record is recognized as already inside
+  // the snapshot.
+  EXPECT_EQ((*d)->recovery_info().wal_records_replayed, 0u);
+  EXPECT_EQ((*d)->recovery_info().wal_records_skipped, 3u);
+  EXPECT_EQ(Fingerprint(**d), before);
+}
+
+TEST_F(DurableTest, TornWalTailRecoversPrefix) {
+  std::string before;
+  {
+    auto d = OpenWithWorkload();
+    ASSERT_NE(d, nullptr);
+    before = Fingerprint(*d);
+  }
+  {
+    // Crash mid-append: a frame header with no body after it.
+    std::ofstream out(dir_ + "/wal.log", std::ios::binary | std::ios::app);
+    out.write("\x40\x00\x00\x00\x99\x99", 6);
+  }
+  auto d = DurableResourceManager::Open(dir_);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_TRUE((*d)->recovery_info().torn_tail);
+  EXPECT_EQ((*d)->recovery_info().wal_records_replayed, 3u);
+  EXPECT_EQ(Fingerprint(**d), before);
+
+  // The torn bytes were cut; new appends produce a clean log.
+  ASSERT_TRUE((*d)->ExecuteRdl("Insert Resource Programmer 'dora' "
+                               "(ContactInfo = 'd@x.com', Location = 'PA', "
+                               "Experience = 7);")
+                  .ok());
+  auto scan = ReadWal(dir_ + "/wal.log");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_FALSE(scan->torn_tail);
+  EXPECT_EQ(scan->payloads.size(), 4u);
+}
+
+TEST_F(DurableTest, ReleasedAndRenewedLeasesSurviveReopen) {
+  SimulatedClock clock;
+  DurableOptions options;
+  options.rm_options.clock = &clock;
+  options.rm_options.lease_duration_micros = 1'000'000;
+  std::string before;
+  {
+    auto d = OpenWithWorkload(options);
+    ASSERT_NE(d, nullptr);
+    // Free bob's qualification requirement by adding a second senior
+    // programmer, acquire + release one, renew the other.
+    ASSERT_TRUE(d->ExecuteRdl("Insert Resource Programmer 'carol' "
+                              "(ContactInfo = 'c@x.com', Location = 'PA', "
+                              "Experience = 9);")
+                    .ok());
+    auto second = d->Acquire(kBigJob);
+    ASSERT_TRUE(second.ok());
+    clock.AdvanceMicros(500'000);
+    auto renewed = d->RenewLease(*second);
+    ASSERT_TRUE(renewed.ok());
+    EXPECT_GT(renewed->deadline_micros, second->deadline_micros);
+    ASSERT_TRUE(d->Release(*renewed).ok());
+    before = Fingerprint(*d);
+  }
+  DurableOptions reopen;
+  reopen.rm_options.clock = &clock;
+  reopen.rm_options.lease_duration_micros = 1'000'000;
+  auto d = DurableResourceManager::Open(dir_, reopen);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(Fingerprint(**d), before);
+  EXPECT_EQ((*d)->rm().ListLeases().size(), 1u);
+}
+
+TEST_F(DurableTest, ReapIsJournaledPerLease) {
+  SimulatedClock clock;
+  DurableOptions options;
+  options.rm_options.clock = &clock;
+  options.rm_options.lease_duration_micros = 1'000;
+  std::string before;
+  {
+    auto d = OpenWithWorkload(options);
+    ASSERT_NE(d, nullptr);
+    clock.AdvanceMicros(10'000);
+    EXPECT_EQ(d->ReapExpired(), 1u);
+    before = Fingerprint(*d);
+  }
+  DurableOptions reopen;
+  reopen.rm_options.clock = &clock;
+  reopen.rm_options.lease_duration_micros = 1'000;
+  auto d = DurableResourceManager::Open(dir_, reopen);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(Fingerprint(**d), before);
+  EXPECT_TRUE((*d)->rm().ListLeases().empty());
+}
+
+TEST_F(DurableTest, LeaseIdsNeverReusedAcrossRecovery) {
+  uint64_t first_id = 0;
+  {
+    auto d = OpenWithWorkload();
+    ASSERT_NE(d, nullptr);
+    auto leases = d->rm().ListLeases();
+    ASSERT_EQ(leases.size(), 1u);
+    first_id = leases[0].id;
+    ASSERT_TRUE(d->Release(leases[0]).ok());
+  }
+  auto d = DurableResourceManager::Open(dir_);
+  ASSERT_TRUE(d.ok());
+  auto lease = (*d)->Acquire(kBigJob);
+  ASSERT_TRUE(lease.ok());
+  EXPECT_GT(lease->id, first_id);
+}
+
+TEST_F(DurableTest, RemoveOperationsReplay) {
+  std::string before;
+  {
+    auto d = OpenWithWorkload();
+    ASSERT_NE(d, nullptr);
+    // Drop the Experience requirement; bob becomes eligible.
+    ASSERT_TRUE(d->RemoveRequirementGroup(1).ok());
+    before = Fingerprint(*d);
+  }
+  auto d = DurableResourceManager::Open(dir_);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(Fingerprint(**d), before);
+}
+
+TEST_F(DurableTest, SaveWorldRoundTripsAVolatileSession) {
+  auto world = testutil::BuildPaperWorld();
+  ASSERT_TRUE(world.ok());
+  core::ResourceManager rm(world->org.get(), world->store.get());
+  auto lease = rm.Acquire(
+      "Select ContactInfo From Programmer Where Location = 'PA' "
+      "For Programming With NumberOfLines = 5000 And Location = 'PA'");
+  ASSERT_TRUE(lease.ok()) << lease.status().ToString();
+
+  ASSERT_TRUE(DurableResourceManager::SaveWorld(dir_, *world->org,
+                                                *world->store, rm)
+                  .ok());
+  std::string before = Fingerprint(*world->org, *world->store, rm);
+
+  auto d = DurableResourceManager::Open(dir_);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_TRUE((*d)->recovery_info().snapshot_loaded);
+  EXPECT_EQ(Fingerprint(**d), before);
+}
+
+TEST_F(DurableTest, CorruptSnapshotIsAnErrorNotSilentLoss) {
+  {
+    auto d = OpenWithWorkload();
+    ASSERT_NE(d, nullptr);
+    ASSERT_TRUE(d->Checkpoint().ok());
+  }
+  // Storage damage inside a committed snapshot must refuse to open —
+  // guessing at policy state would enforce the wrong rules.
+  auto size = std::filesystem::file_size(dir_ + "/snapshot.dat");
+  std::fstream f(dir_ + "/snapshot.dat",
+                 std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(static_cast<std::streamoff>(size / 2));
+  f.put('\xEE');
+  f.close();
+
+  auto d = DurableResourceManager::Open(dir_);
+  EXPECT_FALSE(d.ok());
+}
+
+TEST_F(DurableTest, MetricsCoverWalSnapshotAndReplay) {
+  obs::MetricsRegistry registry;
+  DurableOptions options;
+  options.rm_options.metrics = &registry;
+  options.fsync_mode = FsyncMode::kAlways;
+  {
+    auto d = OpenWithWorkload(options);
+    ASSERT_NE(d, nullptr);
+    ASSERT_TRUE(d->Checkpoint().ok());
+    EXPECT_EQ(registry.GetCounter("wfrm_store_wal_appends_total")->Value(),
+              3u);
+    EXPECT_GT(registry.GetCounter("wfrm_store_wal_bytes_total")->Value(), 0u);
+    EXPECT_GE(registry.GetCounter("wfrm_store_wal_syncs_total")->Value(), 3u);
+    EXPECT_EQ(registry.GetCounter("wfrm_store_snapshots_total")->Value(), 1u);
+    EXPECT_EQ(
+        registry.GetCounter("wfrm_store_wal_truncations_total")->Value(), 1u);
+  }
+  obs::MetricsRegistry reopen_registry;
+  DurableOptions reopen;
+  reopen.rm_options.metrics = &reopen_registry;
+  auto d = DurableResourceManager::Open(dir_, reopen);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(
+      reopen_registry.GetHistogram("wfrm_store_replay_micros", {})->Count(),
+      1u);
+}
+
+}  // namespace
+}  // namespace wfrm::store

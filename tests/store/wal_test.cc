@@ -1,0 +1,227 @@
+// WAL framing layer: round trips, torn-tail detection, checksum
+// rejection, truncation-on-reopen, and the record codec.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "store/record.h"
+#include "store/wal.h"
+
+namespace wfrm::store {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "wfrm_wal_XXXXXX").string();
+    ASSERT_NE(::mkdtemp(tmpl.data()), nullptr);
+    dir_ = tmpl;
+    path_ = dir_ + "/wal.log";
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  void AppendRawBytes(const std::string& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(WalTest, MissingFileReadsEmpty) {
+  auto scan = ReadWal(path_);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->payloads.empty());
+  EXPECT_EQ(scan->valid_bytes, 0u);
+  EXPECT_FALSE(scan->torn_tail);
+}
+
+TEST_F(WalTest, AppendReadRoundTrip) {
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_, FsyncMode::kAlways, 0).ok());
+  ASSERT_TRUE(writer.Append("alpha").ok());
+  ASSERT_TRUE(writer.Append("").ok());  // Zero-length payloads are legal.
+  ASSERT_TRUE(writer.Append(std::string("bin\0ary", 7)).ok());
+  writer.Close();
+
+  auto scan = ReadWal(path_);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->payloads.size(), 3u);
+  EXPECT_EQ(scan->payloads[0], "alpha");
+  EXPECT_EQ(scan->payloads[1], "");
+  EXPECT_EQ(scan->payloads[2], std::string("bin\0ary", 7));
+  EXPECT_FALSE(scan->torn_tail);
+  EXPECT_EQ(scan->valid_bytes, std::filesystem::file_size(path_));
+}
+
+TEST_F(WalTest, TornFinalRecordIsSkipped) {
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_, FsyncMode::kOff, 0).ok());
+  ASSERT_TRUE(writer.Append("kept").ok());
+  uint64_t good = writer.bytes_written();
+  writer.Close();
+  // A frame header promising more bytes than exist = crash mid-append.
+  AppendRawBytes(std::string("\xFF\x00\x00\x00garbage", 11));
+
+  auto scan = ReadWal(path_);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->payloads.size(), 1u);
+  EXPECT_EQ(scan->payloads[0], "kept");
+  EXPECT_TRUE(scan->torn_tail);
+  EXPECT_EQ(scan->valid_bytes, good);
+}
+
+TEST_F(WalTest, ChecksumMismatchStopsScan) {
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_, FsyncMode::kOff, 0).ok());
+  ASSERT_TRUE(writer.Append("first").ok());
+  ASSERT_TRUE(writer.Append("second").ok());
+  writer.Close();
+
+  // Flip one payload byte of the second record in place.
+  auto size = std::filesystem::file_size(path_);
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(static_cast<std::streamoff>(size - 1));
+  f.put('X');
+  f.close();
+
+  auto scan = ReadWal(path_);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->payloads.size(), 1u);
+  EXPECT_EQ(scan->payloads[0], "first");
+  EXPECT_TRUE(scan->torn_tail);
+}
+
+TEST_F(WalTest, ReopenAtValidBytesCutsTornTail) {
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_, FsyncMode::kOff, 0).ok());
+  ASSERT_TRUE(writer.Append("keep").ok());
+  writer.Close();
+  AppendRawBytes("\x09\x00\x00\x00torn");
+
+  auto scan = ReadWal(path_);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_TRUE(scan->torn_tail);
+
+  // Reopening at the scan's cut point makes the next append valid.
+  WalWriter again;
+  ASSERT_TRUE(again
+                  .Open(path_, FsyncMode::kOff, 0,
+                        static_cast<int64_t>(scan->valid_bytes))
+                  .ok());
+  ASSERT_TRUE(again.Append("after-crash").ok());
+  again.Close();
+
+  auto rescan = ReadWal(path_);
+  ASSERT_TRUE(rescan.ok());
+  ASSERT_EQ(rescan->payloads.size(), 2u);
+  EXPECT_EQ(rescan->payloads[0], "keep");
+  EXPECT_EQ(rescan->payloads[1], "after-crash");
+  EXPECT_FALSE(rescan->torn_tail);
+}
+
+TEST_F(WalTest, TruncateEmptiesTheLog) {
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_, FsyncMode::kInterval, 4).ok());
+  ASSERT_TRUE(writer.Append("a").ok());
+  ASSERT_TRUE(writer.Append("b").ok());
+  ASSERT_TRUE(writer.Truncate().ok());
+  EXPECT_EQ(writer.bytes_written(), 0u);
+  ASSERT_TRUE(writer.Append("c").ok());
+  writer.Close();
+
+  auto scan = ReadWal(path_);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->payloads.size(), 1u);
+  EXPECT_EQ(scan->payloads[0], "c");
+}
+
+TEST_F(WalTest, FsyncPolicyCountsSyncs) {
+  WalWriter always;
+  ASSERT_TRUE(always.Open(dir_ + "/a.log", FsyncMode::kAlways, 0).ok());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(always.Append("x").ok());
+  EXPECT_EQ(always.syncs(), 5u);
+
+  WalWriter interval;
+  ASSERT_TRUE(interval.Open(dir_ + "/i.log", FsyncMode::kInterval, 3).ok());
+  for (int i = 0; i < 7; ++i) ASSERT_TRUE(interval.Append("x").ok());
+  EXPECT_EQ(interval.syncs(), 2u);  // After appends 3 and 6.
+
+  WalWriter off;
+  ASSERT_TRUE(off.Open(dir_ + "/o.log", FsyncMode::kOff, 0).ok());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(off.Append("x").ok());
+  EXPECT_EQ(off.syncs(), 0u);
+}
+
+TEST(FsyncModeTest, Names) {
+  EXPECT_STREQ(FsyncModeName(FsyncMode::kAlways), "always");
+  EXPECT_STREQ(FsyncModeName(FsyncMode::kInterval), "interval");
+  EXPECT_STREQ(FsyncModeName(FsyncMode::kOff), "off");
+}
+
+TEST(RecordCodecTest, TextRecordRoundTrip) {
+  Record in;
+  in.seq = 42;
+  in.type = RecordType::kPl;
+  in.text = "Qualify Programmer For Engineering;";
+  auto out = DecodeRecord(EncodeRecord(in));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->seq, 42u);
+  EXPECT_EQ(out->type, RecordType::kPl);
+  EXPECT_EQ(out->text, in.text);
+}
+
+TEST(RecordCodecTest, RemoveRecordRoundTrip) {
+  Record in;
+  in.seq = 7;
+  in.type = RecordType::kRemoveRequirementGroup;
+  in.id = 1234;
+  auto out = DecodeRecord(EncodeRecord(in));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->type, RecordType::kRemoveRequirementGroup);
+  EXPECT_EQ(out->id, 1234);
+}
+
+TEST(RecordCodecTest, LeaseRecordRoundTrip) {
+  Record in;
+  in.seq = 9;
+  in.type = RecordType::kLeaseAcquire;
+  in.lease.resource = {"Programmer", "alice"};
+  in.lease.id = 17;
+  in.lease.deadline_micros = 123456789;
+  auto out = DecodeRecord(EncodeRecord(in));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->lease.resource.type, "Programmer");
+  EXPECT_EQ(out->lease.resource.id, "alice");
+  EXPECT_EQ(out->lease.id, 17u);
+  EXPECT_EQ(out->lease.deadline_micros, 123456789);
+}
+
+TEST(RecordCodecTest, RejectsTruncatedAndMalformedPayloads) {
+  Record in;
+  in.seq = 1;
+  in.type = RecordType::kRdl;
+  in.text = "Define Resource Type T;";
+  std::string payload = EncodeRecord(in);
+
+  EXPECT_FALSE(DecodeRecord("").ok());
+  EXPECT_FALSE(DecodeRecord(payload.substr(0, payload.size() / 2)).ok());
+  EXPECT_FALSE(DecodeRecord(payload + "trailing").ok());
+
+  std::string bad_type = payload;
+  bad_type[8] = static_cast<char>(200);  // Type byte out of range.
+  EXPECT_FALSE(DecodeRecord(bad_type).ok());
+}
+
+}  // namespace
+}  // namespace wfrm::store
