@@ -642,11 +642,15 @@ Result<Lease> ResourceManager::RenewLease(const Lease& lease) {
 size_t ResourceManager::ReapExpired() { return ReapExpiredLeases().size(); }
 
 std::vector<Lease> ResourceManager::ReapExpiredLeases() {
-  const int64_t now = clock_->NowMicros();
+  return ReapExpiredLeasesBefore(clock_->NowMicros());
+}
+
+std::vector<Lease> ResourceManager::ReapExpiredLeasesBefore(
+    int64_t now_micros) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<Lease> reaped;
   for (auto it = allocated_.begin(); it != allocated_.end();) {
-    if (it->second.deadline_micros <= now) {
+    if (it->second.deadline_micros <= now_micros) {
       reaped.push_back(
           Lease{it->first, it->second.lease_id, it->second.deadline_micros});
       it = allocated_.erase(it);

@@ -264,6 +264,12 @@ class ResourceManager {
   /// reproduces the reap exactly.
   std::vector<Lease> ReapExpiredLeases();
 
+  /// ReapExpiredLeases with a pinned cutoff: reclaims exactly the
+  /// grants whose deadline is <= `now_micros`. The durable layer
+  /// journals the expired set first and then reaps it; a cutoff read
+  /// from a moving clock could reap more than was journaled.
+  std::vector<Lease> ReapExpiredLeasesBefore(int64_t now_micros);
+
   // ---- Persistence (src/store recovery) --------------------------------
 
   /// Re-installs a persisted grant during recovery, bypassing

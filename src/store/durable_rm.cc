@@ -17,6 +17,29 @@ int64_t NowMicros() {
       .count();
 }
 
+// Persisted lease deadlines are remaining lifetimes, not timestamps:
+// the manager's clock is monotonic with an arbitrary epoch (for
+// SystemClock, microseconds since boot), so an absolute deadline
+// journaled by one process would be nonsense to the process replaying
+// it after a restart — a recovered lease could look live for hours or
+// expired on arrival. ToDurableLease subtracts "now" at journal or
+// snapshot time; FromDurableLease re-bases onto the recovering clock,
+// so a restored lease gets exactly the lifetime it had left when its
+// record was written. kNoExpiry passes through unchanged.
+core::Lease ToDurableLease(core::Lease lease, int64_t now_micros) {
+  if (lease.deadline_micros != core::Lease::kNoExpiry) {
+    lease.deadline_micros -= now_micros;
+  }
+  return lease;
+}
+
+core::Lease FromDurableLease(core::Lease lease, int64_t now_micros) {
+  if (lease.deadline_micros != core::Lease::kNoExpiry) {
+    lease.deadline_micros += now_micros;
+  }
+  return lease;
+}
+
 }  // namespace
 
 DurableResourceManager::DurableResourceManager(std::string dir,
@@ -78,7 +101,10 @@ Status DurableResourceManager::SaveWorld(const std::string& dir,
   SnapshotData data;
   WFRM_ASSIGN_OR_RETURN(data.rdl_text, org::DumpRdl(org));
   data.policy_image = store.ExportImage();
-  data.leases = rm.ListLeases();
+  const int64_t now = rm.clock().NowMicros();
+  for (const core::Lease& lease : rm.ListLeases()) {
+    data.leases.push_back(ToDurableLease(lease, now));
+  }
   data.next_lease_id = rm.next_lease_id();
   data.last_seq = 0;
   WFRM_RETURN_NOT_OK(WriteSnapshot(dir + "/snapshot.dat", data));
@@ -100,8 +126,9 @@ Status DurableResourceManager::Recover() {
     // fresh org; failure means the snapshot lies about its own state.
     WFRM_RETURN_NOT_OK(org::ExecuteRdl(snapshot->rdl_text, org_.get()));
     WFRM_RETURN_NOT_OK(store_->ImportImage(snapshot->policy_image));
+    const int64_t now = rm_->clock().NowMicros();
     for (const core::Lease& lease : snapshot->leases) {
-      WFRM_RETURN_NOT_OK(rm_->RestoreLease(lease));
+      WFRM_RETURN_NOT_OK(rm_->RestoreLease(FromDurableLease(lease, now)));
     }
     rm_->AdvanceLeaseId(snapshot->next_lease_id);
     seq_ = snapshot->last_seq;
@@ -175,9 +202,11 @@ void DurableResourceManager::ApplyRecord(const Record& record) {
       break;
     case RecordType::kLeaseAcquire:
     case RecordType::kLeaseRenew:
-      (void)rm_->RestoreLease(record.lease);
+      (void)rm_->RestoreLease(
+          FromDurableLease(record.lease, rm_->clock().NowMicros()));
       break;
     case RecordType::kLeaseRelease:
+      // Matched by resource + id; the lifetime field is irrelevant.
       (void)rm_->Release(record.lease);
       break;
   }
@@ -194,9 +223,12 @@ void DurableResourceManager::ReportSyncsLocked() {
 }
 
 Status DurableResourceManager::JournalLocked(Record record) {
-  record.seq = ++seq_;
+  record.seq = seq_ + 1;
   std::string payload = EncodeRecord(record);
+  // seq_ advances only on success: a failed append (rolled back by the
+  // writer) must leave the counter matching what the log holds.
   WFRM_RETURN_NOT_OK(wal_.Append(payload));
+  seq_ = record.seq;
   if (metrics_.wal_appends != nullptr) metrics_.wal_appends->Increment();
   if (metrics_.wal_bytes != nullptr) {
     metrics_.wal_bytes->Increment(payload.size() + 8);
@@ -277,13 +309,13 @@ Status DurableResourceManager::RemoveSubstitutionGroup(int64_t group) {
 
 Result<core::Lease> DurableResourceManager::Acquire(std::string_view rql_text) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
-  // Lease ops journal after apply: the record carries the *outcome*
-  // (which resource, which id), which does not exist beforehand. The
-  // crash window loses only unacknowledged grants.
+  // Grants journal after apply: the record carries the *outcome* (which
+  // resource, which id), which does not exist beforehand. The crash
+  // window loses only unacknowledged grants.
   WFRM_ASSIGN_OR_RETURN(core::Lease lease, rm_->Acquire(rql_text));
   Record record;
   record.type = RecordType::kLeaseAcquire;
-  record.lease = lease;
+  record.lease = ToDurableLease(lease, rm_->clock().NowMicros());
   Status journaled = JournalLocked(std::move(record));
   if (!journaled.ok()) {
     (void)rm_->Release(lease);  // Keep state ⊆ journal.
@@ -299,7 +331,7 @@ Result<core::Lease> DurableResourceManager::AllocateLease(
   WFRM_ASSIGN_OR_RETURN(core::Lease lease, rm_->AllocateLease(ref));
   Record record;
   record.type = RecordType::kLeaseAcquire;
-  record.lease = lease;
+  record.lease = ToDurableLease(lease, rm_->clock().NowMicros());
   Status journaled = JournalLocked(std::move(record));
   if (!journaled.ok()) {
     (void)rm_->Release(lease);
@@ -311,23 +343,35 @@ Result<core::Lease> DurableResourceManager::AllocateLease(
 
 Status DurableResourceManager::Release(const core::Lease& lease) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
-  WFRM_RETURN_NOT_OK(rm_->Release(lease));
+  // Journal before apply, unlike the grant paths: releasing a concrete
+  // lease replays deterministically, and journaling second would let a
+  // failed append leave a release applied in memory that replay undoes
+  // — the resource held again by a lease its owner believes released.
+  // If the apply below fails (stale lease), replay fails identically:
+  // the record degrades to a no-op.
   Record record;
   record.type = RecordType::kLeaseRelease;
-  record.lease = lease;
+  record.lease = ToDurableLease(lease, rm_->clock().NowMicros());
   WFRM_RETURN_NOT_OK(JournalLocked(std::move(record)));
-  return MaybeCheckpointLocked();
+  Status applied = rm_->Release(lease);
+  Status checkpointed = MaybeCheckpointLocked();
+  return applied.ok() ? checkpointed : applied;
 }
 
 Status DurableResourceManager::Release(const org::ResourceRef& ref) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
+  // Journal before apply (see Release(Lease)); the record pins whatever
+  // lease currently holds `ref`, so replay releases exactly that grant.
   std::optional<core::Lease> lease = rm_->FindLease(ref);
-  WFRM_RETURN_NOT_OK(rm_->Release(ref));
   Record record;
   record.type = RecordType::kLeaseRelease;
-  record.lease = lease ? *lease : core::Lease{ref, 0, core::Lease::kNoExpiry};
+  record.lease = lease
+                     ? ToDurableLease(*lease, rm_->clock().NowMicros())
+                     : core::Lease{ref, 0, core::Lease::kNoExpiry};
   WFRM_RETURN_NOT_OK(JournalLocked(std::move(record)));
-  return MaybeCheckpointLocked();
+  Status applied = rm_->Release(ref);
+  Status checkpointed = MaybeCheckpointLocked();
+  return applied.ok() ? checkpointed : applied;
 }
 
 Result<core::Lease> DurableResourceManager::RenewLease(
@@ -336,26 +380,49 @@ Result<core::Lease> DurableResourceManager::RenewLease(
   WFRM_ASSIGN_OR_RETURN(core::Lease renewed, rm_->RenewLease(lease));
   Record record;
   record.type = RecordType::kLeaseRenew;
-  record.lease = renewed;
-  WFRM_RETURN_NOT_OK(JournalLocked(std::move(record)));
+  record.lease = ToDurableLease(renewed, rm_->clock().NowMicros());
+  Status journaled = JournalLocked(std::move(record));
+  if (!journaled.ok()) {
+    // Roll the extension back: the caller sees a failure, so the grant
+    // must stay at the deadline the journal's last record covers.
+    (void)rm_->RestoreLease(lease);
+    return journaled;
+  }
   (void)MaybeCheckpointLocked();
   return renewed;
 }
 
 size_t DurableResourceManager::ReapExpired() {
   std::lock_guard<std::mutex> lock(mutate_mu_);
-  std::vector<core::Lease> reaped = rm_->ReapExpiredLeases();
-  for (const core::Lease& lease : reaped) {
+  const int64_t now = rm_->clock().NowMicros();
+  // Journal before apply, like Release(): collect the expired set,
+  // journal one release per lease, then reap exactly that set. Journal-
+  // after could leave a reap applied in memory whose lease replay
+  // resurrects — with its remaining lifetime re-based, i.e. live again.
+  std::vector<core::Lease> expired;
+  for (const core::Lease& lease : rm_->ListLeases()) {
+    if (lease.deadline_micros <= now) expired.push_back(lease);
+  }
+  size_t journaled = 0;
+  for (const core::Lease& lease : expired) {
     Record record;
     record.type = RecordType::kLeaseRelease;
-    record.lease = lease;
-    // Best-effort: a journal error here cannot un-reap; the lease had
-    // already expired, so replay reaching a live-looking grant is
-    // still safe (its deadline is in the past).
-    (void)JournalLocked(std::move(record));
+    record.lease = ToDurableLease(lease, now);
+    if (!JournalLocked(std::move(record)).ok()) break;
+    ++journaled;
+  }
+  size_t reaped = 0;
+  if (journaled == expired.size()) {
+    reaped = rm_->ReapExpiredLeasesBefore(now).size();
+  } else {
+    // Journal failed mid-pass: reap only the journaled prefix. The rest
+    // stay held (and expired), and the next pass retries them.
+    for (size_t i = 0; i < journaled; ++i) {
+      if (rm_->Release(expired[i]).ok()) ++reaped;
+    }
   }
   (void)MaybeCheckpointLocked();
-  return reaped.size();
+  return reaped;
 }
 
 // ---- Checkpointing ----------------------------------------------------------
@@ -364,7 +431,10 @@ SnapshotData DurableResourceManager::CaptureLocked() const {
   SnapshotData data;
   data.last_seq = seq_;
   data.policy_image = store_->ExportImage();
-  data.leases = rm_->ListLeases();
+  const int64_t now = rm_->clock().NowMicros();
+  for (const core::Lease& lease : rm_->ListLeases()) {
+    data.leases.push_back(ToDurableLease(lease, now));
+  }
   data.next_lease_id = rm_->next_lease_id();
   return data;
 }

@@ -69,10 +69,24 @@ struct RecoveryInfo {
 /// apply: replay feeds the identical statement to the identical
 /// deterministic engine, so even a partially-applied script reproduces
 /// exactly (replay ignores apply errors for the same reason). Lease
-/// operations journal AFTER apply, because their records carry concrete
-/// outcomes (resource, id, deadline) rather than the RQL that produced
-/// them — recovery never re-runs enforcement against a policy base that
-/// may differ mid-replay; a failed append rolls the acquisition back.
+/// grants (acquire, renew) journal AFTER apply, because their records
+/// carry concrete outcomes (resource, id, deadline) rather than the RQL
+/// that produced them — recovery never re-runs enforcement against a
+/// policy base that may differ mid-replay; a failed append rolls the
+/// grant back. Lease releases (and reaps) journal BEFORE apply — a
+/// release of a concrete lease replays deterministically, and
+/// journaling second would let a failed append leave a release applied
+/// in memory that replay resurrects. Either way the invariant is
+/// state ⊆ journal: replay never shows a grant freed that memory holds,
+/// nor holds one the caller was told was released.
+///
+/// Persisted lease deadlines are *remaining lifetimes*: the manager's
+/// clock is monotonic with an arbitrary epoch (for SystemClock,
+/// microseconds since boot), so an absolute deadline journaled by one
+/// process is meaningless to the process that replays it after a
+/// restart. Recovery re-bases each remaining lifetime onto the
+/// recovering clock, giving a lease exactly the time it had left when
+/// its record was written.
 ///
 /// Mutations are serialized by an internal mutex (journal order must
 /// equal apply order); reads delegate to the underlying objects, which
@@ -126,8 +140,22 @@ class DurableResourceManager {
 
   const RecoveryInfo& recovery_info() const { return recovery_; }
   const std::string& dir() const { return dir_; }
-  uint64_t last_seq() const { return seq_; }
-  uint64_t wal_bytes() const { return wal_.bytes_written(); }
+  uint64_t last_seq() const {
+    std::lock_guard<std::mutex> lock(mutate_mu_);
+    return seq_;
+  }
+  uint64_t wal_bytes() const {
+    std::lock_guard<std::mutex> lock(mutate_mu_);
+    return wal_.bytes_written();
+  }
+
+  /// Test-only: makes the next journal append fail after `partial_bytes`
+  /// of its frame reach the file (see WalWriter::TestFailNextAppend) —
+  /// exercises the journal-failure rollback paths.
+  void TestFailNextJournal(size_t partial_bytes) {
+    std::lock_guard<std::mutex> lock(mutate_mu_);
+    wal_.TestFailNextAppend(partial_bytes);
+  }
 
  private:
   DurableResourceManager(std::string dir, DurableOptions options);
@@ -156,7 +184,7 @@ class DurableResourceManager {
   std::unique_ptr<policy::PolicyStore> store_;
   std::unique_ptr<core::ResourceManager> rm_;
 
-  std::mutex mutate_mu_;
+  mutable std::mutex mutate_mu_;
   WalWriter wal_;
   uint64_t seq_ = 0;
   size_t records_since_checkpoint_ = 0;

@@ -25,8 +25,10 @@ enum class RecordType : uint8_t {
   kRemoveQualification = 3,    // id = PID
   kRemoveRequirementGroup = 4,  // id = GroupID
   kRemoveSubstitutionGroup = 5,
-  /// Lease grant: the concrete outcome (resource, id, deadline), not
-  /// the RQL that produced it — replay must not re-run enforcement.
+  /// Lease grant: the concrete outcome (resource, id, and the lease's
+  /// *remaining lifetime* — monotonic deadlines do not survive a
+  /// restart), not the RQL that produced it — replay must not re-run
+  /// enforcement.
   kLeaseAcquire = 6,
   kLeaseRenew = 7,  // Same fields; replay overwrites the grant.
   kLeaseRelease = 8,
@@ -41,7 +43,7 @@ struct Record {
 
   std::string text;  // kRdl / kPl statement text.
   int64_t id = 0;    // Remove*: PID or GroupID.
-  core::Lease lease;  // kLease* payload.
+  core::Lease lease;  // kLease* payload; deadline holds remaining lifetime.
 };
 
 /// Serializes `record` into a WAL payload (the framing layer adds the

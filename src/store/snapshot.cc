@@ -17,7 +17,9 @@ namespace {
 /// Section tags: the snapshot is a short log of sections, each one
 /// framed record. Unknown sections fail the read — the format is
 /// versioned by the magic string.
-constexpr char kMagic[] = "wfrm-snapshot-v1";
+// v2: lease deadlines are remaining lifetimes, not clock timestamps
+// (monotonic epochs do not survive a restart; see durable_rm.cc).
+constexpr char kMagic[] = "wfrm-snapshot-v2";
 constexpr uint8_t kSectionHeader = 1;
 constexpr uint8_t kSectionRdl = 2;
 constexpr uint8_t kSectionTable = 3;
@@ -103,15 +105,25 @@ Status CommitSnapshot(const std::string& tmp_path,
     return Status::ExecutionError("cannot commit snapshot " + final_path +
                                   ": " + std::strerror(errno));
   }
-  // Make the rename itself durable (directory entry update).
+  // Make the rename itself durable (directory entry update). A failure
+  // here must propagate: the caller truncates the WAL on success, and
+  // truncating while the rename might not survive a crash loses history.
   std::string dir = final_path;
   size_t slash = dir.find_last_of('/');
   dir = slash == std::string::npos ? "." : dir.substr(0, slash);
   int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (dfd >= 0) {
-    ::fsync(dfd);
-    ::close(dfd);
+  if (dfd < 0) {
+    return Status::ExecutionError("cannot open snapshot directory " + dir +
+                                  " to sync the commit: " +
+                                  std::strerror(errno));
   }
+  if (::fsync(dfd) != 0) {
+    Status st = Status::ExecutionError("cannot sync snapshot directory " +
+                                       dir + ": " + std::strerror(errno));
+    ::close(dfd);
+    return st;
+  }
+  ::close(dfd);
   return Status::OK();
 }
 

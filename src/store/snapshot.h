@@ -17,6 +17,11 @@ namespace wfrm::store {
 /// PolicyStore::Image), and the live leases with their id high-water
 /// mark. `last_seq` is the WAL sequence number of the last mutation the
 /// snapshot includes; replay skips records at or below it.
+///
+/// Lease deadlines here are in durable form — *remaining lifetimes*,
+/// not clock timestamps (the manager's monotonic clock epoch does not
+/// survive a restart). DurableResourceManager converts at the
+/// capture/restore boundary; see durable_rm.cc.
 struct SnapshotData {
   uint64_t last_seq = 0;
   uint64_t next_lease_id = 1;

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -54,6 +55,8 @@ Status WalWriter::Open(const std::string& path, FsyncMode mode,
   fsync_interval_records_ =
       fsync_interval_records == 0 ? 1 : fsync_interval_records;
   appends_since_sync_ = 0;
+  broken_ = false;
+  fail_next_append_ = false;
   fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
   if (fd_ < 0) return Errno("cannot open WAL", path);
   if (valid_bytes >= 0 && ::ftruncate(fd_, valid_bytes) != 0) {
@@ -73,6 +76,10 @@ Status WalWriter::Open(const std::string& path, FsyncMode mode,
 
 Status WalWriter::Append(std::string_view payload) {
   if (fd_ < 0) return Status::ExecutionError("WAL is not open");
+  if (broken_) {
+    return Status::ExecutionError(
+        "WAL writer is latched after an unrecoverable write failure");
+  }
   std::string frame;
   frame.reserve(8 + payload.size());
   PutU32(&frame, static_cast<uint32_t>(payload.size()));
@@ -82,12 +89,24 @@ Status WalWriter::Append(std::string_view payload) {
   // a short (hence torn, hence skipped) final record.
   const char* p = frame.data();
   size_t left = frame.size();
+  if (fail_next_append_) {
+    // Test seam: put a prefix of the frame in the file for real, then
+    // fail as the device would — AppendFailed must erase exactly it.
+    fail_next_append_ = false;
+    size_t partial = std::min(fail_partial_bytes_, frame.size());
+    while (partial > 0) {
+      ssize_t n = ::write(fd_, p, partial);
+      if (n <= 0) break;
+      p += n;
+      partial -= static_cast<size_t>(n);
+    }
+    return AppendFailed("injected write failure");
+  }
   while (left > 0) {
     ssize_t n = ::write(fd_, p, left);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::ExecutionError(std::string("WAL write failed: ") +
-                                    std::strerror(errno));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return AppendFailed(n < 0 ? std::strerror(errno) : "short write");
     }
     p += n;
     left -= static_cast<size_t>(n);
@@ -99,6 +118,26 @@ Status WalWriter::Append(std::string_view payload) {
     return Sync();
   }
   return Status::OK();
+}
+
+Status WalWriter::AppendFailed(const std::string& why) {
+  // The failed write may have left a prefix of the frame in the file,
+  // with the fd offset past it. Erase it and rewind to the last good
+  // frame boundary: recovery stops at the first undecodable frame, so
+  // appending after the garbage would silently drop every record that
+  // follows, even acknowledged ones.
+  if (::ftruncate(fd_, static_cast<off_t>(offset_)) != 0 ||
+      ::lseek(fd_, static_cast<off_t>(offset_), SEEK_SET) < 0) {
+    // The partial frame cannot be erased; refuse all further appends
+    // rather than write records recovery will never see. Truncate()
+    // clears the latch (it empties the file wholesale).
+    broken_ = true;
+    return Status::ExecutionError(
+        "WAL write failed (" + why +
+        ") and the partial frame could not be rolled back: " +
+        std::strerror(errno));
+  }
+  return Status::ExecutionError("WAL write failed: " + why);
 }
 
 Status WalWriter::Sync() {
@@ -124,6 +163,7 @@ Status WalWriter::Truncate() {
     return Status::ExecutionError(std::string("WAL fsync failed: ") +
                                   std::strerror(errno));
   }
+  broken_ = false;  // An empty log has no partial frame left to hide.
   return Status::OK();
 }
 

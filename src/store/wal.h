@@ -46,7 +46,12 @@ class WalWriter {
   Status Open(const std::string& path, FsyncMode mode,
               size_t fsync_interval_records, int64_t valid_bytes = -1);
 
-  /// Frames and appends one record, applying the fsync policy.
+  /// Frames and appends one record, applying the fsync policy. A failed
+  /// write rolls the file back to the last good frame boundary, so the
+  /// writer stays usable; if the rollback itself fails the writer
+  /// latches into an error state (every further Append fails) rather
+  /// than appending after garbage that would hide all later records
+  /// from recovery. Truncate() clears the latch.
   Status Append(std::string_view payload);
 
   /// Forces everything appended so far to disk (checkpoint barrier).
@@ -63,13 +68,29 @@ class WalWriter {
   uint64_t bytes_written() const { return offset_; }
   uint64_t syncs() const { return syncs_; }
 
+  /// Test-only: the next Append() writes `partial_bytes` of its frame
+  /// and then fails as a full disk or bad device would, exercising the
+  /// partial-frame rollback path.
+  void TestFailNextAppend(size_t partial_bytes) {
+    fail_next_append_ = true;
+    fail_partial_bytes_ = partial_bytes;
+  }
+
  private:
+  /// Failed-append cleanup: erases any partial frame bytes and rewinds
+  /// to the last good frame boundary, latching `broken_` when that is
+  /// impossible. Returns the error to hand the caller.
+  Status AppendFailed(const std::string& why);
+
   int fd_ = -1;
   FsyncMode mode_ = FsyncMode::kInterval;
   size_t fsync_interval_records_ = 64;
   size_t appends_since_sync_ = 0;
   uint64_t offset_ = 0;
   uint64_t syncs_ = 0;
+  bool broken_ = false;
+  bool fail_next_append_ = false;
+  size_t fail_partial_bytes_ = 0;
 };
 
 /// Result of scanning a log file: every decodable record payload in

@@ -79,6 +79,31 @@ std::string FingerprintWorld(org::OrgModel& org, policy::PolicyStore& store,
   return out.str();
 }
 
+/// Clock every recovered store and shadow model in this file reads:
+/// recovery re-bases persisted lease lifetimes onto the recovering
+/// clock, so both sides must see the same "now" (frozen at zero) for
+/// their deadline fingerprints to be comparable.
+SimulatedClock* RecoveryClock() {
+  static SimulatedClock clock;
+  return &clock;
+}
+
+DurableOptions RecoveryOptions() {
+  DurableOptions options;
+  options.rm_options.clock = RecoveryClock();
+  return options;
+}
+
+/// The recovery contract for persisted leases (DESIGN.md §10): the
+/// deadline field holds the remaining lifetime at journal time, which a
+/// recovering process adds to its own clock.
+core::Lease Rebased(core::Lease lease, int64_t now_micros) {
+  if (lease.deadline_micros != core::Lease::kNoExpiry) {
+    lease.deadline_micros += now_micros;
+  }
+  return lease;
+}
+
 /// Shadow model: reconstructs state from dir's snapshot + WAL using the
 /// public codec only, mirroring the documented recovery contract
 /// (DESIGN.md §10) rather than calling into DurableResourceManager.
@@ -94,7 +119,11 @@ Shadow BuildShadow(const std::string& dir) {
   Shadow s;
   s.org = std::make_unique<org::OrgModel>();
   s.store = std::make_unique<policy::PolicyStore>(s.org.get());
-  s.rm = std::make_unique<core::ResourceManager>(s.org.get(), s.store.get());
+  core::ResourceManagerOptions rm_options;
+  rm_options.clock = RecoveryClock();
+  s.rm = std::make_unique<core::ResourceManager>(s.org.get(), s.store.get(),
+                                                 rm_options);
+  const int64_t now = RecoveryClock()->NowMicros();
 
   uint64_t snapshot_seq = 0;
   bool have_snapshot = false;
@@ -103,7 +132,7 @@ Shadow BuildShadow(const std::string& dir) {
     EXPECT_TRUE(org::ExecuteRdl(snap->rdl_text, s.org.get()).ok());
     EXPECT_TRUE(s.store->ImportImage(snap->policy_image).ok());
     for (const core::Lease& lease : snap->leases) {
-      EXPECT_TRUE(s.rm->RestoreLease(lease).ok());
+      EXPECT_TRUE(s.rm->RestoreLease(Rebased(lease, now)).ok());
     }
     s.rm->AdvanceLeaseId(snap->next_lease_id);
     snapshot_seq = snap->last_seq;
@@ -140,7 +169,7 @@ Shadow BuildShadow(const std::string& dir) {
         break;
       case RecordType::kLeaseAcquire:
       case RecordType::kLeaseRenew:
-        (void)s.rm->RestoreLease(record->lease);
+        (void)s.rm->RestoreLease(Rebased(record->lease, now));
         break;
       case RecordType::kLeaseRelease:
         (void)s.rm->Release(record->lease);
@@ -208,7 +237,8 @@ class CrashRecoveryTest : public ::testing::Test {
     ASSERT_TRUE((*d)->RemoveRequirementGroup(1).ok());
     // Which of alice/bob the first Release freed depends on allocation
     // order; releasing bob by ref is a real release on one branch and a
-    // journal-free NotAllocated on the other — both fine for the run.
+    // NotAllocated on the other. Both journal a record (releases journal
+    // before apply), and the no-op one replays as the same no-op.
     (void)(*d)->Release(org::ResourceRef{"Programmer", "bob"});
     auto third = (*d)->Acquire(kBigJob);
     ASSERT_TRUE(third.ok());
@@ -264,7 +294,7 @@ TEST_F(CrashRecoveryTest, SeededKillPointsRecoverToShadowModel) {
       Shadow shadow = BuildShadow(dir);
       std::string expected = shadow.Fingerprint();
 
-      auto d = DurableResourceManager::Open(dir);
+      auto d = DurableResourceManager::Open(dir, RecoveryOptions());
       ASSERT_TRUE(d.ok()) << "cut=" << cut << ": " << d.status().ToString();
       std::string actual =
           FingerprintWorld((*d)->org(), (*d)->store(), (*d)->rm());
@@ -285,7 +315,7 @@ TEST_F(CrashRecoveryTest, SeededKillPointsRecoverToShadowModel) {
         std::string with_probe =
             FingerprintWorld((*d)->org(), (*d)->store(), (*d)->rm());
         d->reset();  // Close before reopening the same directory.
-        auto again = DurableResourceManager::Open(dir);
+        auto again = DurableResourceManager::Open(dir, RecoveryOptions());
         ASSERT_TRUE(again.ok());
         EXPECT_EQ(FingerprintWorld((*again)->org(), (*again)->store(),
                                    (*again)->rm()),
@@ -315,7 +345,7 @@ TEST_F(CrashRecoveryTest, BitCorruptedTailRecoversLongestValidPrefix) {
       out.write(damaged.data(), static_cast<std::streamsize>(damaged.size()));
     }
     Shadow shadow = BuildShadow(dir);
-    auto d = DurableResourceManager::Open(dir);
+    auto d = DurableResourceManager::Open(dir, RecoveryOptions());
     ASSERT_TRUE(d.ok()) << d.status().ToString();
     EXPECT_EQ(FingerprintWorld((*d)->org(), (*d)->store(), (*d)->rm()),
               shadow.Fingerprint())

@@ -271,10 +271,13 @@ TEST_F(DurableTest, ReleasedAndRenewedLeasesSurviveReopen) {
   DurableOptions options;
   options.rm_options.clock = &clock;
   options.rm_options.lease_duration_micros = 1'000'000;
-  std::string before;
+  uint64_t survivor_id = 0;
   {
     auto d = OpenWithWorkload(options);
     ASSERT_NE(d, nullptr);
+    auto first = d->rm().ListLeases();
+    ASSERT_EQ(first.size(), 1u);
+    survivor_id = first[0].id;
     // Free bob's qualification requirement by adding a second senior
     // programmer, acquire + release one, renew the other.
     ASSERT_TRUE(d->ExecuteRdl("Insert Resource Programmer 'carol' "
@@ -288,15 +291,20 @@ TEST_F(DurableTest, ReleasedAndRenewedLeasesSurviveReopen) {
     ASSERT_TRUE(renewed.ok());
     EXPECT_GT(renewed->deadline_micros, second->deadline_micros);
     ASSERT_TRUE(d->Release(*renewed).ok());
-    before = Fingerprint(*d);
   }
   DurableOptions reopen;
   reopen.rm_options.clock = &clock;
   reopen.rm_options.lease_duration_micros = 1'000'000;
   auto d = DurableResourceManager::Open(dir_, reopen);
   ASSERT_TRUE(d.ok()) << d.status().ToString();
-  EXPECT_EQ(Fingerprint(**d), before);
-  EXPECT_EQ((*d)->rm().ListLeases().size(), 1u);
+  auto leases = (*d)->rm().ListLeases();
+  ASSERT_EQ(leases.size(), 1u);
+  EXPECT_EQ(leases[0].id, survivor_id);
+  // Persisted deadlines are remaining lifetimes: the survivor had a
+  // full second left when journaled (at clock 0), and recovery re-bases
+  // that onto the clock's current reading of 500ms.
+  EXPECT_EQ(leases[0].deadline_micros, 1'500'000);
+  EXPECT_TRUE((*d)->rm().IsLeaseActive(leases[0]));
 }
 
 TEST_F(DurableTest, ReapIsJournaledPerLease) {
@@ -319,6 +327,114 @@ TEST_F(DurableTest, ReapIsJournaledPerLease) {
   ASSERT_TRUE(d.ok()) << d.status().ToString();
   EXPECT_EQ(Fingerprint(**d), before);
   EXPECT_TRUE((*d)->rm().ListLeases().empty());
+}
+
+TEST_F(DurableTest, LeaseDeadlinesSurviveClockEpochChange) {
+  // A SystemClock reads microseconds since boot, so after a host
+  // restart the recovering process's clock restarts near zero —
+  // persisted monotonic timestamps would make recovered leases look
+  // live for hours (or expired on arrival). Simulated here: journal
+  // under a clock reading 7000s, recover under one reading 0; the lease
+  // must come back with its remaining lifetime re-based.
+  SimulatedClock first_boot(7'000'000'000);
+  DurableOptions options;
+  options.rm_options.clock = &first_boot;
+  options.rm_options.lease_duration_micros = 1'000'000;
+  {
+    auto d = OpenWithWorkload(options);
+    ASSERT_NE(d, nullptr);
+  }
+
+  SimulatedClock second_boot(0);
+  DurableOptions reopen;
+  reopen.rm_options.clock = &second_boot;
+  reopen.rm_options.lease_duration_micros = 1'000'000;
+  {
+    // WAL replay path.
+    auto d = DurableResourceManager::Open(dir_, reopen);
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    auto leases = (*d)->rm().ListLeases();
+    ASSERT_EQ(leases.size(), 1u);
+    EXPECT_EQ(leases[0].deadline_micros, 1'000'000);
+    EXPECT_TRUE((*d)->rm().IsLeaseActive(leases[0]));
+    ASSERT_TRUE((*d)->Checkpoint().ok());
+  }
+
+  SimulatedClock third_boot(0);
+  DurableOptions again;
+  again.rm_options.clock = &third_boot;
+  again.rm_options.lease_duration_micros = 1'000'000;
+  // Snapshot path: the checkpoint above re-captured the remaining
+  // lifetime, so another "reboot" restores it the same way — and the
+  // lease then expires on schedule.
+  auto d = DurableResourceManager::Open(dir_, again);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  auto leases = (*d)->rm().ListLeases();
+  ASSERT_EQ(leases.size(), 1u);
+  EXPECT_EQ(leases[0].deadline_micros, 1'000'000);
+  third_boot.AdvanceMicros(2'000'000);
+  EXPECT_EQ((*d)->ReapExpired(), 1u);
+}
+
+TEST_F(DurableTest, FailedReleaseJournalLeavesLeaseHeld) {
+  auto d = OpenWithWorkload();
+  ASSERT_NE(d, nullptr);
+  auto leases = d->rm().ListLeases();
+  ASSERT_EQ(leases.size(), 1u);
+  d->TestFailNextJournal(3);
+  EXPECT_FALSE(d->Release(leases[0]).ok());
+  // Releases journal before they apply: the failed append left the
+  // lease in place, so memory and journal agree — replay cannot
+  // resurrect a lease the owner was told was released.
+  EXPECT_TRUE(d->rm().IsAllocated(leases[0].resource));
+  // The partial frame was rolled back, so the log stays appendable and
+  // a retried release lands cleanly after the acknowledged records.
+  ASSERT_TRUE(d->Release(leases[0]).ok());
+  auto scan = ReadWal(dir_ + "/wal.log");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_FALSE(scan->torn_tail);
+  EXPECT_EQ(scan->payloads.size(), 4u);  // rdl, pl, acquire, release.
+  EXPECT_FALSE(d->rm().IsAllocated(leases[0].resource));
+}
+
+TEST_F(DurableTest, FailedRenewJournalRollsBackExtension) {
+  SimulatedClock clock;
+  DurableOptions options;
+  options.rm_options.clock = &clock;
+  options.rm_options.lease_duration_micros = 1'000'000;
+  auto d = OpenWithWorkload(options);
+  ASSERT_NE(d, nullptr);
+  auto leases = d->rm().ListLeases();
+  ASSERT_EQ(leases.size(), 1u);
+  ASSERT_EQ(leases[0].deadline_micros, 1'000'000);
+  clock.AdvanceMicros(500'000);
+  d->TestFailNextJournal(2);
+  EXPECT_FALSE(d->RenewLease(leases[0]).ok());
+  // The caller saw a failure, so the grant must stay at the deadline
+  // the journal covers — not the silently extended one.
+  auto held = d->rm().FindLease(leases[0].resource);
+  ASSERT_TRUE(held.has_value());
+  EXPECT_EQ(held->deadline_micros, 1'000'000);
+  auto renewed = d->RenewLease(leases[0]);
+  ASSERT_TRUE(renewed.ok());
+  EXPECT_EQ(renewed->deadline_micros, 1'500'000);
+}
+
+TEST_F(DurableTest, FailedReapJournalKeepsLeaseForNextPass) {
+  SimulatedClock clock;
+  DurableOptions options;
+  options.rm_options.clock = &clock;
+  options.rm_options.lease_duration_micros = 1'000;
+  auto d = OpenWithWorkload(options);
+  ASSERT_NE(d, nullptr);
+  clock.AdvanceMicros(10'000);
+  d->TestFailNextJournal(4);
+  // Reap journals the expired set before reclaiming it: with the
+  // append failing, nothing is reaped and the lease stays held.
+  EXPECT_EQ(d->ReapExpired(), 0u);
+  EXPECT_EQ(d->rm().ListLeases().size(), 1u);
+  EXPECT_EQ(d->ReapExpired(), 1u);
+  EXPECT_TRUE(d->rm().ListLeases().empty());
 }
 
 TEST_F(DurableTest, LeaseIdsNeverReusedAcrossRecovery) {

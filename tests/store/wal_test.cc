@@ -130,6 +130,45 @@ TEST_F(WalTest, ReopenAtValidBytesCutsTornTail) {
   EXPECT_FALSE(rescan->torn_tail);
 }
 
+TEST_F(WalTest, FailedAppendRollsBackPartialFrame) {
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_, FsyncMode::kOff, 0).ok());
+  ASSERT_TRUE(writer.Append("first").ok());
+
+  // A write that dies mid-frame (ENOSPC, EIO) leaves garbage bytes in
+  // the file; the writer must erase them and rewind, or every record
+  // appended afterwards would sit behind an undecodable frame and be
+  // silently dropped by recovery.
+  writer.TestFailNextAppend(5);
+  EXPECT_FALSE(writer.Append("lost-to-the-device").ok());
+  ASSERT_TRUE(writer.Append("third").ok());
+  writer.Close();
+
+  auto scan = ReadWal(path_);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->payloads.size(), 2u);
+  EXPECT_EQ(scan->payloads[0], "first");
+  EXPECT_EQ(scan->payloads[1], "third");
+  EXPECT_FALSE(scan->torn_tail);
+}
+
+TEST_F(WalTest, UnrollbackableWriteFailureLatchesTheWriter) {
+  // /dev/full fails every write with ENOSPC and, being a device, also
+  // rejects the rollback ftruncate — the writer must latch rather than
+  // pretend later appends can be recovered.
+  if (::access("/dev/full", W_OK) != 0) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  WalWriter writer;
+  ASSERT_TRUE(
+      writer.Open("/dev/full", FsyncMode::kOff, 0, /*valid_bytes=*/-1).ok());
+  EXPECT_FALSE(writer.Append("x").ok());
+  Status latched = writer.Append("y");
+  EXPECT_FALSE(latched.ok());
+  EXPECT_NE(latched.message().find("latched"), std::string::npos)
+      << latched.ToString();
+}
+
 TEST_F(WalTest, TruncateEmptiesTheLog) {
   WalWriter writer;
   ASSERT_TRUE(writer.Open(path_, FsyncMode::kInterval, 4).ok());
