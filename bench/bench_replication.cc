@@ -1,0 +1,176 @@
+// Replication layer costs: WAL ship/apply throughput over the
+// in-process link (records per second a follower can absorb), snapshot
+// catch-up for a far-behind follower, and failover time — how long
+// promotion takes once the primary dies (DESIGN.md §11).
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "store/durable_rm.h"
+#include "store/replication.h"
+
+#include "json_reporter.h"
+
+namespace {
+
+using namespace wfrm;  // NOLINT
+
+std::string MakeTempDir() {
+  std::string tmpl =
+      (std::filesystem::temp_directory_path() / "wfrm_bench_repl_XXXXXX")
+          .string();
+  if (::mkdtemp(tmpl.data()) == nullptr) std::abort();
+  return tmpl;
+}
+
+void RemoveDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+constexpr char kRdl[] =
+    "Define Resource Type Employee "
+    "(ContactInfo String, Location String, Experience Int);"
+    "Define Resource Type Programmer Under Employee;"
+    "Define Activity Type Activity (Location String);"
+    "Define Activity Type Programming Under Activity (NumberOfLines Int);";
+
+std::string InsertStatement(int i) {
+  std::string id = "p";
+  id += std::to_string(i);
+  std::string stmt = "Insert Resource Programmer '";
+  stmt += id;
+  stmt += "' (ContactInfo = '";
+  stmt += id;
+  stmt += "@x.com', Location = 'PA', Experience = ";
+  stmt += std::to_string(i % 20);
+  stmt += ");";
+  return stmt;
+}
+
+struct Pair {
+  std::string primary_dir = MakeTempDir();
+  std::string follower_dir = MakeTempDir();
+  std::unique_ptr<store::DurableResourceManager> primary;
+  std::unique_ptr<store::DurableResourceManager> follower;
+  std::unique_ptr<store::ReplicaApplier> applier;
+  std::unique_ptr<store::InProcessTransport> link;
+  std::unique_ptr<store::WalShipper> shipper;
+
+  Pair() {
+    store::DurableOptions options;
+    options.fsync_mode = store::FsyncMode::kOff;
+    auto p = store::DurableResourceManager::Open(primary_dir, options);
+    auto f = store::DurableResourceManager::Open(follower_dir, options);
+    if (!p.ok() || !f.ok()) std::abort();
+    primary = std::move(*p);
+    follower = std::move(*f);
+    auto attached = store::ReplicaApplier::Attach(follower.get());
+    if (!attached.ok()) std::abort();
+    applier = std::move(*attached);
+    link = std::make_unique<store::InProcessTransport>(applier.get());
+    shipper = std::make_unique<store::WalShipper>(primary.get(), link.get(),
+                                                  /*epoch=*/1);
+  }
+
+  ~Pair() {
+    shipper.reset();
+    link.reset();
+    applier.reset();
+    follower.reset();
+    primary.reset();
+    RemoveDir(primary_dir);
+    RemoveDir(follower_dir);
+  }
+};
+
+/// Ship+apply throughput: journal `range(0)` inserts on the primary,
+/// then one Pump() drains them through the follower's replay path.
+/// items == records replicated end to end.
+void BM_Replication_ShipApply(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Pair pair;
+  if (!pair.primary->ExecuteRdl(kRdl).ok()) std::abort();
+  if (!pair.shipper->Pump().ok()) std::abort();
+  int i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int k = 0; k < batch; ++k) {
+      if (!pair.primary->ExecuteRdl(InsertStatement(i++)).ok()) std::abort();
+    }
+    state.ResumeTiming();
+    if (!pair.shipper->Pump().ok()) std::abort();
+    if (pair.shipper->lag_records() != 0) std::abort();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * batch);
+  state.SetLabel("records/pump=" + std::to_string(batch));
+}
+BENCHMARK(BM_Replication_ShipApply)->Arg(1)->Arg(64)->Arg(512);
+
+/// Snapshot catch-up: the primary checkpoints (truncating the records
+/// away), so a fresh follower must be seeded by the chunked snapshot
+/// stream. items == snapshot installs.
+void BM_Replication_SnapshotCatchup(benchmark::State& state) {
+  const int records = 500;
+  std::string primary_dir = MakeTempDir();
+  store::DurableOptions options;
+  options.fsync_mode = store::FsyncMode::kOff;
+  auto p = store::DurableResourceManager::Open(primary_dir, options);
+  if (!p.ok() || !(*p)->ExecuteRdl(kRdl).ok()) std::abort();
+  for (int i = 0; i < records; ++i) {
+    if (!(*p)->ExecuteRdl(InsertStatement(i)).ok()) std::abort();
+  }
+  if (!(*p)->Checkpoint().ok()) std::abort();
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string follower_dir = MakeTempDir();
+    auto f = store::DurableResourceManager::Open(follower_dir, options);
+    if (!f.ok()) std::abort();
+    auto applier = store::ReplicaApplier::Attach(f->get());
+    if (!applier.ok()) std::abort();
+    store::InProcessTransport link(applier->get());
+    store::WalShipper shipper(p->get(), &link, /*epoch=*/1);
+    state.ResumeTiming();
+    if (!shipper.Pump().ok()) std::abort();
+    if (shipper.lag_records() != 0) std::abort();
+    state.PauseTiming();
+    applier->reset();
+    f->reset();
+    RemoveDir(follower_dir);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations());
+  p->reset();
+  RemoveDir(primary_dir);
+}
+BENCHMARK(BM_Replication_SnapshotCatchup);
+
+/// Failover time: with a caught-up follower, how long Promote() takes
+/// (epoch bump + durable replica.meta commit + standby exit). items ==
+/// failovers.
+void BM_Replication_Failover(benchmark::State& state) {
+  std::string dir = MakeTempDir();
+  store::DurableOptions options;
+  options.fsync_mode = store::FsyncMode::kOff;
+  auto f = store::DurableResourceManager::Open(dir, options);
+  if (!f.ok()) std::abort();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto applier = store::ReplicaApplier::Attach(f->get());
+    if (!applier.ok()) std::abort();
+    state.ResumeTiming();
+    if (!(*applier)->Promote().ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+  f->reset();
+  RemoveDir(dir);
+}
+BENCHMARK(BM_Replication_Failover);
+
+}  // namespace
+
+WFRM_BENCH_JSON_MAIN();

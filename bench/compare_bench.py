@@ -70,6 +70,11 @@ def compare(baseline, runs, max_drop, obs_limit):
                      "baseline_real_ns": entry["real_ns"],
                      "real_ns": run["real_ns"], "throughput_ratio": ratio})
 
+    # Benchmarks present in the results but absent from the baseline are
+    # informational, never an error: a freshly added bench lands here
+    # until someone records a baseline entry for it.
+    result_only = sorted(set(runs) - set(baseline["benchmarks"]))
+
     if not shared:
         sys.exit("error: no benchmarks shared between baseline and results")
 
@@ -107,8 +112,8 @@ def compare(baseline, runs, max_drop, obs_limit):
                 f"than disabled (limit {obs_limit * 100:.0f}%)")
 
     return {"machine_factor": machine_factor, "max_drop": max_drop,
-            "benchmarks": rows, "obs_overhead": obs,
-            "failures": failures}
+            "benchmarks": rows, "result_only": result_only,
+            "obs_overhead": obs, "failures": failures}
 
 
 def main():
@@ -150,6 +155,10 @@ def main():
         print(f"{row['name']:<50} {row['baseline_real_ns']:>12.0f} "
               f"{row['real_ns']:>12.0f} {row['normalized_ratio']:>5.2f}x  "
               f"{flag}{mark}")
+    for name in report["result_only"]:
+        run = runs[name]
+        print(f"info: {name} not in baseline (informational only): "
+              f"{run.get('real_ns', 0):.0f} ns")
     if report["obs_overhead"]:
         o = report["obs_overhead"]
         print(f"observability overhead: {o['overhead'] * 100:+.1f}% "

@@ -12,6 +12,13 @@
 //   open <dir>          open a durable home: recover from WAL + snapshot,
 //                       then journal every later mutation
 //   save <dir>          checkpoint the open home / export this session
+//   status              health report (degraded state, WAL, replication)
+//   replica <dir>       attach a follower store; WAL frames ship to it
+//   sync                pump the replication link until the follower is
+//                       caught up
+//   partition on|off    sever / heal the replication link
+//   failover            promote the follower (fenced epoch bump) and
+//                       continue the session on it
 //   demo                load the paper's running example
 //   help, quit
 //
@@ -33,6 +40,7 @@
 #include "policy/pl_dump.h"
 #include "policy/policy_manager.h"
 #include "store/durable_rm.h"
+#include "store/replication.h"
 #include "testutil/paper_org.h"
 
 namespace {
@@ -48,10 +56,61 @@ struct Shell {
   /// Non-null after `open <dir>`: every mutation is then journaled to
   /// the directory's WAL and survives a crash or restart.
   std::unique_ptr<store::DurableResourceManager> durable;
+  /// Replication pair, non-null after `replica <dir>`: a standby store
+  /// fed by a WAL shipper over an in-process link (with a partition
+  /// toggle for demonstrating degraded mode and failover).
+  std::unique_ptr<store::DurableResourceManager> replica;
+  std::unique_ptr<store::ReplicaApplier> applier;
+  std::unique_ptr<store::InProcessTransport> link;
+  std::unique_ptr<store::FaultInjectingTransport> chaos_link;
+  std::unique_ptr<store::WalShipper> shipper;
 
   org::OrgModel& Org() { return durable ? durable->org() : *org; }
   policy::PolicyStore& Store() { return durable ? durable->store() : *store; }
   core::ResourceManager& Rm() { return durable ? durable->rm() : *rm; }
+
+  void DropReplication() {
+    shipper.reset();
+    chaos_link.reset();
+    link.reset();
+    applier.reset();
+    replica.reset();
+  }
+
+  /// One quiet replication pump after each command — the shell's
+  /// equivalent of a background shipping loop.
+  void PumpReplication() {
+    if (shipper) (void)shipper->Pump();
+  }
+
+  void PrintStatus() {
+    if (!durable) {
+      std::cout << "mode: volatile (in-memory only; 'open <dir>' for "
+                   "durability)\n";
+      return;
+    }
+    std::cout << "mode: durable home " << durable->dir() << " (last seq "
+              << durable->last_seq() << ")\n";
+    std::cout << "wal: " << (durable->wal_healthy() ? "healthy" : "BROKEN")
+              << "\n";
+    if (durable->degraded()) {
+      std::cout << "health: DEGRADED — " << durable->degraded_reason()
+                << " (reads keep serving; mutations fail fast)\n";
+    } else {
+      std::cout << "health: ok\n";
+    }
+    if (shipper) {
+      std::cout << "replica: " << replica->dir() << " (epoch "
+                << shipper->epoch() << ", lag " << shipper->lag_records()
+                << " records / " << shipper->lag_bytes() << " bytes";
+      if (chaos_link->partitioned()) std::cout << ", link PARTITIONED";
+      if (shipper->fenced()) std::cout << ", FENCED";
+      if (shipper->divergence_detected() || applier->diverged()) {
+        std::cout << ", DIVERGED";
+      }
+      std::cout << ")\n";
+    }
+  }
 
   void LoadDemo() {
     auto world = testutil::BuildPaperWorld();
@@ -102,6 +161,10 @@ struct Shell {
     // The full per-stage decision report (qualification fan-out,
     // requirement conjuncts with their PIDs, substitution alternatives,
     // availability) — enforcement runs, but nothing is allocated.
+    if (durable && durable->degraded()) {
+      std::cout << "note: store is degraded (" << durable->degraded_reason()
+                << ") — reads like this keep serving, mutations fail fast\n";
+    }
     auto report = Rm().Explain(rql);
     if (!report.ok()) {
       std::cout << "error: " << report.status().ToString() << "\n";
@@ -152,13 +215,125 @@ struct Shell {
           << "                      mutations are journaled from then on\n"
           << "  save <dir>          checkpoint the open home, or write a\n"
           << "                      fresh durable home from this session\n"
+          << "  status              health report (degraded state, WAL,\n"
+          << "                      replication lag/epoch)\n"
+          << "  replica <dir>       attach a follower store fed by WAL\n"
+          << "                      shipping\n"
+          << "  sync                pump replication until caught up\n"
+          << "  partition on|off    sever / heal the replication link\n"
+          << "  failover            promote the follower (fenced epoch\n"
+          << "                      bump) and continue the session on it\n"
           << "  load <file>         read a plain-text RDL+PL script\n"
           << "  demo                load the paper's example org\n"
           << "  quit\n";
       return true;
     }
     if (lower == "demo") {
+      DropReplication();
       LoadDemo();
+      return true;
+    }
+    if (lower == "status") {
+      PrintStatus();
+      return true;
+    }
+    if (lower == "replica") {
+      std::string path;
+      words >> path;
+      if (path.empty()) {
+        std::cout << "usage: replica <dir>\n";
+        return true;
+      }
+      if (!durable) {
+        std::cout << "no durable home open ('open <dir>' first) — only a "
+                     "journaled store can ship its WAL\n";
+        return true;
+      }
+      auto standby = store::DurableResourceManager::Open(path);
+      if (!standby.ok()) {
+        std::cout << "replica failed: " << standby.status().ToString() << "\n";
+        return true;
+      }
+      auto attached = store::ReplicaApplier::Attach(standby->get());
+      if (!attached.ok()) {
+        std::cout << "replica failed: " << attached.status().ToString()
+                  << "\n";
+        return true;
+      }
+      DropReplication();
+      replica = std::move(*standby);
+      applier = std::move(*attached);
+      link = std::make_unique<store::InProcessTransport>(applier.get());
+      chaos_link = std::make_unique<store::FaultInjectingTransport>(
+          link.get(), nullptr);
+      // The primary must ship above every epoch the follower has lived
+      // through, or a follower that was once promoted would fence us.
+      shipper = std::make_unique<store::WalShipper>(
+          durable.get(), chaos_link.get(), applier->epoch() + 1);
+      Status st = shipper->Pump();
+      if (!st.ok()) {
+        std::cout << "replica attached, first pump failed: " << st.ToString()
+                  << "\n";
+        return true;
+      }
+      std::cout << "replicating " << durable->dir() << " -> " << path
+                << " (epoch " << shipper->epoch() << ", follower at seq "
+                << shipper->acked_seq() << ")\n";
+      return true;
+    }
+    if (lower == "sync") {
+      if (!shipper) {
+        std::cout << "no replica attached ('replica <dir>' first)\n";
+        return true;
+      }
+      Status st = shipper->Pump();
+      if (!st.ok()) {
+        std::cout << "sync failed: " << st.ToString() << "\n";
+        return true;
+      }
+      std::cout << "follower at seq " << shipper->acked_seq() << " (lag "
+                << shipper->lag_records() << ")\n";
+      return true;
+    }
+    if (lower == "partition") {
+      std::string setting;
+      words >> setting;
+      if (!chaos_link || (setting != "on" && setting != "off")) {
+        std::cout << (chaos_link ? "usage: partition on|off\n"
+                                 : "no replica attached\n");
+        return true;
+      }
+      chaos_link->SetPartitioned(setting == "on");
+      if (setting == "on") {
+        // Surface the partition as an explicit degraded state so reads
+        // keep serving while mutations fail fast with a typed status.
+        durable->EnterDegraded("replication link partitioned");
+        std::cout << "link severed; primary degraded (reads only)\n";
+      } else {
+        durable->ExitDegraded();
+        std::cout << "link healed\n";
+      }
+      return true;
+    }
+    if (lower == "failover") {
+      if (!applier) {
+        std::cout << "no replica attached ('replica <dir>' first)\n";
+        return true;
+      }
+      auto epoch = applier->Promote();
+      if (!epoch.ok()) {
+        std::cout << "failover failed: " << epoch.status().ToString() << "\n";
+        return true;
+      }
+      // Show the fence working: the demoted primary's next ship is
+      // rejected as stale.
+      if (shipper) (void)shipper->Pump();
+      const bool fenced = shipper && shipper->fenced();
+      std::cout << "promoted " << replica->dir() << " at epoch " << *epoch
+                << " (follower seq " << replica->last_seq() << ")"
+                << (fenced ? "; old primary fenced" : "") << "\n";
+      durable = std::move(replica);
+      DropReplication();
       return true;
     }
     if (lower == "open") {
@@ -173,6 +348,7 @@ struct Shell {
         std::cout << "open failed: " << opened.status().ToString() << "\n";
         return true;
       }
+      DropReplication();
       durable = std::move(*opened);
       const auto& info = durable->recovery_info();
       std::cout << "opened " << path << " (snapshot "
@@ -238,6 +414,7 @@ struct Shell {
           return true;
         }
       }
+      DropReplication();
       durable.reset();
       org = std::move(fresh_org);
       store = std::move(fresh_store);
@@ -360,5 +537,6 @@ int main() {
       break;
     }
     if (!shell.Dispatch(statement)) return 0;
+    shell.PumpReplication();
   }
 }

@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "resource unavailable";
     case StatusCode::kNotAllocated:
       return "not allocated";
+    case StatusCode::kDegraded:
+      return "degraded";
     case StatusCode::kUnimplemented:
       return "unimplemented";
     case StatusCode::kInternal:

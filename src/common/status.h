@@ -31,6 +31,12 @@ enum class StatusCode {
   /// kNotFound so callers can tell a bookkeeping misuse from a missing
   /// entity.
   kNotAllocated,
+  /// The store is serving reads but refusing mutations: the local WAL
+  /// latched broken, the node is a standby replica, or the operator
+  /// forced read-only mode. Distinct from kResourceUnavailable (a
+  /// per-resource outcome) — this is a whole-store health state; callers
+  /// should surface it rather than retry blindly.
+  kDegraded,
   kUnimplemented,
   kInternal,
 };
@@ -90,6 +96,9 @@ class Status {
   static Status NotAllocated(std::string msg) {
     return Status(StatusCode::kNotAllocated, std::move(msg));
   }
+  static Status Degraded(std::string msg) {
+    return Status(StatusCode::kDegraded, std::move(msg));
+  }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
@@ -117,6 +126,7 @@ class Status {
     return code() == StatusCode::kResourceUnavailable;
   }
   bool IsNotAllocated() const { return code() == StatusCode::kNotAllocated; }
+  bool IsDegraded() const { return code() == StatusCode::kDegraded; }
 
   /// Renders "<code>: <message>" (or "OK").
   std::string ToString() const;

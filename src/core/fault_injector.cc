@@ -25,6 +25,26 @@ bool FaultInjector::SampleResourceFailure() {
   return true;
 }
 
+MessageFault FaultInjector::SampleMessageFault() {
+  const double drop = options_.message_drop_rate;
+  const double dup = options_.message_duplicate_rate;
+  const double reorder = options_.message_reorder_rate;
+  if (drop + dup + reorder <= 0.0) return MessageFault::kNone;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  const double r = dist(rng_);
+  MessageFault fault = MessageFault::kNone;
+  if (r < drop) {
+    fault = MessageFault::kDrop;
+  } else if (r < drop + dup) {
+    fault = MessageFault::kDuplicate;
+  } else if (r < drop + dup + reorder) {
+    fault = MessageFault::kReorder;
+  }
+  if (fault != MessageFault::kNone) ++message_faults_injected_;
+  return fault;
+}
+
 void FaultInjector::ScheduleDown(const org::ResourceRef& resource,
                                  int64_t at_micros) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -63,6 +83,11 @@ size_t FaultInjector::num_query_faults_injected() const {
 size_t FaultInjector::num_resource_failures_injected() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return resource_failures_injected_;
+}
+
+size_t FaultInjector::num_message_faults_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return message_faults_injected_;
 }
 
 size_t FaultInjector::num_scheduled() const {

@@ -21,6 +21,25 @@ struct FaultInjectorOptions {
   /// failure — callers sample this e.g. once per assigned work item to
   /// decide whether the holder dies mid-flight.
   double resource_failure_rate = 0.0;
+  /// Per-message link faults, sampled by SampleMessageFault() — the
+  /// replication transport wrapper draws its seeded drops, duplicates
+  /// and reorders here. The three rates are cumulative slices of one
+  /// uniform draw, so their sum must stay <= 1.
+  double message_drop_rate = 0.0;
+  double message_duplicate_rate = 0.0;
+  double message_reorder_rate = 0.0;
+};
+
+/// What happens to one shipped message (link-level chaos).
+enum class MessageFault {
+  kNone,
+  /// The message never arrives (and the sender sees a transport error).
+  kDrop,
+  /// The message arrives twice — models an ack lost after delivery,
+  /// forcing the sender to resend something already applied.
+  kDuplicate,
+  /// The message is held back and delivered after a later one.
+  kReorder,
 };
 
 /// Deterministic fault source for chaos tests and benches.
@@ -51,6 +70,10 @@ class FaultInjector {
   /// Coin flip at resource_failure_rate; counts injected failures.
   bool SampleResourceFailure();
 
+  /// One seeded draw against the three message-fault rates; counts every
+  /// non-kNone outcome.
+  MessageFault SampleMessageFault();
+
   /// Schedules `resource` to fail (recover) at `at_micros`.
   void ScheduleDown(const org::ResourceRef& resource, int64_t at_micros);
   void ScheduleUp(const org::ResourceRef& resource, int64_t at_micros);
@@ -62,6 +85,7 @@ class FaultInjector {
 
   size_t num_query_faults_injected() const;
   size_t num_resource_failures_injected() const;
+  size_t num_message_faults_injected() const;
   size_t num_scheduled() const;
 
  private:
@@ -71,6 +95,7 @@ class FaultInjector {
   std::vector<HealthEvent> schedule_;
   size_t query_faults_injected_ = 0;
   size_t resource_failures_injected_ = 0;
+  size_t message_faults_injected_ = 0;
 };
 
 }  // namespace wfrm::core

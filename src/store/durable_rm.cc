@@ -6,10 +6,28 @@
 
 #include "org/rdl_dump.h"
 #include "org/rdl_parser.h"
+#include "store/fingerprint.h"
 
 namespace wfrm::store {
 
 namespace {
+
+/// Durable-home marker. The magic identifies the directory as ours (a
+/// foreign directory must never be "recovered" — the WAL torn-tail
+/// logic would happily truncate someone else's file); the version gates
+/// cross-build format skew with a clear error instead of a decode
+/// failure deep in replay.
+constexpr char kStoreMetaMagic[] = "wfrm-store-v1";
+constexpr uint32_t kStoreFormatVersion = 1;
+
+std::string EncodeStoreMeta() {
+  std::string payload;
+  AppendString(&payload, kStoreMetaMagic);
+  AppendU32(&payload, kStoreFormatVersion);
+  std::string bytes;
+  AppendWalFrame(&bytes, payload);
+  return bytes;
+}
 
 int64_t NowMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -45,11 +63,8 @@ core::Lease FromDurableLease(core::Lease lease, int64_t now_micros) {
 DurableResourceManager::DurableResourceManager(std::string dir,
                                                DurableOptions options)
     : dir_(std::move(dir)), options_(std::move(options)) {
-  org_ = std::make_unique<org::OrgModel>();
-  store_ = std::make_unique<policy::PolicyStore>(org_.get());
   obs::MetricsRegistry* reg = options_.rm_options.metrics;
   if (reg != nullptr) {
-    store_->set_metrics(reg);
     metrics_.wal_appends = reg->GetCounter(
         "wfrm_store_wal_appends_total", {}, "WAL records appended.");
     metrics_.wal_bytes = reg->GetCounter("wfrm_store_wal_bytes_total", {},
@@ -67,7 +82,23 @@ DurableResourceManager::DurableResourceManager(std::string dir,
     metrics_.replay_latency = reg->GetHistogram(
         "wfrm_store_replay_micros", obs::Histogram::LatencyBucketsMicros(), {},
         "Open() recovery time (snapshot load + WAL replay) in microseconds.");
+    metrics_.wal_broken = reg->GetGauge(
+        "wfrm_store_wal_broken", {},
+        "1 when the WAL writer has latched broken after a failed append; "
+        "a successful checkpoint clears it.");
+    metrics_.degraded = reg->GetGauge(
+        "wfrm_store_degraded", {},
+        "1 when the store refuses mutations (WAL broken, standby replica, "
+        "or replication partition); reads keep serving.");
   }
+  ResetWorldLocked();
+}
+
+void DurableResourceManager::ResetWorldLocked() {
+  org_ = std::make_unique<org::OrgModel>();
+  store_ = std::make_unique<policy::PolicyStore>(org_.get());
+  obs::MetricsRegistry* reg = options_.rm_options.metrics;
+  if (reg != nullptr) store_->set_metrics(reg);
   rm_ = std::make_unique<core::ResourceManager>(org_.get(), store_.get(),
                                                 options_.rm_options);
 }
@@ -84,8 +115,69 @@ Result<std::unique_ptr<DurableResourceManager>> DurableResourceManager::Open(
   }
   std::unique_ptr<DurableResourceManager> d(
       new DurableResourceManager(dir, std::move(options)));
+  WFRM_RETURN_NOT_OK(d->ValidateHome());
   WFRM_RETURN_NOT_OK(d->Recover());
+  if (d->needs_meta_) {
+    // Stamp legacy homes only after recovery proved the contents ours.
+    WFRM_RETURN_NOT_OK(WriteFileDurable(d->MetaPath(), EncodeStoreMeta()));
+    d->needs_meta_ = false;
+  }
   return d;
+}
+
+Status DurableResourceManager::ValidateHome() {
+  Result<std::string> raw = ReadFileBytes(MetaPath());
+  if (raw.ok()) {
+    WalScan scan = ScanWalBuffer(*raw);
+    std::string_view in;
+    std::string magic;
+    uint32_t version = 0;
+    if (scan.torn_tail || scan.payloads.size() != 1 ||
+        (in = scan.payloads.front(), !ReadString(&in, &magic))) {
+      return Status::ExecutionError(dir_ +
+                                    " is not a usable wfrm durable home: "
+                                    "store.meta is damaged");
+    }
+    if (magic != kStoreMetaMagic) {
+      return Status::ExecutionError(
+          dir_ + " is not a wfrm durable home: store.meta has foreign magic");
+    }
+    if (!ReadU32(&in, &version) || version != kStoreFormatVersion) {
+      return Status::ExecutionError(
+          dir_ + " holds store format v" + std::to_string(version) +
+          "; this build reads v" + std::to_string(kStoreFormatVersion));
+    }
+    return Status::OK();
+  }
+  if (raw.status().code() != StatusCode::kNotFound) return raw.status();
+
+  // No marker. Adopt a pre-marker home only when its contents decode as
+  // ours; anything else is a foreign or half-written directory, and
+  // recovery must not touch it (torn-tail handling would truncate it).
+  std::error_code ec;
+  const bool has_snapshot = std::filesystem::exists(SnapshotPath(), ec);
+  uintmax_t wal_size = 0;
+  if (std::filesystem::exists(WalPath(), ec)) {
+    wal_size = std::filesystem::file_size(WalPath(), ec);
+    if (ec) wal_size = 0;
+  }
+  if (has_snapshot) {
+    Result<SnapshotData> snap = ReadSnapshot(SnapshotPath());
+    if (!snap.ok()) {
+      return Status::ExecutionError(dir_ + " is not a wfrm durable home: " +
+                                    snap.status().message());
+    }
+  }
+  if (wal_size > 0) {
+    Result<WalScan> scan = ReadWal(WalPath());
+    if (!scan.ok()) return scan.status();
+    if (scan->payloads.empty() || !DecodeRecord(scan->payloads.front()).ok()) {
+      return Status::ExecutionError(
+          dir_ + " is not a wfrm durable home: wal.log is not a wfrm journal");
+    }
+  }
+  needs_meta_ = true;
+  return Status::OK();
 }
 
 Status DurableResourceManager::SaveWorld(const std::string& dir,
@@ -112,7 +204,8 @@ Status DurableResourceManager::SaveWorld(const std::string& dir,
   WalWriter wal;
   WFRM_RETURN_NOT_OK(
       wal.Open(dir + "/wal.log", FsyncMode::kOff, 0, /*valid_bytes=*/0));
-  return wal.Sync();
+  WFRM_RETURN_NOT_OK(wal.Sync());
+  return WriteFileDurable(dir + "/store.meta", EncodeStoreMeta());
 }
 
 // ---- Recovery ---------------------------------------------------------------
@@ -122,16 +215,7 @@ Status DurableResourceManager::Recover() {
 
   Result<SnapshotData> snapshot = ReadSnapshot(SnapshotPath());
   if (snapshot.ok()) {
-    // The snapshot's RDL dump always re-executes cleanly against a
-    // fresh org; failure means the snapshot lies about its own state.
-    WFRM_RETURN_NOT_OK(org::ExecuteRdl(snapshot->rdl_text, org_.get()));
-    WFRM_RETURN_NOT_OK(store_->ImportImage(snapshot->policy_image));
-    const int64_t now = rm_->clock().NowMicros();
-    for (const core::Lease& lease : snapshot->leases) {
-      WFRM_RETURN_NOT_OK(rm_->RestoreLease(FromDurableLease(lease, now)));
-    }
-    rm_->AdvanceLeaseId(snapshot->next_lease_id);
-    seq_ = snapshot->last_seq;
+    WFRM_RETURN_NOT_OK(RestoreSnapshotLocked(*snapshot));
     recovery_.snapshot_loaded = true;
     recovery_.snapshot_seq = snapshot->last_seq;
   } else if (snapshot.status().code() != StatusCode::kNotFound) {
@@ -174,6 +258,21 @@ Status DurableResourceManager::Recover() {
     metrics_.replay_latency->Observe(
         static_cast<double>(recovery_.replay_micros));
   }
+  UpdateHealthGaugesLocked();
+  return Status::OK();
+}
+
+Status DurableResourceManager::RestoreSnapshotLocked(const SnapshotData& data) {
+  // The snapshot's RDL dump always re-executes cleanly against a
+  // fresh org; failure means the snapshot lies about its own state.
+  WFRM_RETURN_NOT_OK(org::ExecuteRdl(data.rdl_text, org_.get()));
+  WFRM_RETURN_NOT_OK(store_->ImportImage(data.policy_image));
+  const int64_t now = rm_->clock().NowMicros();
+  for (const core::Lease& lease : data.leases) {
+    WFRM_RETURN_NOT_OK(rm_->RestoreLease(FromDurableLease(lease, now)));
+  }
+  rm_->AdvanceLeaseId(data.next_lease_id);
+  seq_ = data.last_seq;
   return Status::OK();
 }
 
@@ -227,7 +326,13 @@ Status DurableResourceManager::JournalLocked(Record record) {
   std::string payload = EncodeRecord(record);
   // seq_ advances only on success: a failed append (rolled back by the
   // writer) must leave the counter matching what the log holds.
-  WFRM_RETURN_NOT_OK(wal_.Append(payload));
+  Status appended = wal_.Append(payload);
+  if (!appended.ok()) {
+    // The writer may have latched broken; surface it on the gauges now
+    // rather than on the next mutation attempt.
+    UpdateHealthGaugesLocked();
+    return appended;
+  }
   seq_ = record.seq;
   if (metrics_.wal_appends != nullptr) metrics_.wal_appends->Increment();
   if (metrics_.wal_bytes != nullptr) {
@@ -251,6 +356,7 @@ Status DurableResourceManager::MaybeCheckpointLocked() {
 
 Status DurableResourceManager::ExecuteRdl(std::string_view rdl_text) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
+  WFRM_RETURN_NOT_OK(WritableLocked());
   // Journal before apply: an RDL script that aborts mid-way still
   // mutated the org, and replay must reproduce exactly that partial
   // effect (redo-logging, DESIGN.md §10).
@@ -265,6 +371,7 @@ Status DurableResourceManager::ExecuteRdl(std::string_view rdl_text) {
 
 Status DurableResourceManager::AddPolicyText(std::string_view pl_text) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
+  WFRM_RETURN_NOT_OK(WritableLocked());
   Record record;
   record.type = RecordType::kPl;
   record.text = std::string(pl_text);
@@ -276,6 +383,7 @@ Status DurableResourceManager::AddPolicyText(std::string_view pl_text) {
 
 Status DurableResourceManager::RemoveQualification(int64_t pid) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
+  WFRM_RETURN_NOT_OK(WritableLocked());
   Record record;
   record.type = RecordType::kRemoveQualification;
   record.id = pid;
@@ -287,6 +395,7 @@ Status DurableResourceManager::RemoveQualification(int64_t pid) {
 
 Status DurableResourceManager::RemoveRequirementGroup(int64_t group) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
+  WFRM_RETURN_NOT_OK(WritableLocked());
   Record record;
   record.type = RecordType::kRemoveRequirementGroup;
   record.id = group;
@@ -298,6 +407,7 @@ Status DurableResourceManager::RemoveRequirementGroup(int64_t group) {
 
 Status DurableResourceManager::RemoveSubstitutionGroup(int64_t group) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
+  WFRM_RETURN_NOT_OK(WritableLocked());
   Record record;
   record.type = RecordType::kRemoveSubstitutionGroup;
   record.id = group;
@@ -309,6 +419,7 @@ Status DurableResourceManager::RemoveSubstitutionGroup(int64_t group) {
 
 Result<core::Lease> DurableResourceManager::Acquire(std::string_view rql_text) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
+  WFRM_RETURN_NOT_OK(WritableLocked());
   // Grants journal after apply: the record carries the *outcome* (which
   // resource, which id), which does not exist beforehand. The crash
   // window loses only unacknowledged grants.
@@ -328,6 +439,7 @@ Result<core::Lease> DurableResourceManager::Acquire(std::string_view rql_text) {
 Result<core::Lease> DurableResourceManager::AllocateLease(
     const org::ResourceRef& ref) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
+  WFRM_RETURN_NOT_OK(WritableLocked());
   WFRM_ASSIGN_OR_RETURN(core::Lease lease, rm_->AllocateLease(ref));
   Record record;
   record.type = RecordType::kLeaseAcquire;
@@ -343,6 +455,7 @@ Result<core::Lease> DurableResourceManager::AllocateLease(
 
 Status DurableResourceManager::Release(const core::Lease& lease) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
+  WFRM_RETURN_NOT_OK(WritableLocked());
   // Journal before apply, unlike the grant paths: releasing a concrete
   // lease replays deterministically, and journaling second would let a
   // failed append leave a release applied in memory that replay undoes
@@ -360,6 +473,7 @@ Status DurableResourceManager::Release(const core::Lease& lease) {
 
 Status DurableResourceManager::Release(const org::ResourceRef& ref) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
+  WFRM_RETURN_NOT_OK(WritableLocked());
   // Journal before apply (see Release(Lease)); the record pins whatever
   // lease currently holds `ref`, so replay releases exactly that grant.
   std::optional<core::Lease> lease = rm_->FindLease(ref);
@@ -377,6 +491,7 @@ Status DurableResourceManager::Release(const org::ResourceRef& ref) {
 Result<core::Lease> DurableResourceManager::RenewLease(
     const core::Lease& lease) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
+  WFRM_RETURN_NOT_OK(WritableLocked());
   WFRM_ASSIGN_OR_RETURN(core::Lease renewed, rm_->RenewLease(lease));
   Record record;
   record.type = RecordType::kLeaseRenew;
@@ -394,6 +509,9 @@ Result<core::Lease> DurableResourceManager::RenewLease(
 
 size_t DurableResourceManager::ReapExpired() {
   std::lock_guard<std::mutex> lock(mutate_mu_);
+  // Reaping journals releases, i.e. mutates; a degraded or standby
+  // store skips the pass (expired leases stay until it heals).
+  if (!WritableLocked().ok()) return 0;
   const int64_t now = rm_->clock().NowMicros();
   // Journal before apply, like Release(): collect the expired set,
   // journal one release per lease, then reap exactly that set. Journal-
@@ -459,12 +577,156 @@ Status DurableResourceManager::CheckpointLocked() {
   }
   ReportSyncsLocked();
   records_since_checkpoint_ = 0;
+  // Truncation reset the writer's broken latch (if any) — a successful
+  // checkpoint is the repair path out of WAL-degraded mode.
+  UpdateHealthGaugesLocked();
   return Status::OK();
 }
 
 Status DurableResourceManager::Checkpoint() {
   std::lock_guard<std::mutex> lock(mutate_mu_);
   return CheckpointLocked();
+}
+
+// ---- Health / degraded mode -------------------------------------------------
+
+Status DurableResourceManager::WritableLocked() const {
+  if (standby_) {
+    return Status::Degraded("store " + dir_ +
+                            " is a standby replica (read-only); promote it "
+                            "to accept mutations");
+  }
+  if (!wal_.healthy()) {
+    return Status::Degraded("store " + dir_ +
+                            " is degraded: WAL latched broken after a failed "
+                            "append (a successful checkpoint repairs it)");
+  }
+  if (!external_degraded_reason_.empty()) {
+    return Status::Degraded("store " + dir_ +
+                            " is degraded: " + external_degraded_reason_);
+  }
+  return Status::OK();
+}
+
+void DurableResourceManager::UpdateHealthGaugesLocked() {
+  if (metrics_.wal_broken != nullptr) {
+    metrics_.wal_broken->Set(wal_.healthy() ? 0 : 1);
+  }
+  if (metrics_.degraded != nullptr) {
+    metrics_.degraded->Set(WritableLocked().ok() ? 0 : 1);
+  }
+}
+
+bool DurableResourceManager::degraded() const {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  return !WritableLocked().ok();
+}
+
+std::string DurableResourceManager::degraded_reason() const {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  if (standby_) return "standby replica (read-only until promoted)";
+  if (!wal_.healthy()) return "WAL latched broken (checkpoint to repair)";
+  return external_degraded_reason_;
+}
+
+bool DurableResourceManager::wal_healthy() const {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  return wal_.healthy();
+}
+
+void DurableResourceManager::EnterDegraded(std::string reason) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  external_degraded_reason_ = std::move(reason);
+  UpdateHealthGaugesLocked();
+}
+
+void DurableResourceManager::ExitDegraded() {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  external_degraded_reason_.clear();
+  UpdateHealthGaugesLocked();
+}
+
+void DurableResourceManager::EnterStandby() {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  standby_ = true;
+  UpdateHealthGaugesLocked();
+}
+
+void DurableResourceManager::ExitStandby() {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  standby_ = false;
+  UpdateHealthGaugesLocked();
+}
+
+bool DurableResourceManager::standby() const {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  return standby_;
+}
+
+// ---- Replication hooks ------------------------------------------------------
+
+Result<SnapshotData> DurableResourceManager::CaptureSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  SnapshotData data = CaptureLocked();
+  WFRM_ASSIGN_OR_RETURN(data.rdl_text, org::DumpRdl(*org_));
+  return data;
+}
+
+Status DurableResourceManager::InstallSnapshot(const SnapshotData& data) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  // Persist before apply: snapshot committed and WAL emptied first, so
+  // a crash anywhere mid-install recovers to exactly `data`.
+  WFRM_RETURN_NOT_OK(WriteSnapshot(SnapshotPath(), data));
+  WFRM_RETURN_NOT_OK(wal_.Truncate());
+  if (metrics_.snapshots != nullptr) metrics_.snapshots->Increment();
+  if (metrics_.wal_truncations != nullptr) {
+    metrics_.wal_truncations->Increment();
+  }
+  ResetWorldLocked();
+  WFRM_RETURN_NOT_OK(RestoreSnapshotLocked(data));
+  records_since_checkpoint_ = 0;
+  UpdateHealthGaugesLocked();
+  return Status::OK();
+}
+
+Status DurableResourceManager::ApplyReplicated(const Record& record) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  if (!wal_.healthy()) {
+    return Status::Degraded("store " + dir_ +
+                            " cannot journal replicated records: WAL latched "
+                            "broken");
+  }
+  if (record.seq != seq_ + 1) {
+    return Status::InvalidArgument(
+        "replication gap: record has seq " + std::to_string(record.seq) +
+        ", store expects " + std::to_string(seq_ + 1));
+  }
+  // Journal under the primary's own seq (not a locally assigned one):
+  // the follower's log stays byte-compatible with the primary's history,
+  // so recovery and further catch-up use the same sequence space.
+  std::string payload = EncodeRecord(record);
+  Status appended = wal_.Append(payload);
+  if (!appended.ok()) {
+    UpdateHealthGaugesLocked();
+    return appended;
+  }
+  seq_ = record.seq;
+  if (metrics_.wal_appends != nullptr) metrics_.wal_appends->Increment();
+  if (metrics_.wal_bytes != nullptr) {
+    metrics_.wal_bytes->Increment(payload.size() + 8);
+  }
+  ReportSyncsLocked();
+  ++records_since_checkpoint_;
+  ApplyRecord(record);
+  return MaybeCheckpointLocked();
+}
+
+std::string DurableResourceManager::StateFingerprint(
+    bool include_deadlines) const {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  FingerprintOptions options;
+  options.include_deadlines = include_deadlines;
+  return FingerprintWorld(*org_, *store_, *rm_, options);
 }
 
 }  // namespace wfrm::store

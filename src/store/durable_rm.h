@@ -96,6 +96,12 @@ class DurableResourceManager {
   /// Opens (or creates) the durable home `dir`, reconstructing state
   /// from `dir`/snapshot.dat plus the `dir`/wal.log tail. A torn final
   /// WAL record is cut off; a corrupt snapshot is an error.
+  ///
+  /// A durable home is stamped with a `store.meta` marker (magic +
+  /// format version). A directory holding store files but no marker is
+  /// adopted only when its contents decode as ours; a foreign or
+  /// half-written directory (bad magic, mismatched version, garbage
+  /// log) fails with a clear one-line error and no partial state.
   static Result<std::unique_ptr<DurableResourceManager>> Open(
       const std::string& dir, DurableOptions options = {});
 
@@ -128,8 +134,64 @@ class DurableResourceManager {
 
   /// Snapshots the current state (atomic tmp+rename) and truncates the
   /// WAL. Startup cost becomes one snapshot load plus whatever tail
-  /// accumulates afterwards.
+  /// accumulates afterwards. Allowed while WAL-degraded: the truncation
+  /// clears the writer's broken latch, so a successful checkpoint is
+  /// also the repair path out of that state.
   Status Checkpoint();
+
+  // ---- Health / degraded mode -------------------------------------------
+
+  /// True when the store refuses mutations: the WAL writer latched
+  /// broken, an external reason was set (replication partition), or the
+  /// node is a standby replica. Enforcement reads keep serving in every
+  /// state; mutations fail fast with StatusCode::kDegraded.
+  bool degraded() const;
+  /// Human-readable reason; empty when healthy.
+  std::string degraded_reason() const;
+  /// False once the WAL writer latched after an unrecoverable write
+  /// failure (surfaced immediately via the wfrm_store_wal_broken gauge
+  /// and shell `status`, not just on the next mutation).
+  bool wal_healthy() const;
+  /// Marks the store degraded for an external reason — the replication
+  /// shipper uses this when the follower link partitions.
+  void EnterDegraded(std::string reason);
+  /// Clears the external reason. The WAL-latch reason clears itself on
+  /// a successful Checkpoint(); standby clears via ExitStandby().
+  void ExitDegraded();
+
+  /// Standby replicas accept state only through ApplyReplicated /
+  /// InstallSnapshot; direct mutations fail with kDegraded so a
+  /// follower can never fork from its primary. Promotion flips this
+  /// off.
+  void EnterStandby();
+  void ExitStandby();
+  bool standby() const;
+
+  // ---- Replication hooks -------------------------------------------------
+
+  /// A consistent snapshot of the current state (what Checkpoint would
+  /// persist), for shipping to a far-behind follower.
+  Result<SnapshotData> CaptureSnapshot() const;
+
+  /// Follower catch-up: atomically replaces the entire durable home and
+  /// in-memory world with `data` (snapshot file written and WAL
+  /// truncated first, so a crash mid-install recovers to the snapshot).
+  Status InstallSnapshot(const SnapshotData& data);
+
+  /// Applies one record shipped from the primary: journals it locally
+  /// under the primary's own sequence number (the follower's log stays
+  /// byte-compatible with the primary's history) and feeds it through
+  /// the same deterministic replay as recovery. The record's seq must
+  /// be exactly last_seq()+1 — gap detection is the caller's job
+  /// (ReplicaApplier nacks and the shipper rewinds).
+  Status ApplyReplicated(const Record& record);
+
+  /// Canonical state fingerprint (see store/fingerprint.h), captured
+  /// under the mutation lock so it never observes a half-applied
+  /// record. Replication divergence checks pass
+  /// include_deadlines=false: two nodes re-base lease lifetimes at
+  /// different instants, so deadlines legitimately differ.
+  std::string StateFingerprint(bool include_deadlines = true) const;
 
   // ---- Access -----------------------------------------------------------
 
@@ -160,6 +222,21 @@ class DurableResourceManager {
  private:
   DurableResourceManager(std::string dir, DurableOptions options);
 
+  /// store.meta check: validates the marker, or adopts a marker-less
+  /// directory whose contents decode as ours; rejects foreign or
+  /// half-written stores with a one-line error.
+  Status ValidateHome();
+  /// (Re)creates the empty in-memory world (org + store + rm), rewiring
+  /// metrics. Used at construction and by InstallSnapshot.
+  void ResetWorldLocked();
+  /// Restores `data` into the in-memory world (shared by Recover and
+  /// InstallSnapshot).
+  Status RestoreSnapshotLocked(const SnapshotData& data);
+  /// kDegraded unless this store currently accepts direct mutations.
+  Status WritableLocked() const;
+  /// Pushes the wal-broken / degraded gauges. Caller holds mutate_mu_.
+  void UpdateHealthGaugesLocked();
+
   Status Recover();
   /// Applies one replayed WAL record to the in-memory state.
   void ApplyRecord(const Record& record);
@@ -177,6 +254,7 @@ class DurableResourceManager {
 
   std::string WalPath() const { return dir_ + "/wal.log"; }
   std::string SnapshotPath() const { return dir_ + "/snapshot.dat"; }
+  std::string MetaPath() const { return dir_ + "/store.meta"; }
 
   std::string dir_;
   DurableOptions options_;
@@ -190,6 +268,12 @@ class DurableResourceManager {
   size_t records_since_checkpoint_ = 0;
   uint64_t syncs_reported_ = 0;
   RecoveryInfo recovery_;
+  /// Home predates store.meta; stamp it after a successful recovery.
+  bool needs_meta_ = false;
+  /// External degraded reason (replication partition, operator action);
+  /// empty = none. The WAL-latch reason is derived from wal_.healthy().
+  std::string external_degraded_reason_;
+  bool standby_ = false;
 
   /// Null when no registry is configured.
   struct Instruments {
@@ -200,6 +284,8 @@ class DurableResourceManager {
     obs::Counter* snapshots = nullptr;
     obs::Counter* replayed_records = nullptr;
     obs::Histogram* replay_latency = nullptr;
+    obs::Gauge* wal_broken = nullptr;
+    obs::Gauge* degraded = nullptr;
   };
   Instruments metrics_;
 };

@@ -1,0 +1,38 @@
+#include "store/fingerprint.h"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "org/rdl_dump.h"
+#include "policy/pl_dump.h"
+
+namespace wfrm::store {
+
+std::string FingerprintWorld(const org::OrgModel& org,
+                             const policy::PolicyStore& store,
+                             const core::ResourceManager& rm,
+                             const FingerprintOptions& options) {
+  auto rdl = org::DumpRdl(org);
+  auto pl = policy::DumpPl(store);
+  std::ostringstream out;
+  out << (rdl.ok() ? *rdl : rdl.status().ToString()) << "\n---\n"
+      << (pl.ok() ? *pl : pl.status().ToString()) << "\n---\n"
+      << "epoch=" << store.epoch() << " next_lease=" << rm.next_lease_id()
+      << "\n";
+  auto leases = rm.ListLeases();
+  std::sort(leases.begin(), leases.end(),
+            [](const core::Lease& a, const core::Lease& b) {
+              return std::tie(a.resource.type, a.resource.id, a.id) <
+                     std::tie(b.resource.type, b.resource.id, b.id);
+            });
+  for (const auto& l : leases) {
+    out << l.resource.type << "/" << l.resource.id << " id=" << l.id;
+    if (options.include_deadlines) out << " deadline=" << l.deadline_micros;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace wfrm::store

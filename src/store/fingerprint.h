@@ -1,0 +1,35 @@
+#ifndef WFRM_STORE_FINGERPRINT_H_
+#define WFRM_STORE_FINGERPRINT_H_
+
+#include <string>
+
+#include "core/resource_manager.h"
+#include "org/org_model.h"
+#include "policy/policy_store.h"
+
+namespace wfrm::store {
+
+struct FingerprintOptions {
+  /// Include lease deadlines. The crash harness compares a recovered
+  /// store against a shadow that replayed under the same frozen clock,
+  /// so deadlines are comparable there. Replication divergence checks
+  /// compare two *nodes*, whose clocks re-based the same remaining
+  /// lifetimes at different instants — deadlines legitimately differ, so
+  /// they must stay out of the fingerprint.
+  bool include_deadlines = true;
+};
+
+/// Canonical rendering of the full observable state: the org as RDL,
+/// the policy base as PL, the store epoch, the lease-id high-water
+/// mark, and the sorted live lease set. Two worlds with equal
+/// fingerprints are indistinguishable to every query path. Used by the
+/// crash harness (recovered vs. shadow replay) and by replication
+/// divergence detection (primary vs. follower at checkpoint marks).
+std::string FingerprintWorld(const org::OrgModel& org,
+                             const policy::PolicyStore& store,
+                             const core::ResourceManager& rm,
+                             const FingerprintOptions& options = {});
+
+}  // namespace wfrm::store
+
+#endif  // WFRM_STORE_FINGERPRINT_H_

@@ -40,63 +40,101 @@ Status Corrupt(const std::string& path, const char* what) {
 
 }  // namespace
 
-Status WriteSnapshotFile(const std::string& path, const SnapshotData& data) {
-  {
-    WalWriter writer;
-    // Sync decisions are made explicitly below; per-record fsync would
-    // only slow the burst down.
-    WFRM_RETURN_NOT_OK(
-        writer.Open(path, FsyncMode::kOff, 0, /*valid_bytes=*/0));
+std::string EncodeSnapshot(const SnapshotData& data) {
+  std::string out;
 
-    std::string header;
-    header.push_back(static_cast<char>(kSectionHeader));
-    AppendString(&header, kMagic);
-    AppendU64(&header, data.last_seq);
-    AppendU64(&header, data.next_lease_id);
-    AppendI64(&header, data.policy_image.next_pid);
-    AppendI64(&header, data.policy_image.next_group);
-    AppendU64(&header, data.policy_image.epoch);
-    WFRM_RETURN_NOT_OK(writer.Append(header));
+  std::string header;
+  header.push_back(static_cast<char>(kSectionHeader));
+  AppendString(&header, kMagic);
+  AppendU64(&header, data.last_seq);
+  AppendU64(&header, data.next_lease_id);
+  AppendI64(&header, data.policy_image.next_pid);
+  AppendI64(&header, data.policy_image.next_group);
+  AppendU64(&header, data.policy_image.epoch);
+  AppendWalFrame(&out, header);
 
-    std::string rdl;
-    rdl.push_back(static_cast<char>(kSectionRdl));
-    AppendString(&rdl, data.rdl_text);
-    WFRM_RETURN_NOT_OK(writer.Append(rdl));
+  std::string rdl;
+  rdl.push_back(static_cast<char>(kSectionRdl));
+  AppendString(&rdl, data.rdl_text);
+  AppendWalFrame(&out, rdl);
 
-    const auto& img = data.policy_image;
-    std::string tables;
-    AppendTableSection(&tables, "Qualifications", img.qualifications);
-    WFRM_RETURN_NOT_OK(writer.Append(tables));
-    tables.clear();
-    AppendTableSection(&tables, "Policies", img.policies);
-    WFRM_RETURN_NOT_OK(writer.Append(tables));
-    tables.clear();
-    AppendTableSection(&tables, "Filter", img.filter);
-    WFRM_RETURN_NOT_OK(writer.Append(tables));
-    tables.clear();
-    AppendTableSection(&tables, "SubstPolicies", img.subst_policies);
-    WFRM_RETURN_NOT_OK(writer.Append(tables));
-    tables.clear();
-    AppendTableSection(&tables, "SubstFilter", img.subst_filter);
-    WFRM_RETURN_NOT_OK(writer.Append(tables));
+  const auto& img = data.policy_image;
+  std::string tables;
+  AppendTableSection(&tables, "Qualifications", img.qualifications);
+  AppendWalFrame(&out, tables);
+  tables.clear();
+  AppendTableSection(&tables, "Policies", img.policies);
+  AppendWalFrame(&out, tables);
+  tables.clear();
+  AppendTableSection(&tables, "Filter", img.filter);
+  AppendWalFrame(&out, tables);
+  tables.clear();
+  AppendTableSection(&tables, "SubstPolicies", img.subst_policies);
+  AppendWalFrame(&out, tables);
+  tables.clear();
+  AppendTableSection(&tables, "SubstFilter", img.subst_filter);
+  AppendWalFrame(&out, tables);
 
-    std::string leases;
-    leases.push_back(static_cast<char>(kSectionLeases));
-    AppendU32(&leases, static_cast<uint32_t>(data.leases.size()));
-    for (const core::Lease& lease : data.leases) {
-      AppendString(&leases, lease.resource.type);
-      AppendString(&leases, lease.resource.id);
-      AppendU64(&leases, lease.id);
-      AppendI64(&leases, lease.deadline_micros);
-    }
-    WFRM_RETURN_NOT_OK(writer.Append(leases));
-
-    std::string end(1, static_cast<char>(kSectionEnd));
-    WFRM_RETURN_NOT_OK(writer.Append(end));
-    // The contents must be durable before a rename commits them.
-    WFRM_RETURN_NOT_OK(writer.Sync());
+  std::string leases;
+  leases.push_back(static_cast<char>(kSectionLeases));
+  AppendU32(&leases, static_cast<uint32_t>(data.leases.size()));
+  for (const core::Lease& lease : data.leases) {
+    AppendString(&leases, lease.resource.type);
+    AppendString(&leases, lease.resource.id);
+    AppendU64(&leases, lease.id);
+    AppendI64(&leases, lease.deadline_micros);
   }
+  AppendWalFrame(&out, leases);
+
+  std::string end(1, static_cast<char>(kSectionEnd));
+  AppendWalFrame(&out, end);
+  return out;
+}
+
+namespace {
+
+Status WriteFileRaw(const std::string& path, std::string_view bytes) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::ExecutionError("cannot write " + path + ": " +
+                                  std::strerror(errno));
+  }
+  const char* p = bytes.data();
+  size_t left = bytes.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      Status st = Status::ExecutionError(
+          "cannot write " + path + ": " +
+          (n < 0 ? std::strerror(errno) : "short write"));
+      ::close(fd);
+      return st;
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  // The contents must be durable before a rename commits them.
+  if (::fsync(fd) != 0) {
+    Status st = Status::ExecutionError("cannot sync " + path + ": " +
+                                       std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  ::close(fd);
   return Status::OK();
+}
+
+}  // namespace
+
+Status WriteSnapshotFile(const std::string& path, const SnapshotData& data) {
+  return WriteFileRaw(path, EncodeSnapshot(data));
+}
+
+Status WriteFileDurable(const std::string& path, std::string_view bytes) {
+  WFRM_RETURN_NOT_OK(WriteFileRaw(path + ".tmp", bytes));
+  return CommitSnapshot(path + ".tmp", path);
 }
 
 Status CommitSnapshot(const std::string& tmp_path,
@@ -132,52 +170,45 @@ Status WriteSnapshot(const std::string& path, const SnapshotData& data) {
   return CommitSnapshot(path + ".tmp", path);
 }
 
-Result<SnapshotData> ReadSnapshot(const std::string& path) {
-  {
-    // Distinguish "no snapshot yet" from "snapshot unreadable".
-    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-    if (fd < 0 && errno == ENOENT) {
-      return Status::NotFound("no snapshot at " + path);
-    }
-    if (fd >= 0) ::close(fd);
-  }
-  WFRM_ASSIGN_OR_RETURN(WalScan scan, ReadWal(path));
-  if (scan.torn_tail) return Corrupt(path, "torn record");
+Result<SnapshotData> DecodeSnapshot(std::string_view bytes,
+                                    const std::string& origin) {
+  WalScan scan = ScanWalBuffer(bytes);
+  if (scan.torn_tail) return Corrupt(origin, "torn record");
 
   SnapshotData data;
   bool saw_header = false;
   bool saw_end = false;
   for (const std::string& payload : scan.payloads) {
     std::string_view in = payload;
-    if (in.empty()) return Corrupt(path, "empty section");
+    if (in.empty()) return Corrupt(origin, "empty section");
     uint8_t section = static_cast<uint8_t>(in.front());
     in.remove_prefix(1);
     switch (section) {
       case kSectionHeader: {
         std::string magic;
         if (!ReadString(&in, &magic) || magic != kMagic) {
-          return Corrupt(path, "bad magic");
+          return Corrupt(origin, "bad magic");
         }
         if (!ReadU64(&in, &data.last_seq) ||
             !ReadU64(&in, &data.next_lease_id) ||
             !ReadI64(&in, &data.policy_image.next_pid) ||
             !ReadI64(&in, &data.policy_image.next_group) ||
             !ReadU64(&in, &data.policy_image.epoch)) {
-          return Corrupt(path, "short header");
+          return Corrupt(origin, "short header");
         }
         saw_header = true;
         break;
       }
       case kSectionRdl:
         if (!ReadString(&in, &data.rdl_text)) {
-          return Corrupt(path, "short RDL section");
+          return Corrupt(origin, "short RDL section");
         }
         break;
       case kSectionTable: {
         std::string name;
         uint32_t count = 0;
         if (!ReadString(&in, &name) || !ReadU32(&in, &count)) {
-          return Corrupt(path, "short table section");
+          return Corrupt(origin, "short table section");
         }
         std::vector<rel::Row>* rows = nullptr;
         auto& img = data.policy_image;
@@ -186,18 +217,20 @@ Result<SnapshotData> ReadSnapshot(const std::string& path) {
         else if (name == "Filter") rows = &img.filter;
         else if (name == "SubstPolicies") rows = &img.subst_policies;
         else if (name == "SubstFilter") rows = &img.subst_filter;
-        else return Corrupt(path, "unknown table section");
+        else return Corrupt(origin, "unknown table section");
         rows->reserve(count);
         for (uint32_t i = 0; i < count; ++i) {
           rel::Row row;
-          if (!ReadRow(&in, &row)) return Corrupt(path, "short table row");
+          if (!ReadRow(&in, &row)) return Corrupt(origin, "short table row");
           rows->push_back(std::move(row));
         }
         break;
       }
       case kSectionLeases: {
         uint32_t count = 0;
-        if (!ReadU32(&in, &count)) return Corrupt(path, "short lease section");
+        if (!ReadU32(&in, &count)) {
+          return Corrupt(origin, "short lease section");
+        }
         data.leases.reserve(count);
         for (uint32_t i = 0; i < count; ++i) {
           core::Lease lease;
@@ -205,7 +238,7 @@ Result<SnapshotData> ReadSnapshot(const std::string& path) {
               !ReadString(&in, &lease.resource.id) ||
               !ReadU64(&in, &lease.id) ||
               !ReadI64(&in, &lease.deadline_micros)) {
-            return Corrupt(path, "short lease row");
+            return Corrupt(origin, "short lease row");
           }
           data.leases.push_back(std::move(lease));
         }
@@ -215,11 +248,47 @@ Result<SnapshotData> ReadSnapshot(const std::string& path) {
         saw_end = true;
         break;
       default:
-        return Corrupt(path, "unknown section");
+        return Corrupt(origin, "unknown section");
     }
   }
-  if (!saw_header || !saw_end) return Corrupt(path, "incomplete");
+  if (!saw_header || !saw_end) return Corrupt(origin, "incomplete");
   return data;
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no file at " + path);
+    return Status::ExecutionError("cannot read " + path + ": " +
+                                  std::strerror(errno));
+  }
+  std::string contents;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Status::ExecutionError("cannot read " + path + ": " +
+                                         std::strerror(errno));
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    contents.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return contents;
+}
+
+Result<SnapshotData> ReadSnapshot(const std::string& path) {
+  Result<std::string> contents = ReadFileBytes(path);
+  if (!contents.ok()) {
+    if (contents.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound("no snapshot at " + path);
+    }
+    return contents.status();
+  }
+  return DecodeSnapshot(*contents, path);
 }
 
 }  // namespace wfrm::store

@@ -30,6 +30,18 @@ struct SnapshotData {
   std::vector<core::Lease> leases;
 };
 
+/// Serializes `data` into the snapshot image byte format (a burst of
+/// WAL-framed sections). The same bytes land in snapshot files and in
+/// replication snapshot-chunk frames for follower catch-up.
+std::string EncodeSnapshot(const SnapshotData& data);
+
+/// Inverse of EncodeSnapshot. `origin` only labels error messages.
+/// Fails with ExecutionError on any truncation or corruption — a
+/// snapshot image is complete by construction, so a damaged one must
+/// never half-restore.
+Result<SnapshotData> DecodeSnapshot(std::string_view bytes,
+                                    const std::string& origin);
+
 /// Writes `data` to exactly `path` and fsyncs it. The file reuses the
 /// WAL record framing, so the same torn-tail detection applies. Callers
 /// normally write to a `.tmp` path and CommitSnapshot() it — the
@@ -51,6 +63,14 @@ Status WriteSnapshot(const std::string& path, const SnapshotData& data);
 /// renamed snapshot is complete by construction, so corruption means
 /// storage damage and recovery must not guess).
 Result<SnapshotData> ReadSnapshot(const std::string& path);
+
+/// Writes raw `bytes` durably to `path` via tmp + fsync + atomic rename
+/// + directory fsync — the generic small-file commit used for metadata
+/// markers (store.meta, replica.meta).
+Status WriteFileDurable(const std::string& path, std::string_view bytes);
+
+/// Reads a whole file. NotFound when `path` does not exist.
+Result<std::string> ReadFileBytes(const std::string& path);
 
 }  // namespace wfrm::store
 

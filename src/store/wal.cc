@@ -82,9 +82,7 @@ Status WalWriter::Append(std::string_view payload) {
   }
   std::string frame;
   frame.reserve(8 + payload.size());
-  PutU32(&frame, static_cast<uint32_t>(payload.size()));
-  PutU32(&frame, Crc32(payload));
-  frame.append(payload);
+  AppendWalFrame(&frame, payload);
   // A single write keeps the frame contiguous; a crash mid-write leaves
   // a short (hence torn, hence skipped) final record.
   const char* p = frame.data();
@@ -175,10 +173,9 @@ void WalWriter::Close() {
 }
 
 Result<WalScan> ReadWal(const std::string& path) {
-  WalScan scan;
   int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
-    if (errno == ENOENT) return scan;  // A fresh store has no log yet.
+    if (errno == ENOENT) return WalScan{};  // A fresh store has no log yet.
     return Errno("cannot read WAL", path);
   }
   std::string contents;
@@ -195,20 +192,30 @@ Result<WalScan> ReadWal(const std::string& path) {
     contents.append(buf, static_cast<size_t>(n));
   }
   ::close(fd);
+  return ScanWalBuffer(contents);
+}
 
+WalScan ScanWalBuffer(std::string_view bytes) {
+  WalScan scan;
   size_t pos = 0;
-  while (pos + 8 <= contents.size()) {
-    uint32_t length = GetU32(contents.data() + pos);
-    uint32_t crc = GetU32(contents.data() + pos + 4);
-    if (pos + 8 + length > contents.size()) break;  // Short final frame.
-    std::string_view payload(contents.data() + pos + 8, length);
+  while (pos + 8 <= bytes.size()) {
+    uint32_t length = GetU32(bytes.data() + pos);
+    uint32_t crc = GetU32(bytes.data() + pos + 4);
+    if (pos + 8 + length > bytes.size()) break;  // Short final frame.
+    std::string_view payload(bytes.data() + pos + 8, length);
     if (Crc32(payload) != crc) break;  // Corrupt tail.
     scan.payloads.emplace_back(payload);
     pos += 8 + length;
   }
   scan.valid_bytes = pos;
-  scan.torn_tail = pos < contents.size();
+  scan.torn_tail = pos < bytes.size();
   return scan;
+}
+
+void AppendWalFrame(std::string* out, std::string_view payload) {
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32(payload));
+  out->append(payload);
 }
 
 }  // namespace wfrm::store

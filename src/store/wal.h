@@ -67,6 +67,12 @@ class WalWriter {
   bool is_open() const { return fd_ >= 0; }
   uint64_t bytes_written() const { return offset_; }
   uint64_t syncs() const { return syncs_; }
+  /// False once the writer has latched after an unrecoverable write
+  /// failure (a partial frame that could not be rolled back). A
+  /// non-healthy writer fails every Append until Truncate() clears the
+  /// latch; callers surface this as a degraded store instead of
+  /// discovering it on the next mutation.
+  bool healthy() const { return !broken_; }
 
   /// Test-only: the next Append() writes `partial_bytes` of its frame
   /// and then fails as a full disk or bad device would, exercising the
@@ -110,6 +116,16 @@ struct WalScan {
 /// incomplete or fails its checksum. A missing file yields an empty
 /// scan (a fresh store has no log yet); an unreadable file is an error.
 Result<WalScan> ReadWal(const std::string& path);
+
+/// Scans an in-memory byte buffer with the same framing rules as
+/// ReadWal — the snapshot codec and the replication shipper decode the
+/// identical format from memory.
+WalScan ScanWalBuffer(std::string_view bytes);
+
+/// Appends one `[length][crc][payload]` frame to `*out` — the exact
+/// bytes WalWriter::Append would write. Used to build snapshot images
+/// and replication wire frames in memory.
+void AppendWalFrame(std::string* out, std::string_view payload);
 
 }  // namespace wfrm::store
 

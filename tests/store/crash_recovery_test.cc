@@ -254,6 +254,9 @@ class CrashRecoveryTest : public ::testing::Test {
   std::string MakeCrashDir(const std::string& golden, size_t cut, int index) {
     std::string dir = root_ + "/crash" + std::to_string(index);
     std::filesystem::create_directories(dir);
+    // The home marker survives any crash: it is written once at Open
+    // and never truncated, so every simulated kill still has it.
+    std::filesystem::copy_file(golden + "/store.meta", dir + "/store.meta");
     if (std::filesystem::exists(golden + "/snapshot.dat")) {
       std::filesystem::copy_file(golden + "/snapshot.dat",
                                  dir + "/snapshot.dat");
@@ -337,6 +340,7 @@ TEST_F(CrashRecoveryTest, BitCorruptedTailRecoversLongestValidPrefix) {
   for (int i = 0; i < 8; ++i) {
     std::string dir = root_ + "/flip" + std::to_string(i);
     std::filesystem::create_directories(dir);
+    std::filesystem::copy_file(golden + "/store.meta", dir + "/store.meta");
     std::string damaged = bytes;
     size_t at = rng() % damaged.size();
     damaged[at] = static_cast<char>(damaged[at] ^ 0x40);
