@@ -19,8 +19,18 @@
 //   partition on|off    sever / heal the replication link
 //   failover            promote the follower (fenced epoch bump) and
 //                       continue the session on it
+//   shards <dir> <n>    open a sharded cluster (n primary+standby pairs);
+//                       RDL/PL/RQL then route by the current tenant key
+//   tenant <name>       set the routing key (prints its home shard)
+//   kill <i>            crash shard i's primary, promote its standby,
+//                       re-attach a fresh standby
+//   rebalance <i>       migrate shard i onto a fresh home (chunked
+//                       snapshot catch-up, epoch-fenced cutover)
 //   demo                load the paper's running example
 //   help, quit
+//
+// Degraded mutations fail fast with a typed reason plus a repair hint
+// (checkpoint for a broken WAL, failover/heal for a lost replica link).
 //
 // Run interactively, or pipe a script:
 //   echo "demo
@@ -33,12 +43,16 @@
 
 #include <fstream>
 
+#include "common/retry.h"
 #include "core/resource_manager.h"
 #include "org/rdl_dump.h"
 #include "org/rdl_parser.h"
 #include "policy/analyzer.h"
 #include "policy/pl_dump.h"
 #include "policy/policy_manager.h"
+#include "shard/shard_cluster.h"
+#include "shard/shard_map.h"
+#include "shard/shard_router.h"
 #include "store/durable_rm.h"
 #include "store/replication.h"
 #include "testutil/paper_org.h"
@@ -64,10 +78,37 @@ struct Shell {
   std::unique_ptr<store::InProcessTransport> link;
   std::unique_ptr<store::FaultInjectingTransport> chaos_link;
   std::unique_ptr<store::WalShipper> shipper;
+  /// Sharded mode, non-null after `shards <dir> <n>`: RDL/PL/RQL route
+  /// through the router under the current tenant's home shard.
+  std::unique_ptr<shard::ShardCluster> cluster;
+  std::unique_ptr<shard::ShardMap> shard_map;
+  std::unique_ptr<shard::ShardRouter> router;
+  std::string tenant = "default";
 
-  org::OrgModel& Org() { return durable ? durable->org() : *org; }
-  policy::PolicyStore& Store() { return durable ? durable->store() : *store; }
-  core::ResourceManager& Rm() { return durable ? durable->rm() : *rm; }
+  /// In sharded mode, the current tenant's home primary (pinned so
+  /// references handed out by Org()/Store()/Rm() stay alive across a
+  /// concurrent failover). Null otherwise, or while a shard is offline
+  /// between a kill and its promotion.
+  std::shared_ptr<store::DurableResourceManager> pinned_home;
+
+  store::DurableResourceManager* TenantHome() {
+    if (!cluster) return nullptr;
+    pinned_home = cluster->Primary(shard_map->Resolve(tenant));
+    return pinned_home.get();
+  }
+
+  org::OrgModel& Org() {
+    if (auto* home = TenantHome()) return home->org();
+    return durable ? durable->org() : *org;
+  }
+  policy::PolicyStore& Store() {
+    if (auto* home = TenantHome()) return home->store();
+    return durable ? durable->store() : *store;
+  }
+  core::ResourceManager& Rm() {
+    if (auto* home = TenantHome()) return home->rm();
+    return durable ? durable->rm() : *rm;
+  }
 
   void DropReplication() {
     shipper.reset();
@@ -81,6 +122,58 @@ struct Shell {
   /// equivalent of a background shipping loop.
   void PumpReplication() {
     if (shipper) (void)shipper->Pump();
+    if (cluster) (void)cluster->PumpAll();
+  }
+
+  void DropShards() {
+    router.reset();
+    shard_map.reset();
+    pinned_home.reset();
+    cluster.reset();
+  }
+
+  /// Prints a mutation outcome; a typed kDegraded refusal also gets the
+  /// matching repair hint so the operator knows which verb heals it.
+  void ReportMutation(const Status& st) {
+    if (st.ok()) {
+      std::cout << "ok\n";
+      return;
+    }
+    std::cout << st.ToString() << "\n";
+    if (st.code() != StatusCode::kDegraded) return;
+    const std::string& reason = st.message();
+    const bool wal_broken =
+        reason.find("wal") != std::string::npos ||
+        reason.find("WAL") != std::string::npos ||
+        (durable && !durable->wal_healthy());
+    if (wal_broken) {
+      std::cout << "  repair: 'save' — a checkpoint rewrites the snapshot "
+                   "and starts a fresh WAL\n";
+    } else if (cluster) {
+      std::cout << "  repair: 'kill <i>' promotes the shard's standby; "
+                   "'partition <i> off' heals a severed link\n";
+    } else {
+      std::cout << "  repair: 'failover' promotes the replica; "
+                   "'partition off' heals the link\n";
+    }
+  }
+
+  void PrintShardStatus() {
+    for (size_t s = 0; s < cluster->num_shards(); ++s) {
+      const shard::ShardStatus st = cluster->StatusOf(s);
+      std::cout << "  shard " << s << ": " << st.primary_dir << " (epoch "
+                << st.epoch << ", seq " << st.last_seq << ", "
+                << (st.has_standby
+                        ? "standby lag " + std::to_string(st.lag_records)
+                        : "NO STANDBY")
+                << ")";
+      if (st.partitioned) std::cout << " PARTITIONED";
+      if (st.degraded) std::cout << " DEGRADED: " << st.degraded_reason;
+      if (st.diverged) std::cout << " DIVERGED";
+      std::cout << "\n";
+    }
+    std::cout << "  tenant '" << tenant << "' -> shard "
+              << shard_map->Resolve(tenant) << "\n";
   }
 
   void PrintStatus() {
@@ -174,9 +267,13 @@ struct Shell {
   }
 
   void Submit(const std::string& rql) {
-    auto outcome = Rm().Submit(rql);
+    auto outcome = cluster ? router->Enforce(tenant, rql) : Rm().Submit(rql);
     if (!outcome.ok()) {
       std::cout << "error: " << outcome.status().ToString() << "\n";
+      if (outcome.status().code() == StatusCode::kDegraded) {
+        std::cout << "  (reads can be served from the degraded shard with "
+                     "read_on_degraded routers; this shell routes strictly)\n";
+      }
       return;
     }
     for (const auto& q : outcome->primary_queries) {
@@ -223,6 +320,14 @@ struct Shell {
           << "  partition on|off    sever / heal the replication link\n"
           << "  failover            promote the follower (fenced epoch\n"
           << "                      bump) and continue the session on it\n"
+          << "  shards <dir> <n>    open a sharded cluster of n\n"
+          << "                      primary+standby pairs; RDL/PL/RQL then\n"
+          << "                      route by the current tenant key\n"
+          << "  tenant <name>       set the routing key (prints home shard)\n"
+          << "  kill <i>            crash shard i's primary, promote its\n"
+          << "                      standby, re-attach a fresh standby\n"
+          << "  rebalance <i>       migrate shard i onto a fresh home\n"
+          << "  partition <i> on|off  sever / heal shard i's standby link\n"
           << "  load <file>         read a plain-text RDL+PL script\n"
           << "  demo                load the paper's example org\n"
           << "  quit\n";
@@ -230,11 +335,115 @@ struct Shell {
     }
     if (lower == "demo") {
       DropReplication();
+      DropShards();
       LoadDemo();
       return true;
     }
     if (lower == "status") {
-      PrintStatus();
+      if (cluster) {
+        PrintShardStatus();
+      } else {
+        PrintStatus();
+      }
+      return true;
+    }
+    if (lower == "shards") {
+      std::string path;
+      size_t n = 0;
+      words >> path >> n;
+      if (path.empty() && cluster) {
+        PrintShardStatus();
+        return true;
+      }
+      if (path.empty() || n == 0) {
+        std::cout << "usage: shards <dir> <n>\n";
+        return true;
+      }
+      shard::ShardClusterOptions options;
+      options.num_shards = n;
+      auto opened = shard::ShardCluster::Open(path, options);
+      if (!opened.ok()) {
+        std::cout << "shards failed: " << opened.status().ToString() << "\n";
+        return true;
+      }
+      DropReplication();
+      DropShards();
+      durable.reset();
+      cluster = std::move(*opened);
+      shard_map = std::make_unique<shard::ShardMap>(n);
+      // Interactive shell: no retry loop — a typed refusal surfaces
+      // immediately with its repair hint instead of stalling the prompt.
+      shard::ShardRouterOptions router_options;
+      router_options.retry = RetryPolicy::None();
+      router = std::make_unique<shard::ShardRouter>(
+          cluster.get(), shard_map.get(), router_options);
+      std::cout << "opened " << n << "-shard cluster at " << path
+                << " (each shard a primary+standby pair)\n";
+      PrintShardStatus();
+      return true;
+    }
+    if (lower == "tenant") {
+      std::string name;
+      words >> name;
+      if (name.empty()) {
+        std::cout << "usage: tenant <name>\n";
+        return true;
+      }
+      tenant = name;
+      if (cluster) {
+        std::cout << "tenant '" << tenant << "' -> shard "
+                  << shard_map->Resolve(tenant) << "\n";
+      } else {
+        std::cout << "tenant '" << tenant
+                  << "' (takes effect under 'shards <dir> <n>')\n";
+      }
+      return true;
+    }
+    if (lower == "kill") {
+      shard::ShardId id = 0;
+      if (!(words >> id) || !cluster || id >= cluster->num_shards()) {
+        std::cout << (cluster ? "usage: kill <shard>\n"
+                              : "no cluster open ('shards <dir> <n>')\n");
+        return true;
+      }
+      (void)cluster->Drain(id);  // Promotion should not lose tail records.
+      auto epoch = cluster->Failover(id, shard::ShardCluster::FailoverMode::kKillPrimary);
+      if (!epoch.ok()) {
+        std::cout << "kill failed: " << epoch.status().ToString() << "\n";
+        return true;
+      }
+      std::cout << "shard " << id << ": primary killed, standby promoted at "
+                << "epoch " << *epoch << "\n";
+      Status st = cluster->AttachStandby(id);
+      if (st.ok()) st = cluster->Drain(id);
+      std::cout << (st.ok() ? "shard " + std::to_string(id) +
+                                  ": fresh standby attached and caught up"
+                            : st.ToString())
+                << "\n";
+      return true;
+    }
+    if (lower == "rebalance") {
+      shard::ShardId id = 0;
+      if (!(words >> id) || !cluster || id >= cluster->num_shards()) {
+        std::cout << (cluster ? "usage: rebalance <shard>\n"
+                              : "no cluster open ('shards <dir> <n>')\n");
+        return true;
+      }
+      auto epoch = cluster->Rebalance(id);
+      if (!epoch.ok()) {
+        std::cout << "rebalance failed: " << epoch.status().ToString() << "\n";
+        return true;
+      }
+      const shard::ShardStatus st = cluster->StatusOf(id);
+      std::cout << "shard " << id << ": migrated onto " << st.primary_dir
+                << " at epoch " << *epoch << " (" << st.rebalance_records
+                << " records/chunks shipped so far)\n";
+      Status attach = cluster->AttachStandby(id);
+      if (attach.ok()) attach = cluster->Drain(id);
+      std::cout << (attach.ok() ? "shard " + std::to_string(id) +
+                                      ": fresh standby attached and caught up"
+                                : attach.ToString())
+                << "\n";
       return true;
     }
     if (lower == "replica") {
@@ -295,6 +504,25 @@ struct Shell {
                 << shipper->lag_records() << ")\n";
       return true;
     }
+    if (lower == "partition" && cluster) {
+      shard::ShardId id = 0;
+      std::string setting;
+      if (!(words >> id >> setting) || id >= cluster->num_shards() ||
+          (setting != "on" && setting != "off")) {
+        std::cout << "usage: partition <shard> on|off\n";
+        return true;
+      }
+      Status st = cluster->SetPartitioned(id, setting == "on");
+      if (!st.ok()) {
+        std::cout << st.ToString() << "\n";
+      } else if (setting == "on") {
+        std::cout << "shard " << id << ": link severed; shard degraded "
+                  << "(mutations fail fast with a typed reason)\n";
+      } else {
+        std::cout << "shard " << id << ": link healed\n";
+      }
+      return true;
+    }
     if (lower == "partition") {
       std::string setting;
       words >> setting;
@@ -349,6 +577,7 @@ struct Shell {
         return true;
       }
       DropReplication();
+      DropShards();
       durable = std::move(*opened);
       const auto& info = durable->recovery_info();
       std::cout << "opened " << path << " (snapshot "
@@ -415,6 +644,7 @@ struct Shell {
         }
       }
       DropReplication();
+      DropShards();
       durable.reset();
       org = std::move(fresh_org);
       store = std::move(fresh_store);
@@ -482,13 +712,17 @@ struct Shell {
       }
       org::ResourceRef ref{type, id};
       Status st;
-      if (durable) {
-        st = lower == "allocate" ? durable->AllocateLease(ref).status()
-                                 : durable->Release(ref);
+      store::DurableResourceManager* home =
+          cluster ? TenantHome() : durable.get();
+      if (home != nullptr) {
+        st = lower == "allocate" ? home->AllocateLease(ref).status()
+                                 : home->Release(ref);
+      } else if (cluster) {
+        st = Status::ResourceUnavailable("tenant's home shard is offline");
       } else {
         st = lower == "allocate" ? rm->Allocate(ref) : rm->Release(ref);
       }
-      std::cout << (st.ok() ? "ok" : st.ToString()) << "\n";
+      ReportMutation(st);
       return true;
     }
     if (lower == "explain") {
@@ -496,15 +730,17 @@ struct Shell {
       return true;
     }
     if (lower == "define" || lower == "insert") {
-      Status st = durable ? durable->ExecuteRdl(line)
-                          : org::ExecuteRdl(line, org.get());
-      std::cout << (st.ok() ? "ok" : st.ToString()) << "\n";
+      Status st = cluster   ? router->ExecuteRdl(tenant, line)
+                  : durable ? durable->ExecuteRdl(line)
+                            : org::ExecuteRdl(line, org.get());
+      ReportMutation(st);
       return true;
     }
     if (lower == "qualify" || lower == "require" || lower == "substitute") {
-      Status st = durable ? durable->AddPolicyText(line)
-                          : store->AddPolicyText(line);
-      std::cout << (st.ok() ? "ok" : st.ToString()) << "\n";
+      Status st = cluster   ? router->AddPolicyText(tenant, line)
+                  : durable ? durable->AddPolicyText(line)
+                            : store->AddPolicyText(line);
+      ReportMutation(st);
       return true;
     }
     if (lower == "select") {

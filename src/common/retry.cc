@@ -7,6 +7,7 @@ namespace wfrm {
 Backoff::Backoff(const RetryPolicy& policy, uint64_t seed)
     : policy_(policy),
       next_backoff_micros_(policy.initial_backoff_micros),
+      prev_delay_micros_(policy.initial_backoff_micros),
       rng_(seed) {
   policy_.max_attempts = std::max(policy_.max_attempts, 1);
   policy_.jitter = std::clamp(policy_.jitter, 0.0, 1.0);
@@ -18,6 +19,19 @@ bool Backoff::ShouldRetry(int attempt) const {
 }
 
 int64_t Backoff::NextDelayMicros() {
+  if (policy_.jitter_mode == JitterMode::kDecorrelated) {
+    // Window [initial, min(3 * previous, cap)]: grows geometrically like
+    // exponential backoff in expectation, but each draw is independent
+    // of the retrier's attempt number, so a fleet that failed together
+    // does not probe together.
+    const int64_t lo = std::max<int64_t>(policy_.initial_backoff_micros, 0);
+    const int64_t cap = std::max(policy_.max_backoff_micros, lo);
+    int64_t hi = prev_delay_micros_ > cap / 3 ? cap : prev_delay_micros_ * 3;
+    hi = std::clamp(hi, lo, cap);
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    prev_delay_micros_ = dist(rng_);
+    return prev_delay_micros_;
+  }
   int64_t base = std::min(next_backoff_micros_, policy_.max_backoff_micros);
   // Grow the series for the following call, saturating at the cap to
   // avoid overflow on long retry chains.

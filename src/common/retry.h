@@ -6,6 +6,24 @@
 
 namespace wfrm {
 
+/// How a computed backoff delay is randomized to decorrelate concurrent
+/// retriers.
+enum class JitterMode {
+  /// Scale the exponential series by a uniform factor in
+  /// [1-jitter, 1+jitter]. Concurrent retriers stay loosely in phase:
+  /// after a shared failure their k-th delays still cluster around the
+  /// same exponential term.
+  kMultiplicative,
+  /// Decorrelated jitter (AWS style): each delay is drawn uniformly
+  /// from [initial_backoff, min(3 * previous_delay, max_backoff)], so
+  /// consecutive draws wander apart instead of clustering. N routers
+  /// retrying against a freshly promoted shard spread their probes
+  /// across the whole window instead of thundering in lockstep. Every
+  /// delay is bounded by [initial_backoff, max_backoff]; the `jitter`
+  /// field is ignored.
+  kDecorrelated,
+};
+
 /// Retry behaviour for transient failures (kResourceUnavailable):
 /// exponential backoff with multiplicative jitter, capped. Delays are
 /// *computed* here and *spent* against an injected Clock, so a
@@ -23,8 +41,23 @@ struct RetryPolicy {
   int64_t max_backoff_micros = 1'000'000;
   /// Each delay is scaled by a uniform factor in [1-jitter, 1+jitter]
   /// to decorrelate concurrent retriers. 0 = fully deterministic
-  /// schedule.
+  /// schedule. Only used by JitterMode::kMultiplicative.
   double jitter = 0.1;
+  /// Delay randomization scheme; see JitterMode.
+  JitterMode jitter_mode = JitterMode::kMultiplicative;
+
+  /// Decorrelated-jitter policy for a fleet of retriers hitting one
+  /// recovering backend (the shard router's default).
+  static RetryPolicy Decorrelated(int max_attempts = 4,
+                                  int64_t initial_micros = 1000,
+                                  int64_t max_micros = 1'000'000) {
+    RetryPolicy p;
+    p.max_attempts = max_attempts;
+    p.initial_backoff_micros = initial_micros;
+    p.max_backoff_micros = max_micros;
+    p.jitter_mode = JitterMode::kDecorrelated;
+    return p;
+  }
 
   /// No retrying at all: fail on the first transient error (the seed's
   /// behaviour).
@@ -51,6 +84,9 @@ class Backoff {
  private:
   RetryPolicy policy_;
   int64_t next_backoff_micros_;
+  /// Last delay handed out (decorrelated mode draws from a window that
+  /// tracks it); starts at the initial backoff.
+  int64_t prev_delay_micros_;
   std::mt19937_64 rng_;
 };
 

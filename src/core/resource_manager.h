@@ -316,6 +316,10 @@ class ResourceManager {
   const policy::PolicyManager& policy_manager() const {
     return policy_manager_;
   }
+  /// The policy store this manager enforces from. Callers holding only
+  /// an rm (the shard router fans out over many) read per-store cache
+  /// stats and the enforcement epoch through here.
+  const policy::PolicyStore* policy_store() const { return store_; }
   org::OrgModel& org() { return *org_; }
   Clock& clock() const { return *clock_; }
   const ResourceManagerOptions& options() const { return options_; }

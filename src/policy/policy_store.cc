@@ -59,6 +59,7 @@ StoreStatsSnapshot StoreStatsSnapshot::operator-(
   d.cache_invalidations = cache_invalidations - earlier.cache_invalidations;
   d.rewrite_cache_hits = rewrite_cache_hits - earlier.rewrite_cache_hits;
   d.rewrite_cache_misses = rewrite_cache_misses - earlier.rewrite_cache_misses;
+  d.epoch = epoch;
   return d;
 }
 

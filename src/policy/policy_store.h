@@ -84,8 +84,14 @@ struct StoreStatsSnapshot {
   uint64_t cache_invalidations = 0;
   uint64_t rewrite_cache_hits = 0;
   uint64_t rewrite_cache_misses = 0;
+  /// The enforcement epoch at capture time (PolicyStore::StatsSnapshot
+  /// stamps it; a bare StoreStats::Snapshot leaves 0). Sharded
+  /// deployments compare per-shard epochs across snapshots to prove one
+  /// tenant's mutations never invalidated another shard's caches.
+  uint64_t epoch = 0;
 
   /// Counter-wise difference (this - earlier), for before/after diffing.
+  /// `epoch` is not a counter: the later capture's value is kept.
   StoreStatsSnapshot operator-(const StoreStatsSnapshot& earlier) const;
 
   /// Retrieval-cache hit rate over probes that reached the cache.
@@ -428,6 +434,15 @@ class PolicyStore {
   const org::OrgModel& org() const { return *org_; }
 
   const StoreStats& stats() const { return stats_; }
+  /// stats().Snapshot() with the current enforcement epoch stamped in:
+  /// the per-shard view a router or dashboard diffs to verify epoch
+  /// isolation (an unrelated shard's snapshot keeps both its epoch and
+  /// its hit counters).
+  StoreStatsSnapshot StatsSnapshot() const {
+    StoreStatsSnapshot s = stats_.Snapshot();
+    s.epoch = epoch();
+    return s;
+  }
   void ResetStats() { stats_.Reset(); }
 
  private:

@@ -1,0 +1,417 @@
+#include "shard/shard_cluster.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+namespace wfrm::shard {
+
+namespace {
+
+std::string HomeDir(const std::string& shard_dir, int index) {
+  return shard_dir + "/home" + std::to_string(index);
+}
+
+}  // namespace
+
+ShardCluster::ShardCluster(std::string root, ShardClusterOptions options)
+    : root_(std::move(root)), options_(std::move(options)) {}
+
+ShardCluster::~ShardCluster() = default;
+
+Result<std::unique_ptr<ShardCluster>> ShardCluster::Open(
+    const std::string& root, ShardClusterOptions options) {
+  if (options.num_shards == 0) options.num_shards = 1;
+  std::unique_ptr<ShardCluster> cluster(
+      new ShardCluster(root, std::move(options)));
+  const ShardClusterOptions& opts = cluster->options_;
+
+  if (opts.metrics != nullptr) {
+    cluster->count_gauge_ = opts.metrics->GetGauge(
+        "wfrm_shard_count", {}, "number of shards in the cluster");
+    cluster->degraded_gauge_ = opts.metrics->GetGauge(
+        "wfrm_shard_degraded", {}, "shards currently refusing mutations");
+  }
+
+  for (size_t i = 0; i < opts.num_shards; ++i) {
+    auto node = std::make_unique<ShardNode>();
+    node->dir = root + "/shard" + std::to_string(i);
+    std::error_code ec;
+    std::filesystem::create_directories(node->dir, ec);
+    if (ec) {
+      return Status::ExecutionError("shard " + std::to_string(i) +
+                                    ": cannot create " + node->dir + ": " +
+                                    ec.message());
+    }
+    auto primary = cluster->OpenHome(HomeDir(node->dir, 0));
+    if (!primary.ok()) return primary.status();
+    auto standby = cluster->OpenHome(HomeDir(node->dir, 1));
+    if (!standby.ok()) return standby.status();
+    node->primary = std::move(*primary);
+    node->standby = std::move(*standby);
+    node->next_home = 2;
+    if (opts.metrics != nullptr) {
+      const obs::LabelMap labels{{"shard", std::to_string(i)}};
+      node->failovers_gauge =
+          opts.metrics->GetGauge("wfrm_shard_failovers", labels,
+                                 "promotions this shard has been through");
+      node->rebalance_gauge = opts.metrics->GetGauge(
+          "wfrm_shard_rebalance_records", labels,
+          "records + snapshot chunks shipped by rebalances of this shard");
+    }
+    {
+      std::lock_guard<std::mutex> lock(node->mu);
+      WFRM_RETURN_NOT_OK(cluster->WireStandbyLocked(
+          node.get(), cluster->FaultsFor(static_cast<ShardId>(i))));
+    }
+    cluster->shards_.push_back(std::move(node));
+  }
+  if (cluster->count_gauge_ != nullptr) {
+    cluster->count_gauge_->Set(static_cast<int64_t>(opts.num_shards));
+  }
+  cluster->UpdateDegradedGauge();
+  return cluster;
+}
+
+Result<std::shared_ptr<store::DurableResourceManager>> ShardCluster::OpenHome(
+    const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::ExecutionError("cannot create " + dir + ": " +
+                                  ec.message());
+  }
+  auto opened = store::DurableResourceManager::Open(dir, options_.durable);
+  if (!opened.ok()) return opened.status();
+  return std::shared_ptr<store::DurableResourceManager>(std::move(*opened));
+}
+
+core::FaultInjector* ShardCluster::FaultsFor(ShardId id) const {
+  return id < options_.link_faults.size() ? options_.link_faults[id] : nullptr;
+}
+
+Status ShardCluster::WireStandbyLocked(ShardNode* node,
+                                       core::FaultInjector* faults) {
+  auto applier = store::ReplicaApplier::Attach(node->standby.get());
+  if (!applier.ok()) return applier.status();
+  node->applier = std::move(*applier);
+  node->link =
+      std::make_unique<store::InProcessTransport>(node->applier.get());
+  node->chaos =
+      std::make_unique<store::FaultInjectingTransport>(node->link.get(),
+                                                       faults);
+  store::WalShipperOptions ship;
+  ship.snapshot_chunk_bytes = options_.snapshot_chunk_bytes;
+  // A standby that once lived as a primary (rebalance leftovers) holds
+  // a higher epoch; ship above everything either side has seen.
+  node->epoch = std::max(node->epoch, node->applier->epoch() + 1);
+  node->shipper = std::make_unique<store::WalShipper>(
+      node->primary.get(), node->chaos.get(), node->epoch, ship);
+  node->partitioned = false;
+  return Status::OK();
+}
+
+std::shared_ptr<store::DurableResourceManager> ShardCluster::Primary(
+    ShardId id) const {
+  if (id >= shards_.size()) return nullptr;
+  ShardNode& node = *shards_[id];
+  std::lock_guard<std::mutex> lock(node.mu);
+  return node.primary;
+}
+
+std::shared_ptr<store::DurableResourceManager> ShardCluster::Standby(
+    ShardId id) const {
+  if (id >= shards_.size()) return nullptr;
+  ShardNode& node = *shards_[id];
+  std::lock_guard<std::mutex> lock(node.mu);
+  return node.standby;
+}
+
+Status ShardCluster::Pump(ShardId id) {
+  if (id >= shards_.size()) {
+    return Status::InvalidArgument("no shard " + std::to_string(id));
+  }
+  ShardNode& node = *shards_[id];
+  std::lock_guard<std::mutex> lock(node.mu);
+  if (node.shipper == nullptr) return Status::OK();
+  return node.shipper->Pump();
+}
+
+Status ShardCluster::PumpAll() {
+  Status first;
+  for (ShardId id = 0; id < shards_.size(); ++id) {
+    Status st = Pump(id);
+    if (!st.ok() && first.ok()) first = st;
+  }
+  return first;
+}
+
+Status ShardCluster::Drain(ShardId id, int max_pumps) {
+  if (id >= shards_.size()) {
+    return Status::InvalidArgument("no shard " + std::to_string(id));
+  }
+  ShardNode& node = *shards_[id];
+  for (int i = 0; i < max_pumps; ++i) {
+    std::lock_guard<std::mutex> lock(node.mu);
+    if (node.shipper == nullptr) return Status::OK();
+    // Chaotic sends fail retryably; what matters is convergence plus
+    // one clean idle pump so the divergence probe has run.
+    if (node.shipper->Pump().ok() && node.shipper->lag_records() == 0) {
+      return Status::OK();
+    }
+  }
+  return Status::ExecutionError("shard " + std::to_string(id) +
+                                ": standby never converged after " +
+                                std::to_string(max_pumps) + " pumps");
+}
+
+Result<uint64_t> ShardCluster::Failover(ShardId id, FailoverMode mode) {
+  if (id >= shards_.size()) {
+    return Status::InvalidArgument("no shard " + std::to_string(id));
+  }
+  ShardNode& node = *shards_[id];
+  uint64_t promoted = 0;
+  {
+    std::lock_guard<std::mutex> lock(node.mu);
+    if (node.standby == nullptr || node.applier == nullptr) {
+      return Status::ExecutionError("shard " + std::to_string(id) +
+                                    ": no standby to promote");
+    }
+    if (mode == FailoverMode::kKillPrimary) {
+      // Crash semantics: the shipper dies with its primary, nothing of
+      // the old life survives to observe the fence.
+      node.shipper.reset();
+      node.old_shipper.reset();
+      node.chaos.reset();
+      node.link.reset();
+      node.demoted.reset();
+      node.primary.reset();
+    }
+    auto epoch = node.applier->Promote();
+    if (!epoch.ok()) return epoch.status();
+    promoted = *epoch;
+    node.epoch = promoted;
+    if (mode == FailoverMode::kDemotePrimary) {
+      // The old primary lives on, demoted: its shipper keeps its whole
+      // transport chain (the applier now fronts the *promoted* store,
+      // whose higher epoch rejects every old-life frame — that is the
+      // fence under test).
+      node.demoted = std::move(node.primary);
+      node.old_shipper = std::move(node.shipper);
+    } else {
+      node.applier.reset();
+    }
+    node.primary = std::move(node.standby);
+    node.standby = nullptr;
+    node.partitioned = false;
+    ++node.failovers;
+    if (node.failovers_gauge != nullptr) node.failovers_gauge->Add(1);
+  }
+  UpdateDegradedGauge();
+  return promoted;
+}
+
+Status ShardCluster::AttachStandby(ShardId id) {
+  if (id >= shards_.size()) {
+    return Status::InvalidArgument("no shard " + std::to_string(id));
+  }
+  ShardNode& node = *shards_[id];
+  std::lock_guard<std::mutex> lock(node.mu);
+  return AttachStandbyLocked(&node, FaultsFor(id));
+}
+
+Status ShardCluster::AttachStandbyLocked(ShardNode* node,
+                                         core::FaultInjector* faults) {
+  if (node->primary == nullptr) {
+    return Status::ExecutionError("shard has no primary to follow");
+  }
+  // Retire whatever previous life is still around (demoted primary,
+  // fenced shipper, old transport chain) before wiring the new pair.
+  node->old_shipper.reset();
+  node->shipper.reset();
+  node->chaos.reset();
+  node->link.reset();
+  node->applier.reset();
+  node->demoted.reset();
+  auto standby = OpenHome(HomeDir(node->dir, node->next_home++));
+  if (!standby.ok()) return standby.status();
+  node->standby = std::move(*standby);
+  return WireStandbyLocked(node, faults);
+}
+
+Result<uint64_t> ShardCluster::Rebalance(ShardId id) {
+  if (id >= shards_.size()) {
+    return Status::InvalidArgument("no shard " + std::to_string(id));
+  }
+  ShardNode& node = *shards_[id];
+  uint64_t promoted = 0;
+  {
+    std::lock_guard<std::mutex> lock(node.mu);
+    if (node.primary == nullptr) {
+      return Status::ExecutionError("shard " + std::to_string(id) +
+                                    ": no primary to rebalance");
+    }
+    // Seed the new home over a private loss-free link — the standby's
+    // chaotic link is not involved in a migration.
+    auto fresh = OpenHome(HomeDir(node.dir, node.next_home++));
+    if (!fresh.ok()) return fresh.status();
+    auto applier = store::ReplicaApplier::Attach(fresh->get());
+    if (!applier.ok()) return applier.status();
+    store::InProcessTransport link(applier->get());
+    store::WalShipperOptions ship;
+    ship.snapshot_chunk_bytes = options_.snapshot_chunk_bytes;
+    store::WalShipper mover(node.primary.get(), &link,
+                            std::max(node.epoch, (*applier)->epoch() + 1),
+                            ship);
+    // First pass moves the bulk (snapshot catch-up + tail records)
+    // while the shard keeps serving reads and writes.
+    for (int i = 0; i < 10'000 && mover.lag_records() != 0; ++i) {
+      WFRM_RETURN_NOT_OK(mover.Pump());
+    }
+    // Cutover: stop mutations (typed kDegraded, reads keep serving),
+    // drain the last writes that raced the first pass, then promote.
+    node.primary->EnterDegraded("shard rebalancing: cutover in progress");
+    Status drained;
+    for (int i = 0; i < 10'000; ++i) {
+      drained = mover.Pump();
+      if (drained.ok() && mover.lag_records() == 0) break;
+    }
+    if (!drained.ok() || mover.lag_records() != 0) {
+      node.primary->ExitDegraded();  // Abort: old home keeps serving.
+      return !drained.ok() ? drained
+                           : Status::ExecutionError(
+                                 "rebalance never converged");
+    }
+    if (mover.divergence_detected() || (*applier)->diverged()) {
+      node.primary->ExitDegraded();
+      return Status::Internal("rebalance divergence on shard " +
+                              std::to_string(id));
+    }
+    const uint64_t shipped =
+        mover.records_shipped() + mover.snapshot_chunks_shipped();
+    auto epoch = (*applier)->Promote();
+    if (!epoch.ok()) {
+      node.primary->ExitDegraded();
+      return epoch.status();
+    }
+    promoted = *epoch;
+    node.rebalance_records += shipped;
+    if (node.rebalance_gauge != nullptr) {
+      node.rebalance_gauge->Add(static_cast<int64_t>(shipped));
+    }
+    // Retire the old pair; in-flight readers finish on their snapshots.
+    node.old_shipper.reset();
+    node.shipper.reset();
+    node.chaos.reset();
+    node.link.reset();
+    node.applier.reset();
+    node.demoted.reset();
+    node.standby.reset();
+    node.primary = std::move(*fresh);
+    node.epoch = promoted;
+    node.partitioned = false;
+  }
+  UpdateDegradedGauge();
+  return promoted;
+}
+
+Status ShardCluster::SetPartitioned(ShardId id, bool partitioned) {
+  if (id >= shards_.size()) {
+    return Status::InvalidArgument("no shard " + std::to_string(id));
+  }
+  ShardNode& node = *shards_[id];
+  {
+    std::lock_guard<std::mutex> lock(node.mu);
+    if (node.chaos == nullptr) {
+      return Status::NotFound("shard " + std::to_string(id) +
+                              ": no standby link to partition");
+    }
+    node.chaos->SetPartitioned(partitioned);
+    node.partitioned = partitioned;
+    if (node.primary != nullptr) {
+      // Surface the partition as explicit degraded state: reads keep
+      // serving, mutations fail typed, and callers see why.
+      if (partitioned) {
+        node.primary->EnterDegraded("shard " + std::to_string(id) +
+                                    " replication link partitioned");
+      } else {
+        node.primary->ExitDegraded();
+      }
+    }
+  }
+  UpdateDegradedGauge();
+  return Status::OK();
+}
+
+Status ShardCluster::Checkpoint(ShardId id) {
+  auto primary = Primary(id);
+  if (primary == nullptr) {
+    return Status::ExecutionError("shard " + std::to_string(id) +
+                                  ": no primary");
+  }
+  return primary->Checkpoint();
+}
+
+Status ShardCluster::PumpDemoted(ShardId id) {
+  if (id >= shards_.size()) {
+    return Status::InvalidArgument("no shard " + std::to_string(id));
+  }
+  ShardNode& node = *shards_[id];
+  std::lock_guard<std::mutex> lock(node.mu);
+  if (node.old_shipper == nullptr) {
+    return Status::NotFound("shard " + std::to_string(id) +
+                            ": no demoted primary");
+  }
+  return node.old_shipper->Pump();
+}
+
+bool ShardCluster::DemotedFenced(ShardId id) const {
+  if (id >= shards_.size()) return false;
+  ShardNode& node = *shards_[id];
+  std::lock_guard<std::mutex> lock(node.mu);
+  return node.old_shipper != nullptr && node.old_shipper->fenced();
+}
+
+bool ShardCluster::degraded(ShardId id) const {
+  auto primary = Primary(id);
+  return primary == nullptr || primary->degraded();
+}
+
+ShardStatus ShardCluster::StatusOf(ShardId id) const {
+  ShardStatus status;
+  status.id = id;
+  if (id >= shards_.size()) return status;
+  ShardNode& node = *shards_[id];
+  std::lock_guard<std::mutex> lock(node.mu);
+  status.epoch = node.epoch;
+  status.has_standby = node.standby != nullptr;
+  status.partitioned = node.partitioned;
+  status.failovers = node.failovers;
+  status.rebalance_records = node.rebalance_records;
+  if (node.primary != nullptr) {
+    status.primary_dir = node.primary->dir();
+    status.last_seq = node.primary->last_seq();
+    status.mutation_epoch = node.primary->mutation_epoch();
+    status.degraded = node.primary->degraded();
+    status.degraded_reason = node.primary->degraded_reason();
+  } else {
+    status.degraded = true;
+    status.degraded_reason = "no primary";
+  }
+  if (node.shipper != nullptr) {
+    status.lag_records = node.shipper->lag_records();
+    status.diverged = node.shipper->divergence_detected();
+  }
+  return status;
+}
+
+void ShardCluster::UpdateDegradedGauge() {
+  if (degraded_gauge_ == nullptr) return;
+  int64_t count = 0;
+  for (ShardId id = 0; id < shards_.size(); ++id) {
+    if (degraded(id)) ++count;
+  }
+  degraded_gauge_->Set(count);
+}
+
+}  // namespace wfrm::shard

@@ -1,0 +1,204 @@
+#ifndef WFRM_SHARD_SHARD_CLUSTER_H_
+#define WFRM_SHARD_SHARD_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/fault_injector.h"
+#include "obs/metrics.h"
+#include "shard/shard_map.h"
+#include "store/durable_rm.h"
+#include "store/replication.h"
+
+namespace wfrm::shard {
+
+/// Point-in-time health of one shard, for status displays and tests.
+struct ShardStatus {
+  ShardId id = 0;
+  std::string primary_dir;
+  bool has_standby = false;
+  /// The epoch the primary currently serves under (bumped by every
+  /// failover/rebalance of this shard — independent of other shards).
+  uint64_t epoch = 0;
+  uint64_t last_seq = 0;
+  /// This shard's enforcement epoch (its own policy store's).
+  uint64_t mutation_epoch = 0;
+  bool degraded = false;
+  std::string degraded_reason;
+  bool partitioned = false;
+  uint64_t lag_records = 0;
+  /// A checkpoint-mark fingerprint comparison on the standby link
+  /// failed — primary and standby hold different state at the same seq.
+  bool diverged = false;
+  uint64_t failovers = 0;
+  uint64_t rebalance_records = 0;
+};
+
+struct ShardClusterOptions {
+  size_t num_shards = 1;
+  /// Template for every shard home (fsync mode, clock, lease duration,
+  /// ...). Leave rm_options.metrics null — per-home wfrm_store_*
+  /// instruments are unlabeled and N shards would fight over them; the
+  /// cluster exports per-shard labeled gauges instead.
+  store::DurableOptions durable;
+  /// Per-shard link fault injectors (index = shard id); shorter than
+  /// num_shards or null entries mean a loss-free link for that shard.
+  /// Not owned.
+  std::vector<core::FaultInjector*> link_faults;
+  /// Snapshot catch-up slice for standby seeding and rebalancing.
+  size_t snapshot_chunk_bytes = 1 << 16;
+  /// When non-null, registers wfrm_shard_{count,degraded} plus
+  /// per-shard wfrm_shard_{failovers,rebalance_records} gauges.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// N independent durable homes, each a primary + standby pair wired
+/// through the PR-5 replication stack (WAL shipping, chunked snapshot
+/// catch-up, epoch-fenced promotion). "Independent" is the point: every
+/// shard has its own WAL, its own replica, its own fencing epoch and
+/// its own enforcement epoch, so one shard failing over — or being
+/// killed outright — never blocks, fences or cache-invalidates any
+/// other shard.
+///
+/// The cluster manages topology (who is primary, who follows); the
+/// ShardRouter on top routes requests. Primary handles are shared_ptr:
+/// a request in flight during a failover finishes against the store it
+/// started on, while new requests resolve to the promoted one.
+///
+/// Thread-safe: per-shard admin operations serialize on that shard's
+/// lock only.
+class ShardCluster {
+ public:
+  /// Opens (or creates) a cluster rooted at `root`: shard i lives under
+  /// `root`/shard<i>/, with numbered homes inside (home0 = initial
+  /// primary, home1 = initial standby, rebalances append).
+  static Result<std::unique_ptr<ShardCluster>> Open(
+      const std::string& root, ShardClusterOptions options = {});
+
+  ~ShardCluster();
+
+  size_t num_shards() const { return shards_.size(); }
+  const std::string& root() const { return root_; }
+
+  /// The shard's current primary (null only between a kill and its
+  /// promotion — callers treat null as "shard offline, retry").
+  std::shared_ptr<store::DurableResourceManager> Primary(ShardId id) const;
+
+  /// The shard's current standby (null when none) — tests drain the
+  /// link and compare its fingerprint against the primary's.
+  std::shared_ptr<store::DurableResourceManager> Standby(ShardId id) const;
+
+  // ---- Replication driving ----------------------------------------------
+
+  /// One incremental ship on the shard's standby link (errors are
+  /// retryable chaos; callers pump again).
+  Status Pump(ShardId id);
+  /// Pumps every shard once; returns the first error.
+  Status PumpAll();
+  /// Pumps until the standby is fully caught up and the divergence
+  /// probe has run; fails if `max_pumps` chaotic attempts never
+  /// converge.
+  Status Drain(ShardId id, int max_pumps = 500);
+
+  // ---- Failure / topology events ----------------------------------------
+
+  /// How Failover treats the old primary.
+  enum class FailoverMode {
+    /// Destroy the primary first (crash), then promote the standby.
+    kKillPrimary,
+    /// Leave the old primary alive and demoted — its shipper keeps
+    /// running so tests can watch the epoch fence reject it. Retrieve
+    /// it with PumpDemoted/DemotedFenced; the next topology event on
+    /// the shard retires it.
+    kDemotePrimary,
+  };
+
+  /// Epoch-fenced failover: promotes the standby to primary. The shard
+  /// is left without a standby; AttachStandby restores redundancy.
+  /// Returns the new serving epoch.
+  Result<uint64_t> Failover(ShardId id, FailoverMode mode);
+
+  /// Opens a fresh home as the shard's standby; the next Pump/Drain
+  /// seeds it through chunked snapshot catch-up.
+  Status AttachStandby(ShardId id);
+
+  /// Migrates the shard onto a brand-new home: seeds it via the chunked
+  /// snapshot catch-up path over a private loss-free link, promotes it
+  /// (epoch bump fences the old home), and retires the old pair. The
+  /// records + chunks shipped land in wfrm_shard_rebalance_records.
+  /// Returns the new serving epoch. The shard serves reads throughout
+  /// and is left without a standby (AttachStandby restores it).
+  Result<uint64_t> Rebalance(ShardId id);
+
+  /// Severs / heals the shard's standby link. While severed the primary
+  /// is placed in explicit degraded mode (reads serve, mutations fail
+  /// typed kDegraded) so callers see the partition, not silent
+  /// replication lag.
+  Status SetPartitioned(ShardId id, bool partitioned);
+
+  /// Checkpoints the shard's primary (also the WAL repair path).
+  Status Checkpoint(ShardId id);
+
+  // ---- Demoted-primary observation (FailoverMode::kDemotePrimary) -------
+
+  /// Pumps the demoted primary's old shipper (expected to hit the
+  /// fence). kNotFound when no demoted primary is held.
+  Status PumpDemoted(ShardId id);
+  bool DemotedFenced(ShardId id) const;
+
+  // ---- Health -----------------------------------------------------------
+
+  bool degraded(ShardId id) const;
+  ShardStatus StatusOf(ShardId id) const;
+
+ private:
+  /// One shard's topology. Members are ordered so that on destruction
+  /// the shipper (which reads the primary's WAL and sends into the
+  /// applier) dies before the stores it references.
+  struct ShardNode {
+    mutable std::mutex mu;
+    std::string dir;        // <root>/shard<i>
+    int next_home = 0;      // Names fresh homes (rebalance, standby).
+    uint64_t epoch = 1;     // Current serving epoch.
+    uint64_t failovers = 0;
+    uint64_t rebalance_records = 0;
+    bool partitioned = false;
+    std::shared_ptr<store::DurableResourceManager> primary;
+    std::shared_ptr<store::DurableResourceManager> standby;
+    /// Demoted-but-alive old primary after a kDemotePrimary failover.
+    std::shared_ptr<store::DurableResourceManager> demoted;
+    std::unique_ptr<store::ReplicaApplier> applier;
+    std::unique_ptr<store::InProcessTransport> link;
+    std::unique_ptr<store::FaultInjectingTransport> chaos;
+    std::unique_ptr<store::WalShipper> old_shipper;  // The demoted one.
+    std::unique_ptr<store::WalShipper> shipper;
+
+    obs::Gauge* failovers_gauge = nullptr;
+    obs::Gauge* rebalance_gauge = nullptr;
+  };
+
+  ShardCluster(std::string root, ShardClusterOptions options);
+
+  Result<std::shared_ptr<store::DurableResourceManager>> OpenHome(
+      const std::string& dir) const;
+  /// Builds standby wiring (applier + faulty link + shipper) for
+  /// `node`, whose `standby` is already open. Caller holds node->mu.
+  Status WireStandbyLocked(ShardNode* node, core::FaultInjector* faults);
+  Status AttachStandbyLocked(ShardNode* node, core::FaultInjector* faults);
+  core::FaultInjector* FaultsFor(ShardId id) const;
+  void UpdateDegradedGauge();
+
+  std::string root_;
+  ShardClusterOptions options_;
+  std::vector<std::unique_ptr<ShardNode>> shards_;
+  obs::Gauge* count_gauge_ = nullptr;
+  obs::Gauge* degraded_gauge_ = nullptr;
+};
+
+}  // namespace wfrm::shard
+
+#endif  // WFRM_SHARD_SHARD_CLUSTER_H_

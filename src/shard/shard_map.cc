@@ -1,0 +1,100 @@
+#include "shard/shard_map.h"
+
+#include <cassert>
+
+namespace wfrm::shard {
+
+namespace {
+
+// FNV-1a, 64-bit: fixed constants so placement survives recompilation
+// (std::hash makes no such promise).
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+// FNV-1a's high bits barely avalanche on short inputs ("tenant3",
+// "shard-0#17"), which collapses the ring into one narrow arc; the
+// splitmix64 finalizer spreads the points over the full u64 space.
+// Fixed constants again — placement stays stable across processes.
+uint64_t Mix(uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+uint64_t Fnv1a(std::string_view bytes, uint64_t h = kFnvOffset) {
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return Mix(h);
+}
+
+}  // namespace
+
+ShardMap::ShardMap(size_t num_shards, ShardMapOptions options)
+    : options_(options), num_shards_(num_shards == 0 ? 1 : num_shards) {
+  if (options_.virtual_nodes == 0) options_.virtual_nodes = 1;
+  for (ShardId s = 0; s < num_shards_; ++s) InsertRingPointsLocked(s);
+}
+
+uint64_t ShardMap::HashKey(std::string_view key) { return Fnv1a(key); }
+
+void ShardMap::InsertRingPointsLocked(ShardId shard) {
+  // Points are hashes of "shard-<id>#<replica>"; emplace keeps the
+  // first owner on the (astronomically rare) collision, so insertion
+  // order — always ascending shard id — makes ties deterministic.
+  const std::string prefix = "shard-" + std::to_string(shard) + "#";
+  for (size_t v = 0; v < options_.virtual_nodes; ++v) {
+    ring_.emplace(Fnv1a(prefix + std::to_string(v)), shard);
+  }
+}
+
+ShardId ShardMap::Resolve(std::string_view key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto pinned = overrides_.find(key);
+  if (pinned != overrides_.end()) return pinned->second;
+  assert(!ring_.empty());
+  auto it = ring_.lower_bound(Fnv1a(key));
+  if (it == ring_.end()) it = ring_.begin();  // Wrap around the ring.
+  return it->second;
+}
+
+size_t ShardMap::num_shards() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return num_shards_;
+}
+
+uint64_t ShardMap::version() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return version_;
+}
+
+void ShardMap::AssignKey(std::string key, ShardId shard) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  overrides_[std::move(key)] = shard;
+  ++version_;
+}
+
+void ShardMap::ClearAssignment(const std::string& key) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  overrides_.erase(key);
+  ++version_;
+}
+
+std::map<std::string, ShardId> ShardMap::Assignments() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return {overrides_.begin(), overrides_.end()};
+}
+
+ShardId ShardMap::AddShard() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const ShardId added = static_cast<ShardId>(num_shards_++);
+  InsertRingPointsLocked(added);
+  ++version_;
+  return added;
+}
+
+}  // namespace wfrm::shard

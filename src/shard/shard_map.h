@@ -1,0 +1,92 @@
+#ifndef WFRM_SHARD_SHARD_MAP_H_
+#define WFRM_SHARD_SHARD_MAP_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wfrm::shard {
+
+/// Index of one shard in a cluster (dense, 0-based).
+using ShardId = uint32_t;
+
+struct ShardMapOptions {
+  /// Ring points per shard. More points smooth the key distribution at
+  /// the cost of a larger (still tiny) ring; 64 keeps the worst shard
+  /// within ~2x of the mean for realistic tenant counts.
+  size_t virtual_nodes = 64;
+};
+
+/// Consistent-hash assignment of routing keys to shards.
+///
+/// A routing key is any stable string the deployment partitions by —
+/// a tenant name, or the root of an activity-hierarchy subtree when
+/// policies are partitioned by workflow domain instead of by customer.
+/// Hashing uses FNV-1a (fixed constants, no std::hash), so a key maps
+/// to the same shard across processes, restarts and rebuilds — the map
+/// can be reconstructed from (num_shards, overrides) alone.
+///
+/// Two mechanisms compose:
+///   * the ring: `virtual_nodes` points per shard; a key routes to the
+///     first point at or after its own hash. Adding shard N+1 moves
+///     only the keys that land on the new shard's points (~1/(N+1) of
+///     the space) — nobody else's assignment churns.
+///   * overrides: an explicit key → shard pin, consulted before the
+///     ring. Rebalancing a hot tenant is one override plus a data
+///     migration; no other key moves.
+///
+/// `version()` bumps on every mutation (override set/cleared, shard
+/// added). Routers re-read the resolved shard after a retryable failure
+/// — a failover or rebalance that re-homed the key invalidates the old
+/// resolution, and the version tells cheap cache layers when to
+/// re-resolve.
+///
+/// Thread-safe: resolution takes a shared lock, mutation an exclusive
+/// one.
+class ShardMap {
+ public:
+  explicit ShardMap(size_t num_shards, ShardMapOptions options = {});
+
+  /// The shard `key` routes to. Overrides win; otherwise the ring.
+  ShardId Resolve(std::string_view key) const;
+
+  size_t num_shards() const;
+  /// Mutation counter; bumped by AssignKey/ClearAssignment/AddShard.
+  uint64_t version() const;
+
+  /// Pins `key` to `shard` ahead of the ring. Bumps version.
+  void AssignKey(std::string key, ShardId shard);
+  /// Removes a pin (the key falls back to the ring). Bumps version.
+  void ClearAssignment(const std::string& key);
+  /// Every explicit pin, for status displays.
+  std::map<std::string, ShardId> Assignments() const;
+
+  /// Grows the ring by one shard; returns the new shard's id. Only keys
+  /// whose hash now lands on the new shard's points move. Bumps
+  /// version.
+  ShardId AddShard();
+
+  /// The stable 64-bit key hash (exposed so tests can reason about
+  /// placement).
+  static uint64_t HashKey(std::string_view key);
+
+ private:
+  void InsertRingPointsLocked(ShardId shard);
+
+  mutable std::shared_mutex mu_;
+  ShardMapOptions options_;
+  size_t num_shards_;
+  uint64_t version_ = 0;
+  /// hash point -> shard. Collisions keep the first inserted (lowest
+  /// shard id) for determinism.
+  std::map<uint64_t, ShardId> ring_;
+  std::map<std::string, ShardId, std::less<>> overrides_;
+};
+
+}  // namespace wfrm::shard
+
+#endif  // WFRM_SHARD_SHARD_MAP_H_

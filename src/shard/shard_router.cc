@@ -1,0 +1,327 @@
+#include "shard/shard_router.h"
+
+#include <chrono>
+#include <map>
+#include <optional>
+#include <utility>
+
+namespace wfrm::shard {
+
+namespace {
+
+std::string OfflineMessage(ShardId shard) {
+  return "shard " + std::to_string(shard) + " is offline";
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(ShardCluster* cluster, ShardMap* map,
+                         ShardRouterOptions options)
+    : cluster_(cluster),
+      map_(map),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : SystemClock::Default()) {
+  if (options_.metrics != nullptr) {
+    retries_counter_ = options_.metrics->GetCounter(
+        "wfrm_shard_router_retries", {},
+        "mutation attempts re-resolved after a typed shard refusal");
+    deadline_counter_ = options_.metrics->GetCounter(
+        "wfrm_shard_router_deadline_misses", {},
+        "batch shard groups that missed the per-shard deadline");
+    degraded_counter_ = options_.metrics->GetCounter(
+        "wfrm_shard_router_degraded_rejections", {},
+        "batch sub-requests refused because their home shard was degraded");
+  }
+  executors_.reserve(cluster_->num_shards());
+  for (size_t i = 0; i < cluster_->num_shards(); ++i) {
+    auto exec = std::make_unique<Executor>();
+    exec->worker = std::thread([this, e = exec.get()] { ExecutorLoop(e); });
+    executors_.push_back(std::move(exec));
+  }
+}
+
+ShardRouter::~ShardRouter() {
+  for (auto& exec : executors_) {
+    {
+      std::lock_guard<std::mutex> lock(exec->mu);
+      exec->stop = true;
+    }
+    exec->cv.notify_all();
+  }
+  for (auto& exec : executors_) {
+    if (exec->worker.joinable()) exec->worker.join();
+  }
+}
+
+void ShardRouter::ExecutorLoop(Executor* exec) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(exec->mu);
+      exec->cv.wait(lock,
+                    [exec] { return exec->stop || !exec->queue.empty(); });
+      if (exec->queue.empty()) return;  // stop && drained
+      task = std::move(exec->queue.front());
+      exec->queue.pop_front();
+    }
+    const int64_t stall = exec->stall_micros.load(std::memory_order_relaxed);
+    if (stall > 0) clock_->SleepForMicros(stall);
+    task();
+  }
+}
+
+void ShardRouter::Enqueue(ShardId id, std::function<void()> task) {
+  Executor* exec = executors_[id].get();
+  {
+    std::lock_guard<std::mutex> lock(exec->mu);
+    exec->queue.push_back(std::move(task));
+  }
+  exec->cv.notify_one();
+}
+
+ShardId ShardRouter::HomeOf(std::string_view routing_key) const {
+  return map_->Resolve(routing_key);
+}
+
+void ShardRouter::InjectShardStallForTest(ShardId id, int64_t micros) {
+  if (id < executors_.size()) {
+    executors_[id]->stall_micros.store(micros, std::memory_order_relaxed);
+  }
+}
+
+void ShardRouter::CountRetry() {
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  if (retries_counter_ != nullptr) retries_counter_->Increment();
+}
+
+// ---- Scatter / gather -------------------------------------------------------
+
+std::vector<BatchItemResult> ShardRouter::EnforceBatch(
+    const std::vector<BatchItem>& items) {
+  // One reply slot per shard group. The slot is shared with the
+  // executor task: a group that misses its deadline is abandoned by the
+  // gatherer but still completes into its own slot — never into freed
+  // memory, and never blocking other shards' groups.
+  struct Reply {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::vector<Result<core::QueryOutcome>> outcomes;
+  };
+  struct Group {
+    std::vector<size_t> indices;
+    std::vector<std::string> texts;
+    std::shared_ptr<Reply> reply;
+  };
+
+  std::map<ShardId, Group> groups;
+  for (size_t i = 0; i < items.size(); ++i) {
+    Group& g = groups[HomeOf(items[i].routing_key)];
+    g.indices.push_back(i);
+    g.texts.push_back(items[i].rql);
+  }
+
+  for (auto& [shard, group] : groups) {
+    group.reply = std::make_shared<Reply>();
+    Enqueue(shard, [this, shard, texts = group.texts,
+                    reply = group.reply] {
+      std::vector<Result<core::QueryOutcome>> outcomes;
+      outcomes.reserve(texts.size());
+      auto primary = cluster_->Primary(shard);
+      if (primary == nullptr) {
+        for (size_t i = 0; i < texts.size(); ++i) {
+          outcomes.emplace_back(
+              Status::ResourceUnavailable(OfflineMessage(shard)));
+        }
+      } else if (primary->degraded() && !options_.read_on_degraded) {
+        const std::string reason = primary->degraded_reason();
+        for (size_t i = 0; i < texts.size(); ++i) {
+          outcomes.emplace_back(Status::Degraded(
+              "shard " + std::to_string(shard) + " degraded: " + reason));
+        }
+        if (degraded_counter_ != nullptr) {
+          degraded_counter_->Increment(texts.size());
+        }
+      } else {
+        outcomes =
+            primary->rm().SubmitBatch(texts, options_.workers_per_shard);
+      }
+      {
+        std::lock_guard<std::mutex> lock(reply->mu);
+        reply->outcomes = std::move(outcomes);
+        reply->done = true;
+      }
+      reply->cv.notify_all();
+    });
+  }
+
+  // Gather. Each shard gets the full deadline from now; waiting on
+  // earlier groups only eats into later ones' budgets when the same
+  // wall time would anyway (the scatters run concurrently).
+  const auto wall_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(options_.shard_deadline_micros);
+  std::vector<std::optional<BatchItemResult>> slots(items.size());
+  for (auto& [shard, group] : groups) {
+    bool done = false;
+    {
+      std::unique_lock<std::mutex> lock(group.reply->mu);
+      if (options_.shard_deadline_micros <= 0) {
+        group.reply->cv.wait(lock, [&] { return group.reply->done; });
+        done = true;
+      } else {
+        done = group.reply->cv.wait_until(lock, wall_deadline,
+                                          [&] { return group.reply->done; });
+      }
+      if (done) {
+        for (size_t i = 0; i < group.indices.size(); ++i) {
+          slots[group.indices[i]].emplace(
+              shard, std::move(group.reply->outcomes[i]));
+        }
+      }
+    }
+    if (!done) {
+      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      if (deadline_counter_ != nullptr) deadline_counter_->Increment();
+      for (size_t index : group.indices) {
+        slots[index].emplace(
+            shard, Status::ResourceUnavailable(
+                       "shard " + std::to_string(shard) + " missed its " +
+                       std::to_string(options_.shard_deadline_micros) +
+                       "us batch deadline"));
+      }
+    }
+  }
+
+  std::vector<BatchItemResult> results;
+  results.reserve(items.size());
+  for (auto& slot : slots) results.push_back(std::move(*slot));
+  return results;
+}
+
+Result<core::QueryOutcome> ShardRouter::Enforce(std::string_view routing_key,
+                                                std::string_view rql) {
+  const ShardId shard = HomeOf(routing_key);
+  auto primary = cluster_->Primary(shard);
+  if (primary == nullptr) {
+    return Status::ResourceUnavailable(OfflineMessage(shard));
+  }
+  if (primary->degraded() && !options_.read_on_degraded) {
+    if (degraded_counter_ != nullptr) degraded_counter_->Increment();
+    return Status::Degraded("shard " + std::to_string(shard) +
+                            " degraded: " + primary->degraded_reason());
+  }
+  return primary->rm().Submit(rql);
+}
+
+// ---- Routed mutations -------------------------------------------------------
+
+namespace {
+
+// The two status shapes mutations come back in.
+inline Status StatusOf(const Status& s) { return s; }
+template <typename T>
+inline Status StatusOf(const Result<T>& r) {
+  return r.status();
+}
+
+}  // namespace
+
+/// Runs `fn` against the key's current primary, retrying (with backoff,
+/// re-resolving the shard each attempt) only outcomes that provably
+/// granted nothing: a null primary (nothing was sent) or a typed
+/// kDegraded refusal (the store rejects before journaling). Any other
+/// outcome — success or a journaled-side failure — is returned as-is,
+/// which is what makes routed Acquire at-most-once across a failover.
+template <typename R, typename Fn>
+R RunRouted(ShardCluster* cluster, const ShardMap* map,
+            const ShardRouterOptions& options, Clock* clock,
+            const std::function<void()>& count_retry, std::string_view key,
+            Fn&& fn) {
+  Backoff backoff(options.retry,
+                  options.retry_seed ^ ShardMap::HashKey(key));
+  int attempt = 0;
+  for (;;) {
+    const ShardId shard = map->Resolve(key);
+    auto primary = cluster->Primary(shard);
+    std::optional<R> out;
+    if (primary == nullptr) {
+      out.emplace(Status::ResourceUnavailable(OfflineMessage(shard)));
+    } else {
+      out.emplace(fn(*primary));
+    }
+    const Status st = StatusOf(*out);
+    const bool provably_not_applied =
+        primary == nullptr || st.code() == StatusCode::kDegraded;
+    if (!provably_not_applied || !backoff.ShouldRetry(attempt + 1)) {
+      return std::move(*out);
+    }
+    ++attempt;
+    count_retry();
+    clock->SleepForMicros(backoff.NextDelayMicros());
+  }
+}
+
+Result<core::Lease> ShardRouter::Acquire(std::string_view routing_key,
+                                         std::string_view rql) {
+  return RunRouted<Result<core::Lease>>(
+      cluster_, map_, options_, clock_, [this] { CountRetry(); },
+      routing_key,
+      [rql](store::DurableResourceManager& rm) { return rm.Acquire(rql); });
+}
+
+Status ShardRouter::Release(std::string_view routing_key,
+                            const core::Lease& lease) {
+  return RunRouted<Status>(
+      cluster_, map_, options_, clock_, [this] { CountRetry(); },
+      routing_key,
+      [&lease](store::DurableResourceManager& rm) {
+        return rm.Release(lease);
+      });
+}
+
+Result<core::Lease> ShardRouter::RenewLease(std::string_view routing_key,
+                                            const core::Lease& lease) {
+  return RunRouted<Result<core::Lease>>(
+      cluster_, map_, options_, clock_, [this] { CountRetry(); },
+      routing_key,
+      [&lease](store::DurableResourceManager& rm) {
+        return rm.RenewLease(lease);
+      });
+}
+
+Status ShardRouter::ExecuteRdl(std::string_view routing_key,
+                               std::string_view rdl_text) {
+  return RunRouted<Status>(
+      cluster_, map_, options_, clock_, [this] { CountRetry(); },
+      routing_key,
+      [rdl_text](store::DurableResourceManager& rm) {
+        return rm.ExecuteRdl(rdl_text);
+      });
+}
+
+Status ShardRouter::AddPolicyText(std::string_view routing_key,
+                                  std::string_view pl_text) {
+  return RunRouted<Status>(
+      cluster_, map_, options_, clock_, [this] { CountRetry(); },
+      routing_key,
+      [pl_text](store::DurableResourceManager& rm) {
+        return rm.AddPolicyText(pl_text);
+      });
+}
+
+// ---- Per-shard epoch observation -------------------------------------------
+
+uint64_t ShardRouter::ShardEpoch(ShardId id) const {
+  auto primary = cluster_->Primary(id);
+  return primary == nullptr ? 0 : primary->mutation_epoch();
+}
+
+policy::StoreStatsSnapshot ShardRouter::ShardStats(ShardId id) const {
+  auto primary = cluster_->Primary(id);
+  if (primary == nullptr) return {};
+  return primary->store().StatsSnapshot();
+}
+
+}  // namespace wfrm::shard

@@ -1,0 +1,175 @@
+#ifndef WFRM_SHARD_SHARD_ROUTER_H_
+#define WFRM_SHARD_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/retry.h"
+#include "core/resource_manager.h"
+#include "obs/metrics.h"
+#include "policy/policy_store.h"
+#include "shard/shard_cluster.h"
+#include "shard/shard_map.h"
+
+namespace wfrm::shard {
+
+/// One sub-request of a cross-shard batch: the routing key picks the
+/// shard, the RQL is enforced there.
+struct BatchItem {
+  std::string routing_key;
+  std::string rql;
+};
+
+/// One sub-result, aligned with the input batch. `outcome` is either
+/// the shard's own Submit() result or a typed routing failure:
+///   * kDegraded      — the home shard currently refuses this request
+///                      (failing over, partitioned, WAL-broken);
+///   * kResourceUnavailable — the shard is offline or missed its
+///                      per-shard deadline.
+/// Either way the failure is scoped to this sub-request; items homed on
+/// healthy shards answer normally in the same batch.
+struct BatchItemResult {
+  BatchItemResult(ShardId shard_id, Result<core::QueryOutcome> o)
+      : shard(shard_id), outcome(std::move(o)) {}
+
+  ShardId shard;
+  Result<core::QueryOutcome> outcome;
+};
+
+struct ShardRouterOptions {
+  /// Backoff between re-resolutions of a shard that refused a mutation.
+  /// Decorrelated by default so a fleet of routers probing one
+  /// recovering shard spreads out instead of thundering.
+  RetryPolicy retry = RetryPolicy::Decorrelated();
+  uint64_t retry_seed = 42;
+  /// Wall-time budget per shard for one EnforceBatch scatter; a shard
+  /// that cannot answer in time gets its sub-requests failed with
+  /// kResourceUnavailable while the rest of the batch proceeds.
+  /// 0 = wait indefinitely. (Wall time, not the injected clock: the
+  /// gatherer blocks on a real condition variable.)
+  int64_t shard_deadline_micros = 0;
+  /// Worker threads Submit uses *inside* one shard. The router already
+  /// scatters across shards; 1 keeps the measured scaling honest.
+  size_t workers_per_shard = 1;
+  /// Serve enforcement reads from a degraded shard (its store keeps
+  /// serving reads; see DESIGN.md §11). Off by default: a degraded
+  /// shard's sub-requests fail typed kDegraded so callers *see* the
+  /// partial failure instead of silently reading possibly-stale policy.
+  bool read_on_degraded = false;
+  /// Spent (not measured) for retry backoff; SimulatedClock replays a
+  /// retry schedule instantly. Null = SystemClock.
+  Clock* clock = nullptr;
+  /// When set, registers wfrm_shard_router_{retries,deadline_misses,
+  /// degraded_rejections} counters.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Routes requests to the shard owning their key and runs cross-shard
+/// batches as scatter/gather with partial-failure semantics
+/// (DESIGN.md §12).
+///
+/// Every attempt re-resolves key → shard → primary, so a failover or
+/// rebalance between retries is picked up automatically: the retry
+/// lands on the promoted home, not the fenced corpse.
+///
+/// Mutations are retried only on outcomes that provably granted
+/// nothing — the home refused with kDegraded (typed refusal happens
+/// before journaling) or was offline. A mutation that reached a healthy
+/// primary is never retried, so a routed Acquire grants at most once
+/// even when its shard fails over mid-request.
+class ShardRouter {
+ public:
+  ShardRouter(ShardCluster* cluster, ShardMap* map,
+              ShardRouterOptions options = {});
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  ShardId HomeOf(std::string_view routing_key) const;
+
+  /// Scatter/gather enforcement: items are grouped by home shard, each
+  /// group runs on that shard's executor under the per-shard deadline,
+  /// and element i of the return is item i's outcome. Degraded/offline/
+  /// late shards fail only their own items (see BatchItemResult).
+  std::vector<BatchItemResult> EnforceBatch(
+      const std::vector<BatchItem>& items);
+
+  /// Routed single enforcement read (no allocation). Subject to the
+  /// degraded-read option but not the deadline (callers wanting a
+  /// deadline use EnforceBatch).
+  Result<core::QueryOutcome> Enforce(std::string_view routing_key,
+                                     std::string_view rql);
+
+  // ---- Routed mutations (retry + re-resolve; at-most-once) ---------------
+
+  Result<core::Lease> Acquire(std::string_view routing_key,
+                              std::string_view rql);
+  Status Release(std::string_view routing_key, const core::Lease& lease);
+  Result<core::Lease> RenewLease(std::string_view routing_key,
+                                 const core::Lease& lease);
+  Status ExecuteRdl(std::string_view routing_key, std::string_view rdl_text);
+  Status AddPolicyText(std::string_view routing_key, std::string_view pl_text);
+
+  // ---- Per-shard epoch observation ---------------------------------------
+
+  /// The shard's enforcement epoch (its own policy store's — bumped
+  /// only by mutations routed to *this* shard; see DESIGN.md §12).
+  uint64_t ShardEpoch(ShardId id) const;
+  /// The shard's policy-store stats (cache hits/misses/invalidations +
+  /// epoch), for epoch-isolation tests and benches.
+  policy::StoreStatsSnapshot ShardStats(ShardId id) const;
+
+  uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
+  uint64_t deadline_misses() const {
+    return deadline_misses_.load(std::memory_order_relaxed);
+  }
+
+  /// Test-only: the shard's executor sleeps this long (on the injected
+  /// clock) before running each batch task — how deadline tests make a
+  /// shard late deterministically.
+  void InjectShardStallForTest(ShardId id, int64_t micros);
+
+ private:
+  /// One serial executor per shard: batch groups for different shards
+  /// run concurrently, groups for the same shard queue up.
+  struct Executor {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> queue;
+    bool stop = false;
+    std::atomic<int64_t> stall_micros{0};
+    std::thread worker;
+  };
+
+  void ExecutorLoop(Executor* exec);
+  void Enqueue(ShardId id, std::function<void()> task);
+  void CountRetry();
+
+  ShardCluster* cluster_;
+  ShardMap* map_;
+  ShardRouterOptions options_;
+  Clock* clock_;
+  std::vector<std::unique_ptr<Executor>> executors_;
+
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> deadline_misses_{0};
+  obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* deadline_counter_ = nullptr;
+  obs::Counter* degraded_counter_ = nullptr;
+};
+
+}  // namespace wfrm::shard
+
+#endif  // WFRM_SHARD_SHARD_ROUTER_H_

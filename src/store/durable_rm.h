@@ -200,6 +200,13 @@ class DurableResourceManager {
   core::ResourceManager& rm() { return *rm_; }
   const core::ResourceManager& rm() const { return *rm_; }
 
+  /// This store's enforcement epoch (policy-store mutations plus org
+  /// hierarchy versions). Under sharding every shard owns its own store
+  /// and therefore its own epoch: one tenant's mutation burst bumps
+  /// only its shard's epoch, leaving every other shard's enforcement
+  /// caches warm (DESIGN.md §12). The router exports these per shard.
+  uint64_t mutation_epoch() const { return store_->epoch(); }
+
   const RecoveryInfo& recovery_info() const { return recovery_; }
   const std::string& dir() const { return dir_; }
   uint64_t last_seq() const {

@@ -237,6 +237,7 @@ Status WalShipper::PumpLocked() {
     ShipAck ack;
     WFRM_RETURN_NOT_OK(SendFrameLocked(frame, &ack));
     ++shipped;
+    ++records_shipped_;
     if (ack.gap) {
       acked_ = ack.expected_seq == 0 ? 0 : ack.expected_seq - 1;
     } else {
@@ -363,6 +364,7 @@ Status WalShipper::CatchupLocked(size_t* shipped) {
                                 std::min(chunk_bytes, c.bytes.size() - offset));
     WFRM_RETURN_NOT_OK(SendFrameLocked(chunk, &ack));
     ++*shipped;
+    ++snapshot_chunks_shipped_;
     if (ack.gap) {
       c.next_chunk = ack.expected_seq;
       if (ack.expected_seq == 0) {
@@ -466,6 +468,16 @@ uint64_t WalShipper::lag_bytes() const {
     if (seq > acked_) total += rec.frame_bytes;
   }
   return total;
+}
+
+uint64_t WalShipper::records_shipped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_shipped_;
+}
+
+uint64_t WalShipper::snapshot_chunks_shipped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_chunks_shipped_;
 }
 
 bool WalShipper::fenced() const {

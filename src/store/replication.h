@@ -195,6 +195,12 @@ class WalShipper {
   /// Records journaled on the primary but not yet acked.
   uint64_t lag_records() const;
   uint64_t lag_bytes() const;
+  /// Lifetime record frames delivered (acked) to the follower. A shard
+  /// rebalance reads this (plus snapshot_chunks_shipped) to report how
+  /// much state the catch-up moved.
+  uint64_t records_shipped() const;
+  /// Lifetime snapshot chunks delivered during catch-up streams.
+  uint64_t snapshot_chunks_shipped() const;
   /// Latched after a stale-epoch ack: a newer primary exists and this
   /// node must never ship (or accept) another mutation from its old
   /// life.
@@ -243,6 +249,8 @@ class WalShipper {
   /// install, records must not ship.
   bool basis_probed_ = false;
   uint64_t last_mark_seq_ = 0;
+  uint64_t records_shipped_ = 0;
+  uint64_t snapshot_chunks_shipped_ = 0;
   size_t consecutive_failures_ = 0;
   bool partitioned_ = false;
   bool fenced_ = false;

@@ -1,0 +1,115 @@
+// Backoff series: exponential growth, caps, and the two jitter modes.
+// The decorrelated mode is what keeps N routers from thundering-herd
+// against a freshly promoted shard, so its bounds and determinism are
+// pinned down here.
+
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace wfrm {
+namespace {
+
+TEST(RetryPolicyTest, MultiplicativeSeriesGrowsAndCaps) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff_micros = 100;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_micros = 1000;
+  policy.jitter = 0.0;  // Deterministic series.
+  Backoff backoff(policy);
+  EXPECT_EQ(backoff.NextDelayMicros(), 100);
+  EXPECT_EQ(backoff.NextDelayMicros(), 200);
+  EXPECT_EQ(backoff.NextDelayMicros(), 400);
+  EXPECT_EQ(backoff.NextDelayMicros(), 800);
+  EXPECT_EQ(backoff.NextDelayMicros(), 1000);  // Saturated at the cap.
+  EXPECT_EQ(backoff.NextDelayMicros(), 1000);
+}
+
+TEST(RetryPolicyTest, ShouldRetryCountsAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  Backoff backoff(policy);
+  EXPECT_TRUE(backoff.ShouldRetry(0));
+  EXPECT_TRUE(backoff.ShouldRetry(1));
+  EXPECT_FALSE(backoff.ShouldRetry(2));
+
+  Backoff none(RetryPolicy::None());
+  EXPECT_FALSE(none.ShouldRetry(0));
+}
+
+TEST(RetryPolicyTest, DecorrelatedDelaysStayWithinBounds) {
+  RetryPolicy policy = RetryPolicy::Decorrelated(
+      /*max_attempts=*/100, /*initial_micros=*/250, /*max_micros=*/10'000);
+  // Every draw — early (small window) and late (saturated window) —
+  // must land in [initial, max], for many seeds.
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    Backoff backoff(policy, seed);
+    for (int i = 0; i < 64; ++i) {
+      int64_t delay = backoff.NextDelayMicros();
+      EXPECT_GE(delay, 250) << "seed " << seed << " draw " << i;
+      EXPECT_LE(delay, 10'000) << "seed " << seed << " draw " << i;
+    }
+  }
+}
+
+TEST(RetryPolicyTest, DecorrelatedWindowGrowsFromInitial) {
+  // The first draw comes from [initial, 3*initial]: a retrier never
+  // jumps straight to the cap, so a single transient blip is retried
+  // quickly.
+  RetryPolicy policy = RetryPolicy::Decorrelated(
+      /*max_attempts=*/10, /*initial_micros=*/1000, /*max_micros=*/1'000'000);
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    Backoff backoff(policy, seed);
+    int64_t first = backoff.NextDelayMicros();
+    EXPECT_GE(first, 1000);
+    EXPECT_LE(first, 3000);
+  }
+}
+
+TEST(RetryPolicyTest, DecorrelatedIsDeterministicUnderSeed) {
+  RetryPolicy policy = RetryPolicy::Decorrelated();
+  Backoff a(policy, 7);
+  Backoff b(policy, 7);
+  Backoff c(policy, 8);
+  std::vector<int64_t> sa, sb, sc;
+  for (int i = 0; i < 32; ++i) {
+    sa.push_back(a.NextDelayMicros());
+    sb.push_back(b.NextDelayMicros());
+    sc.push_back(c.NextDelayMicros());
+  }
+  EXPECT_EQ(sa, sb);  // Same seed, same schedule — replayable failures.
+  EXPECT_NE(sa, sc);  // Different seeds decorrelate.
+}
+
+TEST(RetryPolicyTest, DecorrelatedSeedsSpreadTheFleet) {
+  // The herd property itself: 16 retriers that all failed at t=0 should
+  // not collapse onto a handful of retry instants.
+  RetryPolicy policy = RetryPolicy::Decorrelated(
+      /*max_attempts=*/4, /*initial_micros=*/1000, /*max_micros=*/1'000'000);
+  std::set<int64_t> second_delays;
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    Backoff backoff(policy, seed);
+    (void)backoff.NextDelayMicros();
+    second_delays.insert(backoff.NextDelayMicros());
+  }
+  EXPECT_GE(second_delays.size(), 12u) << "second-retry instants collided";
+}
+
+TEST(RetryPolicyTest, DecorrelatedZeroInitialIsSafe) {
+  RetryPolicy policy = RetryPolicy::Decorrelated(
+      /*max_attempts=*/4, /*initial_micros=*/0, /*max_micros=*/100);
+  Backoff backoff(policy, 3);
+  for (int i = 0; i < 16; ++i) {
+    int64_t delay = backoff.NextDelayMicros();
+    EXPECT_GE(delay, 0);
+    EXPECT_LE(delay, 100);
+  }
+}
+
+}  // namespace
+}  // namespace wfrm

@@ -1,0 +1,102 @@
+// ShardMap: deterministic consistent-hash routing (DESIGN.md §12).
+
+#include "shard/shard_map.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wfrm::shard {
+namespace {
+
+std::vector<std::string> Tenants(int n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (int i = 0; i < n; ++i) keys.push_back("tenant" + std::to_string(i));
+  return keys;
+}
+
+TEST(ShardMapTest, ResolutionIsDeterministicAcrossInstances) {
+  ShardMap a(4);
+  ShardMap b(4);
+  for (const auto& key : Tenants(200)) {
+    EXPECT_EQ(a.Resolve(key), b.Resolve(key)) << key;
+  }
+  // Fixed constants (FNV-1a + splitmix64 finalizer): pin one hash so an
+  // accidental change to the function (which would re-home every tenant
+  // in a real deployment) fails loudly.
+  EXPECT_EQ(ShardMap::HashKey(""), 6137631918817817679ull);
+}
+
+TEST(ShardMapTest, SpreadsKeysAcrossAllShards) {
+  ShardMap map(4);
+  std::map<ShardId, int> counts;
+  for (const auto& key : Tenants(400)) counts[map.Resolve(key)]++;
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [shard, count] : counts) {
+    EXPECT_GT(count, 20) << "shard " << shard << " nearly starved";
+  }
+}
+
+TEST(ShardMapTest, AddShardMovesOnlyKeysLandingOnNewShard) {
+  ShardMap map(4);
+  const auto keys = Tenants(400);
+  std::map<std::string, ShardId> before;
+  for (const auto& key : keys) before[key] = map.Resolve(key);
+
+  const ShardId added = map.AddShard();
+  EXPECT_EQ(added, 4u);
+  int moved = 0;
+  for (const auto& key : keys) {
+    const ShardId now = map.Resolve(key);
+    if (now != before[key]) {
+      // Consistent hashing's contract: churn only ever lands on the
+      // new shard, never reshuffles between the old ones.
+      EXPECT_EQ(now, added) << key;
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, 200) << "adding one shard rehomed half the keyspace";
+}
+
+TEST(ShardMapTest, OverridesPinAndRelease) {
+  ShardMap map(4);
+  const std::string key = "hot-tenant";
+  const ShardId ring_home = map.Resolve(key);
+  const ShardId pinned = (ring_home + 1) % 4;
+
+  map.AssignKey(key, pinned);
+  EXPECT_EQ(map.Resolve(key), pinned);
+  ASSERT_EQ(map.Assignments().size(), 1u);
+  EXPECT_EQ(map.Assignments().at(key), pinned);
+
+  map.ClearAssignment(key);
+  EXPECT_EQ(map.Resolve(key), ring_home);
+  EXPECT_TRUE(map.Assignments().empty());
+}
+
+TEST(ShardMapTest, VersionBumpsOnEveryMutation) {
+  ShardMap map(2);
+  const uint64_t v0 = map.version();
+  map.AssignKey("a", 1);
+  EXPECT_EQ(map.version(), v0 + 1);
+  map.ClearAssignment("a");
+  EXPECT_EQ(map.version(), v0 + 2);
+  map.AddShard();
+  EXPECT_EQ(map.version(), v0 + 3);
+  // Reads never bump.
+  map.Resolve("a");
+  EXPECT_EQ(map.version(), v0 + 3);
+}
+
+TEST(ShardMapTest, SingleShardDegenerateCase) {
+  ShardMap map(0);  // Normalized to 1.
+  EXPECT_EQ(map.num_shards(), 1u);
+  for (const auto& key : Tenants(50)) EXPECT_EQ(map.Resolve(key), 0u);
+}
+
+}  // namespace
+}  // namespace wfrm::shard
