@@ -7,7 +7,9 @@
 //   * Sql          — the literal Figure 13/14/15 views + union executed
 //                    on the embedded relational engine;
 //   * Naive        — the §5.1 strawman: 4-column string table, re-parse
-//                    and re-evaluate every With clause per retrieval.
+//                    and re-evaluate every With clause per retrieval;
+//   * Compiled     — this repo's fast path: flat per-attribute interval
+//                    tables built once per (resource, activity) epoch.
 
 #include <benchmark/benchmark.h>
 
@@ -47,13 +49,16 @@ std::vector<wfrm::rql::RqlQuery> MakeQueries(const SyntheticWorkload& w,
 }
 
 void RunRetrieval(benchmark::State& state, RetrievalMode mode,
-                  bool use_indexes, bool naive) {
+                  bool use_indexes, bool naive, bool compiled = false) {
   size_t q = static_cast<size_t>(state.range(0));
   size_t c = static_cast<size_t>(state.range(1));
   auto w = BuildWorkload(q, c);
   auto queries = MakeQueries(*w, 64);
   w->store().set_retrieval_mode(mode);
   w->store().set_use_indexes(use_indexes);
+  // Measure the paper's own strategies unless the compiled fast path is
+  // what's being priced.
+  w->store().set_compiled_enabled(compiled);
   // This bench prices the retrieval strategies themselves; the 64
   // queries repeat, so the enforcement cache would short-circuit every
   // iteration after the first lap. bench_cache prices the cache.
@@ -96,6 +101,10 @@ void BM_Retrieval_Naive(benchmark::State& state) {
   RunRetrieval(state, RetrievalMode::kDirect, /*use_indexes=*/true,
                /*naive=*/true);
 }
+void BM_Retrieval_Compiled(benchmark::State& state) {
+  RunRetrieval(state, RetrievalMode::kDirect, /*use_indexes=*/true,
+               /*naive=*/false, /*compiled=*/true);
+}
 
 // (q, c) pairs: N = 64·q·c policies — 1k, 4k, 16k.
 #define RETRIEVAL_ARGS \
@@ -105,6 +114,40 @@ BENCHMARK(BM_Retrieval_Direct)->RETRIEVAL_ARGS;
 BENCHMARK(BM_Retrieval_DirectScan)->RETRIEVAL_ARGS;
 BENCHMARK(BM_Retrieval_Sql)->RETRIEVAL_ARGS;
 BENCHMARK(BM_Retrieval_Naive)->RETRIEVAL_ARGS;
+BENCHMARK(BM_Retrieval_Compiled)->RETRIEVAL_ARGS;
+
+// The serialization satellite: before this PR the kSql path re-registered
+// views under an exclusive lock per query, so concurrent retrievals ran
+// one at a time. Shape-bucketed views + the plan cache leave only a
+// shared lock on the hot path; 8 threads should scale, not serialize.
+void BM_Retrieval_SqlConcurrent(benchmark::State& state) {
+  // Magic-static init is thread-safe: the first thread builds, the rest
+  // block until it's ready.
+  static auto* w = [] {
+    auto built = BuildWorkload(8, 8);
+    built->store().set_retrieval_mode(RetrievalMode::kSql);
+    built->store().set_cache_enabled(false);
+    return built.release();
+  }();
+  static auto* queries = new std::vector<wfrm::rql::RqlQuery>(
+      MakeQueries(*w, 64));
+
+  size_t i = static_cast<size_t>(state.thread_index()) * 17;
+  size_t relevant = 0;
+  for (auto _ : state) {
+    const auto& query = (*queries)[i++ % queries->size()];
+    auto r = w->store().RelevantRequirements(
+        query.resource(), query.activity(), query.spec.AsParams());
+    if (r.ok()) relevant += r->size();
+  }
+  benchmark::DoNotOptimize(relevant);
+  // Machine-wide retrieval rate (see BM_Cache_ConcurrentRetrieval for
+  // why the thread count multiplies back in).
+  state.counters["agg_rate"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * state.threads(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Retrieval_SqlConcurrent)->Threads(1)->Threads(8)->UseRealTime();
 
 // Substitution retrieval (shares the machinery; §4.3 conditions).
 void BM_Retrieval_Substitutions(benchmark::State& state) {

@@ -1,6 +1,7 @@
 #include "core/resource_manager.h"
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <utility>
 
@@ -296,13 +297,15 @@ Result<QueryOutcome> ResourceManager::SubmitImpl(
     }
 
     // Stage 1+2 (§4.1, §4.2): qualification fan-out, requirement
-    // enhancement.
-    WFRM_ASSIGN_OR_RETURN(policy::EnforcedQueries primary,
-                          policy_manager_.EnforcePrimary(query, root));
-    for (const rql::RqlQuery& q : primary.queries) {
+    // enhancement. The shared variant serves warm rewrite-cache hits
+    // without deep-copying the enforced queries.
+    WFRM_ASSIGN_OR_RETURN(
+        std::shared_ptr<const policy::EnforcedQueries> primary,
+        policy_manager_.EnforcePrimaryShared(query, root));
+    for (const rql::RqlQuery& q : primary->queries) {
       outcome.primary_queries.push_back(q.ToString());
     }
-    if (primary.queries.empty()) {
+    if (primary->queries.empty()) {
       // CWA: no resource type is qualified for this activity.
       outcome.status = Status::NoQualifiedResource(
           "no qualification policy permits any sub-type of '" +
@@ -312,7 +315,7 @@ Result<QueryOutcome> ResourceManager::SubmitImpl(
     }
 
     WFRM_ASSIGN_OR_RETURN(
-        size_t found, RunQueries(primary.queries, &outcome, root, "primary"));
+        size_t found, RunQueries(primary->queries, &outcome, root, "primary"));
     if (found > 0) return outcome;
 
     // Stage 3 (§4.3): the *initial* query is re-sent for substitution;

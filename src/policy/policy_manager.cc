@@ -1,5 +1,6 @@
 #include "policy/policy_manager.h"
 
+#include <memory>
 #include <set>
 #include <utility>
 
@@ -13,27 +14,28 @@ EnforcedQueries EnforcedQueries::Clone() const {
   return out;
 }
 
-std::optional<EnforcedQueries> PolicyManager::RewriteCacheGet(
+std::shared_ptr<const EnforcedQueries> PolicyManager::RewriteCacheGet(
     const std::string& key, uint64_t epoch, CacheLookup* outcome) const {
   std::lock_guard<std::mutex> lock(rewrite_mu_);
   auto it = rewrite_map_.find(key);
   if (it == rewrite_map_.end()) {
     *outcome = CacheLookup::kMiss;
-    return std::nullopt;
+    return nullptr;
   }
   if (it->second->epoch != epoch) {
     rewrite_lru_.erase(it->second);
     rewrite_map_.erase(it);
     *outcome = CacheLookup::kStale;
-    return std::nullopt;
+    return nullptr;
   }
   rewrite_lru_.splice(rewrite_lru_.begin(), rewrite_lru_, it->second);
   *outcome = CacheLookup::kHit;
-  return it->second->value.Clone();
+  return it->second->value;
 }
 
-void PolicyManager::RewriteCachePut(const std::string& key, uint64_t epoch,
-                                    EnforcedQueries value) const {
+void PolicyManager::RewriteCachePut(
+    const std::string& key, uint64_t epoch,
+    std::shared_ptr<const EnforcedQueries> value) const {
   std::lock_guard<std::mutex> lock(rewrite_mu_);
   auto it = rewrite_map_.find(key);
   if (it != rewrite_map_.end()) {
@@ -57,6 +59,14 @@ size_t PolicyManager::rewrite_cache_size() const {
 
 Result<EnforcedQueries> PolicyManager::EnforcePrimary(
     const rql::RqlQuery& query, obs::TraceSpan* parent) const {
+  WFRM_ASSIGN_OR_RETURN(std::shared_ptr<const EnforcedQueries> shared,
+                        EnforcePrimaryShared(query, parent));
+  return shared->Clone();
+}
+
+Result<std::shared_ptr<const EnforcedQueries>>
+PolicyManager::EnforcePrimaryShared(const rql::RqlQuery& query,
+                                    obs::TraceSpan* parent) const {
   obs::ScopedSpan span(parent, "enforce_primary");
   const bool use_cache = store_->cache_enabled() && rewrite_capacity_ > 0;
   std::string key;
@@ -69,32 +79,34 @@ Result<EnforcedQueries> PolicyManager::EnforcePrimary(
     auto hit = RewriteCacheGet(key, observed_epoch, &outcome);
     store_->NoteRewriteLookup(outcome);
     obs::Attr(span, "rewrite_cache", CacheLookupName(outcome));
-    if (hit) {
+    if (hit != nullptr) {
       // Untraced: serve the memo. Traced: record the hit but recompute
       // the stages so the decision log names the policies that fired.
-      if (span.get() == nullptr) return std::move(*hit);
+      if (span.get() == nullptr) return hit;
       cache_hit = true;
     }
   } else {
     obs::Attr(span, "rewrite_cache", "off");
   }
 
-  EnforcedQueries out;
+  auto out = std::make_shared<EnforcedQueries>();
   WFRM_ASSIGN_OR_RETURN(std::vector<rql::RqlQuery> fanned,
                         rewriter_.RewriteQualification(query, span));
   for (rql::RqlQuery& q : fanned) {
     std::string type = q.resource();
     WFRM_ASSIGN_OR_RETURN(rql::RqlQuery enhanced,
                           rewriter_.RewriteRequirement(q, span));
-    out.qualified_types.push_back(std::move(type));
-    out.queries.push_back(std::move(enhanced));
+    out->qualified_types.push_back(std::move(type));
+    out->queries.push_back(std::move(enhanced));
   }
+  std::shared_ptr<const EnforcedQueries> result = std::move(out);
   // Publish only if no mutation interleaved with the rewrite; a torn
-  // entry would otherwise survive until the next epoch bump.
+  // entry would otherwise survive until the next epoch bump. The entry
+  // is immutable, so the cache and the caller share one copy.
   if (use_cache && !cache_hit && store_->epoch() == observed_epoch) {
-    RewriteCachePut(key, observed_epoch, out.Clone());
+    RewriteCachePut(key, observed_epoch, result);
   }
-  return out;
+  return result;
 }
 
 Result<EnforcedQueries> PolicyManager::EnforceAlternatives(

@@ -3,8 +3,8 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -43,9 +43,12 @@ struct EnforcedQueries {
 /// EnforcePrimary results are memoized in a bounded LRU keyed by the
 /// query's canonical text and tagged with the store epoch: repeated
 /// enforcement of the same request at an unchanged epoch skips the
-/// fan-out and rewriting entirely. The LRU honours the store's
-/// `cache_enabled()` switch and reports its traffic through the store's
-/// rewrite_cache_* counters.
+/// fan-out and rewriting entirely. Cached results are immutable and
+/// shared — EnforcePrimaryShared serves the stored shared_ptr without a
+/// deep copy, which is what the resource manager's hot path uses; the
+/// Clone-returning EnforcePrimary remains for callers that mutate the
+/// result. The LRU honours the store's `cache_enabled()` switch and
+/// reports its traffic through the store's rewrite_cache_* counters.
 class PolicyManager {
  public:
   PolicyManager(const org::OrgModel* org, const PolicyStore* store,
@@ -64,6 +67,13 @@ class PolicyManager {
   Result<EnforcedQueries> EnforcePrimary(const rql::RqlQuery& query,
                                          obs::TraceSpan* parent = nullptr)
       const;
+
+  /// Copy-free variant of EnforcePrimary: a warm rewrite-cache hit hands
+  /// back the cached immutable result by shared_ptr instead of deep-
+  /// cloning every RqlQuery. This is the enforcement hot path — callers
+  /// that only read the queries (the resource manager) should use it.
+  Result<std::shared_ptr<const EnforcedQueries>> EnforcePrimaryShared(
+      const rql::RqlQuery& query, obs::TraceSpan* parent = nullptr) const;
 
   /// Fallback enforcement: §4.3 alternatives from substitution policies,
   /// each then treated as a new query (qualification + requirement).
@@ -93,16 +103,16 @@ class PolicyManager {
   struct RewriteEntry {
     std::string key;
     uint64_t epoch = 0;
-    EnforcedQueries value;
+    std::shared_ptr<const EnforcedQueries> value;
   };
 
-  /// Probes the LRU; a hit is refreshed to the front and returned as a
-  /// deep clone. A stale-epoch entry is dropped in place.
-  std::optional<EnforcedQueries> RewriteCacheGet(const std::string& key,
-                                                 uint64_t epoch,
-                                                 CacheLookup* outcome) const;
+  /// Probes the LRU; a hit is refreshed to the front and the stored
+  /// immutable value returned by pointer (no copy). nullptr = miss or
+  /// stale; a stale-epoch entry is dropped in place.
+  std::shared_ptr<const EnforcedQueries> RewriteCacheGet(
+      const std::string& key, uint64_t epoch, CacheLookup* outcome) const;
   void RewriteCachePut(const std::string& key, uint64_t epoch,
-                       EnforcedQueries value) const;
+                       std::shared_ptr<const EnforcedQueries> value) const;
 
   const org::OrgModel* org_;
   const PolicyStore* store_;

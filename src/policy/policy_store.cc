@@ -1,6 +1,8 @@
 #include "policy/policy_store.h"
 
 #include <algorithm>
+#include <map>
+#include <memory>
 #include <unordered_set>
 
 #include "policy/key_encoding.h"
@@ -44,6 +46,16 @@ NameSet ToSet(const std::vector<std::string>& names) {
   return NameSet(names.begin(), names.end());
 }
 
+/// Rounds a list size up to the next power of two (minimum 1): the kSql
+/// path buckets query shapes by these so a handful of parameterized view
+/// definitions — padded by repeating the last element, which is
+/// idempotent under In-list/Or set semantics — serve every query.
+size_t ShapeBucket(size_t n) {
+  size_t b = 1;
+  while (b < n) b <<= 1;
+  return b;
+}
+
 }  // namespace
 
 StoreStatsSnapshot StoreStatsSnapshot::operator-(
@@ -59,6 +71,10 @@ StoreStatsSnapshot StoreStatsSnapshot::operator-(
   d.cache_invalidations = cache_invalidations - earlier.cache_invalidations;
   d.rewrite_cache_hits = rewrite_cache_hits - earlier.rewrite_cache_hits;
   d.rewrite_cache_misses = rewrite_cache_misses - earlier.rewrite_cache_misses;
+  d.plan_cache_hits = plan_cache_hits - earlier.plan_cache_hits;
+  d.plan_cache_misses = plan_cache_misses - earlier.plan_cache_misses;
+  d.compiled_builds = compiled_builds - earlier.compiled_builds;
+  d.compiled_probes = compiled_probes - earlier.compiled_probes;
   d.epoch = epoch;
   return d;
 }
@@ -385,6 +401,8 @@ std::string PolicyStore::RetrievalCacheKey(const char* tag,
                                plan_.load(std::memory_order_relaxed))));
   AppendCacheKeyPart(&key,
                      use_indexes_.load(std::memory_order_relaxed) ? "i1" : "i0");
+  AppendCacheKeyPart(
+      &key, compiled_enabled_.load(std::memory_order_relaxed) ? "c1" : "c0");
   AppendCacheKeyPart(&key, resource);
   AppendCacheKeyPart(&key, activity);
   // ParamMap iteration order is unspecified: sort for a canonical key.
@@ -444,6 +462,19 @@ void PolicyStore::set_metrics(obs::MetricsRegistry* registry) {
       lookups, {{"cache", "rewrite"}, {"outcome", "miss"}}, lookups_help);
   metrics_.rewrite_stale = registry->GetCounter(
       lookups, {{"cache", "rewrite"}, {"outcome", "stale"}}, lookups_help);
+  metrics_.plan_hits = registry->GetCounter(
+      "wfrm_rel_plan_cache_hits_total", {},
+      "Prepared-query plan cache hits (kSql retrieval)");
+  metrics_.plan_misses = registry->GetCounter(
+      "wfrm_rel_plan_cache_misses_total", {},
+      "Prepared-query plan cache misses, including catalog-version "
+      "invalidations");
+  metrics_.compiled_builds = registry->GetCounter(
+      "wfrm_policy_compiled_builds_total", {},
+      "Compiled policy tables built (lazy, per resource/activity/epoch)");
+  metrics_.compiled_probes = registry->GetCounter(
+      "wfrm_policy_compiled_probes_total", {},
+      "Warm Enforce probes served by a compiled policy table");
 }
 
 // ---- Qualification retrieval ------------------------------------------------
@@ -664,43 +695,56 @@ PolicyStore::RelevantRequirementsDirect(const std::string& resource,
   return out;
 }
 
-Result<std::vector<RelevantRequirement>> PolicyStore::RelevantRequirementsSql(
-    const std::string& resource, const std::string& activity,
-    const rel::ParamMap& spec) const {
-  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> act_ancestors,
-                        org_->activities().Ancestors(activity));
-  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> res_ancestors,
-                        org_->resources().Ancestors(resource));
+Result<std::string> PolicyStore::EnsureSqlShape(size_t ba, size_t br,
+                                                size_t bk) const {
+  const std::string rp = "Relevant_Policies_" + std::to_string(ba) + "x" +
+                         std::to_string(br);
+  const std::string rf = "Relevant_Filter_" + std::to_string(bk);
+  // Figure 15: the union retrieving the additional selection criteria,
+  // against this shape's views.
+  std::string fig15 = "Select " + rp + ".PID, " + rp + ".GroupID, " + rp +
+                      ".WhereClause From " + rp + ", " + rf + " Where " + rp +
+                      ".PID = " + rf + ".PID And " + rp +
+                      ".NumberOfIntervals = " + rf + ".NumberOfIntervals "
+                      "Union Select PID, GroupID, WhereClause From " + rp +
+                      " Where " + rp + ".NumberOfIntervals = 0";
+  const std::string shape_key = rp + "|" + rf;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (sql_shapes_.count(shape_key) > 0) return fig15;
+  }
 
   // Figure 13: view on Policies. Ancestor() expands to an In-list (the
   // paper: "the inclusion check can be implemented as a group of
   // disjunctively related equality comparisons"). GroupID is carried
-  // along so enforcement can apply each source policy once.
-  auto in_list = [](const std::vector<std::string>& names) {
+  // along so enforcement can apply each source policy once. The In-lists
+  // hold `ba`/`br` parameters instead of literals, so the view is
+  // registered once per shape and every query binds fresh values.
+  auto param_list = [](const char* prefix, size_t n) {
     std::string out = "(";
-    for (size_t i = 0; i < names.size(); ++i) {
+    for (size_t i = 0; i < n; ++i) {
       if (i > 0) out += ", ";
-      out += Quote(names[i]);
+      out += "[" + std::string(prefix) + std::to_string(i) + "]";
     }
     return out + ")";
   };
   std::string fig13 =
       "Select PID, GroupID, NumberOfIntervals, WhereClause From Policies "
       "Where Activity In " +
-      in_list(act_ancestors) + " And Resource In " + in_list(res_ancestors);
+      param_list("qa", ba) + " And Resource In " + param_list("qr", br);
 
-  // Figure 14: view on Filter, counting enclosing intervals per PID.
+  // Figure 14: view on Filter, counting enclosing intervals per PID. One
+  // parameterized disjunct per spec-attribute slot ([fa j] names the
+  // attribute, [fv j] the encoded value).
   std::string fig14 = "Select PID, Count(*) From Filter Where ";
-  if (spec.empty()) {
+  if (bk == 0) {
     fig14 += "1 = 0";  // No bound attribute can match any interval.
   } else {
-    bool first = true;
-    for (const auto& [attr, value] : spec) {
-      WFRM_ASSIGN_OR_RETURN(std::string enc, EncodeKey(value));
-      std::string e = Quote(enc);
-      if (!first) fig14 += " Or ";
-      first = false;
-      fig14 += "(Attribute = " + Quote(attr) + " And (LowerBound < " + e +
+    for (size_t j = 0; j < bk; ++j) {
+      const std::string a = "[fa" + std::to_string(j) + "]";
+      const std::string e = "[fv" + std::to_string(j) + "]";
+      if (j > 0) fig14 += " Or ";
+      fig14 += "(Attribute = " + a + " And (LowerBound < " + e +
                " Or (LowerInclusive = TRUE And LowerBound = " + e +
                ")) And (" + e + " < UpperBound Or (UpperInclusive = TRUE "
                "And UpperBound = " + e + ")))";
@@ -712,29 +756,66 @@ Result<std::vector<RelevantRequirement>> PolicyStore::RelevantRequirementsSql(
                         rel::SqlParser::ParseSelect(fig13));
   WFRM_ASSIGN_OR_RETURN(rel::SelectPtr fig14_stmt,
                         rel::SqlParser::ParseSelect(fig14));
-  db_.CreateOrReplaceView("Relevant_Policies",
-                          {"PID", "GroupID", "NumberOfIntervals",
-                           "WhereClause"},
-                          std::move(fig13_stmt));
-  db_.CreateOrReplaceView("Relevant_Filter", {"PID", "NumberOfIntervals"},
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (sql_shapes_.count(shape_key) > 0) return fig15;  // Lost the race.
+  db_.CreateOrReplaceView(
+      rp, {"PID", "GroupID", "NumberOfIntervals", "WhereClause"},
+      std::move(fig13_stmt));
+  db_.CreateOrReplaceView(rf, {"PID", "NumberOfIntervals"},
                           std::move(fig14_stmt));
+  sql_shapes_.insert(shape_key);
+  return fig15;
+}
 
-  // Figure 15: the union retrieving the additional selection criteria.
-  const char* fig15 =
-      "Select Relevant_Policies.PID, Relevant_Policies.GroupID, "
-      "Relevant_Policies.WhereClause "
-      "From Relevant_Policies, Relevant_Filter "
-      "Where Relevant_Policies.PID = Relevant_Filter.PID And "
-      "Relevant_Policies.NumberOfIntervals = "
-      "Relevant_Filter.NumberOfIntervals "
-      "Union "
-      "Select PID, GroupID, WhereClause From Relevant_Policies "
-      "Where Relevant_Policies.NumberOfIntervals = 0";
+Result<std::vector<RelevantRequirement>> PolicyStore::RelevantRequirementsSql(
+    const std::string& resource, const std::string& activity,
+    const rel::ParamMap& spec) const {
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> act_ancestors,
+                        org_->activities().Ancestors(activity));
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> res_ancestors,
+                        org_->resources().Ancestors(resource));
+  const size_t ba = ShapeBucket(act_ancestors.size());
+  const size_t br = ShapeBucket(res_ancestors.size());
+  const size_t bk = spec.empty() ? 0 : ShapeBucket(spec.size());
+  WFRM_ASSIGN_OR_RETURN(std::string fig15, EnsureSqlShape(ba, br, bk));
 
+  // Bind the shape's parameters; slots beyond the real list repeat the
+  // last element, which In-list/Or set semantics make a no-op.
+  rel::ParamMap params;
+  for (size_t i = 0; i < ba; ++i) {
+    params["qa" + std::to_string(i)] = rel::Value::String(
+        act_ancestors[std::min(i, act_ancestors.size() - 1)]);
+  }
+  for (size_t i = 0; i < br; ++i) {
+    params["qr" + std::to_string(i)] = rel::Value::String(
+        res_ancestors[std::min(i, res_ancestors.size() - 1)]);
+  }
+  if (bk > 0) {
+    // Sorted for a deterministic slot assignment.
+    std::vector<std::pair<std::string, std::string>> enc_spec;
+    enc_spec.reserve(spec.size());
+    for (const auto& [attr, value] : spec) {
+      WFRM_ASSIGN_OR_RETURN(std::string enc, EncodeKey(value));
+      enc_spec.emplace_back(attr, std::move(enc));
+    }
+    std::sort(enc_spec.begin(), enc_spec.end());
+    for (size_t j = 0; j < bk; ++j) {
+      const auto& [attr, enc] = enc_spec[std::min(j, enc_spec.size() - 1)];
+      params["fa" + std::to_string(j)] = rel::Value::String(attr);
+      params["fv" + std::to_string(j)] = rel::Value::String(enc);
+    }
+  }
+
+  std::shared_lock<std::shared_mutex> lock(mu_);
   rel::ExecOptions opts;
   opts.use_indexes = use_indexes_;
   rel::Executor exec(&db_, opts);
-  WFRM_ASSIGN_OR_RETURN(rel::ResultSet rs, exec.Query(fig15));
+  rel::PlanLookup outcome = rel::PlanLookup::kMiss;
+  WFRM_ASSIGN_OR_RETURN(std::shared_ptr<const rel::PreparedQuery> plan,
+                        plan_cache_.GetOrPrepare(exec, fig15, &outcome));
+  NotePlanLookup(outcome);
+  WFRM_ASSIGN_OR_RETURN(rel::ResultSet rs, exec.Execute(*plan, params));
   stats_.candidate_rows += exec.stats().rows_scanned;
 
   std::vector<RelevantRequirement> out;
@@ -822,6 +903,117 @@ PolicyStore::RelevantRequirementsPoliciesFirst(
   return out;
 }
 
+Result<std::shared_ptr<const CompiledPolicyTable>>
+PolicyStore::BuildCompiledLocked(const std::string& resource,
+                                 const std::string& activity) const {
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> act_ancestors,
+                        org_->activities().Ancestors(activity));
+  WFRM_ASSIGN_OR_RETURN(std::vector<std::string> res_ancestors,
+                        org_->resources().Ancestors(resource));
+  WFRM_ASSIGN_OR_RETURN(
+      std::vector<CandidateRow> candidates,
+      CandidatePolicies(kPolicies, act_ancestors, res_ancestors));
+  std::sort(candidates.begin(), candidates.end(),
+            [](const CandidateRow& a, const CandidateRow& b) {
+              return a.pid < b.pid;
+            });
+
+  auto table = std::make_shared<CompiledPolicyTable>();
+  table->pids.reserve(candidates.size());
+  table->groups.reserve(candidates.size());
+  table->num_intervals.reserve(candidates.size());
+  table->where_clauses.reserve(candidates.size());
+
+  // Gather each candidate's interval rows into per-attribute partitions
+  // (row tuple: lo, hi, lo_incl, hi_incl, entry).
+  struct IntervalRow {
+    std::string lo, hi;
+    uint8_t lo_incl, hi_incl;
+    uint32_t entry;
+  };
+  std::map<std::string, std::vector<IntervalRow>> by_attr;
+  const rel::Table* filter = db_.GetTable(kFilter);
+  const rel::HashIndex* by_pid = filter->hash_indexes()[0].get();
+
+  for (const CandidateRow& c : candidates) {
+    const uint32_t entry = static_cast<uint32_t>(table->pids.size());
+    table->pids.push_back(c.pid);
+    table->groups.push_back(c.group);
+    table->num_intervals.push_back(c.num_intervals);
+    table->where_clauses.push_back((*c.row)[5].string_value());
+    if (c.num_intervals == 0) continue;
+    for (rel::RowId rid : by_pid->Lookup({rel::Value::Int(c.pid)})) {
+      if (!filter->IsLive(rid)) continue;
+      ++stats_.interval_rows;
+      const rel::Row& row = filter->row(rid);
+      by_attr[row[1].string_value()].push_back(
+          IntervalRow{row[2].string_value(), row[3].string_value(),
+                      static_cast<uint8_t>(row[4].bool_value() ? 1 : 0),
+                      static_cast<uint8_t>(row[5].bool_value() ? 1 : 0),
+                      entry});
+    }
+  }
+
+  table->partitions.reserve(by_attr.size());
+  for (auto& [attr, rows] : by_attr) {
+    std::sort(rows.begin(), rows.end(),
+              [](const IntervalRow& a, const IntervalRow& b) {
+                return a.lo < b.lo;
+              });
+    CompiledPolicyTable::AttrPartition p;
+    p.attribute = attr;
+    p.lo.reserve(rows.size());
+    p.hi.reserve(rows.size());
+    p.lo_incl.reserve(rows.size());
+    p.hi_incl.reserve(rows.size());
+    p.entry.reserve(rows.size());
+    for (IntervalRow& r : rows) {
+      p.lo.push_back(std::move(r.lo));
+      p.hi.push_back(std::move(r.hi));
+      p.lo_incl.push_back(r.lo_incl);
+      p.hi_incl.push_back(r.hi_incl);
+      p.entry.push_back(r.entry);
+    }
+    table->partitions.push_back(std::move(p));
+  }
+  // std::map iteration already yields attribute-sorted partitions.
+  return std::shared_ptr<const CompiledPolicyTable>(std::move(table));
+}
+
+Result<std::vector<RelevantRequirement>>
+PolicyStore::RelevantRequirementsCompiled(const std::string& resource,
+                                          const std::string& activity,
+                                          const rel::ParamMap& spec) const {
+  std::string key;
+  AppendCacheKeyPart(&key, resource);
+  AppendCacheKeyPart(&key, activity);
+  const uint64_t observed_epoch = epoch();
+  std::shared_ptr<const CompiledPolicyTable> table;
+  CacheLookup lookup;  // Build-vs-reuse is tracked by compiled_builds.
+  if (auto hit = compiled_cache_.Get(key, observed_epoch, &lookup)) {
+    table = std::move(*hit);
+  } else {
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      WFRM_ASSIGN_OR_RETURN(table, BuildCompiledLocked(resource, activity));
+    }
+    NoteCompiledBuild();
+    // Publish only if no mutation raced the build.
+    if (epoch() == observed_epoch) {
+      compiled_cache_.Put(key, observed_epoch, table);
+    }
+  }
+
+  std::vector<std::pair<std::string, std::string>> enc_spec;
+  enc_spec.reserve(spec.size());
+  for (const auto& [attr, value] : spec) {
+    WFRM_ASSIGN_OR_RETURN(std::string enc, EncodeKey(value));
+    enc_spec.emplace_back(attr, std::move(enc));
+  }
+  NoteCompiledProbe();
+  return table->Probe(enc_spec);
+}
+
 SelectivityParams PolicyStore::EstimateParamsLocked() const {
   SelectivityParams p;
   p.num_activities = std::max<size_t>(2, org_->activities().size());
@@ -903,9 +1095,12 @@ Result<std::vector<RelevantRequirement>> PolicyStore::RelevantRequirements(
   Result<std::vector<RelevantRequirement>> result =
       std::vector<RelevantRequirement>{};
   if (retrieval_mode() == RetrievalMode::kSql) {
-    // Exclusive: the SQL path re-registers the per-query views.
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    // Locks internally: shared for execution, exclusive only when a new
+    // query shape registers its views.
     result = RelevantRequirementsSql(res, act, canonical_spec);
+  } else if (compiled_enabled()) {
+    // Locks internally: shared while building; probes are lock-free.
+    result = RelevantRequirementsCompiled(res, act, canonical_spec);
   } else {
     std::shared_lock<std::shared_mutex> lock(mu_);
     DirectPlan plan = direct_plan();
@@ -1421,6 +1616,8 @@ Status PolicyStore::ImportImage(const Image& image) {
   qualified_cache_.Clear();
   requirement_cache_.Clear();
   substitution_cache_.Clear();
+  compiled_cache_.Clear();
+  plan_cache_.Clear();
   return Status::OK();
 }
 

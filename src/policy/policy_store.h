@@ -3,20 +3,24 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
 #include "obs/metrics.h"
 #include "org/org_model.h"
+#include "policy/compiled_policy.h"
 #include "policy/dnf.h"
 #include "policy/enforcement_cache.h"
 #include "policy/policy_ast.h"
 #include "policy/selectivity_model.h"
 #include "rel/database.h"
 #include "rel/executor.h"
+#include "rel/prepared.h"
 
 namespace wfrm::policy {
 
@@ -84,6 +88,12 @@ struct StoreStatsSnapshot {
   uint64_t cache_invalidations = 0;
   uint64_t rewrite_cache_hits = 0;
   uint64_t rewrite_cache_misses = 0;
+  // Prepared-plan LRU traffic (kSql retrieval).
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  // Compiled policy tables (flat interval arrays for warm Enforce).
+  uint64_t compiled_builds = 0;
+  uint64_t compiled_probes = 0;
   /// The enforcement epoch at capture time (PolicyStore::StatsSnapshot
   /// stamps it; a bare StoreStats::Snapshot leaves 0). Sharded
   /// deployments compare per-shard epochs across snapshots to prove one
@@ -121,6 +131,12 @@ struct StoreStats {
   // Rewritten-query LRU traffic (PolicyManager level).
   std::atomic<uint64_t> rewrite_cache_hits{0};
   std::atomic<uint64_t> rewrite_cache_misses{0};
+  // Prepared-plan LRU traffic (kSql retrieval).
+  std::atomic<uint64_t> plan_cache_hits{0};
+  std::atomic<uint64_t> plan_cache_misses{0};
+  // Compiled policy tables: lazy builds and warm probes.
+  std::atomic<uint64_t> compiled_builds{0};
+  std::atomic<uint64_t> compiled_probes{0};
 
   StoreStatsSnapshot Snapshot() const {
     StoreStatsSnapshot s;
@@ -134,6 +150,10 @@ struct StoreStats {
     s.cache_invalidations = cache_invalidations.load();
     s.rewrite_cache_hits = rewrite_cache_hits.load();
     s.rewrite_cache_misses = rewrite_cache_misses.load();
+    s.plan_cache_hits = plan_cache_hits.load();
+    s.plan_cache_misses = plan_cache_misses.load();
+    s.compiled_builds = compiled_builds.load();
+    s.compiled_probes = compiled_probes.load();
     return s;
   }
 
@@ -148,6 +168,10 @@ struct StoreStats {
     cache_invalidations = 0;
     rewrite_cache_hits = 0;
     rewrite_cache_misses = 0;
+    plan_cache_hits = 0;
+    plan_cache_misses = 0;
+    compiled_builds = 0;
+    compiled_probes = 0;
   }
 };
 
@@ -169,10 +193,12 @@ struct StoreStats {
 /// on (Attribute, LowerBound, UpperBound) serves every attribute type;
 /// Policies carries the §5.2 concatenated index on (Activity, Resource).
 ///
-/// Thread safety and caching: retrieval takes a shared lock (kSql mode
-/// an exclusive one — it re-registers the per-query Figure 13/14 views),
-/// mutation an exclusive one, so concurrent read-only retrievals never
-/// serialize on each other. Every mutation — and every hierarchy edit in
+/// Thread safety and caching: retrieval takes a shared lock — kSql mode
+/// included: the Figure 13/14 views are registered once per query shape
+/// (parameterized, bucketed by ancestor-list and spec sizes) and then
+/// served from a prepared-plan LRU, so only the first query of a new
+/// shape takes the exclusive lock — mutation an exclusive one, so
+/// concurrent read-only retrievals never serialize on each other. Every mutation — and every hierarchy edit in
 /// the backing OrgModel — bumps `epoch()`; qualification fan-out sets and
 /// relevant requirement/substitution row sets are memoized per
 /// (configuration, activity, resource, spec) tagged with the epoch they
@@ -372,6 +398,22 @@ class PolicyStore {
     return cache_enabled_.load(std::memory_order_relaxed);
   }
 
+  /// Enables/disables the compiled policy tables (default on): kDirect
+  /// retrieval on a memo miss probes a flat per-attribute interval table
+  /// built lazily per (resource, activity) and cached keyed by the
+  /// mutation epoch. Disabling is the ablation baseline for benches that
+  /// measure the paper's own retrieval paths.
+  void set_compiled_enabled(bool enabled) {
+    compiled_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool compiled_enabled() const {
+    return compiled_enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// The kSql prepared-plan LRU (exposed for tests: size/capacity and
+  /// the hit/miss/invalidation counters).
+  const rel::PlanCache& plan_cache() const { return plan_cache_; }
+
   /// Records a rewritten-query LRU probe in this store's counters (the
   /// LRU itself lives in PolicyManager; stats are centralized here).
   void NoteRewriteLookup(CacheLookup outcome) const;
@@ -508,10 +550,26 @@ class PolicyStore {
   Result<std::vector<RelevantRequirement>> RelevantRequirementsPoliciesFirst(
       const std::string& resource, const std::string& activity,
       const rel::ParamMap& spec) const;
-  /// Requires mu_ held exclusively (re-registers the per-query views).
+  /// Manages its own locking: shared for execution; exclusive only the
+  /// first time a (bucketed) query shape registers its parameterized
+  /// Figure 13/14 views.
   Result<std::vector<RelevantRequirement>> RelevantRequirementsSql(
       const std::string& resource, const std::string& activity,
       const rel::ParamMap& spec) const;
+  /// Registers the parameterized Figure 13/14 views for one shape bucket
+  /// (idempotent, double-checked) and returns the Figure 15 union text to
+  /// execute against them.
+  Result<std::string> EnsureSqlShape(size_t ba, size_t br, size_t bk) const;
+  /// Compiled fast path (kDirect + compiled_enabled): probe the flat
+  /// interval table for (resource, activity), building it lazily on an
+  /// epoch-keyed cache miss. Manages its own locking.
+  Result<std::vector<RelevantRequirement>> RelevantRequirementsCompiled(
+      const std::string& resource, const std::string& activity,
+      const rel::ParamMap& spec) const;
+  /// Lowers the candidate policies for (resource, activity) into a
+  /// CompiledPolicyTable. Caller holds mu_ (shared suffices).
+  Result<std::shared_ptr<const CompiledPolicyTable>> BuildCompiledLocked(
+      const std::string& resource, const std::string& activity) const;
   Result<std::vector<RelevantSubstitution>> RelevantSubstitutionsLocked(
       const std::string& resource, const rel::Expr* query_where,
       const std::string& activity, const rel::ParamMap& spec) const;
@@ -534,6 +592,10 @@ class PolicyStore {
     obs::Counter* rewrite_hits = nullptr;
     obs::Counter* rewrite_misses = nullptr;
     obs::Counter* rewrite_stale = nullptr;
+    obs::Counter* plan_hits = nullptr;
+    obs::Counter* plan_misses = nullptr;
+    obs::Counter* compiled_builds = nullptr;
+    obs::Counter* compiled_probes = nullptr;
   };
 
   /// One retrieval entered the store (stats + optional metrics mirror).
@@ -555,11 +617,35 @@ class PolicyStore {
       if (metrics_.misses != nullptr) metrics_.misses->Increment();
     }
   }
+  /// One prepared-plan LRU probe (kInvalidated counts as a miss — the
+  /// plan was re-prepared).
+  void NotePlanLookup(rel::PlanLookup outcome) const {
+    if (outcome == rel::PlanLookup::kHit) {
+      ++stats_.plan_cache_hits;
+      if (metrics_.plan_hits != nullptr) metrics_.plan_hits->Increment();
+    } else {
+      ++stats_.plan_cache_misses;
+      if (metrics_.plan_misses != nullptr) metrics_.plan_misses->Increment();
+    }
+  }
+  void NoteCompiledBuild() const {
+    ++stats_.compiled_builds;
+    if (metrics_.compiled_builds != nullptr) {
+      metrics_.compiled_builds->Increment();
+    }
+  }
+  void NoteCompiledProbe() const {
+    ++stats_.compiled_probes;
+    if (metrics_.compiled_probes != nullptr) {
+      metrics_.compiled_probes->Increment();
+    }
+  }
 
   const org::OrgModel* org_;
-  /// Mutable: the kSql path re-registers the per-query Relevant_Policies
-  /// and Relevant_Filter views (Figures 13/14 define them per query) —
-  /// which is why kSql retrieval takes the exclusive lock.
+  /// Mutable: the kSql path registers per-shape parameterized
+  /// Relevant_Policies/Relevant_Filter views (Figures 13/14), but only
+  /// the first time a shape is seen — steady-state kSql retrieval runs
+  /// under the shared lock.
   mutable rel::Database db_;
   /// Live count of Filter rows per attribute, feeding the kAdaptive cost
   /// model. Maintained on insert/remove.
@@ -579,9 +665,19 @@ class PolicyStore {
   /// versions).
   std::atomic<uint64_t> epoch_{0};
   std::atomic<bool> cache_enabled_{true};
+  std::atomic<bool> compiled_enabled_{true};
   mutable EpochCache<std::vector<std::string>> qualified_cache_;
   mutable EpochCache<std::vector<RelevantRequirement>> requirement_cache_;
   mutable EpochCache<std::vector<RelevantSubstitution>> substitution_cache_;
+  /// Compiled flat interval tables per (resource, activity), epoch-keyed;
+  /// entries are immutable and shared, so probing needs no store lock.
+  mutable EpochCache<std::shared_ptr<const CompiledPolicyTable>>
+      compiled_cache_;
+  /// Prepared Figure 15 plans keyed by SQL text (one per shape bucket).
+  mutable rel::PlanCache plan_cache_;
+  /// Shape buckets whose Figure 13/14 views are already registered in
+  /// db_. Guarded by mu_.
+  mutable std::unordered_set<std::string> sql_shapes_;
 };
 
 }  // namespace wfrm::policy

@@ -8,6 +8,7 @@ Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
   }
   tables_.push_back(std::make_unique<Table>(name, std::move(schema)));
   table_index_[name] = tables_.size() - 1;
+  BumpCatalogVersion();
   return tables_.back().get();
 }
 
@@ -20,6 +21,7 @@ Status Database::CreateView(const std::string& name,
   views_.push_back(std::make_unique<ViewDef>(
       ViewDef{name, std::move(column_names), std::move(query)}));
   view_index_[name] = views_.size() - 1;
+  BumpCatalogVersion();
   return Status::OK();
 }
 
@@ -30,11 +32,13 @@ void Database::CreateOrReplaceView(const std::string& name,
   if (it != view_index_.end()) {
     views_[it->second] = std::make_unique<ViewDef>(
         ViewDef{name, std::move(column_names), std::move(query)});
+    BumpCatalogVersion();
     return;
   }
   views_.push_back(std::make_unique<ViewDef>(
       ViewDef{name, std::move(column_names), std::move(query)}));
   view_index_[name] = views_.size() - 1;
+  BumpCatalogVersion();
 }
 
 Status Database::DropTable(const std::string& name) {
@@ -44,6 +48,7 @@ Status Database::DropTable(const std::string& name) {
   }
   tables_[it->second].reset();
   table_index_.erase(it);
+  BumpCatalogVersion();
   return Status::OK();
 }
 
@@ -54,6 +59,7 @@ Status Database::DropView(const std::string& name) {
   }
   views_[it->second].reset();
   view_index_.erase(it);
+  BumpCatalogVersion();
   return Status::OK();
 }
 

@@ -1,6 +1,8 @@
 #ifndef WFRM_REL_DATABASE_H_
 #define WFRM_REL_DATABASE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -55,13 +57,28 @@ class Database {
   std::vector<std::string> TableNames() const;
   std::vector<std::string> ViewNames() const;
 
+  /// Monotone counter bumped by every catalog change (table or view
+  /// created, replaced or dropped). Prepared queries record the version
+  /// they were planned at; a plan cache serves an entry only while the
+  /// versions still match, so replacing a view definition invalidates
+  /// every plan that might reference it. Row mutations do NOT bump it —
+  /// plans survive data churn.
+  uint64_t catalog_version() const {
+    return catalog_version_.load(std::memory_order_acquire);
+  }
+
  private:
+  void BumpCatalogVersion() {
+    catalog_version_.fetch_add(1, std::memory_order_release);
+  }
+
   using NameMap = std::unordered_map<std::string, size_t, CaseInsensitiveHash,
                                      CaseInsensitiveEq>;
   std::vector<std::unique_ptr<Table>> tables_;
   std::vector<std::unique_ptr<ViewDef>> views_;
   NameMap table_index_;
   NameMap view_index_;
+  std::atomic<uint64_t> catalog_version_{0};
 };
 
 }  // namespace wfrm::rel

@@ -3,25 +3,30 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <functional>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "rel/parser.h"
+#include "rel/prepared.h"
 
 namespace wfrm::rel {
 
 namespace {
 
 /// One relation bound in a FROM list: a name, a schema, and row storage.
-/// Base tables alias the Table's rows; views materialize.
+/// Base tables alias the Table's rows; views materialize. Materialized
+/// rows are shared so repeated references to the same view within one
+/// statement (e.g. both arms of the Figure 15 union) alias one snapshot.
 struct Relation {
   std::string binding_name;
   Schema schema;
-  const Table* table = nullptr;          // Set for base tables.
-  std::vector<Row> materialized;         // Set for views.
+  const Table* table = nullptr;  // Set for base tables.
+  std::shared_ptr<const std::vector<Row>> materialized;  // Set for views.
 
   size_t NumRows() const {
-    return table ? table->num_slots() : materialized.size();
+    return table ? table->num_slots() : materialized->size();
   }
 };
 
@@ -219,6 +224,59 @@ class Executor::Impl {
                             "' not found in scope");
   }
 
+  // ---- No-copy operand resolution --------------------------------------
+
+  /// Resolves a column reference to the row cell it names, or nullptr
+  /// when resolution needs the slow path (LEVEL pseudo-column, absent or
+  /// ambiguous reference — EvalColumn carries the diagnostics).
+  const Value* FindColumnCell(const ColumnRefExpr& ref, const Scope& scope) {
+    for (const Scope* s = &scope; s != nullptr; s = s->parent) {
+      if (ref.qualifier().empty() && s->level.has_value() &&
+          EqualsIgnoreCase(ref.name(), "level")) {
+        return nullptr;
+      }
+      const Binding* found = nullptr;
+      std::optional<size_t> found_col;
+      for (const Binding& b : s->bindings) {
+        if (!ref.qualifier().empty() &&
+            !EqualsIgnoreCase(*b.name, ref.qualifier())) {
+          continue;
+        }
+        if (auto col = b.schema->FindColumn(ref.name())) {
+          if (found != nullptr) return nullptr;
+          found = &b;
+          found_col = col;
+        }
+      }
+      if (found != nullptr) return &(*found->row)[*found_col];
+    }
+    return nullptr;
+  }
+
+  /// Resolves a leaf operand (literal, bound parameter, column) to the
+  /// Value it already lives in. Returns nullptr when the operand is not
+  /// a leaf or needs the copying slow path for its diagnostics.
+  const Value* TryEvalRef(const Expr& expr, const Scope& scope) {
+    switch (expr.kind()) {
+      case Expr::Kind::kLiteral:
+        return &static_cast<const LiteralExpr&>(expr).value();
+      case Expr::Kind::kParameter: {
+        const auto& p = static_cast<const ParameterExpr&>(expr);
+        for (const Scope* s = &scope; s != nullptr; s = s->parent) {
+          if (s->params != nullptr) {
+            auto it = s->params->find(p.name());
+            if (it != s->params->end()) return &it->second;
+          }
+        }
+        return nullptr;
+      }
+      case Expr::Kind::kColumnRef:
+        return FindColumnCell(static_cast<const ColumnRefExpr&>(expr), scope);
+      default:
+        return nullptr;
+    }
+  }
+
   Result<Value> EvalUnary(const UnaryExpr& e, const Scope& scope) {
     if (e.op() == UnaryOp::kPrior) {
       if (scope.prior_row == nullptr || scope.bindings.size() != 1) {
@@ -272,21 +330,24 @@ class Executor::Impl {
                                 : (l.bool_value() || r.bool_value()));
     }
 
-    WFRM_ASSIGN_OR_RETURN(Value l, Eval(e.left(), scope));
-    WFRM_ASSIGN_OR_RETURN(Value r, Eval(e.right(), scope));
-
-    if (e.op() == BinaryOp::kLike) {
-      if (l.is_null() || r.is_null()) return Value::Null();
-      if (!l.is_string() || !r.is_string()) {
-        return Status::TypeError("Like requires string operands, got " +
-                                 l.ToString() + " Like " + r.ToString());
-      }
-      return Value::Bool(LikeMatch(l.string_value(), r.string_value()));
-    }
-
+    // Comparison leaves dominate residual WHERE rechecks (hundreds of
+    // candidate rows × dozens of interval predicates per retrieval).
+    // When both operands already live somewhere — a row cell, a literal,
+    // a bound parameter — compare in place instead of recursing through
+    // Eval, which copies each operand's Value (string cells included).
     if (IsComparison(e.op())) {
-      if (l.is_null() || r.is_null()) return Value::Null();
-      WFRM_ASSIGN_OR_RETURN(int c, l.Compare(r));
+      const Value* lp = TryEvalRef(e.left(), scope);
+      const Value* rp = lp != nullptr ? TryEvalRef(e.right(), scope) : nullptr;
+      Value lv;
+      Value rv;
+      if (rp == nullptr) {
+        WFRM_ASSIGN_OR_RETURN(lv, Eval(e.left(), scope));
+        WFRM_ASSIGN_OR_RETURN(rv, Eval(e.right(), scope));
+        lp = &lv;
+        rp = &rv;
+      }
+      if (lp->is_null() || rp->is_null()) return Value::Null();
+      WFRM_ASSIGN_OR_RETURN(int c, lp->Compare(*rp));
       switch (e.op()) {
         case BinaryOp::kEq:
           return Value::Bool(c == 0);
@@ -301,8 +362,20 @@ class Executor::Impl {
         case BinaryOp::kGe:
           return Value::Bool(c >= 0);
         default:
-          break;
+          return Status::Internal("unexpected comparison operator");
       }
+    }
+
+    WFRM_ASSIGN_OR_RETURN(Value l, Eval(e.left(), scope));
+    WFRM_ASSIGN_OR_RETURN(Value r, Eval(e.right(), scope));
+
+    if (e.op() == BinaryOp::kLike) {
+      if (l.is_null() || r.is_null()) return Value::Null();
+      if (!l.is_string() || !r.is_string()) {
+        return Status::TypeError("Like requires string operands, got " +
+                                 l.ToString() + " Like " + r.ToString());
+      }
+      return Value::Bool(LikeMatch(l.string_value(), r.string_value()));
     }
 
     // Arithmetic.
@@ -449,6 +522,20 @@ class Executor::Impl {
       return rel;
     }
     if (const ViewDef* v = db_.GetView(ref.name)) {
+      // Within one top-level execution a view materializes once: the
+      // Figure 15 union references Relevant_Policies in both arms and the
+      // catalog cannot change mid-statement. Correlated contexts
+      // (outer != nullptr) bypass the memo — their rows may depend on the
+      // outer row bindings.
+      const bool memoizable = outer == nullptr;
+      if (memoizable) {
+        auto it = view_memo_.find(v->name);
+        if (it != view_memo_.end()) {
+          rel.schema = it->second.schema;
+          rel.materialized = it->second.rows;
+          return rel;
+        }
+      }
       WFRM_ASSIGN_OR_RETURN(ResultSet rs, Execute(*v->query, outer, params));
       if (!v->column_names.empty()) {
         if (v->column_names.size() != rs.schema.num_columns()) {
@@ -464,7 +551,11 @@ class Executor::Impl {
         rs.schema = std::move(renamed);
       }
       rel.schema = std::move(rs.schema);
-      rel.materialized = std::move(rs.rows);
+      rel.materialized =
+          std::make_shared<const std::vector<Row>>(std::move(rs.rows));
+      if (memoizable) {
+        view_memo_[v->name] = ViewSnapshot{rel.schema, rel.materialized};
+      }
       return rel;
     }
     return Status::NotFound("relation '" + ref.name + "' does not exist");
@@ -472,21 +563,73 @@ class Executor::Impl {
 
   // ---- Index access path ---------------------------------------------------
 
-  /// Extracts `col op constant` conjuncts evaluable right now (literals
-  /// and bound parameters), for access-path selection on a single table.
-  void CollectIndexableConjuncts(const Expr& e, const Relation& rel,
-                                 const Scope& const_scope,
-                                 std::vector<std::pair<size_t, Bound>>* lowers,
-                                 std::vector<std::pair<size_t, Bound>>* uppers,
-                                 std::vector<std::pair<size_t, Value>>* equals) {
+  /// One conjunct group of the probe normalization: column constraints
+  /// that must all hold for the group to match.
+  struct ConjGroup {
+    std::vector<std::pair<size_t, Value>> equals;
+    std::vector<std::pair<size_t, Bound>> lowers;
+    std::vector<std::pair<size_t, Bound>> uppers;
+  };
+
+  /// A disjunction of conjunct groups whose union covers (a superset of)
+  /// the rows matching the WHERE clause; the residual WHERE re-check in
+  /// JoinRelations removes false positives. `indexable == false` means no
+  /// covering superset could be derived, forcing a full scan.
+  struct ProbeSet {
+    bool indexable = false;
+    std::vector<ConjGroup> groups;
+  };
+
+  /// Cap on the disjunct fan-out: beyond this an And keeps only one side
+  /// (still a superset) and an Or or In-list gives up.
+  static constexpr size_t kMaxProbeGroups = 256;
+
+  /// Normalizes a WHERE subtree into a small DNF of indexable probes.
+  /// `col op const` and `col In (const, ...)` are leaves; And crosses the
+  /// two sides' groups (or keeps one side — a superset — when the other
+  /// is non-indexable or the product is too large); Or unions groups and
+  /// is poisoned by any non-indexable disjunct, because the probe union
+  /// must cover every row the Or can accept.
+  ProbeSet NormalizeProbes(const Expr& e, const Relation& rel,
+                           const Scope& const_scope) {
+    ProbeSet none;
     if (e.kind() == Expr::Kind::kBinary) {
       const auto& b = static_cast<const BinaryExpr&>(e);
       if (b.op() == BinaryOp::kAnd) {
-        CollectIndexableConjuncts(b.left(), rel, const_scope, lowers, uppers,
-                                  equals);
-        CollectIndexableConjuncts(b.right(), rel, const_scope, lowers, uppers,
-                                  equals);
-        return;
+        ProbeSet l = NormalizeProbes(b.left(), rel, const_scope);
+        ProbeSet r = NormalizeProbes(b.right(), rel, const_scope);
+        if (!l.indexable) return r;
+        if (!r.indexable) return l;
+        if (l.groups.size() * r.groups.size() > kMaxProbeGroups) {
+          return l.groups.size() <= r.groups.size() ? l : r;
+        }
+        ProbeSet out;
+        out.indexable = true;
+        out.groups.reserve(l.groups.size() * r.groups.size());
+        for (const ConjGroup& lg : l.groups) {
+          for (const ConjGroup& rg : r.groups) {
+            ConjGroup g = lg;
+            g.equals.insert(g.equals.end(), rg.equals.begin(),
+                            rg.equals.end());
+            g.lowers.insert(g.lowers.end(), rg.lowers.begin(),
+                            rg.lowers.end());
+            g.uppers.insert(g.uppers.end(), rg.uppers.begin(),
+                            rg.uppers.end());
+            out.groups.push_back(std::move(g));
+          }
+        }
+        return out;
+      }
+      if (b.op() == BinaryOp::kOr) {
+        ProbeSet l = NormalizeProbes(b.left(), rel, const_scope);
+        if (!l.indexable) return none;
+        ProbeSet r = NormalizeProbes(b.right(), rel, const_scope);
+        if (!r.indexable) return none;
+        if (l.groups.size() + r.groups.size() > kMaxProbeGroups) return none;
+        l.groups.insert(l.groups.end(),
+                        std::make_move_iterator(r.groups.begin()),
+                        std::make_move_iterator(r.groups.end()));
+        return l;
       }
       if (IsComparison(b.op()) && b.op() != BinaryOp::kNe) {
         const Expr* col_side = &b.left();
@@ -496,42 +639,80 @@ class Executor::Impl {
           std::swap(col_side, val_side);
           op = SwapComparison(op);
         }
-        if (col_side->kind() != Expr::Kind::kColumnRef) return;
+        if (col_side->kind() != Expr::Kind::kColumnRef) return none;
         if (val_side->kind() != Expr::Kind::kLiteral &&
             val_side->kind() != Expr::Kind::kParameter) {
-          return;
+          return none;
         }
         const auto& ref = static_cast<const ColumnRefExpr&>(*col_side);
         if (!ref.qualifier().empty() &&
             !EqualsIgnoreCase(ref.qualifier(), rel.binding_name)) {
-          return;
+          return none;
         }
         auto col = rel.schema.FindColumn(ref.name());
-        if (!col) return;
+        if (!col) return none;
         auto value = Eval(*val_side, const_scope);
-        if (!value.ok() || value.ValueOrDie().is_null()) return;
+        if (!value.ok() || value.ValueOrDie().is_null()) return none;
         const Value& v = value.ValueOrDie();
+        ConjGroup g;
         switch (op) {
           case BinaryOp::kEq:
-            equals->push_back({*col, v});
+            g.equals.push_back({*col, v});
             break;
           case BinaryOp::kLt:
-            uppers->push_back({*col, Bound{v, false}});
+            g.uppers.push_back({*col, Bound{v, false}});
             break;
           case BinaryOp::kLe:
-            uppers->push_back({*col, Bound{v, true}});
+            g.uppers.push_back({*col, Bound{v, true}});
             break;
           case BinaryOp::kGt:
-            lowers->push_back({*col, Bound{v, false}});
+            g.lowers.push_back({*col, Bound{v, false}});
             break;
           case BinaryOp::kGe:
-            lowers->push_back({*col, Bound{v, true}});
+            g.lowers.push_back({*col, Bound{v, true}});
             break;
           default:
-            break;
+            return none;
         }
+        ProbeSet out;
+        out.indexable = true;
+        out.groups.push_back(std::move(g));
+        return out;
       }
+      return none;
     }
+    if (e.kind() == Expr::Kind::kInList) {
+      // `col In (c1, ..., ck)` becomes k equality probes — the shape the
+      // Figure 13 qualification fan-out produces.
+      const auto& in = static_cast<const InListExpr&>(e);
+      if (in.needle().kind() != Expr::Kind::kColumnRef) return none;
+      const auto& ref = static_cast<const ColumnRefExpr&>(in.needle());
+      if (!ref.qualifier().empty() &&
+          !EqualsIgnoreCase(ref.qualifier(), rel.binding_name)) {
+        return none;
+      }
+      auto col = rel.schema.FindColumn(ref.name());
+      if (!col) return none;
+      if (in.haystack().size() > kMaxProbeGroups) return none;
+      ProbeSet out;
+      out.indexable = true;
+      for (const auto& item : in.haystack()) {
+        if (item->kind() != Expr::Kind::kLiteral &&
+            item->kind() != Expr::Kind::kParameter) {
+          return none;
+        }
+        auto value = Eval(*item, const_scope);
+        if (!value.ok()) return none;
+        // A null element never equates to a non-null needle; skip it.
+        if (value.ValueOrDie().is_null()) continue;
+        ConjGroup g;
+        g.equals.push_back({*col, value.ValueOrDie()});
+        out.groups.push_back(std::move(g));
+      }
+      if (out.groups.empty()) return none;
+      return out;
+    }
+    return none;
   }
 
   /// The access path chosen for a single-table scan.
@@ -541,31 +722,93 @@ class Executor::Impl {
   };
 
   /// Row ids to visit for a single-table scan, using the best ordered
-  /// index when allowed; nullopt means "full scan".
+  /// index when allowed; nullopt means "full scan". A single probe keeps
+  /// the index's key order; a multi-probe union is deduped and restored
+  /// to slot order (the order a full scan would visit).
   std::optional<std::vector<RowId>> TryIndexAccess(const Relation& rel,
                                                    const Expr* where,
                                                    const Scope& const_scope) {
-    std::optional<IndexChoice> choice =
-        ChooseIndexAccess(rel, where, const_scope);
-    if (!choice) return std::nullopt;
-    ++exec_.stats_.index_probes;
-    std::vector<RowId> rids = choice->index->Scan(choice->probe);
+    std::optional<std::vector<IndexChoice>> choices =
+        ChooseMultiIndexAccess(rel, where, const_scope);
+    if (!choices) return std::nullopt;
+    std::vector<RowId> rids;
+    for (const IndexChoice& choice : *choices) {
+      ++exec_.stats_.index_probes;
+      std::vector<RowId> part = choice.index->Scan(choice.probe);
+      if (rids.empty()) {
+        rids = std::move(part);
+      } else {
+        rids.insert(rids.end(), part.begin(), part.end());
+      }
+    }
+    if (choices->size() > 1) {
+      std::sort(rids.begin(), rids.end());
+      rids.erase(std::unique(rids.begin(), rids.end()), rids.end());
+    }
     exec_.stats_.rows_from_index += rids.size();
     return rids;
   }
 
-  /// Access-path selection only (shared by execution and Explain).
-  std::optional<IndexChoice> ChooseIndexAccess(const Relation& rel,
-                                               const Expr* where,
-                                               const Scope& const_scope) {
+  /// Access-path selection only (shared by execution and Explain): one
+  /// IndexChoice per probe group, or nullopt for a full scan. Every
+  /// group must be servable by some index — the union of probes has to
+  /// cover every disjunct or it is not a superset of the WHERE result.
+  std::optional<std::vector<IndexChoice>> ChooseMultiIndexAccess(
+      const Relation& rel, const Expr* where, const Scope& const_scope) {
     if (!exec_.options_.use_indexes || rel.table == nullptr ||
         where == nullptr) {
       return std::nullopt;
     }
-    std::vector<std::pair<size_t, Bound>> lowers, uppers;
-    std::vector<std::pair<size_t, Value>> equals;
-    CollectIndexableConjuncts(*where, rel, const_scope, &lowers, &uppers,
-                              &equals);
+    ProbeSet ps = NormalizeProbes(*where, rel, const_scope);
+    if (!ps.indexable || ps.groups.empty()) return std::nullopt;
+    std::vector<IndexChoice> choices;
+    choices.reserve(ps.groups.size());
+    for (const ConjGroup& g : ps.groups) {
+      std::optional<IndexChoice> c = ChooseIndexForGroup(rel, g);
+      if (!c) return std::nullopt;
+      // Distinct conjunct groups often lower to the same physical probe
+      // (e.g. the inclusive/exclusive bound disjuncts of an interval
+      // check differ only in residual columns). Scanning it twice would
+      // double the fetched rows just to dedup them afterwards.
+      bool duplicate = false;
+      for (const IndexChoice& seen : choices) {
+        if (SameChoice(seen, *c)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) choices.push_back(std::move(*c));
+    }
+    return choices;
+  }
+
+  static bool SameBound(const std::optional<Bound>& a,
+                        const std::optional<Bound>& b) {
+    if (a.has_value() != b.has_value()) return false;
+    if (!a) return true;
+    return a->inclusive == b->inclusive && !(a->value < b->value) &&
+           !(b->value < a->value);
+  }
+
+  static bool SameChoice(const IndexChoice& a, const IndexChoice& b) {
+    if (a.index != b.index) return false;
+    if (a.probe.equals.size() != b.probe.equals.size()) return false;
+    for (size_t i = 0; i < a.probe.equals.size(); ++i) {
+      if (a.probe.equals[i] < b.probe.equals[i] ||
+          b.probe.equals[i] < a.probe.equals[i]) {
+        return false;
+      }
+    }
+    return SameBound(a.probe.lower, b.probe.lower) &&
+           SameBound(a.probe.upper, b.probe.upper);
+  }
+
+  /// Picks the best ordered index and probe for one conjunct group.
+  std::optional<IndexChoice> ChooseIndexForGroup(const Relation& rel,
+                                                 const ConjGroup& group) {
+    const auto& equals = group.equals;
+    const auto& lowers = group.lowers;
+    const auto& uppers = group.uppers;
     if (equals.empty() && lowers.empty() && uppers.empty()) {
       return std::nullopt;
     }
@@ -694,32 +937,52 @@ class Executor::Impl {
              stmt.connect_by->start_with->ToString() + " connect by " +
              stmt.connect_by->connect->ToString() + "\n";
     }
-    if (stmt.from.size() > 1) {
-      out += pad + "  NestedLoopJoin\n";
-    }
-
     Scope const_scope;
     const_scope.parent = outer;
     const_scope.params = &params;
+    std::vector<Relation> rels;
+    rels.reserve(stmt.from.size());
     for (const TableRef& ref : stmt.from) {
       WFRM_ASSIGN_OR_RETURN(Relation rel, ResolveRelation(ref, outer, params));
+      rels.push_back(std::move(rel));
+    }
+    if (stmt.from.size() > 1) {
+      std::vector<std::pair<size_t, size_t>> equi;
+      if (rels.size() == 2 && stmt.where != nullptr) {
+        CollectEquiJoinKeys(*stmt.where, rels, &equi);
+      }
+      if (equi.empty()) {
+        out += pad + "  NestedLoopJoin\n";
+      } else {
+        out += pad + "  HashJoin (" + std::to_string(equi.size()) +
+               " key(s))\n";
+      }
+    }
+    for (size_t ri = 0; ri < rels.size(); ++ri) {
+      const TableRef& ref = stmt.from[ri];
+      const Relation& rel = rels[ri];
       std::string line = pad + "  ";
       if (rel.table == nullptr) {
         line += "View " + ref.name + " (materialized, " +
-                std::to_string(rel.materialized.size()) + " rows)";
+                std::to_string(rel.materialized->size()) + " rows)";
       } else {
-        std::optional<IndexChoice> choice;
+        std::optional<std::vector<IndexChoice>> choices;
         if (stmt.from.size() == 1 && !stmt.connect_by) {
-          choice = ChooseIndexAccess(rel, stmt.where.get(), const_scope);
+          choices = ChooseMultiIndexAccess(rel, stmt.where.get(), const_scope);
         }
-        if (choice) {
+        if (choices && choices->size() == 1) {
+          const IndexChoice& choice = choices->front();
           line += "IndexScan " + ref.name + " using " +
-                  choice->index->name() + " (eq prefix: " +
-                  std::to_string(choice->probe.equals.size());
-          if (choice->probe.lower || choice->probe.upper) {
+                  choice.index->name() + " (eq prefix: " +
+                  std::to_string(choice.probe.equals.size());
+          if (choice.probe.lower || choice.probe.upper) {
             line += ", range on next column";
           }
           line += ")";
+        } else if (choices) {
+          line += "MultiIndexScan " + ref.name + " using " +
+                  choices->front().index->name() + " (" +
+                  std::to_string(choices->size()) + " probes)";
         } else {
           line += "SeqScan " + ref.name + " (" +
                   std::to_string(rel.table->num_rows()) + " rows)";
@@ -827,10 +1090,22 @@ class Executor::Impl {
           ++exec_.stats_.rows_scanned;
         });
       } else {
-        for (const Row& row : rel.materialized) {
+        for (const Row& row : *rel.materialized) {
           candidates[i].push_back(&row);
           ++exec_.stats_.rows_scanned;
         }
+      }
+    }
+
+    // Two-relation equi-joins (the Figure 15 Relevant_Policies ⋈
+    // Relevant_Filter shape) build a key map over the inner side instead
+    // of enumerating the cross product.
+    if (relations.size() == 2 && stmt.where != nullptr) {
+      std::vector<std::pair<size_t, size_t>> keys;
+      CollectEquiJoinKeys(*stmt.where, relations, &keys);
+      if (!keys.empty()) {
+        return HashJoin(stmt, relations, candidates, keys, outer, params,
+                        joined);
       }
     }
 
@@ -869,6 +1144,116 @@ class Executor::Impl {
     return st;
   }
 
+  /// Collects top-level ANDed `a.col = b.col` conjuncts joining the two
+  /// relations, as (column in relations[0], column in relations[1])
+  /// pairs. Conjuncts that do not fit the shape are simply not collected
+  /// — they stay covered by the residual WHERE evaluation.
+  void CollectEquiJoinKeys(const Expr& e,
+                           const std::vector<Relation>& relations,
+                           std::vector<std::pair<size_t, size_t>>* keys) {
+    if (e.kind() != Expr::Kind::kBinary) return;
+    const auto& b = static_cast<const BinaryExpr&>(e);
+    if (b.op() == BinaryOp::kAnd) {
+      CollectEquiJoinKeys(b.left(), relations, keys);
+      CollectEquiJoinKeys(b.right(), relations, keys);
+      return;
+    }
+    if (b.op() != BinaryOp::kEq) return;
+    if (b.left().kind() != Expr::Kind::kColumnRef ||
+        b.right().kind() != Expr::Kind::kColumnRef) {
+      return;
+    }
+    // Resolve a column ref to (relation index, column index); fails on
+    // ambiguity or no match.
+    auto resolve = [&](const ColumnRefExpr& ref)
+        -> std::optional<std::pair<size_t, size_t>> {
+      std::optional<std::pair<size_t, size_t>> found;
+      for (size_t r = 0; r < relations.size(); ++r) {
+        if (!ref.qualifier().empty() &&
+            !EqualsIgnoreCase(ref.qualifier(), relations[r].binding_name)) {
+          continue;
+        }
+        if (auto col = relations[r].schema.FindColumn(ref.name())) {
+          if (found) return std::nullopt;  // Ambiguous.
+          found = {r, *col};
+        }
+      }
+      return found;
+    };
+    auto l = resolve(static_cast<const ColumnRefExpr&>(b.left()));
+    auto r = resolve(static_cast<const ColumnRefExpr&>(b.right()));
+    if (!l || !r) return;
+    if (l->first == 0 && r->first == 1) {
+      keys->push_back({l->second, r->second});
+    } else if (l->first == 1 && r->first == 0) {
+      keys->push_back({r->second, l->second});
+    }
+  }
+
+  /// Equi-join of two relations: builds a key → rows map over the inner
+  /// (second) relation, probes it per outer row, and re-checks the full
+  /// WHERE on every matched pair (3VL-safe; non-equi residual conjuncts
+  /// are handled there). Rows with a null key component are skipped on
+  /// both sides — an equality with Null is never true. Emission order
+  /// matches the nested-loop enumeration: outer rows in candidate order,
+  /// matches in inner candidate order.
+  Status HashJoin(const SelectStatement& stmt,
+                  const std::vector<Relation>& relations,
+                  const std::vector<std::vector<const Row*>>& candidates,
+                  const std::vector<std::pair<size_t, size_t>>& keys,
+                  const Scope* outer, const ParamMap& params,
+                  std::vector<std::vector<const Row*>>* joined) {
+    std::map<IndexKey, std::vector<const Row*>, IndexKeyLess> inner;
+    for (const Row* row : candidates[1]) {
+      IndexKey key;
+      key.reserve(keys.size());
+      bool has_null = false;
+      for (const auto& [lcol, rcol] : keys) {
+        const Value& v = (*row)[rcol];
+        if (v.is_null()) {
+          has_null = true;
+          break;
+        }
+        key.push_back(v);
+      }
+      if (has_null) continue;
+      inner[std::move(key)].push_back(row);
+    }
+
+    Scope scope;
+    scope.parent = outer;
+    scope.params = &params;
+    scope.bindings.push_back(Binding{&relations[0].binding_name,
+                                     &relations[0].schema, nullptr});
+    scope.bindings.push_back(Binding{&relations[1].binding_name,
+                                     &relations[1].schema, nullptr});
+    for (const Row* lrow : candidates[0]) {
+      IndexKey key;
+      key.reserve(keys.size());
+      bool has_null = false;
+      for (const auto& [lcol, rcol] : keys) {
+        const Value& v = (*lrow)[lcol];
+        if (v.is_null()) {
+          has_null = true;
+          break;
+        }
+        key.push_back(v);
+      }
+      if (has_null) continue;
+      auto it = inner.find(key);
+      if (it == inner.end()) continue;
+      for (const Row* rrow : it->second) {
+        scope.bindings[0].row = lrow;
+        scope.bindings[1].row = rrow;
+        WFRM_ASSIGN_OR_RETURN(Value v, Eval(*stmt.where, scope));
+        if (!IsTrue(v)) continue;
+        ++exec_.stats_.rows_filtered;
+        joined->push_back({lrow, rrow});
+      }
+    }
+    return Status::OK();
+  }
+
   /// START WITH / CONNECT BY evaluation: breadth-first expansion from the
   /// START WITH roots, joining each frontier row to its children through
   /// the CONNECT BY condition with PRIOR bound to the parent.
@@ -885,7 +1270,7 @@ class Executor::Impl {
         ++exec_.stats_.rows_scanned;
       });
     } else {
-      for (const Row& row : rel.materialized) all.push_back(&row);
+      for (const Row& row : *rel.materialized) all.push_back(&row);
     }
 
     std::deque<std::pair<const Row*, int64_t>> frontier;
@@ -1248,6 +1633,16 @@ class Executor::Impl {
 
   const Executor& exec_;
   const Database& db_;
+  /// Per-execution memo of materialized view snapshots (top-level,
+  /// uncorrelated references only). One Impl spans one statement, so the
+  /// memo can never serve stale rows across statements.
+  struct ViewSnapshot {
+    Schema schema;
+    std::shared_ptr<const std::vector<Row>> rows;
+  };
+  std::unordered_map<std::string, ViewSnapshot, CaseInsensitiveHash,
+                     CaseInsensitiveEq>
+      view_memo_;
 };
 
 Result<ResultSet> Executor::Query(std::string_view sql,
@@ -1260,6 +1655,32 @@ Result<ResultSet> Executor::Execute(const SelectStatement& stmt,
                                     const ParamMap& params) const {
   Impl impl(*this);
   return impl.Execute(stmt, nullptr, params);
+}
+
+Result<std::shared_ptr<const PreparedQuery>> Executor::Prepare(
+    std::string_view sql) const {
+  // Record the catalog version BEFORE validation: if a concurrent DDL
+  // lands mid-prepare, the plan is stamped stale and a version-checking
+  // cache will re-prepare rather than serve it.
+  const uint64_t version = db_->catalog_version();
+  WFRM_ASSIGN_OR_RETURN(SelectPtr stmt, SqlParser::ParseSelect(sql));
+  for (const SelectStatement* s = stmt.get(); s != nullptr;
+       s = s->union_next.get()) {
+    for (const TableRef& ref : s->from) {
+      if (!db_->HasRelation(ref.name)) {
+        return Status::NotFound("relation '" + ref.name +
+                                "' does not exist");
+      }
+    }
+  }
+  return std::make_shared<const PreparedQuery>(std::string(sql),
+                                               std::move(stmt), version);
+}
+
+Result<ResultSet> Executor::Execute(const PreparedQuery& prepared,
+                                    const ParamMap& params) const {
+  Impl impl(*this);
+  return impl.Execute(prepared.stmt(), nullptr, params);
 }
 
 Result<std::string> Executor::Explain(const SelectStatement& stmt,

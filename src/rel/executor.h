@@ -2,6 +2,7 @@
 #define WFRM_REL_EXECUTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 
@@ -11,6 +12,8 @@
 #include "rel/sql_ast.h"
 
 namespace wfrm::rel {
+
+class PreparedQuery;
 
 /// Named parameter bindings (`[Name]` → value), case-insensitive.
 /// The policy rewriters bind activity attributes through this map.
@@ -56,6 +59,19 @@ class Executor {
   Result<ResultSet> Execute(const SelectStatement& stmt,
                             const ParamMap& params = {}) const;
 
+  /// Parses `sql` once and validates that every relation referenced in
+  /// the FROM clauses of the union chain exists, returning a reusable
+  /// handle stamped with the current catalog version. Parameters are
+  /// bound per execution, so one plan serves every query of the shape.
+  Result<std::shared_ptr<const PreparedQuery>> Prepare(
+      std::string_view sql) const;
+
+  /// Executes a previously prepared query with fresh parameter bindings.
+  /// Tolerant of a stale catalog version (names re-resolve against the
+  /// current catalog); PlanCache is what enforces version matching.
+  Result<ResultSet> Execute(const PreparedQuery& prepared,
+                            const ParamMap& params = {}) const;
+
   /// Renders the execution plan without running the query: access path
   /// per relation (index probe vs full scan), join shape, hierarchy
   /// evaluation, aggregation, ordering and union arms. One node per
@@ -77,6 +93,8 @@ class Executor {
   void ResetStats() { stats_.Reset(); }
 
   const ExecOptions& options() const { return options_; }
+
+  const Database* db() const { return db_; }
 
  private:
   class Impl;

@@ -74,7 +74,8 @@ TEST_F(ExplainTest, JoinViewAggregateSortUnionNodes) {
       "Select e.Dept, Count(*) As n From Emp e, Engineers g "
       "Where e.Name = g.Name Group by Dept Order By n Desc Limit 1 "
       "Union Select Dept, Salary From Emp");
-  EXPECT_NE(plan.find("NestedLoopJoin"), std::string::npos) << plan;
+  // An equi-join on e.Name = g.Name now picks the hash join.
+  EXPECT_NE(plan.find("HashJoin (1 key(s))"), std::string::npos) << plan;
   EXPECT_NE(plan.find("View Engineers (materialized, 5 rows)"),
             std::string::npos)
       << plan;

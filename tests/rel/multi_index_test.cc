@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rel/executor.h"
+
+namespace wfrm::rel {
+namespace {
+
+/// Multi-probe index access (IN lists, OR of conjunctions) and the hash
+/// equi-join: each plan must return exactly what the full-scan executor
+/// returns, just cheaper.
+class MultiIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table* t = *db_.CreateTable(
+        "Pol", Schema({{"Act", DataType::kString},
+                       {"Res", DataType::kString},
+                       {"Pid", DataType::kInt}}));
+    ASSERT_TRUE(t->CreateOrderedIndex("pol_act_res", {"Act", "Res"}).ok());
+    int64_t pid = 0;
+    for (const char* a : {"Build", "Test", "Ship", "Review"}) {
+      for (const char* r : {"Dev", "Qa", "Mgr"}) {
+        for (int i = 0; i < 3; ++i) {
+          ASSERT_TRUE(t->Insert({Value::String(a), Value::String(r),
+                                 Value::Int(pid++)})
+                          .ok());
+        }
+      }
+    }
+
+    Table* f = *db_.CreateTable(
+        "Flt", Schema({{"Pid", DataType::kInt}, {"Attr", DataType::kString}}));
+    for (int64_t p = 0; p < 36; p += 2) {
+      ASSERT_TRUE(
+          f->Insert({Value::Int(p), Value::String(p % 4 == 0 ? "A" : "B")})
+              .ok());
+    }
+  }
+
+  /// Runs `sql` with and without index access and asserts identical
+  /// sorted results; returns the indexed run's stats.
+  ExecStats AssertSameAsFullScan(const std::string& sql) {
+    Executor indexed(&db_);
+    ExecOptions scan_only;
+    scan_only.use_indexes = false;
+    Executor scanner(&db_, scan_only);
+
+    auto want = scanner.Query(sql);
+    auto got = indexed.Query(sql);
+    EXPECT_TRUE(want.ok()) << want.status().ToString();
+    EXPECT_TRUE(got.ok()) << got.status().ToString();
+    if (!want.ok() || !got.ok()) return ExecStats{};
+
+    auto key = [](const Row& row) {
+      std::string k;
+      for (const Value& v : row) k += v.ToString() + "|";
+      return k;
+    };
+    std::vector<std::string> w, g;
+    for (const Row& r : want->rows) w.push_back(key(r));
+    for (const Row& r : got->rows) g.push_back(key(r));
+    std::sort(w.begin(), w.end());
+    std::sort(g.begin(), g.end());
+    EXPECT_EQ(w, g) << sql;
+    return indexed.stats();
+  }
+
+  Database db_;
+};
+
+TEST_F(MultiIndexTest, InListProbesTheIndexPerElement) {
+  ExecStats stats = AssertSameAsFullScan(
+      "Select Pid From Pol Where Act In ('Build', 'Ship') And Res = 'Qa'");
+  EXPECT_GE(stats.index_probes, 2u);
+  EXPECT_EQ(stats.rows_scanned, 0u);  // No fallback full scan.
+}
+
+TEST_F(MultiIndexTest, TwoInListsCrossProductOfProbes) {
+  ExecStats stats = AssertSameAsFullScan(
+      "Select Pid From Pol Where Act In ('Build', 'Test', 'Ship') "
+      "And Res In ('Dev', 'Mgr')");
+  EXPECT_GE(stats.index_probes, 6u);  // 3 x 2 equality groups.
+  EXPECT_EQ(stats.rows_scanned, 0u);
+}
+
+TEST_F(MultiIndexTest, OrOfConjunctionsUsesOneProbePerDisjunct) {
+  ExecStats stats = AssertSameAsFullScan(
+      "Select Pid From Pol Where (Act = 'Build' And Res = 'Dev') "
+      "Or (Act = 'Review' And Res = 'Mgr')");
+  EXPECT_GE(stats.index_probes, 2u);
+  EXPECT_EQ(stats.rows_scanned, 0u);
+}
+
+TEST_F(MultiIndexTest, OverlappingProbesDeduplicateRows) {
+  // Both disjuncts select Act='Build'; rows must not appear twice.
+  Executor indexed(&db_);
+  auto rs = indexed.Query(
+      "Select Pid From Pol Where (Act = 'Build' And Res = 'Dev') "
+      "Or Act = 'Build'");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->size(), 9u);  // 3 Res values x 3 rows, each once.
+}
+
+TEST_F(MultiIndexTest, NonIndexableDisjunctFallsBackToScan) {
+  // 'Pid > 30' has no index; the whole OR must degrade to a scan, not
+  // silently drop the unindexable side.
+  ExecStats stats = AssertSameAsFullScan(
+      "Select Pid From Pol Where Act = 'Build' Or Pid > 30");
+  EXPECT_GT(stats.rows_scanned, 0u);
+}
+
+TEST_F(MultiIndexTest, InListWithNullElementIgnoresTheNull) {
+  AssertSameAsFullScan(
+      "Select Pid From Pol Where Act In ('Build', NULL) And Res = 'Dev'");
+}
+
+TEST_F(MultiIndexTest, HashJoinMatchesNestedLoopResults) {
+  ExecStats stats = AssertSameAsFullScan(
+      "Select p.Pid, f.Attr From Pol p, Flt f Where p.Pid = f.Pid");
+  // Rows surviving WHERE are counted once per emitted pair.
+  EXPECT_EQ(stats.rows_filtered, 18u);
+}
+
+TEST_F(MultiIndexTest, HashJoinAppliesResidualPredicates) {
+  AssertSameAsFullScan(
+      "Select p.Pid From Pol p, Flt f "
+      "Where p.Pid = f.Pid And f.Attr = 'A' And p.Act <> 'Ship'");
+}
+
+TEST_F(MultiIndexTest, HashJoinSkipsNullKeys) {
+  Table* f = db_.GetTable("Flt");
+  ASSERT_TRUE(f->Insert({Value::Null(), Value::String("A")}).ok());
+  // SQL equality never matches NULL = NULL; the null row joins nothing.
+  AssertSameAsFullScan(
+      "Select p.Pid, f.Attr From Pol p, Flt f Where p.Pid = f.Pid");
+}
+
+TEST_F(MultiIndexTest, ThreeWayJoinStillNestedLoopButCorrect) {
+  ASSERT_TRUE(db_.CreateTable("One", Schema({{"K", DataType::kInt}})).ok());
+  Table* one = db_.GetTable("One");
+  ASSERT_TRUE(one->Insert({Value::Int(0)}).ok());
+  AssertSameAsFullScan(
+      "Select p.Pid From Pol p, Flt f, One o "
+      "Where p.Pid = f.Pid And p.Pid = o.K");
+}
+
+}  // namespace
+}  // namespace wfrm::rel

@@ -1,0 +1,186 @@
+#include "rel/prepared.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "rel/executor.h"
+#include "rel/parser.h"
+
+namespace wfrm::rel {
+namespace {
+
+void MustReplaceView(Database* db, const std::string& name,
+                     const std::string& sql) {
+  auto stmt = SqlParser::ParseSelect(sql);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  db->CreateOrReplaceView(name, {}, std::move(*stmt));
+}
+
+class PreparedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table* emp = *db_.CreateTable(
+        "Emp", Schema({{"Name", DataType::kString},
+                       {"Dept", DataType::kString},
+                       {"Pay", DataType::kInt}}));
+    auto add = [&](const char* n, const char* d, int64_t p) {
+      ASSERT_TRUE(emp->Insert({Value::String(n), Value::String(d),
+                               Value::Int(p)})
+                      .ok());
+    };
+    add("Ana", "Eng", 10);
+    add("Bo", "Eng", 20);
+    add("Cy", "Ops", 30);
+  }
+
+  Database db_;
+};
+
+TEST_F(PreparedTest, PrepareOnceExecuteManyWithRebinding) {
+  Executor exec(&db_);
+  auto plan = exec.Prepare("Select Name From Emp Where Dept = [d]");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  ParamMap params;
+  params["d"] = Value::String("Eng");
+  auto rs = exec.Execute(**plan, params);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->size(), 2u);
+
+  params["d"] = Value::String("Ops");
+  rs = exec.Execute(**plan, params);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].string_value(), "Cy");
+}
+
+TEST_F(PreparedTest, PrepareRejectsUnknownRelation) {
+  Executor exec(&db_);
+  auto plan = exec.Prepare("Select X From Nowhere");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("Nowhere"), std::string::npos);
+}
+
+TEST_F(PreparedTest, PreparedPlanSurvivesRowMutations) {
+  // Row churn must not invalidate a prepared statement — only DDL does.
+  Executor exec(&db_);
+  auto plan = exec.Prepare("Select Name From Emp Where Pay > 15");
+  ASSERT_TRUE(plan.ok());
+  const uint64_t version = (*plan)->catalog_version();
+
+  Table* emp = db_.GetTable("Emp");
+  ASSERT_TRUE(emp->Insert({Value::String("Dee"), Value::String("Ops"),
+                           Value::Int(40)})
+                  .ok());
+  EXPECT_EQ(db_.catalog_version(), version);
+
+  auto rs = exec.Execute(**plan);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->size(), 3u);  // Bo, Cy, Dee.
+}
+
+TEST_F(PreparedTest, CatalogVersionBumpsOnDdlOnly) {
+  const uint64_t v0 = db_.catalog_version();
+  Table* emp = db_.GetTable("Emp");
+  ASSERT_TRUE(emp->Insert({Value::String("Edy"), Value::String("Ops"),
+                           Value::Int(5)})
+                  .ok());
+  EXPECT_EQ(db_.catalog_version(), v0);
+
+  ASSERT_TRUE(db_.CreateTable("T2", Schema({{"A", DataType::kInt}})).ok());
+  const uint64_t v1 = db_.catalog_version();
+  EXPECT_GT(v1, v0);
+
+  MustReplaceView(&db_, "V", "Select Name From Emp");
+  EXPECT_GT(db_.catalog_version(), v1);
+}
+
+TEST_F(PreparedTest, PlanCacheHitsAndMisses) {
+  Executor exec(&db_);
+  PlanCache cache(8);
+  const std::string sql = "Select Name From Emp Where Dept = [d]";
+
+  PlanLookup outcome;
+  auto p1 = cache.GetOrPrepare(exec, sql, &outcome);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(outcome, PlanLookup::kMiss);
+
+  auto p2 = cache.GetOrPrepare(exec, sql, &outcome);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(outcome, PlanLookup::kHit);
+  EXPECT_EQ(p1->get(), p2->get());  // Same shared plan object.
+
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(PreparedTest, PlanCacheInvalidatesOnCatalogVersionBump) {
+  Executor exec(&db_);
+  PlanCache cache(8);
+  const std::string sql = "Select Name From Emp";
+
+  ASSERT_TRUE(cache.GetOrPrepare(exec, sql).ok());
+  // A view redefinition changes what any name may resolve to; every
+  // cached plan from the old catalog generation must be dropped.
+  MustReplaceView(&db_, "V", "Select Dept From Emp");
+
+  PlanLookup outcome;
+  auto p = cache.GetOrPrepare(exec, sql, &outcome);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(outcome, PlanLookup::kMiss);
+  EXPECT_EQ(cache.invalidations(), 1u);
+  EXPECT_EQ((*p)->catalog_version(), db_.catalog_version());
+}
+
+TEST_F(PreparedTest, PlanCacheEvictsLeastRecentlyUsed) {
+  Executor exec(&db_);
+  PlanCache cache(2);
+  ASSERT_TRUE(cache.GetOrPrepare(exec, "Select Name From Emp").ok());
+  ASSERT_TRUE(cache.GetOrPrepare(exec, "Select Dept From Emp").ok());
+  // Touch the first so the second is the LRU victim.
+  PlanLookup outcome;
+  ASSERT_TRUE(cache.GetOrPrepare(exec, "Select Name From Emp", &outcome).ok());
+  EXPECT_EQ(outcome, PlanLookup::kHit);
+
+  ASSERT_TRUE(cache.GetOrPrepare(exec, "Select Pay From Emp").ok());
+  EXPECT_EQ(cache.size(), 2u);
+
+  ASSERT_TRUE(cache.GetOrPrepare(exec, "Select Name From Emp", &outcome).ok());
+  EXPECT_EQ(outcome, PlanLookup::kHit);
+  ASSERT_TRUE(cache.GetOrPrepare(exec, "Select Dept From Emp", &outcome).ok());
+  EXPECT_EQ(outcome, PlanLookup::kMiss);  // Evicted.
+}
+
+TEST_F(PreparedTest, PlanCacheCapacityZeroDisablesCaching) {
+  Executor exec(&db_);
+  PlanCache cache(0);
+  PlanLookup outcome;
+  ASSERT_TRUE(
+      cache.GetOrPrepare(exec, "Select Name From Emp", &outcome).ok());
+  EXPECT_EQ(outcome, PlanLookup::kMiss);
+  ASSERT_TRUE(
+      cache.GetOrPrepare(exec, "Select Name From Emp", &outcome).ok());
+  EXPECT_EQ(outcome, PlanLookup::kMiss);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(PreparedTest, ClearEmptiesTheCacheButKeepsCounters) {
+  Executor exec(&db_);
+  PlanCache cache(8);
+  ASSERT_TRUE(cache.GetOrPrepare(exec, "Select Name From Emp").ok());
+  ASSERT_TRUE(cache.GetOrPrepare(exec, "Select Name From Emp").ok());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  PlanLookup outcome;
+  ASSERT_TRUE(
+      cache.GetOrPrepare(exec, "Select Name From Emp", &outcome).ok());
+  EXPECT_EQ(outcome, PlanLookup::kMiss);
+}
+
+}  // namespace
+}  // namespace wfrm::rel
