@@ -1,0 +1,185 @@
+// Workflow satisfiability analysis (DESIGN.md §14): the WSP search on
+// synthetic candidate tables across step count and constraint density,
+// the valued branch-and-bound, and the end-to-end analyzer (candidate
+// derivation through the live enforcement pipeline + solve +
+// k-resiliency sweep) over the paper world.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/workflow_analyzer.h"
+#include "analysis/workflow_spec.h"
+#include "analysis/wsp_solver.h"
+#include "json_reporter.h"
+#include "testutil/paper_org.h"
+
+namespace {
+
+using namespace wfrm;            // NOLINT
+using namespace wfrm::analysis;  // NOLINT
+
+constexpr char kStaffingQuery[] =
+    "Select Id From Engineer Where Location = 'PA' For Programming "
+    "With NumberOfLines = 20000 And Location = 'PA'";
+
+/// N pairwise-separated review steps over the paper staffing query
+/// (the analyzer_test workload: bob + pam primaries, quinn substitute).
+std::string ReviewScript(size_t tasks) {
+  std::string script = "Workflow Review;\n";
+  std::string names;
+  for (size_t i = 0; i < tasks; ++i) {
+    std::string name = "t";
+    name += std::to_string(i);
+    script += "Task " + name + ": " + kStaffingQuery + ";\n";
+    if (i > 0) names += ", ";
+    names += name;
+  }
+  script += "Separate " + names + ";\n";
+  return script;
+}
+
+WorkflowSpec MustParse(const std::string& script) {
+  auto spec = ParseWorkflowSpec(script);
+  if (!spec.ok()) std::abort();
+  return std::move(*spec);
+}
+
+/// Synthetic WSP instance: `steps` tasks, each with `steps + 1`
+/// candidates (two cost-0 primaries, the rest cost-1 substitutes), one
+/// global Separate plus a Bind chain every `bind_stride` steps. The
+/// global separation keeps the search honest: candidates overlap
+/// heavily, so the solver must actually propagate and backtrack.
+struct SyntheticInstance {
+  WorkflowSpec spec;
+  std::vector<StepCandidates> candidates;
+};
+
+SyntheticInstance BuildSynthetic(size_t steps) {
+  std::string script = "Workflow Synthetic;\n";
+  std::string names;
+  for (size_t i = 0; i < steps; ++i) {
+    std::string name = "t" + std::to_string(i);
+    script += "Task " + name + ": q;\n";
+    if (i > 0) names += ", ";
+    names += name;
+  }
+  script += "Separate " + names + ";\n";
+
+  SyntheticInstance instance;
+  instance.spec = MustParse(script);
+  for (size_t i = 0; i < steps; ++i) {
+    StepCandidates step;
+    step.step = "t";
+    step.step += std::to_string(i);
+    for (size_t r = 0; r <= steps; ++r) {
+      WspCandidate c;
+      std::string id = "r";
+      id += std::to_string(r);
+      c.resource = {"Staff", std::move(id)};
+      c.cost = r < 2 ? 0 : 1;
+      step.candidates.push_back(std::move(c));
+    }
+    step.Normalize();
+    instance.candidates.push_back(std::move(step));
+  }
+  return instance;
+}
+
+void BM_Wsp_Solve(benchmark::State& state) {
+  SyntheticInstance instance =
+      BuildSynthetic(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveWsp(instance.spec, instance.candidates));
+  }
+  state.counters["steps"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Wsp_Solve)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Wsp_SolveValued(benchmark::State& state) {
+  SyntheticInstance instance =
+      BuildSynthetic(static_cast<size_t>(state.range(0)));
+  SolveOptions options;
+  options.valued = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SolveWsp(instance.spec, instance.candidates, options));
+  }
+  state.counters["steps"] = static_cast<double>(state.range(0));
+}
+// Capped at 6 steps: the interchangeable cost-1 substitutes make the
+// branch-and-bound explore cost-equal permutations, and 8 separated
+// steps already cost hundreds of milliseconds per solve.
+BENCHMARK(BM_Wsp_SolveValued)->Arg(4)->Arg(6);
+
+// UNSAT with core minimization: one more separated step than there are
+// candidates, so the solver proves impossibility and then re-solves
+// per-constraint to shrink the core.
+void BM_Wsp_UnsatCore(benchmark::State& state) {
+  size_t steps = static_cast<size_t>(state.range(0));
+  SyntheticInstance instance = BuildSynthetic(steps);
+  for (auto& step : instance.candidates) {
+    step.candidates.resize(steps - 1);  // fewer resources than steps
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveWsp(instance.spec, instance.candidates));
+  }
+}
+BENCHMARK(BM_Wsp_UnsatCore)->Arg(4)->Arg(8);
+
+struct AnalyzerFixture {
+  testutil::PaperWorld world;
+  std::unique_ptr<core::ResourceManager> rm;
+
+  static AnalyzerFixture* Make() {
+    auto world = testutil::BuildPaperWorld();
+    if (!world.ok()) std::abort();
+    auto* f = new AnalyzerFixture{std::move(world).ValueOrDie(), nullptr};
+    f->rm = std::make_unique<core::ResourceManager>(f->world.org.get(),
+                                                    f->world.store.get());
+    return f;
+  }
+};
+
+AnalyzerFixture& Fixture() {
+  static AnalyzerFixture* fixture = AnalyzerFixture::Make();
+  return *fixture;
+}
+
+// End-to-end analyzer: candidate derivation through Submit (including
+// the allocate/resubmit probe for the substitution tier) plus solve.
+void BM_Wsp_AnalyzePaperWorld(benchmark::State& state) {
+  auto& f = Fixture();
+  WorkflowSpec spec =
+      MustParse(ReviewScript(static_cast<size_t>(state.range(0))));
+  AnalysisOptions options;
+  options.valued = true;
+  WorkflowAnalyzer analyzer(f.rm.get(), options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.Analyze(spec));
+  }
+  state.counters["steps"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Wsp_AnalyzePaperWorld)->Arg(2)->Arg(3);
+
+// k-resiliency: candidate derivation once, then a solve per k-subset of
+// unavailable resources (C(3, k) subsets over the paper staffing pool).
+void BM_Wsp_Resiliency(benchmark::State& state) {
+  auto& f = Fixture();
+  WorkflowSpec spec = MustParse(ReviewScript(2));
+  AnalysisOptions options;
+  options.resiliency_k = static_cast<size_t>(state.range(0));
+  WorkflowAnalyzer analyzer(f.rm.get(), options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.Analyze(spec));
+  }
+  state.counters["k"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Wsp_Resiliency)->Arg(1)->Arg(2);
+
+}  // namespace
+
+WFRM_BENCH_JSON_MAIN();

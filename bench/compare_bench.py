@@ -71,9 +71,13 @@ def compare(baseline, runs, max_drop, obs_limit):
                      "real_ns": run["real_ns"], "throughput_ratio": ratio})
 
     # Benchmarks present in the results but absent from the baseline are
-    # informational, never an error: a freshly added bench lands here
-    # until someone records a baseline entry for it.
+    # a distinct category from regressions: a freshly added bench lands
+    # here (status "new", informational, never gated) until someone
+    # records a baseline entry for it.
     result_only = sorted(set(runs) - set(baseline["benchmarks"]))
+    new_benchmarks = [{"name": name, "status": "new",
+                       "real_ns": runs[name].get("real_ns", 0)}
+                      for name in result_only]
 
     if not shared:
         sys.exit("error: no benchmarks shared between baseline and results")
@@ -113,6 +117,7 @@ def compare(baseline, runs, max_drop, obs_limit):
 
     return {"machine_factor": machine_factor, "max_drop": max_drop,
             "benchmarks": rows, "result_only": result_only,
+            "new_benchmarks": new_benchmarks,
             "obs_overhead": obs, "failures": failures}
 
 
@@ -155,10 +160,11 @@ def main():
         print(f"{row['name']:<50} {row['baseline_real_ns']:>12.0f} "
               f"{row['real_ns']:>12.0f} {row['normalized_ratio']:>5.2f}x  "
               f"{flag}{mark}")
-    for name in report["result_only"]:
-        run = runs[name]
-        print(f"info: {name} not in baseline (informational only): "
-              f"{run.get('real_ns', 0):.0f} ns")
+    if report["new_benchmarks"]:
+        print("\nnew benchmarks (in results, not in baseline — "
+              "informational, never gated):")
+        for row in report["new_benchmarks"]:
+            print(f"  NEW {row['name']:<46} {row['real_ns']:>12.0f} ns")
     if report["obs_overhead"]:
         o = report["obs_overhead"]
         print(f"observability overhead: {o['overhead'] * 100:+.1f}% "

@@ -37,12 +37,15 @@
 //   Select ContactInfo From Engineer Where Location = 'PA' For Programming
 //   With NumberOfLines = 35000 And Location = 'Mexico'" | ./build/examples/wfrm_shell
 
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include <fstream>
 
+#include "analysis/workflow_analyzer.h"
+#include "analysis/workflow_spec.h"
 #include "common/retry.h"
 #include "core/resource_manager.h"
 #include "org/rdl_dump.h"
@@ -308,6 +311,11 @@ struct Shell {
           << "  policies            list the policy base\n"
           << "  allocate <type> <id> | release <type> <id>\n"
           << "  analyze             policy-base consistency report\n"
+          << "  analyze <file> [k] [valued]   workflow satisfiability\n"
+          << "                      report: staffing witness or minimal\n"
+          << "                      UNSAT core, plus k-resiliency when\n"
+          << "                      k > 0 and min-cost staffing when\n"
+          << "                      'valued'\n"
           << "  open <dir>          open a durable home (WAL + snapshot);\n"
           << "                      mutations are journaled from then on\n"
           << "  save <dir>          checkpoint the open home, or write a\n"
@@ -716,9 +724,46 @@ struct Shell {
       return true;
     }
     if (lower == "analyze") {
-      wfrm::policy::PolicyAnalyzer analyzer(&Store());
-      auto report = analyzer.Report();
-      std::cout << (report.ok() ? *report : report.status().ToString())
+      std::string file;
+      words >> file;
+      if (file.empty()) {
+        wfrm::policy::PolicyAnalyzer analyzer(&Store());
+        auto report = analyzer.Report();
+        std::cout << (report.ok() ? *report : report.status().ToString())
+                  << "\n";
+        return true;
+      }
+      std::ifstream in(file);
+      if (!in) {
+        std::cout << "error: cannot open '" << file << "'\n";
+        return true;
+      }
+      std::stringstream script;
+      script << in.rdbuf();
+      analysis::AnalysisOptions options;
+      std::string flag;
+      while (words >> flag) {
+        if (AsciiToLower(flag) == "valued") {
+          options.valued = true;
+          continue;
+        }
+        char* end = nullptr;
+        unsigned long k = std::strtoul(flag.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+          std::cout << "usage: analyze <file> [k] [valued]\n";
+          return true;
+        }
+        options.resiliency_k = static_cast<size_t>(k);
+      }
+      auto spec = analysis::ParseWorkflowSpec(script.str());
+      if (!spec.ok()) {
+        std::cout << "error: " << spec.status().ToString() << "\n";
+        return true;
+      }
+      analysis::WorkflowAnalyzer analyzer(&Rm(), options);
+      auto report = analyzer.Analyze(*spec);
+      std::cout << (report.ok() ? report->ToString()
+                                : "error: " + report.status().ToString())
                 << "\n";
       return true;
     }

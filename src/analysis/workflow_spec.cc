@@ -1,0 +1,199 @@
+#include "analysis/workflow_spec.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace wfrm::analysis {
+
+namespace {
+
+/// Strips `--` comments (to end of line); quotes are respected so an
+/// RQL string literal may contain a double dash.
+std::string StripComments(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool in_string = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '\'') in_string = !in_string;
+    if (!in_string && c == '-' && i + 1 < text.size() && text[i + 1] == '-') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      out.push_back('\n');
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Splits on ';' outside string literals; empty statements are dropped.
+std::vector<std::string> SplitStatements(std::string_view text) {
+  std::vector<std::string> out;
+  std::string current;
+  bool in_string = false;
+  for (char c : text) {
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      std::string_view trimmed = StripWhitespace(current);
+      if (!trimmed.empty()) out.emplace_back(trimmed);
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  std::string_view trimmed = StripWhitespace(current);
+  if (!trimmed.empty()) out.emplace_back(trimmed);
+  return out;
+}
+
+/// Pops the leading identifier-like word ([A-Za-z0-9_]+) off `rest`.
+std::string TakeWord(std::string_view* rest) {
+  *rest = StripWhitespace(*rest);
+  size_t n = 0;
+  while (n < rest->size() &&
+         (std::isalnum(static_cast<unsigned char>((*rest)[n])) != 0 ||
+          (*rest)[n] == '_')) {
+    ++n;
+  }
+  std::string word(rest->substr(0, n));
+  rest->remove_prefix(n);
+  *rest = StripWhitespace(*rest);
+  return word;
+}
+
+/// Parses a `a, b, c` step-name list (commas optional between names).
+Result<std::vector<std::string>> ParseStepList(std::string_view rest,
+                                               const std::string& verb) {
+  std::vector<std::string> names;
+  while (!StripWhitespace(rest).empty()) {
+    std::string name = TakeWord(&rest);
+    if (name.empty()) {
+      return Status::ParseError(verb + ": expected a step name, got '" +
+                                std::string(rest) + "'");
+    }
+    names.push_back(std::move(name));
+    if (!rest.empty() && rest.front() == ',') rest.remove_prefix(1);
+  }
+  if (names.size() < 2) {
+    return Status::ParseError(verb + " lists fewer than two steps");
+  }
+  return names;
+}
+
+}  // namespace
+
+std::string WorkflowConstraint::ToString() const {
+  std::string out;
+  switch (kind) {
+    case ConstraintKind::kBindingOfDuty:
+      out = "Bind ";
+      break;
+    case ConstraintKind::kSeparationOfDuty:
+      out = "Separate ";
+      break;
+    case ConstraintKind::kAtMostK:
+      out = "AtMost " + std::to_string(k) + " Of ";
+      break;
+  }
+  out += Join(steps, ", ");
+  return out;
+}
+
+size_t WorkflowSpec::FindStep(const std::string& step_name) const {
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (EqualsIgnoreCase(steps[i].name, step_name)) return i;
+  }
+  return kNotFound;
+}
+
+std::string WorkflowSpec::ToString() const {
+  std::string out = "Workflow " + (name.empty() ? "Unnamed" : name) + ";\n";
+  for (const WorkflowStep& step : steps) {
+    out += "Task " + step.name + ": " + step.rql + ";\n";
+  }
+  for (const WorkflowConstraint& c : constraints) {
+    out += c.ToString() + ";\n";
+  }
+  return out;
+}
+
+Result<WorkflowSpec> ParseWorkflowSpec(std::string_view text) {
+  WorkflowSpec spec;
+  for (const std::string& statement : SplitStatements(StripComments(text))) {
+    std::string_view rest = statement;
+    std::string verb = AsciiToLower(TakeWord(&rest));
+    if (verb == "workflow") {
+      std::string name = TakeWord(&rest);
+      if (name.empty()) {
+        return Status::ParseError("Workflow: expected a name");
+      }
+      spec.name = std::move(name);
+      continue;
+    }
+    if (verb == "task") {
+      WorkflowStep step;
+      step.name = TakeWord(&rest);
+      if (step.name.empty()) {
+        return Status::ParseError("Task: expected a step name");
+      }
+      if (rest.empty() || rest.front() != ':') {
+        return Status::ParseError("Task " + step.name +
+                                  ": expected ':' before the RQL query");
+      }
+      rest.remove_prefix(1);
+      step.rql = std::string(StripWhitespace(rest));
+      if (step.rql.empty()) {
+        return Status::ParseError("Task " + step.name + ": empty RQL query");
+      }
+      if (spec.FindStep(step.name) != WorkflowSpec::kNotFound) {
+        return Status::ParseError("duplicate Task name '" + step.name + "'");
+      }
+      spec.steps.push_back(std::move(step));
+      continue;
+    }
+    if (verb == "bind" || verb == "separate") {
+      WorkflowConstraint c;
+      c.kind = verb == "bind" ? ConstraintKind::kBindingOfDuty
+                              : ConstraintKind::kSeparationOfDuty;
+      WFRM_ASSIGN_OR_RETURN(c.steps, ParseStepList(rest, statement));
+      spec.constraints.push_back(std::move(c));
+      continue;
+    }
+    if (verb == "atmost") {
+      WorkflowConstraint c;
+      c.kind = ConstraintKind::kAtMostK;
+      std::string k_word = TakeWord(&rest);
+      char* end = nullptr;
+      c.k = std::strtoull(k_word.c_str(), &end, 10);
+      if (k_word.empty() || *end != '\0' || c.k == 0) {
+        return Status::ParseError("AtMost: expected a count >= 1, got '" +
+                                  k_word + "'");
+      }
+      std::string of = AsciiToLower(TakeWord(&rest));
+      if (of != "of") {
+        return Status::ParseError("AtMost " + k_word +
+                                  ": expected 'Of' before the step list");
+      }
+      WFRM_ASSIGN_OR_RETURN(c.steps, ParseStepList(rest, statement));
+      spec.constraints.push_back(std::move(c));
+      continue;
+    }
+    return Status::ParseError("expected Workflow, Task, Bind, Separate or "
+                              "AtMost; got '" +
+                              statement + "'");
+  }
+  // Constraints may be written before the tasks they mention, so
+  // reference checking happens after the whole script is read.
+  for (const WorkflowConstraint& c : spec.constraints) {
+    for (const std::string& step : c.steps) {
+      if (spec.FindStep(step) == WorkflowSpec::kNotFound) {
+        return Status::ParseError("constraint '" + c.ToString() +
+                                  "' references unknown step '" + step + "'");
+      }
+    }
+  }
+  return spec;
+}
+
+}  // namespace wfrm::analysis

@@ -1,0 +1,78 @@
+#ifndef WFRM_ANALYSIS_WORKFLOW_SPEC_H_
+#define WFRM_ANALYSIS_WORKFLOW_SPEC_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace wfrm::analysis {
+
+/// The constraint vocabulary of the workflow satisfiability problem
+/// (Crampton/Gutin): all three are user-independent — whether an
+/// assignment satisfies them depends only on the *pattern* of equal /
+/// distinct resources, never on which concrete resource was picked.
+enum class ConstraintKind {
+  /// Binding of duty: every listed step is staffed by the same resource.
+  kBindingOfDuty,
+  /// Separation of duty: the listed steps get pairwise distinct
+  /// resources.
+  kSeparationOfDuty,
+  /// At most `k` distinct resources staff the listed steps.
+  kAtMostK,
+};
+
+/// One constraint over named workflow steps.
+struct WorkflowConstraint {
+  ConstraintKind kind = ConstraintKind::kBindingOfDuty;
+  std::vector<std::string> steps;
+  /// kAtMostK only.
+  size_t k = 0;
+
+  /// Renders back to the script syntax ("Separate a, b").
+  std::string ToString() const;
+};
+
+/// One activity of the workflow: a named step whose staffing question is
+/// a full RQL query (the "who" the paper's pipeline answers). The query
+/// text is handed to the existing enforcement pipeline verbatim, so
+/// everything RQL can express — Where clauses, fully bound activity
+/// specifications — is available to the analyzer.
+struct WorkflowStep {
+  std::string name;
+  std::string rql;
+};
+
+/// A whole-workflow staffing problem: steps plus binding constraints.
+///
+/// Script syntax — a small extension of the PL/RDL statement style
+/// (';'-separated, keywords case-insensitive, `--` comments):
+///
+///   Workflow <name>;
+///   Task <step>: <rql query>;
+///   Bind <step> {, <step>};            -- binding of duty
+///   Separate <step> {, <step>};        -- separation of duty
+///   AtMost <k> Of <step> {, <step>};   -- cardinality
+struct WorkflowSpec {
+  std::string name;
+  std::vector<WorkflowStep> steps;
+  std::vector<WorkflowConstraint> constraints;
+
+  /// Index of the named step, or npos.
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+  size_t FindStep(const std::string& step_name) const;
+
+  /// Re-renders the spec as a parseable script (repro dumps round-trip
+  /// through this).
+  std::string ToString() const;
+};
+
+/// Parses a workflow script. Validates that step names are unique, every
+/// constraint references declared steps, Bind/Separate/AtMost list at
+/// least two steps, and AtMost's k is >= 1.
+Result<WorkflowSpec> ParseWorkflowSpec(std::string_view text);
+
+}  // namespace wfrm::analysis
+
+#endif  // WFRM_ANALYSIS_WORKFLOW_SPEC_H_

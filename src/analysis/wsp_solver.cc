@@ -1,0 +1,518 @@
+#include "analysis/wsp_solver.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "common/strings.h"
+
+namespace wfrm::analysis {
+
+namespace {
+
+/// Union-find over step indexes (binding-of-duty block construction).
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+/// A binding-of-duty block: steps forced onto one resource, with the
+/// intersection of their candidate sets (cost = sum of member costs per
+/// resource, so valued search accounts for every member's tier).
+struct Block {
+  std::vector<size_t> step_indexes;
+  std::vector<WspCandidate> candidates;  // Sorted by (cost, resource).
+};
+
+/// The lowered instance the search runs on.
+struct Lowered {
+  std::vector<Block> blocks;
+  std::vector<size_t> block_of_step;
+  /// Separation pairs (block a, block b, constraint index).
+  struct SodPair {
+    size_t a, b, constraint;
+  };
+  std::vector<SodPair> sod_pairs;
+  /// Cardinality scopes (distinct blocks, k, constraint index).
+  struct AtMost {
+    std::vector<size_t> blocks;
+    size_t k;
+    size_t constraint;
+  };
+  std::vector<AtMost> atmost;
+};
+
+/// Steps + rendered constraints for a core naming `constraint_indexes`.
+UnsatCore MakeCore(const WorkflowSpec& spec,
+                   const std::vector<size_t>& constraint_indexes,
+                   std::vector<std::string> steps, std::string reason) {
+  UnsatCore core;
+  std::set<std::string> step_set(steps.begin(), steps.end());
+  for (size_t ci : constraint_indexes) {
+    const WorkflowConstraint& c = spec.constraints[ci];
+    core.constraints.push_back(c.ToString());
+    step_set.insert(c.steps.begin(), c.steps.end());
+  }
+  core.steps.assign(step_set.begin(), step_set.end());
+  core.reason = std::move(reason);
+  return core;
+}
+
+/// Lowers spec + candidates under a constraint mask (enabled[i] — the
+/// core minimizer re-lowers with constraints deleted). Returns nullopt
+/// with `core` filled when lowering alone proves unsatisfiability (empty
+/// step set, empty block intersection, separation inside a block).
+std::optional<Lowered> Lower(const WorkflowSpec& spec,
+                             const std::vector<StepCandidates>& candidates,
+                             const std::vector<bool>& enabled,
+                             UnsatCore* core) {
+  const size_t n = spec.steps.size();
+
+  // Steps with no candidates at all are unsatisfiable before any
+  // constraint applies; name the step and the pipeline's reason.
+  for (size_t i = 0; i < n; ++i) {
+    if (candidates[i].candidates.empty()) {
+      std::string reason =
+          "step '" + spec.steps[i].name + "' has no candidate resource";
+      if (!candidates[i].enforcement_status.ok()) {
+        reason += " (" + candidates[i].enforcement_status.ToString() + ")";
+      }
+      *core = MakeCore(spec, {}, {spec.steps[i].name}, std::move(reason));
+      return std::nullopt;
+    }
+  }
+
+  UnionFind uf(n);
+  for (size_t ci = 0; ci < spec.constraints.size(); ++ci) {
+    if (!enabled[ci]) continue;
+    const WorkflowConstraint& c = spec.constraints[ci];
+    if (c.kind != ConstraintKind::kBindingOfDuty) continue;
+    size_t first = spec.FindStep(c.steps[0]);
+    for (const std::string& step : c.steps) {
+      uf.Union(first, spec.FindStep(step));
+    }
+  }
+
+  Lowered lowered;
+  lowered.block_of_step.assign(n, 0);
+  std::map<size_t, size_t> root_to_block;
+  for (size_t i = 0; i < n; ++i) {
+    size_t root = uf.Find(i);
+    auto [it, inserted] = root_to_block.emplace(root, lowered.blocks.size());
+    if (inserted) lowered.blocks.emplace_back();
+    lowered.blocks[it->second].step_indexes.push_back(i);
+    lowered.block_of_step[i] = it->second;
+  }
+
+  /// The BoD constraints that merged `block` (for core naming).
+  auto bod_constraints_of = [&](const Block& block) {
+    std::vector<size_t> out;
+    std::set<size_t> members(block.step_indexes.begin(),
+                             block.step_indexes.end());
+    for (size_t ci = 0; ci < spec.constraints.size(); ++ci) {
+      if (!enabled[ci]) continue;
+      const WorkflowConstraint& c = spec.constraints[ci];
+      if (c.kind != ConstraintKind::kBindingOfDuty) continue;
+      bool touches = false;
+      for (const std::string& step : c.steps) {
+        if (members.count(spec.FindStep(step)) > 0) touches = true;
+      }
+      if (touches) out.push_back(ci);
+    }
+    return out;
+  };
+
+  // Block candidate sets: intersection over members, costs summed.
+  for (Block& block : lowered.blocks) {
+    std::map<org::ResourceRef, int> cost_sum;
+    for (const WspCandidate& c : candidates[block.step_indexes[0]].candidates) {
+      cost_sum[c.resource] = c.cost;
+    }
+    for (size_t m = 1; m < block.step_indexes.size(); ++m) {
+      std::map<org::ResourceRef, int> next;
+      for (const WspCandidate& c :
+           candidates[block.step_indexes[m]].candidates) {
+        auto it = cost_sum.find(c.resource);
+        if (it != cost_sum.end()) next[c.resource] = it->second + c.cost;
+      }
+      cost_sum = std::move(next);
+    }
+    for (const auto& [ref, cost] : cost_sum) {
+      block.candidates.push_back({ref, cost});
+    }
+    std::sort(block.candidates.begin(), block.candidates.end(),
+              [](const WspCandidate& a, const WspCandidate& b) {
+                return a.cost != b.cost ? a.cost < b.cost
+                                        : a.resource < b.resource;
+              });
+    if (block.candidates.empty()) {
+      std::vector<std::string> steps;
+      for (size_t i : block.step_indexes) steps.push_back(spec.steps[i].name);
+      *core = MakeCore(spec, bod_constraints_of(block), steps,
+                       "bound steps " + Join(steps, ", ") +
+                           " share no common candidate resource");
+      return std::nullopt;
+    }
+  }
+
+  for (size_t ci = 0; ci < spec.constraints.size(); ++ci) {
+    if (!enabled[ci]) continue;
+    const WorkflowConstraint& c = spec.constraints[ci];
+    if (c.kind == ConstraintKind::kSeparationOfDuty) {
+      for (size_t x = 0; x < c.steps.size(); ++x) {
+        for (size_t y = x + 1; y < c.steps.size(); ++y) {
+          size_t a = lowered.block_of_step[spec.FindStep(c.steps[x])];
+          size_t b = lowered.block_of_step[spec.FindStep(c.steps[y])];
+          if (a == b) {
+            std::vector<size_t> culprit =
+                bod_constraints_of(lowered.blocks[a]);
+            culprit.push_back(ci);
+            *core = MakeCore(spec, culprit, {},
+                             "steps '" + c.steps[x] + "' and '" + c.steps[y] +
+                                 "' must be separated but are bound to the "
+                                 "same resource");
+            return std::nullopt;
+          }
+          lowered.sod_pairs.push_back({a, b, ci});
+        }
+      }
+    } else if (c.kind == ConstraintKind::kAtMostK) {
+      Lowered::AtMost scope;
+      std::set<size_t> blocks;
+      for (const std::string& step : c.steps) {
+        blocks.insert(lowered.block_of_step[spec.FindStep(step)]);
+      }
+      scope.blocks.assign(blocks.begin(), blocks.end());
+      scope.k = c.k;
+      scope.constraint = ci;
+      lowered.atmost.push_back(std::move(scope));
+    }
+  }
+  return lowered;
+}
+
+/// The DFS over blocks. Returns kOk with `found` false/true, or an error
+/// when the node budget is exhausted.
+class Search {
+ public:
+  Search(const Lowered& lowered, const SolveOptions& options,
+         SolveStats* stats)
+      : lowered_(lowered), options_(options), stats_(stats) {
+    // Fail-first: fewest candidates earliest (stable, so deterministic).
+    order_.resize(lowered.blocks.size());
+    std::iota(order_.begin(), order_.end(), size_t{0});
+    std::stable_sort(order_.begin(), order_.end(), [&](size_t a, size_t b) {
+      return lowered.blocks[a].candidates.size() <
+             lowered.blocks[b].candidates.size();
+    });
+    chosen_.assign(lowered.blocks.size(), nullptr);
+    // Per-block minimum candidate cost, for the valued lower bound.
+    min_cost_.resize(lowered.blocks.size());
+    for (size_t b = 0; b < lowered.blocks.size(); ++b) {
+      min_cost_[b] = lowered.blocks[b].candidates.front().cost;
+    }
+  }
+
+  /// Runs the search; fills best_* when a witness exists.
+  Status Run() {
+    remaining_min_cost_.assign(order_.size() + 1, 0);
+    for (size_t d = order_.size(); d-- > 0;) {
+      remaining_min_cost_[d] =
+          remaining_min_cost_[d + 1] + min_cost_[order_[d]];
+    }
+    return Dfs(0, 0);
+  }
+
+  bool found() const { return found_; }
+  int64_t best_cost() const { return best_cost_; }
+  /// The chosen candidate per block (valid when found()).
+  const std::vector<const WspCandidate*>& best() const { return best_; }
+
+ private:
+  Status Dfs(size_t depth, int64_t cost_so_far) {
+    if (found_ && !options_.valued) return Status::OK();
+    if (depth == order_.size()) {
+      if (!found_ || cost_so_far < best_cost_) {
+        found_ = true;
+        best_cost_ = cost_so_far;
+        best_ = chosen_;
+      }
+      return Status::OK();
+    }
+    // Valued lower bound: even staffing every remaining block with its
+    // cheapest candidate cannot beat the incumbent. `>=` keeps the
+    // first-found witness on ties — the deterministic tie-break.
+    if (options_.valued && found_ &&
+        cost_so_far + remaining_min_cost_[depth] >= best_cost_) {
+      return Status::OK();
+    }
+    size_t block_index = order_[depth];
+    bool any_child = false;
+    for (const WspCandidate& candidate :
+         lowered_.blocks[block_index].candidates) {
+      if (++stats_->nodes > options_.max_nodes) {
+        return Status::ExecutionError(
+            "WSP search budget exhausted after " +
+            std::to_string(stats_->nodes) + " nodes");
+      }
+      chosen_[block_index] = &candidate;
+      if (Consistent(block_index)) {
+        any_child = true;
+        WFRM_RETURN_NOT_OK(Dfs(depth + 1, cost_so_far + candidate.cost));
+        if (found_ && !options_.valued) return Status::OK();
+      }
+      chosen_[block_index] = nullptr;
+    }
+    if (!any_child) ++stats_->backtracks;
+    return Status::OK();
+  }
+
+  /// Checks every separation pair and cardinality scope touching
+  /// `block_index` against the currently assigned blocks.
+  bool Consistent(size_t block_index) const {
+    for (const Lowered::SodPair& pair : lowered_.sod_pairs) {
+      if (pair.a != block_index && pair.b != block_index) continue;
+      const WspCandidate* a = chosen_[pair.a];
+      const WspCandidate* b = chosen_[pair.b];
+      if (a != nullptr && b != nullptr && a->resource == b->resource) {
+        return false;
+      }
+    }
+    for (const Lowered::AtMost& scope : lowered_.atmost) {
+      bool touches = false;
+      for (size_t b : scope.blocks) touches |= b == block_index;
+      if (!touches) continue;
+      std::set<org::ResourceRef> distinct;
+      for (size_t b : scope.blocks) {
+        if (chosen_[b] != nullptr) distinct.insert(chosen_[b]->resource);
+      }
+      // Assigned blocks alone already exceed k: no completion fixes it
+      // (unassigned blocks can only add resources, never remove).
+      if (distinct.size() > scope.k) return false;
+    }
+    return true;
+  }
+
+  const Lowered& lowered_;
+  const SolveOptions& options_;
+  SolveStats* stats_;
+  std::vector<size_t> order_;
+  std::vector<int64_t> min_cost_;
+  std::vector<int64_t> remaining_min_cost_;
+  std::vector<const WspCandidate*> chosen_;
+  bool found_ = false;
+  int64_t best_cost_ = 0;
+  std::vector<const WspCandidate*> best_;
+};
+
+/// One full solve under a constraint mask.
+Result<SolveResult> SolveMasked(const WorkflowSpec& spec,
+                                const std::vector<StepCandidates>& candidates,
+                                const std::vector<bool>& enabled,
+                                const SolveOptions& options) {
+  SolveResult result;
+  if (spec.steps.empty()) {
+    // The empty workflow is vacuously satisfiable.
+    result.satisfiable = true;
+    return result;
+  }
+  UnsatCore core;
+  std::optional<Lowered> lowered = Lower(spec, candidates, enabled, &core);
+  if (!lowered.has_value()) {
+    result.satisfiable = false;
+    result.core = std::move(core);
+    return result;
+  }
+  Search search(*lowered, options, &result.stats);
+  WFRM_RETURN_NOT_OK(search.Run());
+  if (!search.found()) {
+    result.satisfiable = false;
+    std::vector<size_t> active;
+    for (size_t ci = 0; ci < enabled.size(); ++ci) {
+      if (enabled[ci]) active.push_back(ci);
+    }
+    result.core = MakeCore(spec, active, {},
+                           "no assignment satisfies the constraints");
+    return result;
+  }
+  result.satisfiable = true;
+  result.total_cost = search.best_cost();
+  result.witness.resize(spec.steps.size());
+  for (size_t b = 0; b < lowered->blocks.size(); ++b) {
+    const WspCandidate* choice = search.best()[b];
+    for (size_t step_index : lowered->blocks[b].step_indexes) {
+      // Per-step cost: the step's own tier for this resource (the block
+      // cost is the sum of these).
+      int step_cost = 0;
+      for (const WspCandidate& c : candidates[step_index].candidates) {
+        if (c.resource == choice->resource) step_cost = c.cost;
+      }
+      result.witness[step_index] = {spec.steps[step_index].name,
+                                    choice->resource, step_cost};
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+void StepCandidates::Normalize() {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const WspCandidate& a, const WspCandidate& b) {
+              return a.cost != b.cost ? a.cost < b.cost
+                                      : a.resource < b.resource;
+            });
+  std::set<org::ResourceRef> seen;
+  std::vector<WspCandidate> unique;
+  for (WspCandidate& c : candidates) {
+    if (seen.insert(c.resource).second) unique.push_back(std::move(c));
+  }
+  candidates = std::move(unique);
+}
+
+bool StepCandidates::Contains(const org::ResourceRef& ref) const {
+  for (const WspCandidate& c : candidates) {
+    if (c.resource == ref) return true;
+  }
+  return false;
+}
+
+std::string UnsatCore::ToString() const {
+  std::string out = "UNSATISFIABLE: " + reason + "\n";
+  if (!steps.empty()) {
+    out += "  steps involved: " + Join(steps, ", ") + "\n";
+  }
+  for (const std::string& c : constraints) {
+    out += "  constraint: " + c + "\n";
+  }
+  return out;
+}
+
+Result<SolveResult> SolveWsp(const WorkflowSpec& spec,
+                             const std::vector<StepCandidates>& candidates,
+                             const SolveOptions& options) {
+  if (candidates.size() != spec.steps.size()) {
+    return Status::InvalidArgument(
+        "candidate sets (" + std::to_string(candidates.size()) +
+        ") do not align with workflow steps (" +
+        std::to_string(spec.steps.size()) + ")");
+  }
+  std::vector<bool> enabled(spec.constraints.size(), true);
+  WFRM_ASSIGN_OR_RETURN(SolveResult result,
+                        SolveMasked(spec, candidates, enabled, options));
+  if (result.satisfiable || !options.minimize_core) return result;
+
+  // Deletion-based core minimization: drop each constraint in turn; if
+  // the instance stays UNSAT without it, it is not needed in the core.
+  // What survives is subset-minimal with respect to this order, which is
+  // exactly the "named core" the report promises.
+  SolveStats accumulated = result.stats;
+  for (size_t ci = 0; ci < enabled.size(); ++ci) {
+    if (!enabled[ci]) continue;
+    enabled[ci] = false;
+    WFRM_ASSIGN_OR_RETURN(SolveResult probe,
+                          SolveMasked(spec, candidates, enabled, options));
+    accumulated.nodes += probe.stats.nodes;
+    accumulated.backtracks += probe.stats.backtracks;
+    if (probe.satisfiable) {
+      enabled[ci] = true;  // Needed: removing it flips to SAT.
+    } else {
+      result.core = std::move(probe.core);
+    }
+  }
+  result.stats = accumulated;
+  return result;
+}
+
+Result<std::optional<std::vector<WspAssignment>>> BruteForceWitness(
+    const WorkflowSpec& spec, const std::vector<StepCandidates>& candidates,
+    uint64_t max_assignments) {
+  if (candidates.size() != spec.steps.size()) {
+    return Status::InvalidArgument("candidate sets do not align with steps");
+  }
+  const size_t n = spec.steps.size();
+  if (n == 0) {
+    return std::optional<std::vector<WspAssignment>>(
+        std::in_place);  // vacuously satisfiable: the empty witness
+  }
+  uint64_t product = 1;
+  for (const StepCandidates& sc : candidates) {
+    if (sc.candidates.empty()) {
+      return std::optional<std::vector<WspAssignment>>{std::nullopt};
+    }
+    product *= sc.candidates.size();
+    if (product > max_assignments) {
+      return Status::ExecutionError(
+          "instance too large to brute-force (> " +
+          std::to_string(max_assignments) + " assignments)");
+    }
+  }
+
+  /// Direct constraint check on a complete assignment — no blocks, no
+  /// pruning, independent of the solver's machinery by design.
+  auto satisfied = [&](const std::vector<size_t>& pick) {
+    for (const WorkflowConstraint& c : spec.constraints) {
+      std::vector<const org::ResourceRef*> refs;
+      for (const std::string& step : c.steps) {
+        size_t i = spec.FindStep(step);
+        refs.push_back(&candidates[i].candidates[pick[i]].resource);
+      }
+      switch (c.kind) {
+        case ConstraintKind::kBindingOfDuty:
+          for (size_t i = 1; i < refs.size(); ++i) {
+            if (!(*refs[i] == *refs[0])) return false;
+          }
+          break;
+        case ConstraintKind::kSeparationOfDuty:
+          for (size_t i = 0; i < refs.size(); ++i) {
+            for (size_t j = i + 1; j < refs.size(); ++j) {
+              if (*refs[i] == *refs[j]) return false;
+            }
+          }
+          break;
+        case ConstraintKind::kAtMostK: {
+          std::set<org::ResourceRef> distinct;
+          for (const org::ResourceRef* r : refs) distinct.insert(*r);
+          if (distinct.size() > c.k) return false;
+          break;
+        }
+      }
+    }
+    return true;
+  };
+
+  std::vector<size_t> pick(n, 0);
+  while (true) {
+    if (satisfied(pick)) {
+      std::vector<WspAssignment> witness;
+      for (size_t i = 0; i < n; ++i) {
+        const WspCandidate& c = candidates[i].candidates[pick[i]];
+        witness.push_back({spec.steps[i].name, c.resource, c.cost});
+      }
+      return std::optional<std::vector<WspAssignment>>{std::move(witness)};
+    }
+    // Odometer increment.
+    size_t i = 0;
+    while (i < n && ++pick[i] == candidates[i].candidates.size()) {
+      pick[i] = 0;
+      ++i;
+    }
+    if (i == n) return std::optional<std::vector<WspAssignment>>{std::nullopt};
+  }
+}
+
+}  // namespace wfrm::analysis

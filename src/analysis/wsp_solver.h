@@ -1,0 +1,120 @@
+#ifndef WFRM_ANALYSIS_WSP_SOLVER_H_
+#define WFRM_ANALYSIS_WSP_SOLVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/workflow_spec.h"
+#include "common/result.h"
+#include "org/org_model.h"
+
+namespace wfrm::analysis {
+
+/// One resource a step may be staffed with, with the substitution cost
+/// the enforcement pipeline attached to it: 0 for a resource the primary
+/// (qualification + requirement) rewriting offers, 1 for one reachable
+/// only through a §4.3 substitution alternative.
+struct WspCandidate {
+  org::ResourceRef resource;
+  int cost = 0;
+};
+
+/// The candidate set of one workflow step, derived through the
+/// enforcement pipeline (WorkflowAnalyzer::DeriveCandidates) or built by
+/// hand in tests. Candidates are kept sorted by (cost, resource) and
+/// deduplicated by resource (cheapest tier wins), so search order — and
+/// therefore valued-WSP tie-breaking — is deterministic.
+struct StepCandidates {
+  std::string step;
+  std::vector<WspCandidate> candidates;
+  /// Why the set is empty when it is (kNoQualifiedResource under the
+  /// CWA, kResourceUnavailable, ...). OK for non-empty sets.
+  Status enforcement_status;
+
+  /// Sorts by (cost, resource) and drops duplicate resources, keeping
+  /// the cheapest tier of each.
+  void Normalize();
+  bool Contains(const org::ResourceRef& ref) const;
+};
+
+/// One step's staffing in a witness.
+struct WspAssignment {
+  std::string step;
+  org::ResourceRef resource;
+  int cost = 0;
+};
+
+/// A named explanation of unsatisfiability: the minimal constraint set
+/// that cannot be met together (deletion-minimized, so every listed
+/// constraint is necessary) plus the steps involved.
+struct UnsatCore {
+  std::vector<std::string> steps;
+  /// Rendered constraints (WorkflowConstraint::ToString).
+  std::vector<std::string> constraints;
+  std::string reason;
+
+  std::string ToString() const;
+};
+
+struct SolveStats {
+  /// Candidate trials performed by the search.
+  size_t nodes = 0;
+  size_t backtracks = 0;
+};
+
+struct SolveResult {
+  bool satisfiable = false;
+  /// When satisfiable: one assignment per step, in spec order. Valued
+  /// mode returns the minimum-cost witness; ties break toward the
+  /// lexicographically first assignment under the deterministic search
+  /// order, so repeated solves agree.
+  std::vector<WspAssignment> witness;
+  int64_t total_cost = 0;
+  /// When unsatisfiable.
+  UnsatCore core;
+  SolveStats stats;
+};
+
+struct SolveOptions {
+  /// false: stop at the first satisfying assignment. true: valued WSP —
+  /// branch-and-bound over total substitution cost.
+  bool valued = false;
+  /// Abort with an error when the search tries more candidates than
+  /// this (malformed or adversarial instances; the analyzer surfaces the
+  /// error rather than hanging).
+  size_t max_nodes = 1 << 22;
+  /// Deletion-minimize the UNSAT core (re-solves with constraint
+  /// subsets; disable for bulk resiliency sweeps where only the verdict
+  /// matters).
+  bool minimize_core = true;
+};
+
+/// Decides workflow satisfiability over the given candidate sets:
+/// binding-of-duty constraints are collapsed into blocks (intersecting
+/// member candidate sets), then the search assigns blocks in a
+/// fewest-candidates-first order with forward checks on the
+/// user-independent separation/cardinality constraints — the
+/// pattern-based pruning of Crampton/Gutin, where only the equal/distinct
+/// shape of a partial assignment matters.
+///
+/// `candidates[i]` must describe `spec.steps[i]`.
+Result<SolveResult> SolveWsp(const WorkflowSpec& spec,
+                             const std::vector<StepCandidates>& candidates,
+                             const SolveOptions& options = {});
+
+/// Deliberately naive enumerator for the differential harness: walks the
+/// full cartesian product of the candidate sets and checks every
+/// constraint directly per complete assignment — no blocks, no
+/// propagation, no shared code with SolveWsp. Returns the first witness
+/// found, nullopt when none exists, or an error when the product exceeds
+/// `max_assignments` (the instance is too big to brute-force).
+Result<std::optional<std::vector<WspAssignment>>> BruteForceWitness(
+    const WorkflowSpec& spec, const std::vector<StepCandidates>& candidates,
+    uint64_t max_assignments = 1 << 20);
+
+}  // namespace wfrm::analysis
+
+#endif  // WFRM_ANALYSIS_WSP_SOLVER_H_

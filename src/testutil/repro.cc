@@ -1,0 +1,29 @@
+#include "testutil/repro.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+namespace wfrm::testutil {
+
+std::string ReproDir() {
+  const char* dir = std::getenv("WFRM_REPRO_DIR");
+  if (dir == nullptr || dir[0] == '\0') return "";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return ec ? "" : std::string(dir);
+}
+
+Status WriteRepro(const std::string& name, const std::string& content) {
+  std::string dir = ReproDir();
+  if (dir.empty()) return Status::OK();
+  std::string path = dir + "/" + name;
+  std::ofstream stream(path, std::ios::trunc);
+  stream << content;
+  if (!stream.good()) {
+    return Status::ExecutionError("cannot write repro file " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace wfrm::testutil

@@ -1,0 +1,25 @@
+#ifndef WFRM_TESTUTIL_REPRO_H_
+#define WFRM_TESTUTIL_REPRO_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace wfrm::testutil {
+
+/// Failure-repro drop box shared by the seeded CI suites (differential
+/// fuzzer, replication/shard chaos): when the WFRM_REPRO_DIR environment
+/// variable is set, failing cases write their generating artifacts there
+/// and CI uploads the directory; unset, dumping is a no-op.
+
+/// The configured repro directory (created on first use), or "" when
+/// WFRM_REPRO_DIR is unset.
+std::string ReproDir();
+
+/// Writes `<ReproDir()>/<name>` with `content`. OK-and-no-op when
+/// dumping is disabled.
+Status WriteRepro(const std::string& name, const std::string& content);
+
+}  // namespace wfrm::testutil
+
+#endif  // WFRM_TESTUTIL_REPRO_H_

@@ -1,0 +1,200 @@
+#include "analysis/workflow_analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "analysis/workflow_spec.h"
+#include "testutil/paper_org.h"
+
+namespace wfrm::analysis {
+namespace {
+
+constexpr char kStaffingQuery[] =
+    "Select Id From Engineer Where Location = 'PA' For Programming "
+    "With NumberOfLines = 20000 And Location = 'PA'";
+
+/// Two-person review over the paper world: primaries are bob and pam
+/// (PA programmers with Experience > 5); the Figure 9 substitution
+/// policy adds quinn (Cupertino) as the cost-1 substitute.
+std::string ReviewScript(size_t tasks) {
+  std::string script = "Workflow Review;\n";
+  std::string names;
+  for (size_t i = 0; i < tasks; ++i) {
+    std::string name = "t";
+    name += std::to_string(i);
+    script += "Task " + name + ": " + kStaffingQuery + ";\n";
+    if (i > 0) names += ", ";
+    names += name;
+  }
+  script += "Separate " + names + ";\n";
+  return script;
+}
+
+class WorkflowAnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto world = testutil::BuildPaperWorld();
+    ASSERT_TRUE(world.ok()) << world.status().ToString();
+    org_ = std::move(world->org);
+    store_ = std::move(world->store);
+    rm_ = std::make_unique<core::ResourceManager>(org_.get(), store_.get());
+  }
+
+  AnalysisReport Analyze(const std::string& script, AnalysisOptions options) {
+    auto spec = ParseWorkflowSpec(script);
+    EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+    WorkflowAnalyzer analyzer(rm_.get(), options);
+    auto report = analyzer.Analyze(*spec);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return std::move(*report);
+  }
+
+  std::unique_ptr<org::OrgModel> org_;
+  std::unique_ptr<policy::PolicyStore> store_;
+  std::unique_ptr<core::ResourceManager> rm_;
+};
+
+TEST_F(WorkflowAnalyzerTest, DerivesPrimariesAndSubstitutionTier) {
+  AnalysisReport report = Analyze(ReviewScript(2), {});
+  ASSERT_EQ(report.candidates.size(), 2u);
+  const StepCandidates& step = report.candidates[0];
+  ASSERT_EQ(step.candidates.size(), 3u);
+  EXPECT_EQ(step.candidates[0].resource.ToString(), "Programmer:bob");
+  EXPECT_EQ(step.candidates[0].cost, 0);
+  EXPECT_EQ(step.candidates[1].resource.ToString(), "Programmer:pam");
+  EXPECT_EQ(step.candidates[1].cost, 0);
+  EXPECT_EQ(step.candidates[2].resource.ToString(), "Programmer:quinn");
+  EXPECT_EQ(step.candidates[2].cost, 1);
+
+  // The temporary leases used to coax out the substitution tier are
+  // gone: nothing stays allocated.
+  EXPECT_EQ(rm_->num_allocated(), 0u);
+}
+
+TEST_F(WorkflowAnalyzerTest, TwoPersonReviewIsSatisfiableAtCostZero) {
+  AnalysisOptions options;
+  options.valued = true;
+  AnalysisReport report = Analyze(ReviewScript(2), options);
+  ASSERT_TRUE(report.solve.satisfiable);
+  EXPECT_EQ(report.solve.total_cost, 0);
+  EXPECT_FALSE(report.solve.witness[0].resource ==
+               report.solve.witness[1].resource);
+}
+
+TEST_F(WorkflowAnalyzerTest, ThirdSeparatedStepForcesSubstitution) {
+  AnalysisOptions options;
+  options.valued = true;
+  AnalysisReport report = Analyze(ReviewScript(3), options);
+  ASSERT_TRUE(report.solve.satisfiable);
+  // bob + pam + the Cupertino substitute: exactly one substitution.
+  EXPECT_EQ(report.solve.total_cost, 1);
+  size_t substitutes = 0;
+  for (const WspAssignment& a : report.solve.witness) {
+    if (a.cost > 0) {
+      ++substitutes;
+      EXPECT_EQ(a.resource.ToString(), "Programmer:quinn");
+    }
+  }
+  EXPECT_EQ(substitutes, 1u);
+}
+
+TEST_F(WorkflowAnalyzerTest, UnqualifiedActivityYieldsNamedCore) {
+  AnalysisReport report = Analyze(
+      "Workflow Bad;\n"
+      "Task staff: Select Id From Secretary For Programming "
+      "With NumberOfLines = 20000 And Location = 'PA';\n"
+      "Task ok: " +
+          std::string(kStaffingQuery) + ";\n",
+      {});
+  ASSERT_FALSE(report.solve.satisfiable);
+  EXPECT_EQ(report.solve.core.steps, std::vector<std::string>{"staff"});
+  EXPECT_NE(report.solve.core.reason.find("no qualified resource"),
+            std::string::npos)
+      << report.solve.core.reason;
+  EXPECT_NE(report.ToString().find("UNSATISFIABLE"), std::string::npos);
+}
+
+TEST_F(WorkflowAnalyzerTest, ZeroResiliencyEqualsPlainSatisfiability) {
+  AnalysisReport sat = Analyze(ReviewScript(2), {});
+  EXPECT_TRUE(sat.resiliency.checked);
+  EXPECT_EQ(sat.resiliency.k, 0u);
+  EXPECT_TRUE(sat.resiliency.resilient);
+  EXPECT_EQ(sat.resiliency.subsets_checked, 0u);
+
+  // Four pairwise-separated steps over three candidates: UNSAT, and
+  // k=0 resiliency mirrors that verdict with no subset sweeps.
+  AnalysisReport unsat = Analyze(ReviewScript(4), {});
+  EXPECT_FALSE(unsat.solve.satisfiable);
+  EXPECT_FALSE(unsat.resiliency.resilient);
+  EXPECT_EQ(unsat.resiliency.subsets_checked, 0u);
+}
+
+TEST_F(WorkflowAnalyzerTest, OneResiliencyHoldsForTwoStepsNotThree) {
+  AnalysisOptions options;
+  options.resiliency_k = 1;
+  AnalysisReport two = Analyze(ReviewScript(2), options);
+  ASSERT_TRUE(two.solve.satisfiable);
+  EXPECT_TRUE(two.resiliency.resilient);
+  EXPECT_EQ(two.resiliency.universe_size, 3u);
+  EXPECT_EQ(two.resiliency.subsets_checked, 3u);
+  EXPECT_FALSE(two.resiliency.sampled);
+
+  // Three separated steps consume all three candidates: losing any one
+  // resource breaks the workflow.
+  AnalysisReport three = Analyze(ReviewScript(3), options);
+  ASSERT_TRUE(three.solve.satisfiable);
+  EXPECT_FALSE(three.resiliency.resilient);
+  ASSERT_EQ(three.resiliency.failing_subset.size(), 1u);
+  EXPECT_NE(three.ToString().find("NOT resilient"), std::string::npos);
+}
+
+TEST_F(WorkflowAnalyzerTest, SampledResiliencyStaysWithinBudget) {
+  AnalysisOptions options;
+  options.resiliency_k = 2;
+  options.max_resiliency_subsets = 2;  // C(3,2) = 3 > 2 forces sampling
+  AnalysisReport report = Analyze(ReviewScript(2), options);
+  EXPECT_TRUE(report.resiliency.sampled);
+  EXPECT_LE(report.resiliency.subsets_checked, 2u);
+}
+
+TEST_F(WorkflowAnalyzerTest, EmitsMetricsAndTrace) {
+  obs::MetricsRegistry metrics;
+  obs::TraceSink sink;
+  AnalysisOptions options;
+  options.resiliency_k = 1;
+  options.metrics = &metrics;
+  options.trace_sink = &sink;
+  Analyze(ReviewScript(2), options);
+
+  std::string prom = metrics.RenderPrometheus();
+  EXPECT_NE(prom.find("wfrm_analysis_solves_total"), std::string::npos);
+  EXPECT_NE(prom.find("wfrm_analysis_search_nodes_total"),
+            std::string::npos);
+  EXPECT_NE(prom.find("wfrm_analysis_resiliency_subsets_total"),
+            std::string::npos);
+  EXPECT_NE(prom.find("wfrm_analysis_solve_micros"), std::string::npos);
+
+  auto traces = sink.Drain();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0]->query_text(), "analyze Review");
+  EXPECT_NE(traces[0]->root()->Find("candidates"), nullptr);
+  EXPECT_NE(traces[0]->root()->Find("solve"), nullptr);
+  EXPECT_NE(traces[0]->root()->Find("resiliency"), nullptr);
+}
+
+TEST_F(WorkflowAnalyzerTest, ReportRendersWitnessAndCandidates) {
+  AnalysisOptions options;
+  options.valued = true;
+  AnalysisReport report = Analyze(ReviewScript(3), options);
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("Workflow analysis: Review"), std::string::npos);
+  EXPECT_NE(text.find("SATISFIABLE"), std::string::npos);
+  EXPECT_NE(text.find("Programmer:quinn (substitute, cost 1)"),
+            std::string::npos)
+      << text;
+}
+
+}  // namespace
+}  // namespace wfrm::analysis

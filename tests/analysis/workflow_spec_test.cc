@@ -1,0 +1,104 @@
+#include "analysis/workflow_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace wfrm::analysis {
+namespace {
+
+constexpr char kReview[] = R"(
+  -- two-person review over the paper's demo world
+  Workflow Review;
+  Task implement: Select Id From Programmer For Programming
+    With NumberOfLines = 20000 And Location = 'PA';
+  Task review: Select Id From Engineer For Programming
+    With NumberOfLines = 20000 And Location = 'PA';
+  Separate implement, review;
+)";
+
+TEST(WorkflowSpecTest, ParsesTasksAndConstraints) {
+  auto spec = ParseWorkflowSpec(kReview);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->name, "Review");
+  ASSERT_EQ(spec->steps.size(), 2u);
+  EXPECT_EQ(spec->steps[0].name, "implement");
+  EXPECT_NE(spec->steps[0].rql.find("From Programmer"), std::string::npos);
+  ASSERT_EQ(spec->constraints.size(), 1u);
+  EXPECT_EQ(spec->constraints[0].kind, ConstraintKind::kSeparationOfDuty);
+  EXPECT_EQ(spec->constraints[0].steps,
+            (std::vector<std::string>{"implement", "review"}));
+}
+
+TEST(WorkflowSpecTest, RoundTripsThroughToString) {
+  auto spec = ParseWorkflowSpec(kReview);
+  ASSERT_TRUE(spec.ok());
+  auto again = ParseWorkflowSpec(spec->ToString());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->ToString(), spec->ToString());
+}
+
+TEST(WorkflowSpecTest, KeywordsAreCaseInsensitive) {
+  auto spec = ParseWorkflowSpec(
+      "WORKFLOW w; TASK a: q1; task b: q2; ATMOST 1 OF a, b; bind a, b");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->constraints.size(), 2u);
+  EXPECT_EQ(spec->constraints[0].kind, ConstraintKind::kAtMostK);
+  EXPECT_EQ(spec->constraints[0].k, 1u);
+  EXPECT_EQ(spec->constraints[1].kind, ConstraintKind::kBindingOfDuty);
+}
+
+TEST(WorkflowSpecTest, FindStepIsCaseInsensitive) {
+  auto spec = ParseWorkflowSpec("Task Alpha: q");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->FindStep("alpha"), 0u);
+  EXPECT_EQ(spec->FindStep("beta"), WorkflowSpec::kNotFound);
+}
+
+TEST(WorkflowSpecTest, RejectsDuplicateTaskNames) {
+  auto spec = ParseWorkflowSpec("Task a: q1; Task a: q2");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_TRUE(spec.status().IsParseError());
+  EXPECT_NE(spec.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(WorkflowSpecTest, RejectsConstraintOnUnknownStep) {
+  auto spec = ParseWorkflowSpec("Task a: q; Task b: q; Separate a, c");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("unknown step 'c'"),
+            std::string::npos);
+}
+
+TEST(WorkflowSpecTest, ConstraintMayPrecedeItsTasks) {
+  auto spec = ParseWorkflowSpec("Bind a, b; Task a: q; Task b: q");
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+}
+
+TEST(WorkflowSpecTest, RejectsSingletonConstraint) {
+  auto spec = ParseWorkflowSpec("Task a: q; Separate a");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("fewer than two"),
+            std::string::npos);
+}
+
+TEST(WorkflowSpecTest, RejectsAtMostZero) {
+  auto spec = ParseWorkflowSpec("Task a: q; Task b: q; AtMost 0 Of a, b");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("count >= 1"), std::string::npos);
+}
+
+TEST(WorkflowSpecTest, RejectsTaskWithoutColonOrQuery) {
+  EXPECT_FALSE(ParseWorkflowSpec("Task a Select Id From X").ok());
+  EXPECT_FALSE(ParseWorkflowSpec("Task a:").ok());
+  EXPECT_FALSE(ParseWorkflowSpec("Frobnicate a, b").ok());
+}
+
+TEST(WorkflowSpecTest, CommentsAndQuotedSemicolonsSurvive) {
+  auto spec = ParseWorkflowSpec(
+      "Task a: Select Id From R Where Region = 'x;y' For A With S = 1 "
+      "-- trailing; comment\n; Task b: q");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->steps.size(), 2u);
+  EXPECT_NE(spec->steps[0].rql.find("'x;y'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wfrm::analysis

@@ -1,0 +1,221 @@
+#include "analysis/wsp_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/workflow_spec.h"
+
+namespace wfrm::analysis {
+namespace {
+
+WspCandidate C(const std::string& id, int cost = 0) {
+  return {{"Staff", id}, cost};
+}
+
+StepCandidates SC(const std::string& step,
+                  std::vector<WspCandidate> candidates) {
+  StepCandidates out;
+  out.step = step;
+  out.candidates = std::move(candidates);
+  out.Normalize();
+  return out;
+}
+
+WorkflowSpec Spec(const std::string& script) {
+  auto spec = ParseWorkflowSpec(script);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  return std::move(*spec);
+}
+
+TEST(WspSolverTest, EmptyWorkflowIsVacuouslySatisfiable) {
+  auto result = SolveWsp(WorkflowSpec{}, {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->satisfiable);
+  EXPECT_TRUE(result->witness.empty());
+  EXPECT_EQ(result->total_cost, 0);
+
+  auto brute = BruteForceWitness(WorkflowSpec{}, {});
+  ASSERT_TRUE(brute.ok());
+  ASSERT_TRUE(brute->has_value());
+  EXPECT_TRUE((*brute)->empty());
+}
+
+TEST(WspSolverTest, ZeroCandidateStepIsNamedInCore) {
+  WorkflowSpec spec = Spec("Task a: q; Task b: q");
+  StepCandidates empty = SC("b", {});
+  empty.enforcement_status =
+      Status::NoQualifiedResource("no type qualifies for the activity");
+  auto result = SolveWsp(spec, {SC("a", {C("x")}), empty});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->satisfiable);
+  EXPECT_EQ(result->core.steps, std::vector<std::string>{"b"});
+  EXPECT_NE(result->core.reason.find("'b' has no candidate resource"),
+            std::string::npos);
+  EXPECT_NE(result->core.reason.find("no qualified resource"),
+            std::string::npos)
+      << result->core.reason;
+}
+
+TEST(WspSolverTest, BindingOfDutyIntersectsCandidates) {
+  WorkflowSpec spec = Spec("Task a: q; Task b: q; Bind a, b");
+  auto result =
+      SolveWsp(spec, {SC("a", {C("x"), C("y")}), SC("b", {C("y"), C("z")})});
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->satisfiable);
+  EXPECT_EQ(result->witness[0].resource.id, "y");
+  EXPECT_EQ(result->witness[1].resource.id, "y");
+}
+
+TEST(WspSolverTest, DisjointBindingYieldsCoreWithBothSteps) {
+  WorkflowSpec spec = Spec("Task a: q; Task b: q; Bind a, b");
+  auto result = SolveWsp(spec, {SC("a", {C("x")}), SC("b", {C("z")})});
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->satisfiable);
+  EXPECT_EQ(result->core.steps, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(result->core.constraints.size(), 1u);
+  EXPECT_EQ(result->core.constraints[0], "Bind a, b");
+}
+
+TEST(WspSolverTest, SeparationWithSingleSharedCandidateIsUnsat) {
+  WorkflowSpec spec = Spec("Task a: q; Task b: q; Separate a, b");
+  auto result = SolveWsp(spec, {SC("a", {C("x")}), SC("b", {C("x")})});
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->satisfiable);
+  ASSERT_EQ(result->core.constraints.size(), 1u);
+  EXPECT_EQ(result->core.constraints[0], "Separate a, b");
+}
+
+TEST(WspSolverTest, BindAndSeparateOnSameStepsConflict) {
+  WorkflowSpec spec = Spec("Task a: q; Task b: q; Bind a, b; Separate a, b");
+  auto result =
+      SolveWsp(spec, {SC("a", {C("x"), C("y")}), SC("b", {C("x"), C("y")})});
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->satisfiable);
+  // Both constraints are necessary: dropping either flips to SAT.
+  EXPECT_EQ(result->core.constraints.size(), 2u);
+}
+
+TEST(WspSolverTest, CoreIsDeletionMinimal) {
+  // The AtMost is redundant (k=2 over two steps is vacuous); only the
+  // Bind over disjoint sets matters, and minimization must drop the rest.
+  WorkflowSpec spec = Spec(
+      "Task a: q; Task b: q; Task c: q; "
+      "Bind a, b; AtMost 2 Of a, b; Separate a, c");
+  auto result = SolveWsp(spec, {SC("a", {C("x")}), SC("b", {C("z")}),
+                                SC("c", {C("w")})});
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->satisfiable);
+  ASSERT_EQ(result->core.constraints.size(), 1u);
+  EXPECT_EQ(result->core.constraints[0], "Bind a, b");
+}
+
+TEST(WspSolverTest, AtMostLimitsDistinctResources) {
+  WorkflowSpec spec =
+      Spec("Task a: q; Task b: q; Task c: q; AtMost 2 Of a, b, c");
+  std::vector<StepCandidates> candidates = {
+      SC("a", {C("x")}), SC("b", {C("y")}), SC("c", {C("x"), C("y")})};
+  auto result = SolveWsp(spec, candidates);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->satisfiable);
+
+  // Tightening to 1 distinct resource is impossible: a and b diverge.
+  WorkflowSpec tight =
+      Spec("Task a: q; Task b: q; Task c: q; AtMost 1 Of a, b, c");
+  auto unsat = SolveWsp(tight, candidates);
+  ASSERT_TRUE(unsat.ok());
+  EXPECT_FALSE(unsat->satisfiable);
+}
+
+TEST(WspSolverTest, SeparationForcesSubstitutionTier) {
+  // Both steps' only primary is x; separation forces the cost-1
+  // substitute onto one of them, and valued mode reports that cost.
+  WorkflowSpec spec = Spec("Task a: q; Task b: q; Separate a, b");
+  std::vector<StepCandidates> candidates = {
+      SC("a", {C("x", 0)}), SC("b", {C("x", 0), C("sub", 1)})};
+  SolveOptions valued;
+  valued.valued = true;
+  auto result = SolveWsp(spec, candidates, valued);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->satisfiable);
+  EXPECT_EQ(result->total_cost, 1);
+  EXPECT_EQ(result->witness[0].resource.id, "x");
+  EXPECT_EQ(result->witness[1].resource.id, "sub");
+  EXPECT_EQ(result->witness[1].cost, 1);
+}
+
+TEST(WspSolverTest, ValuedModeFindsMinimumCost) {
+  // Plain mode may stop at any witness; valued mode must find the
+  // all-primary assignment even though the cheap pair is "later".
+  WorkflowSpec spec = Spec("Task a: q; Task b: q; Separate a, b");
+  std::vector<StepCandidates> candidates = {
+      SC("a", {C("p", 0), C("s1", 1)}), SC("b", {C("p", 0), C("s2", 1)})};
+  SolveOptions valued;
+  valued.valued = true;
+  auto result = SolveWsp(spec, candidates, valued);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->satisfiable);
+  EXPECT_EQ(result->total_cost, 1);  // p + one substitute is optimal
+}
+
+TEST(WspSolverTest, ValuedTieBreakIsDeterministic) {
+  // Two optimal witnesses of equal cost: repeated solves must return
+  // the identical one (first found under the deterministic order).
+  WorkflowSpec spec = Spec("Task a: q; Task b: q; Separate a, b");
+  std::vector<StepCandidates> candidates = {
+      SC("a", {C("x"), C("y")}), SC("b", {C("x"), C("y")})};
+  SolveOptions valued;
+  valued.valued = true;
+  auto first = SolveWsp(spec, candidates, valued);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->satisfiable);
+  for (int i = 0; i < 5; ++i) {
+    auto again = SolveWsp(spec, candidates, valued);
+    ASSERT_TRUE(again.ok());
+    ASSERT_TRUE(again->satisfiable);
+    EXPECT_EQ(again->total_cost, first->total_cost);
+    for (size_t s = 0; s < first->witness.size(); ++s) {
+      EXPECT_EQ(again->witness[s].resource, first->witness[s].resource);
+    }
+  }
+}
+
+TEST(WspSolverTest, NodeBudgetSurfacesAsError) {
+  WorkflowSpec spec =
+      Spec("Task a: q; Task b: q; Task c: q; Separate a, b, c");
+  std::vector<StepCandidates> candidates = {
+      SC("a", {C("x"), C("y"), C("z")}), SC("b", {C("x"), C("y"), C("z")}),
+      SC("c", {C("x"), C("y"), C("z")})};
+  SolveOptions options;
+  options.max_nodes = 2;
+  auto result = SolveWsp(spec, candidates, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("budget"), std::string::npos);
+}
+
+TEST(WspSolverTest, BruteForceTooLargeIsAnError) {
+  std::vector<WspCandidate> many;
+  for (int i = 0; i < 40; ++i) {
+    std::string id = "r";
+    id += std::to_string(i);
+    many.push_back(C(id));
+  }
+  WorkflowSpec spec = Spec("Task a: q; Task b: q");
+  auto brute =
+      BruteForceWitness(spec, {SC("a", many), SC("b", many)}, /*max=*/100);
+  ASSERT_FALSE(brute.ok());
+  EXPECT_NE(brute.status().message().find("too large"), std::string::npos);
+}
+
+TEST(WspSolverTest, StatsCountNodesAndBacktracks) {
+  WorkflowSpec spec = Spec("Task a: q; Task b: q; Separate a, b");
+  auto result = SolveWsp(spec, {SC("a", {C("x")}), SC("b", {C("x")})});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->satisfiable);
+  EXPECT_GT(result->stats.nodes, 0u);
+  EXPECT_GT(result->stats.backtracks, 0u);
+}
+
+}  // namespace
+}  // namespace wfrm::analysis

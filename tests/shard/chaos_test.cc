@@ -32,6 +32,7 @@
 #include "shard/shard_map.h"
 #include "shard/shard_router.h"
 #include "store/durable_rm.h"
+#include "testutil/repro.h"
 
 namespace wfrm::shard {
 namespace {
@@ -364,7 +365,20 @@ TEST_F(ShardChaosTest, SeededMultiShardChaosSchedules) {
   }
   for (uint64_t i = 0; i < 100; ++i) {
     ASSERT_NO_FATAL_FAILURE(RunShardChaosSchedule(root_, seed_base + i));
-    if (::testing::Test::HasFailure()) break;
+    if (::testing::Test::HasFailure()) {
+      // A schedule is reproducible from its seed alone; drop the replay
+      // recipe where CI uploads it (WFRM_REPRO_DIR).
+      uint64_t seed = seed_base + i;
+      testutil::WriteRepro(
+          "shard-chaos-seed-" + std::to_string(seed) + ".txt",
+          "suite: shard chaos\nseed: " + std::to_string(seed) +
+              "\nreplay: WFRM_CHAOS_SEED_BASE=" + std::to_string(seed) +
+              " ./wfrm_shard_chaos_test "
+              "--gtest_filter='*SeededMultiShardChaosSchedules' "
+              "(base schedule " +
+              std::to_string(seed) + ", window of 1 suffices)\n");
+      break;
+    }
   }
 }
 

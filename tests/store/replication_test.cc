@@ -29,6 +29,7 @@
 #include "store/record.h"
 #include "store/replication.h"
 #include "testutil/paper_org.h"
+#include "testutil/repro.h"
 
 namespace wfrm::store {
 namespace {
@@ -575,7 +576,18 @@ TEST_F(ReplicationTest, SeededChaosFailoverSchedules) {
   }
   for (uint64_t i = 0; i < 100; ++i) {
     ASSERT_NO_FATAL_FAILURE(RunChaosSchedule(root_, seed_base + i));
-    if (::testing::Test::HasFailure()) break;
+    if (::testing::Test::HasFailure()) {
+      // A schedule is reproducible from its seed alone; drop the replay
+      // recipe where CI uploads it (WFRM_REPRO_DIR).
+      uint64_t seed = seed_base + i;
+      testutil::WriteRepro(
+          "replication-chaos-seed-" + std::to_string(seed) + ".txt",
+          "suite: replication chaos\nseed: " + std::to_string(seed) +
+              "\nreplay: WFRM_CHAOS_SEED_BASE=" + std::to_string(seed) +
+              " ./wfrm_store_test "
+              "--gtest_filter='*SeededChaosFailoverSchedules'\n");
+      break;
+    }
   }
 }
 
