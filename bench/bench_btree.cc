@@ -1,0 +1,148 @@
+// Paged storage primitive costs: B+tree point ops and scans over the
+// copy-on-write pager, commit cost as a function of dirty pages, and
+// the bloom filter probe the no-policy-applies fast path rides on.
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "store/bloom.h"
+#include "store/btree.h"
+#include "store/pager.h"
+
+#include "json_reporter.h"
+
+namespace {
+
+using namespace wfrm;  // NOLINT
+
+std::string MakeTempDir() {
+  std::string tmpl =
+      (std::filesystem::temp_directory_path() / "wfrm_bench_btree_XXXXXX")
+          .string();
+  if (::mkdtemp(tmpl.data()) == nullptr) std::abort();
+  return tmpl;
+}
+
+void RemoveDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+std::string Key(int i) {
+  // Mimics the composite policy keys: a short prefix plus a numeric
+  // suffix, long enough to land a few hundred entries per leaf.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "policy/%010d", i);
+  return buf;
+}
+
+/// Insert throughput including splits, on a tree grown from empty.
+void BM_Btree_Put(benchmark::State& state) {
+  std::string dir = MakeTempDir();
+  auto pager = store::Pager::Open(dir + "/t.db");
+  if (!pager.ok()) std::abort();
+  store::BTree tree(pager->get(), 0);
+  std::string value(64, 'v');
+  int i = 0;
+  for (auto _ : state) {
+    if (!tree.Put(Key(i++), value).ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+  RemoveDir(dir);
+}
+BENCHMARK(BM_Btree_Put);
+
+/// Point lookups against a tree of range(0) entries, all in pool.
+void BM_Btree_Get(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::string dir = MakeTempDir();
+  auto pager = store::Pager::Open(dir + "/t.db");
+  if (!pager.ok()) std::abort();
+  store::BTree tree(pager->get(), 0);
+  std::string value(64, 'v');
+  for (int i = 0; i < n; ++i) {
+    if (!tree.Put(Key(i), value).ok()) std::abort();
+  }
+  int i = 0;
+  for (auto _ : state) {
+    auto got = tree.Get(Key(i++ % n));
+    if (!got.ok() || !got->has_value()) std::abort();
+    benchmark::DoNotOptimize(*got);
+  }
+  state.SetItemsProcessed(state.iterations());
+  RemoveDir(dir);
+}
+BENCHMARK(BM_Btree_Get)->Arg(1000)->Arg(100000);
+
+/// Full in-order scan; items == entries visited.
+void BM_Btree_Scan(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::string dir = MakeTempDir();
+  auto pager = store::Pager::Open(dir + "/t.db");
+  if (!pager.ok()) std::abort();
+  store::BTree tree(pager->get(), 0);
+  std::string value(64, 'v');
+  for (int i = 0; i < n; ++i) {
+    if (!tree.Put(Key(i), value).ok()) std::abort();
+  }
+  for (auto _ : state) {
+    size_t seen = 0;
+    auto st = tree.Scan([&seen](std::string_view, std::string_view) {
+      ++seen;
+      return wfrm::Status::OK();
+    });
+    if (!st.ok() || seen != static_cast<size_t>(n)) std::abort();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+  RemoveDir(dir);
+}
+BENCHMARK(BM_Btree_Scan)->Arg(100000);
+
+/// Commit cost with a bounded dirty set: range(0) upserts between
+/// commits. The copy-on-write flush should scale with the touched
+/// pages, not the tree size (the tree holds 100k entries throughout).
+void BM_Btree_CommitDirtyPages(benchmark::State& state) {
+  const int writes_per_commit = static_cast<int>(state.range(0));
+  std::string dir = MakeTempDir();
+  auto pager = store::Pager::Open(dir + "/t.db");
+  if (!pager.ok()) std::abort();
+  store::BTree tree(pager->get(), 0);
+  std::string value(64, 'v');
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (!tree.Put(Key(i), value).ok()) std::abort();
+  }
+  if (!(*pager)->Commit(std::to_string(tree.root())).ok()) std::abort();
+  int i = 0;
+  for (auto _ : state) {
+    for (int w = 0; w < writes_per_commit; ++w) {
+      if (!tree.Put(Key(i++ % n), value).ok()) std::abort();
+    }
+    if (!(*pager)->Commit(std::to_string(tree.root())).ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["flushed_pages"] = static_cast<double>(
+      (*pager)->stats().pages_flushed_last_commit);
+  RemoveDir(dir);
+}
+BENCHMARK(BM_Btree_CommitDirtyPages)->Arg(1)->Arg(64);
+
+/// The enforcement fast path's gate: one bloom probe, no I/O.
+void BM_Bloom_Probe(benchmark::State& state) {
+  store::BloomFilter bloom = store::BloomFilter::ForEntries(100000, 0.01);
+  for (int i = 0; i < 100000; ++i) bloom.Add(Key(i));
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bloom.MayContain(Key(i++ % 200000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Bloom_Probe);
+
+}  // namespace
+
+WFRM_BENCH_JSON_MAIN();

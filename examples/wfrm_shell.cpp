@@ -9,7 +9,8 @@
 //   policies            list the policy base
 //   allocate <type> <id>  / release <type> <id>
 //   explain <rql>       full decision report (stages, PIDs) without allocating
-//   open <dir>          open a durable home: recover from WAL + snapshot,
+//   open <dir>          open a durable home: paged B-tree + WAL recovery
+//                       (exclusive lockfile; stale locks are broken),
 //                       then journal every later mutation
 //   save <dir>          checkpoint the open home / export this session
 //   status              health report (degraded state, WAL, replication)
@@ -316,8 +317,12 @@ struct Shell {
           << "                      UNSAT core, plus k-resiliency when\n"
           << "                      k > 0 and min-cost staffing when\n"
           << "                      'valued'\n"
-          << "  open <dir>          open a durable home (WAL + snapshot);\n"
-          << "                      mutations are journaled from then on\n"
+          << "  open <dir>          open a durable home (paged B-tree +\n"
+          << "                      WAL); mutations are journaled from\n"
+          << "                      then on. Takes an exclusive lockfile:\n"
+          << "                      a second open of a live home fails\n"
+          << "                      fast; a stale lock left by a dead\n"
+          << "                      process is broken automatically\n"
           << "  save <dir>          checkpoint the open home, or write a\n"
           << "                      fresh durable home from this session\n"
           << "  status              health report (degraded state, WAL,\n"
@@ -618,6 +623,10 @@ struct Shell {
         std::cout << ", " << info.wal_records_skipped << " skipped";
       }
       if (info.torn_tail) std::cout << ", torn tail truncated";
+      if (info.migrated_legacy) std::cout << ", legacy snapshot migrated";
+      if (info.tmp_files_reaped > 0) {
+        std::cout << ", " << info.tmp_files_reaped << " orphaned tmp reaped";
+      }
       std::cout << ")\n";
       return true;
     }

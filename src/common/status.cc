@@ -28,6 +28,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "not allocated";
     case StatusCode::kDegraded:
       return "degraded";
+    case StatusCode::kHomeLocked:
+      return "home locked";
     case StatusCode::kUnimplemented:
       return "unimplemented";
     case StatusCode::kInternal:

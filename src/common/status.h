@@ -37,6 +37,11 @@ enum class StatusCode {
   /// per-resource outcome) — this is a whole-store health state; callers
   /// should surface it rather than retry blindly.
   kDegraded,
+  /// The durable home directory is already open in another process (or
+  /// a stale lockfile from a dead owner could not be reclaimed). The
+  /// caller should retry against a different home or after the other
+  /// owner exits — retrying blindly will keep failing.
+  kHomeLocked,
   kUnimplemented,
   kInternal,
 };
@@ -99,6 +104,9 @@ class Status {
   static Status Degraded(std::string msg) {
     return Status(StatusCode::kDegraded, std::move(msg));
   }
+  static Status HomeLocked(std::string msg) {
+    return Status(StatusCode::kHomeLocked, std::move(msg));
+  }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
@@ -127,6 +135,7 @@ class Status {
   }
   bool IsNotAllocated() const { return code() == StatusCode::kNotAllocated; }
   bool IsDegraded() const { return code() == StatusCode::kDegraded; }
+  bool IsHomeLocked() const { return code() == StatusCode::kHomeLocked; }
 
   /// Renders "<code>: <message>" (or "OK").
   std::string ToString() const;

@@ -25,6 +25,15 @@ bool FaultInjector::SampleResourceFailure() {
   return true;
 }
 
+bool FaultInjector::SampleStorageFault() {
+  if (options_.storage_fault_rate <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  if (dist(rng_) >= options_.storage_fault_rate) return false;
+  ++storage_faults_injected_;
+  return true;
+}
+
 MessageFault FaultInjector::SampleMessageFault() {
   const double drop = options_.message_drop_rate;
   const double dup = options_.message_duplicate_rate;
@@ -83,6 +92,11 @@ size_t FaultInjector::num_query_faults_injected() const {
 size_t FaultInjector::num_resource_failures_injected() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return resource_failures_injected_;
+}
+
+size_t FaultInjector::num_storage_faults_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return storage_faults_injected_;
 }
 
 size_t FaultInjector::num_message_faults_injected() const {

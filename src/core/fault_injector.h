@@ -21,6 +21,10 @@ struct FaultInjectorOptions {
   /// failure — callers sample this e.g. once per assigned work item to
   /// decide whether the holder dies mid-flight.
   double resource_failure_rate = 0.0;
+  /// Probability that one SampleStorageFault() call reports a failure —
+  /// the storage layer's commit hooks (snapshot rename, directory sync)
+  /// draw here to exercise their error-unwind paths.
+  double storage_fault_rate = 0.0;
   /// Per-message link faults, sampled by SampleMessageFault() — the
   /// replication transport wrapper draws its seeded drops, duplicates
   /// and reorders here. The three rates are cumulative slices of one
@@ -70,6 +74,9 @@ class FaultInjector {
   /// Coin flip at resource_failure_rate; counts injected failures.
   bool SampleResourceFailure();
 
+  /// Coin flip at storage_fault_rate; counts injected faults.
+  bool SampleStorageFault();
+
   /// One seeded draw against the three message-fault rates; counts every
   /// non-kNone outcome.
   MessageFault SampleMessageFault();
@@ -85,6 +92,7 @@ class FaultInjector {
 
   size_t num_query_faults_injected() const;
   size_t num_resource_failures_injected() const;
+  size_t num_storage_faults_injected() const;
   size_t num_message_faults_injected() const;
   size_t num_scheduled() const;
 
@@ -95,6 +103,7 @@ class FaultInjector {
   std::vector<HealthEvent> schedule_;
   size_t query_faults_injected_ = 0;
   size_t resource_failures_injected_ = 0;
+  size_t storage_faults_injected_ = 0;
   size_t message_faults_injected_ = 0;
 };
 

@@ -75,6 +75,8 @@ StoreStatsSnapshot StoreStatsSnapshot::operator-(
   d.plan_cache_misses = plan_cache_misses - earlier.plan_cache_misses;
   d.compiled_builds = compiled_builds - earlier.compiled_builds;
   d.compiled_probes = compiled_probes - earlier.compiled_probes;
+  d.bloom_probes = bloom_probes - earlier.bloom_probes;
+  d.bloom_skips = bloom_skips - earlier.bloom_skips;
   d.epoch = epoch;
   return d;
 }
@@ -283,7 +285,8 @@ Result<int64_t> PolicyStore::InsertDecomposed(
                     rel::Value::String(activity), rel::Value::String(resource),
                     rel::Value::Int(static_cast<int64_t>(range.size()))};
     for (const rel::Value& v : extra_columns) row.push_back(v);
-    WFRM_RETURN_NOT_OK(policies->Insert(std::move(row)).status());
+    WFRM_RETURN_NOT_OK(policies->Insert(row).status());
+    RecordDelta(policy_table, /*deleted=*/false, row);
     for (const auto& [attr, interval] : range) {
       std::string lower = EncodedDomainMin();
       std::string upper = EncodedDomainMax();
@@ -293,14 +296,13 @@ Result<int64_t> PolicyStore::InsertDecomposed(
       if (interval.upper) {
         WFRM_ASSIGN_OR_RETURN(upper, EncodeKey(*interval.upper));
       }
-      WFRM_RETURN_NOT_OK(
-          filter
-              ->Insert({rel::Value::Int(pid), rel::Value::String(attr),
-                        rel::Value::String(std::move(lower)),
-                        rel::Value::String(std::move(upper)),
-                        rel::Value::Bool(interval.lower_inclusive),
-                        rel::Value::Bool(interval.upper_inclusive)})
-              .status());
+      rel::Row frow = {rel::Value::Int(pid), rel::Value::String(attr),
+                       rel::Value::String(std::move(lower)),
+                       rel::Value::String(std::move(upper)),
+                       rel::Value::Bool(interval.lower_inclusive),
+                       rel::Value::Bool(interval.upper_inclusive)};
+      WFRM_RETURN_NOT_OK(filter->Insert(frow).status());
+      RecordDelta(filter_table, /*deleted=*/false, frow);
       if (filter_table == kFilter) ++filter_attr_counts_[attr];
     }
   }
@@ -308,22 +310,23 @@ Result<int64_t> PolicyStore::InsertDecomposed(
 }
 
 Result<int64_t> PolicyStore::AddQualification(const QualificationPolicy& p) {
+  WFRM_RETURN_NOT_OK(EnsureHydrated());
   WFRM_ASSIGN_OR_RETURN(std::string resource,
                         org_->resources().Canonical(p.resource));
   WFRM_ASSIGN_OR_RETURN(std::string activity,
                         org_->activities().Canonical(p.activity));
   std::unique_lock<std::shared_mutex> lock(mu_);
   int64_t pid = next_pid_++;
-  WFRM_RETURN_NOT_OK(db_.GetTable(kQualifications)
-                         ->Insert({rel::Value::Int(pid),
-                                   rel::Value::String(resource),
-                                   rel::Value::String(activity)})
-                         .status());
+  rel::Row row = {rel::Value::Int(pid), rel::Value::String(resource),
+                  rel::Value::String(activity)};
+  WFRM_RETURN_NOT_OK(db_.GetTable(kQualifications)->Insert(row).status());
+  RecordDelta(kQualifications, /*deleted=*/false, row);
   BumpEpoch();
   return pid;
 }
 
 Result<int64_t> PolicyStore::AddRequirement(const RequirementPolicy& p) {
+  WFRM_RETURN_NOT_OK(EnsureHydrated());
   WFRM_ASSIGN_OR_RETURN(std::string resource,
                         org_->resources().Canonical(p.resource));
   WFRM_ASSIGN_OR_RETURN(std::string activity,
@@ -343,6 +346,7 @@ Result<int64_t> PolicyStore::AddRequirement(const RequirementPolicy& p) {
 }
 
 Result<int64_t> PolicyStore::AddSubstitution(const SubstitutionPolicy& p) {
+  WFRM_RETURN_NOT_OK(EnsureHydrated());
   WFRM_ASSIGN_OR_RETURN(std::string substituted,
                         org_->resources().Canonical(p.substituted_resource));
   WFRM_ASSIGN_OR_RETURN(std::string substituting,
@@ -529,6 +533,7 @@ Result<std::vector<std::string>> PolicyStore::QualifiedSubtypesLocked(
 Result<std::vector<std::string>> PolicyStore::QualifiedSubtypes(
     const std::string& resource, const std::string& activity) const {
   NoteRetrieval();
+  WFRM_RETURN_NOT_OK(EnsureHydratedForActivity(activity));
   const bool use_cache = cache_enabled();
   std::string key;
   uint64_t observed_epoch = 0;
@@ -557,6 +562,7 @@ Result<std::vector<std::string>> PolicyStore::QualifiedSubtypes(
 
 Result<bool> PolicyStore::IsQualified(const std::string& resource,
                                       const std::string& activity) const {
+  WFRM_RETURN_NOT_OK(EnsureHydratedForActivity(activity));
   WFRM_ASSIGN_OR_RETURN(std::vector<std::string> act_ancestors,
                         org_->activities().Ancestors(activity));
   WFRM_ASSIGN_OR_RETURN(std::vector<std::string> res_ancestors,
@@ -1033,6 +1039,7 @@ SelectivityParams PolicyStore::EstimateParamsLocked() const {
 }
 
 SelectivityParams PolicyStore::EstimateParams() const {
+  (void)EnsureHydrated();
   std::shared_lock<std::shared_mutex> lock(mu_);
   return EstimateParamsLocked();
 }
@@ -1059,11 +1066,13 @@ bool PolicyStore::PreferPoliciesFirstLocked(size_t num_spec_attributes) const {
 }
 
 bool PolicyStore::PreferPoliciesFirst(size_t num_spec_attributes) const {
+  (void)EnsureHydrated();
   std::shared_lock<std::shared_mutex> lock(mu_);
   return PreferPoliciesFirstLocked(num_spec_attributes);
 }
 
 size_t PolicyStore::num_filter_attributes() const {
+  (void)EnsureHydrated();
   std::shared_lock<std::shared_mutex> lock(mu_);
   return filter_attr_counts_.size();
 }
@@ -1072,6 +1081,7 @@ Result<std::vector<RelevantRequirement>> PolicyStore::RelevantRequirements(
     const std::string& resource, const std::string& activity,
     const rel::ParamMap& spec) const {
   NoteRetrieval();
+  WFRM_RETURN_NOT_OK(EnsureHydratedForActivity(activity));
   WFRM_ASSIGN_OR_RETURN(std::string res,
                         org_->resources().Canonical(resource));
   WFRM_ASSIGN_OR_RETURN(std::string act,
@@ -1198,6 +1208,7 @@ Result<std::vector<RelevantSubstitution>> PolicyStore::RelevantSubstitutions(
     const std::string& resource, const rel::Expr* query_where,
     const std::string& activity, const rel::ParamMap& spec) const {
   NoteRetrieval();
+  WFRM_RETURN_NOT_OK(EnsureHydratedForActivity(activity));
   WFRM_ASSIGN_OR_RETURN(std::string res,
                         org_->resources().Canonical(resource));
   WFRM_ASSIGN_OR_RETURN(std::string act,
@@ -1235,6 +1246,7 @@ Result<std::vector<RelevantSubstitution>> PolicyStore::RelevantSubstitutions(
 Result<PolicyStore::ViewSelectivity> PolicyStore::MeasureViewSelectivity(
     const std::string& resource, const std::string& activity,
     const rel::ParamMap& spec) const {
+  WFRM_RETURN_NOT_OK(EnsureHydrated());
   WFRM_ASSIGN_OR_RETURN(std::string res, org_->resources().Canonical(resource));
   WFRM_ASSIGN_OR_RETURN(std::string act, org_->activities().Canonical(activity));
   WFRM_ASSIGN_OR_RETURN(std::vector<std::string> act_anc,
@@ -1291,6 +1303,7 @@ Result<std::vector<PolicyStore::RequirementDiagnosis>>
 PolicyStore::DiagnoseRequirements(const std::string& resource,
                                   const std::string& activity,
                                   const rel::ParamMap& spec) const {
+  WFRM_RETURN_NOT_OK(EnsureHydrated());
   WFRM_ASSIGN_OR_RETURN(std::string res, org_->resources().Canonical(resource));
   WFRM_ASSIGN_OR_RETURN(std::string act,
                         org_->activities().Canonical(activity));
@@ -1370,6 +1383,7 @@ PolicyStore::DiagnoseSubstitutions(const std::string& resource,
                                    const rel::Expr* query_where,
                                    const std::string& activity,
                                    const rel::ParamMap& spec) const {
+  WFRM_RETURN_NOT_OK(EnsureHydrated());
   WFRM_ASSIGN_OR_RETURN(std::string res, org_->resources().Canonical(resource));
   WFRM_ASSIGN_OR_RETURN(std::string act,
                         org_->activities().Canonical(activity));
@@ -1494,6 +1508,9 @@ Result<ConjunctiveRange> DecodeIntervalRows(
 
 std::vector<PolicyStore::StoredQualification>
 PolicyStore::ListQualifications() const {
+  // Best effort: the signature cannot report a hydration I/O failure, so
+  // a failed load falls back to the (empty) in-memory view.
+  (void)EnsureHydrated();
   std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<StoredQualification> out;
   db_.GetTable(kQualifications)->ForEach([&](rel::RowId, const rel::Row& row) {
@@ -1551,12 +1568,14 @@ PolicyStore::ListGroupsLocked(const std::string& policy_table,
 
 Result<std::vector<PolicyStore::StoredPolicyGroup>>
 PolicyStore::ListRequirements() const {
+  WFRM_RETURN_NOT_OK(EnsureHydrated());
   std::shared_lock<std::shared_mutex> lock(mu_);
   return ListGroupsLocked(kPolicies, kFilter, false);
 }
 
 Result<std::vector<PolicyStore::StoredPolicyGroup>>
 PolicyStore::ListSubstitutions() const {
+  WFRM_RETURN_NOT_OK(EnsureHydrated());
   std::shared_lock<std::shared_mutex> lock(mu_);
   return ListGroupsLocked(kSubstPolicies, kSubstFilter, true);
 }
@@ -1575,6 +1594,10 @@ std::vector<rel::Row> CopyRows(const rel::Table* table) {
 }  // namespace
 
 PolicyStore::Image PolicyStore::ExportImage() const {
+  // Best effort: a failed hydration exports whatever is resident.
+  // Callers that must see the full base (checkpoint capture) call
+  // EnsureHydrated() themselves first and propagate its status.
+  (void)EnsureHydrated();
   std::shared_lock<std::shared_mutex> lock(mu_);
   Image image;
   image.qualifications = CopyRows(db_.GetTable(kQualifications));
@@ -1590,6 +1613,19 @@ PolicyStore::Image PolicyStore::ExportImage() const {
 
 Status PolicyStore::ImportImage(const Image& image) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  WFRM_RETURN_NOT_OK(ImportImageLocked(image));
+  // The base was replaced wholesale: per-row deltas no longer describe
+  // the durable-to-memory difference, and the in-memory tables are now
+  // authoritative regardless of any lazy source.
+  if (delta_tracking_) {
+    deltas_overflowed_ = true;
+    pending_deltas_.clear();
+  }
+  hydrated_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status PolicyStore::ImportImageLocked(const Image& image) {
   struct Load {
     const char* table;
     const std::vector<rel::Row>* rows;
@@ -1622,31 +1658,43 @@ Status PolicyStore::ImportImage(const Image& image) {
 }
 
 Status PolicyStore::RemoveQualification(int64_t pid) {
+  WFRM_RETURN_NOT_OK(EnsureHydrated());
   std::unique_lock<std::shared_mutex> lock(mu_);
   rel::Table* quals = db_.GetTable(kQualifications);
   std::vector<rel::RowId> to_delete;
+  std::vector<rel::Row> removed;
   quals->ForEach([&](rel::RowId rid, const rel::Row& row) {
-    if (row[0].int_value() == pid) to_delete.push_back(rid);
+    if (row[0].int_value() == pid) {
+      to_delete.push_back(rid);
+      removed.push_back(row);
+    }
   });
   if (to_delete.empty()) {
     return Status::NotFound("no qualification policy with PID " +
                             std::to_string(pid));
   }
   for (rel::RowId rid : to_delete) WFRM_RETURN_NOT_OK(quals->Delete(rid));
+  for (const rel::Row& row : removed) {
+    RecordDelta(kQualifications, /*deleted=*/true, row);
+  }
   BumpEpoch();
   return Status::OK();
 }
 
 namespace {
 
+/// Deletes every row of `group` from the policy/filter pair; the removed
+/// rows are reported so the caller can emit checkpoint deltas.
 Status RemoveGroupFrom(rel::Table* policies, rel::Table* filter,
-                       int64_t group) {
+                       int64_t group, std::vector<rel::Row>* removed_policies,
+                       std::vector<rel::Row>* removed_filter) {
   std::vector<rel::RowId> policy_rids;
   std::unordered_set<int64_t> pids;
   policies->ForEach([&](rel::RowId rid, const rel::Row& row) {
     if (row[1].int_value() == group) {
       policy_rids.push_back(rid);
       pids.insert(row[0].int_value());
+      removed_policies->push_back(row);
     }
   });
   if (policy_rids.empty()) {
@@ -1654,7 +1702,10 @@ Status RemoveGroupFrom(rel::Table* policies, rel::Table* filter,
   }
   std::vector<rel::RowId> filter_rids;
   filter->ForEach([&](rel::RowId rid, const rel::Row& row) {
-    if (pids.count(row[0].int_value()) > 0) filter_rids.push_back(rid);
+    if (pids.count(row[0].int_value()) > 0) {
+      filter_rids.push_back(rid);
+      removed_filter->push_back(row);
+    }
   });
   for (rel::RowId rid : policy_rids) WFRM_RETURN_NOT_OK(policies->Delete(rid));
   for (rel::RowId rid : filter_rids) WFRM_RETURN_NOT_OK(filter->Delete(rid));
@@ -1664,6 +1715,7 @@ Status RemoveGroupFrom(rel::Table* policies, rel::Table* filter,
 }  // namespace
 
 Status PolicyStore::RemoveRequirementGroup(int64_t group) {
+  WFRM_RETURN_NOT_OK(EnsureHydrated());
   std::unique_lock<std::shared_mutex> lock(mu_);
   // Capture the interval attributes being removed to keep the adaptive
   // planner's statistics in step.
@@ -1679,7 +1731,16 @@ Status PolicyStore::RemoveRequirementGroup(int64_t group) {
       removed_attrs.push_back(row[1].string_value());
     }
   });
-  WFRM_RETURN_NOT_OK(RemoveGroupFrom(policies, filter, group));
+  std::vector<rel::Row> removed_policies;
+  std::vector<rel::Row> removed_filter;
+  WFRM_RETURN_NOT_OK(RemoveGroupFrom(policies, filter, group,
+                                     &removed_policies, &removed_filter));
+  for (const rel::Row& row : removed_policies) {
+    RecordDelta(kPolicies, /*deleted=*/true, row);
+  }
+  for (const rel::Row& row : removed_filter) {
+    RecordDelta(kFilter, /*deleted=*/true, row);
+  }
   for (const std::string& attr : removed_attrs) {
     auto it = filter_attr_counts_.find(attr);
     if (it != filter_attr_counts_.end() && --it->second == 0) {
@@ -1691,28 +1752,165 @@ Status PolicyStore::RemoveRequirementGroup(int64_t group) {
 }
 
 Status PolicyStore::RemoveSubstitutionGroup(int64_t group) {
+  WFRM_RETURN_NOT_OK(EnsureHydrated());
   std::unique_lock<std::shared_mutex> lock(mu_);
+  std::vector<rel::Row> removed_policies;
+  std::vector<rel::Row> removed_filter;
   WFRM_RETURN_NOT_OK(RemoveGroupFrom(db_.GetTable(kSubstPolicies),
-                                     db_.GetTable(kSubstFilter), group));
+                                     db_.GetTable(kSubstFilter), group,
+                                     &removed_policies, &removed_filter));
+  for (const rel::Row& row : removed_policies) {
+    RecordDelta(kSubstPolicies, /*deleted=*/true, row);
+  }
+  for (const rel::Row& row : removed_filter) {
+    RecordDelta(kSubstFilter, /*deleted=*/true, row);
+  }
   BumpEpoch();
   return Status::OK();
 }
 
 size_t PolicyStore::num_qualification_rows() const {
+  (void)EnsureHydrated();
   std::shared_lock<std::shared_mutex> lock(mu_);
   return db_.GetTable(kQualifications)->num_rows();
 }
 size_t PolicyStore::num_requirement_rows() const {
+  (void)EnsureHydrated();
   std::shared_lock<std::shared_mutex> lock(mu_);
   return db_.GetTable(kPolicies)->num_rows();
 }
 size_t PolicyStore::num_requirement_interval_rows() const {
+  (void)EnsureHydrated();
   std::shared_lock<std::shared_mutex> lock(mu_);
   return db_.GetTable(kFilter)->num_rows();
 }
 size_t PolicyStore::num_substitution_rows() const {
+  (void)EnsureHydrated();
   std::shared_lock<std::shared_mutex> lock(mu_);
   return db_.GetTable(kSubstPolicies)->num_rows();
+}
+
+// ---- Lazy hydration and delta tracking ------------------------------------
+
+void PolicyStore::AttachLazySource(std::shared_ptr<PolicyImageSource> source,
+                                   int64_t next_pid, int64_t next_group,
+                                   uint64_t epoch) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  source_ = std::move(source);
+  next_pid_ = next_pid;
+  next_group_ = next_group;
+  epoch_.store(epoch, std::memory_order_release);
+  hydrated_.store(source_ == nullptr, std::memory_order_release);
+}
+
+Status PolicyStore::EnsureHydrated() const {
+  if (hydrated_.load(std::memory_order_acquire)) return Status::OK();
+  // Hydration mutates the tables, but is semantically a const read of
+  // the durable policy base into cache.
+  return const_cast<PolicyStore*>(this)->HydrateNow();
+}
+
+Status PolicyStore::EnsureHydratedForActivity(
+    const std::string& activity) const {
+  if (hydrated_.load(std::memory_order_acquire)) return Status::OK();
+  std::shared_ptr<PolicyImageSource> source;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (hydrated_.load(std::memory_order_acquire)) return Status::OK();
+    source = source_;
+  }
+  if (source == nullptr) return Status::OK();
+  stats_.bloom_probes.fetch_add(1, std::memory_order_relaxed);
+  // A policy on any ancestor activity can apply to `activity`
+  // (retrieval walks the activity hierarchy), so skipping hydration is
+  // only safe when the whole ancestor chain is bloom-negative. An
+  // activity the org model does not know yields an empty ancestor set;
+  // retrieval will fail on canonicalization either way, so answering
+  // from the empty resident tables is fine.
+  std::vector<std::string> chain;
+  if (Result<std::vector<std::string>> anc =
+          org_->activities().Ancestors(activity);
+      anc.ok()) {
+    chain = *std::move(anc);
+  }
+  if (chain.empty()) chain.push_back(activity);
+  for (const std::string& act : chain) {
+    if (source->MayHaveActivity(act)) {
+      return const_cast<PolicyStore*>(this)->HydrateNow();
+    }
+  }
+  stats_.bloom_skips.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status PolicyStore::HydrateNow() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (hydrated_.load(std::memory_order_acquire)) return Status::OK();
+  WFRM_ASSIGN_OR_RETURN(Image image, source_->LoadImage());
+  // Counters and epoch were already seeded by AttachLazySource and may
+  // have advanced past the stored image (WAL-tail replay); keep the
+  // live values, not the image's.
+  image.next_pid = next_pid_;
+  image.next_group = next_group_;
+  image.epoch = epoch_.load(std::memory_order_acquire);
+  WFRM_RETURN_NOT_OK(ImportImageLocked(image));
+  hydrated_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void PolicyStore::set_delta_tracking(bool enabled) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  delta_tracking_ = enabled;
+  if (!enabled) {
+    pending_deltas_.clear();
+    deltas_overflowed_ = false;
+  }
+}
+
+PendingPolicyDeltas PolicyStore::TakePendingDeltas() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  PendingPolicyDeltas out;
+  out.deltas = std::move(pending_deltas_);
+  out.overflowed = deltas_overflowed_;
+  pending_deltas_.clear();
+  deltas_overflowed_ = false;
+  return out;
+}
+
+int64_t PolicyStore::next_pid() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return next_pid_;
+}
+
+int64_t PolicyStore::next_group() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return next_group_;
+}
+
+void PolicyStore::RecordDelta(std::string_view table, bool deleted,
+                              const rel::Row& row) {
+  if (!delta_tracking_ || deltas_overflowed_) return;
+  // Bound the buffer: a checkpoint that never drains (or a bulk load)
+  // degrades to a full image rewrite instead of unbounded memory.
+  constexpr size_t kMaxPendingDeltas = size_t{1} << 20;
+  if (pending_deltas_.size() >= kMaxPendingDeltas) {
+    deltas_overflowed_ = true;
+    pending_deltas_.clear();
+    return;
+  }
+  PolicyRelation relation;
+  if (table == kQualifications) {
+    relation = PolicyRelation::kQualifications;
+  } else if (table == kPolicies) {
+    relation = PolicyRelation::kPolicies;
+  } else if (table == kFilter) {
+    relation = PolicyRelation::kFilter;
+  } else if (table == kSubstPolicies) {
+    relation = PolicyRelation::kSubstPolicies;
+  } else {
+    relation = PolicyRelation::kSubstFilter;
+  }
+  pending_deltas_.push_back(PolicyRowDelta{relation, deleted, row});
 }
 
 }  // namespace wfrm::policy

@@ -54,6 +54,61 @@ enum class DirectPlan {
   kAdaptive,
 };
 
+/// Raw relational image of the policy base: the exact rows of the five
+/// §5 relations plus the id counters and the store-local epoch (see
+/// PolicyStore::Image, its canonical alias).
+struct PolicyImage {
+  std::vector<rel::Row> qualifications;
+  std::vector<rel::Row> policies;
+  std::vector<rel::Row> filter;
+  std::vector<rel::Row> subst_policies;
+  std::vector<rel::Row> subst_filter;
+  int64_t next_pid = 100;  // The paper's examples start at PID 100.
+  int64_t next_group = 1;
+  uint64_t epoch = 0;
+};
+
+/// Durable backing for a lazily-hydrated policy base (the paged storage
+/// engine implements this). MayHaveActivity is a bloom-filter probe —
+/// false negatives are impossible, so a negative answer proves no
+/// stored Qualifications/Policies/SubstPolicies row names the activity
+/// and retrieval can answer from the (still empty) in-memory relations
+/// without touching disk.
+class PolicyImageSource {
+ public:
+  virtual ~PolicyImageSource() = default;
+  /// Full durable image; called once, on first hydration.
+  virtual Result<PolicyImage> LoadImage() = 0;
+  /// May any stored policy row reference `activity` (canonical name)?
+  virtual bool MayHaveActivity(const std::string& activity) const = 0;
+};
+
+/// Which §5 relation a PolicyRowDelta touches.
+enum class PolicyRelation : uint8_t {
+  kQualifications = 0,
+  kPolicies = 1,
+  kFilter = 2,
+  kSubstPolicies = 3,
+  kSubstFilter = 4,
+};
+
+/// One row inserted into or deleted from a policy relation since the
+/// last checkpoint. The row is carried whole so the storage layer can
+/// derive its tree key without consulting the in-memory tables.
+struct PolicyRowDelta {
+  PolicyRelation relation = PolicyRelation::kQualifications;
+  bool deleted = false;
+  rel::Row row;
+};
+
+/// Drained by TakePendingDeltas. `overflowed` means the delta log was
+/// capped (or the whole base was replaced via ImportImage) and the
+/// consumer must fall back to a full image rewrite.
+struct PendingPolicyDeltas {
+  std::vector<PolicyRowDelta> deltas;
+  bool overflowed = false;
+};
+
 /// A requirement policy row found relevant for a query (paper §4.2).
 struct RelevantRequirement {
   int64_t pid = 0;
@@ -94,6 +149,11 @@ struct StoreStatsSnapshot {
   // Compiled policy tables (flat interval arrays for warm Enforce).
   uint64_t compiled_builds = 0;
   uint64_t compiled_probes = 0;
+  // Lazy-hydration bloom gate (paged backend): pre-hydration retrievals
+  // that consulted the per-activity filter, and the subset it answered
+  // without touching disk.
+  uint64_t bloom_probes = 0;
+  uint64_t bloom_skips = 0;
   /// The enforcement epoch at capture time (PolicyStore::StatsSnapshot
   /// stamps it; a bare StoreStats::Snapshot leaves 0). Sharded
   /// deployments compare per-shard epochs across snapshots to prove one
@@ -137,6 +197,9 @@ struct StoreStats {
   // Compiled policy tables: lazy builds and warm probes.
   std::atomic<uint64_t> compiled_builds{0};
   std::atomic<uint64_t> compiled_probes{0};
+  // Lazy-hydration bloom gate (paged backend).
+  std::atomic<uint64_t> bloom_probes{0};
+  std::atomic<uint64_t> bloom_skips{0};
 
   StoreStatsSnapshot Snapshot() const {
     StoreStatsSnapshot s;
@@ -154,6 +217,8 @@ struct StoreStats {
     s.plan_cache_misses = plan_cache_misses.load();
     s.compiled_builds = compiled_builds.load();
     s.compiled_probes = compiled_probes.load();
+    s.bloom_probes = bloom_probes.load();
+    s.bloom_skips = bloom_skips.load();
     return s;
   }
 
@@ -172,6 +237,8 @@ struct StoreStats {
     plan_cache_misses = 0;
     compiled_builds = 0;
     compiled_probes = 0;
+    bloom_probes = 0;
+    bloom_skips = 0;
   }
 };
 
@@ -330,16 +397,7 @@ class PolicyStore {
   /// reproduces the store bit-for-bit — PIDs, groups and epoch included —
   /// which is what crash recovery needs to be indistinguishable from
   /// never having crashed.
-  struct Image {
-    std::vector<rel::Row> qualifications;
-    std::vector<rel::Row> policies;
-    std::vector<rel::Row> filter;
-    std::vector<rel::Row> subst_policies;
-    std::vector<rel::Row> subst_filter;
-    int64_t next_pid = 100;
-    int64_t next_group = 1;
-    uint64_t epoch = 0;
-  };
+  using Image = PolicyImage;
 
   Image ExportImage() const;
 
@@ -355,6 +413,43 @@ class PolicyStore {
   uint64_t local_epoch() const {
     return epoch_.load(std::memory_order_acquire);
   }
+
+  // ---- Lazy hydration (paged storage backend) ---------------------------
+
+  /// Defers loading the policy relations: the store starts with empty
+  /// tables plus the durable id counters/epoch, and pulls the full image
+  /// from `source` on the first access that could observe policy rows.
+  /// Reads whose activity fails the source's bloom probe are answered
+  /// from the empty tables without hydrating — correct because the probe
+  /// has no false negatives. Call before the store sees traffic.
+  void AttachLazySource(std::shared_ptr<PolicyImageSource> source,
+                        int64_t next_pid, int64_t next_group, uint64_t epoch);
+
+  /// True when the in-memory relations are authoritative (no lazy
+  /// source, or it has been loaded).
+  bool hydrated() const {
+    return source_ == nullptr || hydrated_.load(std::memory_order_acquire);
+  }
+
+  /// Forces hydration now (no-op without a lazy source). Callers that
+  /// cannot tolerate a silently-empty view (checkpoint capture, full
+  /// exports) invoke this first so I/O failures surface as a Status.
+  Status EnsureHydrated() const;
+
+  // ---- Incremental checkpointing (paged storage backend) ----------------
+
+  /// Starts/stops accumulating per-row mutation deltas (insertions and
+  /// deletions of relation rows) for incremental checkpoints.
+  void set_delta_tracking(bool enabled);
+
+  /// Drains the accumulated deltas since the previous call. When the
+  /// log overflowed (or ImportImage replaced the base wholesale) the
+  /// result is flagged and the caller must rewrite the full image.
+  PendingPolicyDeltas TakePendingDeltas();
+
+  /// Durable id counters (checkpoint metadata).
+  int64_t next_pid() const;
+  int64_t next_group() const;
 
   /// Removes a qualification policy by PID.
   Status RemoveQualification(int64_t pid);
@@ -583,6 +678,17 @@ class PolicyStore {
   /// derivation from before it is invalidated. Caller holds mu_.
   void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_release); }
 
+  /// Hydration gate for an activity-scoped read: hydrates unless the
+  /// source's bloom filter proves no stored row involves any ancestor
+  /// of `activity`. No-op when already hydrated.
+  Status EnsureHydratedForActivity(const std::string& activity) const;
+  /// Loads the image from source_ under the exclusive lock (idempotent).
+  Status HydrateNow();
+  /// ImportImage body; caller holds mu_ exclusively.
+  Status ImportImageLocked(const Image& image);
+  /// Appends a delta when tracking is on. Caller holds mu_ exclusively.
+  void RecordDelta(std::string_view table, bool deleted, const rel::Row& row);
+
   /// Resolved metric instruments (null when no registry is attached).
   struct RetrievalMetrics {
     obs::Counter* retrievals = nullptr;
@@ -678,6 +784,15 @@ class PolicyStore {
   /// Shape buckets whose Figure 13/14 views are already registered in
   /// db_. Guarded by mu_.
   mutable std::unordered_set<std::string> sql_shapes_;
+
+  /// Lazy hydration: durable backing and whether the in-memory tables
+  /// are authoritative yet. hydrated_ defaults true (no lazy source).
+  std::shared_ptr<PolicyImageSource> source_;
+  std::atomic<bool> hydrated_{true};
+  /// Incremental-checkpoint delta log. Guarded by mu_.
+  bool delta_tracking_ = false;
+  bool deltas_overflowed_ = false;
+  std::vector<PolicyRowDelta> pending_deltas_;
 };
 
 }  // namespace wfrm::policy

@@ -1,0 +1,110 @@
+#include "store/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/status.h"
+#include "store/record.h"
+
+namespace wfrm::store {
+
+namespace {
+
+constexpr uint32_t kBloomVersion = 1;
+
+// 64-bit FNV-1a; the second probe hash is a finalizer-mixed variant so
+// the double-hashing scheme h1 + i*h2 behaves like independent hashes.
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t Mix(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(uint64_t bits, uint32_t hashes) {
+  bit_count_ = std::max<uint64_t>(64, (bits + 63) / 64 * 64);
+  hash_count_ = std::clamp<uint32_t>(hashes, 1, 30);
+  words_.assign(bit_count_ / 64, 0);
+}
+
+BloomFilter BloomFilter::ForEntries(uint64_t expected_entries,
+                                    double target_fpr) {
+  const double n = static_cast<double>(std::max<uint64_t>(expected_entries, 1));
+  const double p = std::clamp(target_fpr, 1e-6, 0.5);
+  const double ln2 = std::log(2.0);
+  const double m = std::ceil(-n * std::log(p) / (ln2 * ln2));
+  const double k = std::round(m / n * ln2);
+  return BloomFilter(static_cast<uint64_t>(std::max(m, 64.0)),
+                     static_cast<uint32_t>(std::max(k, 1.0)));
+}
+
+void BloomFilter::Add(std::string_view key) {
+  const uint64_t h1 = Fnv1a(key);
+  const uint64_t h2 = Mix(h1) | 1;  // Odd so probes cycle all cells.
+  for (uint32_t i = 0; i < hash_count_; ++i) {
+    const uint64_t bit = (h1 + i * h2) % bit_count_;
+    words_[bit / 64] |= (1ull << (bit % 64));
+  }
+  ++entries_added_;
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  const uint64_t h1 = Fnv1a(key);
+  const uint64_t h2 = Mix(h1) | 1;
+  for (uint32_t i = 0; i < hash_count_; ++i) {
+    const uint64_t bit = (h1 + i * h2) % bit_count_;
+    if ((words_[bit / 64] & (1ull << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+std::string BloomFilter::Serialize() const {
+  std::string out;
+  AppendU32(&out, kBloomVersion);
+  AppendU32(&out, hash_count_);
+  AppendU64(&out, bit_count_);
+  AppendU64(&out, entries_added_);
+  out.reserve(out.size() + words_.size() * 8);
+  for (uint64_t w : words_) AppendU64(&out, w);
+  return out;
+}
+
+Result<BloomFilter> BloomFilter::Deserialize(std::string_view bytes) {
+  uint32_t version = 0;
+  uint32_t hashes = 0;
+  uint64_t bits = 0;
+  uint64_t entries = 0;
+  if (!ReadU32(&bytes, &version) || version != kBloomVersion ||
+      !ReadU32(&bytes, &hashes) || !ReadU64(&bytes, &bits) ||
+      !ReadU64(&bytes, &entries)) {
+    return Status::ExecutionError("malformed bloom filter header");
+  }
+  if (bits == 0 || bits % 64 != 0 || bits / 64 > (1ull << 28) ||
+      bytes.size() != bits / 64 * 8) {
+    return Status::ExecutionError("malformed bloom filter body");
+  }
+  BloomFilter filter(bits, hashes);
+  filter.entries_added_ = entries;
+  for (uint64_t& w : filter.words_) {
+    if (!ReadU64(&bytes, &w)) {
+      return Status::ExecutionError("truncated bloom filter body");
+    }
+  }
+  return filter;
+}
+
+}  // namespace wfrm::store

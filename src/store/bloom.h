@@ -1,0 +1,55 @@
+#ifndef WFRM_STORE_BLOOM_H_
+#define WFRM_STORE_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace wfrm::store {
+
+/// Serializable bloom filter over byte strings.
+///
+/// Sits in front of the paged policy trees: the per-activity filter
+/// answers "may any Qualifications/Policies/SubstPolicies row mention
+/// this activity type?" so the common no-policy-applies probe never
+/// touches disk. The filter is free of false negatives by construction;
+/// removals are simply not propagated (a deleted activity keeps its
+/// bits), which only ever adds false positives and therefore never
+/// breaks enforcement — a full rebuild happens on every image rewrite.
+class BloomFilter {
+ public:
+  /// An empty filter with `bits` cells (rounded up to a multiple of 64)
+  /// and `hashes` probes per key.
+  BloomFilter(uint64_t bits, uint32_t hashes);
+
+  /// Sizes a filter for `expected_entries` keys at `target_fpr`
+  /// (classic m = -n·ln p / ln²2, k = m/n·ln 2), with sane clamps so a
+  /// zero-entry store still gets a non-degenerate filter.
+  static BloomFilter ForEntries(uint64_t expected_entries, double target_fpr);
+
+  void Add(std::string_view key);
+  bool MayContain(std::string_view key) const;
+
+  /// True when no key has ever been added.
+  bool empty() const { return entries_added_ == 0; }
+  uint64_t entries_added() const { return entries_added_; }
+  uint64_t bit_count() const { return bit_count_; }
+  uint32_t hash_count() const { return hash_count_; }
+
+  /// [u32 version][u32 hashes][u64 bits][u64 entries][words...].
+  std::string Serialize() const;
+  static Result<BloomFilter> Deserialize(std::string_view bytes);
+
+ private:
+  uint64_t bit_count_ = 0;
+  uint32_t hash_count_ = 0;
+  uint64_t entries_added_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace wfrm::store
+
+#endif  // WFRM_STORE_BLOOM_H_

@@ -1,0 +1,548 @@
+#include "store/btree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/status.h"
+#include "store/record.h"
+
+namespace wfrm::store {
+
+namespace {
+
+constexpr uint8_t kLeaf = 1;
+constexpr uint8_t kInterior = 2;
+constexpr uint8_t kOverflow = 3;
+
+// Deeper than any realistic tree; guards descent loops against cycles
+// introduced by on-disk corruption.
+constexpr int kMaxDepth = 64;
+
+constexpr size_t kNodeHeaderSize = 1 + 4;
+constexpr size_t kOverflowHeaderSize = 1 + 8 + 4;
+
+Status CorruptNode(uint64_t pid) {
+  return Status::ExecutionError("b-tree page " + std::to_string(pid) +
+                                " is corrupt");
+}
+
+}  // namespace
+
+struct BTree::Cell {
+  std::string key;
+  std::string value;         // Inline value (leaf, no overflow).
+  uint64_t overflow_pid = 0;  // Leaf: overflow chain head (0 = inline).
+  uint64_t overflow_len = 0;
+  uint64_t child = 0;  // Interior: child page id.
+};
+
+struct BTree::Node {
+  uint64_t pid = 0;  // 0 = not yet materialized on any page.
+  uint8_t type = kLeaf;
+  std::vector<Cell> cells;
+};
+
+namespace {
+
+size_t CellSize(uint8_t type, const BTree::Cell& cell);
+
+size_t NodeSerializedSize(const BTree::Node& node) {
+  size_t total = kNodeHeaderSize;
+  for (const auto& cell : node.cells) total += CellSize(node.type, cell);
+  return total;
+}
+
+size_t CellSize(uint8_t type, const BTree::Cell& cell) {
+  if (type == kInterior) return 8 + 4 + cell.key.size();
+  return 4 + cell.key.size() + 1 +
+         (cell.overflow_pid != 0 ? 16 : 4 + cell.value.size());
+}
+
+}  // namespace
+
+Result<BTree::Node> BTree::LoadNode(uint64_t pid) const {
+  WFRM_ASSIGN_OR_RETURN(PageRef page, pager_->Read(pid));
+  std::string_view in(reinterpret_cast<const char*>(page.data()),
+                      pager_->page_size());
+  Node node;
+  node.pid = pid;
+  node.type = static_cast<uint8_t>(in.front());
+  in.remove_prefix(1);
+  if (node.type != kLeaf && node.type != kInterior) return CorruptNode(pid);
+  uint32_t count = 0;
+  if (!ReadU32(&in, &count) || count > pager_->page_size()) {
+    return CorruptNode(pid);
+  }
+  node.cells.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Cell cell;
+    if (node.type == kInterior) {
+      if (!ReadU64(&in, &cell.child) || !ReadString(&in, &cell.key)) {
+        return CorruptNode(pid);
+      }
+    } else {
+      if (!ReadString(&in, &cell.key)) return CorruptNode(pid);
+      if (in.empty()) return CorruptNode(pid);
+      uint8_t has_overflow = static_cast<uint8_t>(in.front());
+      in.remove_prefix(1);
+      if (has_overflow != 0) {
+        if (!ReadU64(&in, &cell.overflow_pid) ||
+            !ReadU64(&in, &cell.overflow_len)) {
+          return CorruptNode(pid);
+        }
+      } else if (!ReadString(&in, &cell.value)) {
+        return CorruptNode(pid);
+      }
+    }
+    node.cells.push_back(std::move(cell));
+  }
+  return node;
+}
+
+Result<std::vector<BTree::WrittenEntry>> BTree::StoreNode(Node* node) {
+  const size_t ps = pager_->page_size();
+  if (node->cells.empty()) {
+    if (node->pid != 0) pager_->Free(node->pid);
+    return std::vector<WrittenEntry>{};
+  }
+  // Greedy-pack cells into page-sized groups; one group is the common
+  // (no split) case.
+  std::vector<std::pair<size_t, size_t>> groups;  // [begin, end)
+  size_t begin = 0;
+  size_t running = kNodeHeaderSize;
+  for (size_t i = 0; i < node->cells.size(); ++i) {
+    const size_t sz = CellSize(node->type, node->cells[i]);
+    if (kNodeHeaderSize + sz > ps) {
+      return Status::ExecutionError("b-tree entry does not fit in a page");
+    }
+    if (running + sz > ps && i > begin) {
+      groups.emplace_back(begin, i);
+      begin = i;
+      running = kNodeHeaderSize;
+    }
+    running += sz;
+  }
+  groups.emplace_back(begin, node->cells.size());
+  // Splitting into exactly two pages should balance them rather than
+  // leave a nearly-empty tail, so re-split evenly by serialized size.
+  if (groups.size() == 2) {
+    size_t total = 0;
+    for (const auto& cell : node->cells) total += CellSize(node->type, cell);
+    size_t acc = 0;
+    size_t mid = 0;
+    for (size_t i = 0; i < node->cells.size(); ++i) {
+      acc += CellSize(node->type, node->cells[i]);
+      if (acc * 2 >= total) {
+        mid = i + 1;
+        break;
+      }
+    }
+    if (mid > 0 && mid < node->cells.size()) {
+      size_t left = kNodeHeaderSize;
+      size_t right = kNodeHeaderSize;
+      for (size_t i = 0; i < mid; ++i) {
+        left += CellSize(node->type, node->cells[i]);
+      }
+      for (size_t i = mid; i < node->cells.size(); ++i) {
+        right += CellSize(node->type, node->cells[i]);
+      }
+      if (left <= ps && right <= ps) {
+        groups.clear();
+        groups.emplace_back(0, mid);
+        groups.emplace_back(mid, node->cells.size());
+      }
+    }
+  }
+
+  std::vector<WrittenEntry> entries;
+  entries.reserve(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    std::string bytes;
+    bytes.push_back(static_cast<char>(node->type));
+    AppendU32(&bytes, static_cast<uint32_t>(groups[g].second -
+                                            groups[g].first));
+    for (size_t i = groups[g].first; i < groups[g].second; ++i) {
+      const Cell& cell = node->cells[i];
+      if (node->type == kInterior) {
+        AppendU64(&bytes, cell.child);
+        AppendString(&bytes, cell.key);
+      } else {
+        AppendString(&bytes, cell.key);
+        bytes.push_back(cell.overflow_pid != 0 ? 1 : 0);
+        if (cell.overflow_pid != 0) {
+          AppendU64(&bytes, cell.overflow_pid);
+          AppendU64(&bytes, cell.overflow_len);
+        } else {
+          AppendString(&bytes, cell.value);
+        }
+      }
+    }
+    const size_t serialized = bytes.size();
+    bytes.resize(ps, '\0');
+
+    // The first group keeps the node's page when it is already writable
+    // this generation; everything else goes to fresh pages (shadowing).
+    PageRef page;
+    if (g == 0 && node->pid != 0 && pager_->WritableInPlace(node->pid)) {
+      WFRM_ASSIGN_OR_RETURN(page, pager_->Read(node->pid));
+    } else {
+      if (g == 0 && node->pid != 0) pager_->Free(node->pid);
+      WFRM_ASSIGN_OR_RETURN(page, pager_->Alloc());
+    }
+    std::memcpy(page.data(), bytes.data(), ps);
+    page.MarkDirty();
+    entries.push_back(WrittenEntry{node->cells[groups[g].first].key,
+                                   page.id(), serialized});
+  }
+  return entries;
+}
+
+// ---- Overflow chains ---------------------------------------------------
+
+Result<uint64_t> BTree::WriteOverflow(std::string_view value) {
+  const size_t capacity = pager_->page_size() - kOverflowHeaderSize;
+  WFRM_ASSIGN_OR_RETURN(PageRef current, pager_->Alloc());
+  const uint64_t head = current.id();
+  size_t offset = 0;
+  for (;;) {
+    const size_t chunk = std::min(capacity, value.size() - offset);
+    const bool last = offset + chunk >= value.size();
+    PageRef next;
+    if (!last) {
+      WFRM_ASSIGN_OR_RETURN(next, pager_->Alloc());
+    }
+    std::string header;
+    header.push_back(static_cast<char>(kOverflow));
+    AppendU64(&header, last ? 0 : next.id());
+    AppendU32(&header, static_cast<uint32_t>(chunk));
+    std::memcpy(current.data(), header.data(), header.size());
+    std::memcpy(current.data() + header.size(), value.data() + offset, chunk);
+    current.MarkDirty();
+    if (last) break;
+    offset += chunk;
+    current = std::move(next);
+  }
+  return head;
+}
+
+Result<std::string> BTree::ReadOverflow(uint64_t head,
+                                        uint64_t total_len) const {
+  std::string out;
+  out.reserve(total_len);
+  uint64_t pid = head;
+  for (int depth = 0; pid != 0; ++depth) {
+    if (depth > (1 << 20)) return CorruptNode(head);
+    WFRM_ASSIGN_OR_RETURN(PageRef page, pager_->Read(pid));
+    std::string_view in(reinterpret_cast<const char*>(page.data()),
+                        pager_->page_size());
+    if (static_cast<uint8_t>(in.front()) != kOverflow) {
+      return CorruptNode(pid);
+    }
+    in.remove_prefix(1);
+    uint64_t next = 0;
+    uint32_t len = 0;
+    if (!ReadU64(&in, &next) || !ReadU32(&in, &len) || len > in.size()) {
+      return CorruptNode(pid);
+    }
+    out.append(in.data(), len);
+    pid = next;
+  }
+  if (out.size() != total_len) return CorruptNode(head);
+  return out;
+}
+
+Status BTree::FreeOverflow(uint64_t head) {
+  uint64_t pid = head;
+  for (int depth = 0; pid != 0 && depth < (1 << 20); ++depth) {
+    uint64_t next = 0;
+    {
+      WFRM_ASSIGN_OR_RETURN(PageRef page, pager_->Read(pid));
+      std::string_view in(reinterpret_cast<const char*>(page.data()),
+                          pager_->page_size());
+      if (static_cast<uint8_t>(in.front()) != kOverflow) {
+        return CorruptNode(pid);
+      }
+      in.remove_prefix(1);
+      if (!ReadU64(&in, &next)) return CorruptNode(pid);
+    }
+    pager_->Free(pid);
+    pid = next;
+  }
+  return Status::OK();
+}
+
+void BTree::FreeCellOverflow(const Cell& cell) {
+  if (cell.overflow_pid != 0) {
+    // Chain corruption is reported lazily by reads; freeing is best
+    // effort (a leaked page is recovered by the next full rewrite).
+    (void)FreeOverflow(cell.overflow_pid);
+  }
+}
+
+// ---- Lookup ------------------------------------------------------------
+
+Result<std::optional<std::string>> BTree::Get(std::string_view key) const {
+  uint64_t pid = root_;
+  if (pid == 0) return std::optional<std::string>{};
+  for (int depth = 0; depth < kMaxDepth; ++depth) {
+    WFRM_ASSIGN_OR_RETURN(Node node, LoadNode(pid));
+    if (node.type == kInterior) {
+      if (node.cells.empty()) return CorruptNode(pid);
+      size_t idx = 0;
+      for (size_t i = 1; i < node.cells.size(); ++i) {
+        if (node.cells[i].key <= key) idx = i;
+        else break;
+      }
+      pid = node.cells[idx].child;
+      continue;
+    }
+    auto it = std::lower_bound(
+        node.cells.begin(), node.cells.end(), key,
+        [](const Cell& c, std::string_view k) { return c.key < k; });
+    if (it == node.cells.end() || it->key != key) {
+      return std::optional<std::string>{};
+    }
+    if (it->overflow_pid != 0) {
+      WFRM_ASSIGN_OR_RETURN(std::string value,
+                            ReadOverflow(it->overflow_pid, it->overflow_len));
+      return std::optional<std::string>(std::move(value));
+    }
+    return std::optional<std::string>(it->value);
+  }
+  return CorruptNode(root_);
+}
+
+Status BTree::ScanNode(
+    uint64_t pid, int depth,
+    const std::function<Status(std::string_view, std::string_view)>& visit)
+    const {
+  if (depth > kMaxDepth) return CorruptNode(pid);
+  WFRM_ASSIGN_OR_RETURN(Node node, LoadNode(pid));
+  if (node.type == kInterior) {
+    for (const Cell& cell : node.cells) {
+      WFRM_RETURN_NOT_OK(ScanNode(cell.child, depth + 1, visit));
+    }
+    return Status::OK();
+  }
+  for (const Cell& cell : node.cells) {
+    if (cell.overflow_pid != 0) {
+      WFRM_ASSIGN_OR_RETURN(
+          std::string value,
+          ReadOverflow(cell.overflow_pid, cell.overflow_len));
+      WFRM_RETURN_NOT_OK(visit(cell.key, value));
+    } else {
+      WFRM_RETURN_NOT_OK(visit(cell.key, cell.value));
+    }
+  }
+  return Status::OK();
+}
+
+Status BTree::Scan(
+    const std::function<Status(std::string_view, std::string_view)>& visit)
+    const {
+  if (root_ == 0) return Status::OK();
+  return ScanNode(root_, 0, visit);
+}
+
+Result<uint64_t> BTree::CountEntries() const {
+  uint64_t count = 0;
+  WFRM_RETURN_NOT_OK(Scan([&](std::string_view, std::string_view) {
+    ++count;
+    return Status::OK();
+  }));
+  return count;
+}
+
+// ---- Mutation ----------------------------------------------------------
+
+Result<std::vector<BTree::WrittenEntry>> BTree::Mutate(
+    uint64_t pid, int depth, MutateOp op, std::string_view key,
+    std::string_view value, bool* erased) {
+  if (depth > kMaxDepth) return CorruptNode(pid);
+  WFRM_ASSIGN_OR_RETURN(Node node, LoadNode(pid));
+  const size_t ps = pager_->page_size();
+
+  if (node.type == kLeaf) {
+    auto it = std::lower_bound(
+        node.cells.begin(), node.cells.end(), key,
+        [](const Cell& c, std::string_view k) { return c.key < k; });
+    const bool found = it != node.cells.end() && it->key == key;
+    if (op == MutateOp::kErase) {
+      if (!found) {
+        if (erased != nullptr) *erased = false;
+        return std::vector<WrittenEntry>{WrittenEntry{
+            node.cells.empty() ? std::string() : node.cells.front().key, pid,
+            NodeSerializedSize(node)}};
+      }
+      if (erased != nullptr) *erased = true;
+      FreeCellOverflow(*it);
+      node.cells.erase(it);
+      return StoreNode(&node);
+    }
+    Cell cell;
+    cell.key.assign(key.data(), key.size());
+    if (value.size() > ps / 4) {
+      WFRM_ASSIGN_OR_RETURN(cell.overflow_pid, WriteOverflow(value));
+      cell.overflow_len = value.size();
+    } else {
+      cell.value.assign(value.data(), value.size());
+    }
+    if (found) {
+      FreeCellOverflow(*it);
+      *it = std::move(cell);
+    } else {
+      node.cells.insert(it, std::move(cell));
+    }
+    return StoreNode(&node);
+  }
+
+  // Interior: descend into the child covering `key`.
+  if (node.cells.empty()) return CorruptNode(pid);
+  size_t idx = 0;
+  for (size_t i = 1; i < node.cells.size(); ++i) {
+    if (node.cells[i].key <= key) idx = i;
+    else break;
+  }
+  WFRM_ASSIGN_OR_RETURN(
+      std::vector<WrittenEntry> child_entries,
+      Mutate(node.cells[idx].child, depth + 1, op, key, value, erased));
+  if (op == MutateOp::kErase && erased != nullptr && !*erased) {
+    // Nothing changed below; report this node untouched.
+    return std::vector<WrittenEntry>{WrittenEntry{
+        node.cells.front().key, pid, NodeSerializedSize(node)}};
+  }
+
+  std::vector<Cell> replacement;
+  replacement.reserve(child_entries.size());
+  for (const WrittenEntry& entry : child_entries) {
+    Cell cell;
+    cell.key = entry.min_key;
+    cell.child = entry.pid;
+    replacement.push_back(std::move(cell));
+  }
+  node.cells.erase(node.cells.begin() + static_cast<ptrdiff_t>(idx));
+  node.cells.insert(node.cells.begin() + static_cast<ptrdiff_t>(idx),
+                    replacement.begin(), replacement.end());
+
+  // Merge an underfull child with an adjacent sibling when the pair
+  // fits comfortably in one page.
+  if (child_entries.size() == 1 && node.cells.size() >= 2 &&
+      child_entries[0].serialized_size < ps / 4) {
+    const size_t left_idx = idx + 1 < node.cells.size() ? idx : idx - 1;
+    const size_t right_idx = left_idx + 1;
+    WFRM_ASSIGN_OR_RETURN(Node left, LoadNode(node.cells[left_idx].child));
+    WFRM_ASSIGN_OR_RETURN(Node right, LoadNode(node.cells[right_idx].child));
+    if (left.type == right.type &&
+        NodeSerializedSize(left) + NodeSerializedSize(right) -
+                kNodeHeaderSize <=
+            ps * 3 / 4) {
+      left.cells.insert(left.cells.end(),
+                        std::make_move_iterator(right.cells.begin()),
+                        std::make_move_iterator(right.cells.end()));
+      pager_->Free(right.pid);
+      WFRM_ASSIGN_OR_RETURN(std::vector<WrittenEntry> merged,
+                            StoreNode(&left));
+      std::vector<Cell> merged_cells;
+      for (const WrittenEntry& entry : merged) {
+        Cell cell;
+        cell.key = entry.min_key;
+        cell.child = entry.pid;
+        merged_cells.push_back(std::move(cell));
+      }
+      node.cells.erase(
+          node.cells.begin() + static_cast<ptrdiff_t>(left_idx),
+          node.cells.begin() + static_cast<ptrdiff_t>(right_idx) + 1);
+      node.cells.insert(node.cells.begin() + static_cast<ptrdiff_t>(left_idx),
+                        merged_cells.begin(), merged_cells.end());
+    }
+  }
+  return StoreNode(&node);
+}
+
+Status BTree::Put(std::string_view key, std::string_view value) {
+  std::vector<WrittenEntry> entries;
+  if (root_ == 0) {
+    Node leaf;
+    leaf.type = kLeaf;
+    Cell cell;
+    cell.key.assign(key.data(), key.size());
+    if (value.size() > pager_->page_size() / 4) {
+      WFRM_ASSIGN_OR_RETURN(cell.overflow_pid, WriteOverflow(value));
+      cell.overflow_len = value.size();
+    } else {
+      cell.value.assign(value.data(), value.size());
+    }
+    leaf.cells.push_back(std::move(cell));
+    WFRM_ASSIGN_OR_RETURN(entries, StoreNode(&leaf));
+  } else {
+    WFRM_ASSIGN_OR_RETURN(entries,
+                          Mutate(root_, 0, MutateOp::kPut, key, value,
+                                 nullptr));
+  }
+  while (entries.size() > 1) {
+    Node parent;
+    parent.type = kInterior;
+    for (const WrittenEntry& entry : entries) {
+      Cell cell;
+      cell.key = entry.min_key;
+      cell.child = entry.pid;
+      parent.cells.push_back(std::move(cell));
+    }
+    WFRM_ASSIGN_OR_RETURN(entries, StoreNode(&parent));
+  }
+  root_ = entries.empty() ? 0 : entries[0].pid;
+  return Status::OK();
+}
+
+Result<bool> BTree::Erase(std::string_view key) {
+  if (root_ == 0) return false;
+  bool erased = false;
+  WFRM_ASSIGN_OR_RETURN(
+      std::vector<WrittenEntry> entries,
+      Mutate(root_, 0, MutateOp::kErase, key, std::string_view(), &erased));
+  if (!erased) return false;
+  while (entries.size() > 1) {
+    Node parent;
+    parent.type = kInterior;
+    for (const WrittenEntry& entry : entries) {
+      Cell cell;
+      cell.key = entry.min_key;
+      cell.child = entry.pid;
+      parent.cells.push_back(std::move(cell));
+    }
+    WFRM_ASSIGN_OR_RETURN(entries, StoreNode(&parent));
+  }
+  root_ = entries.empty() ? 0 : entries[0].pid;
+  // Collapse chains of one-child interior nodes left by merges.
+  for (int depth = 0; root_ != 0 && depth < kMaxDepth; ++depth) {
+    WFRM_ASSIGN_OR_RETURN(Node node, LoadNode(root_));
+    if (node.type != kInterior || node.cells.size() != 1) break;
+    pager_->Free(root_);
+    root_ = node.cells[0].child;
+  }
+  return true;
+}
+
+Status BTree::ClearNode(uint64_t pid, int depth) {
+  if (depth > kMaxDepth) return CorruptNode(pid);
+  WFRM_ASSIGN_OR_RETURN(Node node, LoadNode(pid));
+  if (node.type == kInterior) {
+    for (const Cell& cell : node.cells) {
+      WFRM_RETURN_NOT_OK(ClearNode(cell.child, depth + 1));
+    }
+  } else {
+    for (const Cell& cell : node.cells) FreeCellOverflow(cell);
+  }
+  pager_->Free(pid);
+  return Status::OK();
+}
+
+Status BTree::Clear() {
+  if (root_ == 0) return Status::OK();
+  WFRM_RETURN_NOT_OK(ClearNode(root_, 0));
+  root_ = 0;
+  return Status::OK();
+}
+
+}  // namespace wfrm::store

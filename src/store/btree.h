@@ -1,0 +1,100 @@
+#ifndef WFRM_STORE_BTREE_H_
+#define WFRM_STORE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "store/pager.h"
+
+namespace wfrm::store {
+
+/// B+tree over the copy-on-write pager: variable-length byte-string
+/// keys and values in slotted pages, values above a quarter page
+/// spilled to overflow chains, memcmp key order (the composite
+/// key_encoding keys sort correctly under it).
+///
+/// There are deliberately no leaf sibling links: under copy-on-write a
+/// shadowed leaf would invalidate its neighbors' links, so ordered
+/// scans descend from the root with a parent stack instead. Mutations
+/// shadow the root-to-leaf path (pages not allocated in the current
+/// generation are copied to fresh pages and the originals freed), which
+/// is what makes a torn write never damage the last committed tree.
+///
+/// Nodes split when their serialized form outgrows a page; a leaf that
+/// shrinks below a quarter page merges with a sibling when the pair
+/// fits in one page, and nodes that empty out are collapsed away (a
+/// one-child root is replaced by that child).
+class BTree {
+ public:
+  /// Attaches to an existing tree; `root == 0` is the empty tree.
+  BTree(Pager* pager, uint64_t root) : pager_(pager), root_(root) {}
+
+  /// Root page id after mutations; 0 when empty. The owner persists
+  /// this in the pager's app meta at commit time.
+  uint64_t root() const { return root_; }
+
+  /// Inserts or replaces.
+  Status Put(std::string_view key, std::string_view value);
+  /// Removes `key`; returns false when it was absent.
+  Result<bool> Erase(std::string_view key);
+  Result<std::optional<std::string>> Get(std::string_view key) const;
+
+  /// In-order visit of every entry. The visitor's non-OK status aborts
+  /// the scan and is returned.
+  Status Scan(
+      const std::function<Status(std::string_view key,
+                                 std::string_view value)>& visit) const;
+
+  /// Frees every page of the tree (overflow chains included) and
+  /// resets to empty.
+  Status Clear();
+
+  Result<uint64_t> CountEntries() const;
+
+  // Node layout types; public so the serializer helpers in btree.cc
+  // (file-local free functions) can name them.
+  struct Cell;
+  struct Node;
+
+ private:
+
+  Result<Node> LoadNode(uint64_t pid) const;
+  Status ScanNode(uint64_t pid, int depth,
+                  const std::function<Status(std::string_view,
+                                             std::string_view)>& visit) const;
+  Status ClearNode(uint64_t pid, int depth);
+
+  Result<uint64_t> WriteOverflow(std::string_view value);
+  Status FreeOverflow(uint64_t head);
+  Result<std::string> ReadOverflow(uint64_t head, uint64_t total_len) const;
+  void FreeCellOverflow(const Cell& cell);
+
+  /// Writes `node` back (shadowing or splitting as needed) and reports
+  /// the replacement entries for the parent: one (min_key, pid) pair
+  /// per page the node became, or none when the node emptied out.
+  struct WrittenEntry {
+    std::string min_key;
+    uint64_t pid = 0;
+    size_t serialized_size = 0;
+  };
+  Result<std::vector<WrittenEntry>> StoreNode(Node* node);
+
+  enum class MutateOp { kPut, kErase };
+  /// Recursive mutation: returns parent-replacement entries for the
+  /// subtree at `pid`. Sets *erased for kErase.
+  Result<std::vector<WrittenEntry>> Mutate(uint64_t pid, int depth,
+                                           MutateOp op, std::string_view key,
+                                           std::string_view value,
+                                           bool* erased);
+
+  Pager* pager_;
+  uint64_t root_;
+};
+
+}  // namespace wfrm::store
+
+#endif  // WFRM_STORE_BTREE_H_

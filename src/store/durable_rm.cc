@@ -101,6 +101,10 @@ void DurableResourceManager::ResetWorldLocked() {
   if (reg != nullptr) store_->set_metrics(reg);
   rm_ = std::make_unique<core::ResourceManager>(org_.get(), store_.get(),
                                                 options_.rm_options);
+  // A fresh world is fully resident until LoadWorldFromPagesLocked
+  // defers it again.
+  org_hydrated_ = true;
+  pending_org_rdl_.clear();
 }
 
 DurableResourceManager::~DurableResourceManager() = default;
@@ -115,6 +119,10 @@ Result<std::unique_ptr<DurableResourceManager>> DurableResourceManager::Open(
   }
   std::unique_ptr<DurableResourceManager> d(
       new DurableResourceManager(dir, std::move(options)));
+  // The lock comes first: everything after it (tmp reaping, recovery,
+  // WAL truncation) assumes no concurrent owner of the home.
+  WFRM_ASSIGN_OR_RETURN(d->home_lock_, HomeLock::Acquire(dir));
+  d->ReapOrphanTmpFiles();
   WFRM_RETURN_NOT_OK(d->ValidateHome());
   WFRM_RETURN_NOT_OK(d->Recover());
   if (d->needs_meta_) {
@@ -123,6 +131,24 @@ Result<std::unique_ptr<DurableResourceManager>> DurableResourceManager::Open(
     d->needs_meta_ = false;
   }
   return d;
+}
+
+void DurableResourceManager::ReapOrphanTmpFiles() {
+  // A `.tmp` in the home is pre-rename scratch from a checkpoint or
+  // durable-file write that crashed before its commit point. We hold
+  // the home lock, so no live writer can own one — reap them all.
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir_, ec);
+  if (ec) return;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (entry.path().extension() == ".tmp") {
+      std::error_code rm_ec;
+      if (std::filesystem::remove(entry.path(), rm_ec)) {
+        ++recovery_.tmp_files_reaped;
+      }
+    }
+  }
 }
 
 Status DurableResourceManager::ValidateHome() {
@@ -155,6 +181,13 @@ Status DurableResourceManager::ValidateHome() {
   // ours; anything else is a foreign or half-written directory, and
   // recovery must not touch it (torn-tail handling would truncate it).
   std::error_code ec;
+  if (std::filesystem::exists(PagesPath(), ec)) {
+    Result<std::string> head = ReadFileBytes(PagesPath());
+    if (!head.ok() || !LooksLikePagesFile(*head)) {
+      return Status::ExecutionError(
+          dir_ + " is not a wfrm durable home: pages.db has foreign magic");
+    }
+  }
   const bool has_snapshot = std::filesystem::exists(SnapshotPath(), ec);
   uintmax_t wal_size = 0;
   if (std::filesystem::exists(WalPath(), ec)) {
@@ -190,6 +223,9 @@ Status DurableResourceManager::SaveWorld(const std::string& dir,
     return Status::ExecutionError("cannot create durable home " + dir + ": " +
                                   ec.message());
   }
+  // Hold the home lock for the write: SaveWorld into a home another
+  // process has open would corrupt it under the owner's feet.
+  WFRM_ASSIGN_OR_RETURN(HomeLock lock, HomeLock::Acquire(dir));
   SnapshotData data;
   WFRM_ASSIGN_OR_RETURN(data.rdl_text, org::DumpRdl(org));
   data.policy_image = store.ExportImage();
@@ -213,13 +249,17 @@ Status DurableResourceManager::SaveWorld(const std::string& dir,
 Status DurableResourceManager::Recover() {
   const int64_t start = NowMicros();
 
-  Result<SnapshotData> snapshot = ReadSnapshot(SnapshotPath());
-  if (snapshot.ok()) {
-    WFRM_RETURN_NOT_OK(RestoreSnapshotLocked(*snapshot));
-    recovery_.snapshot_loaded = true;
-    recovery_.snapshot_seq = snapshot->last_seq;
-  } else if (snapshot.status().code() != StatusCode::kNotFound) {
-    return snapshot.status();
+  if (options_.backend == StorageBackend::kPaged) {
+    WFRM_RETURN_NOT_OK(RecoverPagedBase());
+  } else {
+    Result<SnapshotData> snapshot = ReadSnapshot(SnapshotPath());
+    if (snapshot.ok()) {
+      WFRM_RETURN_NOT_OK(RestoreSnapshotLocked(*snapshot));
+      recovery_.snapshot_loaded = true;
+      recovery_.snapshot_seq = snapshot->last_seq;
+    } else if (snapshot.status().code() != StatusCode::kNotFound) {
+      return snapshot.status();
+    }
   }
 
   WFRM_ASSIGN_OR_RETURN(WalScan scan, ReadWal(WalPath()));
@@ -237,6 +277,13 @@ Status DurableResourceManager::Recover() {
       // snapshot-rename and WAL-truncation.
       ++recovery_.wal_records_skipped;
     } else {
+      // A non-RDL record needs the hydrated world underneath it (policy
+      // text resolves org type names, lease ops need the allocation
+      // table). Pure-RDL tails stay buffered, so recovery cost tracks
+      // the tail, not the org.
+      if (record->type != RecordType::kRdl) {
+        WFRM_RETURN_NOT_OK(EnsureOrgHydratedLocked());
+      }
       ApplyRecord(*record);
       seq_ = record->seq;
       ++recovery_.wal_records_replayed;
@@ -259,6 +306,97 @@ Status DurableResourceManager::Recover() {
         static_cast<double>(recovery_.replay_micros));
   }
   UpdateHealthGaugesLocked();
+  return Status::OK();
+}
+
+Status DurableResourceManager::RecoverPagedBase() {
+  WFRM_ASSIGN_OR_RETURN(std::shared_ptr<PageStore> pages,
+                        PageStore::Open(PagesPath(), options_.pager));
+  pages_ = std::move(pages);
+
+  // Migration: a legacy snapshot.dat (home written by the snapshot
+  // backend, or a SaveWorld capture) is folded into the page trees,
+  // committed, then removed. Idempotent — a crash anywhere before the
+  // unlink re-runs the whole fold on the next open, and WAL records are
+  // skipped by seq either way.
+  Result<SnapshotData> legacy = ReadSnapshot(SnapshotPath());
+  if (legacy.ok()) {
+    WFRM_RETURN_NOT_OK(pages_->RewritePolicyImage(legacy->policy_image));
+    WFRM_RETURN_NOT_OK(pages_->RewriteRdl(legacy->rdl_text));
+    WFRM_RETURN_NOT_OK(pages_->RewriteLeases(legacy->leases));
+    PageStoreMeta meta;
+    meta.last_seq = legacy->last_seq;
+    meta.next_lease_id = legacy->next_lease_id;
+    meta.next_pid = legacy->policy_image.next_pid;
+    meta.next_group = legacy->policy_image.next_group;
+    meta.epoch = legacy->policy_image.epoch;
+    WFRM_RETURN_NOT_OK(pages_->Commit(meta));
+    std::error_code ec;
+    std::filesystem::remove(SnapshotPath(), ec);
+    recovery_.migrated_legacy = true;
+  } else if (legacy.status().code() != StatusCode::kNotFound) {
+    return legacy.status();
+  }
+
+  WFRM_RETURN_NOT_OK(LoadWorldFromPagesLocked());
+  // A pre-existing pages.db that never saw a checkpoint and holds no
+  // data contributed no state — the WAL rebuilds everything, same as a
+  // home with no snapshot, so it does not count as a loaded base. A
+  // migrated SaveWorld capture (real state at seq 0) does.
+  recovery_.snapshot_loaded = pages_->meta().last_seq > 0 ||
+                              pages_->has_state() ||
+                              recovery_.migrated_legacy;
+  recovery_.snapshot_seq = pages_->meta().last_seq;
+  recovery_.lazy_policy_base = true;
+  recovery_.lazy_org_base = true;
+  return Status::OK();
+}
+
+Status DurableResourceManager::LoadWorldFromPagesLocked() {
+  const PageStoreMeta meta = pages_->meta();
+  // Nothing bulky loads eagerly: the policy base stays on disk behind
+  // the bloom filter, and the org model + lease table hydrate together
+  // on first use (EnsureOrgHydratedLocked). Open() pays only for the
+  // meta slot and the WAL tail — O(dirty pages), not O(dataset).
+  store_->AttachLazySource(pages_, meta.next_pid, meta.next_group, meta.epoch);
+  // Track per-row deltas from here on: the WAL tail replayed by the
+  // caller and every live mutation feed the next incremental checkpoint.
+  store_->set_delta_tracking(true);
+  rm_->AdvanceLeaseId(meta.next_lease_id);
+  seq_ = meta.last_seq;
+  org_hydrated_ = false;
+  pending_org_rdl_.clear();
+  org_dirty_ = false;
+  dirty_lease_ids_.clear();
+  return Status::OK();
+}
+
+Status DurableResourceManager::EnsureOrgHydrated() const {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  return EnsureOrgHydratedLocked();
+}
+
+Status DurableResourceManager::EnsureOrgHydratedLocked() const {
+  if (org_hydrated_) return Status::OK();
+  // Replay order is preserved: the checkpointed base first (RDL text,
+  // then the lease table, each lease re-based onto the live clock), then
+  // the buffered WAL-tail RDL records in journal order. Tail statements
+  // replay with ignored status, exactly as ApplyRecord would have — a
+  // script that failed live fails identically here.
+  WFRM_ASSIGN_OR_RETURN(std::string rdl, pages_->LoadRdl());
+  if (!rdl.empty()) {
+    WFRM_RETURN_NOT_OK(org::ExecuteRdl(rdl, org_.get()));
+  }
+  WFRM_ASSIGN_OR_RETURN(std::vector<core::Lease> leases, pages_->LoadLeases());
+  const int64_t now = rm_->clock().NowMicros();
+  for (const core::Lease& lease : leases) {
+    WFRM_RETURN_NOT_OK(rm_->RestoreLease(FromDurableLease(lease, now)));
+  }
+  for (const std::string& text : pending_org_rdl_) {
+    (void)org::ExecuteRdl(text, org_.get());
+  }
+  pending_org_rdl_.clear();
+  org_hydrated_ = true;
   return Status::OK();
 }
 
@@ -285,7 +423,14 @@ void DurableResourceManager::ApplyRecord(const Record& record) {
   // than poisoning recovery.
   switch (record.type) {
     case RecordType::kRdl:
-      (void)org::ExecuteRdl(record.text, org_.get());
+      if (org_hydrated_) {
+        (void)org::ExecuteRdl(record.text, org_.get());
+      } else {
+        // Unhydrated paged base: buffer the tail record; hydration
+        // replays it in journal order on top of the checkpointed base.
+        pending_org_rdl_.emplace_back(record.text);
+      }
+      org_dirty_ = true;
       break;
     case RecordType::kPl:
       (void)store_->AddPolicyText(record.text);
@@ -303,10 +448,12 @@ void DurableResourceManager::ApplyRecord(const Record& record) {
     case RecordType::kLeaseRenew:
       (void)rm_->RestoreLease(
           FromDurableLease(record.lease, rm_->clock().NowMicros()));
+      if (record.lease.id != 0) dirty_lease_ids_.insert(record.lease.id);
       break;
     case RecordType::kLeaseRelease:
       // Matched by resource + id; the lifetime field is irrelevant.
       (void)rm_->Release(record.lease);
+      if (record.lease.id != 0) dirty_lease_ids_.insert(record.lease.id);
       break;
   }
 }
@@ -357,6 +504,7 @@ Status DurableResourceManager::MaybeCheckpointLocked() {
 Status DurableResourceManager::ExecuteRdl(std::string_view rdl_text) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
   WFRM_RETURN_NOT_OK(WritableLocked());
+  WFRM_RETURN_NOT_OK(EnsureOrgHydratedLocked());
   // Journal before apply: an RDL script that aborts mid-way still
   // mutated the org, and replay must reproduce exactly that partial
   // effect (redo-logging, DESIGN.md §10).
@@ -365,6 +513,8 @@ Status DurableResourceManager::ExecuteRdl(std::string_view rdl_text) {
   record.text = std::string(rdl_text);
   WFRM_RETURN_NOT_OK(JournalLocked(std::move(record)));
   Status applied = org::ExecuteRdl(rdl_text, org_.get());
+  // Even a script that aborted mid-way mutated the org.
+  org_dirty_ = true;
   Status checkpointed = MaybeCheckpointLocked();
   return applied.ok() ? checkpointed : applied;
 }
@@ -372,6 +522,7 @@ Status DurableResourceManager::ExecuteRdl(std::string_view rdl_text) {
 Status DurableResourceManager::AddPolicyText(std::string_view pl_text) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
   WFRM_RETURN_NOT_OK(WritableLocked());
+  WFRM_RETURN_NOT_OK(EnsureOrgHydratedLocked());
   Record record;
   record.type = RecordType::kPl;
   record.text = std::string(pl_text);
@@ -384,6 +535,7 @@ Status DurableResourceManager::AddPolicyText(std::string_view pl_text) {
 Status DurableResourceManager::RemoveQualification(int64_t pid) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
   WFRM_RETURN_NOT_OK(WritableLocked());
+  WFRM_RETURN_NOT_OK(EnsureOrgHydratedLocked());
   Record record;
   record.type = RecordType::kRemoveQualification;
   record.id = pid;
@@ -396,6 +548,7 @@ Status DurableResourceManager::RemoveQualification(int64_t pid) {
 Status DurableResourceManager::RemoveRequirementGroup(int64_t group) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
   WFRM_RETURN_NOT_OK(WritableLocked());
+  WFRM_RETURN_NOT_OK(EnsureOrgHydratedLocked());
   Record record;
   record.type = RecordType::kRemoveRequirementGroup;
   record.id = group;
@@ -408,6 +561,7 @@ Status DurableResourceManager::RemoveRequirementGroup(int64_t group) {
 Status DurableResourceManager::RemoveSubstitutionGroup(int64_t group) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
   WFRM_RETURN_NOT_OK(WritableLocked());
+  WFRM_RETURN_NOT_OK(EnsureOrgHydratedLocked());
   Record record;
   record.type = RecordType::kRemoveSubstitutionGroup;
   record.id = group;
@@ -420,6 +574,7 @@ Status DurableResourceManager::RemoveSubstitutionGroup(int64_t group) {
 Result<core::Lease> DurableResourceManager::Acquire(std::string_view rql_text) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
   WFRM_RETURN_NOT_OK(WritableLocked());
+  WFRM_RETURN_NOT_OK(EnsureOrgHydratedLocked());
   // Grants journal after apply: the record carries the *outcome* (which
   // resource, which id), which does not exist beforehand. The crash
   // window loses only unacknowledged grants.
@@ -432,6 +587,7 @@ Result<core::Lease> DurableResourceManager::Acquire(std::string_view rql_text) {
     (void)rm_->Release(lease);  // Keep state ⊆ journal.
     return journaled;
   }
+  dirty_lease_ids_.insert(lease.id);
   (void)MaybeCheckpointLocked();
   return lease;
 }
@@ -440,6 +596,7 @@ Result<core::Lease> DurableResourceManager::AllocateLease(
     const org::ResourceRef& ref) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
   WFRM_RETURN_NOT_OK(WritableLocked());
+  WFRM_RETURN_NOT_OK(EnsureOrgHydratedLocked());
   WFRM_ASSIGN_OR_RETURN(core::Lease lease, rm_->AllocateLease(ref));
   Record record;
   record.type = RecordType::kLeaseAcquire;
@@ -449,6 +606,7 @@ Result<core::Lease> DurableResourceManager::AllocateLease(
     (void)rm_->Release(lease);
     return journaled;
   }
+  dirty_lease_ids_.insert(lease.id);
   (void)MaybeCheckpointLocked();
   return lease;
 }
@@ -456,6 +614,7 @@ Result<core::Lease> DurableResourceManager::AllocateLease(
 Status DurableResourceManager::Release(const core::Lease& lease) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
   WFRM_RETURN_NOT_OK(WritableLocked());
+  WFRM_RETURN_NOT_OK(EnsureOrgHydratedLocked());
   // Journal before apply, unlike the grant paths: releasing a concrete
   // lease replays deterministically, and journaling second would let a
   // failed append leave a release applied in memory that replay undoes
@@ -466,6 +625,7 @@ Status DurableResourceManager::Release(const core::Lease& lease) {
   record.type = RecordType::kLeaseRelease;
   record.lease = ToDurableLease(lease, rm_->clock().NowMicros());
   WFRM_RETURN_NOT_OK(JournalLocked(std::move(record)));
+  if (lease.id != 0) dirty_lease_ids_.insert(lease.id);
   Status applied = rm_->Release(lease);
   Status checkpointed = MaybeCheckpointLocked();
   return applied.ok() ? checkpointed : applied;
@@ -474,6 +634,7 @@ Status DurableResourceManager::Release(const core::Lease& lease) {
 Status DurableResourceManager::Release(const org::ResourceRef& ref) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
   WFRM_RETURN_NOT_OK(WritableLocked());
+  WFRM_RETURN_NOT_OK(EnsureOrgHydratedLocked());
   // Journal before apply (see Release(Lease)); the record pins whatever
   // lease currently holds `ref`, so replay releases exactly that grant.
   std::optional<core::Lease> lease = rm_->FindLease(ref);
@@ -483,6 +644,7 @@ Status DurableResourceManager::Release(const org::ResourceRef& ref) {
                      ? ToDurableLease(*lease, rm_->clock().NowMicros())
                      : core::Lease{ref, 0, core::Lease::kNoExpiry};
   WFRM_RETURN_NOT_OK(JournalLocked(std::move(record)));
+  if (lease) dirty_lease_ids_.insert(lease->id);
   Status applied = rm_->Release(ref);
   Status checkpointed = MaybeCheckpointLocked();
   return applied.ok() ? checkpointed : applied;
@@ -492,6 +654,7 @@ Result<core::Lease> DurableResourceManager::RenewLease(
     const core::Lease& lease) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
   WFRM_RETURN_NOT_OK(WritableLocked());
+  WFRM_RETURN_NOT_OK(EnsureOrgHydratedLocked());
   WFRM_ASSIGN_OR_RETURN(core::Lease renewed, rm_->RenewLease(lease));
   Record record;
   record.type = RecordType::kLeaseRenew;
@@ -503,6 +666,7 @@ Result<core::Lease> DurableResourceManager::RenewLease(
     (void)rm_->RestoreLease(lease);
     return journaled;
   }
+  dirty_lease_ids_.insert(renewed.id);
   (void)MaybeCheckpointLocked();
   return renewed;
 }
@@ -510,8 +674,10 @@ Result<core::Lease> DurableResourceManager::RenewLease(
 size_t DurableResourceManager::ReapExpired() {
   std::lock_guard<std::mutex> lock(mutate_mu_);
   // Reaping journals releases, i.e. mutates; a degraded or standby
-  // store skips the pass (expired leases stay until it heals).
+  // store skips the pass (expired leases stay until it heals). An
+  // unhydrated lease table has nothing visible to reap either.
   if (!WritableLocked().ok()) return 0;
+  if (!EnsureOrgHydratedLocked().ok()) return 0;
   const int64_t now = rm_->clock().NowMicros();
   // Journal before apply, like Release(): collect the expired set,
   // journal one release per lease, then reap exactly that set. Journal-
@@ -527,6 +693,7 @@ size_t DurableResourceManager::ReapExpired() {
     record.type = RecordType::kLeaseRelease;
     record.lease = ToDurableLease(lease, now);
     if (!JournalLocked(std::move(record)).ok()) break;
+    dirty_lease_ids_.insert(lease.id);
     ++journaled;
   }
   size_t reaped = 0;
@@ -557,7 +724,88 @@ SnapshotData DurableResourceManager::CaptureLocked() const {
   return data;
 }
 
+Status DurableResourceManager::CheckpointPagedLocked() {
+  // A buffered (unhydrated) org cannot be dumped, so anything org-dirty
+  // hydrates first. A checkpoint with no org changes leaves the lazy
+  // base untouched on disk — and stays O(dirty pages).
+  if (org_dirty_) {
+    WFRM_RETURN_NOT_OK(EnsureOrgHydratedLocked());
+  }
+
+  // 1. Policy base: per-row deltas since the last checkpoint, or a full
+  // image rewrite when the buffer overflowed (bulk load, ImportImage)
+  // or the delta stream diverged from the trees.
+  policy::PendingPolicyDeltas pending = store_->TakePendingDeltas();
+  bool full_rewrite = pending.overflowed;
+  if (!full_rewrite && !pending.deltas.empty()) {
+    Status applied = pages_->ApplyPolicyDeltas(pending.deltas);
+    if (!applied.ok()) full_rewrite = true;
+  }
+  if (full_rewrite) {
+    WFRM_RETURN_NOT_OK(store_->EnsureHydrated());
+    WFRM_RETURN_NOT_OK(pages_->RewritePolicyImage(store_->ExportImage()));
+  }
+
+  // 2. Org model: RDL text rewrite only when something ran RDL.
+  if (org_dirty_) {
+    WFRM_ASSIGN_OR_RETURN(std::string rdl, org::DumpRdl(*org_));
+    WFRM_RETURN_NOT_OK(pages_->RewriteRdl(rdl));
+  }
+
+  // 3. Leases: each id touched since the last checkpoint re-resolves
+  // against the live table — present means upsert with its remaining
+  // lifetime as of now, gone means delete. Untouched leases keep the
+  // lifetime persisted when they were last journaled, which is the same
+  // guarantee a WAL replay gives them.
+  if (!dirty_lease_ids_.empty()) {
+    const int64_t now = rm_->clock().NowMicros();
+    std::unordered_set<uint64_t> live_dirty;
+    for (const core::Lease& lease : rm_->ListLeases()) {
+      if (dirty_lease_ids_.count(lease.id) > 0) {
+        WFRM_RETURN_NOT_OK(pages_->PutLease(ToDurableLease(lease, now)));
+        live_dirty.insert(lease.id);
+      }
+    }
+    for (uint64_t id : dirty_lease_ids_) {
+      if (live_dirty.count(id) == 0) {
+        WFRM_RETURN_NOT_OK(pages_->DeleteLease(id));
+      }
+    }
+  }
+
+  // 4. One generation flip carrying the counters.
+  PageStoreMeta meta;
+  meta.last_seq = seq_;
+  meta.next_lease_id = rm_->next_lease_id();
+  meta.next_pid = store_->next_pid();
+  meta.next_group = store_->next_group();
+  meta.epoch = store_->local_epoch();
+  if (options_.crash_point == CheckpointCrashPoint::kAfterTmpWrite) {
+    // Simulated crash inside the page flush: data pages durable, meta
+    // slot not — the paged analogue of "tmp written, not renamed".
+    return pages_->Commit(meta, CommitCrashPoint::kBeforeMeta);
+  }
+  WFRM_RETURN_NOT_OK(pages_->Commit(meta));
+  org_dirty_ = false;
+  dirty_lease_ids_.clear();
+  if (metrics_.snapshots != nullptr) metrics_.snapshots->Increment();
+  if (options_.crash_point == CheckpointCrashPoint::kAfterRename) {
+    return Status::OK();  // Simulated crash: meta live, WAL untruncated.
+  }
+  WFRM_RETURN_NOT_OK(wal_.Truncate());
+  if (metrics_.wal_truncations != nullptr) {
+    metrics_.wal_truncations->Increment();
+  }
+  ReportSyncsLocked();
+  records_since_checkpoint_ = 0;
+  UpdateHealthGaugesLocked();
+  return Status::OK();
+}
+
 Status DurableResourceManager::CheckpointLocked() {
+  if (options_.backend == StorageBackend::kPaged) {
+    return CheckpointPagedLocked();
+  }
   SnapshotData data = CaptureLocked();
   WFRM_ASSIGN_OR_RETURN(data.rdl_text, org::DumpRdl(*org_));
 
@@ -667,6 +915,9 @@ bool DurableResourceManager::standby() const {
 
 Result<SnapshotData> DurableResourceManager::CaptureSnapshot() const {
   std::lock_guard<std::mutex> lock(mutate_mu_);
+  // The capture walks the live lease table and dumps the org; a lazy
+  // paged base must be resident first.
+  WFRM_RETURN_NOT_OK(EnsureOrgHydratedLocked());
   SnapshotData data = CaptureLocked();
   WFRM_ASSIGN_OR_RETURN(data.rdl_text, org::DumpRdl(*org_));
   return data;
@@ -674,9 +925,22 @@ Result<SnapshotData> DurableResourceManager::CaptureSnapshot() const {
 
 Status DurableResourceManager::InstallSnapshot(const SnapshotData& data) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
-  // Persist before apply: snapshot committed and WAL emptied first, so
-  // a crash anywhere mid-install recovers to exactly `data`.
-  WFRM_RETURN_NOT_OK(WriteSnapshot(SnapshotPath(), data));
+  // Persist before apply: the durable image committed and WAL emptied
+  // first, so a crash anywhere mid-install recovers to exactly `data`.
+  if (options_.backend == StorageBackend::kPaged) {
+    WFRM_RETURN_NOT_OK(pages_->RewritePolicyImage(data.policy_image));
+    WFRM_RETURN_NOT_OK(pages_->RewriteRdl(data.rdl_text));
+    WFRM_RETURN_NOT_OK(pages_->RewriteLeases(data.leases));
+    PageStoreMeta meta;
+    meta.last_seq = data.last_seq;
+    meta.next_lease_id = data.next_lease_id;
+    meta.next_pid = data.policy_image.next_pid;
+    meta.next_group = data.policy_image.next_group;
+    meta.epoch = data.policy_image.epoch;
+    WFRM_RETURN_NOT_OK(pages_->Commit(meta));
+  } else {
+    WFRM_RETURN_NOT_OK(WriteSnapshot(SnapshotPath(), data));
+  }
   WFRM_RETURN_NOT_OK(wal_.Truncate());
   if (metrics_.snapshots != nullptr) metrics_.snapshots->Increment();
   if (metrics_.wal_truncations != nullptr) {
@@ -684,6 +948,63 @@ Status DurableResourceManager::InstallSnapshot(const SnapshotData& data) {
   }
   ResetWorldLocked();
   WFRM_RETURN_NOT_OK(RestoreSnapshotLocked(data));
+  if (options_.backend == StorageBackend::kPaged) {
+    // The trees were just rewritten to mirror memory exactly: start
+    // delta tracking from a clean slate (ImportImage latched overflow).
+    store_->set_delta_tracking(false);
+    store_->set_delta_tracking(true);
+    org_dirty_ = false;
+    dirty_lease_ids_.clear();
+  }
+  records_since_checkpoint_ = 0;
+  UpdateHealthGaugesLocked();
+  return Status::OK();
+}
+
+Result<DurableResourceManager::CatchupImage>
+DurableResourceManager::CaptureCatchupImage() {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  CatchupImage image;
+  if (options_.backend == StorageBackend::kPaged) {
+    // Checkpoint so pages.db embodies everything through seq_, then
+    // ship the raw file: the follower installs pages instead of
+    // re-importing a decoded image.
+    WFRM_RETURN_NOT_OK(CheckpointPagedLocked());
+    WFRM_ASSIGN_OR_RETURN(image.bytes, ReadFileBytes(PagesPath()));
+    image.last_seq = seq_;
+    return image;
+  }
+  SnapshotData data = CaptureLocked();
+  WFRM_ASSIGN_OR_RETURN(data.rdl_text, org::DumpRdl(*org_));
+  image.bytes = EncodeSnapshot(data);
+  image.last_seq = data.last_seq;
+  return image;
+}
+
+Status DurableResourceManager::InstallPagedImage(std::string_view bytes) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  if (options_.backend != StorageBackend::kPaged) {
+    return Status::InvalidArgument(
+        "store " + dir_ +
+        " uses the snapshot backend; cannot install a pages.db image");
+  }
+  if (!LooksLikePagesFile(bytes)) {
+    return Status::ExecutionError("shipped catch-up image is not a pages.db");
+  }
+  // Close our engine before replacing its file, then commit the new
+  // bytes with the usual tmp + rename + dir-fsync dance.
+  pages_.reset();
+  WFRM_RETURN_NOT_OK(WriteFileDurable(PagesPath(), bytes));
+  WFRM_RETURN_NOT_OK(wal_.Truncate());
+  if (metrics_.snapshots != nullptr) metrics_.snapshots->Increment();
+  if (metrics_.wal_truncations != nullptr) {
+    metrics_.wal_truncations->Increment();
+  }
+  WFRM_ASSIGN_OR_RETURN(std::shared_ptr<PageStore> pages,
+                        PageStore::Open(PagesPath(), options_.pager));
+  pages_ = std::move(pages);
+  ResetWorldLocked();
+  WFRM_RETURN_NOT_OK(LoadWorldFromPagesLocked());
   records_since_checkpoint_ = 0;
   UpdateHealthGaugesLocked();
   return Status::OK();
@@ -700,6 +1021,12 @@ Status DurableResourceManager::ApplyReplicated(const Record& record) {
     return Status::InvalidArgument(
         "replication gap: record has seq " + std::to_string(record.seq) +
         ", store expects " + std::to_string(seq_ + 1));
+  }
+  // Hydrate before journaling: a non-RDL record applies against the
+  // org/lease world, and a hydration failure must reject the record
+  // outright rather than journal an effect memory lacks.
+  if (record.type != RecordType::kRdl) {
+    WFRM_RETURN_NOT_OK(EnsureOrgHydratedLocked());
   }
   // Journal under the primary's own seq (not a locally assigned one):
   // the follower's log stays byte-compatible with the primary's history,
@@ -724,6 +1051,9 @@ Status DurableResourceManager::ApplyReplicated(const Record& record) {
 std::string DurableResourceManager::StateFingerprint(
     bool include_deadlines) const {
   std::lock_guard<std::mutex> lock(mutate_mu_);
+  // Best effort: the signature cannot report a hydration I/O failure,
+  // so a failed load fingerprints whatever is resident.
+  (void)EnsureOrgHydratedLocked();
   FingerprintOptions options;
   options.include_deadlines = include_deadlines;
   return FingerprintWorld(*org_, *store_, *rm_, options);

@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -12,11 +13,26 @@
 #include "obs/metrics.h"
 #include "org/org_model.h"
 #include "policy/policy_store.h"
+#include "store/home_lock.h"
+#include "store/page_store.h"
 #include "store/record.h"
 #include "store/snapshot.h"
 #include "store/wal.h"
 
 namespace wfrm::store {
+
+/// Which persistence engine backs the durable home.
+enum class StorageBackend {
+  /// Paged copy-on-write B+tree file (pages.db): incremental
+  /// checkpoints, O(dirty pages) recovery, bloom-gated lazy policy
+  /// hydration. The default. A home written by the snapshot backend is
+  /// migrated in place on first open (the legacy snapshot.dat is folded
+  /// into pages.db and removed).
+  kPaged,
+  /// Legacy monolithic snapshot.dat blobs: every checkpoint rewrites
+  /// the full state. Kept for format-compatibility tests.
+  kSnapshot,
+};
 
 /// Crash-injection seam for Checkpoint(): stop after the named stage and
 /// return, leaving the directory exactly as a crash at that instant
@@ -34,6 +50,9 @@ enum class CheckpointCrashPoint {
 };
 
 struct DurableOptions {
+  StorageBackend backend = StorageBackend::kPaged;
+  /// Page size / buffer pool of the paged backend.
+  PagerOptions pager;
   FsyncMode fsync_mode = FsyncMode::kInterval;
   /// kInterval: fsync the WAL every this many appends.
   size_t fsync_interval_records = 64;
@@ -58,6 +77,17 @@ struct RecoveryInfo {
   size_t wal_records_skipped = 0;
   bool torn_tail = false;
   int64_t replay_micros = 0;
+  /// Paged backend: a legacy snapshot.dat was folded into pages.db.
+  bool migrated_legacy = false;
+  /// Orphaned `*.tmp` files (crashed mid-checkpoint) removed at open.
+  size_t tmp_files_reaped = 0;
+  /// Paged backend: the policy base was NOT loaded eagerly — it
+  /// hydrates on the first probe the bloom filter cannot rule out.
+  bool lazy_policy_base = false;
+  /// Paged backend: the org model and lease table were NOT loaded
+  /// eagerly either — they hydrate together on first use, so Open()
+  /// cost tracks the WAL tail, not the dataset.
+  bool lazy_org_base = false;
 };
 
 /// The durable shell around the in-memory resource manager stack: an
@@ -173,6 +203,24 @@ class DurableResourceManager {
   /// persist), for shipping to a far-behind follower.
   Result<SnapshotData> CaptureSnapshot() const;
 
+  /// Catch-up image in this store's native transfer format: the paged
+  /// backend checkpoints and ships the raw pages.db bytes (the follower
+  /// installs them with InstallPagedImage); the snapshot backend ships
+  /// EncodeSnapshot bytes. The applier sniffs which it got. `last_seq`
+  /// is captured atomically with the bytes — the shipper resumes WAL
+  /// streaming right after it.
+  struct CatchupImage {
+    std::string bytes;
+    uint64_t last_seq = 0;
+  };
+  Result<CatchupImage> CaptureCatchupImage();
+
+  /// Follower catch-up from a shipped pages.db image: the bytes are
+  /// committed to disk first (tmp + rename) and the WAL truncated, so a
+  /// crash mid-install recovers to exactly the shipped state; then the
+  /// in-memory world is rebuilt from the new file.
+  Status InstallPagedImage(std::string_view bytes);
+
   /// Follower catch-up: atomically replaces the entire durable home and
   /// in-memory world with `data` (snapshot file written and WAL
   /// truncated first, so a crash mid-install recovers to the snapshot).
@@ -195,10 +243,33 @@ class DurableResourceManager {
 
   // ---- Access -----------------------------------------------------------
 
-  org::OrgModel& org() { return *org_; }
-  policy::PolicyStore& store() { return *store_; }
-  core::ResourceManager& rm() { return *rm_; }
-  const core::ResourceManager& rm() const { return *rm_; }
+  // On the paged backend the org model and lease table hydrate lazily;
+  // handing out a reference is a use, so each accessor hydrates first
+  // (best effort — the signatures cannot report a hydration I/O
+  // failure; Status-returning paths call EnsureOrgHydrated themselves).
+  org::OrgModel& org() {
+    (void)EnsureOrgHydrated();
+    return *org_;
+  }
+  policy::PolicyStore& store() {
+    (void)EnsureOrgHydrated();
+    return *store_;
+  }
+  core::ResourceManager& rm() {
+    (void)EnsureOrgHydrated();
+    return *rm_;
+  }
+  const core::ResourceManager& rm() const {
+    (void)EnsureOrgHydrated();
+    return *rm_;
+  }
+
+  /// False while the paged org/lease base is still on disk only (the
+  /// snapshot backend and a hydrated paged store report true).
+  bool org_hydrated() const {
+    std::lock_guard<std::mutex> lock(mutate_mu_);
+    return org_hydrated_;
+  }
 
   /// This store's enforcement epoch (policy-store mutations plus org
   /// hierarchy versions). Under sharding every shard owns its own store
@@ -209,6 +280,12 @@ class DurableResourceManager {
 
   const RecoveryInfo& recovery_info() const { return recovery_; }
   const std::string& dir() const { return dir_; }
+  StorageBackend backend() const { return options_.backend; }
+  /// Paged-backend engine stats (pager I/O, bloom size); null stats on
+  /// the snapshot backend.
+  PageStoreStats page_stats() const {
+    return pages_ != nullptr ? pages_->stats() : PageStoreStats{};
+  }
   uint64_t last_seq() const {
     std::lock_guard<std::mutex> lock(mutate_mu_);
     return seq_;
@@ -245,6 +322,24 @@ class DurableResourceManager {
   void UpdateHealthGaugesLocked();
 
   Status Recover();
+  /// Paged-backend half of Recover(): opens pages.db (migrating a
+  /// legacy snapshot.dat into it first), rebuilds org/leases eagerly
+  /// and attaches the policy base lazily behind the bloom filter.
+  Status RecoverPagedBase();
+  /// Rebuilds the in-memory world from the already-open pages_ file;
+  /// shared by RecoverPagedBase and InstallPagedImage.
+  Status LoadWorldFromPagesLocked();
+  /// Lazy org/lease hydration: loads the checkpointed RDL text and the
+  /// lease table from pages_, then replays any buffered WAL-tail RDL
+  /// records in journal order. No-op once hydrated (or on the snapshot
+  /// backend, which restores eagerly). const because reads trigger it;
+  /// only the `mutable` hydration state changes.
+  Status EnsureOrgHydrated() const;
+  Status EnsureOrgHydratedLocked() const;
+  /// Removes orphaned `*.tmp` files left by a checkpoint that crashed
+  /// before its rename. Safe because the home lock is already held — no
+  /// live writer can own them.
+  void ReapOrphanTmpFiles();
   /// Applies one replayed WAL record to the in-memory state.
   void ApplyRecord(const Record& record);
   /// Forwards new WalWriter syncs to the wal_syncs counter.
@@ -257,17 +352,41 @@ class DurableResourceManager {
   /// claim a seq whose effect it lacks, and truncation would lose it).
   Status MaybeCheckpointLocked();
   Status CheckpointLocked();
+  /// Incremental paged checkpoint: policy deltas (or a full image
+  /// rewrite when the delta buffer overflowed), the RDL text if the org
+  /// changed, re-resolved dirty leases, then one pager commit.
+  Status CheckpointPagedLocked();
   SnapshotData CaptureLocked() const;
 
   std::string WalPath() const { return dir_ + "/wal.log"; }
   std::string SnapshotPath() const { return dir_ + "/snapshot.dat"; }
+  std::string PagesPath() const { return dir_ + "/pages.db"; }
   std::string MetaPath() const { return dir_ + "/store.meta"; }
 
   std::string dir_;
   DurableOptions options_;
+  HomeLock home_lock_;
   std::unique_ptr<org::OrgModel> org_;
   std::unique_ptr<policy::PolicyStore> store_;
   std::unique_ptr<core::ResourceManager> rm_;
+
+  /// Paged backend engine; null on the snapshot backend. shared_ptr
+  /// because the PolicyStore holds it as its lazy PolicyImageSource.
+  std::shared_ptr<PageStore> pages_;
+  /// Lease ids mutated since the last paged checkpoint; each is
+  /// re-resolved against the live table at checkpoint time (present →
+  /// upsert with fresh remaining lifetime, gone → delete).
+  std::unordered_set<uint64_t> dirty_lease_ids_;
+  /// The org model changed since the last paged checkpoint (RDL ran);
+  /// forces an RDL text rewrite in the sys tree.
+  bool org_dirty_ = false;
+  /// False while the paged org/lease base is still disk-only. Guarded
+  /// by mutate_mu_; mutable so const reads can hydrate.
+  mutable bool org_hydrated_ = true;
+  /// WAL-tail RDL records replayed before hydration: applying them
+  /// needs the checkpointed base underneath, so they wait for it in
+  /// journal order instead of forcing an O(dataset) load at Open().
+  mutable std::vector<std::string> pending_org_rdl_;
 
   mutable std::mutex mutate_mu_;
   WalWriter wal_;

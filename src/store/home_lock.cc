@@ -1,0 +1,111 @@
+#include "store/home_lock.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace wfrm::store {
+
+namespace {
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " " + path + ": " + strerror(errno));
+}
+
+/// Parses the pid recorded in an existing lockfile; 0 when the file is
+/// unreadable or does not hold a number (treated as stale).
+pid_t ReadLockPid(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return 0;
+  char buf[32];
+  ssize_t n = ::read(fd, buf, sizeof(buf) - 1);
+  ::close(fd);
+  if (n <= 0) return 0;
+  buf[n] = '\0';
+  long pid = 0;
+  if (std::sscanf(buf, "%ld", &pid) != 1 || pid <= 0) return 0;
+  return static_cast<pid_t>(pid);
+}
+
+bool PidAlive(pid_t pid) {
+  // kill(pid, 0) probes existence without signaling; EPERM still means
+  // the pid exists (owned by another user).
+  return ::kill(pid, 0) == 0 || errno == EPERM;
+}
+
+/// One O_EXCL creation attempt; writes our pid on success.
+Result<bool> TryCreate(const std::string& path) {
+  int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    if (errno == EEXIST) return false;
+    return IoError("create lockfile", path);
+  }
+  std::string pid = std::to_string(static_cast<long>(::getpid())) + "\n";
+  ssize_t written = ::write(fd, pid.data(), pid.size());
+  if (written != static_cast<ssize_t>(pid.size()) || ::fsync(fd) != 0) {
+    Status st = IoError("write lockfile", path);
+    ::close(fd);
+    ::unlink(path.c_str());
+    return st;
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace
+
+std::string HomeLock::PathFor(const std::string& dir) { return dir + "/LOCK"; }
+
+Result<HomeLock> HomeLock::Acquire(const std::string& dir) {
+  const std::string path = PathFor(dir);
+  // Two attempts: the second runs only after a stale lock was unlinked,
+  // so a racing live owner still wins via O_EXCL.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    WFRM_ASSIGN_OR_RETURN(bool created, TryCreate(path));
+    if (created) return HomeLock(path);
+    pid_t owner = ReadLockPid(path);
+    if (owner == static_cast<pid_t>(::getpid())) {
+      return Status::HomeLocked("home " + dir +
+                                " is already open in this process");
+    }
+    if (owner > 0 && PidAlive(owner)) {
+      return Status::HomeLocked("home " + dir + " is locked by pid " +
+                                std::to_string(static_cast<long>(owner)));
+    }
+    // Dead owner (or garbage lockfile): reclaim and retry once.
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return IoError("reclaim stale lockfile", path);
+    }
+  }
+  return Status::HomeLocked("home " + dir + ": lockfile contention");
+}
+
+HomeLock::HomeLock(HomeLock&& other) noexcept
+    : path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+HomeLock& HomeLock::operator=(HomeLock&& other) noexcept {
+  if (this != &other) {
+    Release();
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+HomeLock::~HomeLock() { Release(); }
+
+void HomeLock::Release() {
+  if (path_.empty()) return;
+  ::unlink(path_.c_str());
+  path_.clear();
+}
+
+}  // namespace wfrm::store

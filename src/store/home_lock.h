@@ -1,0 +1,53 @@
+#ifndef WFRM_STORE_HOME_LOCK_H_
+#define WFRM_STORE_HOME_LOCK_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace wfrm::store {
+
+/// Exclusive-open guard for a durable home directory.
+///
+/// Acquire() creates `<home>/LOCK` with O_CREAT|O_EXCL and writes the
+/// owner's pid into it. A second open of the same home fails with
+/// StatusCode::kHomeLocked while the first owner is alive. A lockfile
+/// left behind by a crashed owner (its pid no longer exists, or the
+/// file is unreadable garbage) is reclaimed automatically.
+///
+/// The guard releases the lock (unlinks the file) on destruction; a
+/// process kill leaves the file behind for the stale-pid check to
+/// reclaim. Pid liveness is probed with kill(pid, 0), so the check is
+/// advisory against pid reuse — the standard trade-off for
+/// pid-lockfiles.
+class HomeLock {
+ public:
+  /// Takes the lock for `dir` (which must exist), writing this
+  /// process's pid. Returns kHomeLocked when a live owner holds it.
+  static Result<HomeLock> Acquire(const std::string& dir);
+
+  HomeLock() = default;
+  HomeLock(HomeLock&& other) noexcept;
+  HomeLock& operator=(HomeLock&& other) noexcept;
+  HomeLock(const HomeLock&) = delete;
+  HomeLock& operator=(const HomeLock&) = delete;
+  ~HomeLock();
+
+  /// Unlinks the lockfile early (idempotent).
+  void Release();
+
+  bool held() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  /// Lockfile path for a home directory ("<dir>/LOCK").
+  static std::string PathFor(const std::string& dir);
+
+ private:
+  explicit HomeLock(std::string path) : path_(std::move(path)) {}
+
+  std::string path_;  // empty when not held
+};
+
+}  // namespace wfrm::store
+
+#endif  // WFRM_STORE_HOME_LOCK_H_

@@ -1,0 +1,467 @@
+#include "store/page_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "policy/key_encoding.h"
+#include "store/record.h"
+
+namespace wfrm::store {
+
+namespace {
+
+constexpr uint32_t kAppMetaVersion = 1;
+
+// sys-tree keys.
+constexpr std::string_view kSysRdl = "rdl";
+constexpr std::string_view kSysBloom = "bloom";
+
+/// Column permutation per relation: the tree key lists the columns in
+/// retrieval order (Activity, Resource first where present) so the
+/// B+tree clusters what the indexes cluster. Filter relations have no
+/// Activity column and keep their natural order.
+const std::vector<size_t>& KeyColumns(policy::PolicyRelation relation) {
+  static const std::vector<size_t> kQual = {2, 1, 0};
+  static const std::vector<size_t> kPol = {2, 3, 1, 0, 4, 5};
+  static const std::vector<size_t> kFilter = {0, 1, 2, 3, 4, 5};
+  static const std::vector<size_t> kSubstPol = {2, 3, 1, 0, 4, 5, 6, 7};
+  switch (relation) {
+    case policy::PolicyRelation::kQualifications:
+      return kQual;
+    case policy::PolicyRelation::kPolicies:
+      return kPol;
+    case policy::PolicyRelation::kFilter:
+    case policy::PolicyRelation::kSubstFilter:
+      return kFilter;
+    case policy::PolicyRelation::kSubstPolicies:
+      return kSubstPol;
+  }
+  return kFilter;
+}
+
+/// Appends one encoded component with 0x00-escaping and a 0x00 0x00
+/// terminator. The escape (0x00 -> 0x00 0xFF) keeps memcmp order of the
+/// concatenation equal to component-wise order: a terminator (0x00
+/// 0x00) always sorts below an escaped interior zero (0x00 0xFF) and
+/// below any literal byte.
+void AppendComponent(std::string* out, std::string_view component) {
+  for (char c : component) {
+    if (c == '\0') {
+      out->push_back('\0');
+      out->push_back('\xFF');
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('\0');
+  out->push_back('\0');
+}
+
+/// Tree key for one relation row: the key_encoding of each column in
+/// KeyColumns order, componentized. Every column participates, so equal
+/// keys mean equal rows (up to int/double widening inside EncodeKey —
+/// the multiset value count below absorbs genuine duplicates either
+/// way).
+Result<std::string> RowKey(policy::PolicyRelation relation,
+                           const rel::Row& row) {
+  const std::vector<size_t>& cols = KeyColumns(relation);
+  std::string key;
+  for (size_t col : cols) {
+    if (col >= row.size()) {
+      return Status::Internal("policy row narrower than its key layout");
+    }
+    std::string enc;
+    if (row[col].is_null()) {
+      enc = policy::EncodedDomainMin();
+    } else {
+      WFRM_ASSIGN_OR_RETURN(enc, policy::EncodeKey(row[col]));
+    }
+    AppendComponent(&key, enc);
+  }
+  return key;
+}
+
+/// Tree values are a tiny multiset: [u32 count][AppendRow bytes]. The
+/// count absorbs duplicate rows (the relational tables are bags).
+std::string EncodeRowValue(uint32_t count, const rel::Row& row) {
+  std::string out;
+  AppendU32(&out, count);
+  AppendRow(&out, row);
+  return out;
+}
+
+Result<std::pair<uint32_t, rel::Row>> DecodeRowValue(std::string_view bytes) {
+  uint32_t count = 0;
+  rel::Row row;
+  if (!ReadU32(&bytes, &count) || !ReadRow(&bytes, &row) || !bytes.empty() ||
+      count == 0) {
+    return Status::ExecutionError("corrupt policy tree value");
+  }
+  return std::make_pair(count, std::move(row));
+}
+
+Result<std::string> LeaseKey(uint64_t lease_id) {
+  WFRM_ASSIGN_OR_RETURN(
+      std::string enc,
+      policy::EncodeKey(rel::Value::Int(static_cast<int64_t>(lease_id))));
+  return enc;
+}
+
+std::string EncodeLeaseValue(const core::Lease& lease) {
+  std::string out;
+  AppendString(&out, lease.resource.type);
+  AppendString(&out, lease.resource.id);
+  AppendU64(&out, lease.id);
+  AppendI64(&out, lease.deadline_micros);
+  return out;
+}
+
+Result<core::Lease> DecodeLeaseValue(std::string_view bytes) {
+  core::Lease lease;
+  if (!ReadString(&bytes, &lease.resource.type) ||
+      !ReadString(&bytes, &lease.resource.id) || !ReadU64(&bytes, &lease.id) ||
+      !ReadI64(&bytes, &lease.deadline_micros) || !bytes.empty()) {
+    return Status::ExecutionError("corrupt lease tree value");
+  }
+  return lease;
+}
+
+/// The Activity column index of the three relations that have one.
+int ActivityColumn(policy::PolicyRelation relation) {
+  switch (relation) {
+    case policy::PolicyRelation::kQualifications:
+    case policy::PolicyRelation::kPolicies:
+    case policy::PolicyRelation::kSubstPolicies:
+      return 2;
+    case policy::PolicyRelation::kFilter:
+    case policy::PolicyRelation::kSubstFilter:
+      return -1;
+  }
+  return -1;
+}
+
+/// Serializes the durable counters plus the seven tree roots into the
+/// pager's application meta blob.
+std::string EncodeAppMeta(const PageStoreMeta& meta,
+                          const uint64_t roots[7]) {
+  std::string out;
+  AppendU32(&out, kAppMetaVersion);
+  AppendU64(&out, meta.last_seq);
+  AppendU64(&out, meta.next_lease_id);
+  AppendI64(&out, meta.next_pid);
+  AppendI64(&out, meta.next_group);
+  AppendU64(&out, meta.epoch);
+  for (int i = 0; i < 7; ++i) AppendU64(&out, roots[i]);
+  return out;
+}
+
+Status DecodeAppMeta(std::string_view bytes, PageStoreMeta* meta,
+                     uint64_t roots[7]) {
+  uint32_t version = 0;
+  if (!ReadU32(&bytes, &version)) {
+    return Status::ExecutionError("page store meta: truncated header");
+  }
+  if (version != kAppMetaVersion) {
+    return Status::ExecutionError("page store meta: unsupported version " +
+                                  std::to_string(version));
+  }
+  if (!ReadU64(&bytes, &meta->last_seq) ||
+      !ReadU64(&bytes, &meta->next_lease_id) ||
+      !ReadI64(&bytes, &meta->next_pid) ||
+      !ReadI64(&bytes, &meta->next_group) || !ReadU64(&bytes, &meta->epoch)) {
+    return Status::ExecutionError("page store meta: truncated counters");
+  }
+  for (int i = 0; i < 7; ++i) {
+    if (!ReadU64(&bytes, &roots[i])) {
+      return Status::ExecutionError("page store meta: truncated roots");
+    }
+  }
+  if (!bytes.empty()) {
+    return Status::ExecutionError("page store meta: trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PageStore>> PageStore::Open(const std::string& path,
+                                                   PagerOptions options) {
+  WFRM_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager,
+                        Pager::Open(path, options));
+  // Can't use make_unique: the constructor is private.
+  std::unique_ptr<PageStore> store(new PageStore());
+  store->path_ = path;
+  store->created_ = pager->created();
+  store->pager_ = std::move(pager);
+
+  uint64_t roots[7] = {0, 0, 0, 0, 0, 0, 0};
+  if (!store->created_ && !store->pager_->app_meta().empty()) {
+    WFRM_RETURN_NOT_OK(
+        DecodeAppMeta(store->pager_->app_meta(), &store->meta_, roots));
+  }
+  Pager* p = store->pager_.get();
+  store->sys_ = std::make_unique<BTree>(p, roots[0]);
+  store->quals_ = std::make_unique<BTree>(p, roots[1]);
+  store->policies_ = std::make_unique<BTree>(p, roots[2]);
+  store->filter_ = std::make_unique<BTree>(p, roots[3]);
+  store->subst_policies_ = std::make_unique<BTree>(p, roots[4]);
+  store->subst_filter_ = std::make_unique<BTree>(p, roots[5]);
+  store->leases_ = std::make_unique<BTree>(p, roots[6]);
+
+  if (store->created_) {
+    // Commit generation 1 right away so a crash after creation reopens
+    // as a valid empty store instead of a zero-length file.
+    WFRM_RETURN_NOT_OK(store->Commit(store->meta_));
+  } else {
+    std::lock_guard<std::mutex> lock(store->mu_);
+    WFRM_RETURN_NOT_OK(store->LoadBloomLocked());
+  }
+  return store;
+}
+
+PageStoreMeta PageStore::meta() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return meta_;
+}
+
+bool PageStore::has_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sys_->root() != 0 || quals_->root() != 0 || policies_->root() != 0 ||
+         filter_->root() != 0 || subst_policies_->root() != 0 ||
+         subst_filter_->root() != 0 || leases_->root() != 0;
+}
+
+Status PageStore::LoadBloomLocked() {
+  WFRM_ASSIGN_OR_RETURN(std::optional<std::string> bytes,
+                        sys_->Get(kSysBloom));
+  if (!bytes.has_value()) return Status::OK();  // Fresh store: empty bloom.
+  WFRM_ASSIGN_OR_RETURN(BloomFilter loaded, BloomFilter::Deserialize(*bytes));
+  std::unique_lock<std::shared_mutex> bloom_lock(bloom_mu_);
+  bloom_ = std::move(loaded);
+  return Status::OK();
+}
+
+Status PageStore::SaveBloomLocked() {
+  std::string bytes;
+  {
+    std::shared_lock<std::shared_mutex> bloom_lock(bloom_mu_);
+    bytes = bloom_.Serialize();
+  }
+  WFRM_RETURN_NOT_OK(sys_->Put(kSysBloom, bytes));
+  bloom_dirty_ = false;
+  return Status::OK();
+}
+
+BTree* PageStore::TreeFor(policy::PolicyRelation relation) {
+  switch (relation) {
+    case policy::PolicyRelation::kQualifications:
+      return quals_.get();
+    case policy::PolicyRelation::kPolicies:
+      return policies_.get();
+    case policy::PolicyRelation::kFilter:
+      return filter_.get();
+    case policy::PolicyRelation::kSubstPolicies:
+      return subst_policies_.get();
+    case policy::PolicyRelation::kSubstFilter:
+      return subst_filter_.get();
+  }
+  return filter_.get();
+}
+
+Status PageStore::ApplyOneDeltaLocked(const policy::PolicyRowDelta& delta) {
+  BTree* tree = TreeFor(delta.relation);
+  WFRM_ASSIGN_OR_RETURN(std::string key, RowKey(delta.relation, delta.row));
+  WFRM_ASSIGN_OR_RETURN(std::optional<std::string> existing, tree->Get(key));
+  if (delta.deleted) {
+    if (!existing.has_value()) {
+      return Status::Internal("policy delta deletes a row the tree lacks");
+    }
+    WFRM_ASSIGN_OR_RETURN(auto decoded, DecodeRowValue(*existing));
+    if (decoded.first > 1) {
+      return tree->Put(key, EncodeRowValue(decoded.first - 1, decoded.second));
+    }
+    return tree->Erase(key).status();
+  }
+  uint32_t count = 1;
+  if (existing.has_value()) {
+    WFRM_ASSIGN_OR_RETURN(auto decoded, DecodeRowValue(*existing));
+    count = decoded.first + 1;
+  }
+  WFRM_RETURN_NOT_OK(tree->Put(key, EncodeRowValue(count, delta.row)));
+  int act_col = ActivityColumn(delta.relation);
+  if (act_col >= 0 && static_cast<size_t>(act_col) < delta.row.size() &&
+      delta.row[act_col].is_string()) {
+    std::unique_lock<std::shared_mutex> bloom_lock(bloom_mu_);
+    bloom_.Add(delta.row[act_col].string_value());
+    bloom_dirty_ = true;
+  }
+  return Status::OK();
+}
+
+Status PageStore::ApplyPolicyDeltas(
+    const std::vector<policy::PolicyRowDelta>& deltas) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const policy::PolicyRowDelta& delta : deltas) {
+    WFRM_RETURN_NOT_OK(ApplyOneDeltaLocked(delta));
+  }
+  return Status::OK();
+}
+
+Status PageStore::RewritePolicyImage(const policy::PolicyImage& image) {
+  std::lock_guard<std::mutex> lock(mu_);
+  struct Load {
+    policy::PolicyRelation relation;
+    const std::vector<rel::Row>* rows;
+  };
+  const Load loads[] = {
+      {policy::PolicyRelation::kQualifications, &image.qualifications},
+      {policy::PolicyRelation::kPolicies, &image.policies},
+      {policy::PolicyRelation::kFilter, &image.filter},
+      {policy::PolicyRelation::kSubstPolicies, &image.subst_policies},
+      {policy::PolicyRelation::kSubstFilter, &image.subst_filter}};
+
+  uint64_t activity_rows = image.qualifications.size() +
+                           image.policies.size() +
+                           image.subst_policies.size();
+  BloomFilter fresh =
+      BloomFilter::ForEntries(std::max<uint64_t>(activity_rows, 64), 0.01);
+
+  for (const Load& load : loads) {
+    BTree* tree = TreeFor(load.relation);
+    WFRM_RETURN_NOT_OK(tree->Clear());
+    int act_col = ActivityColumn(load.relation);
+    for (const rel::Row& row : *load.rows) {
+      WFRM_ASSIGN_OR_RETURN(std::string key, RowKey(load.relation, row));
+      WFRM_ASSIGN_OR_RETURN(std::optional<std::string> existing,
+                            tree->Get(key));
+      uint32_t count = 1;
+      if (existing.has_value()) {
+        WFRM_ASSIGN_OR_RETURN(auto decoded, DecodeRowValue(*existing));
+        count = decoded.first + 1;
+      }
+      WFRM_RETURN_NOT_OK(tree->Put(key, EncodeRowValue(count, row)));
+      if (act_col >= 0 && static_cast<size_t>(act_col) < row.size() &&
+          row[act_col].is_string()) {
+        fresh.Add(row[act_col].string_value());
+      }
+    }
+  }
+  {
+    std::unique_lock<std::shared_mutex> bloom_lock(bloom_mu_);
+    bloom_ = std::move(fresh);
+  }
+  bloom_dirty_ = true;
+  return Status::OK();
+}
+
+Status PageStore::ScanRelation(policy::PolicyRelation relation,
+                               std::vector<rel::Row>* out) {
+  BTree* tree = TreeFor(relation);
+  return tree->Scan([out](std::string_view, std::string_view value) -> Status {
+    WFRM_ASSIGN_OR_RETURN(auto decoded, DecodeRowValue(value));
+    for (uint32_t i = 0; i < decoded.first; ++i) {
+      out->push_back(decoded.second);
+    }
+    return Status::OK();
+  });
+}
+
+Result<policy::PolicyImage> PageStore::LoadImage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  policy::PolicyImage image;
+  WFRM_RETURN_NOT_OK(ScanRelation(policy::PolicyRelation::kQualifications,
+                                  &image.qualifications));
+  WFRM_RETURN_NOT_OK(
+      ScanRelation(policy::PolicyRelation::kPolicies, &image.policies));
+  WFRM_RETURN_NOT_OK(
+      ScanRelation(policy::PolicyRelation::kFilter, &image.filter));
+  WFRM_RETURN_NOT_OK(ScanRelation(policy::PolicyRelation::kSubstPolicies,
+                                  &image.subst_policies));
+  WFRM_RETURN_NOT_OK(ScanRelation(policy::PolicyRelation::kSubstFilter,
+                                  &image.subst_filter));
+  image.next_pid = meta_.next_pid;
+  image.next_group = meta_.next_group;
+  image.epoch = meta_.epoch;
+  return image;
+}
+
+bool PageStore::MayHaveActivity(const std::string& activity) const {
+  std::shared_lock<std::shared_mutex> bloom_lock(bloom_mu_);
+  if (bloom_.empty()) return false;
+  return bloom_.MayContain(activity);
+}
+
+Result<std::string> PageStore::LoadRdl() {
+  std::lock_guard<std::mutex> lock(mu_);
+  WFRM_ASSIGN_OR_RETURN(std::optional<std::string> rdl, sys_->Get(kSysRdl));
+  return rdl.value_or(std::string());
+}
+
+Status PageStore::RewriteRdl(const std::string& rdl_text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sys_->Put(kSysRdl, rdl_text);
+}
+
+Result<std::vector<core::Lease>> PageStore::LoadLeases() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<core::Lease> leases;
+  WFRM_RETURN_NOT_OK(
+      leases_->Scan([&leases](std::string_view, std::string_view value) {
+        WFRM_ASSIGN_OR_RETURN(core::Lease lease, DecodeLeaseValue(value));
+        leases.push_back(std::move(lease));
+        return Status::OK();
+      }));
+  return leases;
+}
+
+Status PageStore::PutLease(const core::Lease& lease) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WFRM_ASSIGN_OR_RETURN(std::string key, LeaseKey(lease.id));
+  return leases_->Put(key, EncodeLeaseValue(lease));
+}
+
+Status PageStore::DeleteLease(uint64_t lease_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WFRM_ASSIGN_OR_RETURN(std::string key, LeaseKey(lease_id));
+  return leases_->Erase(key).status();
+}
+
+Status PageStore::RewriteLeases(const std::vector<core::Lease>& leases) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WFRM_RETURN_NOT_OK(leases_->Clear());
+  for (const core::Lease& lease : leases) {
+    WFRM_ASSIGN_OR_RETURN(std::string key, LeaseKey(lease.id));
+    WFRM_RETURN_NOT_OK(leases_->Put(key, EncodeLeaseValue(lease)));
+  }
+  return Status::OK();
+}
+
+Status PageStore::Commit(const PageStoreMeta& meta, CommitCrashPoint crash) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bloom_dirty_) WFRM_RETURN_NOT_OK(SaveBloomLocked());
+  uint64_t roots[7] = {sys_->root(),           quals_->root(),
+                       policies_->root(),      filter_->root(),
+                       subst_policies_->root(), subst_filter_->root(),
+                       leases_->root()};
+  if (crash == CommitCrashPoint::kBeforeMeta) {
+    // Crash seam: the data pages reach disk but the meta slot does not,
+    // exactly what a power cut between the two fsyncs leaves behind.
+    return pager_->FlushWithoutCommit();
+  }
+  WFRM_RETURN_NOT_OK(pager_->Commit(EncodeAppMeta(meta, roots)));
+  meta_ = meta;
+  return Status::OK();
+}
+
+PageStoreStats PageStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PageStoreStats s;
+  s.pager = pager_->stats();
+  std::shared_lock<std::shared_mutex> bloom_lock(bloom_mu_);
+  s.bloom_entries = bloom_.entries_added();
+  s.bloom_bits = bloom_.bit_count();
+  return s;
+}
+
+}  // namespace wfrm::store

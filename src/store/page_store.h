@@ -1,0 +1,159 @@
+#ifndef WFRM_STORE_PAGE_STORE_H_
+#define WFRM_STORE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/resource_manager.h"
+#include "policy/policy_store.h"
+#include "store/bloom.h"
+#include "store/btree.h"
+#include "store/pager.h"
+
+namespace wfrm::store {
+
+/// Crash-injection seam for Commit(): stop after the named stage,
+/// leaving the pages file exactly as a crash at that instant would.
+enum class CommitCrashPoint {
+  kNone,
+  /// Dirty pages flushed, meta slot not written: a reopen must come up
+  /// at the previous durable generation (copy-on-write guarantees the
+  /// flushed pages only touched free space).
+  kBeforeMeta,
+};
+
+/// Durable counters carried in the pager's application meta. They
+/// travel with the page commit, so state and counters are always from
+/// the same generation.
+struct PageStoreMeta {
+  uint64_t last_seq = 0;
+  uint64_t next_lease_id = 1;
+  int64_t next_pid = 100;
+  int64_t next_group = 1;
+  uint64_t epoch = 0;
+};
+
+struct PageStoreStats {
+  PagerStats pager;
+  uint64_t bloom_entries = 0;
+  uint64_t bloom_bits = 0;
+};
+
+/// The paged storage engine behind DurableResourceManager: one
+/// copy-on-write pages file holding seven B+trees — a small `sys` tree
+/// (RDL text, serialized bloom filter), one tree per decomposed policy
+/// relation (Qualifications, Policies, Filter, SubstPolicies,
+/// SubstFilter), and the live leases. Tree keys reuse the existing
+/// order-preserving key_encoding (policy/key_encoding.h) per component,
+/// so memcmp order in the B+tree matches value order in the relations.
+///
+/// Checkpoints are incremental: the policy trees absorb per-row deltas
+/// (PolicyStore::TakePendingDeltas) instead of a full image rewrite,
+/// and Commit() writes only the dirty pages plus one meta slot.
+/// Recovery cost is therefore O(dirty pages), not O(policy base).
+///
+/// The per-activity bloom filter over the policy relations' Activity
+/// columns is kept inline (sys tree) and in memory; MayHaveActivity()
+/// answers without touching disk, which is what lets a store with no
+/// applicable policies serve "no policy applies" from empty tables.
+///
+/// Thread safety: structural state (pager + trees + meta) is guarded by
+/// one mutex; the bloom filter has its own shared_mutex so concurrent
+/// enforcement reads probe it without contending with mutations.
+class PageStore : public policy::PolicyImageSource {
+ public:
+  /// Opens (or creates) the pages file. A fresh file is committed
+  /// immediately at generation 1 so a crash right after creation
+  /// reopens cleanly.
+  static Result<std::unique_ptr<PageStore>> Open(const std::string& path,
+                                                 PagerOptions options = {});
+
+  /// True when Open() created the file.
+  bool created() const { return created_; }
+
+  PageStoreMeta meta() const;
+
+  /// True when any tree holds data — distinguishes a fresh
+  /// (never-checkpointed) file from one carrying real state at seq 0,
+  /// such as a migrated SaveWorld capture.
+  bool has_state() const;
+
+  // ---- PolicyImageSource (lazy hydration) -------------------------------
+
+  /// Full scan of the five policy trees into a relational image.
+  Result<policy::PolicyImage> LoadImage() override;
+  /// In-memory bloom probe; true when a policy row for `activity` may
+  /// exist (no false negatives).
+  bool MayHaveActivity(const std::string& activity) const override;
+
+  // ---- Bulk loads at recovery -------------------------------------------
+
+  /// The RDL text of the organizational model ("" on a fresh store).
+  Result<std::string> LoadRdl();
+  /// Live leases in durable form (deadlines are remaining lifetimes).
+  Result<std::vector<core::Lease>> LoadLeases();
+
+  // ---- Mutations (take effect durably at the next Commit) ----------------
+
+  /// Applies per-row policy deltas to the trees and folds the inserted
+  /// activities into the bloom filter. An Internal error (a delete that
+  /// found nothing) means the delta stream diverged from the trees; the
+  /// caller falls back to RewritePolicyImage.
+  Status ApplyPolicyDeltas(const std::vector<policy::PolicyRowDelta>& deltas);
+  /// Clears and reloads the five policy trees from `image` and rebuilds
+  /// the bloom filter sized to the image.
+  Status RewritePolicyImage(const policy::PolicyImage& image);
+  Status RewriteRdl(const std::string& rdl_text);
+  /// Upserts one lease (durable form, keyed by lease id).
+  Status PutLease(const core::Lease& lease);
+  /// Removes one lease; absent ids are fine (release after a rewrite).
+  Status DeleteLease(uint64_t lease_id);
+  Status RewriteLeases(const std::vector<core::Lease>& leases);
+
+  /// Makes everything since the last commit durable in one generation
+  /// flip: persists the bloom filter if changed, flushes dirty pages,
+  /// and publishes `meta` in the new meta slot.
+  Status Commit(const PageStoreMeta& meta,
+                CommitCrashPoint crash = CommitCrashPoint::kNone);
+
+  PageStoreStats stats() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  PageStore() = default;
+
+  Status LoadBloomLocked();
+  Status SaveBloomLocked();
+  Status ApplyOneDeltaLocked(const policy::PolicyRowDelta& delta);
+  BTree* TreeFor(policy::PolicyRelation relation);
+  Status ScanRelation(policy::PolicyRelation relation,
+                      std::vector<rel::Row>* out);
+
+  std::string path_;
+  bool created_ = false;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<Pager> pager_;
+  // Tree index order is the app-meta root order.
+  std::unique_ptr<BTree> sys_;
+  std::unique_ptr<BTree> quals_;
+  std::unique_ptr<BTree> policies_;
+  std::unique_ptr<BTree> filter_;
+  std::unique_ptr<BTree> subst_policies_;
+  std::unique_ptr<BTree> subst_filter_;
+  std::unique_ptr<BTree> leases_;
+  PageStoreMeta meta_;
+  bool bloom_dirty_ = false;
+
+  mutable std::shared_mutex bloom_mu_;
+  BloomFilter bloom_ = BloomFilter::ForEntries(1024, 0.01);
+};
+
+}  // namespace wfrm::store
+
+#endif  // WFRM_STORE_PAGE_STORE_H_

@@ -327,10 +327,15 @@ Status WalShipper::RefreshLocked() {
 }
 
 Status WalShipper::StartCatchupLocked() {
-  WFRM_ASSIGN_OR_RETURN(SnapshotData snap, primary_->CaptureSnapshot());
+  // The image is in the primary's native transfer format: raw pages.db
+  // bytes from a paged store (the follower installs the file directly),
+  // or an EncodeSnapshot blob from a legacy store. Either way the
+  // chunked transfer below is just shipping bytes.
+  WFRM_ASSIGN_OR_RETURN(DurableResourceManager::CatchupImage image,
+                        primary_->CaptureCatchupImage());
   CatchupState state;
-  state.last_seq = snap.last_seq;
-  state.bytes = EncodeSnapshot(snap);
+  state.last_seq = image.last_seq;
+  state.bytes = std::move(image.bytes);
   catchup_ = std::move(state);
   return Status::OK();
 }
@@ -629,10 +634,18 @@ Result<ShipAck> ReplicaApplier::DeliverLocked(const ReplicationFrame& frame) {
         ack.last_applied = chunks_received_;
         break;
       }
-      WFRM_ASSIGN_OR_RETURN(
-          SnapshotData data,
-          DecodeSnapshot(snapshot_bytes_, "replication stream"));
-      WFRM_RETURN_NOT_OK(standby_->InstallSnapshot(data));
+      // The primary ships its native format: raw pages.db bytes from a
+      // paged store, or an EncodeSnapshot blob from a legacy one. Sniff
+      // the magic rather than negotiate — the chunk transport is
+      // format-agnostic.
+      if (LooksLikePagesFile(snapshot_bytes_)) {
+        WFRM_RETURN_NOT_OK(standby_->InstallPagedImage(snapshot_bytes_));
+      } else {
+        WFRM_ASSIGN_OR_RETURN(
+            SnapshotData data,
+            DecodeSnapshot(snapshot_bytes_, "replication stream"));
+        WFRM_RETURN_NOT_OK(standby_->InstallSnapshot(data));
+      }
       snapshot_active_ = false;
       snapshot_bytes_.clear();
       ack.last_applied = standby_->last_seq();

@@ -137,11 +137,36 @@ Status WriteFileDurable(const std::string& path, std::string_view bytes) {
   return CommitSnapshot(path + ".tmp", path);
 }
 
+namespace {
+
+std::function<bool(std::string_view)>& CommitFaultHook() {
+  static std::function<bool(std::string_view)> hook;
+  return hook;
+}
+
+bool InjectCommitFault(std::string_view op) {
+  const auto& hook = CommitFaultHook();
+  return hook && hook(op);
+}
+
+}  // namespace
+
+void SetCommitSnapshotFaultHook(std::function<bool(std::string_view)> hook) {
+  CommitFaultHook() = std::move(hook);
+}
+
 Status CommitSnapshot(const std::string& tmp_path,
                       const std::string& final_path) {
-  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
-    return Status::ExecutionError("cannot commit snapshot " + final_path +
-                                  ": " + std::strerror(errno));
+  if (InjectCommitFault("rename") ||
+      std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    Status st = Status::ExecutionError("cannot commit snapshot " +
+                                       final_path + ": " +
+                                       std::strerror(errno));
+    // The tmp file is ours and was never committed — remove it so a
+    // failed checkpoint does not strand half-written files in the home
+    // (best effort: open-time reaping catches anything left behind).
+    std::remove(tmp_path.c_str());
+    return st;
   }
   // Make the rename itself durable (directory entry update). A failure
   // here must propagate: the caller truncates the WAL on success, and
@@ -155,7 +180,9 @@ Status CommitSnapshot(const std::string& tmp_path,
                                   " to sync the commit: " +
                                   std::strerror(errno));
   }
-  if (::fsync(dfd) != 0) {
+  if (InjectCommitFault("dirsync") || ::fsync(dfd) != 0) {
+    // The rename already consumed the tmp file; nothing to clean up —
+    // only the error must propagate so the caller skips WAL truncation.
     Status st = Status::ExecutionError("cannot sync snapshot directory " +
                                        dir + ": " + std::strerror(errno));
     ::close(dfd);

@@ -2,7 +2,9 @@
 #define WFRM_STORE_SNAPSHOT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -50,9 +52,20 @@ Status WriteSnapshotFile(const std::string& path, const SnapshotData& data);
 
 /// Renames `tmp_path` over `final_path` (the commit point — atomic on
 /// POSIX) and fsyncs the containing directory so the rename survives a
-/// crash.
+/// crash. When the rename itself fails, the orphaned `tmp_path` is
+/// removed before the error propagates — a failed commit must not
+/// leave half-written files for the next open to trip over.
 Status CommitSnapshot(const std::string& tmp_path,
                       const std::string& final_path);
+
+/// Test-only fault hook consulted by CommitSnapshot before each of its
+/// two fallible steps (`op` is "rename" or "dirsync"); returning true
+/// makes the step behave as if the syscall failed with EIO. Tests wire
+/// this to a core::FaultInjector::SampleStorageFault draw to cover the
+/// error-unwind branches. Pass nullptr to clear. Not synchronized
+/// against concurrent CommitSnapshot calls — set it before the store
+/// under test starts checkpointing.
+void SetCommitSnapshotFaultHook(std::function<bool(std::string_view)> hook);
 
 /// WriteSnapshotFile to `path + ".tmp"` followed by CommitSnapshot: a
 /// crash mid-write leaves only a `.tmp` that recovery ignores.

@@ -24,6 +24,7 @@
 #include "org/rdl_parser.h"
 #include "policy/pl_dump.h"
 #include "store/durable_rm.h"
+#include "store/page_store.h"
 #include "store/record.h"
 #include "store/snapshot.h"
 #include "store/wal.h"
@@ -127,8 +128,35 @@ Shadow BuildShadow(const std::string& dir) {
 
   uint64_t snapshot_seq = 0;
   bool have_snapshot = false;
-  auto snap = ReadSnapshot(dir + "/snapshot.dat");
-  if (snap.ok()) {
+  if (std::filesystem::exists(dir + "/pages.db")) {
+    // Paged home: the base image lives in the page store. Read it with
+    // PageStore directly — still independent of the recovery path in
+    // DurableResourceManager, which goes through lazy hydration.
+    auto pages = PageStore::Open(dir + "/pages.db");
+    EXPECT_TRUE(pages.ok()) << pages.status().ToString();
+    if (!pages.ok()) return s;
+    const PageStoreMeta meta = (*pages)->meta();
+    if (meta.last_seq > 0) {
+      auto rdl = (*pages)->LoadRdl();
+      EXPECT_TRUE(rdl.ok()) << rdl.status().ToString();
+      if (rdl.ok() && !rdl->empty()) {
+        EXPECT_TRUE(org::ExecuteRdl(*rdl, s.org.get()).ok());
+      }
+      auto image = (*pages)->LoadImage();
+      EXPECT_TRUE(image.ok()) << image.status().ToString();
+      if (image.ok()) EXPECT_TRUE(s.store->ImportImage(*image).ok());
+      auto leases = (*pages)->LoadLeases();
+      EXPECT_TRUE(leases.ok()) << leases.status().ToString();
+      if (leases.ok()) {
+        for (const core::Lease& lease : *leases) {
+          EXPECT_TRUE(s.rm->RestoreLease(Rebased(lease, now)).ok());
+        }
+      }
+      s.rm->AdvanceLeaseId(meta.next_lease_id);
+      snapshot_seq = meta.last_seq;
+      have_snapshot = true;
+    }
+  } else if (auto snap = ReadSnapshot(dir + "/snapshot.dat"); snap.ok()) {
     EXPECT_TRUE(org::ExecuteRdl(snap->rdl_text, s.org.get()).ok());
     EXPECT_TRUE(s.store->ImportImage(snap->policy_image).ok());
     for (const core::Lease& lease : snap->leases) {
@@ -195,11 +223,18 @@ class CrashRecoveryTest : public ::testing::Test {
 
   /// The golden workload: every record type, a mid-script RDL failure
   /// (partial apply), a rejected policy, renew/release/reap traffic —
-  /// and optionally a checkpoint in the middle.
-  void RunWorkload(const std::string& dir, bool with_checkpoint) {
+  /// and optionally a checkpoint in the middle. `crash_point` arms the
+  /// checkpoint's crash seam: the mid-workload checkpoint then stops at
+  /// that seam (paged: pages flushed but meta uncommitted, or meta
+  /// committed but WAL untruncated) and the workload keeps journaling,
+  /// exactly like a process whose checkpoint died partway.
+  void RunWorkload(
+      const std::string& dir, bool with_checkpoint,
+      CheckpointCrashPoint crash_point = CheckpointCrashPoint::kNone) {
     SimulatedClock clock;
     DurableOptions options;
     options.fsync_mode = FsyncMode::kOff;  // Torn tails come from cuts.
+    options.crash_point = crash_point;
     options.rm_options.clock = &clock;
     options.rm_options.lease_duration_micros = 1'000'000;
     auto d = DurableResourceManager::Open(dir, options);
@@ -260,6 +295,12 @@ class CrashRecoveryTest : public ::testing::Test {
     if (std::filesystem::exists(golden + "/snapshot.dat")) {
       std::filesystem::copy_file(golden + "/snapshot.dat",
                                  dir + "/snapshot.dat");
+    }
+    // Paged homes keep their base in pages.db. Page-file commits are
+    // atomic by construction (copy-on-write + dual meta slots), so a
+    // kill never tears it — copying it whole models every crash.
+    if (std::filesystem::exists(golden + "/pages.db")) {
+      std::filesystem::copy_file(golden + "/pages.db", dir + "/pages.db");
     }
     std::ifstream in(golden + "/wal.log", std::ios::binary);
     std::string bytes((std::istreambuf_iterator<char>(in)),
@@ -325,6 +366,49 @@ TEST_F(CrashRecoveryTest, SeededKillPointsRecoverToShadowModel) {
                   with_probe)
             << "post-recovery mutation lost at cut=" << cut;
       }
+    }
+  }
+}
+
+TEST_F(CrashRecoveryTest, SeededPagedCheckpointSeamKillPoints) {
+  // 50 randomized WAL cuts behind each paged checkpoint seam = 100 more
+  // kill points, landing inside the page flush (pages written, meta
+  // uncommitted — reopen must fall back to the previous generation) and
+  // inside the checkpoint commit (meta durable, WAL untruncated —
+  // replay must skip every record the pages already contain).
+  struct Seam {
+    CheckpointCrashPoint point;
+    uint32_t seed;
+    int base;
+  };
+  for (const Seam& seam :
+       {Seam{CheckpointCrashPoint::kAfterTmpWrite, 0x19990107, 2000},
+        Seam{CheckpointCrashPoint::kAfterRename, 0x20260807, 3000}}) {
+    std::string golden = root_ + "/golden_seam" + std::to_string(seam.base);
+    ASSERT_NO_FATAL_FAILURE(
+        RunWorkload(golden, /*with_checkpoint=*/true, seam.point));
+    ASSERT_TRUE(std::filesystem::exists(golden + "/pages.db"));
+
+    auto wal_size =
+        static_cast<size_t>(std::filesystem::file_size(golden + "/wal.log"));
+    ASSERT_GT(wal_size, 0u);
+
+    std::mt19937 rng(seam.seed);
+    for (int i = 0; i < 50; ++i) {
+      size_t cut = i == 0 ? 0
+                 : i == 1 ? wal_size
+                          : rng() % (wal_size + 1);
+      std::string dir = MakeCrashDir(golden, cut, seam.base + i);
+
+      Shadow shadow = BuildShadow(dir);
+      std::string expected = shadow.Fingerprint();
+
+      auto d = DurableResourceManager::Open(dir, RecoveryOptions());
+      ASSERT_TRUE(d.ok()) << "cut=" << cut << ": " << d.status().ToString();
+      std::string actual =
+          FingerprintWorld((*d)->org(), (*d)->store(), (*d)->rm());
+      ASSERT_EQ(actual, expected)
+          << "divergence at cut=" << cut << " seam=" << seam.base;
     }
   }
 }

@@ -192,10 +192,15 @@ TEST_F(DurableTest, AutomaticCheckpointEveryNRecords) {
   EXPECT_EQ(Fingerprint(**d), before);
 }
 
+// The tmp/rename crash seams below are legacy-snapshot semantics; the
+// paged backend's crash windows (flush-without-commit, meta-committed-
+// WAL-untruncated) are covered in page_store_test.cc and the crash
+// matrix.
 TEST_F(DurableTest, CrashRecoveryAfterTmpWriteIgnoresTmpSnapshot) {
   std::string before;
   {
     DurableOptions options;
+    options.backend = StorageBackend::kSnapshot;
     options.crash_point = CheckpointCrashPoint::kAfterTmpWrite;
     auto d = OpenWithWorkload(options);
     ASSERT_NE(d, nullptr);
@@ -205,7 +210,9 @@ TEST_F(DurableTest, CrashRecoveryAfterTmpWriteIgnoresTmpSnapshot) {
   EXPECT_TRUE(std::filesystem::exists(dir_ + "/snapshot.dat.tmp"));
   EXPECT_FALSE(std::filesystem::exists(dir_ + "/snapshot.dat"));
 
-  auto d = DurableResourceManager::Open(dir_);
+  DurableOptions reopen;
+  reopen.backend = StorageBackend::kSnapshot;
+  auto d = DurableResourceManager::Open(dir_, reopen);
   ASSERT_TRUE(d.ok()) << d.status().ToString();
   EXPECT_FALSE((*d)->recovery_info().snapshot_loaded);
   EXPECT_EQ((*d)->recovery_info().wal_records_replayed, 3u);
@@ -216,6 +223,7 @@ TEST_F(DurableTest, CrashRecoveryAfterRenameSkipsSnapshottedRecords) {
   std::string before;
   {
     DurableOptions options;
+    options.backend = StorageBackend::kSnapshot;
     options.crash_point = CheckpointCrashPoint::kAfterRename;
     auto d = OpenWithWorkload(options);
     ASSERT_NE(d, nullptr);
@@ -227,7 +235,9 @@ TEST_F(DurableTest, CrashRecoveryAfterRenameSkipsSnapshottedRecords) {
   ASSERT_TRUE(scan.ok());
   EXPECT_EQ(scan->payloads.size(), 3u);  // Still there, all pre-snapshot.
 
-  auto d = DurableResourceManager::Open(dir_);
+  DurableOptions reopen;
+  reopen.backend = StorageBackend::kSnapshot;
+  auto d = DurableResourceManager::Open(dir_, reopen);
   ASSERT_TRUE(d.ok()) << d.status().ToString();
   EXPECT_TRUE((*d)->recovery_info().snapshot_loaded);
   // No double-apply: every WAL record is recognized as already inside
@@ -490,12 +500,16 @@ TEST_F(DurableTest, SaveWorldRoundTripsAVolatileSession) {
 
 TEST_F(DurableTest, CorruptSnapshotIsAnErrorNotSilentLoss) {
   {
-    auto d = OpenWithWorkload();
+    DurableOptions options;
+    options.backend = StorageBackend::kSnapshot;
+    auto d = OpenWithWorkload(options);
     ASSERT_NE(d, nullptr);
     ASSERT_TRUE(d->Checkpoint().ok());
   }
   // Storage damage inside a committed snapshot must refuse to open —
-  // guessing at policy state would enforce the wrong rules.
+  // guessing at policy state would enforce the wrong rules. The default
+  // (paged) reopen hits this through the migration read, which must be
+  // just as strict.
   auto size = std::filesystem::file_size(dir_ + "/snapshot.dat");
   std::fstream f(dir_ + "/snapshot.dat",
                  std::ios::binary | std::ios::in | std::ios::out);

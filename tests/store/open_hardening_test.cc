@@ -55,8 +55,12 @@ class OpenHardeningTest : public ::testing::Test {
   }
 
   /// A real store with a snapshot: workload + checkpoint + a WAL tail.
-  void MakeGolden(const std::string& dir) {
+  /// `backend` picks the checkpoint format — kSnapshot produces the
+  /// legacy snapshot.dat the truncation test slices up.
+  void MakeGolden(const std::string& dir,
+                  StorageBackend backend = StorageBackend::kPaged) {
     DurableOptions options;
+    options.backend = backend;
     options.fsync_mode = FsyncMode::kOff;
     auto d = DurableResourceManager::Open(dir, options);
     ASSERT_TRUE(d.ok()) << d.status().ToString();
@@ -162,7 +166,7 @@ TEST_F(OpenHardeningTest, EmptyDirectoryIsAFreshStore) {
 
 TEST_F(OpenHardeningTest, TruncatedSnapshotFailsTypedAtEveryBoundary) {
   std::string golden = Dir("golden");
-  ASSERT_NO_FATAL_FAILURE(MakeGolden(golden));
+  ASSERT_NO_FATAL_FAILURE(MakeGolden(golden, StorageBackend::kSnapshot));
   const std::string snapshot = ReadBytes(golden + "/snapshot.dat");
   ASSERT_GT(snapshot.size(), 8u);
 
