@@ -1,0 +1,208 @@
+// Overload robustness costs and wins (DESIGN.md §16):
+//
+//   * goodput under 2x offered load with bounded admission + deadlines,
+//     against client-thread count (the sweep CI smoke-tests);
+//   * the breaker's fast-fail latency vs. eating a degraded shard's
+//     full refusal path per request;
+//   * raw admission-queue push/pop overhead (the per-batch-group tax
+//     every EnforceBatch pays).
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include "json_reporter.h"
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/admission.h"
+#include "common/clock.h"
+#include "common/request_context.h"
+#include "shard/shard_cluster.h"
+#include "shard/shard_map.h"
+#include "shard/shard_router.h"
+#include "store/durable_rm.h"
+
+namespace {
+
+constexpr char kRdl[] = R"(
+  Define Resource Type Employee
+      (ContactInfo String, Location String, Experience Int);
+  Define Resource Type Programmer Under Employee;
+  Define Activity Type Activity (Location String);
+  Define Activity Type Programming Under Activity (NumberOfLines Int);
+  Insert Resource Programmer 'alice'
+      (ContactInfo = 'alice@x.com', Location = 'PA', Experience = 8);
+)";
+
+constexpr char kPolicies[] = R"(
+  Qualify Programmer For Programming;
+  Require Programmer Where Experience > 5
+    For Programming With NumberOfLines > 10000;
+)";
+
+constexpr char kJob[] =
+    "Select ContactInfo From Programmer Where Location = 'PA' "
+    "For Programming With NumberOfLines = 20000 And Location = 'PA'";
+
+struct OverloadWorld {
+  std::string root;
+  std::unique_ptr<wfrm::shard::ShardCluster> cluster;
+  std::unique_ptr<wfrm::shard::ShardMap> map;
+  std::unique_ptr<wfrm::shard::ShardRouter> router;
+  std::vector<std::string> tenants;
+
+  ~OverloadWorld() {
+    router.reset();
+    cluster.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(root, ec);
+  }
+};
+
+std::unique_ptr<OverloadWorld> OpenWorld(
+    size_t num_shards, wfrm::shard::ShardRouterOptions router_options) {
+  auto world = std::make_unique<OverloadWorld>();
+  world->root = (std::filesystem::temp_directory_path() /
+                 ("wfrm_bench_overload_" + std::to_string(::getpid()) + "_" +
+                  std::to_string(num_shards)))
+                    .string();
+  std::error_code ec;
+  std::filesystem::remove_all(world->root, ec);
+
+  wfrm::shard::ShardClusterOptions options;
+  options.num_shards = num_shards;
+  options.durable.fsync_mode = wfrm::store::FsyncMode::kOff;
+  auto cluster = wfrm::shard::ShardCluster::Open(world->root, options);
+  if (!cluster.ok()) std::abort();
+  world->cluster = std::move(*cluster);
+  world->map = std::make_unique<wfrm::shard::ShardMap>(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto primary = world->cluster->Primary(s);
+    if (primary == nullptr) std::abort();
+    if (!primary->ExecuteRdl(kRdl).ok()) std::abort();
+    if (!primary->AddPolicyText(kPolicies).ok()) std::abort();
+    for (int i = 0; i < 100'000; ++i) {
+      std::string key = "tenant" + std::to_string(i);
+      if (world->map->Resolve(key) == s) {
+        world->tenants.push_back(key);
+        break;
+      }
+    }
+  }
+  world->router = std::make_unique<wfrm::shard::ShardRouter>(
+      world->cluster.get(), world->map.get(), router_options);
+  return world;
+}
+
+// Goodput sweep: N clients hammer a 2-shard router whose queues are
+// bounded and whose requests carry 5ms deadlines. Past saturation the
+// router converts the excess into typed rejections/sheds instead of an
+// unbounded backlog — items/s reports the ACCEPTED work only, and the
+// shed/rejected counters make the conversion visible.
+void BM_Overload_GoodputUnderOverload(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  wfrm::shard::ShardRouterOptions router_options;
+  router_options.max_queue_depth = 4;
+  router_options.enable_breaker = true;
+  auto world = OpenWorld(2, router_options);
+
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> refused{0};
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (int i = 0; i < 8; ++i) {
+          wfrm::RequestContext ctx = wfrm::RequestContext::WithDeadlineIn(
+              wfrm::SystemClock::Default(), 5'000);
+          std::vector<wfrm::shard::BatchItem> items = {
+              {world->tenants[(c + i) % world->tenants.size()], kJob}};
+          auto results = world->router->EnforceBatch(items, &ctx);
+          if (results.size() == 1 && results[0].outcome.ok()) {
+            accepted.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            refused.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(accepted.load(std::memory_order_relaxed)));
+  state.counters["accepted"] =
+      static_cast<double>(accepted.load(std::memory_order_relaxed));
+  state.counters["typed_refusals"] =
+      static_cast<double>(refused.load(std::memory_order_relaxed));
+  state.counters["shed"] =
+      static_cast<double>(world->router->admission_shed());
+  state.counters["queue_rejected"] =
+      static_cast<double>(world->router->admission_rejected());
+}
+BENCHMARK(BM_Overload_GoodputUnderOverload)
+    ->Arg(2)
+    ->Arg(8)
+    ->UseRealTime();
+
+// An open breaker answers in a mutex acquire + a clock read — the sick
+// shard costs nanoseconds per refused request instead of a trip through
+// routing, the primary handle and the degraded store.
+void BM_Overload_BreakerFastFail(benchmark::State& state) {
+  wfrm::shard::ShardRouterOptions router_options;
+  router_options.enable_breaker = true;
+  router_options.breaker.failure_threshold = 2;
+  router_options.breaker.open_micros = 3'600'000'000;  // Hold open.
+  auto world = OpenWorld(1, router_options);
+  if (!world->cluster->SetPartitioned(0, true).ok()) std::abort();
+  for (int i = 0; i < 2; ++i) {
+    benchmark::DoNotOptimize(world->router->Enforce(world->tenants[0], kJob));
+  }
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world->router->Enforce(world->tenants[0], kJob));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Overload_BreakerFastFail);
+
+// The same sick shard without a breaker: every request runs the full
+// degraded-refusal path. The gap to BreakerFastFail is what the breaker
+// saves per request while a shard is down.
+void BM_Overload_DegradedRefusal(benchmark::State& state) {
+  auto world = OpenWorld(1, {});
+  if (!world->cluster->SetPartitioned(0, true).ok()) std::abort();
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world->router->Enforce(world->tenants[0], kJob));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Overload_DegradedRefusal);
+
+// Raw admission overhead: one bounded push + pop, single-threaded — the
+// fixed tax every batch group pays on top of its enforcement work.
+void BM_Overload_AdmissionQueueRoundtrip(benchmark::State& state) {
+  wfrm::AdmissionOptions options;
+  options.max_depth = 64;
+  wfrm::AdmissionQueue queue(options);
+  for (auto _ : state) {
+    wfrm::AdmissionTask task;
+    task.run = [] {};
+    task.shed = [](const wfrm::Status&) {};
+    if (!queue.TryPush(std::move(task)).ok()) std::abort();
+    auto popped = queue.Pop();
+    benchmark::DoNotOptimize(popped);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Overload_AdmissionQueueRoundtrip);
+
+}  // namespace
+
+WFRM_BENCH_JSON_MAIN();

@@ -328,7 +328,10 @@ struct Shell {
           << "  status              health report (degraded state, WAL,\n"
           << "                      replication lag/epoch)\n"
           << "  stats               retrieval/cache counters (plan cache,\n"
-          << "                      compiled tables, rewrite LRU, epoch)\n"
+          << "                      compiled tables, rewrite LRU, epoch);\n"
+          << "                      with a cluster open, also per-shard\n"
+          << "                      admission queue depth, shed/rejected\n"
+          << "                      counts and breaker state\n"
           << "  replica <dir>       attach a follower store fed by WAL\n"
           << "                      shipping\n"
           << "  sync                pump replication until caught up\n"
@@ -381,6 +384,17 @@ struct Shell {
                 << "compiled tables:     " << snap.compiled_builds
                 << " built / " << snap.compiled_probes << " probes\n"
                 << "epoch:               " << snap.epoch << "\n";
+      if (router) {
+        std::cout << "admission:           " << router->admission_shed()
+                  << " shed / " << router->admission_rejected()
+                  << " rejected, " << router->breaker_fast_failures()
+                  << " breaker fast-fails\n";
+        for (shard::ShardId s = 0; s < cluster->num_shards(); ++s) {
+          std::cout << "shard " << s << ":             queue depth "
+                    << router->queue_depth(s) << ", breaker "
+                    << BreakerStateName(router->BreakerStateOf(s)) << "\n";
+        }
+      }
       return true;
     }
     if (lower == "shards") {

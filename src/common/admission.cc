@@ -1,0 +1,160 @@
+#include "common/admission.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace wfrm {
+
+namespace {
+constexpr size_t kNumClasses = 2;
+}  // namespace
+
+AdmissionQueue::AdmissionQueue(AdmissionOptions options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : SystemClock::Default()) {
+  options_.service_ewma_alpha =
+      std::clamp(options_.service_ewma_alpha, 0.01, 1.0);
+}
+
+size_t AdmissionQueue::ShedExpiredLocked(int64_t now, size_t limit) {
+  size_t shed = 0;
+  // Lowest class first, oldest first: the work least likely to still
+  // have a waiting caller goes first.
+  for (size_t c = kNumClasses; c-- > 0 && shed < limit;) {
+    std::deque<AdmissionTask>& q = classes_[c];
+    for (auto it = q.begin(); it != q.end() && shed < limit;) {
+      if (it->deadline_micros <= now) {
+        if (it->shed) {
+          it->shed(Status::DeadlineExceeded(
+              "request expired while queued for admission"));
+        }
+        it = q.erase(it);
+        ++shed;
+      } else {
+        ++it;
+      }
+    }
+  }
+  shed_expired_ += shed;
+  return shed;
+}
+
+int64_t AdmissionQueue::RetryAfterHintLocked() const {
+  const size_t depth = classes_[0].size() + classes_[1].size();
+  const auto backlog = static_cast<int64_t>(
+      ewma_service_micros_ * static_cast<double>(depth + 1));
+  return std::max(backlog, options_.min_retry_after_micros);
+}
+
+Status AdmissionQueue::TryPush(AdmissionTask task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) {
+    ++rejected_closed_;
+    return Status::Overloaded("queue draining; not accepting new work");
+  }
+  if (options_.max_depth > 0) {
+    size_t depth = classes_[0].size() + classes_[1].size();
+    if (depth >= options_.max_depth) {
+      // A full queue may be full of corpses: shed expired entries
+      // before refusing live work.
+      depth -= ShedExpiredLocked(clock_->NowMicros(),
+                                 depth - options_.max_depth + 1);
+    }
+    if (depth >= options_.max_depth) {
+      ++rejected_full_;
+      return Status::Overloaded(
+          "admission queue full (" + std::to_string(depth) + "/" +
+          std::to_string(options_.max_depth) + " deep); retry after ~" +
+          std::to_string(RetryAfterHintLocked()) + "us");
+    }
+  }
+  classes_[static_cast<size_t>(task.priority)].push_back(std::move(task));
+  ++pushed_;
+  lock.unlock();
+  cv_.notify_one();
+  return Status::OK();
+}
+
+std::optional<AdmissionTask> AdmissionQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] {
+      return closed_ || !classes_[0].empty() || !classes_[1].empty();
+    });
+    const int64_t now = clock_->NowMicros();
+    // Highest class first, newest (back) first within it.
+    for (auto& q : classes_) {
+      while (!q.empty()) {
+        AdmissionTask task = std::move(q.back());
+        q.pop_back();
+        if (task.deadline_micros <= now) {
+          ++shed_expired_;
+          if (task.shed) {
+            task.shed(Status::DeadlineExceeded(
+                "request expired while queued for admission"));
+          }
+          continue;
+        }
+        return task;
+      }
+    }
+    if (closed_) return std::nullopt;
+    // Everything present was expired and shed; wait for more work.
+  }
+}
+
+void AdmissionQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+void AdmissionQueue::RecordServiceMicros(int64_t micros) {
+  if (micros < 0) micros = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  ewma_service_micros_ =
+      ewma_service_micros_ == 0.0
+          ? static_cast<double>(micros)
+          : options_.service_ewma_alpha * static_cast<double>(micros) +
+                (1.0 - options_.service_ewma_alpha) * ewma_service_micros_;
+}
+
+int64_t AdmissionQueue::RetryAfterHintMicros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RetryAfterHintLocked();
+}
+
+size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return classes_[0].size() + classes_[1].size();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+uint64_t AdmissionQueue::pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pushed_;
+}
+
+uint64_t AdmissionQueue::rejected_full() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_full_;
+}
+
+uint64_t AdmissionQueue::rejected_closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_closed_;
+}
+
+uint64_t AdmissionQueue::shed_expired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_expired_;
+}
+
+}  // namespace wfrm

@@ -1,0 +1,116 @@
+#ifndef WFRM_COMMON_ADMISSION_H_
+#define WFRM_COMMON_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/clock.h"
+#include "common/request_context.h"
+#include "common/status.h"
+
+namespace wfrm {
+
+struct AdmissionOptions {
+  /// Maximum queued (not yet running) tasks across all classes; pushes
+  /// beyond it fail typed kOverloaded. 0 = unbounded (the seed's
+  /// behaviour).
+  size_t max_depth = 0;
+  /// Smoothing for the service-time EWMA behind the retry-after hint.
+  double service_ewma_alpha = 0.2;
+  /// Floor for the retry-after hint, so an idle queue never suggests
+  /// "retry in 0us".
+  int64_t min_retry_after_micros = 1000;
+  /// Deadlines of queued tasks are judged against this clock; null =
+  /// SystemClock.
+  Clock* clock = nullptr;
+};
+
+/// One admitted unit of work. Exactly one of `run` / `shed` is invoked:
+/// `run` when the task is dequeued alive, `shed` (with the typed
+/// reason) when it expired while queued. `shed` must be cheap and
+/// non-blocking — it runs on the consumer thread.
+struct AdmissionTask {
+  std::function<void()> run;
+  std::function<void(const Status&)> shed;
+  int64_t deadline_micros = RequestContext::kNoDeadline;
+  PriorityClass priority = PriorityClass::kInteractive;
+};
+
+/// Bounded two-class admission queue for one executor (DESIGN.md §16).
+///
+/// Admission: TryPush rejects with typed kOverloaded (carrying a
+/// retry-after hint derived from queue depth x service-time EWMA) when
+/// the queue is full or closed. Before rejecting, already-expired
+/// entries are shed to make room — a backlog of dead work never keeps
+/// live work out.
+///
+/// Dequeue order is highest class first, LIFO within class: under
+/// overload the newest request is the one whose caller is most likely
+/// still waiting, so serving it first maximizes goodput (adaptive
+/// LIFO). Expired entries encountered at dequeue are shed — their
+/// `shed` callback fires with kDeadlineExceeded — instead of run, so a
+/// queue that fell behind stops burning service time on guaranteed
+/// misses.
+///
+/// Close() stops admissions; consumers drain what was already admitted
+/// and then Pop() returns nullopt. Thread-safe throughout.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(AdmissionOptions options = {});
+
+  /// Admits `task` or rejects it typed. On rejection the task's
+  /// callbacks are NOT invoked — the rejection status is the caller's
+  /// to deliver.
+  Status TryPush(AdmissionTask task);
+
+  /// Blocks for the next live task; sheds expired ones on the way.
+  /// Returns nullopt once the queue is closed and drained.
+  std::optional<AdmissionTask> Pop();
+
+  /// Stops admissions (TryPush fails typed "draining"); queued tasks
+  /// still drain through Pop.
+  void Close();
+
+  /// Feeds the retry-after hint: how long one dequeued task took to
+  /// serve.
+  void RecordServiceMicros(int64_t micros);
+
+  /// What an overloaded rejection would suggest right now.
+  int64_t RetryAfterHintMicros() const;
+
+  size_t depth() const;
+  bool closed() const;
+  uint64_t pushed() const;
+  uint64_t rejected_full() const;
+  uint64_t rejected_closed() const;
+  uint64_t shed_expired() const;
+
+ private:
+  /// Oldest-first scan of both classes for expired entries; sheds up to
+  /// `limit` of them. Returns how many were shed. Caller holds mu_;
+  /// shed callbacks run under the lock (they only fill reply slots).
+  size_t ShedExpiredLocked(int64_t now, size_t limit);
+  int64_t RetryAfterHintLocked() const;
+
+  AdmissionOptions options_;
+  Clock* clock_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// Index = PriorityClass value; back = newest.
+  std::deque<AdmissionTask> classes_[2];
+  bool closed_ = false;
+  double ewma_service_micros_ = 0.0;
+  uint64_t pushed_ = 0;
+  uint64_t rejected_full_ = 0;
+  uint64_t rejected_closed_ = 0;
+  uint64_t shed_expired_ = 0;
+};
+
+}  // namespace wfrm
+
+#endif  // WFRM_COMMON_ADMISSION_H_

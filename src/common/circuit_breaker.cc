@@ -1,0 +1,136 @@
+#include "common/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace wfrm {
+
+const char* BreakerStateName(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options, Clock* clock)
+    : options_(options),
+      clock_(clock != nullptr ? clock : SystemClock::Default()) {
+  if (options_.probe_timeout_micros <= 0) {
+    options_.probe_timeout_micros = options_.open_micros;
+  }
+  options_.success_threshold = std::max(options_.success_threshold, 1);
+}
+
+void CircuitBreaker::TripLocked(int64_t now) {
+  state_ = BreakerState::kOpen;
+  opened_at_micros_ = now;
+  probe_in_flight_ = false;
+  probe_successes_ = 0;
+  failures_in_window_ = 0;
+  ++opens_;
+}
+
+bool CircuitBreaker::Allow() {
+  if (options_.failure_threshold <= 0) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = clock_->NowMicros();
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now - opened_at_micros_ < options_.open_micros) {
+        ++fast_failures_;
+        return false;
+      }
+      state_ = BreakerState::kHalfOpen;
+      probe_in_flight_ = true;
+      probe_started_micros_ = now;
+      probe_successes_ = 0;
+      return true;
+    case BreakerState::kHalfOpen:
+      if (!probe_in_flight_ ||
+          now - probe_started_micros_ >= options_.probe_timeout_micros) {
+        // Either the last probe reported (and more successes are still
+        // needed) or it vanished (shed before reaching the backend);
+        // admit another.
+        probe_in_flight_ = true;
+        probe_started_micros_ = now;
+        return true;
+      }
+      ++fast_failures_;
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (options_.failure_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      failures_in_window_ = 0;
+      break;
+    case BreakerState::kHalfOpen:
+      probe_in_flight_ = false;
+      if (++probe_successes_ >= options_.success_threshold) {
+        state_ = BreakerState::kClosed;
+        failures_in_window_ = 0;
+      }
+      break;
+    case BreakerState::kOpen:
+      // A straggler from before the trip; ignore.
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (options_.failure_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = clock_->NowMicros();
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (failures_in_window_ == 0 ||
+          now - window_start_micros_ > options_.window_micros) {
+        window_start_micros_ = now;
+        failures_in_window_ = 0;
+      }
+      if (++failures_in_window_ >= options_.failure_threshold) {
+        TripLocked(now);
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      // The probe failed: the backend is still sick.
+      TripLocked(now);
+      break;
+    case BreakerState::kOpen:
+      break;
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+int64_t CircuitBreaker::retry_after_micros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != BreakerState::kOpen) return 0;
+  const int64_t elapsed = clock_->NowMicros() - opened_at_micros_;
+  return std::max<int64_t>(options_.open_micros - elapsed, 0);
+}
+
+uint64_t CircuitBreaker::opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opens_;
+}
+
+uint64_t CircuitBreaker::fast_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fast_failures_;
+}
+
+}  // namespace wfrm

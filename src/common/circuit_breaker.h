@@ -1,0 +1,93 @@
+#ifndef WFRM_COMMON_CIRCUIT_BREAKER_H_
+#define WFRM_COMMON_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.h"
+
+namespace wfrm {
+
+enum class BreakerState : uint8_t {
+  /// Healthy: requests flow, failures are counted within a sliding
+  /// window.
+  kClosed = 0,
+  /// Tripped: requests fail fast until the cooldown elapses.
+  kOpen = 1,
+  /// Cooldown elapsed: one probe request is let through; its outcome
+  /// decides between kClosed and kOpen.
+  kHalfOpen = 2,
+};
+
+const char* BreakerStateName(BreakerState s);
+
+struct CircuitBreakerOptions {
+  /// Failures within `window_micros` that trip the breaker. 0 disables
+  /// the breaker entirely (Allow always true).
+  int failure_threshold = 5;
+  /// Failure-counting window; a failure older than this no longer
+  /// counts toward the threshold.
+  int64_t window_micros = 1'000'000;
+  /// Open-state cooldown before the first half-open probe.
+  int64_t open_micros = 250'000;
+  /// Consecutive half-open probe successes required to close.
+  int success_threshold = 1;
+  /// If a half-open probe neither succeeds nor fails within this long
+  /// (e.g. it was shed before reaching the backend), another probe is
+  /// admitted rather than wedging half-open forever. 0 = reuse
+  /// open_micros.
+  int64_t probe_timeout_micros = 0;
+};
+
+/// Per-backend circuit breaker (DESIGN.md §16): closed / open /
+/// half-open, driven by the caller's own success/failure signals — in
+/// the shard router those are group deadline misses and
+/// degraded/offline refusals. A sick shard therefore costs a fast
+/// typed refusal instead of its full deadline on every request.
+///
+/// Clock-injected and fully deterministic under SimulatedClock.
+/// Thread-safe; Allow() in the open state is a mutex acquire plus a
+/// clock read.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerOptions options = {},
+                          Clock* clock = nullptr);
+
+  /// True when a request may proceed. In the open state, flips to
+  /// half-open once the cooldown elapsed and admits exactly one probe;
+  /// callers that got `false` should fail fast with
+  /// Status::Overloaded + retry_after_micros().
+  bool Allow();
+
+  /// Report the outcome of an allowed request.
+  void RecordSuccess();
+  void RecordFailure();
+
+  BreakerState state() const;
+  /// How long until the breaker would admit a probe; 0 when requests
+  /// flow now.
+  int64_t retry_after_micros() const;
+
+  uint64_t opens() const;
+  uint64_t fast_failures() const;
+
+ private:
+  void TripLocked(int64_t now);
+
+  CircuitBreakerOptions options_;
+  Clock* clock_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  int failures_in_window_ = 0;
+  int64_t window_start_micros_ = 0;
+  int64_t opened_at_micros_ = 0;
+  bool probe_in_flight_ = false;
+  int64_t probe_started_micros_ = 0;
+  int probe_successes_ = 0;
+  uint64_t opens_ = 0;
+  uint64_t fast_failures_ = 0;
+};
+
+}  // namespace wfrm
+
+#endif  // WFRM_COMMON_CIRCUIT_BREAKER_H_

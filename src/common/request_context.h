@@ -1,0 +1,148 @@
+#ifndef WFRM_COMMON_REQUEST_CONTEXT_H_
+#define WFRM_COMMON_REQUEST_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace wfrm {
+
+/// Admission class of a request. Under overload the admission queues
+/// serve interactive work before batch work, and shed within each class
+/// newest-first (adaptive LIFO: when a queue is backed up, the oldest
+/// entries are the ones whose callers have most likely already given
+/// up).
+enum class PriorityClass : uint8_t {
+  kInteractive = 0,
+  kBatch = 1,
+};
+
+inline const char* PriorityClassName(PriorityClass c) {
+  return c == PriorityClass::kInteractive ? "interactive" : "batch";
+}
+
+/// Read side of a cancellation flag. Default-constructed tokens can
+/// never fire — a RequestContext without a CancelSource behaves exactly
+/// like the pre-context API. Copies share the flag; checking is one
+/// acquire load.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/// Owner side of a cancellation flag: the caller that may abandon a
+/// request keeps the source and hands tokens into RequestContexts.
+/// Cancel() is sticky and thread-safe; in-flight pipelines notice at
+/// their next stage boundary.
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() { flag_->store(true, std::memory_order_release); }
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+  CancelToken token() const { return CancelToken(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Per-request overload-robustness envelope, threaded from the shard
+/// router down through the durable store, the resource manager and the
+/// policy rewrite pipeline: an absolute deadline (on the injected
+/// clock), a cancellation token, and a priority class for admission.
+///
+/// The pipeline checks CheckAlive() at stage boundaries — admission,
+/// after qualification fan-out, between enforced-query executions,
+/// between substitution rounds, at queue dequeue — so an expired or
+/// cancelled request stops burning CPU instead of completing uselessly.
+/// A grant that was journaled before the deadline passed is still
+/// returned: deadlines bound waiting, they never undo side effects.
+///
+/// Value type; cheap to copy. The default context has no deadline, no
+/// token and interactive priority, and makes every CheckAlive() free.
+struct RequestContext {
+  static constexpr int64_t kNoDeadline = std::numeric_limits<int64_t>::max();
+
+  /// Absolute deadline on `clock` (not a duration).
+  int64_t deadline_micros = kNoDeadline;
+  CancelToken cancel;
+  PriorityClass priority = PriorityClass::kInteractive;
+  /// Clock the deadline is measured against; null = SystemClock. Inject
+  /// the same SimulatedClock as the rest of the stack for deterministic
+  /// expiry tests.
+  Clock* clock = nullptr;
+
+  /// A context expiring `budget_micros` from now on `clk`.
+  static RequestContext WithDeadlineIn(
+      Clock* clk, int64_t budget_micros,
+      PriorityClass pc = PriorityClass::kInteractive) {
+    RequestContext ctx;
+    ctx.clock = clk;
+    ctx.deadline_micros = NowOn(clk) + budget_micros;
+    ctx.priority = pc;
+    return ctx;
+  }
+
+  bool has_deadline() const { return deadline_micros != kNoDeadline; }
+  bool cancelled() const { return cancel.cancelled(); }
+
+  int64_t now_micros() const { return NowOn(clock); }
+
+  bool expired() const {
+    return has_deadline() && now_micros() >= deadline_micros;
+  }
+  bool expired_at(int64_t now) const {
+    return has_deadline() && now >= deadline_micros;
+  }
+
+  /// Budget left, clamped at 0; kNoDeadline when none was set.
+  int64_t remaining_micros() const {
+    if (!has_deadline()) return kNoDeadline;
+    const int64_t left = deadline_micros - now_micros();
+    return left > 0 ? left : 0;
+  }
+
+  /// The stage-boundary check: OK while the request is worth working
+  /// on, typed kCancelled / kDeadlineExceeded once it is not.
+  /// Cancellation wins ties — it is the caller explicitly walking away.
+  Status CheckAlive() const {
+    if (cancel.cancelled()) {
+      return Status::Cancelled("request cancelled by caller");
+    }
+    if (expired()) {
+      return Status::DeadlineExceeded("request deadline passed");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static int64_t NowOn(Clock* clk) {
+    return (clk != nullptr ? clk : SystemClock::Default())->NowMicros();
+  }
+};
+
+/// Null-tolerant stage-boundary check: pipelines take `const
+/// RequestContext*` (null = no context, zero cost) and call this
+/// between stages.
+inline Status CheckRequestAlive(const RequestContext* ctx) {
+  return ctx == nullptr ? Status::OK() : ctx->CheckAlive();
+}
+
+}  // namespace wfrm
+
+#endif  // WFRM_COMMON_REQUEST_CONTEXT_H_

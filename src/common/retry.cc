@@ -18,6 +18,24 @@ bool Backoff::ShouldRetry(int attempt) const {
   return attempt + 1 < policy_.max_attempts;
 }
 
+bool Backoff::ShouldRetry(int attempt, int64_t now_micros,
+                          int64_t deadline_micros) const {
+  if (!ShouldRetry(attempt)) return false;
+  return now_micros + MinNextDelayMicros() < deadline_micros;
+}
+
+int64_t Backoff::MinNextDelayMicros() const {
+  if (policy_.jitter_mode == JitterMode::kDecorrelated) {
+    // Every decorrelated draw comes from [initial, ...].
+    return std::max<int64_t>(policy_.initial_backoff_micros, 0);
+  }
+  const int64_t base =
+      std::min(next_backoff_micros_, policy_.max_backoff_micros);
+  if (base <= 0) return 0;
+  return static_cast<int64_t>(static_cast<double>(base) *
+                              (1.0 - policy_.jitter));
+}
+
 int64_t Backoff::NextDelayMicros() {
   if (policy_.jitter_mode == JitterMode::kDecorrelated) {
     // Window [initial, min(3 * previous, cap)]: grows geometrically like

@@ -78,8 +78,21 @@ class Backoff {
   /// True while tries remain; `attempt` is 0-based (0 = the first try).
   bool ShouldRetry(int attempt) const;
 
+  /// Deadline-aware variant: additionally false when even the shortest
+  /// possible next delay would land at or past `deadline_micros` (an
+  /// absolute time on the caller's clock, compared against
+  /// `now_micros`). A retry that cannot start before the caller's
+  /// deadline only burns backoff sleep on a result nobody will read.
+  bool ShouldRetry(int attempt, int64_t now_micros,
+                   int64_t deadline_micros) const;
+
   /// The delay to spend before the next try. Advances the series.
   int64_t NextDelayMicros();
+
+  /// Lower bound on what the next NextDelayMicros() could return,
+  /// without advancing the series. Used by the deadline-aware
+  /// ShouldRetry: jittered draws are random, but never below this.
+  int64_t MinNextDelayMicros() const;
 
  private:
   RetryPolicy policy_;

@@ -30,6 +30,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "degraded";
     case StatusCode::kHomeLocked:
       return "home locked";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kOverloaded:
+      return "overloaded";
     case StatusCode::kUnimplemented:
       return "unimplemented";
     case StatusCode::kInternal:

@@ -42,6 +42,20 @@ enum class StatusCode {
   /// caller should retry against a different home or after the other
   /// owner exits — retrying blindly will keep failing.
   kHomeLocked,
+  /// The request's absolute deadline passed before the work completed —
+  /// at admission, mid-pipeline, or while queued. The work performed so
+  /// far was abandoned; nothing was granted. Retrying only helps with a
+  /// fresh (later) deadline.
+  kDeadlineExceeded,
+  /// The request's cancellation token fired; the pipeline stopped at the
+  /// next stage boundary. Nothing was granted.
+  kCancelled,
+  /// Load shedding: an admission queue was full, the router is
+  /// draining, or a circuit breaker is open. The request was never
+  /// admitted — retry after the hint in the message (the server is
+  /// protecting itself, not reporting a per-resource outcome like
+  /// kResourceUnavailable).
+  kOverloaded,
   kUnimplemented,
   kInternal,
 };
@@ -107,6 +121,15 @@ class Status {
   static Status HomeLocked(std::string msg) {
     return Status(StatusCode::kHomeLocked, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
@@ -136,6 +159,11 @@ class Status {
   bool IsNotAllocated() const { return code() == StatusCode::kNotAllocated; }
   bool IsDegraded() const { return code() == StatusCode::kDegraded; }
   bool IsHomeLocked() const { return code() == StatusCode::kHomeLocked; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsOverloaded() const { return code() == StatusCode::kOverloaded; }
 
   /// Renders "<code>: <message>" (or "OK").
   std::string ToString() const;

@@ -16,6 +16,18 @@ bool FaultInjector::SampleQueryFault() {
   return true;
 }
 
+int64_t FaultInjector::SampleQueryLatencyMicros() {
+  if (options_.query_latency_rate <= 0.0 ||
+      options_.query_latency_micros <= 0) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  if (dist(rng_) >= options_.query_latency_rate) return 0;
+  ++latency_faults_injected_;
+  return options_.query_latency_micros;
+}
+
 bool FaultInjector::SampleResourceFailure() {
   if (options_.resource_failure_rate <= 0.0) return false;
   std::lock_guard<std::mutex> lock(mutex_);
@@ -87,6 +99,11 @@ std::vector<FaultInjector::HealthEvent> FaultInjector::DrainDue(
 size_t FaultInjector::num_query_faults_injected() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return query_faults_injected_;
+}
+
+size_t FaultInjector::num_latency_faults_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return latency_faults_injected_;
 }
 
 size_t FaultInjector::num_resource_failures_injected() const {

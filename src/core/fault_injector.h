@@ -17,6 +17,13 @@ struct FaultInjectorOptions {
   /// Probability that one Submit() suffers a transient query fault
   /// (reported as kResourceUnavailable — retryable).
   double query_fault_rate = 0.0;
+  /// Probability that one Submit() is slowed by an injected stall of
+  /// query_latency_micros — the overload chaos harness's knob for
+  /// driving a pipeline past request deadlines without touching real
+  /// load.
+  double query_latency_rate = 0.0;
+  /// Stall length applied when a latency fault fires.
+  int64_t query_latency_micros = 0;
   /// Probability that one SampleResourceFailure() call reports a
   /// failure — callers sample this e.g. once per assigned work item to
   /// decide whether the holder dies mid-flight.
@@ -71,6 +78,10 @@ class FaultInjector {
   /// Coin flip at query_fault_rate; counts injected faults.
   bool SampleQueryFault();
 
+  /// Coin flip at query_latency_rate: the stall (in micros) to apply to
+  /// this query, or 0. Counts injected stalls.
+  int64_t SampleQueryLatencyMicros();
+
   /// Coin flip at resource_failure_rate; counts injected failures.
   bool SampleResourceFailure();
 
@@ -91,6 +102,7 @@ class FaultInjector {
   std::vector<HealthEvent> DrainDue(int64_t now_micros);
 
   size_t num_query_faults_injected() const;
+  size_t num_latency_faults_injected() const;
   size_t num_resource_failures_injected() const;
   size_t num_storage_faults_injected() const;
   size_t num_message_faults_injected() const;
@@ -102,6 +114,7 @@ class FaultInjector {
   std::mt19937_64 rng_;
   std::vector<HealthEvent> schedule_;
   size_t query_faults_injected_ = 0;
+  size_t latency_faults_injected_ = 0;
   size_t resource_failures_injected_ = 0;
   size_t storage_faults_injected_ = 0;
   size_t message_faults_injected_ = 0;

@@ -158,6 +158,11 @@ void ResourceManager::ResolveMetrics() {
       submits_help);
   metrics_.submit_error = reg->GetCounter(
       "wfrm_rm_submits_total", {{"result", "error"}}, submits_help);
+  metrics_.submit_deadline_exceeded = reg->GetCounter(
+      "wfrm_rm_submits_total", {{"result", "deadline_exceeded"}},
+      submits_help);
+  metrics_.submit_cancelled = reg->GetCounter(
+      "wfrm_rm_submits_total", {{"result", "cancelled"}}, submits_help);
   metrics_.substitution_used = reg->GetCounter(
       "wfrm_rm_substitutions_total", {},
       "Submits that fell back to substitution alternatives (4.3).");
@@ -214,7 +219,8 @@ bool ResourceManager::IsUnavailableLocked(const org::ResourceRef& ref,
 
 Result<size_t> ResourceManager::RunQueries(
     const std::vector<rql::RqlQuery>& queries, QueryOutcome* outcome,
-    obs::TraceSpan* parent, const char* stage) const {
+    obs::TraceSpan* parent, const char* stage,
+    const RequestContext* ctx) const {
   obs::ScopedSpan span(parent, "execute");
   obs::Attr(span, "stage", stage);
   obs::Attr(span, "queries", static_cast<int64_t>(queries.size()));
@@ -229,6 +235,9 @@ Result<size_t> ResourceManager::RunQueries(
   size_t found = 0;
   size_t matched = 0;
   for (const rql::RqlQuery& query : queries) {
+    // Stage boundary: a wide fan-out runs many enforced queries; stop
+    // between them once the request expired or was cancelled.
+    WFRM_RETURN_NOT_OK(CheckRequestAlive(ctx));
     // Execute with Id prepended so availability and allocation can be
     // tracked; the user's projection follows.
     rel::SelectPtr select = query.select->Clone();
@@ -274,12 +283,16 @@ Result<size_t> ResourceManager::RunQueries(
 }
 
 Result<QueryOutcome> ResourceManager::SubmitImpl(
-    const rql::RqlQuery& query, obs::EnforcementTrace* trace) const {
+    const rql::RqlQuery& query, obs::EnforcementTrace* trace,
+    const RequestContext* ctx) const {
   const bool timed = metrics_.submit_latency != nullptr;
   const int64_t t0 = timed ? clock_->NowMicros() : 0;
   obs::TraceSpan* root = trace != nullptr ? trace->root() : nullptr;
 
   Result<QueryOutcome> result = [&]() -> Result<QueryOutcome> {
+    // Admission boundary: a request that is already dead never enters
+    // the pipeline at all.
+    WFRM_RETURN_NOT_OK(CheckRequestAlive(ctx));
     ApplyScheduledFaults();
 
     QueryOutcome outcome;
@@ -296,12 +309,33 @@ Result<QueryOutcome> ResourceManager::SubmitImpl(
       return outcome;
     }
 
+    // Chaos hook: an injected stall (a slow backend, a lost CPU). Slept
+    // in slices so cancellation and deadline expiry are noticed
+    // mid-stall instead of after it — exactly what the cooperative
+    // checks buy on a real slow path.
+    if (options_.fault_injector != nullptr) {
+      const int64_t stall =
+          options_.fault_injector->SampleQueryLatencyMicros();
+      if (stall > 0) {
+        constexpr int kSlices = 8;
+        const int64_t slice = std::max<int64_t>(stall / kSlices, 1);
+        int64_t slept = 0;
+        while (slept < stall) {
+          WFRM_RETURN_NOT_OK(CheckRequestAlive(ctx));
+          const int64_t step = std::min(slice, stall - slept);
+          clock_->SleepForMicros(step);
+          slept += step;
+        }
+        WFRM_RETURN_NOT_OK(CheckRequestAlive(ctx));
+      }
+    }
+
     // Stage 1+2 (§4.1, §4.2): qualification fan-out, requirement
     // enhancement. The shared variant serves warm rewrite-cache hits
     // without deep-copying the enforced queries.
     WFRM_ASSIGN_OR_RETURN(
         std::shared_ptr<const policy::EnforcedQueries> primary,
-        policy_manager_.EnforcePrimaryShared(query, root));
+        policy_manager_.EnforcePrimaryShared(query, root, ctx));
     for (const rql::RqlQuery& q : primary->queries) {
       outcome.primary_queries.push_back(q.ToString());
     }
@@ -315,7 +349,8 @@ Result<QueryOutcome> ResourceManager::SubmitImpl(
     }
 
     WFRM_ASSIGN_OR_RETURN(
-        size_t found, RunQueries(primary->queries, &outcome, root, "primary"));
+        size_t found,
+        RunQueries(primary->queries, &outcome, root, "primary", ctx));
     if (found > 0) return outcome;
 
     // Stage 3 (§4.3): the *initial* query is re-sent for substitution;
@@ -324,19 +359,22 @@ Result<QueryOutcome> ResourceManager::SubmitImpl(
     // opt-in recursive extension.
     if (options_.enable_substitution &&
         options_.max_substitution_rounds > 0) {
+      // Stage boundary (§4.2 → §4.3): substitution is the expensive
+      // fallback; never start it for a dead request.
+      WFRM_RETURN_NOT_OK(CheckRequestAlive(ctx));
       WFRM_ASSIGN_OR_RETURN(
           std::vector<policy::EnforcedQueries> rounds,
           policy_manager_.EnforceAlternativesRounds(
-              query, options_.max_substitution_rounds, root));
+              query, options_.max_substitution_rounds, root, ctx));
       for (const policy::EnforcedQueries& alternatives : rounds) {
         if (alternatives.queries.empty()) continue;
         outcome.used_substitution = true;
         for (const rql::RqlQuery& q : alternatives.queries) {
           outcome.alternative_queries.push_back(q.ToString());
         }
-        WFRM_ASSIGN_OR_RETURN(
-            found,
-            RunQueries(alternatives.queries, &outcome, root, "alternatives"));
+        WFRM_ASSIGN_OR_RETURN(found,
+                              RunQueries(alternatives.queries, &outcome, root,
+                                         "alternatives", ctx));
         if (found > 0) return outcome;
       }
     }
@@ -388,7 +426,23 @@ Result<QueryOutcome> ResourceManager::SubmitImpl(
       if (o.injected_fault) root->AddAttr("injected_fault", "true");
     }
   } else {
-    if (metrics_.submit_error != nullptr) metrics_.submit_error->Increment();
+    switch (result.status().code()) {
+      case StatusCode::kDeadlineExceeded:
+        if (metrics_.submit_deadline_exceeded != nullptr) {
+          metrics_.submit_deadline_exceeded->Increment();
+        }
+        break;
+      case StatusCode::kCancelled:
+        if (metrics_.submit_cancelled != nullptr) {
+          metrics_.submit_cancelled->Increment();
+        }
+        break;
+      default:
+        if (metrics_.submit_error != nullptr) {
+          metrics_.submit_error->Increment();
+        }
+        break;
+    }
     if (root != nullptr) {
       root->AddAttr("status", StatusCodeToString(result.status().code()));
       root->AddAttr("error", result.status().message());
@@ -397,9 +451,10 @@ Result<QueryOutcome> ResourceManager::SubmitImpl(
   return result;
 }
 
-Result<QueryOutcome> ResourceManager::Submit(
-    const rql::RqlQuery& query, obs::EnforcementTrace* trace) const {
-  return SubmitImpl(query, trace);
+Result<QueryOutcome> ResourceManager::Submit(const rql::RqlQuery& query,
+                                             obs::EnforcementTrace* trace,
+                                             const RequestContext* ctx) const {
+  return SubmitImpl(query, trace, ctx);
 }
 
 Result<QueryOutcome> ResourceManager::Submit(
@@ -407,12 +462,12 @@ Result<QueryOutcome> ResourceManager::Submit(
   if (options_.trace_sink != nullptr) {
     auto trace =
         std::make_shared<obs::EnforcementTrace>(query.ToString(), clock_);
-    Result<QueryOutcome> result = SubmitImpl(query, trace.get());
+    Result<QueryOutcome> result = SubmitImpl(query, trace.get(), nullptr);
     trace->Finish();
     options_.trace_sink->Add(std::move(trace));
     return result;
   }
-  return SubmitImpl(query, nullptr);
+  return SubmitImpl(query, nullptr, nullptr);
 }
 
 Result<QueryOutcome> ResourceManager::Submit(std::string_view rql_text) const {
@@ -421,13 +476,31 @@ Result<QueryOutcome> ResourceManager::Submit(std::string_view rql_text) const {
   return Submit(query);
 }
 
+Result<QueryOutcome> ResourceManager::Submit(std::string_view rql_text,
+                                             const RequestContext& ctx) const {
+  // Parsing is cheap but not free; a dead request skips even that.
+  WFRM_RETURN_NOT_OK(ctx.CheckAlive());
+  WFRM_ASSIGN_OR_RETURN(rql::RqlQuery query,
+                        rql::ParseAndBindRql(rql_text, *org_));
+  if (options_.trace_sink != nullptr) {
+    auto trace =
+        std::make_shared<obs::EnforcementTrace>(query.ToString(), clock_);
+    Result<QueryOutcome> result = SubmitImpl(query, trace.get(), &ctx);
+    trace->Finish();
+    options_.trace_sink->Add(std::move(trace));
+    return result;
+  }
+  return SubmitImpl(query, nullptr, &ctx);
+}
+
 Result<ResourceManager::Explanation> ResourceManager::ExplainQuery(
     std::string_view rql_text) const {
   WFRM_ASSIGN_OR_RETURN(rql::RqlQuery query,
                         rql::ParseAndBindRql(rql_text, *org_));
   auto trace =
       std::make_shared<obs::EnforcementTrace>(query.ToString(), clock_);
-  WFRM_ASSIGN_OR_RETURN(QueryOutcome outcome, SubmitImpl(query, trace.get()));
+  WFRM_ASSIGN_OR_RETURN(QueryOutcome outcome,
+                        SubmitImpl(query, trace.get(), nullptr));
   trace->Finish();
   Explanation explanation;
   explanation.report = RenderExplainReport(outcome, *trace);
@@ -442,7 +515,19 @@ Result<std::string> ResourceManager::Explain(std::string_view rql_text) const {
 }
 
 std::vector<Result<QueryOutcome>> ResourceManager::SubmitBatch(
+    const std::vector<std::string>& rql_texts, size_t num_workers,
+    const RequestContext& ctx) const {
+  return SubmitBatchImpl(rql_texts, num_workers, &ctx);
+}
+
+std::vector<Result<QueryOutcome>> ResourceManager::SubmitBatch(
     const std::vector<std::string>& rql_texts, size_t num_workers) const {
+  return SubmitBatchImpl(rql_texts, num_workers, nullptr);
+}
+
+std::vector<Result<QueryOutcome>> ResourceManager::SubmitBatchImpl(
+    const std::vector<std::string>& rql_texts, size_t num_workers,
+    const RequestContext* ctx) const {
   // Result<T> has no default constructor: seed every slot with a
   // placeholder error so workers can assign by index.
   std::vector<Result<QueryOutcome>> results;
@@ -452,13 +537,16 @@ std::vector<Result<QueryOutcome>> ResourceManager::SubmitBatch(
   }
   if (rql_texts.empty()) return results;
 
+  auto submit_one = [&](size_t i) {
+    results[i] = ctx != nullptr ? Submit(rql_texts[i], *ctx)
+                                : Submit(rql_texts[i]);
+  };
+
   size_t hw = std::max(1u, std::thread::hardware_concurrency());
   size_t workers = num_workers == 0 ? std::min(rql_texts.size(), hw)
                                     : std::min(num_workers, rql_texts.size());
   if (workers <= 1) {
-    for (size_t i = 0; i < rql_texts.size(); ++i) {
-      results[i] = Submit(rql_texts[i]);
-    }
+    for (size_t i = 0; i < rql_texts.size(); ++i) submit_one(i);
     return results;
   }
 
@@ -470,7 +558,7 @@ std::vector<Result<QueryOutcome>> ResourceManager::SubmitBatch(
       for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
            i < rql_texts.size();
            i = next.fetch_add(1, std::memory_order_relaxed)) {
-        results[i] = Submit(rql_texts[i]);
+        submit_one(i);
       }
     });
   }
@@ -532,14 +620,26 @@ Result<Lease> ResourceManager::Acquire(std::string_view rql_text) {
   return AcquireExcluding(rql_text, org::ResourceRef{});
 }
 
+Result<Lease> ResourceManager::Acquire(std::string_view rql_text,
+                                       const RequestContext& ctx) {
+  return AcquireExcluding(rql_text, org::ResourceRef{}, &ctx);
+}
+
 Result<Lease> ResourceManager::AcquireExcluding(
-    std::string_view rql_text, const org::ResourceRef& excluded) {
+    std::string_view rql_text, const org::ResourceRef& excluded,
+    const RequestContext* ctx) {
   // Concurrent acquirers race between Submit's availability snapshot and
   // the allocation; losing a race is handled by trying the remaining
   // candidates and, if all were snapped up, re-submitting (the fresh
   // snapshot excludes them). Bounded to rule out livelock.
   for (int attempt = 0; attempt < 8; ++attempt) {
-    WFRM_ASSIGN_OR_RETURN(QueryOutcome outcome, Submit(rql_text));
+    // Retry boundary: a dead request gets no fresh snapshot. The claim
+    // below is atomic, so a deadline passing mid-claim still yields the
+    // lease — deadlines bound waiting, never undo grants.
+    WFRM_RETURN_NOT_OK(CheckRequestAlive(ctx));
+    WFRM_ASSIGN_OR_RETURN(QueryOutcome outcome,
+                          ctx != nullptr ? Submit(rql_text, *ctx)
+                                         : Submit(rql_text));
     if (!outcome.ok()) {
       if (metrics_.acquire_failed != nullptr) {
         metrics_.acquire_failed->Increment();
@@ -650,9 +750,16 @@ std::vector<Lease> ResourceManager::ReapExpiredLeases() {
 
 std::vector<Lease> ResourceManager::ReapExpiredLeasesBefore(
     int64_t now_micros) {
+  return ReapExpiredLeasesBefore(now_micros,
+                                 std::numeric_limits<size_t>::max());
+}
+
+std::vector<Lease> ResourceManager::ReapExpiredLeasesBefore(
+    int64_t now_micros, size_t max_leases) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<Lease> reaped;
-  for (auto it = allocated_.begin(); it != allocated_.end();) {
+  for (auto it = allocated_.begin();
+       it != allocated_.end() && reaped.size() < max_leases;) {
     if (it->second.deadline_micros <= now_micros) {
       reaped.push_back(
           Lease{it->first, it->second.lease_id, it->second.deadline_micros});
@@ -668,6 +775,19 @@ std::vector<Lease> ResourceManager::ReapExpiredLeasesBefore(
     UpdateGaugesLocked();
   }
   return reaped;
+}
+
+std::vector<Lease> ResourceManager::ExpiredLeasesBefore(
+    int64_t now_micros, size_t max_leases) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Lease> expired;
+  for (const auto& [ref, grant] : allocated_) {
+    if (expired.size() >= max_leases) break;
+    if (grant.deadline_micros <= now_micros) {
+      expired.push_back(Lease{ref, grant.lease_id, grant.deadline_micros});
+    }
+  }
+  return expired;
 }
 
 Status ResourceManager::RestoreLease(const Lease& lease) {

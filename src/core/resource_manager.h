@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/request_context.h"
 #include "common/result.h"
 #include "core/fault_injector.h"
 #include "obs/metrics.h"
@@ -181,14 +182,26 @@ class ResourceManager {
   /// Parses, binds, enforces and executes an RQL request.
   Result<QueryOutcome> Submit(std::string_view rql_text) const;
 
+  /// Submit under a request context: the pipeline checks the context's
+  /// deadline and cancellation token at every stage boundary (pipeline
+  /// entry, after the §4.1/§4.2 rewrite, between enforced-query
+  /// executions, before each substitution round) and aborts typed —
+  /// kDeadlineExceeded / kCancelled as a failed Result — once the
+  /// request is not worth finishing. A default context restores the
+  /// plain Submit exactly.
+  Result<QueryOutcome> Submit(std::string_view rql_text,
+                              const RequestContext& ctx) const;
+
   /// Same for an already parsed-and-bound query.
   Result<QueryOutcome> Submit(const rql::RqlQuery& query) const;
 
   /// Submit, recording the full decision log into `trace` (may be null —
   /// then identical to Submit). The caller owns the trace and calls
-  /// Finish(); the configured trace_sink is NOT involved.
+  /// Finish(); the configured trace_sink is NOT involved. `ctx` (may be
+  /// null) is the per-request overload envelope.
   Result<QueryOutcome> Submit(const rql::RqlQuery& query,
-                              obs::EnforcementTrace* trace) const;
+                              obs::EnforcementTrace* trace,
+                              const RequestContext* ctx = nullptr) const;
 
   /// Runs the full enforcement pipeline for `rql_text` (no allocation)
   /// and renders a human-readable decision report: which qualification
@@ -216,18 +229,30 @@ class ResourceManager {
       const std::vector<std::string>& rql_texts,
       size_t num_workers = 0) const;
 
+  /// SubmitBatch under one shared request context: entries not yet
+  /// started when the context dies fail typed instead of running.
+  std::vector<Result<QueryOutcome>> SubmitBatch(
+      const std::vector<std::string>& rql_texts, size_t num_workers,
+      const RequestContext& ctx) const;
+
   /// Submits and allocates a candidate chosen by the configured
   /// allocation strategy, atomically with respect to concurrent
   /// Acquire() calls. The returned lease is the receipt for
   /// RenewLease/Release.
   Result<Lease> Acquire(std::string_view rql_text);
 
+  /// Acquire under a request context. Deadlines bound waiting, never
+  /// side effects: once a claim lands the lease is returned even if the
+  /// deadline passed during the claim.
+  Result<Lease> Acquire(std::string_view rql_text, const RequestContext& ctx);
+
   /// Acquire, but never hands out `excluded` even if the pipeline
   /// offers it — the recovery path after `excluded`'s holder died: the
   /// full enforcement pipeline runs afresh and the replacement is drawn
   /// from that outcome minus the failed resource.
   Result<Lease> AcquireExcluding(std::string_view rql_text,
-                                 const org::ResourceRef& excluded);
+                                 const org::ResourceRef& excluded,
+                                 const RequestContext* ctx = nullptr);
 
   // ---- Allocation bookkeeping ------------------------------------------
 
@@ -269,6 +294,21 @@ class ResourceManager {
   /// journals the expired set first and then reaps it; a cutoff read
   /// from a moving clock could reap more than was journaled.
   std::vector<Lease> ReapExpiredLeasesBefore(int64_t now_micros);
+
+  /// Bounded variant: reclaims at most `max_leases` expired grants, in
+  /// resource order (the map's deterministic iteration order, so a
+  /// caller that journaled the first-N expired leases reaps exactly
+  /// those N). Keeps the critical section O(max_leases) instead of
+  /// O(all allocations) when thousands of leases expire at once —
+  /// callers loop until a pass reaps fewer than the cap.
+  std::vector<Lease> ReapExpiredLeasesBefore(int64_t now_micros,
+                                             size_t max_leases);
+
+  /// The first `max_leases` expired grants at the pinned cutoff, in the
+  /// same deterministic order ReapExpiredLeasesBefore would reap them —
+  /// what the durable layer journals before reaping a batch.
+  std::vector<Lease> ExpiredLeasesBefore(int64_t now_micros,
+                                         size_t max_leases) const;
 
   // ---- Persistence (src/store recovery) --------------------------------
 
@@ -336,11 +376,17 @@ class ResourceManager {
   /// `stage` ("primary" or "alternatives").
   Result<size_t> RunQueries(const std::vector<rql::RqlQuery>& queries,
                             QueryOutcome* outcome, obs::TraceSpan* parent,
-                            const char* stage) const;
+                            const char* stage,
+                            const RequestContext* ctx) const;
 
-  /// The traced/metered Submit body; `trace` may be null.
+  /// The traced/metered Submit body; `trace` and `ctx` may be null.
   Result<QueryOutcome> SubmitImpl(const rql::RqlQuery& query,
-                                  obs::EnforcementTrace* trace) const;
+                                  obs::EnforcementTrace* trace,
+                                  const RequestContext* ctx) const;
+
+  std::vector<Result<QueryOutcome>> SubmitBatchImpl(
+      const std::vector<std::string>& rql_texts, size_t num_workers,
+      const RequestContext* ctx) const;
 
   /// Resolves metric instrument pointers from options_.metrics (no-op
   /// when detached).
@@ -386,6 +432,8 @@ class ResourceManager {
     obs::Counter* submit_no_qualified = nullptr;
     obs::Counter* submit_unavailable = nullptr;
     obs::Counter* submit_error = nullptr;
+    obs::Counter* submit_deadline_exceeded = nullptr;
+    obs::Counter* submit_cancelled = nullptr;
     obs::Counter* substitution_used = nullptr;
     obs::Counter* injected_faults = nullptr;
     obs::Counter* acquire_ok = nullptr;

@@ -66,7 +66,8 @@ Result<EnforcedQueries> PolicyManager::EnforcePrimary(
 
 Result<std::shared_ptr<const EnforcedQueries>>
 PolicyManager::EnforcePrimaryShared(const rql::RqlQuery& query,
-                                    obs::TraceSpan* parent) const {
+                                    obs::TraceSpan* parent,
+                                    const RequestContext* ctx) const {
   obs::ScopedSpan span(parent, "enforce_primary");
   const bool use_cache = store_->cache_enabled() && rewrite_capacity_ > 0;
   std::string key;
@@ -92,6 +93,10 @@ PolicyManager::EnforcePrimaryShared(const rql::RqlQuery& query,
   auto out = std::make_shared<EnforcedQueries>();
   WFRM_ASSIGN_OR_RETURN(std::vector<rql::RqlQuery> fanned,
                         rewriter_.RewriteQualification(query, span));
+  // Stage boundary (§4.1 → §4.2): the fan-out can be wide, and each
+  // fanned query pays a requirement rewrite — don't start them for a
+  // request nobody is waiting on.
+  WFRM_RETURN_NOT_OK(CheckRequestAlive(ctx));
   for (rql::RqlQuery& q : fanned) {
     std::string type = q.resource();
     WFRM_ASSIGN_OR_RETURN(rql::RqlQuery enhanced,
@@ -117,7 +122,8 @@ Result<EnforcedQueries> PolicyManager::EnforceAlternatives(
 }
 
 Result<std::vector<EnforcedQueries>> PolicyManager::EnforceAlternativesRounds(
-    const rql::RqlQuery& query, size_t rounds, obs::TraceSpan* parent) const {
+    const rql::RqlQuery& query, size_t rounds, obs::TraceSpan* parent,
+    const RequestContext* ctx) const {
   obs::ScopedSpan alt_span(parent, "enforce_alternatives");
   obs::Attr(alt_span, "max_rounds", static_cast<int64_t>(rounds));
   std::vector<EnforcedQueries> out;
@@ -134,6 +140,9 @@ Result<std::vector<EnforcedQueries>> PolicyManager::EnforceAlternativesRounds(
   frontier.push_back(query.Clone());
 
   for (size_t round = 0; round < rounds && !frontier.empty(); ++round) {
+    // Stage boundary: each round re-enters the full primary pipeline per
+    // alternative; stop fanning out for a dead request.
+    WFRM_RETURN_NOT_OK(CheckRequestAlive(ctx));
     obs::ScopedSpan round_span(alt_span, "round");
     obs::Attr(round_span, "round", static_cast<int64_t>(round + 1));
     EnforcedQueries this_round;

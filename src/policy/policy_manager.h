@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/request_context.h"
 #include "common/result.h"
 #include "policy/enforcement_cache.h"
 #include "policy/rewriter.h"
@@ -72,8 +73,13 @@ class PolicyManager {
   /// back the cached immutable result by shared_ptr instead of deep-
   /// cloning every RqlQuery. This is the enforcement hot path — callers
   /// that only read the queries (the resource manager) should use it.
+  ///
+  /// With a non-null `ctx`, the rewrite aborts typed
+  /// (kDeadlineExceeded/kCancelled) at the qualification/requirement
+  /// stage boundary once the request is no longer worth enforcing for.
   Result<std::shared_ptr<const EnforcedQueries>> EnforcePrimaryShared(
-      const rql::RqlQuery& query, obs::TraceSpan* parent = nullptr) const;
+      const rql::RqlQuery& query, obs::TraceSpan* parent = nullptr,
+      const RequestContext* ctx = nullptr) const;
 
   /// Fallback enforcement: §4.3 alternatives from substitution policies,
   /// each then treated as a new query (qualification + requirement).
@@ -89,9 +95,12 @@ class PolicyManager {
   /// queries reachable after r+1 substitution steps; alternatives seen
   /// in earlier rounds are not revisited. EnforceAlternatives(q) equals
   /// EnforceAlternativesRounds(q, 1)[0].
+  /// `ctx` (optional) is checked before every substitution round: an
+  /// expired or cancelled request stops fanning out alternatives.
   Result<std::vector<EnforcedQueries>> EnforceAlternativesRounds(
       const rql::RqlQuery& query, size_t rounds,
-      obs::TraceSpan* parent = nullptr) const;
+      obs::TraceSpan* parent = nullptr,
+      const RequestContext* ctx = nullptr) const;
 
   const Rewriter& rewriter() const { return rewriter_; }
   const PolicyStore& store() const { return *store_; }

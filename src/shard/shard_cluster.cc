@@ -352,6 +352,31 @@ Status ShardCluster::Checkpoint(ShardId id) {
   return primary->Checkpoint();
 }
 
+Status ShardCluster::Shutdown() {
+  Status first_error = Status::OK();
+  for (auto& shard : shards_) {
+    ShardNode& node = *shard;
+    std::lock_guard<std::mutex> lock(node.mu);
+    // Replication wiring first: shippers read the primary's WAL and send
+    // into the applier, so they must die before the stores they touch.
+    node.old_shipper.reset();
+    node.shipper.reset();
+    node.applier.reset();
+    node.chaos.reset();
+    node.link.reset();
+    node.standby.reset();
+    node.demoted.reset();
+    if (node.primary != nullptr && !node.primary->degraded()) {
+      Status st = node.primary->Checkpoint();
+      if (!st.ok() && first_error.ok()) first_error = st;
+    }
+    // Destroying the store releases its HomeLock lockfile.
+    node.primary.reset();
+  }
+  UpdateDegradedGauge();
+  return first_error;
+}
+
 Status ShardCluster::PumpDemoted(ShardId id) {
   if (id >= shards_.size()) {
     return Status::InvalidArgument("no shard " + std::to_string(id));

@@ -143,6 +143,16 @@ class ShardCluster {
   /// Checkpoints the shard's primary (also the WAL repair path).
   Status Checkpoint(ShardId id);
 
+  /// Graceful cluster shutdown: per shard, stops replication wiring,
+  /// checkpoints the healthy primary (best effort; a degraded shard's
+  /// state is already safe in its WAL) and closes every store, which
+  /// releases the HomeLock lockfiles — the directories can be reopened
+  /// immediately by a fresh cluster. After Shutdown every Primary() is
+  /// null, so requests still routed here fail typed "offline".
+  /// Idempotent; returns the first checkpoint error (closing continues
+  /// regardless).
+  Status Shutdown();
+
   // ---- Demoted-primary observation (FailoverMode::kDemotePrimary) -------
 
   /// Pumps the demoted primary's old shipper (expected to hit the

@@ -2,9 +2,7 @@
 #define WFRM_SHARD_SHARD_ROUTER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -13,7 +11,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/admission.h"
+#include "common/circuit_breaker.h"
 #include "common/clock.h"
+#include "common/request_context.h"
 #include "common/result.h"
 #include "common/retry.h"
 #include "core/resource_manager.h"
@@ -71,8 +72,24 @@ struct ShardRouterOptions {
   /// retry schedule instantly. Null = SystemClock.
   Clock* clock = nullptr;
   /// When set, registers wfrm_shard_router_{retries,deadline_misses,
-  /// degraded_rejections} counters.
+  /// degraded_rejections} counters plus the wfrm_admission_* and
+  /// wfrm_breaker_* overload instruments.
   obs::MetricsRegistry* metrics = nullptr;
+
+  // ---- Overload robustness (DESIGN.md §16) -------------------------------
+
+  /// Bound on each per-shard admission queue (queued, not running,
+  /// batch groups). A full queue rejects new groups with typed
+  /// kOverloaded carrying a retry-after hint, after shedding any
+  /// already-expired entries. 0 = unbounded (the seed's behaviour).
+  size_t max_queue_depth = 0;
+  /// Enables the per-shard circuit breaker: repeated deadline misses /
+  /// offline/degraded refusals within a window trip the shard to
+  /// fast-fail (kOverloaded) until a half-open probe succeeds. Off by
+  /// default — breaker-less routing is byte-for-byte the old behaviour.
+  bool enable_breaker = false;
+  /// Breaker tuning (thresholds, window, cooldown) when enabled.
+  CircuitBreakerOptions breaker;
 };
 
 /// Routes requests to the shard owning their key and runs cross-shard
@@ -103,24 +120,59 @@ class ShardRouter {
   /// group runs on that shard's executor under the per-shard deadline,
   /// and element i of the return is item i's outcome. Degraded/offline/
   /// late shards fail only their own items (see BatchItemResult).
+  ///
+  /// With a non-null `ctx` the batch carries the caller's deadline,
+  /// cancellation token and priority class end to end: a group still
+  /// queued when the deadline passes is shed typed kDeadlineExceeded
+  /// without running; cancellation is noticed at the pipeline's stage
+  /// boundaries. Overload failures (queue full, draining, breaker open)
+  /// come back typed kOverloaded with a retry-after hint in the
+  /// message. Context deadlines are measured on options.clock — inject
+  /// the same clock everywhere for deterministic tests.
   std::vector<BatchItemResult> EnforceBatch(
-      const std::vector<BatchItem>& items);
+      const std::vector<BatchItem>& items,
+      const RequestContext* ctx = nullptr);
 
   /// Routed single enforcement read (no allocation). Subject to the
   /// degraded-read option but not the deadline (callers wanting a
-  /// deadline use EnforceBatch).
+  /// deadline use EnforceBatch or a `ctx`). Runs inline on the caller's
+  /// thread — it consults the breaker but not the admission queue.
   Result<core::QueryOutcome> Enforce(std::string_view routing_key,
-                                     std::string_view rql);
+                                     std::string_view rql,
+                                     const RequestContext* ctx = nullptr);
 
   // ---- Routed mutations (retry + re-resolve; at-most-once) ---------------
 
+  /// `ctx` (optional, all mutations): checked before every retry
+  /// attempt, and the backoff gives up early when even the shortest
+  /// next delay could not land before the deadline. A mutation that
+  /// reached a healthy primary is returned even if the deadline passed
+  /// while it ran — deadlines never undo journaled effects.
   Result<core::Lease> Acquire(std::string_view routing_key,
-                              std::string_view rql);
-  Status Release(std::string_view routing_key, const core::Lease& lease);
+                              std::string_view rql,
+                              const RequestContext* ctx = nullptr);
+  Status Release(std::string_view routing_key, const core::Lease& lease,
+                 const RequestContext* ctx = nullptr);
   Result<core::Lease> RenewLease(std::string_view routing_key,
-                                 const core::Lease& lease);
-  Status ExecuteRdl(std::string_view routing_key, std::string_view rdl_text);
-  Status AddPolicyText(std::string_view routing_key, std::string_view pl_text);
+                                 const core::Lease& lease,
+                                 const RequestContext* ctx = nullptr);
+  Status ExecuteRdl(std::string_view routing_key, std::string_view rdl_text,
+                    const RequestContext* ctx = nullptr);
+  Status AddPolicyText(std::string_view routing_key, std::string_view pl_text,
+                       const RequestContext* ctx = nullptr);
+
+  // ---- Graceful drain ----------------------------------------------------
+
+  /// Stops admissions (new requests fail typed kOverloaded "draining"),
+  /// finishes or sheds everything already admitted, joins the executor
+  /// workers, then shuts the cluster down — checkpointing healthy
+  /// primaries and releasing every HomeLock so the homes can be
+  /// reopened immediately. Idempotent; the router afterwards refuses
+  /// all work.
+  Status Drain();
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
 
   // ---- Per-shard epoch observation ---------------------------------------
 
@@ -136,6 +188,21 @@ class ShardRouter {
     return deadline_misses_.load(std::memory_order_relaxed);
   }
 
+  // ---- Overload observation ----------------------------------------------
+
+  /// Queued (not yet running) batch groups on the shard's executor.
+  size_t queue_depth(ShardId id) const;
+  /// Entries shed typed kDeadlineExceeded (expired while queued),
+  /// summed across shards.
+  uint64_t admission_shed() const;
+  /// Admissions rejected typed kOverloaded (queue full or draining),
+  /// summed across shards.
+  uint64_t admission_rejected() const;
+  /// The shard's breaker state (kClosed when the breaker is disabled).
+  BreakerState BreakerStateOf(ShardId id) const;
+  /// Requests fast-failed by an open breaker, summed across shards.
+  uint64_t breaker_fast_failures() const;
+
   /// Test-only: the shard's executor sleeps this long (on the injected
   /// clock) before running each batch task — how deadline tests make a
   /// shard late deterministically.
@@ -143,31 +210,47 @@ class ShardRouter {
 
  private:
   /// One serial executor per shard: batch groups for different shards
-  /// run concurrently, groups for the same shard queue up.
+  /// run concurrently, groups for the same shard queue up in a bounded
+  /// two-class admission queue; a breaker (optional) guards the shard.
   struct Executor {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<std::function<void()>> queue;
-    bool stop = false;
+    std::unique_ptr<AdmissionQueue> queue;
+    std::unique_ptr<CircuitBreaker> breaker;
     std::atomic<int64_t> stall_micros{0};
     std::thread worker;
+    obs::Gauge* depth_gauge = nullptr;
+    obs::Gauge* breaker_state_gauge = nullptr;
+    obs::Gauge* breaker_opens_gauge = nullptr;
   };
 
   void ExecutorLoop(Executor* exec);
-  void Enqueue(ShardId id, std::function<void()> task);
   void CountRetry();
+  /// Breaker admission check for `shard`; when it fast-fails, fills
+  /// `status` with the typed kOverloaded refusal.
+  bool BreakerAllows(ShardId shard, Status* status);
+  void RecordBreakerOutcome(ShardId shard, bool success);
+  void PushBreakerGauges(ShardId shard);
+  Status DrainingStatus() const;
 
   ShardCluster* cluster_;
   ShardMap* map_;
   ShardRouterOptions options_;
   Clock* clock_;
   std::vector<std::unique_ptr<Executor>> executors_;
+  std::atomic<bool> draining_{false};
+  /// Guards the drain sequence (close → join → cluster shutdown).
+  std::mutex drain_mu_;
+  bool drained_ = false;
 
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> deadline_misses_{0};
+  std::atomic<uint64_t> breaker_fast_failures_{0};
   obs::Counter* retries_counter_ = nullptr;
   obs::Counter* deadline_counter_ = nullptr;
   obs::Counter* degraded_counter_ = nullptr;
+  obs::Counter* rejected_full_counter_ = nullptr;
+  obs::Counter* rejected_draining_counter_ = nullptr;
+  obs::Counter* shed_expired_counter_ = nullptr;
+  obs::Counter* breaker_fast_fail_counter_ = nullptr;
 };
 
 }  // namespace wfrm::shard

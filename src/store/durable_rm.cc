@@ -572,13 +572,30 @@ Status DurableResourceManager::RemoveSubstitutionGroup(int64_t group) {
 }
 
 Result<core::Lease> DurableResourceManager::Acquire(std::string_view rql_text) {
+  return AcquireImpl(rql_text, nullptr);
+}
+
+Result<core::Lease> DurableResourceManager::Acquire(std::string_view rql_text,
+                                                    const RequestContext& ctx) {
+  return AcquireImpl(rql_text, &ctx);
+}
+
+Result<core::Lease> DurableResourceManager::AcquireImpl(
+    std::string_view rql_text, const RequestContext* ctx) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
+  // Checked after the lock: the wait for mutate_mu_ may itself have
+  // eaten the budget, and starting enforcement now would be pure waste.
+  WFRM_RETURN_NOT_OK(CheckRequestAlive(ctx));
   WFRM_RETURN_NOT_OK(WritableLocked());
   WFRM_RETURN_NOT_OK(EnsureOrgHydratedLocked());
   // Grants journal after apply: the record carries the *outcome* (which
   // resource, which id), which does not exist beforehand. The crash
-  // window loses only unacknowledged grants.
-  WFRM_ASSIGN_OR_RETURN(core::Lease lease, rm_->Acquire(rql_text));
+  // window loses only unacknowledged grants. Once the claim landed the
+  // lease is journaled and returned even if the deadline passed during
+  // the claim — a typed failure here would leak the allocation.
+  WFRM_ASSIGN_OR_RETURN(core::Lease lease,
+                        ctx != nullptr ? rm_->Acquire(rql_text, *ctx)
+                                       : rm_->Acquire(rql_text));
   Record record;
   record.type = RecordType::kLeaseAcquire;
   record.lease = ToDurableLease(lease, rm_->clock().NowMicros());
@@ -679,32 +696,45 @@ size_t DurableResourceManager::ReapExpired() {
   if (!WritableLocked().ok()) return 0;
   if (!EnsureOrgHydratedLocked().ok()) return 0;
   const int64_t now = rm_->clock().NowMicros();
+  const size_t batch = options_.reap_batch_limit > 0
+                           ? options_.reap_batch_limit
+                           : std::numeric_limits<size_t>::max();
   // Journal before apply, like Release(): collect the expired set,
   // journal one release per lease, then reap exactly that set. Journal-
   // after could leave a reap applied in memory whose lease replay
   // resurrects — with its remaining lifetime re-based, i.e. live again.
-  std::vector<core::Lease> expired;
-  for (const core::Lease& lease : rm_->ListLeases()) {
-    if (lease.deadline_micros <= now) expired.push_back(lease);
-  }
-  size_t journaled = 0;
-  for (const core::Lease& lease : expired) {
-    Record record;
-    record.type = RecordType::kLeaseRelease;
-    record.lease = ToDurableLease(lease, now);
-    if (!JournalLocked(std::move(record)).ok()) break;
-    dirty_lease_ids_.insert(lease.id);
-    ++journaled;
-  }
+  //
+  // The pass runs in batches of `reap_batch_limit`, releasing and
+  // re-taking the lease-table lock between batches: a mass expiry (say
+  // 10k leases at one deadline) never pins the table — and with it every
+  // concurrent Acquire/Release — for one O(all-leases) critical section.
+  // Per batch, ExpiredLeasesBefore and the bounded reap walk the same
+  // deterministic map order under the same mutate_mu_ hold, so the
+  // journaled set and the reaped set are exactly equal.
   size_t reaped = 0;
-  if (journaled == expired.size()) {
-    reaped = rm_->ReapExpiredLeasesBefore(now).size();
-  } else {
-    // Journal failed mid-pass: reap only the journaled prefix. The rest
-    // stay held (and expired), and the next pass retries them.
-    for (size_t i = 0; i < journaled; ++i) {
-      if (rm_->Release(expired[i]).ok()) ++reaped;
+  for (;;) {
+    std::vector<core::Lease> expired = rm_->ExpiredLeasesBefore(now, batch);
+    if (expired.empty()) break;
+    size_t journaled = 0;
+    for (const core::Lease& lease : expired) {
+      Record record;
+      record.type = RecordType::kLeaseRelease;
+      record.lease = ToDurableLease(lease, now);
+      if (!JournalLocked(std::move(record)).ok()) break;
+      dirty_lease_ids_.insert(lease.id);
+      ++journaled;
     }
+    if (journaled == expired.size()) {
+      reaped += rm_->ReapExpiredLeasesBefore(now, expired.size()).size();
+    } else {
+      // Journal failed mid-batch: reap only the journaled prefix. The
+      // rest stay held (and expired), and the next pass retries them.
+      for (size_t i = 0; i < journaled; ++i) {
+        if (rm_->Release(expired[i]).ok()) ++reaped;
+      }
+      break;
+    }
+    if (expired.size() < batch) break;
   }
   (void)MaybeCheckpointLocked();
   return reaped;

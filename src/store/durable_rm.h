@@ -60,6 +60,12 @@ struct DurableOptions {
   /// Checkpoint() is called.
   size_t snapshot_every_records = 0;
   CheckpointCrashPoint crash_point = CheckpointCrashPoint::kNone;
+  /// ReapExpired() journals and reclaims expired leases in batches of at
+  /// most this many, re-taking the lease-table lock between batches, so
+  /// ten thousand leases expiring at once never pin the table (blocking
+  /// every Acquire/Release) for one giant critical section. 0 =
+  /// unbatched (the old behaviour).
+  size_t reap_batch_limit = 1024;
   /// Passed through to the recovered ResourceManager (clock, lease
   /// duration, allocation strategy, metrics, ...). When `metrics` is
   /// set the policy store is attached to the same registry and the
@@ -153,6 +159,12 @@ class DurableResourceManager {
   Status RemoveSubstitutionGroup(int64_t group);
 
   Result<core::Lease> Acquire(std::string_view rql_text);
+  /// Acquire under a request context: the enforcement pipeline checks
+  /// the deadline/cancellation at its stage boundaries and fails typed.
+  /// A grant that was journaled is always returned — deadlines bound
+  /// waiting, they never undo durable side effects.
+  Result<core::Lease> Acquire(std::string_view rql_text,
+                              const RequestContext& ctx);
   Result<core::Lease> AllocateLease(const org::ResourceRef& ref);
   Status Release(const core::Lease& lease);
   /// Releases whatever lease currently holds `ref`.
@@ -320,6 +332,9 @@ class DurableResourceManager {
   Status WritableLocked() const;
   /// Pushes the wal-broken / degraded gauges. Caller holds mutate_mu_.
   void UpdateHealthGaugesLocked();
+
+  Result<core::Lease> AcquireImpl(std::string_view rql_text,
+                                  const RequestContext* ctx);
 
   Status Recover();
   /// Paged-backend half of Recover(): opens pages.db (migrating a

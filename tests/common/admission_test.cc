@@ -1,0 +1,189 @@
+// AdmissionQueue: bounded two-class admission with typed kOverloaded
+// rejection, adaptive LIFO dequeue and expired-entry shedding
+// (DESIGN.md §16). All deadline behaviour runs on SimulatedClock.
+
+#include "common/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/request_context.h"
+#include "common/status.h"
+
+namespace wfrm {
+namespace {
+
+AdmissionTask Task(std::vector<int>* ran, int id,
+                   int64_t deadline = RequestContext::kNoDeadline,
+                   PriorityClass pc = PriorityClass::kInteractive) {
+  AdmissionTask t;
+  t.run = [ran, id] { ran->push_back(id); };
+  t.shed = [](const Status&) {};
+  t.deadline_micros = deadline;
+  t.priority = pc;
+  return t;
+}
+
+TEST(AdmissionQueueTest, UnboundedByDefault) {
+  SimulatedClock clock(0);
+  AdmissionOptions options;
+  options.clock = &clock;
+  AdmissionQueue queue(options);
+  std::vector<int> ran;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(queue.TryPush(Task(&ran, i)).ok());
+  }
+  EXPECT_EQ(queue.depth(), 100u);
+  EXPECT_EQ(queue.rejected_full(), 0u);
+}
+
+TEST(AdmissionQueueTest, FullQueueRejectsTypedWithRetryAfterHint) {
+  SimulatedClock clock(0);
+  AdmissionOptions options;
+  options.max_depth = 2;
+  options.clock = &clock;
+  AdmissionQueue queue(options);
+  std::vector<int> ran;
+  ASSERT_TRUE(queue.TryPush(Task(&ran, 0)).ok());
+  ASSERT_TRUE(queue.TryPush(Task(&ran, 1)).ok());
+
+  Status st = queue.TryPush(Task(&ran, 2));
+  EXPECT_EQ(st.code(), StatusCode::kOverloaded) << st.ToString();
+  EXPECT_NE(st.ToString().find("retry after"), std::string::npos)
+      << "rejection must carry a retry-after hint: " << st.ToString();
+  EXPECT_EQ(queue.rejected_full(), 1u);
+  EXPECT_EQ(queue.depth(), 2u) << "rejected task must not displace live work";
+}
+
+TEST(AdmissionQueueTest, RetryAfterHintGrowsWithDepthAndServiceTime) {
+  SimulatedClock clock(0);
+  AdmissionOptions options;
+  options.clock = &clock;
+  AdmissionQueue queue(options);
+  const int64_t idle_hint = queue.RetryAfterHintMicros();
+  EXPECT_GE(idle_hint, options.min_retry_after_micros);
+
+  // Teach the EWMA a 10ms service time and queue two tasks: the hint
+  // must now reflect the expected wait, not the floor.
+  queue.RecordServiceMicros(10'000);
+  std::vector<int> ran;
+  ASSERT_TRUE(queue.TryPush(Task(&ran, 0)).ok());
+  ASSERT_TRUE(queue.TryPush(Task(&ran, 1)).ok());
+  EXPECT_GT(queue.RetryAfterHintMicros(), idle_hint);
+}
+
+TEST(AdmissionQueueTest, ExpiredEntriesAreShedToMakeRoom) {
+  SimulatedClock clock(0);
+  AdmissionOptions options;
+  options.max_depth = 1;
+  options.clock = &clock;
+  AdmissionQueue queue(options);
+
+  std::vector<int> ran;
+  Status shed_status = Status::OK();
+  AdmissionTask doomed = Task(&ran, 0, /*deadline=*/100);
+  doomed.shed = [&shed_status](const Status& st) { shed_status = st; };
+  ASSERT_TRUE(queue.TryPush(std::move(doomed)).ok());
+
+  // Queue full of dead work: the live push must evict it, not bounce.
+  clock.AdvanceMicros(200);
+  ASSERT_TRUE(queue.TryPush(Task(&ran, 1)).ok());
+  EXPECT_EQ(queue.depth(), 1u);
+  EXPECT_EQ(queue.shed_expired(), 1u);
+  EXPECT_EQ(shed_status.code(), StatusCode::kDeadlineExceeded)
+      << shed_status.ToString();
+}
+
+TEST(AdmissionQueueTest, DequeueIsHighestClassFirstThenLifo) {
+  SimulatedClock clock(0);
+  AdmissionOptions options;
+  options.clock = &clock;
+  AdmissionQueue queue(options);
+  std::vector<int> ran;
+  ASSERT_TRUE(queue.TryPush(Task(&ran, 0, RequestContext::kNoDeadline,
+                                 PriorityClass::kBatch))
+                  .ok());
+  ASSERT_TRUE(queue.TryPush(Task(&ran, 1)).ok());  // interactive, older
+  ASSERT_TRUE(queue.TryPush(Task(&ran, 2)).ok());  // interactive, newest
+  ASSERT_TRUE(queue.TryPush(Task(&ran, 3, RequestContext::kNoDeadline,
+                                 PriorityClass::kBatch))
+                  .ok());
+
+  for (int i = 0; i < 4; ++i) {
+    auto task = queue.Pop();
+    ASSERT_TRUE(task.has_value());
+    task->run();
+  }
+  // Interactive before batch; newest-first within each class (adaptive
+  // LIFO: the newest caller is the one most likely still waiting).
+  EXPECT_EQ(ran, (std::vector<int>{2, 1, 3, 0}));
+}
+
+TEST(AdmissionQueueTest, ExpiredEntriesAreShedAtDequeue) {
+  SimulatedClock clock(0);
+  AdmissionOptions options;
+  options.clock = &clock;
+  AdmissionQueue queue(options);
+
+  std::vector<int> ran;
+  Status shed_status = Status::OK();
+  AdmissionTask doomed = Task(&ran, 0, /*deadline=*/100);
+  doomed.shed = [&shed_status](const Status& st) { shed_status = st; };
+  ASSERT_TRUE(queue.TryPush(std::move(doomed)).ok());
+  ASSERT_TRUE(queue.TryPush(Task(&ran, 1)).ok());
+
+  clock.AdvanceMicros(200);
+  // LIFO pops the live newest first; the expired one is shed on the
+  // closed drain instead of being run at guaranteed-miss cost.
+  auto live = queue.Pop();
+  ASSERT_TRUE(live.has_value());
+  live->run();
+  EXPECT_EQ(ran, std::vector<int>{1});
+
+  queue.Close();
+  EXPECT_FALSE(queue.Pop().has_value());
+  EXPECT_EQ(queue.shed_expired(), 1u);
+  EXPECT_EQ(shed_status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(AdmissionQueueTest, CloseRejectsNewWorkButDrainsAdmitted) {
+  SimulatedClock clock(0);
+  AdmissionOptions options;
+  options.clock = &clock;
+  AdmissionQueue queue(options);
+  std::vector<int> ran;
+  ASSERT_TRUE(queue.TryPush(Task(&ran, 0)).ok());
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+
+  Status st = queue.TryPush(Task(&ran, 1));
+  EXPECT_EQ(st.code(), StatusCode::kOverloaded) << st.ToString();
+  EXPECT_EQ(queue.rejected_closed(), 1u);
+
+  auto task = queue.Pop();
+  ASSERT_TRUE(task.has_value());
+  task->run();
+  EXPECT_EQ(ran, std::vector<int>{0});
+  EXPECT_FALSE(queue.Pop().has_value()) << "closed + drained → nullopt";
+}
+
+TEST(AdmissionQueueTest, PopBlocksUntilWorkArrives) {
+  AdmissionQueue queue;  // System clock; no deadlines involved.
+  std::vector<int> ran;
+  std::thread consumer([&] {
+    auto task = queue.Pop();
+    ASSERT_TRUE(task.has_value());
+    task->run();
+  });
+  ASSERT_TRUE(queue.TryPush(Task(&ran, 7)).ok());
+  consumer.join();
+  EXPECT_EQ(ran, std::vector<int>{7});
+}
+
+}  // namespace
+}  // namespace wfrm

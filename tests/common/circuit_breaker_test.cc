@@ -1,0 +1,153 @@
+// CircuitBreaker: closed/open/half-open transitions, fully
+// deterministic on SimulatedClock (DESIGN.md §16).
+
+#include "common/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace wfrm {
+namespace {
+
+CircuitBreakerOptions FastOptions() {
+  CircuitBreakerOptions o;
+  o.failure_threshold = 3;
+  o.window_micros = 1'000;
+  o.open_micros = 500;
+  o.success_threshold = 1;
+  return o;
+}
+
+TEST(CircuitBreakerTest, StartsClosedAndAllowsEverything) {
+  SimulatedClock clock(0);
+  CircuitBreaker breaker(FastOptions(), &clock);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(breaker.Allow());
+    breaker.RecordSuccess();
+  }
+  EXPECT_EQ(breaker.retry_after_micros(), 0);
+}
+
+TEST(CircuitBreakerTest, ThresholdFailuresWithinWindowTrip) {
+  SimulatedClock clock(0);
+  CircuitBreaker breaker(FastOptions(), &clock);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed) << "below threshold";
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_GT(breaker.retry_after_micros(), 0);
+  EXPECT_EQ(breaker.opens(), 1u);
+  EXPECT_GE(breaker.fast_failures(), 1u);
+}
+
+TEST(CircuitBreakerTest, FailuresOutsideTheWindowDoNotAccumulate) {
+  SimulatedClock clock(0);
+  CircuitBreaker breaker(FastOptions(), &clock);
+  // One failure per 2ms against a 1ms window: each lands in a fresh
+  // window, so the breaker never sees threshold failures together.
+  for (int i = 0; i < 10; ++i) {
+    breaker.RecordFailure();
+    clock.AdvanceMicros(2'000);
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureWindow) {
+  SimulatedClock clock(0);
+  CircuitBreaker breaker(FastOptions(), &clock);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();  // Recovery observed: the count starts over.
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, OpenAdmitsOneProbeAfterCooldown) {
+  SimulatedClock clock(0);
+  CircuitBreaker breaker(FastOptions(), &clock);
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.Allow()) << "cooldown not elapsed";
+
+  clock.AdvanceMicros(500);
+  EXPECT_TRUE(breaker.Allow()) << "first caller after cooldown is the probe";
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow()) << "only one probe in flight";
+
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopens) {
+  SimulatedClock clock(0);
+  CircuitBreaker breaker(FastOptions(), &clock);
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  clock.AdvanceMicros(500);
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  EXPECT_FALSE(breaker.Allow()) << "cooldown restarts after a failed probe";
+}
+
+TEST(CircuitBreakerTest, SuccessThresholdRequiresConsecutiveProbes) {
+  SimulatedClock clock(0);
+  CircuitBreakerOptions options = FastOptions();
+  options.success_threshold = 2;
+  CircuitBreaker breaker(options, &clock);
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  clock.AdvanceMicros(500);
+
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen)
+      << "one success of two: stay half-open";
+  ASSERT_TRUE(breaker.Allow()) << "next probe admitted after the success";
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, VanishedProbeDoesNotWedgeHalfOpen) {
+  SimulatedClock clock(0);
+  CircuitBreakerOptions options = FastOptions();
+  options.probe_timeout_micros = 1'000;
+  CircuitBreaker breaker(options, &clock);
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  clock.AdvanceMicros(500);
+
+  // The probe is admitted and then shed before reaching the backend —
+  // it will never report an outcome.
+  ASSERT_TRUE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+
+  clock.AdvanceMicros(1'000);
+  EXPECT_TRUE(breaker.Allow())
+      << "after probe_timeout a fresh probe is admitted";
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, ZeroThresholdDisablesEntirely) {
+  SimulatedClock clock(0);
+  CircuitBreakerOptions options = FastOptions();
+  options.failure_threshold = 0;
+  CircuitBreaker breaker(options, &clock);
+  for (int i = 0; i < 100; ++i) breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_STREQ(BreakerStateName(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kOpen), "open");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kHalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace wfrm

@@ -1,0 +1,91 @@
+// RequestContext: deadline/cancellation envelope semantics
+// (DESIGN.md §16) — deterministic on SimulatedClock.
+
+#include "common/request_context.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace wfrm {
+namespace {
+
+TEST(RequestContextTest, DefaultContextIsAlwaysAlive) {
+  RequestContext ctx;
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.cancelled());
+  EXPECT_FALSE(ctx.expired());
+  EXPECT_EQ(ctx.remaining_micros(), RequestContext::kNoDeadline);
+  EXPECT_TRUE(ctx.CheckAlive().ok());
+  // The null-context form pipelines actually call.
+  EXPECT_TRUE(CheckRequestAlive(nullptr).ok());
+}
+
+TEST(RequestContextTest, DeadlineExpiresOnTheInjectedClock) {
+  SimulatedClock clock(1'000);
+  RequestContext ctx = RequestContext::WithDeadlineIn(&clock, 500);
+  EXPECT_TRUE(ctx.has_deadline());
+  EXPECT_EQ(ctx.deadline_micros, 1'500);
+  EXPECT_EQ(ctx.remaining_micros(), 500);
+  EXPECT_TRUE(ctx.CheckAlive().ok());
+
+  clock.AdvanceMicros(499);
+  EXPECT_FALSE(ctx.expired());
+
+  clock.AdvanceMicros(1);
+  EXPECT_TRUE(ctx.expired());
+  EXPECT_EQ(ctx.remaining_micros(), 0);
+  Status st = ctx.CheckAlive();
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st.ToString();
+  EXPECT_EQ(CheckRequestAlive(&ctx).code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RequestContextTest, ExpiredAtJudgesAForeignTimestamp) {
+  SimulatedClock clock(0);
+  RequestContext ctx = RequestContext::WithDeadlineIn(&clock, 100);
+  EXPECT_FALSE(ctx.expired_at(99));
+  EXPECT_TRUE(ctx.expired_at(100));
+  RequestContext unbounded;
+  EXPECT_FALSE(unbounded.expired_at(1'000'000));
+}
+
+TEST(RequestContextTest, CancellationIsStickyAndSharedAcrossCopies) {
+  CancelSource source;
+  RequestContext ctx;
+  ctx.cancel = source.token();
+  RequestContext copy = ctx;  // Copies share the flag.
+  EXPECT_TRUE(copy.CheckAlive().ok());
+
+  source.Cancel();
+  EXPECT_TRUE(ctx.cancelled());
+  EXPECT_TRUE(copy.cancelled());
+  EXPECT_EQ(ctx.CheckAlive().code(), StatusCode::kCancelled);
+  EXPECT_EQ(copy.CheckAlive().code(), StatusCode::kCancelled);
+}
+
+TEST(RequestContextTest, CancellationWinsOverExpiry) {
+  // Both conditions hold; the typed result must say "the caller walked
+  // away", not "time ran out" — cancellation is the more specific fact.
+  SimulatedClock clock(0);
+  CancelSource source;
+  RequestContext ctx = RequestContext::WithDeadlineIn(&clock, 10);
+  ctx.cancel = source.token();
+  clock.AdvanceMicros(100);
+  source.Cancel();
+  EXPECT_EQ(ctx.CheckAlive().code(), StatusCode::kCancelled);
+}
+
+TEST(RequestContextTest, PriorityClassDefaultsInteractive) {
+  RequestContext ctx;
+  EXPECT_EQ(ctx.priority, PriorityClass::kInteractive);
+  SimulatedClock clock(0);
+  RequestContext batch =
+      RequestContext::WithDeadlineIn(&clock, 10, PriorityClass::kBatch);
+  EXPECT_EQ(batch.priority, PriorityClass::kBatch);
+  EXPECT_STREQ(PriorityClassName(PriorityClass::kBatch), "batch");
+  EXPECT_STREQ(PriorityClassName(PriorityClass::kInteractive), "interactive");
+}
+
+}  // namespace
+}  // namespace wfrm

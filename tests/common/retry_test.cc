@@ -11,6 +11,8 @@
 #include <set>
 #include <vector>
 
+#include "common/clock.h"
+
 namespace wfrm {
 namespace {
 
@@ -98,6 +100,61 @@ TEST(RetryPolicyTest, DecorrelatedSeedsSpreadTheFleet) {
     second_delays.insert(backoff.NextDelayMicros());
   }
   EXPECT_GE(second_delays.size(), 12u) << "second-retry instants collided";
+}
+
+TEST(RetryPolicyTest, DeadlineAwareShouldRetryStopsWhenNoDelayCanLand) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff_micros = 100;
+  policy.jitter = 0.0;
+  Backoff backoff(policy);
+  // Plenty of budget: behaves like the plain attempt check.
+  EXPECT_TRUE(backoff.ShouldRetry(1, /*now=*/0, /*deadline=*/10'000));
+  // The shortest possible next delay (100us) lands exactly at the
+  // deadline — sleeping would deliver a result nobody reads.
+  EXPECT_FALSE(backoff.ShouldRetry(1, /*now=*/0, /*deadline=*/100));
+  EXPECT_TRUE(backoff.ShouldRetry(1, /*now=*/0, /*deadline=*/101));
+  // Attempt exhaustion still applies regardless of budget.
+  EXPECT_FALSE(backoff.ShouldRetry(9, /*now=*/0, /*deadline=*/10'000));
+}
+
+TEST(RetryPolicyTest, RetryLoopNeverSleepsPastTheDeadline) {
+  // Satellite regression (DESIGN.md §16): the old loop retried on
+  // attempts alone, so a caller with 1ms of budget could sleep 100ms
+  // into a backoff series. Replay the schedule on a SimulatedClock and
+  // pin that every sleep completes strictly before the deadline.
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.initial_backoff_micros = 200;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_micros = 100'000;
+  policy.jitter = 0.0;  // Deterministic: min delay == spent delay.
+  SimulatedClock clock(0);
+  const int64_t deadline = 1'000;
+
+  Backoff backoff(policy);
+  int attempt = 0;
+  while (backoff.ShouldRetry(attempt + 1, clock.NowMicros(), deadline)) {
+    ++attempt;
+    clock.SleepForMicros(backoff.NextDelayMicros());
+    ASSERT_LT(clock.NowMicros(), deadline)
+        << "slept past the caller's deadline on attempt " << attempt;
+  }
+  EXPECT_GT(attempt, 0) << "some budget existed, so at least one retry fits";
+  EXPECT_LT(attempt, 99) << "the deadline, not max_attempts, ended the loop";
+}
+
+TEST(RetryPolicyTest, DecorrelatedMinDelayIsTheWindowFloor) {
+  // For decorrelated jitter the shortest possible draw is always
+  // initial_backoff — that is the bound the deadline check uses.
+  RetryPolicy policy = RetryPolicy::Decorrelated(
+      /*max_attempts=*/10, /*initial_micros=*/500, /*max_micros=*/10'000);
+  Backoff backoff(policy, 11);
+  EXPECT_EQ(backoff.MinNextDelayMicros(), 500);
+  (void)backoff.NextDelayMicros();
+  EXPECT_EQ(backoff.MinNextDelayMicros(), 500) << "floor does not wander";
+  EXPECT_FALSE(backoff.ShouldRetry(1, /*now=*/0, /*deadline=*/500));
+  EXPECT_TRUE(backoff.ShouldRetry(1, /*now=*/0, /*deadline=*/501));
 }
 
 TEST(RetryPolicyTest, DecorrelatedZeroInitialIsSafe) {

@@ -1,0 +1,303 @@
+// Seeded overload chaos harness (DESIGN.md §16): a 2-shard cluster
+// driven at roughly 2x its service capacity — bounded admission queues,
+// breaker on, injected latency faults stalling the stores — while
+// clients carry deadlines and priorities. The invariants:
+//
+//   * every request resolves either ok or with a typed overload status
+//     (kOverloaded / kDeadlineExceeded / kDegraded /
+//     kResourceUnavailable / kNoQualifiedResource) — never a hang,
+//     never an untyped error;
+//   * accepted (ok) requests keep a bounded p99 latency: shedding dead
+//     work is what protects the live work's tail;
+//   * zero lease loss: every granted lease is releasable exactly once,
+//     and after release no shard holds an unaccounted allocation;
+//   * a drain under pressure completes cleanly and the homes reopen
+//     with state intact.
+//
+// The seed base is overridable via WFRM_CHAOS_SEED_BASE so CI sweeps
+// disjoint schedules per job.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/request_context.h"
+#include "common/status.h"
+#include "core/fault_injector.h"
+#include "shard/shard_cluster.h"
+#include "shard/shard_map.h"
+#include "shard/shard_router.h"
+#include "store/durable_rm.h"
+#include "testutil/repro.h"
+
+namespace wfrm::shard {
+namespace {
+
+constexpr char kRdl[] = R"(
+  Define Resource Type Employee
+      (ContactInfo String, Location String, Experience Int);
+  Define Resource Type Programmer Under Employee;
+  Define Activity Type Activity (Location String);
+  Define Activity Type Programming Under Activity (NumberOfLines Int);
+  Insert Resource Programmer 'alice'
+      (ContactInfo = 'alice@x.com', Location = 'PA', Experience = 8);
+  Insert Resource Programmer 'bob'
+      (ContactInfo = 'bob@x.com', Location = 'PA', Experience = 7);
+)";
+
+constexpr char kPolicies[] = R"(
+  Qualify Programmer For Programming;
+  Require Programmer Where Experience > 5
+    For Programming With NumberOfLines > 10000;
+)";
+
+constexpr char kBigJob[] =
+    "Select ContactInfo From Programmer Where Location = 'PA' "
+    "For Programming With NumberOfLines = 20000 And Location = 'PA'";
+
+bool IsTypedOverloadOutcome(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kOverloaded:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+    case StatusCode::kDegraded:
+    case StatusCode::kResourceUnavailable:
+    case StatusCode::kNoQualifiedResource:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct ScheduleStats {
+  uint64_t issued = 0;
+  uint64_t accepted = 0;
+  uint64_t typed_rejections = 0;
+  std::vector<int64_t> accepted_latencies_micros;
+};
+
+class OverloadChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "wfrm_ovchaos_XXXXXX")
+            .string();
+    ASSERT_NE(::mkdtemp(tmpl.data()), nullptr);
+    root_ = tmpl;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(root_, ec);
+  }
+
+  std::string root_;
+};
+
+void RunOverloadSchedule(const std::string& root, uint64_t seed,
+                         ScheduleStats* stats) {
+  const std::string dir = root + "/run" + std::to_string(seed);
+
+  // The stores stall: ~30% of submits eat a 15ms injected latency
+  // fault, which is what pushes the offered load past capacity.
+  core::FaultInjectorOptions fault_options;
+  fault_options.seed = seed;
+  fault_options.query_latency_rate = 0.3;
+  fault_options.query_latency_micros = 15'000;
+  core::FaultInjector faults(fault_options);
+
+  constexpr size_t kShards = 2;
+  ShardClusterOptions cluster_options;
+  cluster_options.num_shards = kShards;
+  cluster_options.durable.fsync_mode = store::FsyncMode::kOff;
+  cluster_options.durable.rm_options.fault_injector = &faults;
+  auto cluster = ShardCluster::Open(dir, cluster_options);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  for (ShardId s = 0; s < kShards; ++s) {
+    auto primary = (*cluster)->Primary(s);
+    ASSERT_NE(primary, nullptr);
+    ASSERT_TRUE(primary->ExecuteRdl(kRdl).ok());
+    ASSERT_TRUE(primary->AddPolicyText(kPolicies).ok());
+  }
+  ShardMap map(kShards);
+
+  ShardRouterOptions router_options;
+  router_options.max_queue_depth = 4;
+  router_options.enable_breaker = true;
+  router_options.breaker.failure_threshold = 4;
+  router_options.breaker.window_micros = 1'000'000;
+  router_options.breaker.open_micros = 50'000;
+  router_options.shard_deadline_micros = 400'000;
+  ShardRouter router((*cluster).get(), &map, router_options);
+
+  // 8 clients against 2 serial executors whose mean service time the
+  // latency faults inflate to ~5ms: roughly 2x capacity sustained.
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 25;
+  std::mutex mu;
+  struct HeldLease {
+    std::string tenant;
+    core::Lease lease;
+  };
+  std::vector<HeldLease> held;
+  std::atomic<bool> invariant_broken{false};
+  std::vector<std::string> violations;
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937_64 rng(seed * 1315423911u + c);
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const std::string tenant =
+            "tenant" + std::to_string(rng() % 64);
+        const bool batch_class = (rng() % 4) == 0;
+        RequestContext ctx = RequestContext::WithDeadlineIn(
+            SystemClock::Default(), /*budget_micros=*/50'000,
+            batch_class ? PriorityClass::kBatch
+                        : PriorityClass::kInteractive);
+
+        const auto t0 = std::chrono::steady_clock::now();
+        Status outcome = Status::OK();
+        if (rng() % 5 == 0) {
+          // Lease cycle: a grant is recorded and released later — the
+          // zero-lease-loss ledger.
+          auto lease = router.Acquire(tenant, kBigJob, &ctx);
+          outcome = lease.status();
+          if (lease.ok()) {
+            std::lock_guard<std::mutex> lock(mu);
+            held.push_back({tenant, *lease});
+          }
+        } else {
+          std::vector<BatchItem> items = {{tenant, kBigJob}};
+          auto results = router.EnforceBatch(items, &ctx);
+          if (results.size() != 1) {
+            invariant_broken.store(true);
+            std::lock_guard<std::mutex> lock(mu);
+            violations.push_back("batch result size mismatch");
+            continue;
+          }
+          outcome = results[0].outcome.ok()
+                        ? results[0].outcome->status
+                        : results[0].outcome.status();
+        }
+        const int64_t latency =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+
+        std::lock_guard<std::mutex> lock(mu);
+        ++stats->issued;
+        if (outcome.ok()) {
+          ++stats->accepted;
+          stats->accepted_latencies_micros.push_back(latency);
+        } else if (IsTypedOverloadOutcome(outcome)) {
+          ++stats->typed_rejections;
+        } else {
+          invariant_broken.store(true);
+          violations.push_back("untyped failure: " + outcome.ToString());
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  ASSERT_FALSE(invariant_broken.load())
+      << (violations.empty() ? "?" : violations.front());
+
+  // Zero lease loss: everything granted under pressure releases exactly
+  // once; afterwards no shard holds an unaccounted allocation.
+  for (const auto& h : held) {
+    Status st = router.Release(h.tenant, h.lease);
+    ASSERT_TRUE(st.ok()) << "granted lease not releasable: " << st.ToString();
+  }
+  for (ShardId s = 0; s < kShards; ++s) {
+    auto primary = (*cluster)->Primary(s);
+    ASSERT_NE(primary, nullptr);
+    EXPECT_EQ(primary->rm().num_allocated(), 0u)
+        << "shard " << s << " leaked an allocation under overload";
+  }
+
+  // Drain under the dust of the storm: admissions stop typed, in-flight
+  // work finishes, homes checkpoint and unlock.
+  ASSERT_TRUE(router.Drain().ok());
+  auto refused = router.Enforce("tenant1", kBigJob);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kOverloaded);
+
+  // Clean reopen with state intact proves the drain closed every home
+  // properly (locks released, WAL/checkpoint consistent).
+  ShardClusterOptions reopen_options;
+  reopen_options.num_shards = kShards;
+  reopen_options.durable.fsync_mode = store::FsyncMode::kOff;
+  auto reopened = ShardCluster::Open(dir, reopen_options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  for (ShardId s = 0; s < kShards; ++s) {
+    auto primary = (*reopened)->Primary(s);
+    ASSERT_NE(primary, nullptr);
+    auto probe = primary->rm().Submit(kBigJob);
+    ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+    EXPECT_TRUE(probe->status.ok()) << "state lost across drain/reopen";
+  }
+}
+
+TEST_F(OverloadChaosTest, SeededOverloadSchedules) {
+  uint64_t seed_base = 0;
+  if (const char* env = std::getenv("WFRM_CHAOS_SEED_BASE")) {
+    seed_base = std::strtoull(env, nullptr, 10);
+  }
+  ScheduleStats stats;
+  constexpr uint64_t kSchedules = 5;
+  for (uint64_t i = 0; i < kSchedules; ++i) {
+    ASSERT_NO_FATAL_FAILURE(
+        RunOverloadSchedule(root_, seed_base + i, &stats));
+    if (::testing::Test::HasFailure()) {
+      const uint64_t seed = seed_base + i;
+      testutil::WriteRepro(
+          "overload-chaos-seed-" + std::to_string(seed) + ".txt",
+          "suite: overload chaos\nseed: " + std::to_string(seed) +
+              "\nreplay: WFRM_CHAOS_SEED_BASE=" + std::to_string(seed) +
+              " ./wfrm_shard_overload_test "
+              "--gtest_filter='*SeededOverloadSchedules' "
+              "(base schedule " +
+              std::to_string(seed) + ", window of 1 suffices)\n");
+      break;
+    }
+  }
+  if (::testing::Test::HasFailure()) return;
+
+  // Cross-seed aggregate checks. Requests never vanish: every one
+  // resolved as accepted or typed-rejected.
+  EXPECT_EQ(stats.issued,
+            static_cast<uint64_t>(kSchedules) * 8 * 25);
+  EXPECT_EQ(stats.accepted + stats.typed_rejections, stats.issued);
+  EXPECT_GT(stats.accepted, 0u) << "overload must not starve everyone";
+
+  // Bounded tail for accepted work: a request the system chose to serve
+  // was served within its own deadline envelope plus scheduling slack —
+  // shedding kept the backlog from poisoning the goodput. The bound is
+  // deliberately generous (sanitizer CI) while still far below what an
+  // unshed FIFO backlog would produce.
+  auto& lat = stats.accepted_latencies_micros;
+  ASSERT_FALSE(lat.empty());
+  std::sort(lat.begin(), lat.end());
+  const int64_t p99 = lat[(lat.size() * 99) / 100 == lat.size()
+                              ? lat.size() - 1
+                              : (lat.size() * 99) / 100];
+  EXPECT_LT(p99, 2'000'000)
+      << "p99 of accepted requests blew past any deadline envelope";
+}
+
+}  // namespace
+}  // namespace wfrm::shard

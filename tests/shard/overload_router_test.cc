@@ -1,0 +1,317 @@
+// ShardRouter overload robustness (DESIGN.md §16): bounded admission
+// with typed kOverloaded rejection, expired-shed at dequeue,
+// cancellation during scatter/gather, deadline-bounded mutation
+// retries, per-shard circuit breaker, and graceful Drain().
+
+#include "shard/shard_router.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/request_context.h"
+#include "common/status.h"
+#include "shard/shard_cluster.h"
+#include "shard/shard_map.h"
+#include "store/durable_rm.h"
+
+namespace wfrm::shard {
+namespace {
+
+constexpr char kRdl[] = R"(
+  Define Resource Type Employee
+      (ContactInfo String, Location String, Experience Int);
+  Define Resource Type Programmer Under Employee;
+  Define Activity Type Activity (Location String);
+  Define Activity Type Programming Under Activity (NumberOfLines Int);
+  Insert Resource Programmer 'alice'
+      (ContactInfo = 'alice@x.com', Location = 'PA', Experience = 8);
+  Insert Resource Programmer 'bob'
+      (ContactInfo = 'bob@x.com', Location = 'PA', Experience = 7);
+)";
+
+constexpr char kPolicies[] = R"(
+  Qualify Programmer For Programming;
+  Require Programmer Where Experience > 5
+    For Programming With NumberOfLines > 10000;
+)";
+
+constexpr char kBigJob[] =
+    "Select ContactInfo From Programmer Where Location = 'PA' "
+    "For Programming With NumberOfLines = 20000 And Location = 'PA'";
+
+class OverloadRouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "wfrm_ovl_XXXXXX").string();
+    ASSERT_NE(::mkdtemp(tmpl.data()), nullptr);
+    root_ = tmpl;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(root_, ec);
+  }
+
+  void OpenCluster(size_t num_shards) {
+    ShardClusterOptions options;
+    options.num_shards = num_shards;
+    options.durable.fsync_mode = store::FsyncMode::kOff;
+    auto cluster = ShardCluster::Open(root_ + "/cluster", options);
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    cluster_ = std::move(*cluster);
+    map_ = std::make_unique<ShardMap>(num_shards);
+    for (ShardId s = 0; s < num_shards; ++s) {
+      auto primary = cluster_->Primary(s);
+      ASSERT_NE(primary, nullptr);
+      ASSERT_TRUE(primary->ExecuteRdl(kRdl).ok());
+      ASSERT_TRUE(primary->AddPolicyText(kPolicies).ok());
+    }
+  }
+
+  std::string TenantOn(ShardId shard) const {
+    for (int i = 0; i < 10'000; ++i) {
+      std::string key = "tenant" + std::to_string(i);
+      if (map_->Resolve(key) == shard) return key;
+    }
+    ADD_FAILURE() << "no tenant found for shard " << shard;
+    return "";
+  }
+
+  std::string root_;
+  std::unique_ptr<ShardCluster> cluster_;
+  std::unique_ptr<ShardMap> map_;
+};
+
+TEST_F(OverloadRouterTest, ExpiredContextFailsWholeBatchTypedAtAdmission) {
+  OpenCluster(2);
+  ShardRouter router(cluster_.get(), map_.get(), {});
+  SimulatedClock ctx_clock(0);
+  RequestContext ctx = RequestContext::WithDeadlineIn(&ctx_clock, 100);
+  ctx_clock.AdvanceMicros(200);
+
+  std::vector<BatchItem> items = {{TenantOn(0), kBigJob},
+                                  {TenantOn(1), kBigJob}};
+  auto results = router.EnforceBatch(items, &ctx);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    ASSERT_FALSE(r.outcome.ok());
+    EXPECT_EQ(r.outcome.status().code(), StatusCode::kDeadlineExceeded)
+        << r.outcome.status().ToString();
+  }
+  // Nothing reached a queue: dead work is refused before admission.
+  EXPECT_EQ(router.queue_depth(0), 0u);
+  EXPECT_EQ(router.queue_depth(1), 0u);
+}
+
+TEST_F(OverloadRouterTest, CancellationIsNoticedDuringScatterGather) {
+  OpenCluster(1);
+  ShardRouter router(cluster_.get(), map_.get(), {});
+  // The executor stalls 300ms (wall clock) before running the group —
+  // long enough to cancel from the main thread while it is in flight.
+  router.InjectShardStallForTest(0, 300'000);
+
+  CancelSource source;
+  RequestContext ctx;
+  ctx.cancel = source.token();
+  std::vector<BatchItem> items = {{TenantOn(0), kBigJob},
+                                  {TenantOn(0), kBigJob}};
+  std::vector<BatchItemResult> results;
+  std::thread caller(
+      [&] { results = router.EnforceBatch(items, &ctx); });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  source.Cancel();
+  caller.join();
+
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    ASSERT_FALSE(r.outcome.ok());
+    EXPECT_EQ(r.outcome.status().code(), StatusCode::kCancelled)
+        << r.outcome.status().ToString();
+  }
+}
+
+TEST_F(OverloadRouterTest, FullQueueRejectsTypedAndShedsExpiredAtDequeue) {
+  OpenCluster(1);
+  ShardRouterOptions options;
+  options.max_queue_depth = 1;
+  ShardRouter router(cluster_.get(), map_.get(), options);
+  router.InjectShardStallForTest(0, 900'000);
+
+  const std::string tenant = TenantOn(0);
+  std::vector<BatchItem> items = {{tenant, kBigJob}};
+
+  // A occupies the executor (stalled 900ms); no context, so it simply
+  // finishes late and fine.
+  std::vector<BatchItemResult> a_results;
+  std::thread a([&] { a_results = router.EnforceBatch(items); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // B queues behind A with 400ms of budget — guaranteed to expire
+  // before the executor frees at ~900ms, so it must be shed typed at
+  // dequeue, never run; but still live when C arrives at ~200ms.
+  RequestContext b_ctx =
+      RequestContext::WithDeadlineIn(SystemClock::Default(), 400'000);
+  std::vector<BatchItemResult> b_results;
+  std::thread b([&] { b_results = router.EnforceBatch(items, &b_ctx); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // C finds the queue full (B holds the single slot and is not yet
+  // expired): typed kOverloaded with a retry-after hint, synchronously.
+  ASSERT_EQ(router.queue_depth(0), 1u);
+  auto c_results = router.EnforceBatch(items);
+  ASSERT_EQ(c_results.size(), 1u);
+  ASSERT_FALSE(c_results[0].outcome.ok());
+  EXPECT_EQ(c_results[0].outcome.status().code(), StatusCode::kOverloaded)
+      << c_results[0].outcome.status().ToString();
+  EXPECT_NE(c_results[0].outcome.status().ToString().find("retry after"),
+            std::string::npos);
+  EXPECT_GE(router.admission_rejected(), 1u);
+
+  a.join();
+  b.join();
+  ASSERT_EQ(a_results.size(), 1u);
+  EXPECT_TRUE(a_results[0].outcome.ok())
+      << a_results[0].outcome.status().ToString();
+  ASSERT_EQ(b_results.size(), 1u);
+  ASSERT_FALSE(b_results[0].outcome.ok());
+  EXPECT_EQ(b_results[0].outcome.status().code(),
+            StatusCode::kDeadlineExceeded)
+      << b_results[0].outcome.status().ToString();
+  EXPECT_EQ(router.admission_shed(), 1u);
+}
+
+TEST_F(OverloadRouterTest, MutationRetriesStopAtTheCallerDeadline) {
+  OpenCluster(1);
+  // Degraded shard → every attempt is a retryable typed refusal. With
+  // 200 attempts of >=2ms backoff the context-free loop would spend
+  // 400ms+ of (simulated) time; the 10ms deadline must stop it almost
+  // immediately.
+  SimulatedClock clock(0);
+  ShardRouterOptions options;
+  options.clock = &clock;
+  options.retry = RetryPolicy::Decorrelated(/*max_attempts=*/200,
+                                            /*initial_micros=*/2'000,
+                                            /*max_micros=*/10'000);
+  ShardRouter router(cluster_.get(), map_.get(), options);
+  ASSERT_TRUE(cluster_->SetPartitioned(0, true).ok());
+
+  RequestContext ctx = RequestContext::WithDeadlineIn(&clock, 10'000);
+  auto lease = router.Acquire(TenantOn(0), kBigJob, &ctx);
+  ASSERT_FALSE(lease.ok());
+  EXPECT_TRUE(lease.status().code() == StatusCode::kDegraded ||
+              lease.status().code() == StatusCode::kDeadlineExceeded)
+      << lease.status().ToString();
+  // The loop gave up within the budget (plus at most one backoff),
+  // instead of burning the full attempt schedule.
+  EXPECT_LT(clock.NowMicros(), 30'000);
+  EXPECT_LT(router.retries(), 20u);
+}
+
+TEST_F(OverloadRouterTest, BreakerTripsOnRefusalsThenRecovers) {
+  OpenCluster(2);
+  ShardRouterOptions options;
+  options.enable_breaker = true;
+  options.breaker.failure_threshold = 2;
+  options.breaker.window_micros = 10'000'000;
+  options.breaker.open_micros = 100'000;  // Wall clock: 100ms cooldown.
+  ShardRouter router(cluster_.get(), map_.get(), options);
+
+  const std::string t0 = TenantOn(0);
+  const std::string t1 = TenantOn(1);
+  ASSERT_TRUE(cluster_->SetPartitioned(0, true).ok());
+
+  // Two degraded refusals inside the window trip shard 0's breaker.
+  for (int i = 0; i < 2; ++i) {
+    auto refused = router.Enforce(t0, kBigJob);
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(), StatusCode::kDegraded);
+  }
+  EXPECT_EQ(router.BreakerStateOf(0), BreakerState::kOpen);
+
+  // Fast-fail path: typed kOverloaded without touching the shard.
+  auto fast = router.Enforce(t0, kBigJob);
+  ASSERT_FALSE(fast.ok());
+  EXPECT_EQ(fast.status().code(), StatusCode::kOverloaded)
+      << fast.status().ToString();
+  EXPECT_NE(fast.status().ToString().find("circuit breaker open"),
+            std::string::npos);
+  EXPECT_GE(router.breaker_fast_failures(), 1u);
+
+  // The sick shard never poisons its neighbour.
+  ASSERT_TRUE(router.Enforce(t1, kBigJob).ok());
+  EXPECT_EQ(router.BreakerStateOf(1), BreakerState::kClosed);
+
+  // Heal, wait out the cooldown: the next request is the half-open
+  // probe; its success closes the breaker for everyone after.
+  ASSERT_TRUE(cluster_->SetPartitioned(0, false).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  auto probe = router.Enforce(t0, kBigJob);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_EQ(router.BreakerStateOf(0), BreakerState::kClosed);
+  ASSERT_TRUE(router.Enforce(t0, kBigJob).ok());
+}
+
+TEST_F(OverloadRouterTest, DrainFinishesInFlightRefusesNewAndReleasesLocks) {
+  OpenCluster(2);
+  ShardRouter router(cluster_.get(), map_.get(), {});
+  router.InjectShardStallForTest(0, 200'000);
+
+  // In-flight work admitted before the drain must complete, not be
+  // dropped — drain stops admissions, it never abandons admitted work.
+  std::vector<BatchItem> items = {{TenantOn(0), kBigJob}};
+  std::vector<BatchItemResult> inflight;
+  std::thread worker([&] { inflight = router.EnforceBatch(items); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  ASSERT_TRUE(router.Drain().ok());
+  EXPECT_TRUE(router.draining());
+  worker.join();
+  ASSERT_EQ(inflight.size(), 1u);
+  EXPECT_TRUE(inflight[0].outcome.ok())
+      << inflight[0].outcome.status().ToString();
+
+  // Every entry point now refuses typed kOverloaded "draining".
+  auto refused = router.Enforce(TenantOn(1), kBigJob);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kOverloaded);
+  EXPECT_NE(refused.status().ToString().find("draining"), std::string::npos);
+  EXPECT_EQ(router.Acquire(TenantOn(1), kBigJob).status().code(),
+            StatusCode::kOverloaded);
+  EXPECT_EQ(router.ExecuteRdl(TenantOn(1), "Define Activity Type X;").code(),
+            StatusCode::kOverloaded);
+  auto batch = router.EnforceBatch(items);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].outcome.status().code(), StatusCode::kOverloaded);
+
+  // Idempotent.
+  ASSERT_TRUE(router.Drain().ok());
+
+  // The drain checkpointed and closed every home, releasing the
+  // HomeLocks: a fresh cluster can reopen the same directories now,
+  // with all state intact.
+  EXPECT_EQ(cluster_->Primary(0), nullptr) << "shut-down shard has no primary";
+  ShardClusterOptions reopen_options;
+  reopen_options.num_shards = 2;
+  reopen_options.durable.fsync_mode = store::FsyncMode::kOff;
+  auto reopened = ShardCluster::Open(root_ + "/cluster", reopen_options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  for (ShardId s = 0; s < 2; ++s) {
+    auto primary = (*reopened)->Primary(s);
+    ASSERT_NE(primary, nullptr);
+    auto outcome = primary->rm().Submit(kBigJob);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_TRUE(outcome->status.ok()) << "state lost across drain/reopen";
+  }
+}
+
+}  // namespace
+}  // namespace wfrm::shard
